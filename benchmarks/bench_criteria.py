@@ -1,0 +1,142 @@
+"""E4 + E5 — the Section 5.1 criteria: strengths, implications, gaps.
+
+* E4 replays Remark 5.12 with the paper's exact numbers: for
+  A = {011,100,110,111}, B = {010,101,110,111} the Circ(***) pair counts
+  are 0 vs 2, so cancellation fails — yet the pair is safe.
+* E5 verifies Theorem 5.11 (Miklau–Suciu ∨ monotonicity ⇒ cancellation)
+  exhaustively on n = 3, counts how much stronger cancellation is, and how
+  often it still under-approximates exact safety.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from conftest import report_table
+from repro import _bitops
+from repro.core import HypercubeSpace
+from repro.probabilistic import (
+    box_necessary_criterion,
+    cancellation_criterion,
+    circ_count,
+    decide_product_safety,
+    miklau_suciu_criterion,
+    monotonicity_criterion,
+)
+
+
+def test_e4_remark_5_12(benchmark):
+    space = HypercubeSpace(3)
+    a = space.property_set(["011", "100", "110", "111"])
+    b = space.property_set(["010", "101", "110", "111"])
+    key = _bitops.parse_match_vector("***")
+
+    result = benchmark(cancellation_criterion, a, b)
+    positive = circ_count(a & ~b, ~a & b, key)
+    negative = circ_count(a & b, ~a & ~b, key)
+    exact = decide_product_safety(a, b)
+    lines = [
+        "paper Remark 5.12: A={011,100,110,111}, B={010,101,110,111}",
+        f"|AB̄×ĀB ∩ Circ(***)| = {positive}   (paper: 0)",
+        f"|AB×ĀB̄ ∩ Circ(***)| = {negative}   (paper: 2)",
+        f"cancellation criterion holds: {result.holds}   (paper: fails)",
+        f"exact product-family safety: {exact.status.value}   (paper: safe)",
+        "conclusion: the criterion is sufficient but not necessary — as stated",
+    ]
+    report_table("E4 Remark 5.12 counterexample", lines)
+    assert (positive, negative) == (0, 2)
+    assert not result.holds
+    assert exact.is_safe
+
+
+def test_e5_theorem_5_11_exhaustive_n3(benchmark):
+    """Exhaustive n=3 (subsampled deterministically for runtime): implications
+    of Theorem 5.11 never fail, and the criteria strength ordering emerges."""
+    space = HypercubeSpace(3)
+    worlds = list(space.worlds())
+    pairs = []
+    for a_bits in range(0, 256, 5):
+        for b_bits in range(0, 256, 5):
+            pairs.append(
+                (
+                    space.property_set([w for w in worlds if (a_bits >> w) & 1]),
+                    space.property_set([w for w in worlds if (b_bits >> w) & 1]),
+                )
+            )
+
+    def scan():
+        counts = {"ms": 0, "mono": 0, "canc": 0, "violations": 0, "total": 0}
+        for a, b in pairs:
+            ms = miklau_suciu_criterion(a, b).holds
+            mono = monotonicity_criterion(a, b).holds
+            canc = cancellation_criterion(a, b).holds
+            counts["total"] += 1
+            counts["ms"] += ms
+            counts["mono"] += mono
+            counts["canc"] += canc
+            if (ms or mono) and not canc:
+                counts["violations"] += 1
+        return counts
+
+    counts = benchmark.pedantic(scan, rounds=1, iterations=1)
+    lines = [
+        f"pairs scanned (n=3 grid subsample): {counts['total']}",
+        f"Miklau–Suciu holds:  {counts['ms']}",
+        f"monotonicity holds:  {counts['mono']}",
+        f"cancellation holds:  {counts['canc']}",
+        f"Theorem 5.11 violations ((MS ∨ mono) ∧ ¬cancellation): "
+        f"{counts['violations']}   (paper: impossible)",
+    ]
+    report_table("E5c Theorem 5.11 implications, n=3", lines)
+    assert counts["violations"] == 0
+    assert counts["canc"] >= max(counts["ms"], counts["mono"])
+
+
+def test_e5_criteria_vs_exact(benchmark):
+    """How close does the criteria pipeline get to exact safety (n=3)?"""
+    space = HypercubeSpace(3)
+    rnd = random.Random(17)
+    worlds = list(space.worlds())
+    pairs = []
+    for _ in range(300):
+        pairs.append(
+            (
+                space.property_set([w for w in worlds if rnd.random() < 0.5]),
+                space.property_set([w for w in worlds if rnd.random() < 0.5]),
+            )
+        )
+
+    def scan():
+        stats = {
+            "safe": 0, "canc_hits": 0, "canc_misses": 0,
+            "box_flags": 0, "box_correct": 0, "unsafe": 0,
+        }
+        for a, b in pairs:
+            exact_safe = decide_product_safety(a, b).is_safe
+            canc = cancellation_criterion(a, b).holds
+            box = box_necessary_criterion(a, b).holds
+            if exact_safe:
+                stats["safe"] += 1
+                stats["canc_hits"] += canc
+                stats["canc_misses"] += not canc
+            else:
+                stats["unsafe"] += 1
+                stats["box_flags"] += not box
+                stats["box_correct"] += not box
+        return stats
+
+    stats = benchmark.pedantic(scan, rounds=1, iterations=1)
+    lines = [
+        f"random n=3 pairs: {len(pairs)} "
+        f"(safe: {stats['safe']}, unsafe: {stats['unsafe']})",
+        f"cancellation recognises {stats['canc_hits']}/{stats['safe']} safe pairs "
+        f"({stats['canc_hits']/max(1, stats['safe']):.0%}); "
+        f"misses {stats['canc_misses']} (needs §6 machinery)",
+        f"box criterion flags {stats['box_flags']}/{stats['unsafe']} unsafe pairs "
+        f"({stats['box_flags']/max(1, stats['unsafe']):.0%}) with witnesses",
+    ]
+    report_table("E5d combinatorial criteria vs exact decision, n=3", lines)
+    assert stats["canc_hits"] > 0 and stats["box_flags"] > 0

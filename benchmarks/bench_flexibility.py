@@ -1,0 +1,135 @@
+"""E2 + E5 — the headline flexibility claim.
+
+"Taking advantage of the gain-vs-loss distinction yields a remarkable
+increase in the flexibility of query auditing" (§1.1) and "this relaxation
+is significant and permits many more queries than with well-known
+approaches" (§7).
+
+We measure, over all / sampled pairs (A, B) of properties:
+
+* the fraction cleared by *perfect secrecy* under product priors
+  (Miklau–Suciu independence — Theorem 5.7);
+* the fraction cleared by *epistemic privacy* under product priors
+  (exact Bernstein decision);
+* the fraction cleared even under *unrestricted* priors (Theorem 3.11).
+
+The paper's §1.1 worked example is also replayed verbatim.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from conftest import report_table
+from repro.core import HypercubeSpace, safe_unrestricted
+from repro.probabilistic import (
+    ProbabilisticAuditor,
+    decide_product_safety,
+    independence_holds,
+)
+
+
+def _all_pairs(space):
+    worlds = list(space.worlds())
+    size = 1 << space.size
+    for a_bits in range(size):
+        for b_bits in range(size):
+            yield (
+                space.property_set([w for w in worlds if (a_bits >> w) & 1]),
+                space.property_set([w for w in worlds if (b_bits >> w) & 1]),
+            )
+
+
+def _sampled_pairs(space, count, seed):
+    rnd = random.Random(seed)
+    worlds = list(space.worlds())
+    for _ in range(count):
+        yield (
+            space.property_set([w for w in worlds if rnd.random() < 0.5]),
+            space.property_set([w for w in worlds if rnd.random() < 0.5]),
+        )
+
+
+def _flexibility_rows(space, pairs):
+    total = 0
+    secrecy = 0
+    epistemic = 0
+    unrestricted = 0
+    for a, b in pairs:
+        if not a or not b or a.is_full() or b.is_full():
+            continue  # trivial properties are uninteresting
+        total += 1
+        if independence_holds(a, b):
+            secrecy += 1
+        if decide_product_safety(a, b).is_safe:
+            epistemic += 1
+        if safe_unrestricted(a, b):
+            unrestricted += 1
+    return total, secrecy, epistemic, unrestricted
+
+
+def test_e2_hiv_example(benchmark):
+    """§1.1 verbatim: shared critical record, yet private for ALL priors."""
+    space = HypercubeSpace(2, coordinate_names=["hiv_positive", "transfusions"])
+    a = space.coordinate_set(1)
+    b = ~space.coordinate_set(1) | space.coordinate_set(2)
+    auditor = ProbabilisticAuditor(space)
+
+    verdict = benchmark(auditor.audit, a, b)
+    lines = [
+        "paper §1.1: A = 'Bob is HIV-positive', B = 'HIV ⇒ transfusions'",
+        f"perfect secrecy (Miklau–Suciu): {independence_holds(a, b)} "
+        "(paper: fails — A and B share critical record r1)",
+        f"epistemic privacy, product priors: {verdict.status.value} "
+        f"by {verdict.method} (paper: safe)",
+        f"epistemic privacy, unrestricted priors: {safe_unrestricted(a, b)} "
+        "(paper: safe — 'regardless of any possible dependence among the records')",
+    ]
+    report_table("E2 the §1.1 HIV example", lines)
+    assert verdict.is_safe
+    assert not independence_holds(a, b)
+    assert safe_unrestricted(a, b)
+
+
+def test_e5_flexibility_exhaustive_n2(benchmark):
+    space = HypercubeSpace(2)
+
+    def run():
+        return _flexibility_rows(space, _all_pairs(space))
+
+    total, secrecy, epistemic, unrestricted = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "fraction of non-trivial (A,B) pairs cleared, exhaustive n=2:",
+        f"  perfect secrecy (independence): {secrecy}/{total} = {secrecy/total:.1%}",
+        f"  epistemic privacy (product):    {epistemic}/{total} = {epistemic/total:.1%}",
+        f"  epistemic privacy (any prior):  {unrestricted}/{total} = {unrestricted/total:.1%}",
+        f"  flexibility gain over secrecy:  ×{epistemic/max(1, secrecy):.1f}",
+        "paper: 'a remarkable increase in the flexibility of query auditing'",
+    ]
+    report_table("E5a flexibility, exhaustive n=2", lines)
+    assert epistemic > secrecy  # the paper's qualitative claim
+
+
+@pytest.mark.parametrize("n,count", [(3, 400), (4, 250)])
+def test_e5_flexibility_sampled(benchmark, n, count):
+    space = HypercubeSpace(n)
+
+    def run():
+        return _flexibility_rows(space, _sampled_pairs(space, count, seed=n))
+
+    total, secrecy, epistemic, unrestricted = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        f"fraction of non-trivial (A,B) pairs cleared, {count} sampled, n={n}:",
+        f"  perfect secrecy (independence): {secrecy}/{total} = {secrecy/total:.1%}",
+        f"  epistemic privacy (product):    {epistemic}/{total} = {epistemic/total:.1%}",
+        f"  epistemic privacy (any prior):  {unrestricted}/{total} = {unrestricted/total:.1%}",
+    ]
+    report_table(f"E5b flexibility, sampled n={n}", lines)
+    assert epistemic >= secrecy

@@ -1,0 +1,97 @@
+"""E9 — Theorem 6.2: deciding safety encodes MAX-CUT.
+
+Validates our reconstruction of the hardness reduction on random graphs
+(K(A,B,Π_G) ≠ ∅ ⇔ maxcut(G) ≥ k for every threshold) and charts the
+exponential growth of the emptiness decision — the theorem's content is
+precisely that no shortcut exists unless P = NP.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report_table
+from repro.algebraic import (
+    Graph,
+    k_set_is_empty,
+    maxcut_reduction,
+    reduction_is_faithful,
+)
+
+
+def test_e9_reduction_faithfulness(benchmark):
+    rng = np.random.default_rng(1)
+    graphs = [Graph.random(t, 0.5, rng) for t in (3, 4, 5, 6) for _ in range(3)]
+
+    def validate_all():
+        failures = 0
+        checks = 0
+        for graph in graphs:
+            for k in range(0, len(graph.edges) + 2):
+                checks += 1
+                if not reduction_is_faithful(graph, k):
+                    failures += 1
+        return checks, failures
+
+    checks, failures = benchmark.pedantic(validate_all, rounds=1, iterations=1)
+    report_table(
+        "E9 Theorem 6.2 reduction: K(A,B,Π_G) ≠ ∅ ⇔ maxcut(G) ≥ k",
+        [
+            f"random graphs: {len(graphs)} (t = 3..6), thresholds: all",
+            f"equivalence checks: {checks}, failures: {failures}   (must be 0)",
+            "constraints: degree ≤ 2, count t+4 = poly(N) — the Thm 6.2 shape",
+        ],
+    )
+    assert failures == 0
+
+
+def test_e9_decision_cost_growth(benchmark):
+    rng = np.random.default_rng(2)
+    rows = []
+    for t in (4, 6, 8, 10, 12):
+        graph = Graph.random(t, 0.5, rng)
+        k = max(1, len(graph.edges) // 2)
+        reduction = maxcut_reduction(graph, k)
+        start = time.perf_counter()
+        k_set_is_empty(reduction)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            f"  t={t:2d} (|E|={len(graph.edges):2d}): emptiness decision "
+            f"{elapsed*1e3:9.2f} ms over 2^{t} assignments"
+        )
+
+    graph = Graph.random(8, 0.5, np.random.default_rng(3))
+    reduction = maxcut_reduction(graph, max(1, len(graph.edges) // 2))
+    benchmark(k_set_is_empty, reduction)
+    report_table(
+        "E9b emptiness-decision cost grows exponentially in t",
+        [
+            *rows,
+            "paper: deciding Safe_Π(A,B) for this family 'cannot be done in "
+            "poly(N) time' unless P = NP",
+        ],
+    )
+
+
+def test_e9_triangle_example(benchmark):
+    """The smallest instructive instance: a triangle has max cut 2."""
+    triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+    def decide_both():
+        at_2 = k_set_is_empty(maxcut_reduction(triangle, 2))
+        at_3 = k_set_is_empty(maxcut_reduction(triangle, 3))
+        return at_2, at_3
+
+    empty_at_2, empty_at_3 = benchmark(decide_both)
+    report_table(
+        "E9c triangle graph (max cut = 2)",
+        [
+            f"Safe_Π_G(A,B) at threshold 2: {empty_at_2}   (cut of size 2 exists → unsafe)",
+            f"Safe_Π_G(A,B) at threshold 3: {empty_at_3}   (no cut of size 3 → safe)",
+        ],
+    )
+    assert not empty_at_2 and empty_at_3

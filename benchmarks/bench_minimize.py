@@ -1,0 +1,106 @@
+"""E13 — §6.2's minimisation claim: "λ … in practice almost always agrees
+with the true minimum of f".
+
+We run the binary-search SOS bound on random box-constrained polynomials
+and on safety gaps, and measure the agreement between the certified lower
+bound λ and the (critical-point-exact at n=2) minimum.  Also exercises the
+§6.1 critical-point decision as a third, independent decision procedure.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report_table
+from repro.algebraic import (
+    Polynomial,
+    box_lower_bound,
+    decide_safety_by_critical_points,
+    minimize_bivariate_on_box,
+    safety_gap_polynomial,
+)
+from repro.core import HypercubeSpace
+from repro.probabilistic import decide_product_safety
+
+
+def _random_box_polynomials(count, seed):
+    rng = np.random.default_rng(seed)
+    x = Polynomial.variable(0, 2)
+    y = Polynomial.variable(1, 2)
+    polys = []
+    for _ in range(count):
+        poly = Polynomial(2)
+        for _ in range(4):
+            cx, cy = (int(v) for v in rng.integers(0, 3, size=2))
+            poly = poly + float(rng.normal()) * x**cx * y**cy
+        polys.append(poly)
+    return polys
+
+
+def test_e13_sos_bound_agreement(benchmark):
+    polys = _random_box_polynomials(12, seed=23)
+
+    def measure():
+        gaps = []
+        for poly in polys:
+            exact = minimize_bivariate_on_box(poly).value
+            bound = box_lower_bound(poly, tolerance=2e-3)
+            if bound is None:
+                gaps.append(float("inf"))
+            else:
+                gaps.append(exact - bound.lower_bound)
+        return gaps
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finite = [g for g in gaps if g != float("inf")]
+    agree = sum(1 for g in finite if abs(g) <= 5e-3)
+    report_table(
+        "E13 SOS binary-search bound vs exact box minimum (n=2)",
+        [
+            f"random polynomials: {len(polys)}; bound found for {len(finite)}",
+            f"λ within 5e-3 of the true minimum: {agree}/{len(finite)}",
+            "paper §6.2: 'the value λ is a lower bound on f(x) and in practice "
+            "almost always agrees with the true minimum of f'",
+            f"sound (λ ≤ min + tol) everywhere: "
+            f"{all(g >= -5e-3 for g in finite)}",
+        ],
+    )
+    assert all(g >= -5e-3 for g in finite)  # lower bounds never exceed minima
+    assert agree >= max(1, int(0.75 * len(finite)))
+
+
+def test_e13_three_way_decision_agreement(benchmark):
+    """Bernstein, critical-point (§6.1) and criteria pipelines must agree."""
+    space = HypercubeSpace(2)
+    worlds = list(space.worlds())
+    rnd = random.Random(77)
+    pairs = []
+    while len(pairs) < 60:
+        a = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        b = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        if a and b:
+            pairs.append((a, b))
+
+    def scan():
+        disagreements = 0
+        for a, b in pairs:
+            bernstein = decide_product_safety(a, b).is_safe
+            critical, _, _ = decide_safety_by_critical_points(a, b)
+            if bernstein != critical:
+                disagreements += 1
+        return disagreements
+
+    disagreements = benchmark.pedantic(scan, rounds=1, iterations=1)
+    report_table(
+        "E13b independent decision procedures agree (n=2)",
+        [
+            f"pairs: {len(pairs)}",
+            f"Bernstein vs §6.1 critical-point disagreements: {disagreements} "
+            "(must be 0)",
+        ],
+    )
+    assert disagreements == 0

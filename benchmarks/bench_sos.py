@@ -1,0 +1,146 @@
+"""E6 + E7 — the sum-of-squares heuristic "works remarkably well in practice".
+
+E6 measures the certify-rate of the algebraic certifiers (Handelman LP +
+Schmüdgen SOS) on the hard cases: safe pairs that defeat *every*
+combinatorial criterion of Section 5.  E7 checks the solver's
+discriminating power on the classical Σ² landmarks: the Motzkin polynomial
+(nonnegative, not SOS) and its Artin lift (SOS).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from conftest import report_table
+from repro.algebraic import (
+    certify_gap_nonnegative,
+    is_sos,
+    motzkin_artin_lift,
+    motzkin_polynomial,
+    safety_gap_polynomial,
+)
+from repro.core import HypercubeSpace
+from repro.probabilistic import (
+    cancellation_criterion,
+    decide_product_safety,
+    miklau_suciu_criterion,
+    monotonicity_criterion,
+)
+
+
+def _hard_safe_pairs(space, count, seed):
+    """Safe pairs that fail Miklau–Suciu, monotonicity AND cancellation."""
+    rnd = random.Random(seed)
+    worlds = list(space.worlds())
+    found = []
+    attempts = 0
+    while len(found) < count and attempts < 20000:
+        attempts += 1
+        a = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        b = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        if not a or not b:
+            continue
+        if miklau_suciu_criterion(a, b).holds:
+            continue
+        if monotonicity_criterion(a, b).holds:
+            continue
+        if cancellation_criterion(a, b).holds:
+            continue
+        if decide_product_safety(a, b).is_safe:
+            found.append((a, b))
+    return found
+
+
+def test_e6_certify_rate_on_hard_pairs(benchmark):
+    space = HypercubeSpace(3)
+    pairs = _hard_safe_pairs(space, count=20, seed=5)
+    assert pairs, "no hard safe pairs found — scan deeper"
+
+    def certify_all():
+        results = []
+        for a, b in pairs:
+            start = time.perf_counter()
+            certificate = certify_gap_nonnegative(a, b)
+            results.append((certificate is not None, time.perf_counter() - start))
+        return results
+
+    results = benchmark.pedantic(certify_all, rounds=1, iterations=1)
+    certified = sum(1 for hit, _ in results if hit)
+    times = [t for _, t in results]
+    lines = [
+        f"hard instances (safe, all §5 criteria fail), n=3: {len(pairs)}",
+        f"certified by Handelman LP / Schmüdgen SOS: {certified}/{len(pairs)} "
+        f"({certified/len(pairs):.0%})",
+        f"per-instance time: median {sorted(times)[len(times)//2]*1e3:.0f} ms, "
+        f"max {max(times)*1e3:.0f} ms",
+        "paper §6.2: the heuristic 'has been implemented and works remarkably "
+        "well in practice'",
+    ]
+    report_table("E6 SOS/Handelman certify-rate on hard safe pairs", lines)
+    assert certified >= len(pairs) * 0.8  # "remarkably well"
+
+
+def test_e6_no_false_certificates(benchmark):
+    """The certifier must never bless an unsafe pair."""
+    space = HypercubeSpace(3)
+    rnd = random.Random(6)
+    worlds = list(space.worlds())
+    unsafe_pairs = []
+    while len(unsafe_pairs) < 15:
+        a = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        b = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        if a and b and decide_product_safety(a, b).is_unsafe:
+            unsafe_pairs.append((a, b))
+
+    def certify_all():
+        return [certify_gap_nonnegative(a, b) for a, b in unsafe_pairs]
+
+    certificates = benchmark.pedantic(certify_all, rounds=1, iterations=1)
+    false_count = sum(1 for c in certificates if c is not None)
+    report_table(
+        "E6b soundness: certificates on unsafe pairs",
+        [
+            f"unsafe instances: {len(unsafe_pairs)}",
+            f"false certificates issued: {false_count}   (must be 0)",
+        ],
+    )
+    assert false_count == 0
+
+
+def test_e7_motzkin(benchmark):
+    motzkin = motzkin_polynomial()
+
+    verdict = benchmark(is_sos, motzkin)
+    lift_is_sos = is_sos(motzkin_artin_lift(), max_iterations=40000)
+    lines = [
+        "M(x,y,z) = x⁴y² + x²y⁴ + z⁶ − 3x²y²z²",
+        f"M recognised as SOS: {verdict}   (ground truth: NOT SOS — Motzkin)",
+        f"(x²+y²+z²)·M recognised as SOS: {lift_is_sos}   (ground truth: SOS — Artin)",
+        "paper §6.2: Σ² 'is in fact a strict subset of the non-negative "
+        "polynomials, as shown … by Motzkin'",
+    ]
+    report_table("E7 Motzkin polynomial and the Artin lift", lines)
+    assert not verdict
+    assert lift_is_sos
+
+
+def test_e7_certificate_speed_remark_5_12(benchmark):
+    """Timing the §6 pipeline on the paper's own hard instance."""
+    space = HypercubeSpace(3)
+    a = space.property_set(["011", "100", "110", "111"])
+    b = space.property_set(["010", "101", "110", "111"])
+
+    certificate = benchmark(certify_gap_nonnegative, a, b)
+    assert certificate is not None
+    gap = safety_gap_polynomial(a, b)
+    report_table(
+        "E7b certificate for the Remark 5.12 gap",
+        [
+            f"gap polynomial: {gap.to_string(['p1', 'p2', 'p3'])}",
+            f"certificate residual: {certificate.residual:.2e}",
+            "factorisation (for reference): g = p3(1−p3)(p2−p1)²",
+        ],
+    )

@@ -1,0 +1,46 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark regenerates one experiment from DESIGN.md's per-experiment
+index (E1–E11) and reports the paper-comparable rows through
+:func:`report_table`; the tables are printed in the terminal summary and
+persisted under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Sequence
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES: Dict[str, List[str]] = {}
+
+
+def report_table(title: str, lines: Sequence[str]) -> None:
+    """Register an experiment table for the terminal summary and disk."""
+    _TABLES[title] = list(lines)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_" for c in title.lower())[:60]
+    path = _RESULTS_DIR / f"{slug}.txt"
+    with open(path, "w") as handle:
+        handle.write(title + "\n")
+        handle.write("\n".join(lines) + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment tables (paper vs measured)")
+    for title, lines in _TABLES.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    return _RESULTS_DIR

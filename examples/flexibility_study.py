@@ -1,0 +1,74 @@
+"""How much more flexible is epistemic privacy?  A quick in-process study.
+
+Replays the paper's headline comparison on your machine in ~a minute:
+for every non-trivial pair of properties over three records, which privacy
+definitions would allow the disclosure?
+
+* perfect secrecy (Miklau–Suciu independence, Eq. 1);
+* the symmetric relaxations of §1.1 (λ-bound, two-sided SuLQ), which
+  punish confidence LOSS as well as gain;
+* epistemic privacy (Eq. 3) — the paper's gain-only definition.
+
+Run:  python examples/flexibility_study.py
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import HypercubeSpace
+from repro.probabilistic import (
+    ProductFamily,
+    decide_product_safety,
+    definition_matrix,
+    independence_holds,
+)
+
+
+def main() -> None:
+    space = HypercubeSpace(3)
+    rng = np.random.default_rng(0)
+    priors = ProductFamily(space).sample_many(40, rng)
+
+    rnd = random.Random(1)
+    worlds = list(space.worlds())
+    pairs = []
+    while len(pairs) < 150:
+        a = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        b = space.property_set([w for w in worlds if rnd.random() < 0.5])
+        if a and b and not a.is_full() and not b.is_full():
+            pairs.append((a, b))
+
+    tallies = {
+        "perfect secrecy (independence)": 0,
+        "λ-bound (λ=0.15)": 0,
+        "SuLQ two-sided (ε=0.35)": 0,
+        "SuLQ gain-only (ε=0.35)": 0,
+        "epistemic privacy (sampled priors)": 0,
+        "epistemic privacy (exact decision)": 0,
+    }
+    for a, b in pairs:
+        outcome = definition_matrix(priors, a, b, lam=0.15, epsilon=0.35)
+        tallies["perfect secrecy (independence)"] += independence_holds(a, b)
+        tallies["λ-bound (λ=0.15)"] += outcome.lambda_bound
+        tallies["SuLQ two-sided (ε=0.35)"] += outcome.sulq_two_sided
+        tallies["SuLQ gain-only (ε=0.35)"] += outcome.sulq_gain_only
+        tallies["epistemic privacy (sampled priors)"] += outcome.epistemic
+        tallies["epistemic privacy (exact decision)"] += decide_product_safety(
+            a, b
+        ).is_safe
+
+    print(f"disclosures admitted, out of {len(pairs)} non-trivial (A,B) pairs")
+    print(f"over {len(priors)} sampled product priors (n = 3 records):\n")
+    width = max(len(k) for k in tallies)
+    for name, count in tallies.items():
+        bar = "█" * int(40 * count / len(pairs))
+        print(f"  {name:<{width}}  {count:4d}  {bar}")
+    print()
+    print("reading: the gain-only definitions (bottom rows) admit far more")
+    print("disclosures than perfect secrecy or the symmetric |…| relaxations —")
+    print("the paper's 'remarkable increase in the flexibility of query auditing'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""The paper's motivating scenario as a full offline-audit workflow.
+
+"Suppose that Bob contracted HIV in 2006.  Alice, Cindy and Mallory
+legitimately gained access to Bob's health records…  Alice and Cindy did it
+in 2005 and Mallory did in 2007.  Bob discovers that his disease is known to
+the drug advertisers, and he initiates an audit, specifying 'HIV-positive'
+as the audit query.  The audit will place the suspicion on Mallory, but not
+on Alice and Cindy."
+
+We build the hospital database, reconstruct its 2005 and 2007 states from
+the record log, replay each user's disclosed query against the state *they*
+saw, and run the epistemic-privacy auditor.
+
+Run:  python examples/hospital_audit.py
+"""
+
+from repro.audit import (
+    AuditPolicy,
+    DisclosureLog,
+    OfflineAuditor,
+    PriorAssumption,
+    render_report,
+)
+from repro.db import (
+    CandidateUniverse,
+    ColumnType,
+    Database,
+    Database as _Database,
+    TableSchema,
+    parse_boolean_query,
+    parse_select_query,
+)
+
+AUDIT_QUERY = (
+    "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')"
+)
+
+# What each user's query answered.  In 2005 Bob was HIV-negative: Alice and
+# Cindy learned his records (then: transfusions only).  In 2007 Mallory read
+# the updated chart, which said HIV-positive.
+ALICE_2005 = "SELECT kind FROM facts WHERE patient = 'Bob'"
+CINDY_2005 = (
+    "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive') "
+    "IMPLIES "
+    "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'transfusion')"
+)
+MALLORY_2007 = AUDIT_QUERY
+
+
+def build_2007_database() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema.build("facts", patient=ColumnType.TEXT, kind=ColumnType.TEXT)
+    )
+    db.insert("facts", patient="Bob", kind="hiv_positive")  # added in 2006
+    db.insert("facts", patient="Bob", kind="transfusion")
+    return db
+
+
+def main() -> None:
+    db = build_2007_database()
+    r_hiv, r_transfusion = db.all_records()
+    universe = CandidateUniverse(db, [r_hiv, r_transfusion])
+
+    log = DisclosureLog()
+    # Alice's 2005 SELECT saw no hiv_positive row — model it as the answer
+    # she received: a world where r_hiv was absent.  Her knowledge set is
+    # the equal-answer set of that output, here "r_hiv absent".
+    log.record(
+        2005,
+        "alice",
+        parse_boolean_query(
+            "NOT EXISTS(SELECT * FROM facts WHERE patient = 'Bob' "
+            "AND kind = 'hiv_positive')"
+        ),
+        note="2005 chart read: no HIV record existed yet",
+    )
+    log.record(2005, "cindy", parse_boolean_query(CINDY_2005),
+               note="2005 statistical summary")
+    log.record(2007, "mallory", parse_boolean_query(MALLORY_2007),
+               note="2007 chart read")
+
+    policy = AuditPolicy(
+        audit_query=parse_boolean_query(AUDIT_QUERY),
+        assumption=PriorAssumption.PRODUCT,
+        name="bob-hiv-leak",
+    )
+    auditor = OfflineAuditor(universe, policy)
+
+    # The 2005 disclosures must be audited against the 2005 state: ω* then
+    # had no HIV record yet.  The auditor reconstructs that world from the
+    # update logs (Section 2) and compiles the answers from it.
+    world_2005 = universe.space.world_id("01")  # transfusion only
+    report = auditor.audit_log(log)
+    for i, event in enumerate(log):
+        if event.time == 2005:
+            report.findings[i] = auditor.audit_event_at(event, world_2005)
+
+    print(render_report(report))
+    assert report.suspicious_users == ("mallory",)
+    print("\nConclusion: suspicion falls on Mallory; Alice and Cindy are cleared —")
+    print("their 2005 disclosures could not raise anyone's confidence that Bob")
+    print("is HIV-positive, because in 2005 learning the truthful answers could")
+    print("only lower it.")
+
+
+if __name__ == "__main__":
+    main()

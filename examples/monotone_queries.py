@@ -1,0 +1,96 @@
+"""Remark 5.6 at work: monotone queries over a synthetic outbreak registry.
+
+"If the user's prior knowledge is assumed to be in Π_m⁺, a 'no' answer to a
+monotone Boolean query always preserves the privacy of a 'yes' answer to
+another monotone Boolean query.  Roughly speaking, it is OK to disclose a
+negative fact while protecting a positive fact."
+
+We build a small infection registry, protect the (monotone, true) audit
+query "ward 3 has at least 2 infections", and audit a batch of disclosed
+*negative* answers to other monotone queries.  All are cleared by
+Corollary 5.5 without any numeric work; a disclosed *positive* answer is
+flagged.
+
+Run:  python examples/monotone_queries.py
+"""
+
+import numpy as np
+
+from repro.core import down_closure, is_down_set, is_up_set, safety_gap
+from repro.db import (
+    AtLeast,
+    CandidateUniverse,
+    ColumnType,
+    Database,
+    Exists,
+    TableSchema,
+    column_eq,
+)
+from repro.probabilistic import LogSupermodularFamily, SupermodularAuditor
+
+
+def build_registry() -> CandidateUniverse:
+    db = Database()
+    db.create_table(
+        TableSchema.build(
+            "infections", patient=ColumnType.TEXT, ward=ColumnType.INTEGER
+        )
+    )
+    records = [
+        db.insert("infections", patient="P1", ward=3),
+        db.insert("infections", patient="P2", ward=3),
+        db.insert("infections", patient="P3", ward=1),
+        db.hypothetical_record("infections", patient="P4", ward=2),
+    ]
+    return CandidateUniverse(db, records)
+
+
+def main() -> None:
+    universe = build_registry()
+    space = universe.space
+    print(f"relevant worlds: {space.name} over records")
+    for i, record in enumerate(universe.candidates, start=1):
+        print(f"  coordinate {i}: {record.label()}")
+    print()
+
+    # A: "ward 3 has ≥ 2 infections" — monotone in record presence: up-set.
+    audited = universe.compile_boolean(AtLeast("infections", column_eq("ward", 3), 2))
+    assert is_up_set(audited)
+    print("audit query A is an up-set:", is_up_set(audited))
+
+    auditor = SupermodularAuditor(space)
+
+    # Disclosed: NEGATIVE answers to monotone queries — down-sets.
+    negatives = {
+        "no infections in ward 2": ~universe.compile_boolean(
+            Exists("infections", column_eq("ward", 2))
+        ),
+        "fewer than 3 infections in total": ~universe.compile_boolean(
+            AtLeast("infections", column_eq("ward", 3) | ~column_eq("ward", 3), 3)
+        ),
+        "P4 is not infected": ~universe.presence(universe.candidates[3]),
+    }
+    for label, disclosed in negatives.items():
+        assert is_down_set(disclosed), label
+        verdict = auditor.audit(audited, disclosed)
+        print(f"  '{label}': {verdict}")
+
+    # Spot-check against sampled Π_m⁺ members: no confidence gain, ever.
+    family = LogSupermodularFamily(space)
+    rng = np.random.default_rng(0)
+    worst = min(
+        safety_gap(dist, audited, disclosed)
+        for dist in family.sample_many(30, rng)
+        for disclosed in negatives.values()
+    )
+    print(f"worst sampled safety gap over 30 Π_m⁺ priors: {worst:+.3e} (≥ 0 ⇒ no gain)")
+    print()
+
+    # A POSITIVE answer to a monotone query is another matter entirely.
+    positive = universe.compile_boolean(Exists("infections", column_eq("ward", 3)))
+    verdict = auditor.audit(audited, positive)
+    print(f"  'ward 3 has at least one infection' (positive): {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Online (proactive) auditing: why Bob should flip a coin.
+
+Simulates the Section 1 discussion.  Alice repeatedly asks Bob for his HIV
+status; Bob seroconverts at t = 3.  Three disclosure strategies:
+
+* truthful-denial — answer "negative" while true, deny afterwards: the
+  first denial reveals the seroconversion (privacy breach);
+* always-deny — safe, but Bob never gets to share his (harmless) negative
+  status (nor collect Alice's payments, in the footnote-1 economy);
+* coin-flip (footnote 1) — when negative, answer only on heads: denials
+  become uninformative, privacy holds, and roughly half the answers/payments
+  survive.
+
+Run:  python examples/online_strategies.py
+"""
+
+import numpy as np
+
+from repro.audit import (
+    AlwaysDenyStrategy,
+    CoinFlipStrategy,
+    TruthfulDenialStrategy,
+    simulate,
+    simulate_bayesian,
+)
+
+TIMELINE = [False, False, False, True, True, True]  # seroconversion at t = 3
+
+
+def main() -> None:
+    print("Bob's true status:", ["neg", "neg", "neg", "POS", "POS", "POS"])
+    print()
+
+    for strategy in (TruthfulDenialStrategy(), AlwaysDenyStrategy(), CoinFlipStrategy()):
+        result = simulate(strategy, TIMELINE, seed=7)
+        print(f"strategy: {strategy.name}")
+        for step in result.steps:
+            print(
+                f"  t={step.time}  answer={step.answer.value:<22}"
+                f"  {step.belief.describe()}"
+            )
+        breach = f"BREACH at t={result.breach_time}" if result.breached else "no breach"
+        print(f"  → {breach}; informative answers given: {result.answers_given()}")
+        print()
+
+    # Monte-Carlo the coin strategy's answer economy (footnote 1's trade-off).
+    runs = 2000
+    answers = np.array([
+        simulate(CoinFlipStrategy(), TIMELINE, seed=seed).answers_given()
+        for seed in range(runs)
+    ])
+    breaches = sum(
+        simulate(CoinFlipStrategy(), TIMELINE, seed=seed).breached
+        for seed in range(runs)
+    )
+    print(
+        f"coin-flip over {runs} runs: breaches = {breaches}, "
+        f"mean answers = {answers.mean():.2f} "
+        f"(truthful-denial gives 3 answers but always breaches)"
+    )
+    print()
+
+    # A probabilistic Alice who knows the strategy (the paper's future-work
+    # direction): posterior P(Bob is positive) round by round.
+    print("Bayesian Alice (prior: 50% 'never converts', uniform otherwise):")
+    for strategy in (TruthfulDenialStrategy(), CoinFlipStrategy()):
+        result = simulate_bayesian(strategy, TIMELINE, seed=7)
+        trail = "  ".join(
+            f"t{s.time}:{s.posterior_positive:.2f}" for s in result.steps
+        )
+        print(f"  {strategy.name:16s} {trail}")
+        print(
+            f"  {'':16s} peak posterior {result.peak_posterior:.2f}; "
+            f"certainty at t={result.certainty_time}"
+        )
+
+
+if __name__ == "__main__":
+    main()

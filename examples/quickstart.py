@@ -1,0 +1,62 @@
+"""Quickstart: epistemic privacy in five minutes.
+
+Reproduces the paper's Section 1.1 example end to end:
+
+* the hospital database has two records about Bob — "HIV-positive" and
+  "had blood transfusions";
+* the sensitive property A is "Bob is HIV-positive";
+* the user learns B = "if Bob is HIV-positive, then he had transfusions".
+
+Perfect secrecy (Miklau–Suciu) rejects this disclosure — A and B share the
+critical record r₁.  Epistemic privacy clears it: whatever the user's prior,
+learning B can only *lower* their confidence in A.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HypercubeSpace, safe_unrestricted
+from repro.probabilistic import (
+    ProbabilisticAuditor,
+    independence_holds,
+)
+
+
+def main() -> None:
+    # Ω = {0,1}²: worlds are subsets of {r1 = HIV-positive, r2 = transfusions}.
+    space = HypercubeSpace(2, coordinate_names=["hiv_positive", "transfusions"])
+
+    # A = "r1 ∈ ω": Bob is HIV-positive.
+    a = space.coordinate_set(1)
+
+    # B = "r1 ∈ ω implies r2 ∈ ω".
+    b = ~space.coordinate_set(1) | space.coordinate_set(2)
+
+    print("worlds where A holds:", sorted(a.labels()))
+    print("worlds where B holds:", sorted(b.labels()))
+    print()
+
+    # Perfect secrecy? No: A and B share critical record r1.
+    print("Miklau–Suciu independence (perfect secrecy):",
+          independence_holds(a, b))
+
+    # Epistemic privacy against product priors: the staged pipeline.
+    auditor = ProbabilisticAuditor(space)
+    verdict = auditor.audit(a, b)
+    print("epistemic privacy (product priors):       ", verdict)
+
+    # Even better: safe against ARBITRARY priors (Theorem 3.11, since A∪B=Ω).
+    print("safe against unrestricted priors:         ",
+          safe_unrestricted(a, b))
+
+    # Contrast with a genuinely dangerous disclosure.
+    b_bad = a & space.coordinate_set(2)  # "Bob is HIV-positive AND transfused"
+    bad_verdict = auditor.audit(a, b_bad)
+    print()
+    print("disclosing B' = 'HIV ∧ transfusions':     ", bad_verdict)
+    if bad_verdict.is_unsafe:
+        witness = bad_verdict.witness
+        print("  a prior under which confidence in A rises:", witness)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Section 6 tour: algebraic certificates for privacy, and their limits.
+
+1. The Remark 5.12 pair defeats every combinatorial criterion of Section 5,
+   yet a Schmüdgen-form sum-of-squares certificate proves it safe.
+2. An unsafe pair gets no certificate; the numeric refuter exhibits a
+   violating product prior instead.
+3. The Motzkin polynomial shows why SOS is a *heuristic*: nonnegative but
+   not a sum of squares — while Artin's lift (x²+y²+z²)·M is.
+4. A Positivstellensatz refutation (Theorem 6.7) proves a semialgebraic
+   set empty with a machine-checkable identity F + G² = 0.
+
+Run:  python examples/sos_certificates.py
+"""
+
+from repro.algebraic import (
+    Polynomial,
+    PolynomialProgram,
+    certify_gap_nonnegative,
+    is_sos,
+    motzkin_artin_lift,
+    motzkin_polynomial,
+    refute_feasibility,
+    safety_gap_polynomial,
+)
+from repro.core import HypercubeSpace
+from repro.probabilistic import (
+    cancellation_criterion,
+    find_product_counterexample,
+    miklau_suciu_criterion,
+    monotonicity_criterion,
+)
+
+
+def main() -> None:
+    space = HypercubeSpace(3)
+    a = space.property_set(["011", "100", "110", "111"])
+    b = space.property_set(["010", "101", "110", "111"])
+
+    print("— the Remark 5.12 pair —")
+    print("Miklau–Suciu holds:  ", miklau_suciu_criterion(a, b).holds)
+    print("monotonicity holds:  ", monotonicity_criterion(a, b).holds)
+    print("cancellation holds:  ", cancellation_criterion(a, b).holds)
+    gap = safety_gap_polynomial(a, b)
+    print("safety gap g(p) =", gap.to_string(["p1", "p2", "p3"]))
+    certificate = certify_gap_nonnegative(a, b)
+    print("SOS certificate found:", certificate is not None,
+          f"(residual {certificate.residual:.2e})" if certificate else "")
+    print()
+
+    print("— an unsafe pair —")
+    a_bad = space.property_set(["100", "101", "110", "111"])
+    b_bad = space.property_set(["100"])
+    print("certificate:", certify_gap_nonnegative(a_bad, b_bad))
+    witness = find_product_counterexample(a_bad, b_bad)
+    print("violating product prior:", witness)
+    print()
+
+    print("— the limits of Σ² —")
+    motzkin = motzkin_polynomial()
+    print("M(x,y,z) =", motzkin.to_string(["x", "y", "z"]))
+    print("M is SOS:", is_sos(motzkin), " (it is nonnegative, but not Σ²)")
+    print("(x²+y²+z²)·M is SOS:", is_sos(motzkin_artin_lift(), max_iterations=40000),
+          " (Artin / Hilbert's 17th problem)")
+    print()
+
+    print("— a Positivstellensatz refutation (Theorem 6.7) —")
+    x = Polynomial.variable(0, 1)
+    program = PolynomialProgram(nvars=1)
+    program.add_inequality(x - 0.7)  # x ≥ 0.7
+    program.add_inequality(0.3 - x)  # x ≤ 0.3
+    refutation = refute_feasibility(program, degree_bound=0)
+    print("the set {x ≥ 0.7} ∩ {x ≤ 0.3} is refuted:", refutation is not None,
+          f"(residual {refutation.residual:.2e})" if refutation else "")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables the
+``setup.py develop`` editable path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

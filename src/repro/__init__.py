@@ -1,0 +1,84 @@
+"""repro — a reproduction of *Epistemic Privacy* (Evfimievski, Fagin, Woodruff; PODS 2008).
+
+A library for offline (retroactive) database query auditing under the
+epistemic privacy definition: an audited property ``A`` is private given the
+disclosure of ``B`` when no admissible user can *gain* confidence in ``A`` by
+learning ``B`` — losing confidence is allowed.
+
+Quickstart::
+
+    from repro import HypercubeSpace
+    from repro.probabilistic import ProbabilisticAuditor
+
+    space = HypercubeSpace(2, coordinate_names=["hiv_positive", "transfusions"])
+    A = space.coordinate_set(1)                       # "Bob is HIV-positive"
+    B = ~space.coordinate_set(1) | space.coordinate_set(2)   # "HIV ⇒ transfusions"
+    verdict = ProbabilisticAuditor(space).audit(A, B)
+    assert verdict.is_safe
+
+Subpackages
+-----------
+``repro.core``
+    Worlds, agents, knowledge, the privacy definitions (paper Sections 2–3).
+``repro.possibilistic``
+    ∩-closed prior families, intervals, safety margins (Section 4).
+``repro.probabilistic``
+    Product / log-supermodular families and all Section 5 criteria.
+``repro.algebraic``
+    Polynomial programs, SOS certificates, hardness reduction (Section 6).
+``repro.db``
+    In-memory relational substrate and query-to-property compiler.
+``repro.audit``
+    End-to-end offline auditing workflows and the online simulator.
+"""
+
+from .core import (
+    AuditVerdict,
+    Distribution,
+    GridSpace,
+    HypercubeSpace,
+    LabeledSpace,
+    PossibilisticAgent,
+    PossibilisticKnowledge,
+    ProbabilisticAgent,
+    ProbabilisticKnowledge,
+    PropertySet,
+    Verdict,
+    WorldSpace,
+    quadrants,
+    safe_pi,
+    safe_possibilistic,
+    safe_probabilistic,
+    safe_unrestricted,
+    safe_unrestricted_known_world,
+)
+from .exceptions import ReproError
+from .io import Scenario, dump_scenario, load_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditVerdict",
+    "Distribution",
+    "GridSpace",
+    "HypercubeSpace",
+    "LabeledSpace",
+    "PossibilisticAgent",
+    "PossibilisticKnowledge",
+    "ProbabilisticAgent",
+    "ProbabilisticKnowledge",
+    "PropertySet",
+    "ReproError",
+    "Scenario",
+    "Verdict",
+    "WorldSpace",
+    "__version__",
+    "dump_scenario",
+    "load_scenario",
+    "quadrants",
+    "safe_pi",
+    "safe_possibilistic",
+    "safe_probabilistic",
+    "safe_unrestricted",
+    "safe_unrestricted_known_world",
+]

@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``audit SCENARIO.json``
+    Run the offline auditor over a JSON scenario (see :mod:`repro.io`) and
+    print the report.  Exit status 1 when any disclosure is flagged.
+``check SCENARIO.json --query "..."``
+    Pre-disclosure check: would answering this query (truthfully, against
+    the scenario's actual database) be safe under the scenario's policy?
+``demo``
+    The paper's §1.1 hospital story, end to end.
+``figure1``
+    Render the reconstructed Figure 1 and its minimal intervals.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .audit.offline import OfflineAuditor
+from .audit.report import render_report
+from .db.sql import parse_boolean_query
+from .io import example_scenario_document, load_scenario
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    auditor = OfflineAuditor(scenario.universe, scenario.policy)
+    report = auditor.audit_log(scenario.log)
+    print(render_report(report))
+    return 1 if report.suspicious_users else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    scenario = load_scenario(args.scenario)
+    auditor = OfflineAuditor(scenario.universe, scenario.policy)
+    query = parse_boolean_query(args.query)
+    verdict = auditor.audit_prospective(query)
+    print(f"query:    {query}")
+    print(f"policy:   {scenario.policy.describe()}")
+    print(f"verdict:  {verdict}")
+    if verdict.is_unsafe and verdict.witness is not None:
+        print(f"witness prior: {verdict.witness}")
+    return 1 if verdict.is_unsafe else 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    document = example_scenario_document()
+    print("scenario document:")
+    print(json.dumps(document, indent=2)[:400] + "  ...")
+    print()
+    scenario = load_scenario(document)
+    report = OfflineAuditor(scenario.universe, scenario.policy).audit_log(
+        scenario.log
+    )
+    print(render_report(report))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from .possibilistic.figure1 import Figure1Scenario
+
+    scenario = Figure1Scenario.build()
+    print(scenario.render_ascii())
+    print("minimal intervals from ω₁ to Ā:", scenario.minimal_corners())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Epistemic-privacy query auditing (PODS 2008 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    audit = subparsers.add_parser("audit", help="audit a JSON scenario's log")
+    audit.add_argument("scenario", help="path to a scenario JSON file")
+    audit.set_defaults(func=_cmd_audit)
+
+    check = subparsers.add_parser(
+        "check", help="pre-disclosure safety check for one query"
+    )
+    check.add_argument("scenario", help="path to a scenario JSON file")
+    check.add_argument("--query", required=True, help="the candidate disclosure")
+    check.set_defaults(func=_cmd_check)
+
+    demo = subparsers.add_parser("demo", help="run the §1.1 hospital story")
+    demo.set_defaults(func=_cmd_demo)
+
+    figure1 = subparsers.add_parser("figure1", help="render Figure 1")
+    figure1.set_defaults(func=_cmd_figure1)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Low-level bit-vector utilities over worlds encoded as Python ints.
+
+Worlds of the hypercube ``Ω = {0,1}^n`` are encoded as integers in
+``range(2**n)`` where bit ``i`` (little-endian: bit 0 is coordinate 1 of the
+paper) records whether coordinate ``i`` is set.  These helpers are kept free
+of any class machinery so that the hot loops in the criteria modules stay
+cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+
+def popcount(x: int) -> int:
+    """Number of set bits of ``x`` (the Hamming weight)."""
+    return bin(x).count("1")
+
+
+def bits_of(x: int, n: int) -> Tuple[int, ...]:
+    """Expand ``x`` into its ``n`` little-endian bits, e.g. ``bits_of(5, 4) == (1, 0, 1, 0)``."""
+    return tuple((x >> i) & 1 for i in range(n))
+
+
+def from_bits(bits: Sequence[int]) -> int:
+    """Inverse of :func:`bits_of`: pack little-endian bits into an int."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def from_string(text: str) -> int:
+    """Parse a paper-style bit string such as ``"011"``.
+
+    The paper writes worlds with coordinate 1 leftmost, so ``"011"`` means
+    ``ω[1]=0, ω[2]=1, ω[3]=1`` and maps to bits ``(0, 1, 1)`` little-endian.
+    """
+    return from_bits([1 if ch == "1" else 0 for ch in text])
+
+
+def to_string(x: int, n: int) -> str:
+    """Render a world as a paper-style bit string (coordinate 1 leftmost)."""
+    return "".join("1" if (x >> i) & 1 else "0" for i in range(n))
+
+
+def leq(x: int, y: int) -> bool:
+    """The partial order of Section 5: ``x ≼ y`` iff every set bit of x is set in y."""
+    return x & ~y == 0
+
+
+def comparable(x: int, y: int) -> bool:
+    """True when ``x ≼ y`` or ``y ≼ x`` in the bit-wise partial order."""
+    return leq(x, y) or leq(y, x)
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Iterate over all submasks of ``mask``, including 0 and ``mask`` itself.
+
+    Uses the classic descending-submask enumeration, visiting ``2**popcount(mask)``
+    values in decreasing order.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_supersets(mask: int, n: int) -> Iterator[int]:
+    """Iterate over all supermasks of ``mask`` within ``n`` bits."""
+    free = ((1 << n) - 1) & ~mask
+    for extra in iter_subsets(free):
+        yield mask | extra
+
+
+def match_key(u: int, v: int) -> Tuple[int, int]:
+    """Encode the match-vector ``Match(u, v)`` of Definition 5.8 as a hashable key.
+
+    The match-vector has a star at every coordinate where ``u`` and ``v``
+    differ, and the common bit elsewhere.  We encode it as the pair
+    ``(star_mask, agreed_bits)`` where ``star_mask = u ^ v`` and
+    ``agreed_bits = u & v`` (the agreed ones; agreed zeros are implied).
+    """
+    diff = u ^ v
+    return diff, u & v
+
+
+def box_members(star_mask: int, agreed_bits: int, n: int) -> Iterator[int]:
+    """Iterate the members of ``Box(w)`` for the match-vector key ``(star_mask, agreed_bits)``.
+
+    ``Box(w)`` consists of all worlds that refine ``w``: each star may be
+    replaced independently by 0 or 1 (Definition 5.8).
+    """
+    for filling in iter_subsets(star_mask):
+        yield agreed_bits | filling
+
+
+def match_vector_string(star_mask: int, agreed_bits: int, n: int) -> str:
+    """Render a match-vector key as the paper's ``{0,1,*}`` string, coordinate 1 leftmost."""
+    chars = []
+    for i in range(n):
+        if (star_mask >> i) & 1:
+            chars.append("*")
+        elif (agreed_bits >> i) & 1:
+            chars.append("1")
+        else:
+            chars.append("0")
+    return "".join(chars)
+
+
+def parse_match_vector(text: str) -> Tuple[int, int]:
+    """Parse a ``{0,1,*}`` string (coordinate 1 leftmost) into a match-vector key."""
+    star_mask = 0
+    agreed_bits = 0
+    for i, ch in enumerate(text):
+        if ch == "*":
+            star_mask |= 1 << i
+        elif ch == "1":
+            agreed_bits |= 1 << i
+        elif ch != "0":
+            raise ValueError(f"invalid match-vector character {ch!r} in {text!r}")
+    return star_mask, agreed_bits
+
+
+def all_match_vectors(n: int) -> Iterator[Tuple[int, int]]:
+    """Iterate all ``3**n`` match-vector keys ``(star_mask, agreed_bits)`` of length n."""
+    full = (1 << n) - 1
+    star_mask = full
+    # Enumerate star masks, then agreed bits over the non-star positions.
+    for star in iter_subsets(full):
+        fixed = full & ~star
+        for agreed in iter_subsets(fixed):
+            yield star, agreed
+    del star_mask
+
+
+def hamming_ball(center: int, radius: int, n: int) -> List[int]:
+    """All worlds within Hamming distance ``radius`` of ``center`` in ``{0,1}^n``."""
+    members = []
+    for x in range(1 << n):
+        if popcount(x ^ center) <= radius:
+            members.append(x)
+    return members

@@ -1,0 +1,183 @@
+"""Positivstellensatz refutations (Theorem 6.7, Definitions 6.5–6.6).
+
+Stengle's Positivstellensatz (in the simplified form of Theorem 6.7) says a
+set ``K = {x : f_i(x) ≥ 0, g_j(x) = 0}`` is empty iff there exist
+``F ∈ A(f₁, …, f_t₁)`` (the *algebraic cone*: affine combinations of
+products of the ``f_i`` with Σ² coefficients) and
+``G ∈ M(g₁, …, g_t₂)`` (the *multiplicative monoid*: finite products of the
+``g_j``) with ``F + G² = 0``.
+
+We implement the degree-bounded search the paper describes: "choosing a
+degree bound D, generating all G ∈ M(…) of degree at most D … and checking
+if there is an F ∈ A(…) for which F + G² = 0 via semidefinite programming."
+A found refutation is a *verified proof of emptiness* — the expansion is
+checked exactly, with an explicit residual bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CertificateError
+from .polynomial import Polynomial, monomials_up_to_degree
+from .program import PolynomialProgram
+from .sos import DEFAULT_RESIDUAL_TOL, SOSDecomposition, _attempt
+
+
+def cone_products(
+    generators: Sequence[Polynomial], max_factors: int
+) -> List[Tuple[Tuple[int, ...], Polynomial]]:
+    """The products ``Π_{i∈I} f_i`` for ``|I| ≤ max_factors`` (Definition 6.5).
+
+    Returns (index tuple, product) pairs; the empty product is 1.
+    """
+    nvars = generators[0].nvars if generators else 0
+    result: List[Tuple[Tuple[int, ...], Polynomial]] = []
+    for size in range(0, max_factors + 1):
+        for subset in itertools.combinations(range(len(generators)), size):
+            product = Polynomial.constant(nvars, 1.0)
+            for i in subset:
+                product = product * generators[i]
+            result.append((subset, product))
+    return result
+
+
+def monoid_members(
+    generators: Sequence[Polynomial], max_degree: int, nvars: int
+) -> List[Tuple[Tuple[int, ...], Polynomial]]:
+    """Products of the ``g_j`` with total degree ≤ ``max_degree`` (Def 6.6).
+
+    Includes the empty product 1.  Generators may repeat inside a product.
+    There are at most ``t^D`` such members, as the paper notes.
+    """
+    members: List[Tuple[Tuple[int, ...], Polynomial]] = [
+        ((), Polynomial.constant(nvars, 1.0))
+    ]
+    frontier = [((), Polynomial.constant(nvars, 1.0))]
+    while frontier:
+        indices, poly = frontier.pop()
+        for j, gen in enumerate(generators):
+            if indices and j < indices[-1]:
+                continue  # canonical non-decreasing index order avoids dupes
+            extended = poly * gen
+            if extended.total_degree() > max_degree:
+                continue
+            key = indices + (j,)
+            members.append((key, extended))
+            frontier.append((key, extended))
+    return members
+
+
+@dataclass(frozen=True)
+class Refutation:
+    """A verified Positivstellensatz emptiness certificate ``F + G² = 0``.
+
+    ``cone_terms`` lists ``(generator index set, σ_I)`` pairs making up
+    ``F = Σ_I σ_I·Π_{i∈I} f_i``; ``monoid_indices`` identifies
+    ``G = Π g_j``; ``residual`` bounds the exact expansion of ``F + G²``.
+    """
+
+    cone_terms: Tuple[Tuple[Tuple[int, ...], SOSDecomposition], ...]
+    monoid_indices: Tuple[int, ...]
+    residual: float
+
+    def verify(
+        self,
+        inequalities: Sequence[Polynomial],
+        equalities: Sequence[Polynomial],
+        tol: float = DEFAULT_RESIDUAL_TOL,
+    ) -> None:
+        """Re-expand ``F + G²`` against the *claimed* constraints.
+
+        Each cone term's multiplier is recomputed as the product of the
+        passed inequalities at its stored index set — so verifying against a
+        different constraint system than the one refuted fails, as it must.
+        """
+        all_generators = list(inequalities) + list(equalities)
+        nvars = all_generators[0].nvars if all_generators else 0
+        total = Polynomial(nvars)
+        for indices, decomposition in self.cone_terms:
+            multiplier, basis, gram = decomposition.blocks[0]
+            expected = Polynomial.constant(nvars, 1.0)
+            for i in indices:
+                expected = expected * inequalities[i]
+            if not multiplier.almost_equal(expected, tol=1e-9):
+                raise CertificateError(
+                    f"cone term {indices} does not match the claimed inequalities"
+                )
+            total = total + decomposition.expansion()
+        g = Polynomial.constant(nvars, 1.0)
+        for j in self.monoid_indices:
+            g = g * equalities[j]
+        total = total + g * g
+        if total.max_abs_coefficient() > tol:
+            raise CertificateError(
+                f"refutation residual {total.max_abs_coefficient()} exceeds {tol}"
+            )
+
+
+def refute_feasibility(
+    program: PolynomialProgram,
+    degree_bound: int = 2,
+    max_cone_factors: int = 2,
+    sos_degree: int = 1,
+    max_iterations: int = 4000,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[Refutation]:
+    """Search for a Theorem 6.7 refutation of ``{f_i ≥ 0, g_j = 0}``.
+
+    Strict inequalities ``s > 0`` are folded in as ``s ≥ 0`` generators
+    (sound for refutation: emptiness of the relaxation implies emptiness of
+    the original).  For each monoid member ``G`` of degree ≤ ``degree_bound``
+    we ask the SOS solver for ``Σ_I σ_I·Π f_i = −G²``; the first verified
+    hit is returned.  ``None`` means no refutation found at these bounds —
+    never feasibility.
+    """
+    inequalities = list(program.inequalities) + list(program.strict_inequalities)
+    equalities = list(program.equalities)
+    nvars = program.nvars
+    products = cone_products(inequalities, max_cone_factors)
+    for monoid_indices, g in monoid_members(equalities, degree_bound, nvars):
+        target = -(g * g)
+        blocks = []
+        for _, product in products:
+            remaining = max(0, sos_degree)
+            basis = monomials_up_to_degree(nvars, remaining, max_degree_per_var=1)
+            blocks.append((product, basis))
+        decomposition = _attempt(target, blocks, max_iterations, residual_tol, rng)
+        if decomposition is None:
+            continue
+        cone_terms = tuple(
+            (indices, SOSDecomposition(blocks=(block,), residual=0.0, iterations=0))
+            for (indices, _), block in zip(products, decomposition.blocks)
+        )
+        refutation = Refutation(
+            cone_terms=cone_terms,
+            monoid_indices=monoid_indices,
+            residual=decomposition.residual,
+        )
+        refutation.verify(inequalities, equalities, tol=residual_tol * 10)
+        return refutation
+    return None
+
+
+def refutes_emptiness_of_interval(low: float, high: float) -> Optional[Refutation]:
+    """A tiny worked example: refute ``{x ≥ high, low − x ≥ 0}`` for low < high.
+
+    Used in docs and tests as the "hello world" of Positivstellensatz
+    refutations: the interval ``[high, ∞) ∩ (−∞, low]`` is empty, and a
+    degree-0 certificate exists: ``(x − high) + (low − x) + (high − low) = 0``
+    with the constant ``high − low > 0`` as an SOS coefficient.
+    """
+    if not low < high:
+        raise ValueError("need low < high for an empty intersection")
+    x = Polynomial.variable(0, 1)
+    program = PolynomialProgram(nvars=1)
+    program.add_inequality(x - high)
+    program.add_inequality(low - x)
+    return refute_feasibility(program, degree_bound=0, max_cone_factors=1)

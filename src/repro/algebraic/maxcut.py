@@ -1,0 +1,169 @@
+"""The MAX-CUT hardness reduction (Theorem 6.2), reconstructed.
+
+Theorem 6.2: unless P = NP, there is an algebraic family ``Π`` with
+``r = poly(N)`` constraints of degree ≤ 2 for which deciding
+``Safe_Π(A, B)`` takes super-polynomial time.  The paper sketches a
+reduction from (a restricted decision version of) MAX-CUT and defers
+details to the full version; we reconstruct a concrete reduction with the
+same structure and validate it computationally on small graphs.
+
+**Our encoding.**  Given a graph ``G`` on ``t`` vertices and a bound ``k``,
+work over the hypercube ``{0,1}^{t+1}`` and the *reduced* product-family
+program of Section 6.1 (variables ``p₁, …, p_{t+1}``):
+
+* ``p_i(1 − p_i) = 0`` for ``i ≤ t`` — vertex parameters are forced Boolean
+  (degree-2 equalities), encoding a cut side per vertex;
+* ``cut(p) − k ≥ 0`` with ``cut(p) = Σ_{(i,j)∈E} (p_i + p_j − 2 p_i p_j)``
+  (degree 2) — the chosen assignment must cut at least ``k`` edges;
+* ``A = B = X_{t+1}``: the audited and disclosed property are both
+  "record ``t+1`` is present".  The privacy-violation condition
+  ``P[AB] > P[A]·P[B]`` becomes ``p_{t+1}(1 − p_{t+1}) > 0``, satisfiable
+  exactly by a non-deterministic last coordinate and *independent* of the
+  graph part.
+
+Hence ``K(A, B, Π_G)`` is non-empty iff some cut of ``G`` has size ≥ ``k``:
+deciding safety for this constraint family decides MAX-CUT.  All
+constraints have degree ≤ 2 and there are ``t + 2 = poly(N)`` of them, as
+the theorem requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.worlds import HypercubeSpace, PropertySet
+from .polynomial import Polynomial
+from .program import PolynomialProgram
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A simple undirected graph on vertices ``0 .. n_vertices-1``."""
+
+    n_vertices: int
+    edges: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for u, v in self.edges:
+            if not (0 <= u < self.n_vertices and 0 <= v < self.n_vertices):
+                raise ValueError(f"edge ({u},{v}) outside vertex range")
+            if u == v:
+                raise ValueError("self-loops are not allowed")
+
+    @classmethod
+    def from_edges(cls, n_vertices: int, edges) -> "Graph":
+        canonical = tuple(sorted((min(u, v), max(u, v)) for u, v in edges))
+        return cls(n_vertices, tuple(dict.fromkeys(canonical)))
+
+    @classmethod
+    def random(
+        cls, n_vertices: int, edge_probability: float, rng: np.random.Generator
+    ) -> "Graph":
+        edges = [
+            (u, v)
+            for u in range(n_vertices)
+            for v in range(u + 1, n_vertices)
+            if rng.random() < edge_probability
+        ]
+        return cls.from_edges(n_vertices, edges)
+
+    def cut_size(self, side: Sequence[int]) -> int:
+        """The number of edges crossing the cut described by 0/1 labels."""
+        return sum(1 for u, v in self.edges if side[u] != side[v])
+
+    def max_cut(self) -> Tuple[int, Tuple[int, ...]]:
+        """Brute-force maximum cut (exponential; for validation on small t)."""
+        best_size = 0
+        best_side: Tuple[int, ...] = (0,) * self.n_vertices
+        for bits in range(1 << self.n_vertices):
+            side = tuple((bits >> i) & 1 for i in range(self.n_vertices))
+            size = self.cut_size(side)
+            if size > best_size:
+                best_size, best_side = size, side
+        return best_size, best_side
+
+
+def cut_polynomial(graph: Graph, nvars: int) -> Polynomial:
+    """``cut(p) = Σ_{(u,v)∈E} (p_u + p_v − 2 p_u p_v)`` over ``nvars`` variables."""
+    total = Polynomial(nvars)
+    for u, v in graph.edges:
+        pu = Polynomial.variable(u, nvars)
+        pv = Polynomial.variable(v, nvars)
+        total = total + pu + pv - 2 * (pu * pv)
+    return total
+
+
+@dataclass(frozen=True)
+class MaxCutReduction:
+    """The reduction artifacts: spaces, sets and the constraint program."""
+
+    graph: Graph
+    threshold: int
+    space: HypercubeSpace
+    audited: PropertySet
+    disclosed: PropertySet
+    program: PolynomialProgram
+
+
+def maxcut_reduction(graph: Graph, threshold: int) -> MaxCutReduction:
+    """Build ``(A, B, Π_G)`` such that ``K(A, B, Π_G) ≠ ∅`` iff
+    ``maxcut(G) ≥ threshold`` (our Theorem 6.2 reconstruction)."""
+    t = graph.n_vertices
+    if t + 1 > 24:
+        raise ValueError("reduction space too large to materialise")
+    space = HypercubeSpace(t + 1)
+    audited = space.coordinate_set(t + 1)
+    disclosed = audited
+    nvars = t + 1
+    program = PolynomialProgram(
+        nvars=nvars, variable_names=[f"p{i + 1}" for i in range(nvars)]
+    )
+    for i in range(t):
+        x = Polynomial.variable(i, nvars)
+        program.add_equality(x - x * x)  # Boolean vertex parameters
+    last = Polynomial.variable(t, nvars)
+    program.add_inequality(last)
+    program.add_inequality(1 - last)
+    program.add_inequality(cut_polynomial(graph, nvars) - threshold)
+    # P[AB] − P[A]P[B] = p_{t+1} − p_{t+1}² for A = B = X_{t+1}.
+    program.add_strict(last - last * last)
+    return MaxCutReduction(
+        graph=graph,
+        threshold=threshold,
+        space=space,
+        audited=audited,
+        disclosed=disclosed,
+        program=program,
+    )
+
+
+def k_set_is_empty(reduction: MaxCutReduction) -> bool:
+    """Decide emptiness of ``K(A, B, Π_G)`` exactly.
+
+    The Boolean equalities confine the graph coordinates to ``{0,1}^t``;
+    with the last coordinate free, feasibility reduces to scanning cut
+    assignments (sound and complete for this family — and exponential,
+    which is the theorem's whole point).
+    """
+    program = reduction.program
+    t = reduction.graph.n_vertices
+    for bits in range(1 << t):
+        point = [float((bits >> i) & 1) for i in range(t)] + [0.5]
+        if program.is_satisfied(point):
+            return False
+    return True
+
+
+def safe_under_graph_family(reduction: MaxCutReduction) -> bool:
+    """``Safe_{Π_G}(A, B)`` — by Proposition 6.1, emptiness of ``K``."""
+    return k_set_is_empty(reduction)
+
+
+def reduction_is_faithful(graph: Graph, threshold: int) -> bool:
+    """Validation predicate: ``K ≠ ∅  ⇔  maxcut(G) ≥ threshold``."""
+    reduction = maxcut_reduction(graph, threshold)
+    max_size, _ = graph.max_cut()
+    return (not k_set_is_empty(reduction)) == (max_size >= threshold)

@@ -1,0 +1,54 @@
+"""The Motzkin polynomial and friends (Section 6.2's cautionary examples).
+
+Hilbert showed (non-constructively) that Σ² is a strict subset of the
+nonnegative polynomials; Motzkin gave the first explicit witness:
+
+    ``M(x, y, z) = x⁴y² + x²y⁴ + z⁶ − 3x²y²z²``,
+
+nonnegative on all of ``R³`` (by AM–GM on the three monomials
+``x⁴y², x²y⁴, z⁶``) yet not a sum of squares of polynomials.  Artin's
+solution of Hilbert's 17th problem says it *is* a sum of squares of
+rational functions — equivalently ``(x²+y²+z²)·M`` is SOS.
+
+These are exercised by the E7 benchmark to validate the SOS solver's
+discriminating power.
+"""
+
+from __future__ import annotations
+
+from .polynomial import Polynomial
+
+
+def motzkin_polynomial() -> Polynomial:
+    """``M(x, y, z) = x⁴y² + x²y⁴ + z⁶ − 3x²y²z²``."""
+    x = Polynomial.variable(0, 3)
+    y = Polynomial.variable(1, 3)
+    z = Polynomial.variable(2, 3)
+    return x**4 * y**2 + x**2 * y**4 + z**6 - 3 * (x**2 * y**2 * z**2)
+
+
+def motzkin_artin_lift() -> Polynomial:
+    """``(x² + y² + z²) · M(x, y, z)``, which *is* a sum of squares.
+
+    The standard witness for Artin's theorem applied to Motzkin's
+    polynomial: multiplying by the SOS denominator ``x²+y²+z²`` lands back
+    in Σ².
+    """
+    x = Polynomial.variable(0, 3)
+    y = Polynomial.variable(1, 3)
+    z = Polynomial.variable(2, 3)
+    return (x**2 + y**2 + z**2) * motzkin_polynomial()
+
+
+def motzkin_value(x: float, y: float, z: float) -> float:
+    """Direct evaluation of ``M`` (used to test nonnegativity numerically)."""
+    return x**4 * y**2 + x**2 * y**4 + z**6 - 3 * x**2 * y**2 * z**2
+
+
+def amgm_gap(x: float, y: float, z: float) -> float:
+    """The AM–GM slack showing ``M ≥ 0``:
+    ``(x⁴y² + x²y⁴ + z⁶)/3 − (x⁴y²·x²y⁴·z⁶)^{1/3}``, always ≥ 0."""
+    terms = (x**4 * y**2, x**2 * y**4, z**6)
+    arithmetic = sum(terms) / 3.0
+    geometric = (terms[0] * terms[1] * terms[2]) ** (1.0 / 3.0)
+    return arithmetic - geometric

@@ -1,0 +1,312 @@
+"""A sparse multivariate polynomial library over the reals.
+
+Built from scratch (no sympy offline) to support the Section 6 machinery:
+polynomial feasibility programs ``K(A, B, Π)``, the sum-of-squares heuristic,
+Positivstellensatz certificates, and the Bernstein-based exact decision
+procedure.  Monomials are exponent tuples; coefficients are floats.
+
+The class is immutable-by-convention: all arithmetic returns new instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+Monomial = Tuple[int, ...]
+
+#: Coefficients with magnitude below this are dropped during pruning.
+DEFAULT_PRUNE_TOL = 0.0
+
+
+class Polynomial:
+    """A sparse polynomial in ``nvars`` real variables.
+
+    Supports ``+ - *`` (with scalars and polynomials), ``**`` by nonnegative
+    integers, evaluation, partial derivatives and gradients, degree queries,
+    and pretty-printing.  Exponent keys always have length ``nvars``.
+    """
+
+    __slots__ = ("_nvars", "_coeffs")
+
+    def __init__(
+        self,
+        nvars: int,
+        coeffs: Optional[Mapping[Monomial, float]] = None,
+        prune_tol: float = DEFAULT_PRUNE_TOL,
+    ) -> None:
+        if nvars < 0:
+            raise ValueError("number of variables must be nonnegative")
+        self._nvars = nvars
+        cleaned: Dict[Monomial, float] = {}
+        if coeffs:
+            for mono, coef in coeffs.items():
+                mono = tuple(int(e) for e in mono)
+                if len(mono) != nvars:
+                    raise ValueError(
+                        f"monomial {mono} has wrong arity for {nvars} variables"
+                    )
+                if any(e < 0 for e in mono):
+                    raise ValueError(f"negative exponent in monomial {mono}")
+                value = float(coef)
+                if value != 0.0 and abs(value) > prune_tol:
+                    cleaned[mono] = cleaned.get(mono, 0.0) + value
+                    if cleaned[mono] == 0.0:
+                        del cleaned[mono]
+        self._coeffs = cleaned
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def constant(cls, nvars: int, value: float) -> "Polynomial":
+        if value == 0.0:
+            return cls(nvars)
+        return cls(nvars, {(0,) * nvars: value})
+
+    @classmethod
+    def variable(cls, index: int, nvars: int) -> "Polynomial":
+        """The polynomial ``x_index`` (0-based) among ``nvars`` variables."""
+        if not 0 <= index < nvars:
+            raise ValueError(f"variable index {index} outside 0..{nvars - 1}")
+        mono = tuple(1 if i == index else 0 for i in range(nvars))
+        return cls(nvars, {mono: 1.0})
+
+    @classmethod
+    def from_terms(
+        cls, nvars: int, terms: Iterable[Tuple[float, Monomial]]
+    ) -> "Polynomial":
+        coeffs: Dict[Monomial, float] = {}
+        for coef, mono in terms:
+            mono = tuple(mono)
+            coeffs[mono] = coeffs.get(mono, 0.0) + coef
+        return cls(nvars, coeffs)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def nvars(self) -> int:
+        return self._nvars
+
+    @property
+    def coeffs(self) -> Dict[Monomial, float]:
+        """A copy of the monomial-to-coefficient map."""
+        return dict(self._coeffs)
+
+    def coefficient(self, mono: Monomial) -> float:
+        return self._coeffs.get(tuple(mono), 0.0)
+
+    def __len__(self) -> int:
+        return len(self._coeffs)
+
+    def is_zero(self, tol: float = 0.0) -> bool:
+        return all(abs(c) <= tol for c in self._coeffs.values())
+
+    def max_abs_coefficient(self) -> float:
+        return max((abs(c) for c in self._coeffs.values()), default=0.0)
+
+    def total_degree(self) -> int:
+        return max((sum(m) for m in self._coeffs), default=0)
+
+    def degree_in(self, index: int) -> int:
+        return max((m[index] for m in self._coeffs), default=0)
+
+    def is_multilinear(self) -> bool:
+        return all(all(e <= 1 for e in m) for m in self._coeffs)
+
+    # -- arithmetic ----------------------------------------------------------------
+
+    def _check_arity(self, other: "Polynomial") -> None:
+        if self._nvars != other._nvars:
+            raise ValueError(
+                f"arity mismatch: {self._nvars} vs {other._nvars} variables"
+            )
+
+    def __add__(self, other) -> "Polynomial":
+        if isinstance(other, (int, float)):
+            other = Polynomial.constant(self._nvars, float(other))
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_arity(other)
+        coeffs = dict(self._coeffs)
+        for mono, coef in other._coeffs.items():
+            coeffs[mono] = coeffs.get(mono, 0.0) + coef
+        return Polynomial(self._nvars, coeffs)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(
+            self._nvars, {m: -c for m, c in self._coeffs.items()}
+        )
+
+    def __sub__(self, other) -> "Polynomial":
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Polynomial":
+        return (-self) + other
+
+    def __mul__(self, other) -> "Polynomial":
+        if isinstance(other, (int, float)):
+            scalar = float(other)
+            if scalar == 0.0:
+                return Polynomial(self._nvars)
+            return Polynomial(
+                self._nvars, {m: c * scalar for m, c in self._coeffs.items()}
+            )
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_arity(other)
+        coeffs: Dict[Monomial, float] = {}
+        for m1, c1 in self._coeffs.items():
+            for m2, c2 in other._coeffs.items():
+                mono = tuple(e1 + e2 for e1, e2 in zip(m1, m2))
+                coeffs[mono] = coeffs.get(mono, 0.0) + c1 * c2
+        return Polynomial(self._nvars, coeffs)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("only nonnegative integer powers are supported")
+        result = Polynomial.constant(self._nvars, 1.0)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base if e > 1 else base
+            e >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            other = Polynomial.constant(self._nvars, float(other))
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._nvars == other._nvars and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash((self._nvars, frozenset(self._coeffs.items())))
+
+    def almost_equal(self, other: "Polynomial", tol: float = 1e-9) -> bool:
+        """Coefficient-wise comparison up to ``tol``."""
+        self._check_arity(other)
+        return (self - other).max_abs_coefficient() <= tol
+
+    # -- calculus -------------------------------------------------------------------
+
+    def partial(self, index: int) -> "Polynomial":
+        """The partial derivative ``∂/∂x_index``."""
+        if not 0 <= index < self._nvars:
+            raise ValueError(f"variable index {index} outside 0..{self._nvars - 1}")
+        coeffs: Dict[Monomial, float] = {}
+        for mono, coef in self._coeffs.items():
+            e = mono[index]
+            if e == 0:
+                continue
+            lowered = tuple(
+                v - 1 if i == index else v for i, v in enumerate(mono)
+            )
+            coeffs[lowered] = coeffs.get(lowered, 0.0) + coef * e
+        return Polynomial(self._nvars, coeffs)
+
+    def gradient(self) -> List["Polynomial"]:
+        return [self.partial(i) for i in range(self._nvars)]
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def __call__(self, point: Sequence[float]) -> float:
+        if len(point) != self._nvars:
+            raise ValueError(
+                f"expected {self._nvars} coordinates, got {len(point)}"
+            )
+        total = 0.0
+        for mono, coef in self._coeffs.items():
+            term = coef
+            for value, exponent in zip(point, mono):
+                if exponent:
+                    term *= value**exponent
+            total += term
+        return total
+
+    def substitute(self, assignments: Mapping[int, float]) -> "Polynomial":
+        """Partially evaluate some variables (arity is preserved)."""
+        coeffs: Dict[Monomial, float] = {}
+        for mono, coef in self._coeffs.items():
+            value = coef
+            new_mono = list(mono)
+            for index, point in assignments.items():
+                e = mono[index]
+                if e:
+                    value *= point**e
+                new_mono[index] = 0
+            key = tuple(new_mono)
+            coeffs[key] = coeffs.get(key, 0.0) + value
+        return Polynomial(self._nvars, coeffs)
+
+    # -- presentation --------------------------------------------------------------------
+
+    def sorted_terms(self) -> List[Tuple[Monomial, float]]:
+        """Terms in graded-lexicographic order (deterministic output)."""
+        return sorted(
+            self._coeffs.items(), key=lambda item: (sum(item[0]), item[0])
+        )
+
+    def to_string(self, names: Optional[Sequence[str]] = None) -> str:
+        if not self._coeffs:
+            return "0"
+        names = names or [f"x{i + 1}" for i in range(self._nvars)]
+        parts = []
+        for mono, coef in self.sorted_terms():
+            factors = []
+            for name, e in zip(names, mono):
+                if e == 1:
+                    factors.append(name)
+                elif e > 1:
+                    factors.append(f"{name}^{e}")
+            body = "*".join(factors)
+            if not body:
+                parts.append(f"{coef:g}")
+            elif coef == 1.0:
+                parts.append(body)
+            elif coef == -1.0:
+                parts.append(f"-{body}")
+            else:
+                parts.append(f"{coef:g}*{body}")
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        body = self.to_string()
+        if len(body) > 120:
+            body = body[:117] + "..."
+        return f"Polynomial({body})"
+
+
+def monomials_up_to_degree(
+    nvars: int, degree: int, max_degree_per_var: Optional[int] = None
+) -> List[Monomial]:
+    """All exponent tuples with total degree ≤ ``degree`` (graded-lex order).
+
+    ``max_degree_per_var`` optionally caps each exponent (e.g. 1 for
+    multilinear bases, the natural choice on the hypercube where
+    ``p_i² = p_i`` cannot be assumed but multilinear Gram bases stay small).
+    """
+    cap = degree if max_degree_per_var is None else max_degree_per_var
+    result: List[Monomial] = []
+
+    def extend(prefix: List[int], remaining: int) -> None:
+        if len(prefix) == nvars:
+            result.append(tuple(prefix))
+            return
+        for e in range(min(cap, remaining) + 1):
+            prefix.append(e)
+            extend(prefix, remaining - e)
+            prefix.pop()
+
+    extend([], degree)
+    result.sort(key=lambda m: (sum(m), m))
+    return result

@@ -1,0 +1,270 @@
+"""Polynomial feasibility programs and ``K(A, B, Π)`` (Proposition 6.1).
+
+Section 6 recasts safety as semialgebraic emptiness: for an *algebraic
+family* ``Π`` described by polynomial inequalities
+``α₁ ≥ 0, …, α_r ≥ 0`` over the variables ``(p_x)_{x∈{0,1}^n}``, the set
+
+    ``K(A, B, Π) = { p : Σ_{w∈AB} p_w > Σ_{x∈A} p_x · Σ_{y∈B} p_y,
+                      α_i(p) ≥ 0,  Σ p_x = 1,  p_x ≥ 0 }``
+
+is empty iff ``Safe_Π(A, B)``.  This module builds these programs for the
+families of the paper (products, log-super/submodular, arbitrary algebraic
+constraints) in both the ``2^n``-variable general form and the
+``n``-variable reduced form used by Section 6.1 for product distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.worlds import HypercubeSpace, PropertySet
+from .polynomial import Polynomial
+
+
+@dataclass
+class PolynomialProgram:
+    """A semialgebraic set described by polynomial constraints.
+
+    ``{x ∈ R^nvars : g ≥ 0 ∀g ∈ inequalities, h = 0 ∀h ∈ equalities,
+    s > 0 ∀s ∈ strict_inequalities}``.
+    """
+
+    nvars: int
+    inequalities: List[Polynomial] = field(default_factory=list)
+    equalities: List[Polynomial] = field(default_factory=list)
+    strict_inequalities: List[Polynomial] = field(default_factory=list)
+    variable_names: Optional[Sequence[str]] = None
+
+    def _check(self, poly: Polynomial) -> Polynomial:
+        if poly.nvars != self.nvars:
+            raise ValueError(
+                f"constraint over {poly.nvars} variables in a {self.nvars}-variable program"
+            )
+        return poly
+
+    def add_inequality(self, poly: Polynomial) -> None:
+        """Add ``poly ≥ 0``."""
+        self.inequalities.append(self._check(poly))
+
+    def add_equality(self, poly: Polynomial) -> None:
+        """Add ``poly = 0``."""
+        self.equalities.append(self._check(poly))
+
+    def add_strict(self, poly: Polynomial) -> None:
+        """Add ``poly > 0``."""
+        self.strict_inequalities.append(self._check(poly))
+
+    @property
+    def n_constraints(self) -> int:
+        return (
+            len(self.inequalities)
+            + len(self.equalities)
+            + len(self.strict_inequalities)
+        )
+
+    def max_degree(self) -> int:
+        return max(
+            (
+                poly.total_degree()
+                for poly in (
+                    self.inequalities + self.equalities + self.strict_inequalities
+                )
+            ),
+            default=0,
+        )
+
+    def is_satisfied(self, point: Sequence[float], tol: float = 1e-9) -> bool:
+        """Whether ``point`` belongs to the semialgebraic set (up to ``tol``)."""
+        return (
+            all(g(point) >= -tol for g in self.inequalities)
+            and all(abs(h(point)) <= tol for h in self.equalities)
+            and all(s(point) > tol for s in self.strict_inequalities)
+        )
+
+    def violation(self, point: Sequence[float]) -> float:
+        """The largest constraint violation at ``point`` (0 when satisfied)."""
+        worst = 0.0
+        for g in self.inequalities:
+            worst = max(worst, -g(point))
+        for h in self.equalities:
+            worst = max(worst, abs(h(point)))
+        for s in self.strict_inequalities:
+            worst = max(worst, -s(point) + 1e-15)
+        return worst
+
+    def combined_equality(self) -> Optional[Polynomial]:
+        """The paper's optimisation: fold equalities into one ``Σ h_i² = 0``.
+
+        "If there are multiple linear equality constraints
+        ``L_i(X₁,…,X_s) = 0``, it is helpful to combine them into a single
+        quadratic constraint ``Σ L_i² = 0``" (Section 6.1) — because the
+        decision algorithms are exponential in the number of constraints.
+        """
+        if not self.equalities:
+            return None
+        total = Polynomial(self.nvars)
+        for h in self.equalities:
+            total = total + h * h
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Families over the 2^n variables (p_x)_{x ∈ {0,1}^n}.
+# ---------------------------------------------------------------------------
+
+
+def _p(space: HypercubeSpace, world: int) -> Polynomial:
+    return Polynomial.variable(world, space.size)
+
+
+def simplex_constraints(space: HypercubeSpace) -> Tuple[List[Polynomial], Polynomial]:
+    """``p_x ≥ 0`` for all x, and ``Σ p_x − 1 = 0``."""
+    nonneg = [_p(space, x) for x in range(space.size)]
+    total = Polynomial(space.size)
+    for x in range(space.size):
+        total = total + _p(space, x)
+    return nonneg, total - 1
+
+
+def log_supermodular_constraints(space: HypercubeSpace) -> List[Polynomial]:
+    """``α_{x,y} = p_{x∧y}·p_{x∨y} − p_x·p_y ≥ 0`` for all pairs (Section 6)."""
+    constraints = []
+    for x in range(space.size):
+        for y in range(x + 1, space.size):
+            if (x & y) == x or (x & y) == y:
+                continue  # comparable pairs are trivial
+            constraints.append(
+                _p(space, x & y) * _p(space, x | y) - _p(space, x) * _p(space, y)
+            )
+    return constraints
+
+
+def log_submodular_constraints(space: HypercubeSpace) -> List[Polynomial]:
+    """``α_{x,y} = p_x·p_y − p_{x∧y}·p_{x∨y} ≥ 0`` for all pairs."""
+    return [-c for c in log_supermodular_constraints(space)]
+
+
+def product_constraints(space: HypercubeSpace) -> List[Polynomial]:
+    """Both directions at once: the product family as an algebraic family."""
+    supermodular = log_supermodular_constraints(space)
+    return supermodular + [-c for c in supermodular]
+
+
+def gap_strict_inequality(
+    audited: PropertySet, disclosed: PropertySet
+) -> Polynomial:
+    """``Σ_{w∈AB} p_w − Σ_{x∈A} p_x · Σ_{y∈B} p_y > 0`` over the ``p_x``."""
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("K(A,B,Π) programs are defined over hypercube spaces")
+    space.check_same(disclosed.space)
+    sum_ab = Polynomial(space.size)
+    for w in audited & disclosed:
+        sum_ab = sum_ab + _p(space, w)
+    sum_a = Polynomial(space.size)
+    for w in audited:
+        sum_a = sum_a + _p(space, w)
+    sum_b = Polynomial(space.size)
+    for w in disclosed:
+        sum_b = sum_b + _p(space, w)
+    return sum_ab - sum_a * sum_b
+
+
+def k_program(
+    audited: PropertySet,
+    disclosed: PropertySet,
+    family_constraints: Sequence[Polynomial],
+) -> PolynomialProgram:
+    """The set ``K(A, B, Π)`` of Proposition 6.1 as a polynomial program.
+
+    ``Safe_Π(A, B)`` holds iff the program is infeasible.
+    """
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("K(A,B,Π) programs are defined over hypercube spaces")
+    program = PolynomialProgram(
+        nvars=space.size,
+        variable_names=[f"p_{space.world_label(x)}" for x in range(space.size)],
+    )
+    nonneg, total = simplex_constraints(space)
+    for constraint in nonneg:
+        program.add_inequality(constraint)
+    program.add_equality(total)
+    for constraint in family_constraints:
+        program.add_inequality(constraint)
+    program.add_strict(gap_strict_inequality(audited, disclosed))
+    return program
+
+
+# ---------------------------------------------------------------------------
+# The Section 6.1 reduced program over n Bernoulli variables.
+# ---------------------------------------------------------------------------
+
+
+def reduced_product_program(
+    audited: PropertySet, disclosed: PropertySet
+) -> PolynomialProgram:
+    """The n-variable embedding of ``K(A, B, Π_m⁰)`` from Section 6.1.
+
+    Variables ``p₁, …, p_n`` constrained by ``p_i(1−p_i) ≥ 0`` (i.e.
+    ``p_i ∈ [0,1]``) with the strict inequality
+    ``P[AB](p) − P[A](p)·P[B](p) > 0``.  "We can write this with n variables
+    and n + 1 inequalities."  Emptiness ⇔ ``Safe_{Π_m⁰}(A, B)``.
+    """
+    from .encode import safety_gap_polynomial
+
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("the reduced program is defined over hypercube spaces")
+    program = PolynomialProgram(
+        nvars=space.n,
+        variable_names=[f"p{i + 1}" for i in range(space.n)],
+    )
+    for i in range(space.n):
+        x = Polynomial.variable(i, space.n)
+        program.add_inequality(x - x * x)
+    program.add_strict(-safety_gap_polynomial(audited, disclosed))
+    return program
+
+
+def feasibility_by_sampling(
+    program: PolynomialProgram,
+    samples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+    box: Tuple[float, float] = (0.0, 1.0),
+    sampler=None,
+) -> Optional[np.ndarray]:
+    """Cheap randomized feasibility probe: a satisfying point or ``None``.
+
+    Draws points (uniform in the box by default, or from ``sampler(rng)``)
+    and returns the first satisfying one.  Sound for feasibility (a returned
+    point is verified), never a proof of emptiness.  Programs with equality
+    constraints need a sampler supported on the equality manifold — e.g.
+    :func:`simplex_sampler` for ``K(A, B, Π)`` programs.
+    """
+    rng = rng or np.random.default_rng(0)
+    low, high = box
+    for _ in range(samples):
+        if sampler is not None:
+            point = np.asarray(sampler(rng), dtype=float)
+        else:
+            point = rng.uniform(low, high, size=program.nvars)
+        if program.is_satisfied(point):
+            return point
+    return None
+
+
+def simplex_sampler(nvars: int):
+    """A Dirichlet(1) sampler over the probability simplex of ``nvars`` entries.
+
+    Use with :func:`feasibility_by_sampling` on :func:`k_program` outputs,
+    whose ``Σ p_x = 1`` equality uniform box sampling can never hit.
+    """
+
+    def sample(rng: np.random.Generator) -> np.ndarray:
+        return rng.dirichlet(np.ones(nvars))
+
+    return sample

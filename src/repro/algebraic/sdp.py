@@ -1,0 +1,322 @@
+"""A minimal semidefinite feasibility solver built on alternating projections.
+
+The sum-of-squares heuristic of Section 6.2 is "proven using semidefinite
+programming" (Proposition 6.4).  No SDP package is available offline, so we
+implement the one primitive the heuristic needs: find positive semidefinite
+matrices ``Q₁, …, Q_k`` satisfying a set of affine constraints.  Both the PSD
+cone and an affine subspace are easy to project onto (eigenvalue clipping
+and a least-squares step respectively), and alternating projections between
+two closed convex sets converge to a point of their intersection whenever it
+is non-empty — which is exactly a feasibility oracle.
+
+See DESIGN.md ("Substitutions") for why this preserves the paper's observable
+behaviour: found certificates are re-verified symbolically by the callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Eigenvalues above this (relative to the largest) are kept in PSD projections.
+_EIG_CLIP = 0.0
+
+
+def project_psd(matrix: np.ndarray) -> np.ndarray:
+    """The nearest (Frobenius) positive semidefinite matrix.
+
+    Symmetrises first, then clips negative eigenvalues to zero.
+    """
+    sym = 0.5 * (matrix + matrix.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    clipped = np.clip(eigenvalues, _EIG_CLIP, None)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+@dataclass
+class AffineSystem:
+    """The affine constraints ``A·v = b`` over the concatenated matrix entries.
+
+    Rows are built sparsely via ``add_constraint`` and densified once.  The
+    projection ``v ↦ v − Aᵀ(AAᵀ)⁺(Av − b)`` is precomputed through a
+    pseudo-inverse so each iteration is two mat-vecs.
+    """
+
+    dimension: int
+
+    def __post_init__(self) -> None:
+        self._rows: List[Dict[int, float]] = []
+        self._rhs: List[float] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._gram_pinv: Optional[np.ndarray] = None
+
+    def add_constraint(self, coefficients: Dict[int, float], rhs: float) -> None:
+        """Add one row ``Σ coeff[i]·v[i] = rhs``."""
+        if self._matrix is not None:
+            raise RuntimeError("system already finalised")
+        self._rows.append(dict(coefficients))
+        self._rhs.append(float(rhs))
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._rows)
+
+    def finalise(self) -> None:
+        matrix = np.zeros((len(self._rows), self.dimension))
+        for r, row in enumerate(self._rows):
+            for col, coef in row.items():
+                matrix[r, col] = coef
+        self._matrix = matrix
+        self._gram_pinv = np.linalg.pinv(matrix @ matrix.T, rcond=1e-12)
+
+    def project(self, vector: np.ndarray) -> np.ndarray:
+        """Orthogonal projection onto the affine subspace."""
+        if self._matrix is None:
+            self.finalise()
+        residual = self._matrix @ vector - np.asarray(self._rhs)
+        return vector - self._matrix.T @ (self._gram_pinv @ residual)
+
+    def residual_norm(self, vector: np.ndarray) -> float:
+        if self._matrix is None:
+            self.finalise()
+        if self._matrix.shape[0] == 0:
+            return 0.0
+        return float(np.max(np.abs(self._matrix @ vector - np.asarray(self._rhs))))
+
+    def is_consistent(self, tol: float = 1e-9) -> bool:
+        """Whether the affine system alone admits a solution."""
+        if self._matrix is None:
+            self.finalise()
+        if self._matrix.shape[0] == 0:
+            return True
+        solution, *_ = np.linalg.lstsq(self._matrix, np.asarray(self._rhs), rcond=None)
+        return self.residual_norm(solution) <= tol
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of the alternating-projection run."""
+
+    matrices: Optional[List[np.ndarray]]
+    iterations: int
+    affine_residual: float
+    psd_residual: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.matrices is not None
+
+
+def _split(vector: np.ndarray, sizes: Sequence[int]) -> List[np.ndarray]:
+    blocks = []
+    offset = 0
+    for size in sizes:
+        blocks.append(vector[offset : offset + size * size].reshape(size, size))
+        offset += size * size
+    return blocks
+
+
+def _join(blocks: Sequence[np.ndarray]) -> np.ndarray:
+    return np.concatenate([block.ravel() for block in blocks])
+
+
+def _alternating_projections(
+    block_sizes: Sequence[int],
+    system: AffineSystem,
+    max_iterations: int,
+    tolerance: float,
+    rng: np.random.Generator,
+) -> FeasibilityResult:
+    """Von Neumann alternating projections between the PSD cone and the
+    affine subspace.  Reliable when the intersection has interior; slow on
+    boundary (rank-deficient) solutions, hence used as a fallback."""
+    total = int(sum(size * size for size in block_sizes))
+    vector = rng.normal(0.0, 1e-3, size=total)
+    best_residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        vector = system.project(vector)
+        blocks = [project_psd(block) for block in _split(vector, block_sizes)]
+        vector = _join(blocks)
+        residual = system.residual_norm(vector)
+        best_residual = min(best_residual, residual)
+        if residual <= tolerance:
+            return FeasibilityResult(
+                matrices=blocks,
+                iterations=iteration,
+                affine_residual=residual,
+                psd_residual=0.0,
+            )
+    return FeasibilityResult(
+        matrices=None,
+        iterations=max_iterations,
+        affine_residual=best_residual,
+        psd_residual=0.0,
+    )
+
+
+def _burer_monteiro(
+    block_sizes: Sequence[int],
+    system: AffineSystem,
+    restarts: int,
+    tolerance: float,
+    rng: np.random.Generator,
+) -> FeasibilityResult:
+    """Burer–Monteiro factorisation: parametrise each block as ``L·Lᵀ``
+    (automatically PSD) and minimise ``‖A·vec − b‖²`` over the factors with
+    L-BFGS.  Non-convex, but full-rank factors make spurious local minima
+    rare in practice; any output is re-verified by the caller anyway."""
+    from scipy import optimize as sp_optimize
+
+    if system._matrix is None:  # noqa: SLF001 - intra-module access
+        system.finalise()
+    a_matrix = system._matrix  # noqa: SLF001
+    b_vector = np.asarray(system._rhs)  # noqa: SLF001
+    sizes = list(block_sizes)
+    factor_len = int(sum(size * size for size in sizes))
+
+    def unpack(theta: np.ndarray) -> List[np.ndarray]:
+        factors = []
+        offset = 0
+        for size in sizes:
+            factors.append(theta[offset : offset + size * size].reshape(size, size))
+            offset += size * size
+        return factors
+
+    def objective(theta: np.ndarray):
+        factors = unpack(theta)
+        vector = _join([f @ f.T for f in factors])
+        residual = a_matrix @ vector - b_vector
+        value = float(residual @ residual)
+        back = a_matrix.T @ residual  # d(value)/d(vec), up to factor 2
+        grads = []
+        offset = 0
+        for f, size in zip(factors, sizes):
+            m = back[offset : offset + size * size].reshape(size, size)
+            grads.append((2.0 * (m + m.T) @ f).ravel())
+            offset += size * size
+        return value, np.concatenate(grads)
+
+    iterations = 0
+    best = np.inf
+    for _ in range(restarts):
+        theta0 = rng.normal(0.0, 0.5, size=factor_len)
+        result = sp_optimize.minimize(
+            objective, theta0, jac=True, method="L-BFGS-B",
+            options={"maxiter": 8000, "maxfun": 20000, "ftol": 1e-20, "gtol": 1e-16},
+        )
+        iterations += int(result.nit)
+        value = float(result.fun)
+        best = min(best, value)
+        blocks = [f @ f.T for f in unpack(np.asarray(result.x))]
+        residual = system.residual_norm(_join(blocks))
+        if residual <= tolerance:
+            return FeasibilityResult(
+                matrices=blocks,
+                iterations=iterations,
+                affine_residual=residual,
+                psd_residual=0.0,
+            )
+    return FeasibilityResult(
+        matrices=None,
+        iterations=iterations,
+        affine_residual=float(np.sqrt(max(best, 0.0))),
+        psd_residual=0.0,
+    )
+
+
+def _admm(
+    block_sizes: Sequence[int],
+    system: AffineSystem,
+    max_iterations: int,
+    tolerance: float,
+) -> FeasibilityResult:
+    """Douglas–Rachford / ADMM splitting between the PSD cone and the
+    affine subspace.  Unlike plain alternating projections, the dual
+    variable lets the iterates slide along tangential intersections, which
+    is exactly the geometry of rank-deficient SOS solutions."""
+    total = int(sum(size * size for size in block_sizes))
+    z = np.zeros(total)
+    u = np.zeros(total)
+    x = z
+    check_every = 50
+    best_residual = np.inf
+    checks_since_improvement = 0
+    for iteration in range(1, max_iterations + 1):
+        x = _join([project_psd(m) for m in _split(z - u, block_sizes)])
+        z = system.project(x + u)
+        u = u + x - z
+        if iteration % check_every == 0:
+            residual = system.residual_norm(x)
+            if residual <= tolerance:
+                return FeasibilityResult(
+                    matrices=_split(x, block_sizes),
+                    iterations=iteration,
+                    affine_residual=residual,
+                    psd_residual=0.0,
+                )
+            # Stall detection: infeasible systems plateau; feasible ones keep
+            # descending.  Give up after 40 checks (2000 iterations) without
+            # at least a 1% improvement.
+            if residual < best_residual * 0.99:
+                best_residual = residual
+                checks_since_improvement = 0
+            else:
+                checks_since_improvement += 1
+                if checks_since_improvement >= 40:
+                    return FeasibilityResult(
+                        matrices=None,
+                        iterations=iteration,
+                        affine_residual=residual,
+                        psd_residual=0.0,
+                    )
+    residual = system.residual_norm(x)
+    if residual <= tolerance:
+        return FeasibilityResult(
+            matrices=_split(x, block_sizes),
+            iterations=max_iterations,
+            affine_residual=residual,
+            psd_residual=0.0,
+        )
+    return FeasibilityResult(
+        matrices=None,
+        iterations=max_iterations,
+        affine_residual=residual,
+        psd_residual=0.0,
+    )
+
+
+def solve_psd_feasibility(
+    block_sizes: Sequence[int],
+    system: AffineSystem,
+    max_iterations: int = 4000,
+    tolerance: float = 1e-9,
+    rng: Optional[np.random.Generator] = None,
+) -> FeasibilityResult:
+    """Find PSD blocks satisfying ``system``.
+
+    Strategy: ADMM splitting first (fast and robust, including on the
+    boundary-rank solutions typical of exact SOS decompositions), then a
+    Burer–Monteiro factorisation restart as a fallback.  A ``None`` result
+    means *not found within budget*, never *infeasible*.
+    """
+    total = int(sum(size * size for size in block_sizes))
+    if system.dimension != total:
+        raise ValueError(
+            f"affine system over {system.dimension} entries, blocks give {total}"
+        )
+    rng = rng or np.random.default_rng(0)
+    result = _admm(block_sizes, system, max_iterations, tolerance)
+    if result.feasible:
+        return result
+    if result.affine_residual > 1000 * max(tolerance, 1e-12):
+        # ADMM stalled far from feasibility: almost certainly infeasible;
+        # don't burn a Burer–Monteiro pass on it.
+        return result
+    fallback = _burer_monteiro(
+        block_sizes, system, restarts=2, tolerance=max(tolerance, 5e-7), rng=rng
+    )
+    if fallback.feasible:
+        return fallback
+    return result

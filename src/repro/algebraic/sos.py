@@ -1,0 +1,437 @@
+"""The sum-of-squares heuristic (Section 6.2, Proposition 6.4).
+
+Σ² membership — "is this polynomial a sum of squares of polynomials?" — is
+decided by finding a PSD Gram matrix ``Q`` with ``m(x)ᵀ Q m(x) = f(x)`` for a
+monomial basis ``m``; that is a semidefinite feasibility problem
+(Proposition 6.4: testable in poly(s) time for bounded degree), solved here
+with :mod:`repro.algebraic.sdp`.
+
+On top of plain membership we implement the constrained certificate the
+privacy application needs: a Putinar-style decomposition
+
+    ``g(p) = σ₀(p) + Σ_i σ_i(p) · p_i(1 − p_i)``,   σ's ∈ Σ²,
+
+which certifies the safety gap ``g`` nonnegative on the box ``[0,1]^n`` and
+hence ``Safe_{Π_m⁰}(A, B)``.  Every decomposition found numerically is
+**re-verified by exact polynomial expansion** with an explicit residual
+bound before being reported (the paper's heuristic "works remarkably well in
+practice"; our verification step quantifies the "well").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.worlds import PropertySet
+from ..exceptions import CertificateError
+from .encode import safety_gap_polynomial
+from .polynomial import Monomial, Polynomial, monomials_up_to_degree
+from .sdp import AffineSystem, solve_psd_feasibility
+
+#: Max absolute residual coefficient for a certificate to be accepted.  A
+#: certificate with residual r bounds the polynomial's box minimum by
+#: ``−r · (number of monomials)``; callers report this ε-margin explicitly.
+DEFAULT_RESIDUAL_TOL = 2e-6
+
+
+@dataclass(frozen=True)
+class SOSDecomposition:
+    """A verified decomposition ``f = Σ_k (g_k)² (+ multiplier terms)``.
+
+    Attributes
+    ----------
+    blocks:
+        Per-block ``(multiplier, basis, gram)`` triples: the block
+        contributes ``multiplier · m(x)ᵀ·Gram·m(x)``.
+    residual:
+        The max-abs coefficient of ``f − Σ blocks`` after exact expansion.
+    iterations:
+        Alternating-projection iterations used.
+    """
+
+    blocks: Tuple[Tuple[Polynomial, Tuple[Monomial, ...], np.ndarray], ...]
+    residual: float
+    iterations: int
+
+    def squares(self, block: int = 0, tol: float = 1e-12) -> List[Polynomial]:
+        """The explicit squared polynomials ``g_k`` of one block."""
+        multiplier, basis, gram = self.blocks[block]
+        nvars = multiplier.nvars
+        eigenvalues, eigenvectors = np.linalg.eigh(gram)
+        result = []
+        for value, vector in zip(eigenvalues, eigenvectors.T):
+            if value <= tol:
+                continue
+            poly = Polynomial.from_terms(
+                nvars,
+                [
+                    (float(np.sqrt(value)) * float(c), mono)
+                    for c, mono in zip(vector, basis)
+                ],
+            )
+            result.append(poly)
+        return result
+
+    def expansion(self) -> Polynomial:
+        """Exact expansion of the certificate (used by verification)."""
+        nvars = self.blocks[0][0].nvars
+        total = Polynomial(nvars)
+        for multiplier, basis, gram in self.blocks:
+            total = total + multiplier * _gram_polynomial(basis, gram, nvars)
+        return total
+
+
+def _gram_polynomial(
+    basis: Sequence[Monomial], gram: np.ndarray, nvars: int
+) -> Polynomial:
+    """``m(x)ᵀ·Gram·m(x)`` expanded exactly."""
+    terms: Dict[Monomial, float] = {}
+    size = len(basis)
+    for i in range(size):
+        for j in range(size):
+            coef = float(gram[i, j])
+            if coef == 0.0:
+                continue
+            mono = tuple(a + b for a, b in zip(basis[i], basis[j]))
+            terms[mono] = terms.get(mono, 0.0) + coef
+    return Polynomial(nvars, terms)
+
+
+def _build_system(
+    target: Polynomial,
+    blocks: Sequence[Tuple[Polynomial, Sequence[Monomial]]],
+) -> Tuple[AffineSystem, List[int]]:
+    """Affine constraints matching Σ_b mult_b·(mᵀQ_b m) to ``target``.
+
+    One constraint per monomial achievable by any block or present in the
+    target; unreachable target monomials make the system unsatisfiable and
+    are caught early by :meth:`AffineSystem.is_consistent`.
+    """
+    nvars = target.nvars
+    sizes = [len(basis) for _, basis in blocks]
+    offsets = np.concatenate([[0], np.cumsum([s * s for s in sizes])])
+    dimension = int(offsets[-1])
+    # Map: monomial -> {flat index -> coefficient}.
+    rows: Dict[Monomial, Dict[int, float]] = {}
+    for b, (multiplier, basis) in enumerate(blocks):
+        mult_terms = multiplier.coeffs
+        for i, mono_i in enumerate(basis):
+            for j, mono_j in enumerate(basis):
+                flat = int(offsets[b]) + i * sizes[b] + j
+                pair = tuple(a + c for a, c in zip(mono_i, mono_j))
+                for mu, coef in mult_terms.items():
+                    gamma = tuple(a + c for a, c in zip(pair, mu))
+                    rows.setdefault(gamma, {})[flat] = (
+                        rows.setdefault(gamma, {}).get(flat, 0.0) + coef
+                    )
+    for gamma in target.coeffs:
+        rows.setdefault(gamma, {})
+    system = AffineSystem(dimension)
+    for gamma, coefficients in sorted(rows.items()):
+        system.add_constraint(coefficients, target.coefficient(gamma))
+    return system, sizes
+
+
+def _attempt(
+    target: Polynomial,
+    blocks: Sequence[Tuple[Polynomial, Sequence[Monomial]]],
+    max_iterations: int,
+    residual_tol: float,
+    rng: Optional[np.random.Generator],
+) -> Optional[SOSDecomposition]:
+    system, sizes = _build_system(target, blocks)
+    if not system.is_consistent(tol=1e-9):
+        return None
+    result = solve_psd_feasibility(
+        sizes, system, max_iterations=max_iterations, tolerance=residual_tol / 2, rng=rng
+    )
+    if not result.feasible:
+        return None
+    decomposition = SOSDecomposition(
+        blocks=tuple(
+            (multiplier, tuple(basis), gram)
+            for (multiplier, basis), gram in zip(blocks, result.matrices)
+        ),
+        residual=0.0,
+        iterations=result.iterations,
+    )
+    residual = (target - decomposition.expansion()).max_abs_coefficient()
+    if residual > residual_tol:
+        return None
+    return SOSDecomposition(
+        blocks=decomposition.blocks, residual=residual, iterations=result.iterations
+    )
+
+
+def default_sos_basis(poly: Polynomial) -> List[Monomial]:
+    """A pruned Gram basis for Σ² membership of ``poly``.
+
+    Starts from all monomials of total degree ≤ ⌈deg(f)/2⌉ and prunes with
+    cheap Newton-polytope necessary conditions: per-variable degree caps
+    (``deg_i(m) ≤ ⌈deg_i(f)/2⌉``), a minimum-total-degree bound, and exact
+    homogeneity when ``f`` is homogeneous.  Pruning both shrinks the SDP and
+    conditions it (spurious monomials force thin zero-equality faces).
+    """
+    nvars = poly.nvars
+    total = poly.total_degree()
+    degree = (total + 1) // 2
+    term_degrees = [sum(m) for m in poly.coeffs] or [0]
+    min_degree = min(term_degrees)
+    homogeneous = min_degree == total
+    per_var_caps = [
+        (poly.degree_in(i) + 1) // 2 if poly.degree_in(i) else 0
+        for i in range(nvars)
+    ]
+    basis = []
+    for mono in monomials_up_to_degree(nvars, degree):
+        if any(e > cap for e, cap in zip(mono, per_var_caps)):
+            continue
+        if 2 * sum(mono) < min_degree:
+            continue
+        if homogeneous and sum(mono) != degree:
+            continue
+        basis.append(mono)
+    return basis
+
+
+def sos_decompose(
+    poly: Polynomial,
+    basis: Optional[Sequence[Monomial]] = None,
+    max_iterations: int = 4000,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[SOSDecomposition]:
+    """Find (and verify) an SOS decomposition of ``poly``, or ``None``.
+
+    ``None`` means "no decomposition found with this basis and budget";
+    Σ² membership is certified only positively.  The default basis is the
+    pruned :func:`default_sos_basis`.
+    """
+    if basis is None:
+        basis = default_sos_basis(poly)
+    if not basis:
+        return None if not poly.is_zero() else _attempt(
+            poly,
+            [(Polynomial.constant(poly.nvars, 1.0), [(0,) * poly.nvars])],
+            max_iterations,
+            residual_tol,
+            rng,
+        )
+    one = Polynomial.constant(poly.nvars, 1.0)
+    return _attempt(poly, [(one, list(basis))], max_iterations, residual_tol, rng)
+
+
+def is_sos(poly: Polynomial, **kwargs) -> bool:
+    """Σ² membership test (Proposition 6.4), positive certification only."""
+    return sos_decompose(poly, **kwargs) is not None
+
+
+@dataclass(frozen=True)
+class BoxCertificate:
+    """A verified Putinar certificate of nonnegativity on ``[0,1]^n``.
+
+    ``g = σ₀ + Σ σ_i·p_i(1−p_i)`` with every σ SOS and residual bounded by
+    ``residual``: hence ``min g ≥ −residual·(number of monomials)`` on the
+    box, which callers compare against their tolerance.
+    """
+
+    decomposition: SOSDecomposition
+    residual: float
+
+    def verify(self, target: Polynomial, tol: float = DEFAULT_RESIDUAL_TOL) -> None:
+        """Re-verify against ``target``; raises :class:`CertificateError`."""
+        residual = (target - self.decomposition.expansion()).max_abs_coefficient()
+        if residual > tol:
+            raise CertificateError(
+                f"certificate residual {residual} exceeds tolerance {tol}"
+            )
+
+
+def certify_box_nonnegative(
+    poly: Polynomial,
+    degree: Optional[int] = None,
+    max_products: Optional[int] = None,
+    max_iterations: int = 40000,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[BoxCertificate]:
+    """Search for a Schmüdgen-form certificate of nonnegativity on ``[0,1]^n``:
+
+        ``poly = Σ_{I ⊆ [n]} σ_I · Π_{i∈I} x_i(1−x_i)``,   σ_I ∈ Σ².
+
+    Plain Putinar multipliers (``|I| ≤ 1``) are too weak for typical safety
+    gaps — e.g. ``x(1−x)(1−y)`` needs the product term
+    ``x(1−x)·y(1−y)`` via ``(1−y)²·x(1−x) + 1·x(1−x)y(1−y)``.  ``degree``
+    bounds the multilinear basis degree of ``σ_∅``; each σ_I omits the
+    variables of ``I`` from its basis so every block stays within
+    per-variable degree 2 (the safety-gap shape).  ``max_products`` bounds
+    ``|I|`` (default: all subsets for n ≤ 4, pairs otherwise).
+    """
+    nvars = poly.nvars
+    if degree is None:
+        degree = min(nvars, 3)
+    if max_products is None:
+        max_products = nvars if nvars <= 4 else 2
+    blocks: List[Tuple[Polynomial, List[Monomial]]] = []
+    for size in range(0, min(max_products, nvars) + 1):
+        for subset in itertools.combinations(range(nvars), size):
+            multiplier = Polynomial.constant(nvars, 1.0)
+            for i in subset:
+                x = Polynomial.variable(i, nvars)
+                multiplier = multiplier * (x - x * x)
+            basis_degree = max(0, degree - size)
+            basis = [
+                mono
+                for mono in monomials_up_to_degree(
+                    nvars, basis_degree, max_degree_per_var=1
+                )
+                if all(mono[i] == 0 for i in subset)
+            ]
+            blocks.append((multiplier, basis))
+    decomposition = _attempt(poly, blocks, max_iterations, residual_tol, rng)
+    if decomposition is None:
+        return None
+    return BoxCertificate(decomposition=decomposition, residual=decomposition.residual)
+
+
+@dataclass(frozen=True)
+class HandelmanCertificate:
+    """A nonnegative combination of box-constraint products.
+
+    ``poly = Σ_α c_α · Π_i x_i^{a_i}(1−x_i)^{b_i}`` with all ``c_α ≥ 0`` and
+    ``a_i + b_i ≤ 2`` — Handelman's representation specialised to the
+    per-variable-degree-2 shape of safety gaps.  Found by linear
+    programming, hence fast and numerically robust; verified by exact
+    expansion like the SOS certificates.
+    """
+
+    coefficients: Tuple[Tuple[Tuple[Tuple[int, int], ...], float], ...]
+    residual: float
+
+    def expansion(self, nvars: int) -> Polynomial:
+        total = Polynomial(nvars)
+        for factors, coef in self.coefficients:
+            term = Polynomial.constant(nvars, coef)
+            for i, (a, b) in enumerate(factors):
+                x = Polynomial.variable(i, nvars)
+                if a:
+                    term = term * x**a
+                if b:
+                    term = term * (1 - x) ** b
+            total = total + term
+        return total
+
+    def verify(self, target: Polynomial, tol: float = DEFAULT_RESIDUAL_TOL) -> None:
+        residual = (target - self.expansion(target.nvars)).max_abs_coefficient()
+        if residual > tol:
+            raise CertificateError(
+                f"Handelman residual {residual} exceeds tolerance {tol}"
+            )
+
+
+#: Per-variable factor menu for Handelman columns: (power of x, power of 1−x).
+_HANDELMAN_FACTORS = ((0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2))
+
+#: Dimension guard: 6^n LP columns.
+MAX_HANDELMAN_DIMENSION = 6
+
+
+def handelman_certificate(
+    poly: Polynomial,
+    residual_tol: float = DEFAULT_RESIDUAL_TOL,
+) -> Optional[HandelmanCertificate]:
+    """LP search for a Handelman certificate of box nonnegativity.
+
+    Columns are all ``6^n`` products ``Π x_i^{a_i}(1−x_i)^{b_i}`` with
+    ``a_i + b_i ≤ 2``; the LP asks for a nonnegative combination matching
+    ``poly`` exactly.  This subsumes the cancellation criterion: the
+    match-vector monomials ``m(w)`` are exactly such products.
+    """
+    from scipy import optimize as sp_optimize
+
+    nvars = poly.nvars
+    if nvars > MAX_HANDELMAN_DIMENSION:
+        return None
+    if any(any(e > 2 for e in mono) for mono in poly.coeffs):
+        return None  # outside the per-variable-degree-2 shape
+    # Enumerate monomials with per-variable degree ≤ 2 as row indices.
+    row_index = {
+        mono: r
+        for r, mono in enumerate(itertools.product(range(3), repeat=nvars))
+    }
+    columns = []
+    data: List[Tuple[int, int, float]] = []  # (row, col, coef)
+    for col, factors in enumerate(itertools.product(_HANDELMAN_FACTORS, repeat=nvars)):
+        columns.append(factors)
+        # Expand Π x^a (1−x)^b coefficient-wise per variable, then tensor.
+        per_var: List[List[Tuple[int, float]]] = []
+        for a, b in factors:
+            expansion = []
+            # (1−x)^b = Σ_k C(b,k)(−x)^k.
+            for k in range(b + 1):
+                comb = 1.0
+                if b == 2:
+                    comb = (1.0, 2.0, 1.0)[k]
+                expansion.append((a + k, comb * ((-1.0) ** k)))
+            per_var.append(expansion)
+        for picks in itertools.product(*per_var):
+            mono = tuple(p[0] for p in picks)
+            coef = 1.0
+            for p in picks:
+                coef *= p[1]
+            data.append((row_index[mono], col, coef))
+    n_rows = len(row_index)
+    n_cols = len(columns)
+    a_eq = np.zeros((n_rows, n_cols))
+    for row, col, coef in data:
+        a_eq[row, col] += coef
+    b_eq = np.zeros(n_rows)
+    for mono, coef in poly.coeffs.items():
+        b_eq[row_index[mono]] = coef
+    result = sp_optimize.linprog(
+        c=np.ones(n_cols),
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0.0, None)] * n_cols,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    coefficients = tuple(
+        (columns[col], float(value))
+        for col, value in enumerate(result.x)
+        if value > 1e-12
+    )
+    certificate = HandelmanCertificate(coefficients=coefficients, residual=0.0)
+    residual = (poly - certificate.expansion(nvars)).max_abs_coefficient()
+    if residual > residual_tol:
+        return None
+    return HandelmanCertificate(coefficients=coefficients, residual=residual)
+
+
+def certify_gap_nonnegative(
+    audited: PropertySet,
+    disclosed: PropertySet,
+    degree: Optional[int] = None,
+    max_iterations: int = 40000,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Certify ``Safe_{Π_m⁰}(A, B)`` via the safety gap polynomial.
+
+    Tries the Handelman LP first (fast, robust, subsumes cancellation),
+    then the Schmüdgen-SOS search.  Returns a verified
+    :class:`HandelmanCertificate` or :class:`BoxCertificate`, or ``None``.
+    """
+    gap = safety_gap_polynomial(audited, disclosed)
+    if gap.is_zero():
+        return HandelmanCertificate(coefficients=(), residual=0.0)
+    certificate = handelman_certificate(gap)
+    if certificate is not None:
+        return certificate
+    return certify_box_nonnegative(
+        gap, degree=degree, max_iterations=max_iterations, rng=rng
+    )

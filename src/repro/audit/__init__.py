@@ -1,0 +1,49 @@
+"""End-to-end auditing workflows: offline (retroactive) and online simulation.
+
+Disclosure logs, audit policies over the paper's prior-knowledge families,
+the :class:`OfflineAuditor` pipeline, report rendering, and the §1 online
+answer-strategy simulator (truthful denial vs. always-deny vs. the
+footnote-1 coin flip).
+"""
+
+from .log import DisclosureEvent, DisclosureLog
+from .offline import AuditReport, EventFinding, OfflineAuditor
+from .online import (
+    AlwaysDenyStrategy,
+    Answer,
+    AnswerStrategy,
+    BayesianResult,
+    BayesianStep,
+    CoinFlipStrategy,
+    ObserverBelief,
+    SimulationResult,
+    SimulationStep,
+    TruthfulDenialStrategy,
+    simulate,
+    simulate_bayesian,
+)
+from .policy import AuditPolicy, PriorAssumption
+from .report import render_report
+
+__all__ = [
+    "AlwaysDenyStrategy",
+    "Answer",
+    "AnswerStrategy",
+    "AuditPolicy",
+    "AuditReport",
+    "BayesianResult",
+    "BayesianStep",
+    "CoinFlipStrategy",
+    "DisclosureEvent",
+    "DisclosureLog",
+    "EventFinding",
+    "ObserverBelief",
+    "OfflineAuditor",
+    "PriorAssumption",
+    "SimulationResult",
+    "SimulationStep",
+    "TruthfulDenialStrategy",
+    "render_report",
+    "simulate",
+    "simulate_bayesian",
+]

@@ -1,0 +1,71 @@
+"""Disclosure logs: who learned what, when.
+
+Retroactive auditing works off a log of answered queries ("Alice, Cindy and
+Mallory legitimately gained access to Bob's health records… Alice and Cindy
+did it in 2005 and Mallory did in 2007").  A :class:`DisclosureLog` records
+:class:`DisclosureEvent` entries — user, timestamp, and the disclosed query
+— and supports the per-user, per-period filtering the audit workflows need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from ..db.query import BooleanQuery, Select
+
+Query = Union[BooleanQuery, Select]
+
+
+@dataclass(frozen=True)
+class DisclosureEvent:
+    """One answered query: ``user`` learned the answer to ``query`` at ``time``.
+
+    ``time`` is any totally ordered value (int year, datetime, ...).
+    """
+
+    time: object
+    user: str
+    query: Query
+    note: str = ""
+
+    def describe(self) -> str:
+        suffix = f" — {self.note}" if self.note else ""
+        return f"[{self.time}] {self.user}: {self.query}{suffix}"
+
+
+class DisclosureLog:
+    """An append-only, time-ordered log of disclosures."""
+
+    def __init__(self, events: Iterable[DisclosureEvent] = ()) -> None:
+        self._events: List[DisclosureEvent] = sorted(
+            events, key=lambda e: (e.time, e.user)
+        )
+
+    def record(self, time, user: str, query: Query, note: str = "") -> DisclosureEvent:
+        """Append an event (keeping time order)."""
+        event = DisclosureEvent(time=time, user=user, query=query, note=note)
+        self._events.append(event)
+        self._events.sort(key=lambda e: (e.time, e.user))
+        return event
+
+    def __iter__(self) -> Iterator[DisclosureEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def users(self) -> Tuple[str, ...]:
+        return tuple(sorted({event.user for event in self._events}))
+
+    def for_user(self, user: str) -> "DisclosureLog":
+        return DisclosureLog(e for e in self._events if e.user == user)
+
+    def before(self, time) -> "DisclosureLog":
+        """Events strictly before ``time`` (e.g. before a status change)."""
+        return DisclosureLog(e for e in self._events if e.time < time)
+
+    def since(self, time) -> "DisclosureLog":
+        """Events at or after ``time``."""
+        return DisclosureLog(e for e in self._events if e.time >= time)

@@ -1,0 +1,208 @@
+"""The end-to-end offline (retroactive) auditor — the paper's motivating app.
+
+Given a candidate universe (database + relevant records), an audit policy,
+and a disclosure log, the :class:`OfflineAuditor`:
+
+1. compiles the audit query to ``A ⊆ {0,1}^n`` and each logged query's
+   *answer* to a disclosed set ``B`` (the equal-output knowledge set);
+2. discards events inconsistent with the actual world;
+3. runs the appropriate decision pipeline for the policy's prior family;
+4. returns a per-event, per-user report with witnesses attached — "the
+   audit will place the suspicion on Mallory, but not on Alice and Cindy."
+
+Audit results are never shown to users, so (unlike online auditing) the
+auditor's behaviour discloses nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.verdict import AuditVerdict
+from ..core.worlds import PropertySet
+from ..db.compile import CandidateUniverse
+from ..possibilistic.auditor import PossibilisticAuditor
+from ..possibilistic.families import PowerSetFamily, SubcubeFamily
+from ..probabilistic.auditor import (
+    ProbabilisticAuditor,
+    SupermodularAuditor,
+    audit_unconstrained,
+)
+from .log import DisclosureEvent, DisclosureLog
+from .policy import AuditPolicy, PriorAssumption
+
+
+@dataclass(frozen=True)
+class EventFinding:
+    """The audit outcome for one disclosure event."""
+
+    event: DisclosureEvent
+    disclosed_set: PropertySet
+    verdict: AuditVerdict
+
+    @property
+    def suspicious(self) -> bool:
+        return self.verdict.is_unsafe
+
+    def describe(self) -> str:
+        return f"{self.event.describe()}  →  {self.verdict}"
+
+
+@dataclass
+class AuditReport:
+    """All findings of one audit run, grouped per user."""
+
+    policy: AuditPolicy
+    findings: List[EventFinding] = field(default_factory=list)
+
+    @property
+    def suspicious_users(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted({f.event.user for f in self.findings if f.suspicious})
+        )
+
+    @property
+    def cleared_users(self) -> Tuple[str, ...]:
+        suspicious = set(self.suspicious_users)
+        return tuple(
+            sorted(
+                {f.event.user for f in self.findings} - suspicious
+            )
+        )
+
+    def for_user(self, user: str) -> List[EventFinding]:
+        return [f for f in self.findings if f.event.user == user]
+
+    def counts(self) -> Dict[str, int]:
+        result = {"safe": 0, "unsafe": 0, "unknown": 0}
+        for finding in self.findings:
+            result[finding.verdict.status.value] += 1
+        return result
+
+
+class OfflineAuditor:
+    """Retroactive auditor over a candidate universe and a policy."""
+
+    def __init__(
+        self,
+        universe: CandidateUniverse,
+        policy: AuditPolicy,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._universe = universe
+        self._policy = policy
+        self._rng = rng or np.random.default_rng(0)
+        self._audited = universe.compile_boolean(policy.audit_query)
+        self._decider = self._build_decider()
+
+    @property
+    def universe(self) -> CandidateUniverse:
+        return self._universe
+
+    @property
+    def policy(self) -> AuditPolicy:
+        return self._policy
+
+    @property
+    def audited_set(self) -> PropertySet:
+        """The compiled audit property ``A``."""
+        return self._audited
+
+    def _build_decider(self):
+        space = self._universe.space
+        assumption = self._policy.assumption
+        if assumption is PriorAssumption.PRODUCT:
+            auditor = ProbabilisticAuditor(space, rng=self._rng)
+            return auditor.audit
+        if assumption is PriorAssumption.LOG_SUPERMODULAR:
+            auditor = SupermodularAuditor(space, rng=self._rng)
+            return auditor.audit
+        if assumption is PriorAssumption.UNRESTRICTED:
+            return audit_unconstrained
+        if assumption is PriorAssumption.POSSIBILISTIC_SUBCUBES:
+            auditor = PossibilisticAuditor.from_family(
+                space.full, SubcubeFamily(space)
+            )
+            return auditor.audit
+        if assumption is PriorAssumption.POSSIBILISTIC_UNRESTRICTED:
+            auditor = PossibilisticAuditor.from_family(
+                space.full, PowerSetFamily(space)
+            )
+            return auditor.audit
+        if assumption is PriorAssumption.POSSIBILISTIC_IGNORANT:
+            from ..possibilistic.families import ExplicitFamily
+
+            auditor = PossibilisticAuditor.from_family(
+                space.full, ExplicitFamily(space, [space.full])
+            )
+            return auditor.audit
+        raise ValueError(f"unsupported assumption {assumption}")
+
+    # -- auditing ------------------------------------------------------------------
+
+    def disclosed_set(self, event: DisclosureEvent) -> PropertySet:
+        """Compile the event's *answer* into the disclosed property ``B``."""
+        return self._universe.compile_answer(event.query)
+
+    def audit_event(self, event: DisclosureEvent) -> EventFinding:
+        disclosed = self.disclosed_set(event)
+        verdict = self._decider(self._audited, disclosed)
+        return EventFinding(event=event, disclosed_set=disclosed, verdict=verdict)
+
+    def audit_prospective(self, query) -> AuditVerdict:
+        """Pre-disclosure check: would answering ``query`` truthfully be safe?
+
+        Compiles the query's actual answer set and runs the policy's
+        decision pipeline — the bridge toward the online setting the
+        paper's conclusion points at (without modelling strategy knowledge;
+        see :mod:`repro.audit.online` for that dynamic).
+        """
+        disclosed = self._universe.compile_answer(query)
+        return self._decider(self._audited, disclosed)
+
+    def audit_event_at(self, event: DisclosureEvent, actual_world: int) -> EventFinding:
+        """Audit an event against a *historical* database state.
+
+        Old disclosures answered queries about old states; the auditor
+        reconstructs ``ω*`` at disclosure time (e.g. from update logs,
+        Section 2) and compiles the answer set from that world.
+        """
+        disclosed = self._universe.compile_answer(
+            event.query, actual_world=actual_world
+        )
+        verdict = self._decider(self._audited, disclosed)
+        return EventFinding(event=event, disclosed_set=disclosed, verdict=verdict)
+
+    def audit_log(self, log: DisclosureLog) -> AuditReport:
+        """Audit every event of the log against the policy's audit query."""
+        report = AuditReport(policy=self._policy)
+        for event in log:
+            report.findings.append(self.audit_event(event))
+        return report
+
+    def audit_user_cumulative(
+        self, log: DisclosureLog, user: str
+    ) -> EventFinding:
+        """Audit the *conjunction* of everything one user learned.
+
+        Acquisition of ``B₁`` then ``B₂`` equals acquiring ``B₁ ∩ B₂``
+        (Section 3.3): even individually safe disclosures may be jointly
+        unsafe unless preservation applies (Proposition 3.10 / Remark 4.2).
+        """
+        events = list(log.for_user(user))
+        if not events:
+            raise ValueError(f"no disclosures logged for {user!r}")
+        combined = self._universe.space.full
+        for event in events:
+            combined = combined & self.disclosed_set(event)
+        verdict = self._decider(self._audited, combined)
+        summary = DisclosureEvent(
+            time=events[-1].time,
+            user=user,
+            query=events[-1].query,
+            note=f"cumulative over {len(events)} disclosures",
+        )
+        return EventFinding(event=summary, disclosed_set=combined, verdict=verdict)

@@ -1,0 +1,297 @@
+"""Online (proactive) auditing simulator — the §1 Alice-and-Bob discussion.
+
+"Suppose Alice asks Bob for his HIV status… can he adopt the proactive
+strategy of answering 'I am HIV-negative' as long as it is true?
+Unfortunately, this is not a safe strategy…"  This module simulates exactly
+that dynamic: answer strategies, a timeline of true statuses, and a
+possibilistic observer (Alice) updating her knowledge from answers *and*
+from denials — because "the denial, when it occurs, is also an 'answer'."
+
+Three strategies are modelled:
+
+* :class:`TruthfulDenialStrategy` — answer "negative" while true, deny once
+  positive.  Breaches privacy at the first denial.
+* :class:`AlwaysDenyStrategy` — the paper's "safest bet": always refuse.
+* :class:`CoinFlipStrategy` — footnote 1: if paid per answer, toss a coin
+  and answer "negative" (when true) only on heads, balancing privacy and
+  profit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Answer(enum.Enum):
+    """Bob's possible responses to "are you HIV-positive?"."""
+
+    NEGATIVE = "I am HIV-negative"
+    DENY = "I refuse to answer"
+
+
+class AnswerStrategy:
+    """A proactive disclosure strategy, fixed before queries arrive."""
+
+    name = "abstract"
+
+    def respond(self, is_positive: bool, rng: np.random.Generator) -> Answer:
+        raise NotImplementedError
+
+
+class TruthfulDenialStrategy(AnswerStrategy):
+    """Answer "negative" exactly while it is true; deny afterwards."""
+
+    name = "truthful-denial"
+
+    def respond(self, is_positive: bool, rng: np.random.Generator) -> Answer:
+        return Answer.DENY if is_positive else Answer.NEGATIVE
+
+
+class AlwaysDenyStrategy(AnswerStrategy):
+    """Refuse every query — the only non-randomised safe strategy."""
+
+    name = "always-deny"
+
+    def respond(self, is_positive: bool, rng: np.random.Generator) -> Answer:
+        return Answer.DENY
+
+
+class CoinFlipStrategy(AnswerStrategy):
+    """Footnote 1: answer "negative" (when true) only if a coin lands heads.
+
+    A denial is now consistent with *both* statuses, so it no longer reveals
+    seroconversion — at the cost of foregone answer revenue half the time.
+    """
+
+    name = "coin-flip"
+
+    def __init__(self, heads_probability: float = 0.5) -> None:
+        if not 0.0 < heads_probability < 1.0:
+            raise ValueError("the coin must be genuinely random")
+        self.heads_probability = heads_probability
+
+    def respond(self, is_positive: bool, rng: np.random.Generator) -> Answer:
+        if is_positive:
+            return Answer.DENY
+        if rng.random() < self.heads_probability:
+            return Answer.NEGATIVE
+        return Answer.DENY
+
+
+@dataclass
+class ObserverBelief:
+    """Alice's knowledge about Bob's status at one point in time.
+
+    Possibilistic: which statuses (negative / positive) remain possible
+    given the strategy (which Alice knows — Kerckhoffs) and the answers.
+    """
+
+    negative_possible: bool = True
+    positive_possible: bool = True
+
+    @property
+    def knows_positive(self) -> bool:
+        return self.positive_possible and not self.negative_possible
+
+    @property
+    def knows_negative(self) -> bool:
+        return self.negative_possible and not self.positive_possible
+
+    def describe(self) -> str:
+        if self.knows_positive:
+            return "Alice KNOWS Bob is HIV-positive"
+        if self.knows_negative:
+            return "Alice knows Bob is HIV-negative"
+        return "Alice is uncertain"
+
+
+@dataclass(frozen=True)
+class SimulationStep:
+    """One query/answer round and the observer's resulting knowledge."""
+
+    time: int
+    is_positive: bool
+    answer: Answer
+    belief: ObserverBelief
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    strategy_name: str
+    steps: Tuple[SimulationStep, ...]
+
+    @property
+    def breach_time(self) -> Optional[int]:
+        """The first time Alice *knows* the sensitive positive status."""
+        for step in self.steps:
+            if step.belief.knows_positive:
+                return step.time
+        return None
+
+    @property
+    def breached(self) -> bool:
+        return self.breach_time is not None
+
+    def answers_given(self) -> int:
+        return sum(1 for s in self.steps if s.answer is Answer.NEGATIVE)
+
+
+def _update_belief(
+    strategy: AnswerStrategy, answer: Answer
+) -> ObserverBelief:
+    """Alice's deduction, knowing the strategy (per-round, memoryless core).
+
+    For each candidate status she asks: could the strategy have produced
+    this answer?  Statuses that could not are ruled out.
+    """
+    negative_possible = _can_produce(strategy, is_positive=False, answer=answer)
+    positive_possible = _can_produce(strategy, is_positive=True, answer=answer)
+    return ObserverBelief(negative_possible, positive_possible)
+
+
+def _can_produce(strategy: AnswerStrategy, is_positive: bool, answer: Answer) -> bool:
+    if isinstance(strategy, TruthfulDenialStrategy):
+        expected = Answer.DENY if is_positive else Answer.NEGATIVE
+        return answer is expected
+    if isinstance(strategy, AlwaysDenyStrategy):
+        return answer is Answer.DENY
+    if isinstance(strategy, CoinFlipStrategy):
+        if is_positive:
+            return answer is Answer.DENY
+        return True  # negative status can yield either answer
+    raise TypeError(f"unknown strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class BayesianStep:
+    """One round of the probabilistic observer: answer and posterior."""
+
+    time: int
+    answer: Answer
+    posterior_positive: float
+
+
+@dataclass(frozen=True)
+class BayesianResult:
+    """Posterior trajectory of a probabilistic Alice (paper's future-work
+    direction: modelling the user's knowledge of the answering strategy)."""
+
+    strategy_name: str
+    steps: Tuple[BayesianStep, ...]
+
+    @property
+    def peak_posterior(self) -> float:
+        return max((s.posterior_positive for s in self.steps), default=0.0)
+
+    @property
+    def certainty_time(self) -> Optional[int]:
+        """First time the posterior hits 1 (knowledge, not just suspicion)."""
+        for step in self.steps:
+            if step.posterior_positive >= 1.0 - 1e-12:
+                return step.time
+        return None
+
+
+def _answer_likelihood(
+    strategy: AnswerStrategy, is_positive: bool, answer: Answer
+) -> float:
+    """``P(answer | status)`` under a known strategy (Kerckhoffs)."""
+    if isinstance(strategy, TruthfulDenialStrategy):
+        expected = Answer.DENY if is_positive else Answer.NEGATIVE
+        return 1.0 if answer is expected else 0.0
+    if isinstance(strategy, AlwaysDenyStrategy):
+        return 1.0 if answer is Answer.DENY else 0.0
+    if isinstance(strategy, CoinFlipStrategy):
+        if is_positive:
+            return 1.0 if answer is Answer.DENY else 0.0
+        if answer is Answer.NEGATIVE:
+            return strategy.heads_probability
+        return 1.0 - strategy.heads_probability
+    raise TypeError(f"unknown strategy {strategy!r}")
+
+
+def simulate_bayesian(
+    strategy: AnswerStrategy,
+    statuses: Sequence[bool],
+    seed: int = 0,
+    prior_never: float = 0.5,
+) -> BayesianResult:
+    """A *probabilistic* Alice with a prior over seroconversion times.
+
+    Alice knows the strategy (including the coin bias) and holds a prior
+    over the conversion time ``τ ∈ {0, …, T−1, never}``: mass
+    ``prior_never`` on "never", the rest uniform over times.  Each round's
+    answer multiplies in the likelihood ``P(answer | τ)``; the reported
+    posterior is ``P(τ ≤ t)`` — her current confidence that Bob is
+    HIV-positive.
+
+    This quantifies the §1 dynamics: under truthful denial the posterior
+    jumps to 1 at the first denial; under the coin strategy each denial
+    only *nudges* it upward, bounded away from certainty.
+    """
+    horizon = len(statuses)
+    weights = np.empty(horizon + 1)
+    weights[:horizon] = (1.0 - prior_never) / horizon if horizon else 0.0
+    weights[horizon] = prior_never  # index `horizon` encodes "never"
+    rng = np.random.default_rng(seed)
+    steps: List[BayesianStep] = []
+    for t, is_positive in enumerate(statuses):
+        answer = strategy.respond(is_positive, rng)
+        for conversion in range(horizon + 1):
+            hypothetical_positive = t >= conversion and conversion < horizon
+            weights[conversion] *= _answer_likelihood(
+                strategy, hypothetical_positive, answer
+            )
+        total = weights.sum()
+        if total <= 0.0:
+            # The observed answer was impossible under every hypothesis —
+            # cannot happen when the true timeline is in the support.
+            raise RuntimeError("observer's hypothesis space exhausted")
+        weights /= total
+        posterior_positive = float(weights[: t + 1].sum())
+        steps.append(
+            BayesianStep(time=t, answer=answer, posterior_positive=posterior_positive)
+        )
+    return BayesianResult(strategy_name=strategy.name, steps=tuple(steps))
+
+
+def simulate(
+    strategy: AnswerStrategy,
+    statuses: Sequence[bool],
+    seed: int = 0,
+) -> SimulationResult:
+    """Run Alice's repeated query against a status timeline.
+
+    ``statuses[t]`` is whether Bob is HIV-positive at time ``t`` (the §1
+    story: false until seroconversion, true after).  Alice updates from each
+    round's answer; across rounds her knowledge is the intersection of the
+    per-round deductions with monotonicity of the condition taken into
+    account (once positive, always positive).
+    """
+    rng = np.random.default_rng(seed)
+    steps: List[SimulationStep] = []
+    # Cross-round knowledge: the set of possible seroconversion times.
+    # Start: any time (including never).
+    possible_conversion = set(range(len(statuses) + 1))  # len == never
+    for t, is_positive in enumerate(statuses):
+        answer = strategy.respond(is_positive, rng)
+        surviving = set()
+        for conversion in possible_conversion:
+            hypothetical_positive = t >= conversion
+            if _can_produce(strategy, hypothetical_positive, answer):
+                surviving.add(conversion)
+        possible_conversion = surviving or possible_conversion
+        belief = ObserverBelief(
+            negative_possible=any(c > t for c in possible_conversion),
+            positive_possible=any(c <= t for c in possible_conversion),
+        )
+        steps.append(
+            SimulationStep(
+                time=t, is_positive=is_positive, answer=answer, belief=belief
+            )
+        )
+    return SimulationResult(strategy_name=strategy.name, steps=tuple(steps))

@@ -1,0 +1,67 @@
+"""Audit policies: what is sensitive, and what users are assumed to know.
+
+An :class:`AuditPolicy` fixes the audit query ``A`` (a positive answer is
+private, a negative one is not — Section 3) and the prior-knowledge
+assumption, chosen from the paper's families.  In the retroactive setting
+the audit query itself may be sensitive — "e.g. based on an actual or
+suspected privacy breach" — which is why it lives in the auditor's policy,
+not in any user-visible configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..db.query import BooleanQuery
+
+
+class PriorAssumption(enum.Enum):
+    """The admissible-prior family the auditor assumes (Sections 3–6)."""
+
+    UNRESTRICTED = "unrestricted"
+    """No assumption: Theorem 3.11's closed form decides privacy."""
+
+    PRODUCT = "product"
+    """Bit-wise independent records — ``Π_m⁰``, the Miklau–Suciu setting."""
+
+    LOG_SUPERMODULAR = "log-supermodular"
+    """``Π_m⁺``: no negative correlations between positive events."""
+
+    POSSIBILISTIC_SUBCUBES = "possibilistic-subcubes"
+    """Possibilistic users whose knowledge sets are subcubes (∩-closed)."""
+
+    POSSIBILISTIC_UNRESTRICTED = "possibilistic-unrestricted"
+    """Possibilistic users with arbitrary knowledge sets (``Σ = P(Ω)``)."""
+
+    POSSIBILISTIC_IGNORANT = "possibilistic-ignorant"
+    """Users assumed to start fully ignorant (``Σ = {Ω}``) — the Remark 4.2
+    setting, where individually safe disclosures can compose unsafely."""
+
+
+@dataclass(frozen=True)
+class AuditPolicy:
+    """The auditor's configuration for one investigation.
+
+    Attributes
+    ----------
+    audit_query:
+        The sensitive Boolean property ``A`` — e.g. parsed from
+        ``"EXISTS(SELECT * FROM visits WHERE patient='Bob' AND hiv=TRUE)"``.
+    assumption:
+        The prior-knowledge family to audit against.  Remark 3.2: assuming
+        *less* than the auditor knows is sound (it can only flag more
+        disclosures), so when in doubt pick a larger family.
+    name:
+        Label used in reports.
+    """
+
+    audit_query: BooleanQuery
+    assumption: PriorAssumption = PriorAssumption.PRODUCT
+    name: str = "audit"
+
+    def describe(self) -> str:
+        return (
+            f"policy {self.name!r}: protect a positive answer to "
+            f"[{self.audit_query}] against {self.assumption.value} priors"
+        )

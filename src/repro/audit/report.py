@@ -1,0 +1,45 @@
+"""Rendering audit reports as human-readable text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .offline import AuditReport
+
+
+def render_report(report: AuditReport, width: int = 78) -> str:
+    """A plain-text audit report: policy, per-event verdicts, summary."""
+    lines: List[str] = []
+    rule = "=" * width
+    lines.append(rule)
+    lines.append("OFFLINE AUDIT REPORT")
+    lines.append(rule)
+    lines.append(report.policy.describe())
+    lines.append("-" * width)
+    for finding in report.findings:
+        marker = "!!" if finding.suspicious else "ok"
+        lines.append(f" [{marker}] {finding.event.describe()}")
+        lines.append(f"       verdict: {finding.verdict}")
+        if finding.suspicious and finding.verdict.witness is not None:
+            lines.append(
+                f"       witness prior: {_summarise_witness(finding.verdict.witness)}"
+            )
+    lines.append("-" * width)
+    counts = report.counts()
+    lines.append(
+        f"events: {len(report.findings)}  safe: {counts['safe']}  "
+        f"unsafe: {counts['unsafe']}  unknown: {counts['unknown']}"
+    )
+    if report.suspicious_users:
+        lines.append("suspicion falls on: " + ", ".join(report.suspicious_users))
+    if report.cleared_users:
+        lines.append("cleared: " + ", ".join(report.cleared_users))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def _summarise_witness(witness) -> str:
+    text = repr(witness)
+    if len(text) > 100:
+        text = text[:97] + "..."
+    return text

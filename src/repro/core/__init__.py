@@ -1,0 +1,106 @@
+"""Core epistemic model: worlds, agents, knowledge, and the privacy definitions.
+
+This subpackage implements Sections 2 and 3 of *Epistemic Privacy*
+(Evfimievski, Fagin, Woodruff; PODS 2008): possible-worlds semantics,
+possibilistic and probabilistic agents, the auditor's second-level knowledge
+sets, knowledge acquisition, the ``Safe_K(A, B)`` privacy predicates, the
+unrestricted-prior characterisation (Theorem 3.11), and K-preserving
+composition of disclosures (Proposition 3.10).
+"""
+
+from .agents import PossibilisticAgent, ProbabilisticAgent
+from .distributions import Distribution, mix
+from .events import (
+    down_closure,
+    is_down_set,
+    is_up_set,
+    join_set,
+    maximal_elements,
+    meet_set,
+    minimal_elements,
+    monotone_mask,
+    up_closure,
+    xor_mask,
+)
+from .knowledge import (
+    PossibilisticKnowledge,
+    PossibilisticKnowledgeWorld,
+    ProbabilisticKnowledge,
+    ProbabilisticKnowledgeWorld,
+    power_set,
+)
+from .preserving import (
+    audit_disclosure_sequence_possibilistic,
+    compose_disclosures_possibilistic,
+    compose_disclosures_probabilistic,
+    is_preserving_possibilistic,
+    is_preserving_probabilistic,
+)
+from .privacy import (
+    possibilistic_violation,
+    probabilistic_violation,
+    safe_c_pi,
+    safe_c_sigma,
+    safe_pi,
+    safe_possibilistic,
+    safe_probabilistic,
+    safe_unrestricted,
+    safe_unrestricted_known_world,
+    safety_gap,
+    unconditionally_private,
+)
+from .verdict import AuditVerdict, Verdict
+from .worlds import (
+    GridSpace,
+    HypercubeSpace,
+    LabeledSpace,
+    PropertySet,
+    WorldSpace,
+    quadrants,
+)
+
+__all__ = [
+    "AuditVerdict",
+    "Distribution",
+    "GridSpace",
+    "HypercubeSpace",
+    "LabeledSpace",
+    "PossibilisticAgent",
+    "PossibilisticKnowledge",
+    "PossibilisticKnowledgeWorld",
+    "ProbabilisticAgent",
+    "ProbabilisticKnowledge",
+    "ProbabilisticKnowledgeWorld",
+    "PropertySet",
+    "Verdict",
+    "WorldSpace",
+    "audit_disclosure_sequence_possibilistic",
+    "compose_disclosures_possibilistic",
+    "compose_disclosures_probabilistic",
+    "down_closure",
+    "is_down_set",
+    "is_preserving_possibilistic",
+    "is_preserving_probabilistic",
+    "is_up_set",
+    "join_set",
+    "maximal_elements",
+    "meet_set",
+    "minimal_elements",
+    "mix",
+    "monotone_mask",
+    "possibilistic_violation",
+    "power_set",
+    "probabilistic_violation",
+    "quadrants",
+    "safe_c_pi",
+    "safe_c_sigma",
+    "safe_pi",
+    "safe_possibilistic",
+    "safe_probabilistic",
+    "safe_unrestricted",
+    "safe_unrestricted_known_world",
+    "safety_gap",
+    "unconditionally_private",
+    "up_closure",
+    "xor_mask",
+]

@@ -1,0 +1,151 @@
+"""Possibilistic and probabilistic agents (Section 2) and knowledge acquisition (Section 3.3).
+
+Database users are modelled as *agents* trying to figure out which world is
+the actual one.  A possibilistic agent's knowledge is the set of worlds it
+considers possible; a probabilistic agent's knowledge is a distribution.
+Acquiring a disclosed property ``B`` intersects the knowledge set with ``B``
+or conditions the distribution on ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import InconsistentKnowledgeError
+from .distributions import Distribution
+from .worlds import PropertySet, WorldLike, WorldSpace
+
+
+class PossibilisticAgent:
+    """An agent whose knowledge is a set ``S ⊆ Ω`` of possible worlds.
+
+    The agent *knows* a property ``A`` when ``S ⊆ A``, and considers ``A``
+    *possible* when ``S ∩ A ≠ ∅`` (Section 2, "Agents").
+    """
+
+    __slots__ = ("_knowledge", "_name")
+
+    def __init__(self, knowledge: PropertySet, name: str = "user") -> None:
+        if not knowledge:
+            raise InconsistentKnowledgeError(
+                "an agent must consider at least one world possible"
+            )
+        self._knowledge = knowledge
+        self._name = name
+
+    @property
+    def knowledge(self) -> PropertySet:
+        """The set ``S`` of worlds the agent considers possible."""
+        return self._knowledge
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._knowledge.space
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def knows(self, event: PropertySet) -> bool:
+        """True iff the agent knows the property: ``S ⊆ A``."""
+        return self._knowledge <= event
+
+    def considers_possible(self, event: PropertySet) -> bool:
+        """True iff ``S ∩ A ≠ ∅``, i.e. the agent does not know ``Ω − A``."""
+        return not self._knowledge.isdisjoint(event)
+
+    def is_consistent_with(self, world: WorldLike) -> bool:
+        """True iff the agent considers ``world`` possible (``ω ∈ S``)."""
+        return world in self._knowledge
+
+    def learn(self, event: PropertySet) -> "PossibilisticAgent":
+        """Acquire a disclosed property ``B`` (Section 3.3): posterior is ``S ∩ B``.
+
+        Raises :class:`InconsistentKnowledgeError` when ``S ∩ B = ∅``; this
+        cannot happen for a genuine disclosure because ``ω* ∈ S ∩ B``.
+        """
+        posterior = self._knowledge & event
+        if not posterior:
+            raise InconsistentKnowledgeError(
+                f"{self._name} cannot acquire a property it knows to be false"
+            )
+        return PossibilisticAgent(posterior, self._name)
+
+    def collude(self, other: "PossibilisticAgent") -> "PossibilisticAgent":
+        """Join forces with another agent (Section 4.1): knowledge sets intersect.
+
+        Two colluding agents jointly consider a world possible iff neither
+        has ruled it out.
+        """
+        joint = self._knowledge & other._knowledge
+        if not joint:
+            raise InconsistentKnowledgeError(
+                "colluding agents have contradictory knowledge"
+            )
+        return PossibilisticAgent(joint, f"{self._name}+{other._name}")
+
+    def __repr__(self) -> str:
+        return f"PossibilisticAgent({self._name}, |S|={len(self._knowledge)})"
+
+
+class ProbabilisticAgent:
+    """An agent whose knowledge is a probability distribution ``P`` on ``Ω``.
+
+    The agent *knows* ``A`` when ``P[A] = 1`` and considers ``A`` possible
+    when ``P[A] > 0``.  Its confidence in ``A`` is the probability ``P[A]``,
+    the continuum of "grades of confidence" of Section 3.2.
+    """
+
+    __slots__ = ("_belief", "_name")
+
+    def __init__(self, belief: Distribution, name: str = "user") -> None:
+        self._belief = belief
+        self._name = name
+
+    @property
+    def belief(self) -> Distribution:
+        """The distribution ``P`` representing the agent's knowledge."""
+        return self._belief
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._belief.space
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def confidence(self, event: PropertySet) -> float:
+        """The agent's confidence ``P[A]`` in a property."""
+        return self._belief.prob(event)
+
+    def knows(self, event: PropertySet) -> bool:
+        """True iff ``P[A] = 1``."""
+        return self._belief.prob(event) >= 1.0
+
+    def considers_possible(self, event: PropertySet) -> bool:
+        """True iff ``P[A] > 0``."""
+        return self._belief.prob(event) > 0.0
+
+    def is_consistent_with(self, world: WorldLike) -> bool:
+        """True iff ``P(ω) > 0`` (Remark 2.3 consistency)."""
+        return self._belief.considers_possible(world)
+
+    def learn(self, event: PropertySet) -> "ProbabilisticAgent":
+        """Acquire a disclosed property ``B``: posterior is ``P(· | B)``."""
+        return ProbabilisticAgent(self._belief.conditional(event), self._name)
+
+    def confidence_gain(self, event: PropertySet, disclosed: PropertySet) -> float:
+        """``P[A | B] − P[A]``: positive iff learning ``B`` raises confidence in ``A``.
+
+        Epistemic privacy of ``A`` given ``B`` (Eq. 7) demands this quantity
+        be ≤ 0 for every admissible prior.
+        """
+        return self._belief.conditional_prob(event, disclosed) - self._belief.prob(event)
+
+    def possibilistic_shadow(self, name: Optional[str] = None) -> PossibilisticAgent:
+        """The possibilistic agent whose knowledge is ``supp(P)`` (Remark 2.3)."""
+        return PossibilisticAgent(self._belief.support(), name or self._name)
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticAgent({self._name}, supp={len(self._belief.support())})"

@@ -1,0 +1,218 @@
+"""Probability distributions over finite world spaces.
+
+A probabilistic agent's knowledge (Section 2) is a distribution
+``P : Ω → R₊`` with ``P[Ω] = 1`` and ``P(ω*) > 0``.  This module provides a
+dense, validated, immutable distribution type used throughout the
+probabilistic privacy machinery.  Hypercube-specific *product* distributions
+live in :mod:`repro.probabilistic.distributions`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidDistributionError
+from .worlds import PropertySet, WorldLike, WorldSpace
+
+#: Tolerance used when validating that probabilities sum to one.
+SUM_TOLERANCE = 1e-9
+
+
+class Distribution:
+    """An immutable probability distribution over a :class:`WorldSpace`.
+
+    Parameters
+    ----------
+    space:
+        The world space ``Ω``.
+    probs:
+        A sequence of ``|Ω|`` nonnegative weights summing to one (within
+        :data:`SUM_TOLERANCE`), indexed by world id.
+    normalize:
+        When true, rescale the weights to sum to one instead of validating
+        the sum (useful for constructing from unnormalised scores).
+    """
+
+    __slots__ = ("_space", "_probs")
+
+    def __init__(
+        self,
+        space: WorldSpace,
+        probs: Iterable[float],
+        normalize: bool = False,
+    ) -> None:
+        arr = np.asarray(list(probs) if not isinstance(probs, np.ndarray) else probs,
+                         dtype=float).copy()
+        if arr.shape != (space.size,):
+            raise InvalidDistributionError(
+                f"expected {space.size} weights for {space!r}, got shape {arr.shape}"
+            )
+        if np.any(arr < -SUM_TOLERANCE):
+            raise InvalidDistributionError("negative probability mass")
+        arr = np.clip(arr, 0.0, None)
+        total = float(arr.sum())
+        if normalize:
+            if total <= 0:
+                raise InvalidDistributionError("cannot normalise zero mass")
+            arr /= total
+        elif abs(total - 1.0) > SUM_TOLERANCE * max(1.0, space.size):
+            raise InvalidDistributionError(f"probabilities sum to {total}, not 1")
+        arr.setflags(write=False)
+        self._space = space
+        self._probs = arr
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, space: WorldSpace) -> "Distribution":
+        """The uniform distribution on ``Ω``."""
+        return cls(space, np.full(space.size, 1.0 / space.size))
+
+    @classmethod
+    def uniform_on(cls, support: PropertySet) -> "Distribution":
+        """The uniform distribution on a non-empty subset of ``Ω``."""
+        if not support:
+            raise InvalidDistributionError("cannot be uniform on the empty set")
+        probs = np.zeros(support.space.size)
+        weight = 1.0 / len(support)
+        for w in support:
+            probs[w] = weight
+        return cls(support.space, probs)
+
+    @classmethod
+    def point_mass(cls, space: WorldSpace, world: WorldLike) -> "Distribution":
+        """The distribution concentrated on a single world."""
+        probs = np.zeros(space.size)
+        probs[space.world_id(world)] = 1.0
+        return cls(space, probs)
+
+    @classmethod
+    def from_mapping(
+        cls,
+        space: WorldSpace,
+        weights: Mapping[WorldLike, float],
+        normalize: bool = False,
+    ) -> "Distribution":
+        """Build from a sparse ``{world: weight}`` mapping; missing worlds get 0."""
+        probs = np.zeros(space.size)
+        for world, weight in weights.items():
+            probs[space.world_id(world)] = weight
+        return cls(space, probs, normalize=normalize)
+
+    @classmethod
+    def random(
+        cls,
+        space: WorldSpace,
+        rng: Optional[np.random.Generator] = None,
+        concentration: float = 1.0,
+    ) -> "Distribution":
+        """A Dirichlet(``concentration``)-random distribution on ``Ω``."""
+        rng = rng or np.random.default_rng()
+        return cls(space, rng.dirichlet(np.full(space.size, concentration)))
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def space(self) -> WorldSpace:
+        """The underlying world space."""
+        return self._space
+
+    @property
+    def probs(self) -> np.ndarray:
+        """The read-only weight vector indexed by world id."""
+        return self._probs
+
+    def mass(self, world: WorldLike) -> float:
+        """The point mass ``P(ω)``."""
+        return float(self._probs[self._space.world_id(world)])
+
+    def prob(self, event: PropertySet) -> float:
+        """The event probability ``P[A] = Σ_{ω ∈ A} P(ω)``."""
+        self._space.check_same(event.space)
+        if not event:
+            return 0.0
+        idx = np.fromiter(event.members, dtype=np.intp, count=len(event))
+        return float(self._probs[idx].sum())
+
+    def support(self) -> PropertySet:
+        """``supp(P) = {ω : P(ω) > 0}`` (Remark 2.3)."""
+        return PropertySet(self._space, np.flatnonzero(self._probs > 0.0).tolist())
+
+    def considers_possible(self, world: WorldLike) -> bool:
+        """True iff ``P(ω) > 0``."""
+        return self.mass(world) > 0.0
+
+    # -- knowledge acquisition (Section 3.3) --------------------------------------
+
+    def conditional(self, event: PropertySet) -> "Distribution":
+        """The posterior ``P(· | B)`` after acquiring ``B`` (Section 3.3).
+
+        ``P(ω | B) = P(ω) / P[B]`` for ``ω ∈ B`` and 0 elsewhere.  Raises
+        :class:`InvalidDistributionError` when ``P[B] = 0`` (an agent never
+        receives a disclosure it considers impossible, since ``ω* ∈ B`` and
+        ``P(ω*) > 0``).
+        """
+        self._space.check_same(event.space)
+        total = self.prob(event)
+        if total <= 0.0:
+            raise InvalidDistributionError("conditioning on a zero-probability event")
+        probs = np.zeros_like(self._probs)
+        for w in event:
+            probs[w] = self._probs[w] / total
+        return Distribution(self._space, probs)
+
+    def conditional_prob(self, event: PropertySet, given: PropertySet) -> float:
+        """``P[A | B]``; raises when ``P[B] = 0``."""
+        denom = self.prob(given)
+        if denom <= 0.0:
+            raise InvalidDistributionError("conditioning on a zero-probability event")
+        return self.prob(event & given) / denom
+
+    # -- comparisons ---------------------------------------------------------------
+
+    def allclose(self, other: "Distribution", atol: float = 1e-12) -> bool:
+        """Approximate equality of weight vectors (same space required)."""
+        self._space.check_same(other._space)
+        return bool(np.allclose(self._probs, other._probs, atol=atol, rtol=0.0))
+
+    def distance_linf(self, other: "Distribution") -> float:
+        """``||P − P'||_∞``, the norm of the liftability Definition 3.7."""
+        self._space.check_same(other._space)
+        return float(np.max(np.abs(self._probs - other._probs)))
+
+    def as_dict(self) -> Dict[int, float]:
+        """Sparse ``{world id: mass}`` view of the support."""
+        return {int(w): float(self._probs[w]) for w in np.flatnonzero(self._probs > 0.0)}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self._space == other._space and np.array_equal(self._probs, other._probs)
+
+    def __hash__(self) -> int:
+        return hash((self._space, self._probs.tobytes()))
+
+    def __repr__(self) -> str:
+        shown = sorted(self.as_dict().items())[:6]
+        inner = ", ".join(
+            f"{self._space.world_label(w)}: {p:.4g}" for w, p in shown
+        )
+        suffix = ", ..." if len(self.as_dict()) > 6 else ""
+        return f"Distribution({inner}{suffix})"
+
+
+def mix(first: Distribution, second: Distribution, weight: float) -> Distribution:
+    """The convex mixture ``(1-weight)·P₁ + weight·P₂``.
+
+    Mixtures implement the ε-perturbations used by liftability arguments
+    (Definition 3.7): mixing any ``P`` with a full-support distribution makes
+    every world possible while moving at most ``weight`` in ``||·||_∞``.
+    """
+    first.space.check_same(second.space)
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("mixture weight must lie in [0, 1]")
+    return Distribution(
+        first.space, (1.0 - weight) * first.probs + weight * second.probs
+    )

@@ -1,0 +1,178 @@
+"""Lattice-flavoured operations on hypercube properties (Section 5 preliminaries).
+
+The paper's Section 5 works over ``Ω = {0,1}^n`` with the bit-wise lattice:
+``ω₁ ∧ ω₂`` (AND), ``ω₁ ∨ ω₂`` (OR), ``ω₁ ⊕ ω₂`` (XOR) and the partial order
+``≼``.  A set is an *up-set* (*down-set*) when it is closed upward (downward)
+under ``≼``.  These notions drive the monotonicity criterion (Corollary 5.5)
+and the Four Functions Theorem machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import _bitops
+from ..exceptions import SpaceMismatchError
+from .worlds import HypercubeSpace, PropertySet
+
+
+def _hypercube_of(prop: PropertySet) -> HypercubeSpace:
+    space = prop.space
+    if not isinstance(space, HypercubeSpace):
+        raise SpaceMismatchError(f"operation requires a hypercube space, got {space!r}")
+    return space
+
+
+def meet_set(a: PropertySet, b: PropertySet) -> PropertySet:
+    """``A ∧ B = {a ∧ b : a ∈ A, b ∈ B}`` (Theorem 5.3 notation)."""
+    space = _hypercube_of(a)
+    space.check_same(b.space)
+    return PropertySet(space, {u & v for u in a.members for v in b.members})
+
+
+def join_set(a: PropertySet, b: PropertySet) -> PropertySet:
+    """``A ∨ B = {a ∨ b : a ∈ A, b ∈ B}`` (Theorem 5.3 notation)."""
+    space = _hypercube_of(a)
+    space.check_same(b.space)
+    return PropertySet(space, {u | v for u in a.members for v in b.members})
+
+
+def xor_mask(z: int, a: PropertySet) -> PropertySet:
+    """``z ⊕ A = {z ⊕ ω : ω ∈ A}``, the coordinate-flip used by the monotonicity criterion."""
+    space = _hypercube_of(a)
+    if not 0 <= z < space.size:
+        raise ValueError(f"mask {z} outside {space!r}")
+    return PropertySet(space, {z ^ w for w in a.members})
+
+
+def is_up_set(a: PropertySet) -> bool:
+    """True iff ``A`` is closed upward: ``ω₁ ∈ A`` and ``ω₁ ≼ ω₂`` imply ``ω₂ ∈ A``.
+
+    Checked in ``O(|A| · n)`` by verifying closure under single-bit raises.
+    """
+    space = _hypercube_of(a)
+    members = a.members
+    for w in members:
+        for i in range(space.n):
+            if not (w >> i) & 1 and (w | (1 << i)) not in members:
+                return False
+    return True
+
+
+def is_down_set(a: PropertySet) -> bool:
+    """True iff ``A`` is closed downward under ``≼``."""
+    space = _hypercube_of(a)
+    members = a.members
+    for w in members:
+        for i in range(space.n):
+            if (w >> i) & 1 and (w & ~(1 << i)) not in members:
+                return False
+    return True
+
+
+def up_closure(a: PropertySet) -> PropertySet:
+    """The smallest up-set containing ``A``."""
+    space = _hypercube_of(a)
+    closed = set(a.members)
+    frontier = list(closed)
+    while frontier:
+        w = frontier.pop()
+        for i in range(space.n):
+            up = w | (1 << i)
+            if up not in closed:
+                closed.add(up)
+                frontier.append(up)
+    return PropertySet(space, closed)
+
+
+def down_closure(a: PropertySet) -> PropertySet:
+    """The smallest down-set containing ``A``."""
+    space = _hypercube_of(a)
+    closed = set(a.members)
+    frontier = list(closed)
+    while frontier:
+        w = frontier.pop()
+        for i in range(space.n):
+            if (w >> i) & 1:
+                down = w & ~(1 << i)
+                if down not in closed:
+                    closed.add(down)
+                    frontier.append(down)
+    return PropertySet(space, closed)
+
+
+def minimal_elements(a: PropertySet) -> PropertySet:
+    """The ``≼``-minimal members of ``A``."""
+    space = _hypercube_of(a)
+    members = a.members
+    result = {
+        w
+        for w in members
+        if not any(v != w and _bitops.leq(v, w) for v in members)
+    }
+    return PropertySet(space, result)
+
+
+def maximal_elements(a: PropertySet) -> PropertySet:
+    """The ``≼``-maximal members of ``A``."""
+    space = _hypercube_of(a)
+    members = a.members
+    result = {
+        w
+        for w in members
+        if not any(v != w and _bitops.leq(w, v) for v in members)
+    }
+    return PropertySet(space, result)
+
+
+def monotone_mask(a: PropertySet, b: PropertySet) -> Optional[int]:
+    """Find a mask ``z`` with ``z ⊕ A`` an up-set and ``z ⊕ B`` a down-set.
+
+    This is the search behind the paper's *monotonicity criterion* (the
+    generalisation of Corollary 5.5 stated just after Theorem 5.7): privacy
+    holds for the product family whenever such a ``z`` exists.  Returns the
+    smallest such mask, or ``None`` when no mask works.
+
+    Being an up-set (down-set) factorises into closure under single-bit
+    raises (drops), so each coordinate of ``z`` can be decided independently
+    in ``O((|A| + |B|) · n)`` total: bit ``i`` of ``z`` orients all
+    ``i``-edges, and either orientation works, or exactly one does, or none
+    does (in which case no mask exists).
+    """
+    space = _hypercube_of(a)
+    space.check_same(b.space)
+    mask = 0
+    for i in range(space.n):
+        ok_plain, ok_flip = _edge_orientation(a, b, 1 << i)
+        if ok_plain:
+            continue  # prefer z[i] = 0, keeping the returned mask smallest
+        if ok_flip:
+            mask |= 1 << i
+        else:
+            return None
+    return mask
+
+
+def _edge_orientation(a: PropertySet, b: PropertySet, bit: int) -> tuple:
+    """Check whether coordinate ``bit`` can stay plain / must flip.
+
+    ``ok_plain`` holds when every ``bit``-edge of ``A`` points up and of ``B``
+    points down already; ``ok_flip`` when the reverse orientation works.
+    """
+    ok_plain = True
+    ok_flip = True
+    for w in a.members:
+        if not w & bit and (w | bit) not in a.members:
+            ok_plain = False
+        if w & bit and (w & ~bit) not in a.members:
+            ok_flip = False
+        if not ok_plain and not ok_flip:
+            return False, False
+    for w in b.members:
+        if w & bit and (w & ~bit) not in b.members:
+            ok_plain = False
+        if not w & bit and (w | bit) not in b.members:
+            ok_flip = False
+        if not ok_plain and not ok_flip:
+            return False, False
+    return ok_plain, ok_flip

@@ -1,0 +1,313 @@
+"""Knowledge worlds and second-level knowledge sets (Definitions 2.1, 2.2, 2.5).
+
+The auditor's uncertainty about *the user* is captured by a set of pairs:
+``(ω, S)`` in the possibilistic model, ``(ω, P)`` in the probabilistic model,
+where ``ω`` is a candidate actual database and ``S`` / ``P`` a candidate
+state of the user's knowledge.  Consistency (Remark 2.3) requires ``ω ∈ S``
+and ``P(ω) > 0``.  The product construction ``C ⊗ Σ`` / ``C ⊗ Π``
+(Definition 2.5) separates the auditor's knowledge of the database from her
+assumptions about the user, dropping the inconsistent pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..exceptions import (
+    EmptyKnowledgeError,
+    InconsistentKnowledgeError,
+    NotIntersectionClosedError,
+)
+from .distributions import Distribution
+from .worlds import PropertySet, WorldLike, WorldSpace
+
+#: Guard for operations that enumerate all subsets of Ω.
+_MAX_ENUMERABLE_BITS = 16
+
+
+@dataclass(frozen=True)
+class PossibilisticKnowledgeWorld:
+    """A pair ``(ω, S)`` with ``ω ∈ S ⊆ Ω`` (Definition 2.1)."""
+
+    world: int
+    knowledge: PropertySet
+
+    def __post_init__(self) -> None:
+        if self.world not in self.knowledge:
+            raise InconsistentKnowledgeError(
+                f"world {self.world} not in its own knowledge set (Remark 2.3)"
+            )
+
+    @property
+    def space(self) -> WorldSpace:
+        return self.knowledge.space
+
+
+@dataclass(frozen=True)
+class ProbabilisticKnowledgeWorld:
+    """A pair ``(ω, P)`` with ``P(ω) > 0`` (Definition 2.2)."""
+
+    world: int
+    belief: Distribution
+
+    def __post_init__(self) -> None:
+        if self.belief.mass(self.world) <= 0.0:
+            raise InconsistentKnowledgeError(
+                f"world {self.world} has zero prior mass (Remark 2.3)"
+            )
+
+    @property
+    def space(self) -> WorldSpace:
+        return self.belief.space
+
+    def possibilistic_shadow(self) -> PossibilisticKnowledgeWorld:
+        """The pair ``(ω, supp(P))``, consistent iff this pair is (Remark 2.3)."""
+        return PossibilisticKnowledgeWorld(self.world, self.belief.support())
+
+
+class PossibilisticKnowledge:
+    """An explicit second-level knowledge set ``K ⊆ Ω_poss``.
+
+    Stored as a frozenset of consistent ``(ω, S)`` pairs.  This is the fully
+    general representation used by Definition 3.1; Section 4's structured
+    representations (``C ⊗ Σ`` with ∩-closed ``Σ``) are built on top of it in
+    :mod:`repro.possibilistic`.
+    """
+
+    __slots__ = ("_space", "_pairs")
+
+    def __init__(
+        self, space: WorldSpace, pairs: Iterable[PossibilisticKnowledgeWorld]
+    ) -> None:
+        pairs = frozenset(pairs)
+        if not pairs:
+            raise EmptyKnowledgeError("∅ is not a valid second-level knowledge set")
+        for pair in pairs:
+            space.check_same(pair.space)
+        self._space = space
+        self._pairs = pairs
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls, space: WorldSpace, tuples: Iterable[Tuple[WorldLike, Iterable[WorldLike]]]
+    ) -> "PossibilisticKnowledge":
+        """Build from raw ``(world, worlds-of-S)`` tuples."""
+        pairs = [
+            PossibilisticKnowledgeWorld(space.world_id(w), space.property_set(s))
+            for w, s in tuples
+        ]
+        return cls(space, pairs)
+
+    @classmethod
+    def product(
+        cls, candidates: PropertySet, families: Iterable[PropertySet]
+    ) -> "PossibilisticKnowledge":
+        """The product ``C ⊗ Σ`` of Definition 2.5: consistent pairs of ``C × Σ``."""
+        space = candidates.space
+        pairs = []
+        for knowledge_set in families:
+            space.check_same(knowledge_set.space)
+            for world in candidates & knowledge_set:
+                pairs.append(PossibilisticKnowledgeWorld(world, knowledge_set))
+        if not pairs:
+            raise EmptyKnowledgeError(
+                "the pair (C, Σ) is inconsistent: its product is empty (Def 2.5)"
+            )
+        return cls(space, pairs)
+
+    @classmethod
+    def full(cls, space: WorldSpace) -> "PossibilisticKnowledge":
+        """The maximal set ``Ω_poss = Ω ⊗ P(Ω)`` (only for small spaces).
+
+        Enumerates all ``(ω, S)`` with ``ω ∈ S ⊆ Ω`` — exponential in
+        ``|Ω|``, so guarded.
+        """
+        return cls.product(space.full, power_set(space))
+
+    @classmethod
+    def known_world(cls, space: WorldSpace, world: WorldLike) -> "PossibilisticKnowledge":
+        """``{ω*} ⊗ P(Ω)``: auditor knows the database, nothing about the user."""
+        return cls.product(space.singleton(world), power_set(space))
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._space
+
+    @property
+    def pairs(self) -> FrozenSet[PossibilisticKnowledgeWorld]:
+        return self._pairs
+
+    def __iter__(self) -> Iterator[PossibilisticKnowledgeWorld]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: PossibilisticKnowledgeWorld) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PossibilisticKnowledge):
+            return NotImplemented
+        return self._space == other._space and self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash((self._space, self._pairs))
+
+    def worlds(self) -> PropertySet:
+        """The projection ``π₁(K)``: candidate actual databases."""
+        return self._space.property_set({pair.world for pair in self._pairs})
+
+    def knowledge_sets(self) -> FrozenSet[PropertySet]:
+        """The projection ``π₂(K)``: candidate user knowledge sets."""
+        return frozenset(pair.knowledge for pair in self._pairs)
+
+    def restrict(
+        self, predicate
+    ) -> "PossibilisticKnowledge":
+        """The subset of pairs satisfying ``predicate`` (Remark 3.2: shrinking
+        ``K`` can only make more disclosures safe)."""
+        kept = [pair for pair in self._pairs if predicate(pair)]
+        return PossibilisticKnowledge(self._space, kept)
+
+    # -- ∩-closure (Definition 4.3) ---------------------------------------------
+
+    def is_intersection_closed(self) -> bool:
+        """True iff ``(ω,S₁),(ω,S₂) ∈ K`` imply ``(ω, S₁∩S₂) ∈ K`` (Def 4.3)."""
+        by_world: dict = {}
+        for pair in self._pairs:
+            by_world.setdefault(pair.world, []).append(pair.knowledge)
+        for world, sets in by_world.items():
+            for s1, s2 in itertools.combinations(sets, 2):
+                if PossibilisticKnowledgeWorld(world, s1 & s2) not in self._pairs:
+                    return False
+        return True
+
+    def intersection_closure(self) -> "PossibilisticKnowledge":
+        """The smallest ∩-closed superset of ``K``.
+
+        Models the auditor accounting for arbitrary collusions (Section 4.1):
+        whenever ``(ω,S₁)`` and ``(ω,S₂)`` are possible, so is ``(ω,S₁∩S₂)``.
+        """
+        by_world: dict = {}
+        for pair in self._pairs:
+            by_world.setdefault(pair.world, set()).add(pair.knowledge)
+        closed_pairs: List[PossibilisticKnowledgeWorld] = []
+        for world, sets in by_world.items():
+            closed = set(sets)
+            frontier = list(sets)
+            while frontier:
+                current = frontier.pop()
+                for other in list(closed):
+                    meet = current & other
+                    if meet not in closed:
+                        # world ∈ S₁ and S₂, so world ∈ meet: still consistent.
+                        closed.add(meet)
+                        frontier.append(meet)
+            closed_pairs.extend(
+                PossibilisticKnowledgeWorld(world, s) for s in closed
+            )
+        return PossibilisticKnowledge(self._space, closed_pairs)
+
+    def require_intersection_closed(self) -> None:
+        """Raise :class:`NotIntersectionClosedError` unless ∩-closed."""
+        if not self.is_intersection_closed():
+            raise NotIntersectionClosedError(
+                "operation requires an ∩-closed second-level knowledge set (Def 4.3)"
+            )
+
+    def __repr__(self) -> str:
+        return f"PossibilisticKnowledge(|K|={len(self._pairs)}, space={self._space.name})"
+
+
+class ProbabilisticKnowledge:
+    """An explicit, finite second-level knowledge set ``K ⊆ Ω_prob``.
+
+    General families of distributions (products, log-supermodular, algebraic)
+    cannot be enumerated; they are handled symbolically in
+    :mod:`repro.probabilistic.families`.  This class covers the paper's
+    Definition 3.4 verbatim for finitely many candidate pairs, which is what
+    the brute-force validation of the symbolic criteria needs.
+    """
+
+    __slots__ = ("_space", "_pairs")
+
+    def __init__(
+        self, space: WorldSpace, pairs: Iterable[ProbabilisticKnowledgeWorld]
+    ) -> None:
+        pairs = tuple(pairs)
+        if not pairs:
+            raise EmptyKnowledgeError("∅ is not a valid second-level knowledge set")
+        for pair in pairs:
+            space.check_same(pair.space)
+        self._space = space
+        self._pairs = pairs
+
+    @classmethod
+    def product(
+        cls, candidates: PropertySet, family: Iterable[Distribution]
+    ) -> "ProbabilisticKnowledge":
+        """The product ``C ⊗ Π`` of Definition 2.5 for a finite family ``Π``."""
+        space = candidates.space
+        pairs = []
+        for belief in family:
+            space.check_same(belief.space)
+            for world in candidates:
+                if belief.mass(world) > 0.0:
+                    pairs.append(ProbabilisticKnowledgeWorld(world, belief))
+        if not pairs:
+            raise EmptyKnowledgeError(
+                "the pair (C, Π) is inconsistent: its product is empty (Def 2.5)"
+            )
+        return cls(space, pairs)
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._space
+
+    @property
+    def pairs(self) -> Tuple[ProbabilisticKnowledgeWorld, ...]:
+        return self._pairs
+
+    def __iter__(self) -> Iterator[ProbabilisticKnowledgeWorld]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def possibilistic_shadow(self) -> PossibilisticKnowledge:
+        """Replace each ``(ω, P)`` by ``(ω, supp(P))`` (Remark 2.3)."""
+        return PossibilisticKnowledge(
+            self._space, (pair.possibilistic_shadow() for pair in self._pairs)
+        )
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticKnowledge(|K|={len(self._pairs)}, space={self._space.name})"
+
+
+def power_set(space: WorldSpace) -> List[PropertySet]:
+    """All non-empty subsets of ``Ω`` — the family ``P(Ω)`` (guarded, tiny spaces only)."""
+    if space.size > _MAX_ENUMERABLE_BITS:
+        raise ValueError(
+            f"refusing to enumerate 2^{space.size} subsets; use a structured family"
+        )
+    subsets = []
+    for mask in range(1, 1 << space.size):
+        members = [w for w in range(space.size) if (mask >> w) & 1]
+        subsets.append(space.property_set(members))
+    return subsets

@@ -1,0 +1,142 @@
+"""K-preserving disclosures and safe composition (Definition 3.9, Proposition 3.10).
+
+A disclosed set ``B`` is *K-preserving* when the auditor's assumption ``K``
+about the user remains valid after the user acquires ``B``: every consistent
+pair updates to another pair inside ``K``.  Preservation is what makes
+privacy compose — if ``B₁`` and ``B₂`` are individually safe and at least
+one of them preserves ``K``, disclosing both (i.e. ``B₁ ∩ B₂``) is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .knowledge import (
+    PossibilisticKnowledge,
+    PossibilisticKnowledgeWorld,
+    ProbabilisticKnowledge,
+    ProbabilisticKnowledgeWorld,
+)
+from .privacy import safe_possibilistic, safe_probabilistic
+from .worlds import PropertySet
+
+#: Tolerance for matching updated distributions against members of K.
+_DIST_ATOL = 1e-9
+
+
+def is_preserving_possibilistic(
+    knowledge: PossibilisticKnowledge, disclosed: PropertySet
+) -> bool:
+    """Definition 3.9 for ``K ⊆ Ω_poss``.
+
+    ``B`` is K-preserving when for all ``(ω, S) ∈ K`` with ``ω ∈ B`` we have
+    ``(ω, S ∩ B) ∈ K``.
+    """
+    knowledge.space.check_same(disclosed.space)
+    for pair in knowledge:
+        if pair.world not in disclosed:
+            continue
+        updated = PossibilisticKnowledgeWorld(pair.world, pair.knowledge & disclosed)
+        if updated not in knowledge:
+            return False
+    return True
+
+
+def is_preserving_probabilistic(
+    knowledge: ProbabilisticKnowledge, disclosed: PropertySet
+) -> bool:
+    """Definition 3.9 for ``K ⊆ Ω_prob``.
+
+    ``B`` is K-preserving when for all ``(ω, P) ∈ K`` with ``ω ∈ B`` we have
+    ``(ω, P(· | B)) ∈ K``.  Membership of the conditional distribution is
+    tested up to a small numeric tolerance.
+    """
+    knowledge.space.check_same(disclosed.space)
+    for pair in knowledge:
+        if pair.world not in disclosed:
+            continue
+        conditioned = pair.belief.conditional(disclosed)
+        found = any(
+            other.world == pair.world and other.belief.allclose(conditioned, atol=_DIST_ATOL)
+            for other in knowledge
+        )
+        if not found:
+            return False
+    return True
+
+
+def preserving_intersection_possibilistic(
+    knowledge: PossibilisticKnowledge, parts: Iterable[PropertySet]
+) -> bool:
+    """Proposition 3.10(1): K-preserving sets are closed under intersection.
+
+    Returns whether every set in ``parts`` is K-preserving (in which case
+    the proposition guarantees their intersection is too — callers can rely
+    on it without re-checking; tests verify the guarantee).
+    """
+    return all(is_preserving_possibilistic(knowledge, b) for b in parts)
+
+
+def compose_disclosures_possibilistic(
+    knowledge: PossibilisticKnowledge,
+    audited: PropertySet,
+    first: PropertySet,
+    second: PropertySet,
+) -> Tuple[bool, str]:
+    """Safe composition per Proposition 3.10(2), possibilistic case.
+
+    If ``Safe_K(A, B₁)`` and ``Safe_K(A, B₂)`` and at least one of ``B₁, B₂``
+    is K-preserving, then ``Safe_K(A, B₁ ∩ B₂)``.  Returns
+    ``(composable, reason)`` where ``composable`` is True when the
+    proposition's hypotheses are established; the guaranteed conclusion can
+    then be used without testing ``B₁ ∩ B₂`` directly.
+    """
+    if not safe_possibilistic(knowledge, audited, first):
+        return False, "B1 is not individually safe"
+    if not safe_possibilistic(knowledge, audited, second):
+        return False, "B2 is not individually safe"
+    if is_preserving_possibilistic(knowledge, first):
+        return True, "B1 and B2 safe; B1 is K-preserving"
+    if is_preserving_possibilistic(knowledge, second):
+        return True, "B1 and B2 safe; B2 is K-preserving"
+    return False, "neither B1 nor B2 is K-preserving"
+
+
+def compose_disclosures_probabilistic(
+    knowledge: ProbabilisticKnowledge,
+    audited: PropertySet,
+    first: PropertySet,
+    second: PropertySet,
+) -> Tuple[bool, str]:
+    """Safe composition per Proposition 3.10(2), probabilistic case."""
+    if not safe_probabilistic(knowledge, audited, first):
+        return False, "B1 is not individually safe"
+    if not safe_probabilistic(knowledge, audited, second):
+        return False, "B2 is not individually safe"
+    if is_preserving_probabilistic(knowledge, first):
+        return True, "B1 and B2 safe; B1 is K-preserving"
+    if is_preserving_probabilistic(knowledge, second):
+        return True, "B1 and B2 safe; B2 is K-preserving"
+    return False, "neither B1 nor B2 is K-preserving"
+
+
+def audit_disclosure_sequence_possibilistic(
+    knowledge: PossibilisticKnowledge,
+    audited: PropertySet,
+    disclosures: Iterable[PropertySet],
+) -> List[Tuple[PropertySet, bool, bool]]:
+    """Audit a stream ``B₁, B₂, …`` of disclosures against one audit query.
+
+    The acquisition of ``B₁`` followed by ``B₂`` equals acquiring
+    ``B₁ ∩ B₂`` (Section 3.3), so the auditor tracks the running
+    intersection.  Returns per-step tuples
+    ``(cumulative_B, step_is_safe, cumulative_is_safe)``.
+    """
+    results: List[Tuple[PropertySet, bool, bool]] = []
+    cumulative = knowledge.space.full
+    for disclosed in disclosures:
+        step_safe = safe_possibilistic(knowledge, audited, disclosed)
+        cumulative = cumulative & disclosed
+        cumulative_safe = safe_possibilistic(knowledge, audited, cumulative)
+        results.append((cumulative, step_safe, cumulative_safe))
+    return results

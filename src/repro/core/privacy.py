@@ -1,0 +1,232 @@
+"""The epistemic privacy predicates of Section 3.
+
+The central definition: property ``A`` is *K-private given the disclosure of*
+``B`` when no admissible user can gain confidence in ``A`` by learning ``B``.
+
+* Possibilistic (Definition 3.1): for every ``(ω, S) ∈ K`` with ``ω ∈ B``,
+  ``S ∩ B ⊆ A`` implies ``S ⊆ A``.
+* Probabilistic (Definition 3.4): for every ``(ω, P) ∈ K`` with ``ω ∈ B``,
+  ``P[A | B] ≤ P[A]``.
+
+This module implements the definitions *verbatim* by quantifying over
+explicit second-level knowledge sets, plus the closed-form characterisations
+for unrestricted prior knowledge (Theorem 3.11).  The scalable structured
+procedures live in :mod:`repro.possibilistic` and :mod:`repro.probabilistic`;
+their correctness tests validate them against the verbatim forms here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .distributions import Distribution
+from .knowledge import (
+    PossibilisticKnowledge,
+    PossibilisticKnowledgeWorld,
+    ProbabilisticKnowledge,
+    ProbabilisticKnowledgeWorld,
+)
+from .worlds import PropertySet, WorldLike
+
+#: Slack used when comparing conditional to prior probabilities; the
+#: definitions are exact inequalities, but conditioning divides floats.
+PROB_TOLERANCE = 1e-12
+
+
+def safe_possibilistic(
+    knowledge: PossibilisticKnowledge, audited: PropertySet, disclosed: PropertySet
+) -> bool:
+    """``Safe_K(A, B)`` for possibilistic ``K`` — Definition 3.1, literally.
+
+    ``∀ (ω, S) ∈ K : (ω ∈ B  &  S ∩ B ⊆ A)  ⇒  S ⊆ A``.
+    """
+    knowledge.space.check_same(audited.space)
+    knowledge.space.check_same(disclosed.space)
+    for pair in knowledge:
+        if pair.world not in disclosed:
+            continue  # inconsistent with the disclosure of B; discarded
+        posterior = pair.knowledge & disclosed
+        if posterior <= audited and not pair.knowledge <= audited:
+            return False
+    return True
+
+
+def possibilistic_violation(
+    knowledge: PossibilisticKnowledge, audited: PropertySet, disclosed: PropertySet
+) -> Optional[PossibilisticKnowledgeWorld]:
+    """The first pair ``(ω, S)`` witnessing a violation of Definition 3.1, if any.
+
+    A witness is a consistent knowledge world where the user did not know
+    ``A`` before the disclosure (``S ⊄ A``) but knows it after
+    (``S ∩ B ⊆ A``).
+    """
+    for pair in sorted(
+        knowledge, key=lambda p: (p.world, tuple(p.knowledge.sorted_members()))
+    ):
+        if pair.world not in disclosed:
+            continue
+        posterior = pair.knowledge & disclosed
+        if posterior <= audited and not pair.knowledge <= audited:
+            return pair
+    return None
+
+
+def safe_c_sigma(
+    candidates: PropertySet,
+    families: Iterable[PropertySet],
+    audited: PropertySet,
+    disclosed: PropertySet,
+) -> bool:
+    """``Safe_{C,Σ}(A, B)`` via the equivalent Proposition 3.3 form.
+
+    ``∀ S ∈ Σ : (S ∩ B ∩ C ≠ ∅  &  S ∩ B ⊆ A)  ⇒  S ⊆ A``.
+
+    This avoids materialising the product ``C ⊗ Σ`` and is how the auditor
+    separates knowledge of the database from assumptions about the user.
+    """
+    for knowledge_set in families:
+        meet = knowledge_set & disclosed
+        if not (meet & candidates):
+            continue
+        if meet <= audited and not knowledge_set <= audited:
+            return False
+    return True
+
+
+def safe_probabilistic(
+    knowledge: ProbabilisticKnowledge,
+    audited: PropertySet,
+    disclosed: PropertySet,
+    tolerance: float = PROB_TOLERANCE,
+) -> bool:
+    """``Safe_K(A, B)`` for probabilistic ``K`` — Definition 3.4, literally.
+
+    ``∀ (ω, P) ∈ K : ω ∈ B  ⇒  P[A | B] ≤ P[A]``.
+    """
+    knowledge.space.check_same(audited.space)
+    knowledge.space.check_same(disclosed.space)
+    for pair in knowledge:
+        if pair.world not in disclosed:
+            continue
+        prior = pair.belief.prob(audited)
+        posterior = pair.belief.conditional_prob(audited, disclosed)
+        if posterior > prior + tolerance:
+            return False
+    return True
+
+
+def probabilistic_violation(
+    knowledge: ProbabilisticKnowledge,
+    audited: PropertySet,
+    disclosed: PropertySet,
+    tolerance: float = PROB_TOLERANCE,
+) -> Optional[Tuple[ProbabilisticKnowledgeWorld, float]]:
+    """The worst violating pair and its confidence gain ``P[A|B] − P[A]``, if any."""
+    worst: Optional[Tuple[ProbabilisticKnowledgeWorld, float]] = None
+    for pair in knowledge:
+        if pair.world not in disclosed:
+            continue
+        gain = pair.belief.conditional_prob(audited, disclosed) - pair.belief.prob(
+            audited
+        )
+        if gain > tolerance and (worst is None or gain > worst[1]):
+            worst = (pair, gain)
+    return worst
+
+
+def safe_c_pi(
+    candidates: PropertySet,
+    family: Iterable[Distribution],
+    audited: PropertySet,
+    disclosed: PropertySet,
+    tolerance: float = PROB_TOLERANCE,
+) -> bool:
+    """``Safe_{C,Π}(A, B)`` via the equivalent Proposition 3.6 form.
+
+    ``∀ P ∈ Π : P[BC] > 0  ⇒  P[AB] ≤ P[A]·P[B]``.
+    """
+    bc = disclosed & candidates
+    ab = audited & disclosed
+    for belief in family:
+        if belief.prob(bc) <= 0.0:
+            continue
+        if belief.prob(ab) > belief.prob(audited) * belief.prob(disclosed) + tolerance:
+            return False
+    return True
+
+
+def safe_pi(
+    family: Iterable[Distribution],
+    audited: PropertySet,
+    disclosed: PropertySet,
+    tolerance: float = PROB_TOLERANCE,
+) -> bool:
+    """``Safe_Π(A, B)`` of Eq. (11): ``∀ P ∈ Π : P[AB] ≤ P[A]·P[B]``.
+
+    By Proposition 3.8 this is equivalent to ``Safe_{C,Π}`` whenever the
+    family ``Π`` is ``C``-liftable (Definition 3.7), which holds for all the
+    structured families of Sections 5–6.
+    """
+    ab = audited & disclosed
+    for belief in family:
+        if belief.prob(ab) > belief.prob(audited) * belief.prob(disclosed) + tolerance:
+            return False
+    return True
+
+
+def safety_gap(
+    belief: Distribution, audited: PropertySet, disclosed: PropertySet
+) -> float:
+    """The *safety gap* ``P[A]·P[B] − P[AB]``.
+
+    Nonnegative for every ``P ∈ Π`` iff ``Safe_Π(A, B)``.  By the standard
+    2×2 contingency identity this equals ``P[AB̄]·P[ĀB] − P[AB]·P[ĀB̄]``,
+    which is the expression the cancellation criterion (Prop 5.9) expands.
+    """
+    ab = audited & disclosed
+    return belief.prob(audited) * belief.prob(disclosed) - belief.prob(ab)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.11: unrestricted prior knowledge.
+# ---------------------------------------------------------------------------
+
+
+def safe_unrestricted(audited: PropertySet, disclosed: PropertySet) -> bool:
+    """Privacy under a totally ignorant auditor — Theorem 3.11, conditions 1–4.
+
+    For ``K = Ω_poss``, ``K = Ω_prob`` and ``K = {ω*} ⊗ P_prob(Ω)`` alike,
+    ``Safe_K(A, B)`` holds iff ``A ∩ B = ∅`` or ``A ∪ B = Ω``.
+    """
+    audited.space.check_same(disclosed.space)
+    return audited.isdisjoint(disclosed) or (audited | disclosed).is_full()
+
+
+def safe_unrestricted_known_world(
+    audited: PropertySet, disclosed: PropertySet, actual_world: WorldLike
+) -> bool:
+    """Theorem 3.11, second part: ``K = {ω*} ⊗ P(Ω)`` (possibilistic).
+
+    ``Safe_K(A, B)`` iff ``A ∩ B = ∅`` or ``A ∪ B = Ω`` or ``ω* ∈ B − A``.
+    """
+    world = audited.space.world_id(actual_world)
+    if world not in disclosed:
+        raise ValueError("the actual world must satisfy the disclosed property B")
+    if safe_unrestricted(audited, disclosed):
+        return True
+    return world in (disclosed - audited)
+
+
+def unconditionally_private(
+    audited: PropertySet, disclosed: PropertySet, actual_world: WorldLike
+) -> bool:
+    """Remark 3.12: the auditing-practice test for ``ω* ∈ A ∩ B``.
+
+    When both the protected and the disclosed property are true in the
+    actual world, unconditional privacy reduces to checking whether
+    ``A ∪ B = Ω``, i.e. whether "A or B" is a tautology.
+    """
+    world = audited.space.world_id(actual_world)
+    if world not in (audited & disclosed):
+        raise ValueError("Remark 3.12 applies when ω* ∈ A ∩ B")
+    return (audited | disclosed).is_full()

@@ -1,0 +1,88 @@
+"""Audit verdicts: the structured outcome of every privacy decision.
+
+Every decision procedure in this library returns an :class:`AuditVerdict`
+carrying not just SAFE/UNSAFE/UNKNOWN but *evidence*: a witness (a concrete
+prior under which the user gains confidence) for UNSAFE verdicts, or a
+certificate description for SAFE verdicts.  This makes the audit trail
+itself auditable, which matters for the retroactive-auditing application the
+paper motivates (suspicion falls on Mallory, and Mallory will ask why).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class Verdict(enum.Enum):
+    """Tri-state outcome of a privacy test."""
+
+    SAFE = "safe"
+    UNSAFE = "unsafe"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Verdict is tri-state; compare against Verdict.SAFE/UNSAFE explicitly"
+        )
+
+
+@dataclass(frozen=True)
+class AuditVerdict:
+    """The outcome of testing ``Safe_K(A, B)`` by some method.
+
+    Attributes
+    ----------
+    status:
+        SAFE, UNSAFE or UNKNOWN.
+    method:
+        Name of the criterion or algorithm that produced the verdict
+        (e.g. ``"cancellation"``, ``"miklau-suciu"``, ``"sos-certificate"``).
+    witness:
+        For UNSAFE: an object exhibiting the violation — typically a
+        distribution (or knowledge set) under which the user's confidence in
+        ``A`` strictly increases upon learning ``B``.
+    certificate:
+        For SAFE: machine-checkable evidence, e.g. an SOS decomposition.
+    details:
+        Free-form diagnostic data (numeric margins, criterion internals).
+    """
+
+    status: Verdict
+    method: str
+    witness: Optional[Any] = None
+    certificate: Optional[Any] = None
+    details: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    @classmethod
+    def safe(cls, method: str, certificate: Any = None, **details: Any) -> "AuditVerdict":
+        return cls(Verdict.SAFE, method, certificate=certificate, details=details)
+
+    @classmethod
+    def unsafe(cls, method: str, witness: Any = None, **details: Any) -> "AuditVerdict":
+        return cls(Verdict.UNSAFE, method, witness=witness, details=details)
+
+    @classmethod
+    def unknown(cls, method: str, **details: Any) -> "AuditVerdict":
+        return cls(Verdict.UNKNOWN, method, details=details)
+
+    @property
+    def is_safe(self) -> bool:
+        return self.status is Verdict.SAFE
+
+    @property
+    def is_unsafe(self) -> bool:
+        return self.status is Verdict.UNSAFE
+
+    @property
+    def is_decided(self) -> bool:
+        return self.status is not Verdict.UNKNOWN
+
+    def __str__(self) -> str:
+        tail = ""
+        if self.is_unsafe and self.witness is not None:
+            tail = " (witness attached)"
+        elif self.is_safe and self.certificate is not None:
+            tail = " (certificate attached)"
+        return f"{self.status.value.upper()} by {self.method}{tail}"

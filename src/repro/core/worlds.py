@@ -1,0 +1,457 @@
+"""Possible worlds and properties (Section 2 of the paper).
+
+A *world* is a database state; the finite set ``Ω`` of all possible worlds is
+modelled by a :class:`WorldSpace`.  Every property of the database ("assertion
+about its contents") is a subset ``A ⊆ Ω`` and is modelled by a
+:class:`PropertySet`, which supports the full Boolean set algebra.
+
+Three concrete spaces are provided:
+
+* :class:`HypercubeSpace` — ``Ω = {0,1}^n`` where worlds are subsets of ``n``
+  database records, the setting of Sections 5 and 6;
+* :class:`GridSpace` — worlds are pixels of a ``width × height`` rectangle,
+  the setting of Figure 1 / Example 4.9;
+* :class:`LabeledSpace` — an arbitrary finite set of labelled worlds.
+
+Worlds are always represented internally by integers ``0 .. |Ω|-1``; on a
+hypercube the integer doubles as the bit mask of present records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .. import _bitops
+from ..exceptions import SpaceMismatchError
+
+WorldLike = Union[int, str, Sequence[int], Tuple[int, int]]
+
+
+class WorldSpace:
+    """A finite set ``Ω`` of possible worlds.
+
+    Parameters
+    ----------
+    size:
+        The number of worlds ``|Ω|``.  Worlds are the integers
+        ``0 .. size-1``.
+    name:
+        Optional human-readable name used in ``repr`` and reports.
+    """
+
+    def __init__(self, size: int, name: Optional[str] = None) -> None:
+        if size <= 0:
+            raise ValueError("a world space must contain at least one world")
+        self._size = int(size)
+        self._name = name or f"Ω[{size}]"
+
+    @property
+    def size(self) -> int:
+        """The number of worlds ``|Ω|``."""
+        return self._size
+
+    @property
+    def name(self) -> str:
+        """The human-readable name of the space."""
+        return self._name
+
+    def worlds(self) -> Iterator[int]:
+        """Iterate over all worlds of the space."""
+        return iter(range(self._size))
+
+    def world_id(self, world: WorldLike) -> int:
+        """Normalise a world designator to its integer id.
+
+        Subclasses extend the accepted designators (bit strings, coordinate
+        pairs, labels); the base class accepts integers only.
+        """
+        if isinstance(world, int):
+            if not 0 <= world < self._size:
+                raise ValueError(f"world {world} outside {self!r}")
+            return world
+        raise TypeError(f"cannot interpret {world!r} as a world of {self!r}")
+
+    def world_label(self, world: int) -> str:
+        """A printable label for a world; subclasses override."""
+        return str(world)
+
+    # -- property-set factories ------------------------------------------------
+
+    def property_set(self, worlds: Iterable[WorldLike]) -> "PropertySet":
+        """Build the property ``{ω : ω ∈ worlds}``."""
+        return PropertySet(self, (self.world_id(w) for w in worlds))
+
+    def where(self, predicate: Callable[[int], bool]) -> "PropertySet":
+        """Build the property of all worlds satisfying ``predicate``."""
+        return PropertySet(self, (w for w in self.worlds() if predicate(w)))
+
+    @property
+    def empty(self) -> "PropertySet":
+        """The impossible property ``∅``."""
+        return PropertySet(self, ())
+
+    @property
+    def full(self) -> "PropertySet":
+        """The trivial property ``Ω``."""
+        return PropertySet(self, range(self._size))
+
+    def singleton(self, world: WorldLike) -> "PropertySet":
+        """The property ``{ω}`` holding exactly at ``world``."""
+        return PropertySet(self, (self.world_id(world),))
+
+    # -- misc -------------------------------------------------------------------
+
+    def check_same(self, other: "WorldSpace") -> None:
+        """Raise :class:`SpaceMismatchError` unless ``other`` is this space."""
+        if other is not self and (type(other) is not type(self) or other._key() != self._key()):
+            raise SpaceMismatchError(f"expected {self!r}, got {other!r}")
+
+    def _key(self) -> Tuple:
+        return (self._size,)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,) + self._key())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._name}, size={self._size})"
+
+
+class HypercubeSpace(WorldSpace):
+    """The hypercube ``Ω = {0,1}^n`` of Sections 5–6.
+
+    A world is a subset of ``n`` database records, encoded as an ``n``-bit
+    integer.  Coordinate ``i`` of the paper (1-based) is bit ``i-1``.  The
+    space knows the bit-wise lattice structure: meet ``∧``, join ``∨``, the
+    partial order ``≼``, and up-/down-set closures.
+    """
+
+    def __init__(self, n: int, coordinate_names: Optional[Sequence[str]] = None) -> None:
+        if n < 0:
+            raise ValueError("dimension must be nonnegative")
+        if n > 24:
+            raise ValueError(f"refusing to materialise a 2^{n}-world hypercube")
+        super().__init__(1 << n, name=f"{{0,1}}^{n}")
+        self._n = n
+        if coordinate_names is not None:
+            if len(coordinate_names) != n:
+                raise ValueError("need exactly one name per coordinate")
+            self._coordinate_names: Tuple[str, ...] = tuple(coordinate_names)
+        else:
+            self._coordinate_names = tuple(f"r{i + 1}" for i in range(n))
+
+    @property
+    def n(self) -> int:
+        """The dimension ``n`` (number of records/coordinates)."""
+        return self._n
+
+    @property
+    def coordinate_names(self) -> Tuple[str, ...]:
+        """Names of the record coordinates, used in audit reports."""
+        return self._coordinate_names
+
+    def _key(self) -> Tuple:
+        return (self._n,)
+
+    # -- world designators -------------------------------------------------------
+
+    def world_id(self, world: WorldLike) -> int:
+        if isinstance(world, int):
+            return super().world_id(world)
+        if isinstance(world, str):
+            if len(world) != self._n:
+                raise ValueError(f"bit string {world!r} has wrong length for n={self._n}")
+            return _bitops.from_string(world)
+        if isinstance(world, (tuple, list)):
+            if len(world) != self._n:
+                raise ValueError(f"bit sequence {world!r} has wrong length for n={self._n}")
+            return _bitops.from_bits(world)
+        raise TypeError(f"cannot interpret {world!r} as a world of {self!r}")
+
+    def world_label(self, world: int) -> str:
+        return _bitops.to_string(world, self._n)
+
+    # -- lattice structure ---------------------------------------------------------
+
+    def meet(self, u: int, v: int) -> int:
+        """Bit-wise AND ``u ∧ v``."""
+        return u & v
+
+    def join(self, u: int, v: int) -> int:
+        """Bit-wise OR ``u ∨ v``."""
+        return u | v
+
+    def leq(self, u: int, v: int) -> bool:
+        """The partial order ``u ≼ v`` of Section 5."""
+        return _bitops.leq(u, v)
+
+    def coordinate_set(self, i: int) -> "PropertySet":
+        """The property ``X_i = {ω : ω[i] = 1}`` for the 1-based coordinate ``i``."""
+        if not 1 <= i <= self._n:
+            raise ValueError(f"coordinate {i} outside 1..{self._n}")
+        bit = 1 << (i - 1)
+        return self.where(lambda w: bool(w & bit))
+
+    def records_present(self, world: int) -> Tuple[str, ...]:
+        """The names of the records present in ``world``."""
+        return tuple(
+            name for i, name in enumerate(self._coordinate_names) if (world >> i) & 1
+        )
+
+    def subcube(self, pattern: str) -> "PropertySet":
+        """The subcube described by a ``{0,1,*}`` pattern, coordinate 1 leftmost.
+
+        ``subcube("1*0")`` is ``{ω : ω[1]=1, ω[3]=0}``.
+        """
+        if len(pattern) != self._n:
+            raise ValueError(f"pattern {pattern!r} has wrong length for n={self._n}")
+        star_mask, agreed = _bitops.parse_match_vector(pattern)
+        return self.property_set(_bitops.box_members(star_mask, agreed, self._n))
+
+
+class GridSpace(WorldSpace):
+    """Worlds are the pixels of a ``width × height`` rectangle (Figure 1).
+
+    Pixel ``(x, y)`` with ``0 ≤ x < width`` and ``0 ≤ y < height`` has world
+    id ``y * width + x``.  The paper's Example 4.9 uses a 14 × 7 grid whose
+    admissible prior knowledge sets are integer sub-rectangles.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("grid dimensions must be positive")
+        super().__init__(width * height, name=f"grid {width}x{height}")
+        self._width = width
+        self._height = height
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def _key(self) -> Tuple:
+        return (self._width, self._height)
+
+    def world_id(self, world: WorldLike) -> int:
+        if isinstance(world, int):
+            return super().world_id(world)
+        if isinstance(world, (tuple, list)) and len(world) == 2:
+            x, y = world
+            if not (0 <= x < self._width and 0 <= y < self._height):
+                raise ValueError(f"pixel {world!r} outside {self!r}")
+            return y * self._width + x
+        raise TypeError(f"cannot interpret {world!r} as a pixel of {self!r}")
+
+    def coordinates(self, world: int) -> Tuple[int, int]:
+        """The ``(x, y)`` coordinates of a pixel world."""
+        return world % self._width, world // self._width
+
+    def world_label(self, world: int) -> str:
+        x, y = self.coordinates(world)
+        return f"({x},{y})"
+
+    def rectangle(self, x0: int, y0: int, x1: int, y1: int) -> "PropertySet":
+        """The inclusive integer rectangle from ``(x0, y0)`` to ``(x1, y1)``."""
+        if x0 > x1 or y0 > y1:
+            raise ValueError("rectangle corners out of order")
+        members = (
+            y * self._width + x
+            for y in range(max(0, y0), min(self._height, y1 + 1))
+            for x in range(max(0, x0), min(self._width, x1 + 1))
+        )
+        return PropertySet(self, members)
+
+    def ellipse(self, cx: float, cy: float, rx: float, ry: float) -> "PropertySet":
+        """Pixels inside the axis-aligned ellipse centred at ``(cx, cy)``."""
+        return self.where(
+            lambda w: ((w % self._width - cx) / rx) ** 2
+            + ((w // self._width - cy) / ry) ** 2
+            <= 1.0
+        )
+
+
+class LabeledSpace(WorldSpace):
+    """A finite space whose worlds carry arbitrary hashable labels."""
+
+    def __init__(self, labels: Sequence) -> None:
+        labels = list(labels)
+        if len(set(labels)) != len(labels):
+            raise ValueError("world labels must be distinct")
+        super().__init__(len(labels), name=f"labeled[{len(labels)}]")
+        self._labels: List = labels
+        self._index = {label: i for i, label in enumerate(labels)}
+
+    def _key(self) -> Tuple:
+        return tuple(map(repr, self._labels))
+
+    def world_id(self, world: WorldLike) -> int:
+        if isinstance(world, int) and world in self._index:
+            # An int label takes precedence over an int id to avoid silent
+            # ambiguity; disallow int labels at construction if this bites.
+            return self._index[world]
+        if world in self._index:
+            return self._index[world]
+        if isinstance(world, int):
+            return super().world_id(world)
+        raise TypeError(f"unknown world label {world!r}")
+
+    def world_label(self, world: int) -> str:
+        return str(self._labels[world])
+
+    def label_of(self, world: int):
+        """The original label object of a world id."""
+        return self._labels[world]
+
+
+class PropertySet:
+    """An immutable property ``A ⊆ Ω`` with Boolean set algebra.
+
+    Properties correspond to Boolean queries on the database: query ``A``
+    returns true iff ``ω* ∈ A`` (Section 3).  Instances are hashable and
+    support ``&`` (conjunction), ``|`` (disjunction), ``-`` (difference),
+    ``^`` (xor), ``~`` (negation/complement), and the subset comparisons.
+    """
+
+    __slots__ = ("_space", "_members")
+
+    def __init__(self, space: WorldSpace, members: Iterable[int]) -> None:
+        self._space = space
+        self._members: FrozenSet[int] = frozenset(members)
+        for w in self._members:
+            if not 0 <= w < space.size:
+                raise ValueError(f"world {w} outside {space!r}")
+
+    @property
+    def space(self) -> WorldSpace:
+        """The world space ``Ω`` this property lives in."""
+        return self._space
+
+    @property
+    def members(self) -> FrozenSet[int]:
+        """The frozenset of member world ids."""
+        return self._members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __contains__(self, world: WorldLike) -> bool:
+        return self._space.world_id(world) in self._members
+
+    def _coerce(self, other: "PropertySet") -> FrozenSet[int]:
+        if not isinstance(other, PropertySet):
+            raise TypeError(f"expected a PropertySet, got {other!r}")
+        self._space.check_same(other._space)
+        return other._members
+
+    def __and__(self, other: "PropertySet") -> "PropertySet":
+        return PropertySet(self._space, self._members & self._coerce(other))
+
+    def __or__(self, other: "PropertySet") -> "PropertySet":
+        return PropertySet(self._space, self._members | self._coerce(other))
+
+    def __sub__(self, other: "PropertySet") -> "PropertySet":
+        return PropertySet(self._space, self._members - self._coerce(other))
+
+    def __xor__(self, other: "PropertySet") -> "PropertySet":
+        return PropertySet(self._space, self._members ^ self._coerce(other))
+
+    def __invert__(self) -> "PropertySet":
+        return PropertySet(
+            self._space, (w for w in range(self._space.size) if w not in self._members)
+        )
+
+    def complement(self) -> "PropertySet":
+        """The complement ``Ā = Ω − A``."""
+        return ~self
+
+    def __le__(self, other: "PropertySet") -> bool:
+        return self._members <= self._coerce(other)
+
+    def __lt__(self, other: "PropertySet") -> bool:
+        return self._members < self._coerce(other)
+
+    def __ge__(self, other: "PropertySet") -> bool:
+        return self._members >= self._coerce(other)
+
+    def __gt__(self, other: "PropertySet") -> bool:
+        return self._members > self._coerce(other)
+
+    def isdisjoint(self, other: "PropertySet") -> bool:
+        """True iff ``A ∩ B = ∅``."""
+        return self._members.isdisjoint(self._coerce(other))
+
+    def is_full(self) -> bool:
+        """True iff ``A = Ω``."""
+        return len(self._members) == self._space.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertySet):
+            return NotImplemented
+        return self._space == other._space and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash((self._space, self._members))
+
+    def sorted_members(self) -> List[int]:
+        """Member ids in increasing order (deterministic iteration helper)."""
+        return sorted(self._members)
+
+    def labels(self) -> List[str]:
+        """Sorted printable labels of the member worlds."""
+        return [self._space.world_label(w) for w in self.sorted_members()]
+
+    def __repr__(self) -> str:
+        if len(self._members) <= 8:
+            inner = ", ".join(self.labels())
+        else:
+            shown = ", ".join(self.labels()[:8])
+            inner = f"{shown}, ... ({len(self._members)} worlds)"
+        return f"PropertySet{{{inner}}}"
+
+
+def quadrants(
+    a: PropertySet, b: PropertySet
+) -> Tuple[PropertySet, PropertySet, PropertySet, PropertySet]:
+    """Split ``Ω`` into the four quadrants ``(AB, AB̄, ĀB, ĀB̄)``.
+
+    Section 5's criteria are all phrased in terms of these four cells of the
+    2×2 contingency table of ``A`` and ``B``.
+    """
+    a.space.check_same(b.space)
+    not_a = ~a
+    not_b = ~b
+    return a & b, a & not_b, not_a & b, not_a & not_b
+
+
+def cartesian_pairs(x: PropertySet, y: PropertySet) -> Iterator[Tuple[int, int]]:
+    """Iterate the Cartesian product ``X × Y`` as world-id pairs."""
+    return itertools.product(x.sorted_members(), y.sorted_members())

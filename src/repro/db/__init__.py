@@ -1,0 +1,70 @@
+"""In-memory relational substrate and the query→property compiler.
+
+Typed tables, record-level possible-world views, a Boolean/SELECT query
+language with a SQL-ish parser, and the :class:`CandidateUniverse` that
+compiles queries into :class:`~repro.core.worlds.PropertySet` objects over
+the hypercube of relevant worlds — the bridge from databases to the paper's
+``{0,1}^n`` model.
+"""
+
+from .compile import CandidateUniverse
+from .database import Database, DatabaseView, Record
+from .query import (
+    AtLeast,
+    BooleanQuery,
+    ColumnCompare,
+    Comparison,
+    ContainsRecord,
+    Exists,
+    Implies,
+    Literal,
+    RowAnd,
+    RowNot,
+    RowOr,
+    RowPredicate,
+    RowTrue,
+    Select,
+    column_eq,
+)
+from .render import render_predicate, render_select, to_sql
+from .schema import ColumnType, TableSchema
+from .sql import parse_boolean_query, parse_select_query
+from .workload import (
+    RegistryWorkload,
+    generate_disclosure_log,
+    generate_registry,
+    generate_workload,
+)
+
+__all__ = [
+    "AtLeast",
+    "BooleanQuery",
+    "CandidateUniverse",
+    "ColumnCompare",
+    "ColumnType",
+    "Comparison",
+    "ContainsRecord",
+    "Database",
+    "DatabaseView",
+    "Exists",
+    "Implies",
+    "Literal",
+    "Record",
+    "RegistryWorkload",
+    "RowAnd",
+    "RowNot",
+    "RowOr",
+    "RowPredicate",
+    "RowTrue",
+    "Select",
+    "TableSchema",
+    "column_eq",
+    "generate_disclosure_log",
+    "generate_registry",
+    "generate_workload",
+    "parse_boolean_query",
+    "parse_select_query",
+    "render_predicate",
+    "render_select",
+    "to_sql",
+]

@@ -1,0 +1,130 @@
+"""Compiling queries to property sets over ``{0,1}^n`` of candidate records.
+
+Section 6 observes that after PROJECT/SELECT-style disclosures, the user "may
+be left only with a subset S of possible records", so "the number N of
+possible relevant worlds could be very small".  The
+:class:`CandidateUniverse` realises that reduction: fix ``n`` candidate
+records (real rows plus hypothetical ones the auditor considers relevant);
+each world of the hypercube ``{0,1}^n`` is the database view containing
+exactly the chosen candidates, and every query compiles to the
+:class:`~repro.core.worlds.PropertySet` of worlds where it holds — ready for
+the Section 4/5/6 machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.worlds import HypercubeSpace, PropertySet
+from ..exceptions import QueryError
+from .database import Database, DatabaseView, Record
+from .query import BooleanQuery, Select
+
+
+class CandidateUniverse:
+    """A fixed set of candidate records spanning the relevant worlds.
+
+    Parameters
+    ----------
+    database:
+        The database supplying schemas (and the actual world).
+    candidates:
+        The records whose presence is uncertain; coordinate ``i+1`` of the
+        hypercube is candidate ``i``.  Insert order fixes the coordinates.
+    """
+
+    def __init__(self, database: Database, candidates: Sequence[Record]) -> None:
+        if not candidates:
+            raise QueryError("a candidate universe needs at least one record")
+        seen = set()
+        for record in candidates:
+            if record.record_id in seen:
+                raise QueryError(f"duplicate candidate {record.label()}")
+            seen.add(record.record_id)
+        if len(candidates) > 20:
+            raise QueryError(
+                f"{len(candidates)} candidates give 2^{len(candidates)} worlds; "
+                "narrow the relevant-record set first"
+            )
+        self._database = database
+        self._candidates: Tuple[Record, ...] = tuple(candidates)
+        self._space = HypercubeSpace(
+            len(candidates),
+            coordinate_names=[r.label() for r in candidates],
+        )
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def candidates(self) -> Tuple[Record, ...]:
+        return self._candidates
+
+    @property
+    def space(self) -> HypercubeSpace:
+        """The hypercube of relevant worlds."""
+        return self._space
+
+    # -- worlds ↔ views ----------------------------------------------------------
+
+    def view_of(self, world: int) -> DatabaseView:
+        """The database view for a hypercube world."""
+        present = [
+            record
+            for i, record in enumerate(self._candidates)
+            if (world >> i) & 1
+        ]
+        return self._database.view(present)
+
+    def world_of(self, view: DatabaseView) -> int:
+        """The hypercube world of a view (candidate records only)."""
+        world = 0
+        for i, record in enumerate(self._candidates):
+            if view.contains(record):
+                world |= 1 << i
+        return world
+
+    def actual_world(self) -> int:
+        """The world corresponding to the actually inserted records."""
+        return self.world_of(self._database.actual_view())
+
+    def coordinate_of(self, record: Record) -> int:
+        """The 1-based coordinate of a candidate record."""
+        for i, candidate in enumerate(self._candidates):
+            if candidate.record_id == record.record_id:
+                return i + 1
+        raise QueryError(f"{record.label()} is not a candidate")
+
+    # -- compilation --------------------------------------------------------------
+
+    def compile_boolean(self, query: BooleanQuery) -> PropertySet:
+        """The property ``{ω : query(ω) is true}``."""
+        return self._space.where(lambda w: query.evaluate(self.view_of(w)))
+
+    def presence(self, record: Record) -> PropertySet:
+        """The atomic property ``{ω : record ∈ ω}``."""
+        return self._space.coordinate_set(self.coordinate_of(record))
+
+    def compile_answer(self, query, actual_world: Optional[int] = None) -> PropertySet:
+        """The knowledge set of a query's *actual output* (Section 2).
+
+        For any query ``Q`` (Boolean or :class:`Select`), the disclosure of
+        its answer is ``{ω : Q(ω) = Q(ω*)}``.
+        """
+        if actual_world is None:
+            actual_world = self.actual_world()
+        evaluate = (
+            query.evaluate
+            if isinstance(query, (BooleanQuery, Select))
+            else query
+        )
+        actual_answer = evaluate(self.view_of(actual_world))
+        return self._space.where(
+            lambda w: evaluate(self.view_of(w)) == actual_answer
+        )
+
+    def positive_answer_set(self, query: BooleanQuery) -> PropertySet:
+        """Alias of :meth:`compile_boolean`, named for audit-policy use:
+        a "yes" to the audit query is the protected property ``A``."""
+        return self.compile_boolean(query)

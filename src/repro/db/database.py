@@ -1,0 +1,131 @@
+"""The in-memory relational database and record-level views.
+
+A :class:`Database` holds typed tables of :class:`Record` rows.  For
+auditing, the unit of uncertainty is the *record*: a possible world is a
+subset of candidate records (Sections 5–6 work over ``{0,1}^n`` of record
+presence bits), so the database exposes record-set *views* — the same rows
+with some records hypothetically removed or added.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Tuple
+
+from ..exceptions import QueryError
+from .schema import TableSchema
+
+
+@dataclass(frozen=True)
+class Record:
+    """One immutable row: table name, a stable id, and column values."""
+
+    table: str
+    record_id: int
+    values: Tuple[Tuple[str, Any], ...]
+
+    def __getitem__(self, column: str) -> Any:
+        for name, value in self.values:
+            if name == column:
+                return value
+        raise QueryError(f"record of {self.table!r} has no column {column!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.values)
+
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.values)
+        return f"{self.table}#{self.record_id}({inner})"
+
+
+class Database:
+    """A collection of typed tables with auto-assigned record ids."""
+
+    def __init__(self) -> None:
+        self._schemas: Dict[str, TableSchema] = {}
+        self._rows: Dict[str, List[Record]] = {}
+        self._next_id = itertools.count(1)
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._schemas:
+            raise QueryError(f"table {schema.name!r} already exists")
+        self._schemas[schema.name] = schema
+        self._rows[schema.name] = []
+
+    def schema(self, table: str) -> TableSchema:
+        if table not in self._schemas:
+            raise QueryError(f"no such table {table!r}")
+        return self._schemas[table]
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._schemas)
+
+    def insert(self, table: str, **values: Any) -> Record:
+        """Validate and insert a row; returns the created record."""
+        schema = self.schema(table)
+        validated = schema.validate_row(values)
+        record = Record(
+            table=table,
+            record_id=next(self._next_id),
+            values=tuple(validated.items()),
+        )
+        self._rows[table].append(record)
+        return record
+
+    def rows(self, table: str) -> Tuple[Record, ...]:
+        self.schema(table)
+        return tuple(self._rows[table])
+
+    def all_records(self) -> Tuple[Record, ...]:
+        return tuple(
+            record for table in self._schemas for record in self._rows[table]
+        )
+
+    def record(self, record_id: int) -> Record:
+        for record in self.all_records():
+            if record.record_id == record_id:
+                return record
+        raise QueryError(f"no record with id {record_id}")
+
+    def view(self, present: Iterable[Record]) -> "DatabaseView":
+        """A hypothetical state of the database: exactly these records present."""
+        return DatabaseView(self, frozenset(present))
+
+    def actual_view(self) -> "DatabaseView":
+        """The view containing every inserted record (the actual world)."""
+        return DatabaseView(self, frozenset(self.all_records()))
+
+    def hypothetical_record(self, table: str, **values: Any) -> Record:
+        """A record that is *not* inserted — an imaginary row for the
+        candidate universe (the paper's "real or imaginary" records)."""
+        schema = self.schema(table)
+        validated = schema.validate_row(values)
+        return Record(
+            table=table,
+            record_id=next(self._next_id),
+            values=tuple(validated.items()),
+        )
+
+
+@dataclass(frozen=True)
+class DatabaseView:
+    """One possible world: a database with a definite set of present records."""
+
+    database: Database
+    present: FrozenSet[Record]
+
+    def rows(self, table: str) -> Tuple[Record, ...]:
+        self.database.schema(table)
+        return tuple(
+            record
+            for record in sorted(self.present, key=lambda r: r.record_id)
+            if record.table == table
+        )
+
+    def contains(self, record: Record) -> bool:
+        return record in self.present
+
+    def __len__(self) -> int:
+        return len(self.present)

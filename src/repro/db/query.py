@@ -1,0 +1,296 @@
+"""The query language: row predicates and database-level Boolean queries.
+
+A *query* in the paper's sense is any function of the database; a *Boolean
+query* returns true/false (Section 2).  Queries here are ASTs evaluated
+against a :class:`~repro.db.database.DatabaseView` (one possible world):
+
+* row predicates — comparisons on a single row's columns, with AND/OR/NOT;
+* Boolean queries — EXISTS / COUNT-threshold over a table with a row
+  predicate, plus the propositional connectives (including IMPLIES, which
+  the §1.1 example "if Bob is HIV-positive then he had blood transfusions"
+  needs);
+* SELECT queries — non-Boolean: they return the matching rows' values, and
+  their disclosure is modelled by the paper's "knowledge set associated
+  with the query's actual output".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from ..exceptions import QueryError
+from .database import DatabaseView, Record
+
+
+# ---------------------------------------------------------------------------
+# Row predicates.
+# ---------------------------------------------------------------------------
+
+
+class RowPredicate:
+    """A Boolean condition on a single record."""
+
+    def matches(self, record: Record) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "RowPredicate") -> "RowPredicate":
+        return RowAnd(self, other)
+
+    def __or__(self, other: "RowPredicate") -> "RowPredicate":
+        return RowOr(self, other)
+
+    def __invert__(self) -> "RowPredicate":
+        return RowNot(self)
+
+
+class Comparison(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def apply(self, left: Any, right: Any) -> bool:
+        if self is Comparison.EQ:
+            return left == right
+        if self is Comparison.NE:
+            return left != right
+        try:
+            if self is Comparison.LT:
+                return left < right
+            if self is Comparison.LE:
+                return left <= right
+            if self is Comparison.GT:
+                return left > right
+            return left >= right
+        except TypeError as error:
+            raise QueryError(f"incomparable values {left!r} and {right!r}") from error
+
+
+@dataclass(frozen=True)
+class ColumnCompare(RowPredicate):
+    """``column <op> literal``."""
+
+    column: str
+    op: Comparison
+    value: Any
+
+    def matches(self, record: Record) -> bool:
+        return self.op.apply(record[self.column], self.value)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class RowAnd(RowPredicate):
+    left: RowPredicate
+    right: RowPredicate
+
+    def matches(self, record: Record) -> bool:
+        return self.left.matches(record) and self.right.matches(record)
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class RowOr(RowPredicate):
+    left: RowPredicate
+    right: RowPredicate
+
+    def matches(self, record: Record) -> bool:
+        return self.left.matches(record) or self.right.matches(record)
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class RowNot(RowPredicate):
+    inner: RowPredicate
+
+    def matches(self, record: Record) -> bool:
+        return not self.inner.matches(record)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.inner})"
+
+
+@dataclass(frozen=True)
+class RowTrue(RowPredicate):
+    """Matches every record (``SELECT * FROM t``)."""
+
+    def matches(self, record: Record) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+def column_eq(column: str, value: Any) -> ColumnCompare:
+    """Shorthand for the most common predicate, ``column = value``."""
+    return ColumnCompare(column, Comparison.EQ, value)
+
+
+# ---------------------------------------------------------------------------
+# Database-level Boolean queries.
+# ---------------------------------------------------------------------------
+
+
+class BooleanQuery:
+    """A Boolean function of the database (one world → true/false)."""
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "BooleanQuery") -> "BooleanQuery":
+        return And(self, other)
+
+    def __or__(self, other: "BooleanQuery") -> "BooleanQuery":
+        return Or(self, other)
+
+    def __invert__(self) -> "BooleanQuery":
+        return Not(self)
+
+    def implies(self, other: "BooleanQuery") -> "BooleanQuery":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Exists(BooleanQuery):
+    """``EXISTS(SELECT * FROM table WHERE predicate)``."""
+
+    table: str
+    predicate: RowPredicate
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return any(self.predicate.matches(row) for row in view.rows(self.table))
+
+    def __str__(self) -> str:
+        return f"EXISTS({self.table} WHERE {self.predicate})"
+
+
+@dataclass(frozen=True)
+class AtLeast(BooleanQuery):
+    """``COUNT(table WHERE predicate) ≥ threshold``."""
+
+    table: str
+    predicate: RowPredicate
+    threshold: int
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        count = sum(1 for row in view.rows(self.table) if self.predicate.matches(row))
+        return count >= self.threshold
+
+    def __str__(self) -> str:
+        return f"COUNT({self.table} WHERE {self.predicate}) >= {self.threshold}"
+
+
+@dataclass(frozen=True)
+class ContainsRecord(BooleanQuery):
+    """The atomic query ``r ∈ ω`` — presence of one specific record."""
+
+    record: Record
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return view.contains(self.record)
+
+    def __str__(self) -> str:
+        return f"PRESENT({self.record.label()})"
+
+
+@dataclass(frozen=True)
+class Not(BooleanQuery):
+    inner: BooleanQuery
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return not self.inner.evaluate(view)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.inner})"
+
+
+@dataclass(frozen=True)
+class And(BooleanQuery):
+    left: BooleanQuery
+    right: BooleanQuery
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return self.left.evaluate(view) and self.right.evaluate(view)
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(BooleanQuery):
+    left: BooleanQuery
+    right: BooleanQuery
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return self.left.evaluate(view) or self.right.evaluate(view)
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(BooleanQuery):
+    """``antecedent ⇒ consequent`` — the §1.1 disclosure shape."""
+
+    antecedent: BooleanQuery
+    consequent: BooleanQuery
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return (not self.antecedent.evaluate(view)) or self.consequent.evaluate(view)
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} IMPLIES {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Literal(BooleanQuery):
+    value: bool
+
+    def evaluate(self, view: DatabaseView) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+# ---------------------------------------------------------------------------
+# Non-Boolean SELECT queries.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT columns FROM table WHERE predicate`` — a non-Boolean query.
+
+    Its output on a world is the frozenset of matching rows' projected
+    values; disclosure of the output is modelled by the equal-output
+    knowledge set (Section 2).
+    """
+
+    table: str
+    predicate: RowPredicate
+    columns: Tuple[str, ...] = ()
+
+    def evaluate(self, view: DatabaseView) -> FrozenSet[Tuple]:
+        results = []
+        for row in view.rows(self.table):
+            if self.predicate.matches(row):
+                if self.columns:
+                    results.append(tuple(row[c] for c in self.columns))
+                else:
+                    results.append(tuple(v for _, v in row.values))
+        return frozenset(results)
+
+    def __str__(self) -> str:
+        cols = ", ".join(self.columns) if self.columns else "*"
+        return f"SELECT {cols} FROM {self.table} WHERE {self.predicate}"

@@ -1,0 +1,101 @@
+"""Rendering query ASTs back to parseable SQL-ish text.
+
+The inverse of :mod:`repro.db.sql`: every query built from the parseable
+constructs serialises to text that re-parses to an equivalent AST
+(property-tested).  Used by scenario export (:func:`repro.io.dump_scenario`)
+and anywhere a query must cross a process boundary.
+
+:class:`~repro.db.query.ContainsRecord` has no SQL surface form (it names a
+record identity, not its values) and deliberately raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import QueryError
+from .query import (
+    AtLeast,
+    And,
+    BooleanQuery,
+    ColumnCompare,
+    ContainsRecord,
+    Exists,
+    Implies,
+    Literal,
+    Not,
+    Or,
+    RowAnd,
+    RowNot,
+    RowOr,
+    RowPredicate,
+    RowTrue,
+    Select,
+)
+
+
+def _render_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "\\'") + "'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise QueryError(f"cannot render literal {value!r} as SQL")
+
+
+def render_predicate(predicate: RowPredicate) -> str:
+    """Parseable text for a row predicate (``RowTrue`` renders the tautology
+    ``1 = 1`` rather than a bare keyword, to stay within the grammar)."""
+    if isinstance(predicate, ColumnCompare):
+        return f"{predicate.column} {predicate.op.value} {_render_literal(predicate.value)}"
+    if isinstance(predicate, RowAnd):
+        return f"({render_predicate(predicate.left)} AND {render_predicate(predicate.right)})"
+    if isinstance(predicate, RowOr):
+        return f"({render_predicate(predicate.left)} OR {render_predicate(predicate.right)})"
+    if isinstance(predicate, RowNot):
+        return f"NOT ({render_predicate(predicate.inner)})"
+    if isinstance(predicate, RowTrue):
+        raise QueryError(
+            "RowTrue has no standalone text form; omit the WHERE clause instead"
+        )
+    raise QueryError(f"cannot render predicate {predicate!r}")
+
+
+def render_select(select: Select) -> str:
+    """Parseable ``SELECT`` text."""
+    columns = ", ".join(select.columns) if select.columns else "*"
+    text = f"SELECT {columns} FROM {select.table}"
+    if not isinstance(select.predicate, RowTrue):
+        text += f" WHERE {render_predicate(select.predicate)}"
+    return text
+
+
+def to_sql(query: BooleanQuery) -> str:
+    """Parseable text for a Boolean query; raises on :class:`ContainsRecord`."""
+    if isinstance(query, Exists):
+        inner = Select(table=query.table, predicate=query.predicate)
+        return f"EXISTS({render_select(inner)})"
+    if isinstance(query, AtLeast):
+        if isinstance(query.predicate, RowTrue):
+            return f"COUNT({query.table}) >= {query.threshold}"
+        return (
+            f"COUNT({query.table} WHERE {render_predicate(query.predicate)})"
+            f" >= {query.threshold}"
+        )
+    if isinstance(query, Not):
+        return f"NOT ({to_sql(query.inner)})"
+    if isinstance(query, And):
+        return f"({to_sql(query.left)} AND {to_sql(query.right)})"
+    if isinstance(query, Or):
+        return f"({to_sql(query.left)} OR {to_sql(query.right)})"
+    if isinstance(query, Implies):
+        return f"({to_sql(query.antecedent)} IMPLIES {to_sql(query.consequent)})"
+    if isinstance(query, Literal):
+        return "TRUE" if query.value else "FALSE"
+    if isinstance(query, ContainsRecord):
+        raise QueryError(
+            "ContainsRecord identifies a record by id, not by values, and has "
+            "no SQL form; use an EXISTS over distinguishing column values"
+        )
+    raise QueryError(f"cannot render query {query!r}")

@@ -1,0 +1,87 @@
+"""Table schemas for the in-memory relational substrate.
+
+The paper audits queries against a relational database ("the hospital's
+database ω has two records…").  This module defines the minimal schema
+layer: typed columns, validated values, and stable column ordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from ..exceptions import QueryError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    TEXT = "text"
+    INTEGER = "integer"
+    REAL = "real"
+    BOOLEAN = "boolean"
+
+    def validate(self, value: Any) -> Any:
+        """Coerce/validate a Python value for this column type."""
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise QueryError(f"expected text, got {value!r}")
+            return value
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise QueryError(f"expected integer, got {value!r}")
+            return value
+        if self is ColumnType.REAL:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise QueryError(f"expected real, got {value!r}")
+            return float(value)
+        if not isinstance(value, bool):
+            raise QueryError(f"expected boolean, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A named table with typed columns (order-preserving)."""
+
+    name: str
+    columns: Tuple[Tuple[str, ColumnType], ...]
+
+    @classmethod
+    def build(cls, name: str, /, **columns: ColumnType) -> "TableSchema":
+        # ``name`` is positional-only so tables may have a column called "name".
+        if not name.isidentifier():
+            raise QueryError(f"invalid table name {name!r}")
+        if not columns:
+            raise QueryError("a table needs at least one column")
+        for column in columns:
+            if not column.isidentifier():
+                raise QueryError(f"invalid column name {column!r}")
+        return cls(name, tuple(columns.items()))
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.columns)
+
+    def column_type(self, column: str) -> ColumnType:
+        for name, ctype in self.columns:
+            if name == column:
+                return ctype
+        raise QueryError(f"table {self.name!r} has no column {column!r}")
+
+    def validate_row(self, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a full row; all columns must be present, none extra."""
+        expected = set(self.column_names)
+        provided = set(values)
+        if provided != expected:
+            missing = expected - provided
+            extra = provided - expected
+            raise QueryError(
+                f"row mismatch for {self.name!r}: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        return {
+            name: self.column_type(name).validate(values[name])
+            for name in self.column_names
+        }

@@ -1,0 +1,261 @@
+"""A small SQL-ish surface syntax for audit and disclosure queries.
+
+Auditors write audit queries as text; this parser produces the
+:mod:`repro.db.query` ASTs.  Grammar (case-insensitive keywords)::
+
+    bool    := or ( IMPLIES bool )?
+    or      := and ( OR and )*
+    and     := unary ( AND unary )*
+    unary   := NOT unary | TRUE | FALSE | '(' bool ')'
+             | EXISTS '(' select ')'
+             | COUNT '(' table [WHERE rowpred] ')' '>=' integer
+    select  := SELECT ('*' | column (',' column)*) FROM table [WHERE rowpred]
+    rowpred := rp_or;  rp_or := rp_and (OR rp_and)*;  rp_and := rp_not (AND rp_not)*
+    rp_not  := NOT rp_not | '(' rowpred ')' | column op literal
+    op      := = | != | < | <= | > | >=
+    literal := 'string' | integer | real | TRUE | FALSE
+
+Example::
+
+    EXISTS(SELECT * FROM visits WHERE patient = 'Bob' AND hiv = TRUE)
+        IMPLIES EXISTS(SELECT * FROM visits WHERE patient = 'Bob' AND transfusion = TRUE)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..exceptions import ParseError
+from .query import (
+    AtLeast,
+    BooleanQuery,
+    ColumnCompare,
+    Comparison,
+    Exists,
+    Implies,
+    Literal,
+    RowAnd,
+    RowNot,
+    RowOr,
+    RowPredicate,
+    RowTrue,
+    Select,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*')
+      | (?P<real>-?\d+\.\d+)
+      | (?P<integer>-?\d+)
+      | (?P<op><=|>=|!=|=|<|>)
+      | (?P<punct>[(),*])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "EXISTS", "COUNT", "AND", "OR", "NOT",
+    "IMPLIES", "TRUE", "FALSE",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at: {remainder[:30]!r}")
+        pos = match.end()
+        if match.lastgroup == "string":
+            raw = match.group("string")[1:-1]
+            tokens.append(_Token("literal", raw.replace("\\'", "'")))
+        elif match.lastgroup == "real":
+            tokens.append(_Token("literal", float(match.group("real"))))
+        elif match.lastgroup == "integer":
+            tokens.append(_Token("literal", int(match.group("integer"))))
+        elif match.lastgroup == "op":
+            tokens.append(_Token("op", match.group("op")))
+        elif match.lastgroup == "punct":
+            tokens.append(_Token("punct", match.group("punct")))
+        else:
+            word = match.group("word")
+            upper = word.upper()
+            if upper in _KEYWORDS:
+                tokens.append(_Token("keyword", upper))
+            else:
+                tokens.append(_Token("ident", word))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, value=None) -> Optional[_Token]:
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self._pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, value=None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            raise ParseError(
+                f"expected {value or kind}, found {self._peek() or 'end of query'}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    # -- boolean queries ------------------------------------------------------------
+
+    def parse_boolean(self) -> BooleanQuery:
+        left = self._parse_or()
+        if self._accept("keyword", "IMPLIES"):
+            right = self.parse_boolean()  # right-associative
+            return Implies(left, right)
+        return left
+
+    def _parse_or(self) -> BooleanQuery:
+        result = self._parse_and()
+        while self._accept("keyword", "OR"):
+            result = result | self._parse_and()
+        return result
+
+    def _parse_and(self) -> BooleanQuery:
+        result = self._parse_unary()
+        while self._accept("keyword", "AND"):
+            result = result & self._parse_unary()
+        return result
+
+    def _parse_unary(self) -> BooleanQuery:
+        if self._accept("keyword", "NOT"):
+            return ~self._parse_unary()
+        if self._accept("keyword", "TRUE"):
+            return Literal(True)
+        if self._accept("keyword", "FALSE"):
+            return Literal(False)
+        if self._accept("keyword", "EXISTS"):
+            self._expect("punct", "(")
+            select = self.parse_select()
+            self._expect("punct", ")")
+            return Exists(select.table, select.predicate)
+        if self._accept("keyword", "COUNT"):
+            self._expect("punct", "(")
+            table = self._expect("ident").value
+            predicate: RowPredicate = RowTrue()
+            if self._accept("keyword", "WHERE"):
+                predicate = self._parse_row_or()
+            self._expect("punct", ")")
+            self._expect("op", ">=")
+            threshold = self._expect("literal")
+            if not isinstance(threshold.value, int):
+                raise ParseError("COUNT threshold must be an integer")
+            return AtLeast(table, predicate, threshold.value)
+        if self._accept("punct", "("):
+            inner = self.parse_boolean()
+            self._expect("punct", ")")
+            return inner
+        raise ParseError(f"unexpected token {self._peek() or 'end of query'}")
+
+    # -- select queries ---------------------------------------------------------------
+
+    def parse_select(self) -> Select:
+        self._expect("keyword", "SELECT")
+        columns: Tuple[str, ...] = ()
+        if not self._accept("punct", "*"):
+            names = [self._expect("ident").value]
+            while self._accept("punct", ","):
+                names.append(self._expect("ident").value)
+            columns = tuple(names)
+        self._expect("keyword", "FROM")
+        table = self._expect("ident").value
+        predicate: RowPredicate = RowTrue()
+        if self._accept("keyword", "WHERE"):
+            predicate = self._parse_row_or()
+        return Select(table=table, predicate=predicate, columns=columns)
+
+    # -- row predicates ------------------------------------------------------------------
+
+    def _parse_row_or(self) -> RowPredicate:
+        result = self._parse_row_and()
+        while self._accept("keyword", "OR"):
+            result = RowOr(result, self._parse_row_and())
+        return result
+
+    def _parse_row_and(self) -> RowPredicate:
+        result = self._parse_row_not()
+        while self._accept("keyword", "AND"):
+            result = RowAnd(result, self._parse_row_not())
+        return result
+
+    def _parse_row_not(self) -> RowPredicate:
+        if self._accept("keyword", "NOT"):
+            return RowNot(self._parse_row_not())
+        if self._accept("punct", "("):
+            inner = self._parse_row_or()
+            self._expect("punct", ")")
+            return inner
+        column = self._expect("ident").value
+        op = Comparison(self._expect("op").value)
+        token = self._next()
+        if token.kind == "literal":
+            value = token.value
+        elif token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            value = token.value == "TRUE"
+        else:
+            raise ParseError(f"expected a literal, found {token}")
+        return ColumnCompare(column, op, value)
+
+
+def parse_boolean_query(text: str) -> BooleanQuery:
+    """Parse a Boolean query; raises :class:`ParseError` on malformed input."""
+    parser = _Parser(_tokenize(text))
+    result = parser.parse_boolean()
+    if not parser.at_end():
+        raise ParseError("trailing input after query")
+    return result
+
+
+def parse_select_query(text: str) -> Select:
+    """Parse a ``SELECT`` query."""
+    parser = _Parser(_tokenize(text))
+    result = parser.parse_select()
+    if not parser.at_end():
+        raise ParseError("trailing input after query")
+    return result

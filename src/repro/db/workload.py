@@ -1,0 +1,169 @@
+"""Synthetic healthcare workloads for benchmarks and examples.
+
+The paper motivates auditing with hospital databases but publishes no
+dataset (its examples are two-record toys).  This module generates
+realistic-shaped synthetic registries — patients × diagnoses with
+configurable prevalence — plus disclosure logs mixing the §1.1 query
+shapes: existence probes, implications, negations and count thresholds.
+Deterministic under a seed, so benchmark workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from .compile import CandidateUniverse
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a circular import
+    from ..audit.log import DisclosureLog
+from .database import Database, Record
+from .query import AtLeast, BooleanQuery, ContainsRecord, Exists, column_eq
+from .schema import ColumnType, TableSchema
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "Dana", "Erin", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy", "Rupert", "Sybil",
+]
+_DISEASES = ["hiv", "hepatitis", "tuberculosis", "influenza", "diabetes"]
+
+
+@dataclass(frozen=True)
+class RegistryWorkload:
+    """A generated registry: database, candidate universe, disclosure log."""
+
+    database: Database
+    universe: CandidateUniverse
+    log: "DisclosureLog"
+    audit_query: BooleanQuery
+    sensitive_patient: str
+    sensitive_disease: str
+
+
+def generate_registry(
+    n_patients: int = 4,
+    n_hypothetical: int = 2,
+    diagnosis_probability: float = 0.4,
+    seed: int = 0,
+    diseases: Optional[Sequence[str]] = None,
+) -> Tuple[Database, List[Record]]:
+    """A random diagnoses registry plus candidate records.
+
+    Real records are sampled per (patient, disease) with the given
+    prevalence; ``n_hypothetical`` extra candidate records are *not*
+    inserted (imaginary rows the auditor considers relevant).  The total
+    candidate count is capped at 16 to keep ``2^n`` worlds tractable.
+    """
+    rng = np.random.default_rng(seed)
+    diseases = list(diseases or _DISEASES[:2])
+    db = Database()
+    db.create_table(
+        TableSchema.build(
+            "diagnoses", patient=ColumnType.TEXT, disease=ColumnType.TEXT
+        )
+    )
+    candidates: List[Record] = []
+    patients = _FIRST_NAMES[:n_patients]
+    for patient in patients:
+        for disease in diseases:
+            if len(candidates) >= 16 - n_hypothetical:
+                break
+            if rng.random() < diagnosis_probability:
+                candidates.append(
+                    db.insert("diagnoses", patient=patient, disease=disease)
+                )
+    if not candidates:  # ensure a non-empty actual world
+        candidates.append(
+            db.insert("diagnoses", patient=patients[0], disease=diseases[0])
+        )
+    extra_pool = [
+        (p, d)
+        for p in _FIRST_NAMES[n_patients : n_patients + n_hypothetical * 2]
+        for d in diseases
+    ]
+    for p, d in extra_pool[:n_hypothetical]:
+        candidates.append(db.hypothetical_record("diagnoses", patient=p, disease=d))
+    return db, candidates
+
+
+def generate_disclosure_log(
+    universe: CandidateUniverse,
+    n_events: int = 12,
+    n_users: int = 4,
+    seed: int = 0,
+) -> "DisclosureLog":
+    """A log of mixed-shape Boolean disclosures over the universe's records.
+
+    Shapes drawn uniformly: record-presence probes, per-patient existence,
+    implications between two probes (the §1.1 shape), negated probes, and
+    count thresholds.
+    """
+    from ..audit.log import DisclosureLog
+
+    rng = np.random.default_rng(seed)
+    records = universe.candidates
+    users = [f"user{i}" for i in range(n_users)]
+    patients = sorted({r["patient"] for r in records})
+    diseases = sorted({r["disease"] for r in records})
+    log = DisclosureLog()
+
+    def random_probe() -> BooleanQuery:
+        kind = rng.integers(3)
+        if kind == 0:
+            return ContainsRecord(records[int(rng.integers(len(records)))])
+        if kind == 1:
+            patient = patients[int(rng.integers(len(patients)))]
+            return Exists("diagnoses", column_eq("patient", patient))
+        disease = diseases[int(rng.integers(len(diseases)))]
+        return Exists("diagnoses", column_eq("disease", disease))
+
+    for t in range(n_events):
+        shape = rng.integers(4)
+        if shape == 0:
+            query: BooleanQuery = random_probe()
+        elif shape == 1:
+            query = random_probe().implies(random_probe())
+        elif shape == 2:
+            query = ~random_probe()
+        else:
+            disease = diseases[int(rng.integers(len(diseases)))]
+            threshold = int(rng.integers(1, max(2, len(records) // 2)))
+            query = AtLeast("diagnoses", column_eq("disease", disease), threshold)
+        log.record(t, users[int(rng.integers(n_users))], query)
+    return log
+
+
+def generate_workload(
+    n_patients: int = 4,
+    n_hypothetical: int = 2,
+    n_events: int = 12,
+    seed: int = 0,
+) -> RegistryWorkload:
+    """One-call workload: registry + universe + log + a sensible audit query.
+
+    The audit query protects the presence of the first real record — the
+    retroactive-audit shape ("HIV-positive" for some patient).
+    """
+    db, candidates = generate_registry(
+        n_patients=n_patients, n_hypothetical=n_hypothetical, seed=seed
+    )
+    universe = CandidateUniverse(db, candidates)
+    log = generate_disclosure_log(universe, n_events=n_events, seed=seed + 1)
+    target = candidates[0]
+    audit_query = Exists(
+        "diagnoses",
+        column_eq("patient", target["patient"])
+        & column_eq("disease", target["disease"]),
+    )
+    return RegistryWorkload(
+        database=db,
+        universe=universe,
+        log=log,
+        audit_query=audit_query,
+        sensitive_patient=target["patient"],
+        sensitive_disease=target["disease"],
+    )

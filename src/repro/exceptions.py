@@ -1,0 +1,61 @@
+"""Exception hierarchy for the epistemic-privacy library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SpaceMismatchError(ReproError):
+    """Two objects defined over different world spaces were combined."""
+
+
+class InconsistentKnowledgeError(ReproError):
+    """A knowledge world violated the consistency requirement of Remark 2.3.
+
+    Possibilistic pairs ``(ω, S)`` must satisfy ``ω ∈ S`` and probabilistic
+    pairs ``(ω, P)`` must satisfy ``P(ω) > 0``: every agent considers the
+    actual world possible.
+    """
+
+
+class EmptyKnowledgeError(ReproError):
+    """An empty second-level knowledge set was constructed.
+
+    Definition 2.5 of the paper calls a pair ``(C, Σ)`` (or ``(C, Π)``)
+    *consistent* only when its product is non-empty, "because ∅ is not a
+    valid second-level knowledge set."
+    """
+
+
+class NotIntersectionClosedError(ReproError):
+    """An operation required an ∩-closed second-level knowledge set (Def 4.3)."""
+
+
+class IntervalDoesNotExistError(ReproError):
+    """The K-interval ``I_K(ω₁, ω₂)`` of Definition 4.4 does not exist."""
+
+
+class InvalidDistributionError(ReproError):
+    """A probability distribution failed validation (negative mass, sum ≠ 1...)."""
+
+
+class UndecidedError(ReproError):
+    """A decision procedure could not reach a sound verdict within its budget."""
+
+
+class QueryError(ReproError):
+    """A database query is malformed or references unknown tables/columns."""
+
+
+class ParseError(QueryError):
+    """The SQL-ish query text could not be parsed."""
+
+
+class CertificateError(ReproError):
+    """A claimed algebraic certificate failed verification."""

@@ -1,0 +1,210 @@
+"""Loading audit scenarios from JSON.
+
+A *scenario* bundles everything an offline audit needs — schemas, records
+(present and hypothetical), the disclosure log, and the audit policy — in a
+single declarative JSON document, so audits can be scripted and shipped:
+
+.. code-block:: json
+
+    {
+      "tables": {"facts": {"patient": "text", "kind": "text"}},
+      "records": [
+        {"table": "facts", "values": {"patient": "Bob", "kind": "hiv_positive"}},
+        {"table": "facts", "values": {"patient": "Bob", "kind": "transfusion"}},
+        {"table": "facts", "values": {"patient": "Eve", "kind": "hiv_positive"},
+         "present": false}
+      ],
+      "log": [
+        {"time": 2005, "user": "alice",
+         "query": "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive') IMPLIES EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'transfusion')"},
+        {"time": 2007, "user": "mallory",
+         "query": "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')"}
+      ],
+      "policy": {
+        "audit_query": "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')",
+        "assumption": "product",
+        "name": "bob-hiv-leak"
+      }
+    }
+
+Queries are the SQL-ish text of :mod:`repro.db.sql`; ``present: false``
+marks hypothetical candidate records; ``assumption`` is a
+:class:`~repro.audit.policy.PriorAssumption` value.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Union
+
+from .audit.log import DisclosureLog
+from .audit.policy import AuditPolicy, PriorAssumption
+from .db.compile import CandidateUniverse
+from .db.database import Database, Record
+from .db.schema import ColumnType, TableSchema
+from .db.sql import parse_boolean_query
+from .exceptions import QueryError
+
+_COLUMN_TYPES = {
+    "text": ColumnType.TEXT,
+    "integer": ColumnType.INTEGER,
+    "real": ColumnType.REAL,
+    "boolean": ColumnType.BOOLEAN,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully materialised audit scenario."""
+
+    database: Database
+    universe: CandidateUniverse
+    log: DisclosureLog
+    policy: AuditPolicy
+
+
+def load_scenario(source: Union[str, pathlib.Path, Mapping[str, Any]]) -> Scenario:
+    """Build a :class:`Scenario` from a JSON document, file path, or mapping."""
+    if isinstance(source, Mapping):
+        document = dict(source)
+    elif isinstance(source, str) and source.lstrip().startswith("{"):
+        document = json.loads(source)
+    else:
+        document = json.loads(pathlib.Path(source).read_text())
+    return _build(document)
+
+
+def _build(document: Mapping[str, Any]) -> Scenario:
+    for key in ("tables", "records", "policy"):
+        if key not in document:
+            raise QueryError(f"scenario is missing the {key!r} section")
+
+    database = Database()
+    for table_name, columns in document["tables"].items():
+        typed = {}
+        for column, type_name in columns.items():
+            if type_name not in _COLUMN_TYPES:
+                raise QueryError(
+                    f"unknown column type {type_name!r} "
+                    f"(expected one of {sorted(_COLUMN_TYPES)})"
+                )
+            typed[column] = _COLUMN_TYPES[type_name]
+        database.create_table(TableSchema.build(table_name, **typed))
+
+    candidates: List[Record] = []
+    for entry in document["records"]:
+        table = entry.get("table")
+        values = entry.get("values", {})
+        if table is None:
+            raise QueryError("record entry is missing its 'table'")
+        if entry.get("present", True):
+            record = database.insert(table, **values)
+        else:
+            record = database.hypothetical_record(table, **values)
+        candidates.append(record)
+    universe = CandidateUniverse(database, candidates)
+
+    log = DisclosureLog()
+    for entry in document.get("log", []):
+        log.record(
+            entry.get("time", 0),
+            entry.get("user", "unknown"),
+            parse_boolean_query(entry["query"]),
+            note=entry.get("note", ""),
+        )
+
+    policy_doc = document["policy"]
+    try:
+        assumption = PriorAssumption(policy_doc.get("assumption", "product"))
+    except ValueError as error:
+        raise QueryError(
+            f"unknown assumption {policy_doc.get('assumption')!r} "
+            f"(expected one of {[a.value for a in PriorAssumption]})"
+        ) from error
+    policy = AuditPolicy(
+        audit_query=parse_boolean_query(policy_doc["audit_query"]),
+        assumption=assumption,
+        name=policy_doc.get("name", "audit"),
+    )
+    return Scenario(database=database, universe=universe, log=log, policy=policy)
+
+
+def dump_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Serialise a scenario back to its JSON document form.
+
+    Inverse of :func:`load_scenario` up to query-text normalisation (ASTs
+    are rendered through :mod:`repro.db.render`, so reloading yields
+    equivalent queries).  Queries containing
+    :class:`~repro.db.query.ContainsRecord` have no SQL form and raise.
+    """
+    from .db.render import to_sql
+
+    type_names = {ctype: name for name, ctype in _COLUMN_TYPES.items()}
+    database = scenario.database
+    tables: Dict[str, Dict[str, str]] = {}
+    for table_name in database.table_names:
+        schema = database.schema(table_name)
+        tables[table_name] = {
+            column: type_names[ctype] for column, ctype in schema.columns
+        }
+    inserted = set(database.all_records())
+    records = [
+        {
+            "table": record.table,
+            "values": record.as_dict(),
+            "present": record in inserted,
+        }
+        for record in scenario.universe.candidates
+    ]
+    log = [
+        {
+            "time": event.time,
+            "user": event.user,
+            "query": to_sql(event.query),
+            "note": event.note,
+        }
+        for event in scenario.log
+    ]
+    return {
+        "tables": tables,
+        "records": records,
+        "log": log,
+        "policy": {
+            "audit_query": to_sql(scenario.policy.audit_query),
+            "assumption": scenario.policy.assumption.value,
+            "name": scenario.policy.name,
+        },
+    }
+
+
+def example_scenario_document() -> Dict[str, Any]:
+    """The §1.1 hospital story as a scenario document (used by the CLI demo)."""
+    a_text = (
+        "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' "
+        "AND kind = 'hiv_positive')"
+    )
+    b_text = (
+        f"{a_text} IMPLIES EXISTS(SELECT * FROM facts WHERE patient = 'Bob' "
+        "AND kind = 'transfusion')"
+    )
+    return {
+        "tables": {"facts": {"patient": "text", "kind": "text"}},
+        "records": [
+            {"table": "facts", "values": {"patient": "Bob", "kind": "hiv_positive"}},
+            {"table": "facts", "values": {"patient": "Bob", "kind": "transfusion"}},
+        ],
+        "log": [
+            {"time": 2005, "user": "alice", "query": b_text,
+             "note": "2005 statistical summary"},
+            {"time": 2005, "user": "cindy", "query": b_text},
+            {"time": 2007, "user": "mallory", "query": a_text,
+             "note": "2007 chart read"},
+        ],
+        "policy": {
+            "audit_query": a_text,
+            "assumption": "product",
+            "name": "bob-hiv-leak",
+        },
+    }

@@ -1,0 +1,55 @@
+"""Possibilistic privacy machinery (Section 4 of the paper).
+
+∩-closed prior-knowledge families, K-intervals, minimal intervals and their
+induced partitions, safety margins, and the amortised
+:class:`PossibilisticAuditor`.
+"""
+
+from .auditor import PossibilisticAuditor, brute_force_audit
+from .families import (
+    ExplicitFamily,
+    IntegerRectangleFamily,
+    KnowledgeFamily,
+    PowerSetFamily,
+    SubcubeFamily,
+    UpSetFamily,
+)
+from .figure1 import Figure1Scenario
+from .intervals import ExplicitIntervalIndex, FamilyIntervalOracle, IntervalOracle
+from .margins import SafetyMarginIndex
+from .minimal import (
+    IntervalPartition,
+    MinimalInterval,
+    interval_partition,
+    minimal_intervals_to,
+)
+from .safety import (
+    audit_interval_based,
+    safe_via_intervals,
+    safe_via_minimal_intervals,
+    safe_via_partition,
+)
+
+__all__ = [
+    "ExplicitFamily",
+    "ExplicitIntervalIndex",
+    "Figure1Scenario",
+    "FamilyIntervalOracle",
+    "IntegerRectangleFamily",
+    "IntervalOracle",
+    "IntervalPartition",
+    "KnowledgeFamily",
+    "MinimalInterval",
+    "PossibilisticAuditor",
+    "PowerSetFamily",
+    "SafetyMarginIndex",
+    "SubcubeFamily",
+    "UpSetFamily",
+    "audit_interval_based",
+    "brute_force_audit",
+    "interval_partition",
+    "minimal_intervals_to",
+    "safe_via_intervals",
+    "safe_via_minimal_intervals",
+    "safe_via_partition",
+]

@@ -1,0 +1,129 @@
+"""The Figure 1 / Example 4.9 scenario, reconstructed as a reusable object.
+
+The paper's Figure 1 shows a 14 × 7 pixel rectangle of worlds; the
+admissible user knowledge sets are integer sub-rectangles (an ∩-closed
+family), ``Ā`` — the complement of the privacy-sensitive set — is the area
+bounded by an ellipse, and from the corner world ``ω₁ = (1,1)`` there are
+exactly three minimal intervals to ``Ā``: the rectangles ``(1,1)−(4,4)``,
+``(1,1)−(5,3)`` and ``(1,1)−(6,2)``.
+
+The paper does not give the ellipse's equation, so we reconstructed one
+(centre ``(9.5, 4.75)``, radii ``(6.0, 3.5)``) whose pixelisation reproduces
+those three minimal intervals *exactly*; the test-suite and the E1 benchmark
+assert this.  Interval examples from the prose are reproduced too:
+``I_K(ω₁, ω₂) = (1,1)−(4,4)`` for ``ω₂ = (4,4)`` and
+``I_K(ω₁, ω₂') = (1,1)−(9,3)`` for ``ω₂' = (9,3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.worlds import GridSpace, PropertySet
+from .families import IntegerRectangleFamily
+from .intervals import FamilyIntervalOracle
+from .minimal import MinimalInterval, interval_partition, minimal_intervals_to
+
+#: Grid dimensions from the caption: "the 14 × 7 rectangle".
+GRID_WIDTH = 14
+GRID_HEIGHT = 7
+
+#: The corner world the example reasons from.
+OMEGA_1 = (1, 1)
+
+#: The second worlds used in the prose examples.
+OMEGA_2 = (4, 4)
+OMEGA_2_PRIME = (9, 3)
+
+#: Reconstructed ellipse bounding Ā (centre x, centre y, radius x, radius y).
+ELLIPSE = (9.5, 4.75, 6.0, 3.5)
+
+#: The three minimal intervals claimed by Example 4.9, as inclusive corners.
+EXPECTED_MINIMAL_CORNERS = (
+    (1, 1, 4, 4),
+    (1, 1, 5, 3),
+    (1, 1, 6, 2),
+)
+
+
+@dataclass
+class Figure1Scenario:
+    """All the ingredients of Figure 1, constructed once."""
+
+    space: GridSpace
+    family: IntegerRectangleFamily
+    oracle: FamilyIntervalOracle
+    audited: PropertySet  # the privacy-sensitive set A
+    outside: PropertySet  # Ā, the ellipse area
+
+    @classmethod
+    def build(cls) -> "Figure1Scenario":
+        space = GridSpace(GRID_WIDTH, GRID_HEIGHT)
+        family = IntegerRectangleFamily(space)
+        oracle = FamilyIntervalOracle(space.full, family)
+        cx, cy, rx, ry = ELLIPSE
+        outside = space.ellipse(cx, cy, rx, ry)
+        return cls(
+            space=space,
+            family=family,
+            oracle=oracle,
+            audited=~outside,
+            outside=outside,
+        )
+
+    def origin_id(self) -> int:
+        return self.space.world_id(OMEGA_1)
+
+    def minimal_intervals(self) -> List[MinimalInterval]:
+        """The minimal intervals from ``ω₁`` to ``Ā``."""
+        return minimal_intervals_to(self.oracle, self.origin_id(), self.outside)
+
+    def minimal_corners(self) -> List[Tuple[int, int, int, int]]:
+        """Minimal intervals as sorted ``(x0, y0, x1, y1)`` corner tuples."""
+        corners = []
+        for item in self.minimal_intervals():
+            coords = [self.space.coordinates(w) for w in item.interval]
+            xs = [c[0] for c in coords]
+            ys = [c[1] for c in coords]
+            corners.append((min(xs), min(ys), max(xs), max(ys)))
+        return sorted(corners)
+
+    def delta_classes(self) -> List[PropertySet]:
+        """The hatched regions of Figure 1: ``Δ_K(Ā, ω₁)``."""
+        partition = interval_partition(self.oracle, self.origin_id(), self.outside)
+        return list(partition.classes)
+
+    def interval_example(self) -> PropertySet:
+        """The prose example ``I_K(ω₁, ω₂)`` with ``ω₂ = (4,4)``."""
+        result = self.oracle.interval(
+            self.origin_id(), self.space.world_id(OMEGA_2)
+        )
+        assert result is not None
+        return result
+
+    def interval_example_prime(self) -> PropertySet:
+        """The prose example ``I_K(ω₁, ω₂')`` with ``ω₂' = (9,3)``."""
+        result = self.oracle.interval(
+            self.origin_id(), self.space.world_id(OMEGA_2_PRIME)
+        )
+        assert result is not None
+        return result
+
+    def render_ascii(self) -> str:
+        """An ASCII rendition of Figure 1 (ellipse ``.``, Δ-classes ``#``, ω₁ ``@``)."""
+        classes = self.delta_classes()
+        grid_chars = [[" "] * self.space.width for _ in range(self.space.height)]
+        for w in self.outside:
+            x, y = self.space.coordinates(w)
+            grid_chars[y][x] = "."
+        for cls in classes:
+            for w in cls:
+                x, y = self.space.coordinates(w)
+                grid_chars[y][x] = "#"
+        ox, oy = OMEGA_1
+        grid_chars[oy][ox] = "@"
+        border = "+" + "-" * self.space.width + "+"
+        # Render with y increasing downward, matching matrix convention.
+        rows = ["|" + "".join(row) + "|" for row in grid_chars]
+        return "\n".join([border] + rows + [border])

@@ -1,0 +1,156 @@
+"""K-intervals for ∩-closed second-level knowledge sets (Definition 4.4).
+
+When the auditor's knowledge ``K`` is ∩-closed, the *interval*
+``I_K(ω₁, ω₂)`` — the smallest ``S`` with ``(ω₁, S) ∈ K`` and ``ω₂ ∈ S`` —
+is all that is needed to test possibilistic privacy (Proposition 4.5).  This
+module provides interval oracles for two representations of ``K``:
+
+* :class:`ExplicitIntervalIndex` — from an explicit
+  :class:`~repro.core.knowledge.PossibilisticKnowledge`;
+* :class:`FamilyIntervalOracle` — from a product ``C ⊗ Σ`` where ``Σ`` is a
+  structured :class:`~repro.possibilistic.families.KnowledgeFamily` with an
+  analytic interval formula.
+
+Both expose the same protocol: ``candidate_worlds()`` (``π₁(K)``) and
+``interval(ω₁, ω₂)`` returning a :class:`PropertySet` or ``None`` when the
+interval does not exist.  Per Remark 4.6, an explicit index needs at most
+``|Ω|³`` bits — one set (or its absence) per ordered world pair — instead of
+the ``|Ω|·2^|Ω|`` bits of the raw ``K``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.knowledge import PossibilisticKnowledge
+from ..core.worlds import PropertySet, WorldSpace
+from ..exceptions import NotIntersectionClosedError
+from .families import KnowledgeFamily
+
+
+class IntervalOracle:
+    """Protocol-style base for interval computations over an ∩-closed ``K``."""
+
+    @property
+    def space(self) -> WorldSpace:
+        raise NotImplementedError
+
+    def candidate_worlds(self) -> PropertySet:
+        """``π₁(K)``: the worlds that occur as first components of pairs in K."""
+        raise NotImplementedError
+
+    def interval(self, world1: int, world2: int) -> Optional[PropertySet]:
+        """``I_K(ω₁, ω₂)`` of Definition 4.4, or ``None`` when it does not exist."""
+        raise NotImplementedError
+
+    def interval_exists(self, world1: int, world2: int) -> bool:
+        return self.interval(world1, world2) is not None
+
+    def has_tight_intervals(self) -> bool:
+        """Definition 4.13: every interval shrinks strictly inside itself.
+
+        ``K`` has tight intervals iff for every interval ``I_K(ω₁, ω₂)`` and
+        every ``ω₂' ∈ I_K(ω₁, ω₂)`` with ``ω₂' ≠ ω₂`` we have
+        ``I_K(ω₁, ω₂') ⊊ I_K(ω₁, ω₂)``.  (The inclusion ``⊆`` always holds;
+        tightness demands it be strict.)  Checked exhaustively over world
+        pairs, so intended for moderate ``|Ω|``.
+        """
+        for w1 in self.candidate_worlds():
+            for w2 in self.space.worlds():
+                outer = self.interval(w1, w2)
+                if outer is None:
+                    continue
+                for w2_prime in outer:
+                    if w2_prime == w2:
+                        continue
+                    inner = self.interval(w1, w2_prime)
+                    if inner is not None and inner == outer:
+                        return False
+        return True
+
+
+class ExplicitIntervalIndex(IntervalOracle):
+    """Interval oracle over an explicit ∩-closed second-level knowledge set.
+
+    ``I_K(ω₁, ω₂) = ∩ {S : (ω₁, S) ∈ K, ω₂ ∈ S}``; the intersection is a
+    member of the family because ``K`` is ∩-closed (both sets contain
+    ``ω₁``, so their meet is consistent).  Intervals are memoised.
+    """
+
+    def __init__(self, knowledge: PossibilisticKnowledge) -> None:
+        if not knowledge.is_intersection_closed():
+            raise NotIntersectionClosedError(
+                "intervals are defined for ∩-closed K only (Definition 4.4)"
+            )
+        self._knowledge = knowledge
+        self._by_world: Dict[int, list] = {}
+        for pair in knowledge:
+            self._by_world.setdefault(pair.world, []).append(pair.knowledge)
+        self._cache: Dict[Tuple[int, int], Optional[PropertySet]] = {}
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._knowledge.space
+
+    @property
+    def knowledge(self) -> PossibilisticKnowledge:
+        return self._knowledge
+
+    def candidate_worlds(self) -> PropertySet:
+        return self._knowledge.worlds()
+
+    def interval(self, world1: int, world2: int) -> Optional[PropertySet]:
+        key = (world1, world2)
+        if key not in self._cache:
+            self._cache[key] = self._compute(world1, world2)
+        return self._cache[key]
+
+    def _compute(self, world1: int, world2: int) -> Optional[PropertySet]:
+        containing = [
+            s for s in self._by_world.get(world1, []) if world2 in s
+        ]
+        if not containing:
+            return None
+        result = containing[0]
+        for s in containing[1:]:
+            result = result & s
+        return result
+
+    def storage_bound_bits(self) -> int:
+        """The Remark 4.6 storage bound: at most ``|Ω|³`` bits for all intervals."""
+        return self.space.size ** 3
+
+
+class FamilyIntervalOracle(IntervalOracle):
+    """Interval oracle for ``K = C ⊗ Σ`` with a structured family ``Σ``.
+
+    ``I_K(ω₁, ω₂)`` exists iff ``ω₁ ∈ C`` and some ``S ∈ Σ`` contains both
+    worlds; it then equals the family's analytic ``interval_between``.
+    """
+
+    def __init__(self, candidates: PropertySet, family: KnowledgeFamily) -> None:
+        candidates.space.check_same(family.space)
+        if not candidates:
+            raise ValueError("the candidate set C must be non-empty")
+        if not family.is_intersection_closed():
+            raise NotIntersectionClosedError(
+                "intervals are defined for ∩-closed families only (Definition 4.4)"
+            )
+        self._candidates = candidates
+        self._family = family
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._family.space
+
+    @property
+    def family(self) -> KnowledgeFamily:
+        return self._family
+
+    def candidate_worlds(self) -> PropertySet:
+        return self._candidates
+
+    def interval(self, world1: int, world2: int) -> Optional[PropertySet]:
+        if world1 not in self._candidates:
+            return None
+        return self._family.interval_between(world1, world2)

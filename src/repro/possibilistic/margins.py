@@ -1,0 +1,116 @@
+"""Safety margins β (Proposition 4.1, Corollary 4.14).
+
+Proposition 4.1 associates each world ``ω ∈ A`` with a "safety margin"
+``β(ω) ⊆ Ω − A``: if every ``ω ∈ A ∩ B`` occurs in ``B`` together with its
+margin, then ``B`` is safe; and for K-preserving ``B`` the converse holds.
+When ``K`` is ∩-closed *with tight intervals* (Definition 4.13),
+Corollary 4.14 gives the margin explicitly —
+``β(ω₁) = ∪ Δ_K(Ā, ω₁)`` — and the margin test becomes an exact
+characterisation for **all** ``B``, not just K-preserving ones.
+
+The margin is precomputed once per audit query ``A`` and reused across many
+disclosed properties ``B₁, …, B_N``, the amortised workflow the paper
+highlights after Proposition 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.verdict import AuditVerdict
+from ..core.worlds import PropertySet
+from .intervals import IntervalOracle
+from .minimal import interval_partition
+
+
+class SafetyMarginIndex:
+    """The precomputed margin map ``β : A → P(Ω − A)`` for one audit query.
+
+    Parameters
+    ----------
+    oracle:
+        Interval oracle over an ∩-closed ``K``.
+    audited:
+        The audit query ``A``.
+    require_tight:
+        When true (default), verify the tight-intervals hypothesis of
+        Corollary 4.14, making ``test`` an exact characterisation.  When
+        false, ``test`` remains *sufficient* for safety (the forward
+        implication (12) of Proposition 4.1) but may reject safe disclosures.
+    """
+
+    def __init__(
+        self,
+        oracle: IntervalOracle,
+        audited: PropertySet,
+        require_tight: bool = True,
+    ) -> None:
+        oracle.space.check_same(audited.space)
+        self._oracle = oracle
+        self._audited = audited
+        self._tight = oracle.has_tight_intervals()
+        if require_tight and not self._tight:
+            from ..exceptions import NotIntersectionClosedError
+
+            raise NotIntersectionClosedError(
+                "Corollary 4.14 requires tight intervals (Definition 4.13); "
+                "pass require_tight=False for a sufficient-only margin test"
+            )
+        outside = ~audited
+        self._margins: Dict[int, PropertySet] = {}
+        for w1 in (audited & oracle.candidate_worlds()).sorted_members():
+            partition = interval_partition(oracle, w1, outside)
+            margin = audited.space.empty
+            for cls in partition.classes:
+                margin = margin | cls
+            self._margins[w1] = margin
+
+    @property
+    def audited(self) -> PropertySet:
+        return self._audited
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether ``test`` is an exact characterisation (tight intervals)."""
+        return self._tight
+
+    def margin(self, world: int) -> PropertySet:
+        """``β(ω)`` for ``ω ∈ A`` (empty for worlds outside ``π₁(K)``)."""
+        if world not in self._audited:
+            raise ValueError(f"margins are defined on A only; {world} ∉ A")
+        return self._margins.get(world, self._audited.space.empty)
+
+    def test(self, disclosed: PropertySet) -> bool:
+        """The margin condition ``∀ ω ∈ AB : β(ω) ⊆ B``.
+
+        By Proposition 4.1 this implies ``Safe_K(A, B)``; with tight
+        intervals (Corollary 4.14) it is equivalent to it.
+        """
+        self._audited.space.check_same(disclosed.space)
+        for w1 in (self._audited & disclosed).sorted_members():
+            margin = self._margins.get(w1)
+            if margin is not None and not margin <= disclosed:
+                return False
+        return True
+
+    def audit(self, disclosed: PropertySet) -> AuditVerdict:
+        """Verdict-producing form of :meth:`test`.
+
+        Without tight intervals a failed margin test yields UNKNOWN rather
+        than UNSAFE, because only the forward implication is available.
+        """
+        if self.test(disclosed):
+            return AuditVerdict.safe("safety-margin", exact=self._tight)
+        if self._tight:
+            offending = next(
+                w
+                for w in (self._audited & disclosed).sorted_members()
+                if w in self._margins and not self._margins[w] <= disclosed
+            )
+            return AuditVerdict.unsafe(
+                "safety-margin",
+                witness=self._margins[offending],
+                origin=offending,
+                exact=True,
+            )
+        return AuditVerdict.unknown("safety-margin", exact=False)

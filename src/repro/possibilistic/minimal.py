@@ -1,0 +1,125 @@
+"""Minimal intervals and interval-induced partitions (Defs 4.7/4.11, Prop 4.10).
+
+For a fixed ``ω₁ ∈ A`` the minimal K-intervals from ``ω₁`` to ``Ā = Ω − A``
+partition ``Ā`` into disjoint equivalence classes
+``Ā = D₁ ∪ … ∪ D_m ∪ D_∞`` (Proposition 4.10): two worlds of ``Ā`` share a
+class iff they belong to the same minimal interval, with ``D_∞`` collecting
+the worlds on no minimal interval.  The collection
+``Δ_K(Ā, ω₁) = {D₁, …, D_m}`` is the object Corollary 4.12 tests privacy
+with, and Figure 1's hatched regions are exactly these classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.worlds import PropertySet
+from .intervals import IntervalOracle
+
+
+@dataclass(frozen=True)
+class MinimalInterval:
+    """A minimal K-interval from ``origin`` to the target set, with a witness.
+
+    ``witness`` is one world ``ω₂`` of the target realising the interval
+    (several may; Definition 4.7 calls the interval minimal when every
+    target world inside it realises the same interval).
+    """
+
+    origin: int
+    witness: int
+    interval: PropertySet
+
+
+def minimal_intervals_to(
+    oracle: IntervalOracle, origin: int, target: PropertySet
+) -> List[MinimalInterval]:
+    """All minimal K-intervals from ``origin`` to ``target`` (Definition 4.7).
+
+    ``I_K(ω₁, ω₂)`` with ``ω₂ ∈ X`` is minimal iff every
+    ``ω₂' ∈ X ∩ I_K(ω₁, ω₂)`` satisfies ``I_K(ω₁, ω₂') = I_K(ω₁, ω₂)``.
+    Duplicate intervals (realised by several witnesses) are reported once.
+    """
+    oracle.space.check_same(target.space)
+    intervals: Dict[frozenset, Tuple[int, PropertySet]] = {}
+    cache: Dict[int, Optional[PropertySet]] = {}
+
+    def interval_of(w2: int) -> Optional[PropertySet]:
+        if w2 not in cache:
+            cache[w2] = oracle.interval(origin, w2)
+        return cache[w2]
+
+    for w2 in target.sorted_members():
+        candidate = interval_of(w2)
+        if candidate is None:
+            continue
+        minimal = True
+        for w2_prime in (candidate & target).sorted_members():
+            other = interval_of(w2_prime)
+            if other is None or other != candidate:
+                minimal = False
+                break
+        if minimal and candidate.members not in intervals:
+            intervals[candidate.members] = (w2, candidate)
+    return [
+        MinimalInterval(origin, witness, interval)
+        for witness, interval in intervals.values()
+    ]
+
+
+@dataclass(frozen=True)
+class IntervalPartition:
+    """The Proposition 4.10 partition of ``Ā`` induced by minimal intervals.
+
+    Attributes
+    ----------
+    origin:
+        The world ``ω₁ ∈ A`` the intervals start from.
+    classes:
+        The collection ``Δ_K(Ā, ω₁) = {D₁, …, D_m}``: intersections of ``Ā``
+        with the minimal intervals (Definition 4.11).
+    unreachable:
+        The class ``D_∞`` of worlds of ``Ā`` on no minimal interval.
+    """
+
+    origin: int
+    classes: Tuple[PropertySet, ...]
+    unreachable: PropertySet
+
+    def is_partition_of(self, target: PropertySet) -> bool:
+        """Sanity predicate: classes plus ``D_∞`` tile ``target`` disjointly."""
+        union = self.unreachable
+        total = len(self.unreachable)
+        for cls in self.classes:
+            union = union | cls
+            total += len(cls)
+        return union == target and total == len(target)
+
+
+def interval_partition(
+    oracle: IntervalOracle, origin: int, target: PropertySet
+) -> IntervalPartition:
+    """Compute ``Δ_K(Ā, ω₁)`` and ``D_∞`` for ``target = Ā`` (Prop 4.10).
+
+    Proposition 4.10's dichotomy — two minimal intervals are either equal or
+    disjoint inside ``Ā`` — guarantees the classes are disjoint; this is
+    asserted (cheaply) as an internal consistency check.
+    """
+    minimal = minimal_intervals_to(oracle, origin, target)
+    classes: List[PropertySet] = []
+    covered = target.space.empty
+    for item in minimal:
+        cls = item.interval & target
+        if any(not cls.isdisjoint(existing) for existing in classes):
+            raise AssertionError(
+                "Proposition 4.10 violated: overlapping minimal-interval classes "
+                "(is the oracle really ∩-closed?)"
+            )
+        classes.append(cls)
+        covered = covered | cls
+    return IntervalPartition(
+        origin=origin,
+        classes=tuple(classes),
+        unreachable=target - covered,
+    )

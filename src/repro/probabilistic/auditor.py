@@ -1,0 +1,244 @@
+"""The probabilistic auditor: a staged decision pipeline for ``Safe_Π(A, B)``.
+
+For each supported prior family the auditor chains procedures from cheapest
+to most expensive, stopping at the first conclusive verdict:
+
+Product family ``Π_m⁰`` (Sections 5.1 and 6.1):
+
+1. box necessary criterion (Prop 5.10) — UNSAFE with witness;
+2. Miklau–Suciu (Thm 5.7) — SAFE;
+3. monotonicity criterion — SAFE;
+4. cancellation criterion (Prop 5.9) — SAFE;
+5. numeric counterexample search — UNSAFE with witness;
+6. sum-of-squares certificate (§6.2) — SAFE with certificate (optional);
+7. Bernstein branch-and-bound (our Thm 6.3 substitute) — exact decision.
+
+Log-supermodular family ``Π_m⁺``:
+
+1. meet/join split necessary criterion (Prop 5.2) — UNSAFE with witness;
+2. up/down sets (Cor 5.5) and the Four-Functions sufficient criterion
+   (Prop 5.4) — SAFE;
+3. penalty-method counterexample search — UNSAFE with witness;
+4. otherwise UNKNOWN (the paper gives no complete procedure for ``Π_m⁺``).
+
+Unconstrained priors: the closed form of Theorem 3.11, exact.
+
+Every verdict records its method and carries a witness or certificate; the
+pipeline never reports SAFE or UNSAFE without one of the sound procedures
+having fired.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.distributions import Distribution
+from ..core.verdict import AuditVerdict
+from ..core.worlds import HypercubeSpace, PropertySet
+from .criteria import CriterionResult
+from .exact import decide_product_safety
+from .optimize import (
+    find_log_supermodular_counterexample,
+    find_product_counterexample,
+)
+from .product_criteria import (
+    box_necessary_criterion,
+    cancellation_criterion,
+    miklau_suciu_criterion,
+    monotonicity_criterion,
+)
+from .supermodular_criteria import (
+    supermodular_necessary_criterion,
+    supermodular_sufficient_criterion,
+    up_down_criterion,
+)
+
+#: Dimension beyond which the dense 3^n procedures are skipped.
+MAX_EXACT_DIMENSION = 12
+
+
+def _verdict_from_criterion(result: CriterionResult) -> Optional[AuditVerdict]:
+    if result.proves_safe:
+        return AuditVerdict.safe(result.name, **result.details)
+    if result.proves_unsafe:
+        return AuditVerdict.unsafe(result.name, witness=result.witness, **result.details)
+    return None
+
+
+class ProbabilisticAuditor:
+    """Decision pipeline for product-family safety (the paper's main case).
+
+    Parameters
+    ----------
+    space:
+        The hypercube ``{0,1}^n`` of relevant worlds.
+    use_sos:
+        Attempt a sum-of-squares certificate before the exact decision.
+    use_exact:
+        Run the Bernstein branch-and-bound when everything else is
+        inconclusive (only for ``n ≤ 12``).
+    optimizer_restarts:
+        Multi-start count for the numeric counterexample search.
+    """
+
+    def __init__(
+        self,
+        space: HypercubeSpace,
+        use_sos: bool = False,
+        use_exact: bool = True,
+        optimizer_restarts: int = 24,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not isinstance(space, HypercubeSpace):
+            raise TypeError("the probabilistic auditor works over hypercube spaces")
+        self._space = space
+        self._use_sos = use_sos
+        self._use_exact = use_exact and space.n <= MAX_EXACT_DIMENSION
+        self._restarts = optimizer_restarts
+        self._rng = rng or np.random.default_rng(0)
+
+    @property
+    def space(self) -> HypercubeSpace:
+        return self._space
+
+    def _check(self, audited: PropertySet, disclosed: PropertySet) -> None:
+        self._space.check_same(audited.space)
+        self._space.check_same(disclosed.space)
+
+    def audit(self, audited: PropertySet, disclosed: PropertySet) -> AuditVerdict:
+        """Decide ``Safe_{Π_m⁰}(A, B)`` via the staged pipeline."""
+        self._check(audited, disclosed)
+        trace: List[str] = []
+
+        if self._space.n <= MAX_EXACT_DIMENSION:
+            step = box_necessary_criterion(audited, disclosed)
+            trace.append(str(step))
+            verdict = _verdict_from_criterion(step)
+            if verdict:
+                return self._finish(verdict, trace)
+
+        for criterion in (
+            miklau_suciu_criterion,
+            monotonicity_criterion,
+            cancellation_criterion,
+        ):
+            step = criterion(audited, disclosed)
+            trace.append(str(step))
+            verdict = _verdict_from_criterion(step)
+            if verdict:
+                return self._finish(verdict, trace)
+
+        witness = find_product_counterexample(
+            audited, disclosed, restarts=self._restarts, rng=self._rng
+        )
+        trace.append(f"optimizer {'found witness' if witness else 'found nothing'}")
+        if witness is not None:
+            return self._finish(
+                AuditVerdict.unsafe("numeric-optimizer", witness=witness), trace
+            )
+
+        if self._use_sos:
+            verdict = self._try_sos(audited, disclosed)
+            trace.append(f"sos {'certified' if verdict else 'inconclusive'}")
+            if verdict:
+                return self._finish(verdict, trace)
+
+        if self._use_exact:
+            verdict = decide_product_safety(audited, disclosed)
+            trace.append(str(verdict))
+            if verdict.is_decided:
+                return self._finish(verdict, trace)
+
+        return self._finish(AuditVerdict.unknown("pipeline-exhausted"), trace)
+
+    def _try_sos(
+        self, audited: PropertySet, disclosed: PropertySet
+    ) -> Optional[AuditVerdict]:
+        from ..algebraic.sos import certify_gap_nonnegative
+
+        certificate = certify_gap_nonnegative(audited, disclosed)
+        if certificate is not None:
+            return AuditVerdict.safe("sos-certificate", certificate=certificate)
+        return None
+
+    @staticmethod
+    def _finish(verdict: AuditVerdict, trace: List[str]) -> AuditVerdict:
+        verdict.details["trace"] = tuple(trace)
+        return verdict
+
+    def audit_many(
+        self, audited: PropertySet, disclosures
+    ) -> List[AuditVerdict]:
+        return [self.audit(audited, b) for b in disclosures]
+
+
+class SupermodularAuditor:
+    """Decision pipeline for safety over ``Π_m⁺`` (log-supermodular priors)."""
+
+    def __init__(
+        self,
+        space: HypercubeSpace,
+        optimizer_restarts: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not isinstance(space, HypercubeSpace):
+            raise TypeError("the Π_m⁺ auditor works over hypercube spaces")
+        self._space = space
+        self._restarts = optimizer_restarts
+        self._rng = rng or np.random.default_rng(0)
+
+    def audit(self, audited: PropertySet, disclosed: PropertySet) -> AuditVerdict:
+        self._space.check_same(audited.space)
+        self._space.check_same(disclosed.space)
+        trace: List[str] = []
+
+        step = supermodular_necessary_criterion(audited, disclosed)
+        trace.append(str(step))
+        verdict = _verdict_from_criterion(step)
+        if verdict:
+            verdict.details["trace"] = tuple(trace)
+            return verdict
+
+        for criterion in (up_down_criterion, supermodular_sufficient_criterion):
+            step = criterion(audited, disclosed)
+            trace.append(str(step))
+            verdict = _verdict_from_criterion(step)
+            if verdict:
+                verdict.details["trace"] = tuple(trace)
+                return verdict
+
+        if self._space.n <= 4:  # dense search over 2^n masses
+            witness = find_log_supermodular_counterexample(
+                audited, disclosed, restarts=self._restarts, rng=self._rng
+            )
+            trace.append(f"optimizer {'found witness' if witness else 'found nothing'}")
+            if witness is not None:
+                verdict = AuditVerdict.unsafe("supermodular-optimizer", witness=witness)
+                verdict.details["trace"] = tuple(trace)
+                return verdict
+
+        verdict = AuditVerdict.unknown("pipeline-exhausted")
+        verdict.details["trace"] = tuple(trace)
+        return verdict
+
+
+def audit_unconstrained(
+    audited: PropertySet, disclosed: PropertySet
+) -> AuditVerdict:
+    """Exact decision for unrestricted priors — Theorem 3.11 in verdict form.
+
+    On UNSAFE the witness is the explicit two-point prior that gains
+    confidence (mass ½ on a world of ``A∩B``, ½ on a world outside
+    ``A∪B``).
+    """
+    from ..core.privacy import safe_unrestricted
+
+    if safe_unrestricted(audited, disclosed):
+        return AuditVerdict.safe("theorem-3.11")
+    space = audited.space
+    inside = min((audited & disclosed).sorted_members())
+    outside = min((~(audited | disclosed)).sorted_members())
+    witness = Distribution.from_mapping(space, {inside: 0.5, outside: 0.5})
+    return AuditVerdict.unsafe("theorem-3.11", witness=witness)

@@ -1,0 +1,67 @@
+"""Criterion framework: typed results for the Section 5 combinatorial tests.
+
+A *sufficient* criterion that holds proves ``Safe_Π(A, B)``; a *necessary*
+criterion that fails disproves it (usually with an explicit witness
+distribution).  The :class:`~repro.probabilistic.auditor.ProbabilisticAuditor`
+chains criteria from cheapest to most expensive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class CriterionKind(enum.Enum):
+    """How a criterion's outcome relates to ``Safe_Π(A, B)``."""
+
+    SUFFICIENT = "sufficient"  # holds ⇒ safe
+    NECESSARY = "necessary"  # fails ⇒ unsafe
+
+
+@dataclass(frozen=True)
+class CriterionResult:
+    """Outcome of evaluating one combinatorial criterion on a pair ``(A, B)``.
+
+    Attributes
+    ----------
+    name:
+        Criterion identifier (``"cancellation"``, ``"miklau-suciu"``, ...).
+    kind:
+        Whether the criterion is sufficient or necessary for safety.
+    holds:
+        Whether the criterion's condition is satisfied.
+    witness:
+        For a failed necessary criterion: an object (typically a
+        distribution) witnessing unsafety.
+    details:
+        Diagnostic data (the violated match-vector, shared coordinates, ...).
+    """
+
+    name: str
+    kind: CriterionKind
+    holds: bool
+    witness: Optional[Any] = None
+    details: Dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    @property
+    def proves_safe(self) -> bool:
+        return self.kind is CriterionKind.SUFFICIENT and self.holds
+
+    @property
+    def proves_unsafe(self) -> bool:
+        return self.kind is CriterionKind.NECESSARY and not self.holds
+
+    @property
+    def is_conclusive(self) -> bool:
+        return self.proves_safe or self.proves_unsafe
+
+    def __str__(self) -> str:
+        state = "holds" if self.holds else "fails"
+        meaning = (
+            "⇒ SAFE"
+            if self.proves_safe
+            else "⇒ UNSAFE" if self.proves_unsafe else "(inconclusive)"
+        )
+        return f"{self.name} [{self.kind.value}] {state} {meaning}"

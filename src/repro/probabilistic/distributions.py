@@ -1,0 +1,191 @@
+"""Distributions over the hypercube ``{0,1}^n`` (Section 5 setting).
+
+Provides the :class:`ProductDistribution` of Eq. (17) — a vector of Bernoulli
+probabilities, one per record coordinate — plus generators for random
+product, log-supermodular and unconstrained distributions used by tests and
+counterexample search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import _bitops
+from ..core.distributions import Distribution
+from ..core.worlds import HypercubeSpace, PropertySet
+from ..exceptions import InvalidDistributionError
+
+
+class ProductDistribution:
+    """A product (bit-wise independent) distribution on ``{0,1}^n`` — Eq. (17).
+
+    ``P(ω) = Π_i p_i^{ω[i]} · (1 − p_i)^{1 − ω[i]}`` for a vector
+    ``(p₁, …, p_n)`` of Bernoulli probabilities.  This is the
+    prior-knowledge constraint of Miklau–Suciu and of the paper's family
+    ``Π_m⁰``.
+
+    Kept sparse-by-construction: probabilities of events are computed
+    directly from the Bernoulli vector, and :meth:`to_dense` expands to a
+    full :class:`~repro.core.distributions.Distribution` only on demand.
+    """
+
+    __slots__ = ("_space", "_bernoulli")
+
+    def __init__(self, space: HypercubeSpace, bernoulli: Sequence[float]) -> None:
+        probs = np.asarray(bernoulli, dtype=float)
+        if probs.shape != (space.n,):
+            raise InvalidDistributionError(
+                f"expected {space.n} Bernoulli probabilities, got shape {probs.shape}"
+            )
+        if np.any(probs < 0.0) or np.any(probs > 1.0):
+            raise InvalidDistributionError("Bernoulli probabilities must lie in [0, 1]")
+        probs = probs.copy()
+        probs.setflags(write=False)
+        self._space = space
+        self._bernoulli = probs
+
+    @classmethod
+    def uniform(cls, space: HypercubeSpace) -> "ProductDistribution":
+        """All coordinates fair coins: the uniform distribution on ``{0,1}^n``."""
+        return cls(space, np.full(space.n, 0.5))
+
+    @classmethod
+    def random(
+        cls, space: HypercubeSpace, rng: Optional[np.random.Generator] = None
+    ) -> "ProductDistribution":
+        rng = rng or np.random.default_rng()
+        return cls(space, rng.uniform(0.0, 1.0, size=space.n))
+
+    @property
+    def space(self) -> HypercubeSpace:
+        return self._space
+
+    @property
+    def bernoulli(self) -> np.ndarray:
+        """The read-only vector ``(p₁, …, p_n)``."""
+        return self._bernoulli
+
+    def mass(self, world) -> float:
+        """The point mass ``P(ω)`` from Eq. (17)."""
+        w = self._space.world_id(world)
+        result = 1.0
+        for i in range(self._space.n):
+            p = self._bernoulli[i]
+            result *= p if (w >> i) & 1 else 1.0 - p
+        return result
+
+    def prob(self, event: PropertySet) -> float:
+        """``P[A]`` by direct summation over the event's members.
+
+        Costs ``O(|A| · n)``; for very dense events consider summing the
+        complement instead.
+        """
+        self._space.check_same(event.space)
+        return float(sum(self.mass(w) for w in event))
+
+    def to_dense(self) -> Distribution:
+        """Expand to a dense :class:`Distribution` over all ``2^n`` worlds."""
+        n = self._space.n
+        dense = np.ones(1)
+        for i in range(n):
+            p = self._bernoulli[i]
+            # World index grows little-endian, so appending bit i doubles the
+            # vector with the 0-branch first: index w | (1 << i) = old w + 2^i.
+            dense = np.concatenate([dense * (1.0 - p), dense * p])
+        return Distribution(self._space, dense)
+
+    def is_degenerate(self) -> bool:
+        """True when some coordinate is deterministic (``p_i ∈ {0, 1}``)."""
+        return bool(np.any((self._bernoulli == 0.0) | (self._bernoulli == 1.0)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p:.3g}" for p in self._bernoulli)
+        return f"ProductDistribution([{inner}])"
+
+
+def dense_product(space: HypercubeSpace, bernoulli: Sequence[float]) -> Distribution:
+    """Convenience: the dense distribution of a Bernoulli vector."""
+    return ProductDistribution(space, bernoulli).to_dense()
+
+
+def is_log_supermodular(dist: Distribution, tolerance: float = 1e-12) -> bool:
+    """Definition 5.1: ``P(ω₁)P(ω₂) ≤ P(ω₁∧ω₂)P(ω₁∨ω₂)`` for all pairs."""
+    space = dist.space
+    if not isinstance(space, HypercubeSpace):
+        raise InvalidDistributionError("modularity is defined on hypercube spaces")
+    probs = dist.probs
+    size = space.size
+    for u in range(size):
+        for v in range(u + 1, size):
+            if _bitops.comparable(u, v):
+                continue  # comparable pairs hold with equality of arguments
+            if probs[u] * probs[v] > probs[u & v] * probs[u | v] + tolerance:
+                return False
+    return True
+
+
+def is_log_submodular(dist: Distribution, tolerance: float = 1e-12) -> bool:
+    """Definition 5.1 with the inequality reversed."""
+    space = dist.space
+    if not isinstance(space, HypercubeSpace):
+        raise InvalidDistributionError("modularity is defined on hypercube spaces")
+    probs = dist.probs
+    size = space.size
+    for u in range(size):
+        for v in range(u + 1, size):
+            if _bitops.comparable(u, v):
+                continue
+            if probs[u & v] * probs[u | v] > probs[u] * probs[v] + tolerance:
+                return False
+    return True
+
+
+def is_product(dist: Distribution, tolerance: float = 1e-9) -> bool:
+    """Eq. (18): ``P`` is a product distribution iff
+    ``P(ω₁)P(ω₂) = P(ω₁∧ω₂)P(ω₁∨ω₂)`` for all pairs."""
+    return is_log_supermodular(dist, tolerance) and is_log_submodular(dist, tolerance)
+
+
+def random_log_supermodular(
+    space: HypercubeSpace,
+    rng: Optional[np.random.Generator] = None,
+    attempts: int = 500,
+) -> Distribution:
+    """A random member of ``Π_m⁺`` by projection.
+
+    Starts from a random positive weight vector and repeatedly repairs
+    violated pairs by transferring log-mass toward the meet/join until
+    Definition 5.1 holds; renormalises at the end.  Always terminates with a
+    valid log-supermodular distribution (possibly after falling back to a
+    product distribution, which is in ``Π_m⁺``).
+    """
+    rng = rng or np.random.default_rng()
+    log_w = rng.normal(0.0, 1.0, size=space.size)
+    size = space.size
+    incomparable = [
+        (u, v)
+        for u in range(size)
+        for v in range(u + 1, size)
+        if not _bitops.comparable(u, v)
+    ]
+    for _ in range(attempts):
+        fixed_all = True
+        for u, v in incomparable:
+            lhs = log_w[u] + log_w[v]
+            rhs = log_w[u & v] + log_w[u | v]
+            if lhs > rhs + 1e-12:
+                # Move the excess symmetrically onto the meet and join.
+                excess = (lhs - rhs) / 2.0 + 1e-9
+                log_w[u & v] += excess
+                log_w[u | v] += excess
+                fixed_all = False
+        if fixed_all:
+            break
+    else:
+        return ProductDistribution.random(space, rng).to_dense()
+    weights = np.exp(log_w - log_w.max())
+    dist = Distribution(space, weights, normalize=True)
+    assert is_log_supermodular(dist, tolerance=1e-9)
+    return dist

@@ -1,0 +1,211 @@
+"""Exact decision of product-family safety via Bernstein branch-and-bound.
+
+This is our substitute for the Basu–Pollack–Roy quantifier-elimination
+black box of Theorem 6.3 (see DESIGN.md, "Substitutions").  Deciding
+``Safe_{Π_m⁰}(A, B)`` means deciding whether the safety gap polynomial
+``g(p) = P[A]P[B] − P[AB]`` — per-variable degree ≤ 2 — is nonnegative on
+the box ``[0,1]^n``.
+
+Bernstein enclosure gives rigorous two-sided bounds: writing ``g`` in the
+tensor Bernstein basis of degree 2 per variable, the minimum coefficient
+bounds ``min g`` from below, corner coefficients are exact values, and
+subdividing the box (de Casteljau) shrinks the gap quadratically.  Branch
+and bound over sub-boxes therefore terminates with either
+
+* a certified ``g ≥ −atol`` on the whole box (**SAFE**), or
+* an explicitly evaluated point with ``g < −atol`` (**UNSAFE** + witness), or
+* ``UNKNOWN`` when the iteration budget runs out (boundary cases thinner
+  than ``atol``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..algebraic.encode import safety_gap_tensor
+from ..core.verdict import AuditVerdict
+from ..core.worlds import HypercubeSpace, PropertySet
+from .distributions import ProductDistribution
+
+#: Default tolerance: minima in [−atol, 0) are treated as boundary-safe.
+DEFAULT_ATOL = 1e-9
+
+#: Conversion matrix: power basis (1, p, p²) → Bernstein degree-2 coefficients.
+#: Row j gives the Bernstein coefficient at node j of each power monomial.
+_POWER_TO_BERNSTEIN = np.array(
+    [
+        [1.0, 0.0, 0.0],
+        [1.0, 0.5, 0.0],
+        [1.0, 1.0, 1.0],
+    ]
+)
+
+
+def power_tensor_to_bernstein(tensor: np.ndarray) -> np.ndarray:
+    """Convert a per-variable-degree-≤2 coefficient tensor to Bernstein form.
+
+    Applies the 3×3 basis change along every axis.
+    """
+    result = tensor
+    n = tensor.ndim
+    for axis in range(n):
+        result = np.tensordot(_POWER_TO_BERNSTEIN, result, axes=([1], [axis]))
+        result = np.moveaxis(result, 0, axis)
+    return result
+
+
+def bernstein_split(coeffs: np.ndarray, axis: int) -> Tuple[np.ndarray, np.ndarray]:
+    """De Casteljau subdivision of a degree-2 Bernstein tensor along one axis.
+
+    Splits the unit interval of ``axis`` at its midpoint; both halves are
+    reparametrised to ``[0,1]``.
+    """
+    b0 = np.take(coeffs, 0, axis=axis)
+    b1 = np.take(coeffs, 1, axis=axis)
+    b2 = np.take(coeffs, 2, axis=axis)
+    m01 = 0.5 * (b0 + b1)
+    m12 = 0.5 * (b1 + b2)
+    mid = 0.5 * (m01 + m12)
+    left = np.stack([b0, m01, mid], axis=axis)
+    right = np.stack([mid, m12, b2], axis=axis)
+    return left, right
+
+
+def bernstein_range(coeffs: np.ndarray) -> Tuple[float, float]:
+    """The enclosure ``[min coeff, max coeff] ⊇ range of the polynomial``."""
+    return float(coeffs.min()), float(coeffs.max())
+
+
+def _corner_values(coeffs: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
+    """Exact polynomial values at the box corners (corner Bernstein coefficients).
+
+    Returns the value vector and the per-corner index tuples (0 = low end of
+    the axis, 2 = high end).
+    """
+    n = coeffs.ndim
+    picks_list = list(itertools.product((0, 2), repeat=n))
+    corners = np.array([coeffs[picks] for picks in picks_list])
+    return corners, picks_list
+
+
+@dataclass(frozen=True)
+class BernsteinDecision:
+    """Outcome of the branch-and-bound decision."""
+
+    nonnegative: Optional[bool]  # None = undecided within budget
+    lower_bound: float
+    witness: Optional[np.ndarray]  # a point with g(point) < -atol, if any
+    boxes_explored: int
+
+    @property
+    def decided(self) -> bool:
+        return self.nonnegative is not None
+
+
+def decide_nonnegative_on_box(
+    tensor: np.ndarray,
+    atol: float = DEFAULT_ATOL,
+    max_boxes: int = 200_000,
+) -> BernsteinDecision:
+    """Decide ``g ≥ −atol`` on ``[0,1]^n`` for a degree-≤2-per-variable ``g``.
+
+    ``tensor`` holds power-basis coefficients with shape ``(3,)*n``.
+    Best-first branch and bound on the Bernstein lower bound.
+    """
+    n = tensor.ndim
+    root = power_tensor_to_bernstein(tensor)
+    # Each heap entry: (lower_bound, counter, coeffs, (lo, hi) per axis).
+    counter = itertools.count()
+    lo0 = np.zeros(n)
+    hi0 = np.ones(n)
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray, np.ndarray]] = []
+    explored = 0
+
+    def push(coeffs: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> Optional[np.ndarray]:
+        """Queue a box unless it is certified; return a witness if one pops out."""
+        lower, _ = bernstein_range(coeffs)
+        if lower >= -atol:
+            return None  # certified nonnegative on this box; prune
+        corners, picks_list = _corner_values(coeffs)
+        worst = int(np.argmin(corners))
+        if corners[worst] < -atol:
+            # Corner coefficients are exact evaluations: immediate witness.
+            picks = picks_list[worst]
+            return np.array(
+                [hi[i] if pick == 2 else lo[i] for i, pick in enumerate(picks)]
+            )
+        heapq.heappush(heap, (lower, next(counter), coeffs, lo, hi))
+        return None
+
+    witness = push(root, lo0, hi0)
+    if witness is not None:
+        return BernsteinDecision(False, float(root.min()), witness, 1)
+    while heap and explored < max_boxes:
+        lower, _, coeffs, lo, hi = heapq.heappop(heap)
+        explored += 1
+        # Split along the axis with the largest coefficient variation.
+        variations = [
+            float(np.abs(np.diff(coeffs, axis=axis)).max()) for axis in range(n)
+        ]
+        axis = int(np.argmax(variations))
+        mid = 0.5 * (lo[axis] + hi[axis])
+        for half, (new_lo_val, new_hi_val) in zip(
+            bernstein_split(coeffs, axis), ((lo[axis], mid), (mid, hi[axis]))
+        ):
+            new_lo = lo.copy()
+            new_hi = hi.copy()
+            new_lo[axis], new_hi[axis] = new_lo_val, new_hi_val
+            witness = push(half, new_lo, new_hi)
+            if witness is not None:
+                return BernsteinDecision(False, lower, witness, explored)
+    if not heap:
+        return BernsteinDecision(True, -atol, None, explored)
+    return BernsteinDecision(None, heap[0][0], None, explored)
+
+
+def decide_product_safety(
+    audited: PropertySet,
+    disclosed: PropertySet,
+    atol: float = DEFAULT_ATOL,
+    max_boxes: int = 200_000,
+) -> AuditVerdict:
+    """Decide ``Safe_{Π_m⁰}(A, B)`` rigorously (up to ``atol``) for ``n ≤ 12``.
+
+    SAFE verdicts certify ``g ≥ −atol`` over the entire Bernoulli box;
+    UNSAFE verdicts carry an exactly-evaluated witness
+    :class:`ProductDistribution`.
+    """
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("product-family safety is defined on hypercube spaces")
+    space.check_same(disclosed.space)
+    tensor = safety_gap_tensor(audited, disclosed)
+    decision = decide_nonnegative_on_box(tensor, atol=atol, max_boxes=max_boxes)
+    if decision.nonnegative is True:
+        return AuditVerdict.safe(
+            "bernstein-branch-and-bound",
+            certificate={"atol": atol, "boxes_explored": decision.boxes_explored},
+            boxes_explored=decision.boxes_explored,
+        )
+    if decision.nonnegative is False:
+        witness = ProductDistribution(space, np.clip(decision.witness, 0.0, 1.0))
+        gap = (
+            witness.prob(audited) * witness.prob(disclosed)
+            - witness.prob(audited & disclosed)
+        )
+        return AuditVerdict.unsafe(
+            "bernstein-branch-and-bound",
+            witness=witness,
+            gap=gap,
+            boxes_explored=decision.boxes_explored,
+        )
+    return AuditVerdict.unknown(
+        "bernstein-branch-and-bound",
+        lower_bound=decision.lower_bound,
+        boxes_explored=decision.boxes_explored,
+    )

@@ -1,0 +1,251 @@
+"""Families of prior distributions ``Π`` and their liftability (Defs 3.7, 5.1).
+
+A family bundles three things the auditing pipeline needs:
+
+* **membership** — is a given distribution an admissible prior?
+* **liftability** (Definition 3.7) — can zero-mass worlds be given mass by
+  an ε-perturbation inside the family?  When ``Π`` is ``C``-liftable,
+  ``Safe_{C,Π}`` reduces to the clean form ``Safe_Π`` of Eq. (11)
+  (Proposition 3.8), which is what all the Section 5 criteria decide;
+* **sampling** — random members for counterexample search and testing.
+
+Concrete families: :class:`ProductFamily` (``Π_m⁰``),
+:class:`LogSupermodularFamily` (``Π_m⁺``), :class:`LogSubmodularFamily`
+(``Π_m⁻``), :class:`UnconstrainedFamily`, and :class:`ExplicitDistributionFamily`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..core.distributions import Distribution, mix
+from ..core.worlds import HypercubeSpace, WorldSpace
+from .distributions import (
+    ProductDistribution,
+    is_log_submodular,
+    is_log_supermodular,
+    is_product,
+    random_log_supermodular,
+)
+
+
+class DistributionFamily:
+    """Abstract base for a family ``Π`` of distributions over a space."""
+
+    name = "abstract"
+
+    def __init__(self, space: WorldSpace) -> None:
+        self._space = space
+
+    @property
+    def space(self) -> WorldSpace:
+        return self._space
+
+    def contains(self, dist: Distribution) -> bool:
+        raise NotImplementedError
+
+    def is_liftable(self) -> bool:
+        """Whether ``Π`` is ``Ω``-liftable (Definition 3.7)."""
+        raise NotImplementedError
+
+    def lift(self, dist: Distribution, epsilon: float) -> Distribution:
+        """An ``ε``-close member with full support (when liftable).
+
+        Default: mix with the family's canonical full-support member.
+        """
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> Distribution:
+        raise NotImplementedError
+
+    def sample_many(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> List[Distribution]:
+        rng = rng or np.random.default_rng()
+        return [self.sample(rng) for _ in range(count)]
+
+
+class UnconstrainedFamily(DistributionFamily):
+    """``Π = P_prob(Ω)``: every distribution is admissible."""
+
+    name = "unconstrained"
+
+    def contains(self, dist: Distribution) -> bool:
+        self._space.check_same(dist.space)
+        return True
+
+    def is_liftable(self) -> bool:
+        return True
+
+    def lift(self, dist: Distribution, epsilon: float) -> Distribution:
+        return mix(dist, Distribution.uniform(self._space), min(1.0, epsilon))
+
+    def sample(self, rng: np.random.Generator) -> Distribution:
+        return Distribution.random(self._space, rng)
+
+
+class ProductFamily(DistributionFamily):
+    """``Π_m⁰``: the product (bit-wise independent) distributions of Eq. (17)."""
+
+    name = "product"
+
+    def __init__(self, space: HypercubeSpace) -> None:
+        if not isinstance(space, HypercubeSpace):
+            raise TypeError("the product family lives on a hypercube space")
+        super().__init__(space)
+
+    def contains(self, dist: Distribution) -> bool:
+        self._space.check_same(dist.space)
+        return is_product(dist)
+
+    def is_liftable(self) -> bool:
+        """Products are Ω-liftable: nudge each deterministic pᵢ inward.
+
+        Moving every Bernoulli parameter by at most ``δ`` moves each world
+        mass by at most ``n·δ``, so small nudges satisfy Definition 3.7.
+        """
+        return True
+
+    def lift(self, dist: Distribution, epsilon: float) -> Distribution:
+        bernoulli = self.bernoulli_of(dist)
+        space: HypercubeSpace = self._space  # type: ignore[assignment]
+        delta = min(0.49, epsilon / max(1, 2 * space.n))
+        nudged = np.clip(bernoulli, delta, 1.0 - delta)
+        return ProductDistribution(space, nudged).to_dense()
+
+    def bernoulli_of(self, dist: Distribution) -> np.ndarray:
+        """Recover the Bernoulli vector ``p_i = P[ω[i] = 1]`` of a member."""
+        space: HypercubeSpace = self._space  # type: ignore[assignment]
+        return np.array(
+            [dist.prob(space.coordinate_set(i + 1)) for i in range(space.n)]
+        )
+
+    def sample(self, rng: np.random.Generator) -> Distribution:
+        space: HypercubeSpace = self._space  # type: ignore[assignment]
+        return ProductDistribution.random(space, rng).to_dense()
+
+    def sample_product(self, rng: np.random.Generator) -> ProductDistribution:
+        """A sparse :class:`ProductDistribution` sample (no dense expansion)."""
+        space: HypercubeSpace = self._space  # type: ignore[assignment]
+        return ProductDistribution.random(space, rng)
+
+
+class LogSupermodularFamily(DistributionFamily):
+    """``Π_m⁺``: log-supermodular distributions (Definition 5.1).
+
+    The paper's "middle ground" between bit-wise independence and
+    unconstrained priors; no negative correlations between positive events.
+    """
+
+    name = "log-supermodular"
+
+    def __init__(self, space: HypercubeSpace) -> None:
+        if not isinstance(space, HypercubeSpace):
+            raise TypeError("Π_m⁺ lives on a hypercube space")
+        super().__init__(space)
+
+    def contains(self, dist: Distribution) -> bool:
+        self._space.check_same(dist.space)
+        return is_log_supermodular(dist)
+
+    def is_liftable(self) -> bool:
+        """``Π_m⁺`` is Ω-liftable: mixing toward a uniform product keeps
+        log-supermodularity in the limit of multiplicative perturbations.
+
+        We implement the lift by blending log-masses with the uniform
+        distribution, which preserves the Definition 5.1 inequalities.
+        """
+        return True
+
+    def lift(self, dist: Distribution, epsilon: float) -> Distribution:
+        # Multiplicative blend: w(ω) = (P(ω) + δ)·normalise, with δ chosen so
+        # the L∞ move stays under ε.  Adding a constant preserves
+        # log-supermodularity? Not in general — so verify and fall back to a
+        # geometric blend which does (log-linear interpolation with uniform).
+        delta = epsilon / (2.0 * self._space.size)
+        candidate = Distribution(self._space, dist.probs + delta, normalize=True)
+        if is_log_supermodular(candidate, tolerance=1e-12):
+            return candidate
+        floor = np.maximum(dist.probs, 1e-300)
+        blended = np.exp((1.0 - epsilon) * np.log(floor))
+        blended /= blended.sum()
+        return Distribution(self._space, blended)
+
+    def sample(self, rng: np.random.Generator) -> Distribution:
+        space: HypercubeSpace = self._space  # type: ignore[assignment]
+        return random_log_supermodular(space, rng)
+
+
+class LogSubmodularFamily(DistributionFamily):
+    """``Π_m⁻``: log-submodular distributions (Definition 5.1 reversed)."""
+
+    name = "log-submodular"
+
+    def __init__(self, space: HypercubeSpace) -> None:
+        if not isinstance(space, HypercubeSpace):
+            raise TypeError("Π_m⁻ lives on a hypercube space")
+        super().__init__(space)
+
+    def contains(self, dist: Distribution) -> bool:
+        self._space.check_same(dist.space)
+        return is_log_submodular(dist)
+
+    def is_liftable(self) -> bool:
+        return True
+
+    def lift(self, dist: Distribution, epsilon: float) -> Distribution:
+        delta = epsilon / (2.0 * self._space.size)
+        candidate = Distribution(self._space, dist.probs + delta, normalize=True)
+        if is_log_submodular(candidate, tolerance=1e-12):
+            return candidate
+        return mix(dist, Distribution.uniform(self._space), epsilon / 2.0)
+
+    def sample(self, rng: np.random.Generator) -> Distribution:
+        # Product distributions are log-submodular (Π_m⁰ = Π_m⁻ ∩ Π_m⁺);
+        # perturb one toward submodularity-preserving noise and verify.
+        space: HypercubeSpace = self._space  # type: ignore[assignment]
+        for _ in range(50):
+            base = ProductDistribution.random(space, rng).to_dense()
+            noise = rng.uniform(0.9, 1.1, size=space.size)
+            candidate = Distribution(space, base.probs * noise, normalize=True)
+            if is_log_submodular(candidate, tolerance=1e-12):
+                return candidate
+        return ProductDistribution.random(space, rng).to_dense()
+
+
+class ExplicitDistributionFamily(DistributionFamily):
+    """A finite, explicitly enumerated family (for tests and Prop 3.6 checks)."""
+
+    name = "explicit"
+
+    def __init__(self, space: WorldSpace, members: Iterable[Distribution]) -> None:
+        super().__init__(space)
+        self._members = list(members)
+        for member in self._members:
+            space.check_same(member.space)
+        if not self._members:
+            raise ValueError("an explicit family needs at least one member")
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def contains(self, dist: Distribution) -> bool:
+        self._space.check_same(dist.space)
+        return any(dist.allclose(member, atol=1e-12) for member in self._members)
+
+    def is_liftable(self) -> bool:
+        """A finite family is liftable only if every member has full support."""
+        return all(member.support().is_full() for member in self._members)
+
+    def lift(self, dist: Distribution, epsilon: float) -> Distribution:
+        if dist.support().is_full():
+            return dist
+        raise ValueError("explicit families cannot lift zero-mass members")
+
+    def sample(self, rng: np.random.Generator) -> Distribution:
+        return self._members[int(rng.integers(len(self._members)))]

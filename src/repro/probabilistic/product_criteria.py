@@ -1,0 +1,193 @@
+"""Criteria for safety over the product family ``Π_m⁰`` (Section 5.1).
+
+Sufficient criteria (each proves ``Safe_{Π_m⁰}(A, B)``):
+
+* **Miklau–Suciu** (Theorem 5.7): ``A`` and ``B`` share no critical
+  coordinates — the perfect-secrecy test, which even gives independence;
+* **monotonicity**: some mask ``z`` makes ``z ⊕ A`` an up-set and ``z ⊕ B``
+  a down-set (the generalisation of Corollary 5.5 stated after Thm 5.7);
+* **cancellation** (Proposition 5.9): for every match-vector ``w``,
+  ``|(AB̄ × ĀB) ∩ Circ(w)| ≥ |(AB × ĀB̄) ∩ Circ(w)|`` — term-wise
+  domination in the expansion of the safety gap.  Theorem 5.11: it subsumes
+  both criteria above.
+
+Necessary criterion:
+
+* **box criterion** (Proposition 5.10): for every ``w``,
+  ``|AB̄ ∩ Box(w)| · |ĀB ∩ Box(w)| ≥ |AB ∩ Box(w)| · |ĀB̄ ∩ Box(w)|``.
+  A violating box yields an explicit witness product distribution
+  (``p_i = w_i`` on fixed coordinates, ``1/2`` on stars).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.events import monotone_mask
+from ..core.worlds import HypercubeSpace, PropertySet, quadrants
+from . import matchbox
+from .criteria import CriterionKind, CriterionResult
+from .distributions import ProductDistribution
+
+
+def critical_coordinates(event: PropertySet) -> frozenset:
+    """The coordinates (1-based) that ``X`` depends on.
+
+    Coordinate ``i`` is critical when flipping it changes membership for
+    some world — Miklau–Suciu's record-level criticality specialised to the
+    Boolean-vector setting of Theorem 5.7.
+    """
+    space = event.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("critical coordinates are defined on hypercube spaces")
+    members = event.members
+    critical = set()
+    for i in range(space.n):
+        bit = 1 << i
+        for w in members:
+            if (w ^ bit) not in members:
+                critical.add(i + 1)
+                break
+    return frozenset(critical)
+
+
+def miklau_suciu_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """Theorem 5.7: independence (hence safety) iff no shared critical coordinate."""
+    shared = critical_coordinates(audited) & critical_coordinates(disclosed)
+    return CriterionResult(
+        name="miklau-suciu",
+        kind=CriterionKind.SUFFICIENT,
+        holds=not shared,
+        details={"shared_critical_coordinates": sorted(shared)},
+    )
+
+
+def monotonicity_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """The mask-search criterion: ``z ⊕ A`` up-set and ``z ⊕ B`` down-set.
+
+    Soundness comes from Corollary 5.5 applied to the coordinate-flipped
+    pair (flipping coordinates maps ``Π_m⁰`` onto itself).
+    """
+    mask = monotone_mask(audited, disclosed)
+    return CriterionResult(
+        name="monotonicity",
+        kind=CriterionKind.SUFFICIENT,
+        holds=mask is not None,
+        details={"mask": mask},
+    )
+
+
+def cancellation_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """Proposition 5.9, the paper's headline sufficient criterion.
+
+    The safety gap expands, per the contingency identity, to
+    ``Σ_w m(w) · (|(AB̄ × ĀB) ∩ Circ(w)| − |(AB × ĀB̄) ∩ Circ(w)|)``
+    with every monomial ``m(w) ≥ 0`` on ``[0,1]^n``; term-wise domination
+    therefore certifies ``g ≥ 0``.
+    """
+    ab, a_not_b, not_a_b, neither = quadrants(audited, disclosed)
+    positive = matchbox.circ_pair_counter(a_not_b, not_a_b)  # AB̄ × ĀB
+    negative = matchbox.circ_pair_counter(ab, neither)  # AB × ĀB̄
+    space = audited.space
+    for key, needed in negative.items():
+        if positive.get(key, 0) < needed:
+            return CriterionResult(
+                name="cancellation",
+                kind=CriterionKind.SUFFICIENT,
+                holds=False,
+                details={
+                    "violated_match_vector": matchbox.match_string(space, key),
+                    "positive_pairs": positive.get(key, 0),
+                    "negative_pairs": needed,
+                },
+            )
+    return CriterionResult(
+        name="cancellation",
+        kind=CriterionKind.SUFFICIENT,
+        holds=True,
+        details={"match_vectors_dominated": len(negative)},
+    )
+
+
+def _box_witness(
+    space: HypercubeSpace, key: Tuple[int, int]
+) -> ProductDistribution:
+    """The witness distribution of a violated box: ``p_i ∈ {0, 1, 1/2}``.
+
+    Uniform on ``Box(w)``, it concentrates the safety gap onto the violated
+    box counts.  Star coordinates get ``1/2``, fixed coordinates their bit.
+    """
+    star_mask, agreed = key
+    bernoulli = np.empty(space.n)
+    for i in range(space.n):
+        if (star_mask >> i) & 1:
+            bernoulli[i] = 0.5
+        else:
+            bernoulli[i] = 1.0 if (agreed >> i) & 1 else 0.0
+    return ProductDistribution(space, bernoulli)
+
+
+def box_necessary_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """Proposition 5.10: necessary box-count domination, for every ``w``.
+
+    Evaluated for **all** ``3^n`` boxes at once with the tensor DP.  On
+    failure the result carries a witness :class:`ProductDistribution` whose
+    safety gap is strictly negative.
+    """
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("the box criterion is defined on hypercube spaces")
+    ab, a_not_b, not_a_b, neither = quadrants(audited, disclosed)
+    t_pos = matchbox.box_count_tensor(a_not_b) * matchbox.box_count_tensor(not_a_b)
+    t_neg = matchbox.box_count_tensor(ab) * matchbox.box_count_tensor(neither)
+    deficit = t_pos - t_neg
+    if np.all(deficit >= 0):
+        return CriterionResult(
+            name="box-necessary",
+            kind=CriterionKind.NECESSARY,
+            holds=True,
+            details={"boxes_checked": int(deficit.size)},
+        )
+    # Pick the most violated box for the witness.
+    flat_index = int(np.argmin(deficit))
+    idx = np.unravel_index(flat_index, deficit.shape)
+    star_mask = 0
+    agreed = 0
+    for i, digit in enumerate(idx):
+        if digit == 2:
+            star_mask |= 1 << i
+        elif digit == 1:
+            agreed |= 1 << i
+    key = (star_mask, agreed)
+    witness = _box_witness(space, key)
+    return CriterionResult(
+        name="box-necessary",
+        kind=CriterionKind.NECESSARY,
+        holds=False,
+        witness=witness,
+        details={
+            "violated_match_vector": matchbox.match_string(space, key),
+            "deficit": float(deficit[idx]),
+        },
+    )
+
+
+def independence_holds(
+    audited: PropertySet, disclosed: PropertySet
+) -> bool:
+    """``A ⊥_{Π_m⁰} B``: perfect secrecy under product priors.
+
+    By Theorem 5.7 this is exactly the Miklau–Suciu criterion; exposed
+    under its semantic name for the flexibility benchmarks.
+    """
+    return miklau_suciu_criterion(audited, disclosed).holds

@@ -1,0 +1,202 @@
+"""The approximate privacy definitions the paper compares against (§1.1).
+
+"A number of recent papers studied ways to relax condition (1) and make it
+approximate."  We implement them as baselines so the flexibility of
+epistemic privacy can be measured against them:
+
+* **perfect secrecy** (Miklau–Suciu, Eq. 1): ``P[A | B] = P[A]``;
+* **ρ₁-to-ρ₂ breach** (Evfimievski–Gehrke–Srikant):
+  ``P[A] ≤ ρ₁`` and ``P[A | B] ≥ ρ₂`` for some admissible prior;
+* **λ-bound** (Kenthapadi–Mishra–Nissim):
+  ``1 − λ ≤ P[A|B] / P[A] ≤ 1/(1 − λ)``;
+* **SuLQ-style ε-bound** (Blum–Dwork–McSherry–Nissim, Eq. 2 with the
+  per-prior quantifier): ``|log odds(A|B) − log odds(A)| ≤ ε``, plus the
+  one-sided *gain-only* variant the paper advocates;
+* **epistemic privacy** (Eq. 3): ``P[A | B] ≤ P[A]``.
+
+All are *per-prior* predicates, evaluated over a family by quantification —
+matching how the paper aligns the definitions for comparison.  The helper
+:func:`definition_matrix` tabulates which definitions admit a disclosure
+under a sampled prior family, powering the E2/E5 flexibility analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.distributions import Distribution
+from ..core.worlds import PropertySet
+
+#: Numeric slack for probability comparisons.
+_TOL = 1e-12
+
+
+def _posterior(prior: Distribution, a: PropertySet, b: PropertySet) -> Optional[float]:
+    """``P[A | B]`` or ``None`` when ``P[B] = 0`` (prior inconsistent with B)."""
+    pb = prior.prob(b)
+    if pb <= 0.0:
+        return None
+    return prior.prob(a & b) / pb
+
+
+def perfect_secrecy_holds(
+    prior: Distribution, a: PropertySet, b: PropertySet
+) -> bool:
+    """Miklau–Suciu's Eq. (1): the posterior equals the prior exactly."""
+    posterior = _posterior(prior, a, b)
+    if posterior is None:
+        return True
+    return abs(posterior - prior.prob(a)) <= _TOL
+
+
+def epistemic_privacy_holds(
+    prior: Distribution, a: PropertySet, b: PropertySet
+) -> bool:
+    """The paper's Eq. (3): no confidence gain, ``P[A|B] ≤ P[A]``."""
+    posterior = _posterior(prior, a, b)
+    if posterior is None:
+        return True
+    return posterior <= prior.prob(a) + _TOL
+
+
+def rho1_rho2_breach(
+    prior: Distribution,
+    a: PropertySet,
+    b: PropertySet,
+    rho1: float,
+    rho2: float,
+) -> bool:
+    """Whether disclosing ``B`` causes a ρ₁-to-ρ₂ *breach* under ``prior``.
+
+    A breach occurs when a property the user found unlikely (``P[A] ≤ ρ₁``)
+    becomes likely (``P[A|B] ≥ ρ₂``).  Requires ``ρ₁ < ρ₂``.
+    """
+    if not 0.0 <= rho1 < rho2 <= 1.0:
+        raise ValueError("need 0 ≤ ρ1 < ρ2 ≤ 1")
+    posterior = _posterior(prior, a, b)
+    if posterior is None:
+        return False
+    return prior.prob(a) <= rho1 + _TOL and posterior >= rho2 - _TOL
+
+
+def lambda_bound_holds(
+    prior: Distribution,
+    a: PropertySet,
+    b: PropertySet,
+    lam: float,
+) -> bool:
+    """Kenthapadi et al.'s ratio bound:
+    ``1 − λ ≤ P[A|B]/P[A] ≤ 1/(1 − λ)``.
+
+    Vacuously true when ``P[A] = 0`` or the prior is inconsistent with B.
+    """
+    if not 0.0 < lam < 1.0:
+        raise ValueError("λ must lie in (0, 1)")
+    posterior = _posterior(prior, a, b)
+    pa = prior.prob(a)
+    if posterior is None or pa <= 0.0:
+        return True
+    ratio = posterior / pa
+    return (1.0 - lam) - _TOL <= ratio <= 1.0 / (1.0 - lam) + _TOL
+
+
+def _log_odds(p: float) -> float:
+    p = min(max(p, 1e-15), 1.0 - 1e-15)
+    return math.log(p / (1.0 - p))
+
+
+def sulq_bound_holds(
+    prior: Distribution,
+    a: PropertySet,
+    b: PropertySet,
+    epsilon: float,
+    two_sided: bool = True,
+) -> bool:
+    """The SuLQ-style log-odds bound of Eq. (2), per prior.
+
+    Two-sided (the published form, with the absolute value the paper notes
+    "in some papers appears in the definition explicitly"):
+    ``|log odds(A|B) − log odds(A)| ≤ ε``.  One-sided (the epistemic
+    reading): only *increases* of the log-odds beyond ε are violations.
+    """
+    if epsilon <= 0.0:
+        raise ValueError("ε must be positive")
+    posterior = _posterior(prior, a, b)
+    if posterior is None:
+        return True
+    delta = _log_odds(posterior) - _log_odds(prior.prob(a))
+    if two_sided:
+        return abs(delta) <= epsilon + _TOL
+    return delta <= epsilon + _TOL
+
+
+@dataclass(frozen=True)
+class DefinitionOutcome:
+    """Which privacy definitions admit a disclosure over a prior family."""
+
+    perfect_secrecy: bool
+    epistemic: bool
+    lambda_bound: bool
+    sulq_two_sided: bool
+    sulq_gain_only: bool
+    rho_breach_free: bool
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {
+            "perfect-secrecy": self.perfect_secrecy,
+            "epistemic": self.epistemic,
+            "lambda-bound": self.lambda_bound,
+            "sulq-two-sided": self.sulq_two_sided,
+            "sulq-gain-only": self.sulq_gain_only,
+            "rho1-rho2-free": self.rho_breach_free,
+        }
+
+
+def definition_matrix(
+    priors: Iterable[Distribution],
+    a: PropertySet,
+    b: PropertySet,
+    lam: float = 0.25,
+    epsilon: float = 0.5,
+    rho1: float = 0.3,
+    rho2: float = 0.7,
+) -> DefinitionOutcome:
+    """Evaluate every baseline definition over a family of priors.
+
+    A definition "admits" the disclosure when it holds (or no breach occurs)
+    for **every** prior in the family — the same universal quantification as
+    ``Safe_Π``.
+    """
+    priors = list(priors)
+    return DefinitionOutcome(
+        perfect_secrecy=all(perfect_secrecy_holds(p, a, b) for p in priors),
+        epistemic=all(epistemic_privacy_holds(p, a, b) for p in priors),
+        lambda_bound=all(lambda_bound_holds(p, a, b, lam) for p in priors),
+        sulq_two_sided=all(
+            sulq_bound_holds(p, a, b, epsilon, two_sided=True) for p in priors
+        ),
+        sulq_gain_only=all(
+            sulq_bound_holds(p, a, b, epsilon, two_sided=False) for p in priors
+        ),
+        rho_breach_free=not any(
+            rho1_rho2_breach(p, a, b, rho1, rho2) for p in priors
+        ),
+    )
+
+
+def gain_vs_loss_gap(
+    prior: Distribution, a: PropertySet, b: PropertySet
+) -> Tuple[float, float]:
+    """The signed decomposition the paper's flexibility rests on.
+
+    Returns ``(gain, loss)`` where ``gain = max(0, P[A|B] − P[A])`` and
+    ``loss = max(0, P[A] − P[A|B])``: epistemic privacy forbids only the
+    former; symmetric definitions (the ``|…|`` variants) forbid both.
+    """
+    posterior = _posterior(prior, a, b)
+    if posterior is None:
+        return 0.0, 0.0
+    delta = posterior - prior.prob(a)
+    return max(0.0, delta), max(0.0, -delta)

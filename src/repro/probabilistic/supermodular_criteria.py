@@ -1,0 +1,137 @@
+"""Criteria for safety over log-supermodular priors ``Π_m⁺`` (Section 5).
+
+* :func:`supermodular_necessary_criterion` — Proposition 5.2: for every
+  ``ω₁ ∈ AB`` and ``ω₂ ∈ ĀB̄``, the meet/join pair ``(ω₁∧ω₂, ω₁∨ω₂)`` must
+  split across ``A − B`` and ``B − A`` (in either arrangement).  A failing
+  pair yields an explicit witness: a 2- or 4-point log-supermodular
+  distribution that strictly gains confidence.
+* :func:`supermodular_sufficient_criterion` — Proposition 5.4, proved via
+  the Four Functions Theorem: ``AB ∧ ĀB̄ ⊆ A−B`` and ``AB ∨ ĀB̄ ⊆ B−A``
+  (or the arrangement with ∧ and ∨ swapped).
+* :func:`up_down_criterion` — Corollary 5.5: ``A`` an up-set and ``B`` a
+  down-set, or vice versa (Remark 5.6's "a 'no' answer to a monotone query
+  protects a 'yes' answer to another monotone query").
+"""
+
+from __future__ import annotations
+
+
+from .. import _bitops
+from ..core.distributions import Distribution
+from ..core.events import is_down_set, is_up_set, join_set, meet_set
+from ..core.worlds import HypercubeSpace, PropertySet, quadrants
+from .criteria import CriterionKind, CriterionResult
+
+
+def _split_ok(
+    meet: int, join: int, a_minus_b: PropertySet, b_minus_a: PropertySet
+) -> bool:
+    """Whether ``{meet, join}`` has one element in ``A−B`` and the other in ``B−A``."""
+    return (meet in a_minus_b and join in b_minus_a) or (
+        meet in b_minus_a and join in a_minus_b
+    )
+
+
+def _violating_distribution(
+    space: HypercubeSpace, w1: int, w2: int
+) -> Distribution:
+    """A log-supermodular prior gaining confidence, built from a failing pair.
+
+    For comparable ``ω₁, ω₂`` the half-half two-point distribution is
+    log-supermodular outright.  For incomparable pairs, equal mass ``1/4``
+    on ``{ω₁, ω₂, ω₁∧ω₂, ω₁∨ω₂}`` satisfies Definition 5.1 with equality on
+    the only incomparable pair.  In both cases the safety gap
+    ``P[A]P[B] − P[AB]`` is strictly negative whenever the Proposition 5.2
+    split fails (verified by the caller and in tests).
+    """
+    if _bitops.comparable(w1, w2):
+        return Distribution.from_mapping(space, {w1: 0.5, w2: 0.5})
+    points = {w1, w2, w1 & w2, w1 | w2}
+    return Distribution.from_mapping(
+        space, {w: 1.0 / len(points) for w in points}
+    )
+
+
+def supermodular_necessary_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """Proposition 5.2: the meet/join split condition, with witnesses.
+
+    ``Safe_{Π_m⁺}(A, B)`` implies: for all ``ω₁ ∈ AB`` and ``ω₂ ∈ ĀB̄``,
+    either ``ω₁∧ω₂ ∈ A−B`` and ``ω₁∨ω₂ ∈ B−A``, or
+    ``ω₁∧ω₂ ∈ B−A`` and ``ω₁∨ω₂ ∈ A−B``.
+    """
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("Π_m⁺ criteria are defined on hypercube spaces")
+    ab, a_not_b, not_a_b, neither = quadrants(audited, disclosed)
+    for w1 in ab.sorted_members():
+        for w2 in neither.sorted_members():
+            if not _split_ok(w1 & w2, w1 | w2, a_not_b, not_a_b):
+                witness = _violating_distribution(space, w1, w2)
+                return CriterionResult(
+                    name="supermodular-necessary",
+                    kind=CriterionKind.NECESSARY,
+                    holds=False,
+                    witness=witness,
+                    details={
+                        "omega1": space.world_label(w1),
+                        "omega2": space.world_label(w2),
+                    },
+                )
+    return CriterionResult(
+        name="supermodular-necessary",
+        kind=CriterionKind.NECESSARY,
+        holds=True,
+        details={"pairs_checked": len(ab) * len(neither)},
+    )
+
+
+def supermodular_sufficient_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """Proposition 5.4: set-level meet/join containment, via Four Functions.
+
+    Either ``AB ∧ ĀB̄ ⊆ A−B`` and ``AB ∨ ĀB̄ ⊆ B−A``, or
+    ``AB ∨ ĀB̄ ⊆ A−B`` and ``AB ∧ ĀB̄ ⊆ B−A``.
+    """
+    space = audited.space
+    if not isinstance(space, HypercubeSpace):
+        raise TypeError("Π_m⁺ criteria are defined on hypercube spaces")
+    ab, a_not_b, not_a_b, neither = quadrants(audited, disclosed)
+    if not ab or not neither:
+        # With an empty AB the gap P[AB̄]P[ĀB] − P[AB]P[ĀB̄] is ≥ 0 outright.
+        return CriterionResult(
+            name="supermodular-sufficient",
+            kind=CriterionKind.SUFFICIENT,
+            holds=True,
+            details={"trivial": True},
+        )
+    meets = meet_set(ab, neither)
+    joins = join_set(ab, neither)
+    first = meets <= a_not_b and joins <= not_a_b
+    second = joins <= a_not_b and meets <= not_a_b
+    return CriterionResult(
+        name="supermodular-sufficient",
+        kind=CriterionKind.SUFFICIENT,
+        holds=first or second,
+        details={"arrangement": "meet→A−B" if first else ("join→A−B" if second else None)},
+    )
+
+
+def up_down_criterion(
+    audited: PropertySet, disclosed: PropertySet
+) -> CriterionResult:
+    """Corollary 5.5: ``A`` up-set and ``B`` down-set (or vice versa) ⇒ safe."""
+    holds = (is_up_set(audited) and is_down_set(disclosed)) or (
+        is_down_set(audited) and is_up_set(disclosed)
+    )
+    return CriterionResult(
+        name="up-down",
+        kind=CriterionKind.SUFFICIENT,
+        holds=holds,
+        details={
+            "audited_up": is_up_set(audited),
+            "disclosed_down": is_down_set(disclosed),
+        },
+    )

@@ -1,0 +1,208 @@
+"""Tests for the §6.1 critical-point toolbox and the §6.2 SOS bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import (
+    Polynomial,
+    box_lower_bound,
+    decide_safety_by_critical_points,
+    minimize_bivariate_on_box,
+    minimize_univariate_on_interval,
+    sampled_minimum,
+    solve_bivariate_system,
+    sos_lower_bound,
+    sylvester_resultant,
+    univariate_real_roots,
+    safety_gap_polynomial,
+)
+from repro.core import HypercubeSpace
+from repro.probabilistic import decide_product_safety
+from tests.conftest import random_pairs
+
+
+def X(n=2):
+    return Polynomial.variable(0, n)
+
+
+def Y():
+    return Polynomial.variable(1, 2)
+
+
+class TestUnivariateRoots:
+    def test_quadratic(self):
+        x = X(1)
+        assert univariate_real_roots((x - 1) * (x - 3)) == [1.0, 3.0]
+
+    def test_no_real_roots(self):
+        x = X(1)
+        assert univariate_real_roots(x * x + 1) == []
+
+    def test_constant_and_zero(self):
+        assert univariate_real_roots(Polynomial.constant(1, 5.0)) == []
+        assert univariate_real_roots(Polynomial(1)) == []
+
+    @given(st.lists(st.floats(-3, 3), min_size=1, max_size=4, unique=True))
+    def test_constructed_roots_recovered(self, roots):
+        x = X(1)
+        poly = Polynomial.constant(1, 1.0)
+        for r in roots:
+            poly = poly * (x - r)
+        recovered = univariate_real_roots(poly)
+        for r in roots:
+            assert any(abs(r - q) < 1e-5 for q in recovered), (roots, recovered)
+
+
+class TestResultants:
+    def test_resultant_vanishes_iff_common_root(self):
+        x, y = X(), Y()
+        f = x * x + y * y - 1  # unit circle
+        g = x - y  # diagonal
+        res = sylvester_resultant(f, g, eliminate=1)
+        roots = univariate_real_roots(res)
+        expected = 1 / np.sqrt(2)
+        assert any(abs(r - expected) < 1e-6 for r in roots)
+        assert any(abs(r + expected) < 1e-6 for r in roots)
+
+    def test_disjoint_curves_have_no_real_projection(self):
+        x, y = X(), Y()
+        f = x * x + y * y - 1
+        g = x * x + y * y - 9  # concentric circle: no intersection
+        res = sylvester_resultant(f, g, eliminate=1)
+        assert univariate_real_roots(res) == []
+
+
+class TestBivariateSystems:
+    def test_circle_line(self):
+        x, y = X(), Y()
+        solutions = solve_bivariate_system(x * x + y * y - 1, x - y)
+        assert len(solutions) == 2
+        for sx, sy in solutions:
+            assert sx == pytest.approx(sy, abs=1e-6)
+            assert sx * sx + sy * sy == pytest.approx(1.0, abs=1e-6)
+
+    def test_two_parabolas(self):
+        x, y = X(), Y()
+        solutions = solve_bivariate_system(y - x * x, x - y * y)
+        points = {(round(sx, 4), round(sy, 4)) for sx, sy in solutions}
+        assert (0.0, 0.0) in points and (1.0, 1.0) in points
+
+    def test_solutions_verified(self):
+        x, y = X(), Y()
+        f = x * y - 1
+        g = x + y - 2
+        for sx, sy in solve_bivariate_system(f, g):
+            assert f([sx, sy]) == pytest.approx(0.0, abs=1e-6)
+            assert g([sx, sy]) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestBoxMinimisation:
+    def test_univariate(self):
+        x = X(1)
+        result = minimize_univariate_on_interval((x - 0.3) ** 2 + 1)
+        assert result.value == pytest.approx(1.0, abs=1e-9)
+        assert result.point[0] == pytest.approx(0.3, abs=1e-9)
+
+    def test_univariate_boundary_minimum(self):
+        x = X(1)
+        result = minimize_univariate_on_interval(x)  # minimised at 0
+        assert result.point == (0.0,)
+
+    def test_bivariate_interior(self):
+        x, y = X(), Y()
+        result = minimize_bivariate_on_box((x - 0.3) ** 2 + (y - 0.8) ** 2)
+        assert result.value == pytest.approx(0.0, abs=1e-9)
+        assert result.point == pytest.approx((0.3, 0.8), abs=1e-6)
+
+    def test_bivariate_degenerate_gradient(self):
+        """−xy(1−x)(1−y): gradient variety is positive-dimensional; the
+        isolated interior minimum at (½, ½) must still be found."""
+        x, y = X(), Y()
+        poly = -1 * x * y * (1 - x) * (1 - y)
+        result = minimize_bivariate_on_box(poly)
+        assert result.value == pytest.approx(-1 / 16, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_matches_dense_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = X(), Y()
+        poly = Polynomial(2)
+        for _ in range(4):
+            cx, cy = rng.integers(0, 3, size=2)
+            poly = poly + float(rng.normal()) * x**int(cx) * y**int(cy)
+        result = minimize_bivariate_on_box(poly)
+        grid = np.linspace(0, 1, 21)
+        grid_min = min(poly([gx, gy]) for gx in grid for gy in grid)
+        assert result.value <= grid_min + 1e-8
+
+
+class TestCriticalPointSafetyDecision:
+    def test_agrees_with_bernstein_exhaustively_n2(self):
+        space = HypercubeSpace(2)
+        worlds = list(space.worlds())
+        for a_bits in range(16):
+            for b_bits in range(16):
+                a = space.property_set([w for w in worlds if (a_bits >> w) & 1])
+                b = space.property_set([w for w in worlds if (b_bits >> w) & 1])
+                is_safe, _, _ = decide_safety_by_critical_points(a, b)
+                assert is_safe == decide_product_safety(a, b).is_safe, (
+                    a_bits,
+                    b_bits,
+                )
+
+    def test_rejects_large_n(self):
+        space = HypercubeSpace(3)
+        with pytest.raises(ValueError):
+            decide_safety_by_critical_points(space.full, space.full)
+
+    def test_unsafe_witness_point_has_negative_gap(self):
+        space = HypercubeSpace(2)
+        a = space.property_set(["10", "11"])
+        b = space.property_set(["10"])
+        is_safe, minimum, point = decide_safety_by_critical_points(a, b)
+        assert not is_safe
+        gap = safety_gap_polynomial(a, b)
+        assert gap(list(point)) == pytest.approx(minimum, abs=1e-9)
+        assert minimum < 0
+
+
+class TestSOSBounds:
+    def test_shor_bound_simple_quadratic(self):
+        x = X(1)
+        poly = (x - 2) ** 2 + 3  # global minimum 3
+        result = sos_lower_bound(poly, tolerance=1e-3)
+        assert result is not None
+        assert result.lower_bound == pytest.approx(3.0, abs=5e-3)
+
+    def test_shor_bound_odd_degree_unbounded(self):
+        x = X(1)
+        assert sos_lower_bound(x**3) is None
+
+    def test_box_bound_matches_critical_point_min(self):
+        x, y = X(), Y()
+        poly = x * (1 - x) * (1 - y) + 0.25  # min 0.25 on the box
+        result = box_lower_bound(poly, tolerance=1e-3)
+        assert result is not None
+        exact = minimize_bivariate_on_box(poly).value
+        assert result.lower_bound == pytest.approx(exact, abs=5e-3)
+        assert result.lower_bound <= exact + 1e-9
+
+    def test_sampled_minimum_is_upper_bound(self):
+        x, y = X(), Y()
+        poly = (x - 0.4) ** 2 + (y - 0.6) ** 2 + 1.5
+        assert sampled_minimum(poly) == pytest.approx(1.5, abs=1e-6)
+
+    def test_gap_lower_bound_agrees_with_safety(self):
+        """The §6.2 search applied to a safety gap: bound ≈ min, sign decides."""
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = ~a | space.coordinate_set(2)
+        gap = safety_gap_polynomial(a, b)
+        result = box_lower_bound(gap, tolerance=1e-3)
+        assert result is not None
+        assert result.lower_bound == pytest.approx(0.0, abs=5e-3)

@@ -1,0 +1,78 @@
+"""Additional coverage for the §6.2 minimisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebraic import (
+    Polynomial,
+    box_lower_bound,
+    sampled_minimum,
+    sos_lower_bound,
+)
+
+
+def var(i, n):
+    return Polynomial.variable(i, n)
+
+
+class TestSampledMinimum:
+    def test_unconstrained_search(self):
+        x, y = var(0, 2), var(1, 2)
+        poly = (x - 3) ** 2 + (y + 2) ** 2 + 0.5
+        assert sampled_minimum(poly, box=None) == pytest.approx(0.5, abs=1e-6)
+
+    def test_constant_polynomial(self):
+        poly = Polynomial.constant(2, 4.0)
+        assert sampled_minimum(poly) == pytest.approx(4.0)
+
+    def test_zero_variables(self):
+        poly = Polynomial.constant(0, 2.5)
+        assert sampled_minimum(poly) == 2.5
+
+    def test_deterministic_under_rng(self):
+        x = var(0, 1)
+        poly = x**4 - x**2
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        assert sampled_minimum(poly, rng=rng1) == sampled_minimum(poly, rng=rng2)
+
+
+class TestShorBoundEdges:
+    def test_constant(self):
+        result = sos_lower_bound(Polynomial.constant(1, 7.0), tolerance=1e-3)
+        assert result is not None
+        assert result.lower_bound == pytest.approx(7.0, abs=5e-3)
+
+    def test_two_variable_coupled(self):
+        x, y = var(0, 2), var(1, 2)
+        poly = x**2 + y**2 - x * y + 1  # PSD quadratic form + 1, min 1 at origin
+        result = sos_lower_bound(poly, tolerance=1e-3)
+        assert result is not None
+        assert result.lower_bound == pytest.approx(1.0, abs=5e-3)
+
+    def test_bound_is_sound_even_when_loose(self):
+        """Whatever λ comes back, it never exceeds a sampled value."""
+        x, y = var(0, 2), var(1, 2)
+        poly = (x * y - 1) ** 2 + x**2
+        result = sos_lower_bound(poly, tolerance=1e-2)
+        if result is not None:
+            probe = sampled_minimum(poly, box=None, restarts=32)
+            assert result.lower_bound <= probe + 1e-2
+
+
+class TestBoxBoundEdges:
+    def test_negative_minimum_found(self):
+        x, y = var(0, 2), var(1, 2)
+        poly = -1 * x * y * (1 - x) * (1 - y)  # min −1/16 inside the box
+        result = box_lower_bound(poly, tolerance=1e-3)
+        assert result is not None
+        assert result.lower_bound == pytest.approx(-1.0 / 16.0, abs=5e-3)
+
+    def test_linear_boundary_minimum(self):
+        x, y = var(0, 2), var(1, 2)
+        poly = 2 * x + y  # min 0 at the origin corner
+        result = box_lower_bound(poly, tolerance=1e-3)
+        assert result is not None
+        assert result.lower_bound == pytest.approx(0.0, abs=5e-3)

@@ -1,0 +1,170 @@
+"""Tests for the sparse multivariate polynomial library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import Polynomial, monomials_up_to_degree
+
+
+@st.composite
+def polynomials(draw, nvars=3, max_terms=6, max_exp=3):
+    terms = draw(
+        st.lists(
+            st.tuples(
+                st.floats(-5.0, 5.0, allow_nan=False),
+                st.tuples(*[st.integers(0, max_exp) for _ in range(nvars)]),
+            ),
+            max_size=max_terms,
+        )
+    )
+    return Polynomial.from_terms(nvars, terms)
+
+
+points3 = st.lists(st.floats(-2.0, 2.0, allow_nan=False), min_size=3, max_size=3)
+
+
+class TestConstruction:
+    def test_constant_and_variable(self):
+        c = Polynomial.constant(2, 3.5)
+        assert c([0, 0]) == 3.5
+        x = Polynomial.variable(0, 2)
+        assert x([4.0, 1.0]) == 4.0
+        with pytest.raises(ValueError):
+            Polynomial.variable(2, 2)
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial(2, {(1, 0): 0.0, (0, 1): 2.0})
+        assert len(p) == 1
+
+    def test_like_terms_merge(self):
+        p = Polynomial.from_terms(2, [(1.0, (1, 0)), (2.0, (1, 0))])
+        assert p.coefficient((1, 0)) == 3.0
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            Polynomial(2, {(1,): 1.0})
+        with pytest.raises(ValueError):
+            Polynomial(2, {(-1, 0): 1.0})
+
+
+class TestArithmetic:
+    @settings(max_examples=60)
+    @given(polynomials(), polynomials(), points3)
+    def test_ring_axioms_by_evaluation(self, p, q, point):
+        assert (p + q)(point) == pytest.approx(p(point) + q(point), rel=1e-9, abs=1e-7)
+        assert (p - q)(point) == pytest.approx(p(point) - q(point), rel=1e-9, abs=1e-7)
+        assert (p * q)(point) == pytest.approx(p(point) * q(point), rel=1e-9, abs=1e-6)
+
+    @given(polynomials(), points3)
+    def test_scalar_operations(self, p, point):
+        assert (2.5 * p)(point) == pytest.approx(2.5 * p(point), abs=1e-7)
+        assert (p + 1)(point) == pytest.approx(p(point) + 1, abs=1e-7)
+        assert (1 - p)(point) == pytest.approx(1 - p(point), abs=1e-7)
+
+    @given(polynomials(max_exp=2), st.integers(0, 3), points3)
+    def test_power(self, p, e, point):
+        assert (p**e)(point) == pytest.approx(p(point) ** e, rel=1e-6, abs=1e-5)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            Polynomial.constant(1, 2.0) ** -1
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Polynomial.constant(2, 1.0) + Polynomial.constant(3, 1.0)
+
+    @given(polynomials())
+    def test_additive_inverse(self, p):
+        assert (p + (-p)).is_zero()
+
+
+class TestCalculus:
+    def test_partial_derivative(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        f = x**2 * y + 3 * y
+        fx = f.partial(0)
+        fy = f.partial(1)
+        assert fx([2.0, 5.0]) == pytest.approx(2 * 2 * 5)
+        assert fy([2.0, 5.0]) == pytest.approx(4 + 3)
+
+    @settings(max_examples=40)
+    @given(polynomials(), points3)
+    def test_gradient_matches_finite_differences(self, p, point):
+        grads = p.gradient()
+        eps = 1e-6
+        for i in range(3):
+            plus = list(point)
+            minus = list(point)
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = (p(plus) - p(minus)) / (2 * eps)
+            assert grads[i](point) == pytest.approx(numeric, rel=1e-3, abs=1e-3)
+
+    def test_gradient_of_constant(self):
+        assert all(g.is_zero() for g in Polynomial.constant(3, 7.0).gradient())
+
+
+class TestQueriesAndSubstitution:
+    def test_degrees(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        f = x**3 * y + y**2
+        assert f.total_degree() == 4
+        assert f.degree_in(0) == 3
+        assert f.degree_in(1) == 2
+
+    def test_multilinear_detection(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        assert (x * y + x).is_multilinear()
+        assert not (x * x).is_multilinear()
+
+    @given(polynomials(), points3)
+    def test_substitute_matches_evaluation(self, p, point):
+        partial = p.substitute({0: point[0]})
+        assert partial([0.0, point[1], point[2]]) == pytest.approx(
+            p(point), rel=1e-9, abs=1e-7
+        )
+
+    def test_almost_equal(self):
+        p = Polynomial.from_terms(1, [(1.0, (1,))])
+        q = Polynomial.from_terms(1, [(1.0 + 1e-12, (1,))])
+        assert p.almost_equal(q, tol=1e-9)
+        assert not p.almost_equal(q + 1, tol=1e-9)
+
+
+class TestPresentation:
+    def test_to_string(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        f = 2 * x * y - y**2 + 1
+        text = f.to_string(["p", "q"])
+        assert "2*p*q" in text and "q^2" in text and "1" in text
+
+    def test_zero_renders(self):
+        assert Polynomial(3).to_string() == "0"
+
+    def test_sorted_terms_deterministic(self):
+        f = Polynomial.from_terms(2, [(1.0, (0, 2)), (1.0, (1, 0)), (1.0, (0, 0))])
+        monos = [m for m, _ in f.sorted_terms()]
+        assert monos == [(0, 0), (1, 0), (0, 2)]
+
+
+class TestMonomialBases:
+    def test_counts(self):
+        # Monomials in 3 vars of total degree ≤ 2: C(5,2) = 10.
+        assert len(monomials_up_to_degree(3, 2)) == 10
+        # Multilinear of degree ≤ 2 in 3 vars: 1 + 3 + 3 = 7.
+        assert len(monomials_up_to_degree(3, 2, max_degree_per_var=1)) == 7
+
+    def test_ordering_graded(self):
+        basis = monomials_up_to_degree(2, 2)
+        degrees = [sum(m) for m in basis]
+        assert degrees == sorted(degrees)
+
+    def test_zero_degree(self):
+        assert monomials_up_to_degree(4, 0) == [(0, 0, 0, 0)]

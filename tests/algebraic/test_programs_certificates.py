@@ -1,0 +1,254 @@
+"""Tests for K(A,B,Π) programs (Prop 6.1), Positivstellensatz (Thm 6.7),
+Motzkin examples, and the MAX-CUT reduction (Thm 6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import (
+    Graph,
+    Polynomial,
+    PolynomialProgram,
+    amgm_gap,
+    cone_products,
+    cut_polynomial,
+    feasibility_by_sampling,
+    gap_strict_inequality,
+    k_program,
+    k_set_is_empty,
+    log_supermodular_constraints,
+    maxcut_reduction,
+    monoid_members,
+    motzkin_value,
+    product_constraints,
+    reduced_product_program,
+    reduction_is_faithful,
+    refute_feasibility,
+    refutes_emptiness_of_interval,
+    safe_under_graph_family,
+    simplex_sampler,
+)
+from repro.core import Distribution, HypercubeSpace
+from repro.probabilistic import decide_product_safety, is_log_supermodular
+
+
+class TestPolynomialProgram:
+    def test_satisfaction(self):
+        x = Polynomial.variable(0, 1)
+        program = PolynomialProgram(nvars=1)
+        program.add_inequality(x)  # x ≥ 0
+        program.add_equality(x * x - x)  # x ∈ {0, 1}
+        program.add_strict(x)  # x > 0
+        assert program.is_satisfied([1.0])
+        assert not program.is_satisfied([0.0])
+        assert not program.is_satisfied([0.5])
+
+    def test_violation_metric(self):
+        x = Polynomial.variable(0, 1)
+        program = PolynomialProgram(nvars=1)
+        program.add_inequality(x)
+        assert program.violation([-0.5]) == pytest.approx(0.5)
+        assert program.violation([0.5]) == 0.0
+
+    def test_combined_equality(self):
+        x = Polynomial.variable(0, 2)
+        y = Polynomial.variable(1, 2)
+        program = PolynomialProgram(nvars=2)
+        program.add_equality(x - 1)
+        program.add_equality(y + 1)
+        combined = program.combined_equality()
+        assert combined([1.0, -1.0]) == pytest.approx(0.0)
+        assert combined([0.0, 0.0]) == pytest.approx(2.0)
+
+    def test_arity_check(self):
+        program = PolynomialProgram(nvars=2)
+        with pytest.raises(ValueError):
+            program.add_inequality(Polynomial.variable(0, 3))
+
+
+class TestKProgram:
+    def test_prop_6_1_unsafe_pair_feasible(self):
+        """Unsafe (A,B) ⇒ K(A,B,Π) has a point — the violating prior."""
+        space = HypercubeSpace(2)
+        a = space.property_set(["10", "11"])
+        b = space.property_set(["10"])
+        program = k_program(a, b, [])
+        point = feasibility_by_sampling(
+            program, samples=4000, sampler=simplex_sampler(program.nvars)
+        )
+        assert point is not None
+        # The point is a genuine violating distribution.
+        dist = Distribution(space, point)
+        assert dist.prob(a & b) > dist.prob(a) * dist.prob(b)
+
+    def test_prop_6_1_safe_pair_sampled_empty(self):
+        """The §1.1 pair is safe for ALL priors: no sample ever violates."""
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = ~a | space.coordinate_set(2)
+        program = k_program(a, b, [])
+        assert (
+            feasibility_by_sampling(
+                program, samples=4000, sampler=simplex_sampler(program.nvars)
+            )
+            is None
+        )
+
+    def test_supermodular_constraints_recognise_members(self):
+        space = HypercubeSpace(2)
+        constraints = log_supermodular_constraints(space)
+        diagonal = Distribution.from_mapping(space, {"00": 0.5, "11": 0.5})
+        anti = Distribution.from_mapping(space, {"01": 0.5, "10": 0.5})
+        assert all(c(diagonal.probs) >= -1e-12 for c in constraints)
+        assert any(c(anti.probs) < -1e-9 for c in constraints)
+
+    def test_product_constraints_both_directions(self):
+        space = HypercubeSpace(2)
+        constraints = product_constraints(space)
+        from repro.probabilistic import dense_product
+
+        member = dense_product(space, [0.3, 0.8])
+        assert all(abs(c(member.probs)) <= 1e-12 for c in constraints)
+
+    def test_gap_strict_inequality_values(self):
+        space = HypercubeSpace(2)
+        a = space.property_set(["10", "11"])
+        b = space.property_set(["10"])
+        strict = gap_strict_inequality(a, b)
+        dist = Distribution.from_mapping(space, {"10": 0.5, "01": 0.5})
+        expected = dist.prob(a & b) - dist.prob(a) * dist.prob(b)
+        assert strict(dist.probs) == pytest.approx(expected)
+
+
+class TestReducedProgram:
+    def test_section_6_1_shape(self):
+        """n variables and n+1 inequalities, as the paper counts."""
+        space = HypercubeSpace(4)
+        a = space.coordinate_set(1)
+        b = space.coordinate_set(2)
+        program = reduced_product_program(a, b)
+        assert program.nvars == 4
+        assert len(program.inequalities) == 4
+        assert len(program.strict_inequalities) == 1
+
+    def test_feasibility_tracks_safety(self):
+        from tests.conftest import random_pairs
+
+        space = HypercubeSpace(3)
+        rng = np.random.default_rng(5)
+        for a, b in random_pairs(space, 25, seed=51, allow_empty=True):
+            program = reduced_product_program(a, b)
+            point = feasibility_by_sampling(program, samples=1500, rng=rng)
+            if point is not None:
+                # Found a violating Bernoulli vector ⇒ genuinely unsafe.
+                assert decide_product_safety(a, b).is_unsafe, (a, b)
+
+
+class TestPositivstellensatz:
+    def test_cone_products(self):
+        x = Polynomial.variable(0, 1)
+        products = cone_products([x, 1 - x], max_factors=2)
+        assert len(products) == 4  # ∅, {0}, {1}, {0,1}
+        indexed = dict(products)
+        assert indexed[(0, 1)].almost_equal(x * (1 - x))
+
+    def test_monoid_members(self):
+        x = Polynomial.variable(0, 1)
+        members = monoid_members([x - 1], max_degree=3, nvars=1)
+        degrees = sorted(p.total_degree() for _, p in members)
+        assert degrees == [0, 1, 2, 3]
+
+    def test_interval_refutation(self):
+        """The 'hello world' refutation: [0.7, ∞) ∩ (−∞, 0.3] = ∅."""
+        refutation = refutes_emptiness_of_interval(0.3, 0.7)
+        assert refutation is not None
+        assert refutation.residual < 1e-6
+
+    def test_refutation_verification_catches_tampering(self):
+        from repro.exceptions import CertificateError
+
+        refutation = refutes_emptiness_of_interval(0.0, 1.0)
+        assert refutation is not None
+        x = Polynomial.variable(0, 1)
+        with pytest.raises(CertificateError):
+            # Verifying against the wrong constraint set must fail.
+            refutation.verify([x - 100.0, -100.0 - x], [])
+
+    def test_no_refutation_for_feasible_program(self):
+        x = Polynomial.variable(0, 1)
+        program = PolynomialProgram(nvars=1)
+        program.add_inequality(x)  # feasible: x ≥ 0
+        assert refute_feasibility(program, degree_bound=1) is None
+
+    def test_boolean_contradiction_refuted(self):
+        """{x ≥ 1/2, x² = x, x ≤ 1/4} is empty; find a certificate."""
+        x = Polynomial.variable(0, 1)
+        program = PolynomialProgram(nvars=1)
+        program.add_inequality(x - 0.5)
+        program.add_inequality(0.25 - x)
+        refutation = refute_feasibility(program, degree_bound=1)
+        assert refutation is not None
+
+
+class TestMotzkin:
+    @given(
+        st.floats(-3, 3, allow_nan=False),
+        st.floats(-3, 3, allow_nan=False),
+        st.floats(-3, 3, allow_nan=False),
+    )
+    def test_nonnegative_everywhere(self, x, y, z):
+        assert motzkin_value(x, y, z) >= -1e-9
+
+    @given(st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2))
+    def test_amgm_gap_nonnegative(self, x, y, z):
+        assert amgm_gap(x, y, z) >= -1e-9
+
+    def test_zero_at_unit_point(self):
+        assert motzkin_value(1.0, 1.0, 1.0) == pytest.approx(0.0)
+
+
+class TestMaxCutReduction:
+    def test_graph_basics(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert g.cut_size([0, 1, 0, 1]) == 4
+        size, side = g.max_cut()
+        assert size == 4
+        assert g.cut_size(side) == 4
+
+    def test_graph_validation(self):
+        with pytest.raises(ValueError):
+            Graph(2, ((0, 0),))
+        with pytest.raises(ValueError):
+            Graph(2, ((0, 5),))
+
+    def test_cut_polynomial_matches_cut_size(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        poly = cut_polynomial(g, 3)
+        assert poly([0.0, 1.0, 0.0]) == pytest.approx(2.0)
+        assert poly([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reduction_faithful_on_random_graphs(self, seed):
+        """K(A,B,Π_G) ≠ ∅ ⇔ maxcut(G) ≥ k, across all thresholds."""
+        rng = np.random.default_rng(seed)
+        g = Graph.random(5, 0.5, rng)
+        for k in range(0, len(g.edges) + 2):
+            assert reduction_is_faithful(g, k), (g.edges, k)
+
+    def test_theorem_6_2_shape(self):
+        """Degree ≤ 2 constraints, poly(N)-many of them."""
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        reduction = maxcut_reduction(g, 1)
+        assert reduction.program.max_degree() <= 2
+        assert reduction.program.n_constraints <= 2 * g.n_vertices + 4
+
+    def test_safety_decides_maxcut(self):
+        """Safe ⇔ maxcut < k: the hardness connection, concretely."""
+        triangle = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        max_size, _ = triangle.max_cut()
+        assert max_size == 2
+        assert not safe_under_graph_family(maxcut_reduction(triangle, 2))
+        assert safe_under_graph_family(maxcut_reduction(triangle, 3))

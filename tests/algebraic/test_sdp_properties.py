@@ -1,0 +1,104 @@
+"""Property-based tests for the mini SDP solver's building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic import AffineSystem, project_psd, solve_psd_feasibility
+
+
+@st.composite
+def symmetric_matrices(draw, size=4):
+    entries = draw(
+        st.lists(
+            st.floats(-5.0, 5.0, allow_nan=False),
+            min_size=size * size,
+            max_size=size * size,
+        )
+    )
+    m = np.array(entries).reshape(size, size)
+    return 0.5 * (m + m.T)
+
+
+class TestPsdProjectionProperties:
+    @settings(max_examples=60)
+    @given(symmetric_matrices())
+    def test_projection_is_psd(self, m):
+        eigenvalues = np.linalg.eigvalsh(project_psd(m))
+        assert np.all(eigenvalues >= -1e-10)
+
+    @settings(max_examples=60)
+    @given(symmetric_matrices())
+    def test_projection_idempotent(self, m):
+        once = project_psd(m)
+        assert np.allclose(project_psd(once), once, atol=1e-10)
+
+    @settings(max_examples=40)
+    @given(symmetric_matrices(), symmetric_matrices())
+    def test_projection_is_nearest_among_samples(self, m, candidate):
+        """Frobenius optimality: no sampled PSD matrix is closer to m than
+        its projection (the projection theorem, spot-checked)."""
+        projected = project_psd(m)
+        psd_candidate = project_psd(candidate)
+        assert np.linalg.norm(m - projected) <= np.linalg.norm(
+            m - psd_candidate
+        ) + 1e-9
+
+    @settings(max_examples=40)
+    @given(symmetric_matrices())
+    def test_projection_never_increases_trace_gap(self, m):
+        """The projection only clips negative eigenvalues: trace(P) equals
+        the sum of the positive eigenvalues of m."""
+        projected = project_psd(m)
+        eigenvalues = np.linalg.eigvalsh(m)
+        assert np.trace(projected) == pytest.approx(
+            float(np.clip(eigenvalues, 0, None).sum()), abs=1e-8
+        )
+
+
+class TestAffineProjectionProperties:
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.floats(-3, 3, allow_nan=False), min_size=5, max_size=5),
+        st.lists(st.floats(-3, 3, allow_nan=False), min_size=5, max_size=5),
+    )
+    def test_projection_minimises_distance(self, vector, other):
+        system = AffineSystem(5)
+        system.add_constraint({0: 1.0, 2: 2.0}, 1.5)
+        system.add_constraint({1: -1.0, 4: 1.0}, 0.25)
+        v = np.array(vector)
+        projected = system.project(v)
+        assert system.residual_norm(projected) < 1e-9
+        # Any other point of the subspace is at least as far away.
+        candidate = system.project(np.array(other))
+        assert np.linalg.norm(v - projected) <= np.linalg.norm(v - candidate) + 1e-9
+
+    def test_overdetermined_consistent_system(self):
+        system = AffineSystem(3)
+        system.add_constraint({0: 1.0}, 1.0)
+        system.add_constraint({0: 2.0}, 2.0)  # redundant but consistent
+        system.add_constraint({1: 1.0, 2: 1.0}, 0.0)
+        assert system.is_consistent()
+        projected = system.project(np.zeros(3))
+        assert projected[0] == pytest.approx(1.0)
+
+
+class TestFeasibilityEndToEnd:
+    def test_multi_block(self):
+        """Two blocks, coupled constraint: trace(Q1) + trace(Q2) = 3."""
+        system = AffineSystem(4 + 1)
+        system.add_constraint({0: 1.0, 3: 1.0, 4: 1.0}, 3.0)
+        result = solve_psd_feasibility([2, 1], system, tolerance=1e-8)
+        assert result.feasible
+        q1, q2 = result.matrices
+        assert np.trace(q1) + q2[0, 0] == pytest.approx(3.0, abs=1e-6)
+        assert np.all(np.linalg.eigvalsh(q1) >= -1e-9)
+        assert q2[0, 0] >= -1e-9
+
+    def test_dimension_mismatch_rejected(self):
+        system = AffineSystem(10)
+        with pytest.raises(ValueError):
+            solve_psd_feasibility([2], system)

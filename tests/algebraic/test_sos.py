@@ -1,0 +1,209 @@
+"""Tests for the SDP solver, Σ² membership, and box certificates (§6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algebraic import (
+    AffineSystem,
+    Polynomial,
+    certify_box_nonnegative,
+    certify_gap_nonnegative,
+    handelman_certificate,
+    is_sos,
+    motzkin_artin_lift,
+    motzkin_polynomial,
+    project_psd,
+    safety_gap_polynomial,
+    solve_psd_feasibility,
+    sos_decompose,
+)
+from repro.algebraic.sos import BoxCertificate, HandelmanCertificate
+from repro.core import HypercubeSpace
+from repro.exceptions import CertificateError
+
+
+def var(i, n):
+    return Polynomial.variable(i, n)
+
+
+class TestPsdProjection:
+    def test_psd_matrix_unchanged(self):
+        m = np.array([[2.0, 1.0], [1.0, 2.0]])
+        assert np.allclose(project_psd(m), m)
+
+    def test_negative_definite_projects_to_zero(self):
+        m = -np.eye(3)
+        assert np.allclose(project_psd(m), 0.0)
+
+    def test_result_is_psd(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            m = rng.normal(size=(4, 4))
+            eigenvalues = np.linalg.eigvalsh(project_psd(m))
+            assert np.all(eigenvalues >= -1e-12)
+
+
+class TestAffineSystem:
+    def test_projection_satisfies_constraints(self):
+        system = AffineSystem(3)
+        system.add_constraint({0: 1.0, 1: 1.0}, 2.0)
+        system.add_constraint({2: 1.0}, 5.0)
+        projected = system.project(np.zeros(3))
+        assert system.residual_norm(projected) < 1e-12
+
+    def test_inconsistent_detection(self):
+        system = AffineSystem(2)
+        system.add_constraint({0: 1.0}, 1.0)
+        system.add_constraint({0: 1.0}, 2.0)
+        assert not system.is_consistent()
+
+    def test_projection_is_idempotent(self):
+        system = AffineSystem(4)
+        system.add_constraint({0: 1.0, 3: -2.0}, 1.0)
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=4)
+        once = system.project(v)
+        assert np.allclose(system.project(once), once)
+
+
+class TestSolvePsdFeasibility:
+    def test_simple_feasible_system(self):
+        # Find a PSD 2x2 matrix with trace 2 and off-diagonal sum 1.
+        system = AffineSystem(4)
+        system.add_constraint({0: 1.0, 3: 1.0}, 2.0)
+        system.add_constraint({1: 1.0, 2: 1.0}, 1.0)
+        result = solve_psd_feasibility([2], system, tolerance=1e-8)
+        assert result.feasible
+        matrix = result.matrices[0]
+        assert np.all(np.linalg.eigvalsh(matrix) >= -1e-9)
+        assert matrix[0, 0] + matrix[1, 1] == pytest.approx(2.0, abs=1e-7)
+
+    def test_infeasible_system_returns_none(self):
+        # Trace of a PSD matrix cannot be negative.
+        system = AffineSystem(4)
+        system.add_constraint({0: 1.0, 3: 1.0}, -1.0)
+        result = solve_psd_feasibility([2], system, max_iterations=600)
+        assert not result.feasible
+
+
+class TestSOSMembership:
+    def test_perfect_square(self):
+        x, y = var(0, 2), var(1, 2)
+        decomposition = sos_decompose(x * x - 2 * x * y + y * y)
+        assert decomposition is not None
+        squares = decomposition.squares()
+        assert squares  # at least one square
+        # The squares really sum back to the target.
+        total = Polynomial(2)
+        for s in squares:
+            total = total + s * s
+        assert total.almost_equal(x * x - 2 * x * y + y * y, tol=1e-5)
+
+    def test_sum_of_two_squares(self):
+        x, y = var(0, 2), var(1, 2)
+        assert is_sos(x**2 + y**2 + 2.0)
+
+    def test_negative_constant_rejected(self):
+        assert not is_sos(Polynomial.constant(2, -1.0))
+
+    def test_odd_degree_rejected(self):
+        x = var(0, 1)
+        assert not is_sos(x**3)
+
+    def test_indefinite_quadratic_rejected(self):
+        x, y = var(0, 2), var(1, 2)
+        assert not is_sos(x * y)
+
+    def test_motzkin_not_sos(self):
+        """Motzkin's polynomial: nonnegative but not Σ² (Section 6.2)."""
+        assert not is_sos(motzkin_polynomial())
+
+    def test_artin_lift_is_sos(self):
+        """(x²+y²+z²)·M is Σ² — Hilbert's 17th problem in action.
+
+        The lift sits on a thin face of the SOS cone, so give the splitting
+        solver a larger iteration budget than the default.
+        """
+        assert is_sos(motzkin_artin_lift(), max_iterations=40000)
+
+
+class TestBoxCertificates:
+    def test_hiv_gap_certified(self):
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = ~a | space.coordinate_set(2)
+        gap = safety_gap_polynomial(a, b)
+        certificate = certify_box_nonnegative(gap)
+        assert certificate is not None
+        certificate.verify(gap)
+
+    def test_remark_5_12_gap_certified(self):
+        """The pair that defeats every combinatorial criterion gets an
+        algebraic certificate — the paper's motivation for Section 6."""
+        space = HypercubeSpace(3)
+        a = space.property_set(["011", "100", "110", "111"])
+        b = space.property_set(["010", "101", "110", "111"])
+        certificate = certify_gap_nonnegative(a, b)
+        assert certificate is not None
+
+    def test_unsafe_gap_not_certified(self):
+        space = HypercubeSpace(3)
+        a = space.property_set(["100", "101", "110", "111"])
+        b = space.property_set(["100"])
+        assert certify_gap_nonnegative(a, b) is None
+
+    def test_verify_rejects_wrong_target(self):
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = ~a | space.coordinate_set(2)
+        gap = safety_gap_polynomial(a, b)
+        certificate = certify_box_nonnegative(gap)
+        assert certificate is not None
+        with pytest.raises(CertificateError):
+            certificate.verify(gap + 1.0)
+
+    def test_zero_gap_certified(self):
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = space.coordinate_set(2)
+        certificate = certify_gap_nonnegative(a, b)
+        assert certificate is not None
+
+
+class TestHandelman:
+    def test_product_of_constraints(self):
+        # x(1-x)(1-y) is literally a Handelman product.
+        x, y = var(0, 2), var(1, 2)
+        poly = x * (1 - x) * (1 - y)
+        certificate = handelman_certificate(poly)
+        assert certificate is not None
+        certificate.verify(poly)
+
+    def test_negative_poly_rejected(self):
+        assert handelman_certificate(Polynomial.constant(2, -1.0)) is None
+
+    def test_too_high_degree_rejected(self):
+        x = var(0, 1)
+        assert handelman_certificate(x**3) is None
+
+    def test_certificate_coefficients_nonnegative(self):
+        x, y = var(0, 2), var(1, 2)
+        certificate = handelman_certificate(x * (1 - x) + y * y)
+        assert certificate is not None
+        assert all(coef >= 0 for _, coef in certificate.coefficients)
+
+    def test_soundness_against_exact_decision(self):
+        """Any certified gap is indeed safe per Bernstein branch-and-bound."""
+        from repro.probabilistic import decide_product_safety
+        from tests.conftest import random_pairs
+
+        space = HypercubeSpace(3)
+        certified = 0
+        for a, b in random_pairs(space, 30, seed=41, allow_empty=True):
+            gap = safety_gap_polynomial(a, b)
+            if handelman_certificate(gap) is not None:
+                certified += 1
+                assert decide_product_safety(a, b).is_safe, (a, b)
+        assert certified > 0

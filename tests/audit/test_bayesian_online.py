@@ -1,0 +1,97 @@
+"""Tests for the probabilistic online observer (strategy-aware Bayesian Alice)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    AlwaysDenyStrategy,
+    CoinFlipStrategy,
+    TruthfulDenialStrategy,
+    simulate_bayesian,
+)
+
+TIMELINE = [False, False, False, True, True, True]
+
+
+class TestTruthfulDenialBayesian:
+    def test_posterior_jumps_to_one_at_first_denial(self):
+        result = simulate_bayesian(TruthfulDenialStrategy(), TIMELINE)
+        assert result.certainty_time == 3
+        assert result.steps[2].posterior_positive == pytest.approx(0.0)
+        assert result.steps[3].posterior_positive == pytest.approx(1.0)
+
+    def test_negative_answers_drive_posterior_down(self):
+        result = simulate_bayesian(TruthfulDenialStrategy(), [False] * 4)
+        posteriors = [s.posterior_positive for s in result.steps]
+        assert all(p == pytest.approx(0.0) for p in posteriors)
+
+
+class TestAlwaysDenyBayesian:
+    def test_posterior_never_exceeds_time_conditional_prior(self):
+        """Denials carry no information: the posterior equals the prior mass
+        of 'converted by now', which grows only with the calendar."""
+        result = simulate_bayesian(AlwaysDenyStrategy(), TIMELINE, prior_never=0.5)
+        horizon = len(TIMELINE)
+        for step in result.steps:
+            expected = 0.5 * (step.time + 1) / horizon
+            assert step.posterior_positive == pytest.approx(expected, abs=1e-12)
+
+    def test_never_certain(self):
+        result = simulate_bayesian(AlwaysDenyStrategy(), TIMELINE)
+        assert result.certainty_time is None
+
+
+class TestCoinFlipBayesian:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_posterior_bounded_away_from_one(self, seed):
+        """Footnote 1 quantified: denials raise suspicion but never reach
+        knowledge, because 'never converted' stays consistent."""
+        result = simulate_bayesian(CoinFlipStrategy(), TIMELINE, seed=seed)
+        assert result.certainty_time is None
+        assert result.peak_posterior < 1.0
+
+    def test_denials_increase_posterior(self):
+        """Once Bob is positive, every denial nudges Alice's posterior up."""
+        result = simulate_bayesian(CoinFlipStrategy(0.5), TIMELINE, seed=1)
+        tail = [s.posterior_positive for s in result.steps[3:]]
+        assert all(b >= a - 1e-12 for a, b in zip(tail, tail[1:]))
+
+    def test_negative_answer_resets_suspicion(self):
+        """A "negative" answer proves non-conversion up to now."""
+        result = simulate_bayesian(CoinFlipStrategy(0.9), [False, False], seed=0)
+        for step in result.steps:
+            if step.answer.value == "I am HIV-negative":
+                assert step.posterior_positive == pytest.approx(0.0, abs=1e-12)
+
+    def test_biased_coin_leaks_faster(self):
+        """The more often Bob answers when negative, the more a denial says.
+
+        Averaged over seeds, a heads-heavy coin yields a higher peak
+        posterior than a tails-heavy one.
+        """
+        def mean_peak(p_heads):
+            peaks = [
+                simulate_bayesian(
+                    CoinFlipStrategy(p_heads), TIMELINE, seed=s
+                ).peak_posterior
+                for s in range(30)
+            ]
+            return float(np.mean(peaks))
+
+        assert mean_peak(0.9) > mean_peak(0.1)
+
+
+class TestPriorSensitivity:
+    def test_prior_never_one_means_no_suspicion_from_denials(self):
+        result = simulate_bayesian(
+            AlwaysDenyStrategy(), TIMELINE, prior_never=1.0 - 1e-9
+        )
+        assert result.peak_posterior < 1e-6
+
+    def test_posteriors_are_probabilities(self):
+        for seed in range(5):
+            result = simulate_bayesian(CoinFlipStrategy(), TIMELINE, seed=seed)
+            for step in result.steps:
+                assert 0.0 <= step.posterior_positive <= 1.0

@@ -1,0 +1,166 @@
+"""End-to-end tests for the offline (retroactive) auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import (
+    AuditPolicy,
+    DisclosureLog,
+    OfflineAuditor,
+    PriorAssumption,
+    render_report,
+)
+from repro.db import (
+    CandidateUniverse,
+    ColumnType,
+    Database,
+    TableSchema,
+    parse_boolean_query,
+)
+
+
+@pytest.fixture
+def hospital():
+    db = Database()
+    db.create_table(
+        TableSchema.build("facts", patient=ColumnType.TEXT, kind=ColumnType.TEXT)
+    )
+    r1 = db.insert("facts", patient="Bob", kind="hiv_positive")
+    r2 = db.insert("facts", patient="Bob", kind="transfusion")
+    universe = CandidateUniverse(db, [r1, r2])
+    return universe
+
+
+A_TEXT = "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')"
+B_TEXT = (
+    "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive') "
+    "IMPLIES "
+    "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'transfusion')"
+)
+
+
+def build_log():
+    log = DisclosureLog()
+    log.record(2005, "alice", parse_boolean_query(B_TEXT))
+    log.record(2005, "cindy", parse_boolean_query(B_TEXT))
+    log.record(2007, "mallory", parse_boolean_query(A_TEXT))
+    return log
+
+
+class TestDisclosureLog:
+    def test_ordering_and_filtering(self):
+        log = build_log()
+        assert [e.user for e in log] == ["alice", "cindy", "mallory"]
+        assert len(log.for_user("alice")) == 1
+        assert len(log.before(2006)) == 2
+        assert len(log.since(2006)) == 1
+        assert log.users == ("alice", "cindy", "mallory")
+
+
+class TestOfflineAuditor:
+    @pytest.mark.parametrize(
+        "assumption",
+        [
+            PriorAssumption.UNRESTRICTED,
+            PriorAssumption.PRODUCT,
+            PriorAssumption.LOG_SUPERMODULAR,
+            PriorAssumption.POSSIBILISTIC_UNRESTRICTED,
+            PriorAssumption.POSSIBILISTIC_SUBCUBES,
+        ],
+    )
+    def test_mallory_flagged_alice_cleared(self, hospital, assumption):
+        """The §1 story holds under EVERY prior-knowledge family: learning
+        "HIV ⇒ transfusion" is safe, learning "HIV-positive" is not."""
+        policy = AuditPolicy(
+            audit_query=parse_boolean_query(A_TEXT), assumption=assumption
+        )
+        report = OfflineAuditor(hospital, policy).audit_log(build_log())
+        assert report.suspicious_users == ("mallory",), assumption
+        assert set(report.cleared_users) == {"alice", "cindy"}
+
+    def test_unsafe_findings_carry_witnesses(self, hospital):
+        policy = AuditPolicy(
+            audit_query=parse_boolean_query(A_TEXT),
+            assumption=PriorAssumption.PRODUCT,
+        )
+        report = OfflineAuditor(hospital, policy).audit_log(build_log())
+        flagged = [f for f in report.findings if f.suspicious]
+        assert flagged and all(f.verdict.witness is not None for f in flagged)
+
+    def test_counts(self, hospital):
+        policy = AuditPolicy(
+            audit_query=parse_boolean_query(A_TEXT),
+            assumption=PriorAssumption.UNRESTRICTED,
+        )
+        report = OfflineAuditor(hospital, policy).audit_log(build_log())
+        assert report.counts() == {"safe": 2, "unsafe": 1, "unknown": 0}
+
+    def test_cumulative_audit(self, hospital):
+        """Two individually safe disclosures can be jointly unsafe (Rmk 4.2).
+
+        Against an initially ignorant user (Σ = {Ω}),
+        B₁ = "some record exists" and B₂ = "transfusion ⇒ HIV" are each
+        safe (neither pins the knowledge inside A), but their conjunction
+        is exactly A = "Bob is HIV-positive".
+        """
+        b1 = parse_boolean_query(
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')"
+            " OR "
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'transfusion')"
+        )
+        b2 = parse_boolean_query(
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'transfusion')"
+            " IMPLIES "
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')"
+        )
+        log = DisclosureLog()
+        log.record(1, "eve", b1)
+        log.record(2, "eve", b2)
+        policy = AuditPolicy(
+            audit_query=parse_boolean_query(A_TEXT),
+            assumption=PriorAssumption.POSSIBILISTIC_IGNORANT,
+        )
+        auditor = OfflineAuditor(hospital, policy)
+        report = auditor.audit_log(log)
+        assert not any(f.suspicious for f in report.findings)  # individually safe
+        cumulative = auditor.audit_user_cumulative(log, "eve")
+        assert cumulative.suspicious
+
+    def test_cumulative_requires_events(self, hospital):
+        policy = AuditPolicy(audit_query=parse_boolean_query(A_TEXT))
+        auditor = OfflineAuditor(hospital, policy)
+        with pytest.raises(ValueError):
+            auditor.audit_user_cumulative(DisclosureLog(), "nobody")
+
+    def test_select_disclosure_audited(self, hospital):
+        """A non-Boolean SELECT answer reveals exact record contents."""
+        from repro.db import parse_select_query
+
+        log = DisclosureLog()
+        log.record(
+            2007,
+            "mallory",
+            parse_select_query("SELECT kind FROM facts WHERE patient = 'Bob'"),
+        )
+        policy = AuditPolicy(
+            audit_query=parse_boolean_query(A_TEXT),
+            assumption=PriorAssumption.UNRESTRICTED,
+        )
+        report = OfflineAuditor(hospital, policy).audit_log(log)
+        assert report.findings[0].suspicious
+
+
+class TestReportRendering:
+    def test_render_contains_key_facts(self, hospital):
+        policy = AuditPolicy(
+            audit_query=parse_boolean_query(A_TEXT),
+            assumption=PriorAssumption.UNRESTRICTED,
+            name="hiv-breach-2007",
+        )
+        report = OfflineAuditor(hospital, policy).audit_log(build_log())
+        text = render_report(report)
+        assert "hiv-breach-2007" in text
+        assert "suspicion falls on: mallory" in text
+        assert "cleared: alice, cindy" in text
+        assert "[!!]" in text and "[ok]" in text

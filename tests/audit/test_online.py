@@ -1,0 +1,101 @@
+"""Tests for the online auditing simulator (the §1 Alice/Bob discussion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import (
+    AlwaysDenyStrategy,
+    Answer,
+    CoinFlipStrategy,
+    TruthfulDenialStrategy,
+    simulate,
+)
+
+
+TIMELINE = [False, False, False, True, True, True]  # seroconversion at t=3
+
+
+class TestTruthfulDenial:
+    def test_breach_at_seroconversion(self):
+        """"if he does become HIV-positive in the future, he will have to
+        deny further inquiries, and Alice will infer that he contracted
+        HIV" — the breach happens at the first denial."""
+        result = simulate(TruthfulDenialStrategy(), TIMELINE)
+        assert result.breached
+        assert result.breach_time == 3
+
+    def test_no_breach_while_negative(self):
+        result = simulate(TruthfulDenialStrategy(), [False] * 5)
+        assert not result.breached
+        # Alice does learn the *negative* status, which Bob is OK with.
+        assert result.steps[-1].belief.knows_negative
+
+    def test_answers_reflect_status(self):
+        result = simulate(TruthfulDenialStrategy(), TIMELINE)
+        answers = [s.answer for s in result.steps]
+        assert answers[:3] == [Answer.NEGATIVE] * 3
+        assert answers[3:] == [Answer.DENY] * 3
+
+
+class TestAlwaysDeny:
+    def test_never_breaches(self):
+        result = simulate(AlwaysDenyStrategy(), TIMELINE)
+        assert not result.breached
+        assert result.answers_given() == 0
+
+    def test_alice_stays_uncertain(self):
+        result = simulate(AlwaysDenyStrategy(), TIMELINE)
+        assert all(
+            s.belief.negative_possible and s.belief.positive_possible
+            for s in result.steps
+        )
+
+
+class TestCoinFlip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_breaches_any_seed(self, seed):
+        """Footnote 1: a denial is consistent with both statuses, so Alice
+        never *knows* Bob is positive."""
+        result = simulate(CoinFlipStrategy(), TIMELINE, seed=seed)
+        assert not result.breached
+
+    def test_earns_some_answers(self):
+        """Unlike always-deny, the coin strategy usually answers sometimes."""
+        total = sum(
+            simulate(CoinFlipStrategy(), TIMELINE, seed=seed).answers_given()
+            for seed in range(20)
+        )
+        assert total > 0
+
+    def test_answer_still_reveals_negative(self):
+        """Saying "I am HIV-negative" still tells Alice the (OK) fact."""
+        result = simulate(CoinFlipStrategy(0.99), [False], seed=1)
+        if result.steps[0].answer is Answer.NEGATIVE:
+            assert result.steps[0].belief.knows_negative
+
+    def test_coin_validation(self):
+        with pytest.raises(ValueError):
+            CoinFlipStrategy(1.0)
+
+    def test_positive_never_answers_negative(self):
+        for seed in range(10):
+            result = simulate(CoinFlipStrategy(), [True] * 4, seed=seed)
+            assert all(s.answer is Answer.DENY for s in result.steps)
+
+
+class TestKnowledgeDynamics:
+    def test_knowledge_is_monotone(self):
+        """Once Alice knows the positive status she never un-knows it."""
+        result = simulate(TruthfulDenialStrategy(), TIMELINE)
+        knew = False
+        for step in result.steps:
+            if knew:
+                assert step.belief.knows_positive
+            knew = knew or step.belief.knows_positive
+
+    def test_seroconversion_timing_inference(self):
+        """With truthful denial, Alice pinpoints conversion between the last
+        "negative" answer and the first denial."""
+        result = simulate(TruthfulDenialStrategy(), [False, True, True])
+        assert result.breach_time == 1

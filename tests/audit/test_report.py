@@ -1,0 +1,92 @@
+"""Tests for audit report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import (
+    AuditPolicy,
+    AuditReport,
+    DisclosureEvent,
+    PriorAssumption,
+    render_report,
+)
+from repro.audit.offline import EventFinding
+from repro.core import AuditVerdict, HypercubeSpace
+from repro.db import Exists, column_eq
+
+
+@pytest.fixture
+def space():
+    return HypercubeSpace(2)
+
+
+def make_finding(space, user, time, verdict):
+    event = DisclosureEvent(
+        time=time, user=user, query=Exists("t", column_eq("x", 1)), note="n"
+    )
+    return EventFinding(
+        event=event, disclosed_set=space.full, verdict=verdict
+    )
+
+
+def make_policy():
+    return AuditPolicy(
+        audit_query=Exists("t", column_eq("x", 1)),
+        assumption=PriorAssumption.PRODUCT,
+        name="test-policy",
+    )
+
+
+class TestRenderReport:
+    def test_empty_report(self):
+        report = AuditReport(policy=make_policy())
+        text = render_report(report)
+        assert "OFFLINE AUDIT REPORT" in text
+        assert "events: 0" in text
+
+    def test_mixed_findings(self, space):
+        report = AuditReport(policy=make_policy())
+        report.findings.append(
+            make_finding(space, "alice", 1, AuditVerdict.safe("criterion"))
+        )
+        report.findings.append(
+            make_finding(space, "mallory", 2, AuditVerdict.unsafe("box", witness="W"))
+        )
+        report.findings.append(
+            make_finding(space, "carol", 3, AuditVerdict.unknown("exhausted"))
+        )
+        text = render_report(report)
+        assert "[ok]" in text and "[!!]" in text
+        assert "suspicion falls on: mallory" in text
+        assert "cleared: alice, carol" in text
+        assert "safe: 1" in text and "unsafe: 1" in text and "unknown: 1" in text
+
+    def test_long_witness_truncated(self, space):
+        report = AuditReport(policy=make_policy())
+        report.findings.append(
+            make_finding(
+                space, "eve", 1, AuditVerdict.unsafe("m", witness="x" * 500)
+            )
+        )
+        text = render_report(report)
+        assert "..." in text
+        assert "x" * 200 not in text
+
+    def test_user_with_mixed_events_is_suspicious(self, space):
+        report = AuditReport(policy=make_policy())
+        report.findings.append(
+            make_finding(space, "eve", 1, AuditVerdict.safe("c"))
+        )
+        report.findings.append(
+            make_finding(space, "eve", 2, AuditVerdict.unsafe("c"))
+        )
+        assert report.suspicious_users == ("eve",)
+        assert report.cleared_users == ()
+
+    def test_for_user_filter(self, space):
+        report = AuditReport(policy=make_policy())
+        report.findings.append(make_finding(space, "a", 1, AuditVerdict.safe("c")))
+        report.findings.append(make_finding(space, "b", 2, AuditVerdict.safe("c")))
+        assert len(report.for_user("a")) == 1
+        assert len(report.for_user("missing")) == 0

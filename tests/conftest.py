@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core import Distribution, HypercubeSpace, PropertySet, WorldSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20080609)  # PODS'08 started June 9, 2008
+
+
+@pytest.fixture
+def cube2() -> HypercubeSpace:
+    return HypercubeSpace(2)
+
+
+@pytest.fixture
+def cube3() -> HypercubeSpace:
+    return HypercubeSpace(3)
+
+
+@pytest.fixture
+def cube4() -> HypercubeSpace:
+    return HypercubeSpace(4)
+
+
+def all_subsets(space: WorldSpace) -> Iterator[PropertySet]:
+    """All subsets of a (small) world space, including ∅ and Ω."""
+    worlds = list(space.worlds())
+    for r in range(len(worlds) + 1):
+        for combo in itertools.combinations(worlds, r):
+            yield space.property_set(combo)
+
+
+def random_subset(
+    space: WorldSpace, rnd: random.Random, allow_empty: bool = False
+) -> PropertySet:
+    """A uniformly random subset of Ω."""
+    while True:
+        members = [w for w in space.worlds() if rnd.random() < 0.5]
+        if members or allow_empty:
+            return space.property_set(members)
+
+
+def random_pairs(
+    space: WorldSpace, count: int, seed: int = 0, allow_empty: bool = False
+) -> List[Tuple[PropertySet, PropertySet]]:
+    """Deterministic random (A, B) pairs for criterion cross-validation."""
+    rnd = random.Random(seed)
+    return [
+        (random_subset(space, rnd, allow_empty), random_subset(space, rnd, allow_empty))
+        for _ in range(count)
+    ]
+
+
+def dirichlet_distribution(space: WorldSpace, rng: np.random.Generator) -> Distribution:
+    return Distribution(space, rng.dirichlet(np.ones(space.size)))

@@ -1,0 +1,132 @@
+"""Tests for possibilistic and probabilistic agents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Distribution,
+    HypercubeSpace,
+    PossibilisticAgent,
+    ProbabilisticAgent,
+    WorldSpace,
+)
+from repro.exceptions import InconsistentKnowledgeError
+
+
+class TestPossibilisticAgent:
+    def test_knows_iff_subset(self):
+        space = WorldSpace(4)
+        agent = PossibilisticAgent(space.property_set([1, 2]))
+        assert agent.knows(space.property_set([0, 1, 2]))
+        assert not agent.knows(space.property_set([1]))
+
+    def test_considers_possible(self):
+        space = WorldSpace(4)
+        agent = PossibilisticAgent(space.property_set([1, 2]))
+        assert agent.considers_possible(space.property_set([2, 3]))
+        assert not agent.considers_possible(space.property_set([0, 3]))
+
+    def test_empty_knowledge_rejected(self):
+        with pytest.raises(InconsistentKnowledgeError):
+            PossibilisticAgent(WorldSpace(2).empty)
+
+    def test_learn_intersects(self):
+        space = WorldSpace(5)
+        agent = PossibilisticAgent(space.property_set([0, 1, 2, 3]))
+        learned = agent.learn(space.property_set([2, 3, 4]))
+        assert learned.knowledge == space.property_set([2, 3])
+        # Original agent is unchanged (immutability).
+        assert agent.knowledge == space.property_set([0, 1, 2, 3])
+
+    def test_learn_contradiction_rejected(self):
+        space = WorldSpace(3)
+        agent = PossibilisticAgent(space.property_set([0]))
+        with pytest.raises(InconsistentKnowledgeError):
+            agent.learn(space.property_set([1, 2]))
+
+    def test_two_grades_of_confidence(self):
+        """Section 3.1: a possibilistic agent either knows A or does not."""
+        space = WorldSpace(4)
+        a = space.property_set([0, 1])
+        b = space.property_set([0, 2])  # learning B here reveals A
+        agent = PossibilisticAgent(space.property_set([0, 3]))
+        assert not agent.knows(a)
+        assert agent.learn(b).knows(a)
+
+    def test_collusion_intersects_knowledge(self):
+        """Section 4.1: colluders jointly rule out what either rules out."""
+        space = WorldSpace(5)
+        alice = PossibilisticAgent(space.property_set([0, 1, 2]), "alice")
+        mallory = PossibilisticAgent(space.property_set([1, 2, 3]), "mallory")
+        joint = alice.collude(mallory)
+        assert joint.knowledge == space.property_set([1, 2])
+        assert "alice" in joint.name and "mallory" in joint.name
+
+    def test_contradictory_collusion_rejected(self):
+        space = WorldSpace(4)
+        a = PossibilisticAgent(space.property_set([0]))
+        b = PossibilisticAgent(space.property_set([1]))
+        with pytest.raises(InconsistentKnowledgeError):
+            a.collude(b)
+
+    def test_is_consistent_with(self):
+        space = WorldSpace(3)
+        agent = PossibilisticAgent(space.property_set([1]))
+        assert agent.is_consistent_with(1)
+        assert not agent.is_consistent_with(0)
+
+
+class TestProbabilisticAgent:
+    def test_confidence_is_probability(self):
+        space = WorldSpace(4)
+        agent = ProbabilisticAgent(Distribution(space, [0.1, 0.2, 0.3, 0.4]))
+        assert agent.confidence(space.property_set([2, 3])) == pytest.approx(0.7)
+
+    def test_knows_iff_certain(self):
+        space = WorldSpace(3)
+        agent = ProbabilisticAgent(Distribution(space, [0.5, 0.5, 0.0]))
+        assert agent.knows(space.property_set([0, 1]))
+        assert not agent.knows(space.property_set([0]))
+
+    def test_considers_possible(self):
+        space = WorldSpace(3)
+        agent = ProbabilisticAgent(Distribution(space, [0.5, 0.5, 0.0]))
+        assert agent.considers_possible(space.property_set([0]))
+        assert not agent.considers_possible(space.property_set([2]))
+
+    def test_learn_conditions(self):
+        space = WorldSpace(4)
+        agent = ProbabilisticAgent(Distribution.uniform(space))
+        learned = agent.learn(space.property_set([0, 1]))
+        assert learned.confidence(space.property_set([0])) == pytest.approx(0.5)
+        assert learned.confidence(space.property_set([2])) == 0.0
+
+    def test_confidence_gain_hiv_example(self):
+        """The §1.1 table: learning "HIV ⇒ transfusion" cannot raise P[HIV]."""
+        space = HypercubeSpace(2)  # bit 1 = r1 (HIV), bit 2 = r2 (transfusion)
+        a = space.coordinate_set(1)
+        b = ~space.coordinate_set(1) | space.coordinate_set(2)
+        # Any prior with full support works; pick a lopsided one.
+        prior = Distribution(space, [0.4, 0.3, 0.2, 0.1])
+        agent = ProbabilisticAgent(prior)
+        assert agent.confidence_gain(a, b) <= 1e-12
+
+    def test_confidence_gain_positive_case(self):
+        space = WorldSpace(4)
+        agent = ProbabilisticAgent(Distribution.uniform(space))
+        a = space.property_set([0])
+        b = space.property_set([0, 1])
+        assert agent.confidence_gain(a, b) == pytest.approx(0.25)
+
+    def test_possibilistic_shadow(self):
+        space = WorldSpace(4)
+        agent = ProbabilisticAgent(Distribution(space, [0.5, 0.0, 0.5, 0.0]))
+        shadow = agent.possibilistic_shadow()
+        assert shadow.knowledge == space.property_set([0, 2])
+
+    def test_is_consistent_with(self):
+        space = WorldSpace(2)
+        agent = ProbabilisticAgent(Distribution(space, [1.0, 0.0]))
+        assert agent.is_consistent_with(0)
+        assert not agent.is_consistent_with(1)

@@ -1,0 +1,126 @@
+"""Unit and property tests for the low-level bit utilities."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import _bitops as bo
+
+
+class TestPopcountAndBits:
+    def test_popcount_small_values(self):
+        assert [bo.popcount(x) for x in range(8)] == [0, 1, 1, 2, 1, 2, 2, 3]
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_popcount_matches_bin(self, x):
+        assert bo.popcount(x) == bin(x).count("1")
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_bits_roundtrip(self, x):
+        assert bo.from_bits(bo.bits_of(x, 12)) == x
+
+    def test_from_string_paper_convention(self):
+        # Paper writes coordinate 1 leftmost: "011" means ω[1]=0, ω[2]=1, ω[3]=1.
+        w = bo.from_string("011")
+        assert bo.bits_of(w, 3) == (0, 1, 1)
+        assert bo.to_string(w, 3) == "011"
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_string_roundtrip(self, x):
+        assert bo.from_string(bo.to_string(x, 8)) == x
+
+
+class TestPartialOrder:
+    def test_leq_examples(self):
+        assert bo.leq(0b001, 0b011)
+        assert bo.leq(0, 0b111)
+        assert not bo.leq(0b100, 0b011)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_leq_is_subset_order(self, x, y):
+        as_sets = set(i for i in range(8) if (x >> i) & 1) <= set(
+            i for i in range(8) if (y >> i) & 1
+        )
+        assert bo.leq(x, y) == as_sets
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_comparable_symmetric(self, x, y):
+        assert bo.comparable(x, y) == bo.comparable(y, x)
+
+
+class TestSubsetEnumeration:
+    @given(st.integers(0, 2**10 - 1))
+    def test_iter_subsets_counts(self, mask):
+        subs = list(bo.iter_subsets(mask))
+        assert len(subs) == 2 ** bo.popcount(mask)
+        assert len(set(subs)) == len(subs)
+        assert all(sub & ~mask == 0 for sub in subs)
+        assert 0 in subs and mask in subs
+
+    @given(st.integers(0, 2**6 - 1))
+    def test_iter_supersets(self, mask):
+        sups = list(bo.iter_supersets(mask, 6))
+        assert len(sups) == 2 ** (6 - bo.popcount(mask))
+        assert all(sup & mask == mask for sup in sups)
+
+
+class TestMatchVectors:
+    def test_paper_example(self):
+        # Pair (01011, 01101) maps to 01**1 in the paper's Definition 5.8.
+        u = bo.from_string("01011")
+        v = bo.from_string("01101")
+        star, agreed = bo.match_key(u, v)
+        assert bo.match_vector_string(star, agreed, 5) == "01**1"
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_match_key_symmetric(self, u, v):
+        assert bo.match_key(u, v) == bo.match_key(v, u)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_box_contains_both_endpoints(self, u, v):
+        star, agreed = bo.match_key(u, v)
+        box = set(bo.box_members(star, agreed, 8))
+        assert u in box and v in box
+        assert len(box) == 2 ** bo.popcount(star)
+
+    def test_parse_roundtrip(self):
+        for text in ["010", "***", "1*0", "0*1"]:
+            star, agreed = bo.parse_match_vector(text)
+            assert bo.match_vector_string(star, agreed, len(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            bo.parse_match_vector("01x")
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_all_match_vectors_count(self, n):
+        keys = list(bo.all_match_vectors(n))
+        assert len(keys) == 3**n
+        assert len(set(keys)) == 3**n
+        # Every key must be well-formed: agreed bits never overlap stars.
+        assert all(star & agreed == 0 for star, agreed in keys)
+
+    def test_box_members_of_all_stars_is_everything(self):
+        star, agreed = bo.parse_match_vector("***")
+        assert sorted(bo.box_members(star, agreed, 3)) == list(range(8))
+
+
+class TestHammingBall:
+    def test_radius_zero(self):
+        assert bo.hamming_ball(0b101, 0, 3) == [0b101]
+
+    def test_radius_one_size(self):
+        assert len(bo.hamming_ball(0, 1, 4)) == 5
+
+    def test_full_radius_is_everything(self):
+        assert len(bo.hamming_ball(0b11, 4, 4)) == 16
+
+    @given(st.integers(0, 15), st.integers(0, 4))
+    def test_ball_membership(self, center, radius):
+        ball = set(bo.hamming_ball(center, radius, 4))
+        for x in range(16):
+            assert (x in ball) == (bo.popcount(x ^ center) <= radius)

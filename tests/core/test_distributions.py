@@ -1,0 +1,195 @@
+"""Tests for the core Distribution type and knowledge acquisition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Distribution, HypercubeSpace, WorldSpace, mix
+from repro.exceptions import InvalidDistributionError
+
+
+@st.composite
+def distributions(draw, size=8):
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        ).filter(lambda ws: sum(ws) > 1e-6)
+    )
+    return Distribution(WorldSpace(size), weights, normalize=True)
+
+
+class TestConstruction:
+    def test_validates_length(self):
+        with pytest.raises(InvalidDistributionError):
+            Distribution(WorldSpace(3), [0.5, 0.5])
+
+    def test_validates_sum(self):
+        with pytest.raises(InvalidDistributionError):
+            Distribution(WorldSpace(2), [0.7, 0.7])
+
+    def test_validates_nonnegative(self):
+        with pytest.raises(InvalidDistributionError):
+            Distribution(WorldSpace(2), [1.5, -0.5])
+
+    def test_normalize(self):
+        d = Distribution(WorldSpace(4), [1, 1, 2, 0], normalize=True)
+        assert d.mass(2) == pytest.approx(0.5)
+
+    def test_normalize_zero_mass_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            Distribution(WorldSpace(2), [0, 0], normalize=True)
+
+    def test_probs_read_only(self):
+        d = Distribution.uniform(WorldSpace(4))
+        with pytest.raises(ValueError):
+            d.probs[0] = 1.0
+
+    def test_uniform(self):
+        d = Distribution.uniform(WorldSpace(5))
+        assert d.mass(3) == pytest.approx(0.2)
+
+    def test_uniform_on(self):
+        space = WorldSpace(5)
+        support = space.property_set([1, 3])
+        d = Distribution.uniform_on(support)
+        assert d.mass(1) == pytest.approx(0.5)
+        assert d.mass(0) == 0.0
+        with pytest.raises(InvalidDistributionError):
+            Distribution.uniform_on(space.empty)
+
+    def test_point_mass(self):
+        d = Distribution.point_mass(WorldSpace(3), 2)
+        assert d.mass(2) == 1.0
+        assert d.support().members == frozenset([2])
+
+    def test_from_mapping_with_labels(self):
+        space = HypercubeSpace(2)
+        d = Distribution.from_mapping(space, {"10": 0.25, "01": 0.75})
+        assert d.mass("10") == pytest.approx(0.25)
+
+    def test_random_is_valid(self):
+        rng = np.random.default_rng(1)
+        d = Distribution.random(WorldSpace(6), rng)
+        assert d.probs.sum() == pytest.approx(1.0)
+
+
+class TestEventProbability:
+    def test_prob_of_event(self):
+        space = WorldSpace(4)
+        d = Distribution(space, [0.1, 0.2, 0.3, 0.4])
+        assert d.prob(space.property_set([1, 3])) == pytest.approx(0.6)
+        assert d.prob(space.empty) == 0.0
+        assert d.prob(space.full) == pytest.approx(1.0)
+
+    @given(distributions())
+    def test_prob_additivity(self, d):
+        space = d.space
+        a = space.property_set([0, 1, 2])
+        b = space.property_set([5, 6])
+        assert d.prob(a | b) == pytest.approx(d.prob(a) + d.prob(b))
+
+    @given(distributions())
+    def test_prob_complement(self, d):
+        a = d.space.property_set([0, 3, 4])
+        assert d.prob(a) + d.prob(~a) == pytest.approx(1.0)
+
+
+class TestConditioning:
+    def test_conditional_paper_semantics(self):
+        """P(ω|B) = P(ω)/P[B] on B and 0 outside (Section 3.3)."""
+        space = WorldSpace(3)
+        d = Distribution(space, [0.2, 0.3, 0.5])
+        b = space.property_set([1, 2])
+        post = d.conditional(b)
+        assert post.mass(0) == 0.0
+        assert post.mass(1) == pytest.approx(0.375)
+        assert post.mass(2) == pytest.approx(0.625)
+
+    def test_conditional_on_null_event_rejected(self):
+        space = WorldSpace(3)
+        d = Distribution.point_mass(space, 0)
+        with pytest.raises(InvalidDistributionError):
+            d.conditional(space.property_set([1]))
+
+    def test_conditional_prob(self):
+        space = WorldSpace(4)
+        d = Distribution.uniform(space)
+        a = space.property_set([0, 1])
+        b = space.property_set([1, 2])
+        assert d.conditional_prob(a, b) == pytest.approx(0.5)
+
+    @given(distributions())
+    def test_conditioning_is_idempotent(self, d):
+        b = d.space.property_set([0, 1, 2, 3])
+        if d.prob(b) > 1e-9:
+            once = d.conditional(b)
+            twice = once.conditional(b)
+            assert once.allclose(twice, atol=1e-9)
+
+    @given(distributions())
+    def test_chain_conditioning_equals_intersection(self, d):
+        """Acquiring B1 then B2 equals acquiring B1 ∩ B2 (Section 3.3)."""
+        space = d.space
+        b1 = space.property_set([0, 1, 2, 3, 4])
+        b2 = space.property_set([2, 3, 4, 5])
+        if d.prob(b1 & b2) > 1e-9:
+            assert d.conditional(b1).conditional(b2).allclose(
+                d.conditional(b1 & b2), atol=1e-9
+            )
+
+
+class TestSupportAndComparison:
+    def test_support(self):
+        space = WorldSpace(4)
+        d = Distribution(space, [0.5, 0.0, 0.5, 0.0])
+        assert sorted(d.support()) == [0, 2]
+
+    def test_considers_possible(self):
+        d = Distribution(WorldSpace(2), [1.0, 0.0])
+        assert d.considers_possible(0)
+        assert not d.considers_possible(1)
+
+    def test_distance_linf(self):
+        space = WorldSpace(2)
+        d1 = Distribution(space, [1.0, 0.0])
+        d2 = Distribution(space, [0.6, 0.4])
+        assert d1.distance_linf(d2) == pytest.approx(0.4)
+
+    def test_eq_and_hash(self):
+        space = WorldSpace(3)
+        d1 = Distribution(space, [0.2, 0.3, 0.5])
+        d2 = Distribution(space, [0.2, 0.3, 0.5])
+        assert d1 == d2 and hash(d1) == hash(d2)
+
+    def test_as_dict_sparse(self):
+        d = Distribution(WorldSpace(4), [0.0, 1.0, 0.0, 0.0])
+        assert d.as_dict() == {1: 1.0}
+
+
+class TestMix:
+    def test_endpoint_weights(self):
+        space = WorldSpace(3)
+        d1 = Distribution.point_mass(space, 0)
+        d2 = Distribution.point_mass(space, 2)
+        assert mix(d1, d2, 0.0) == d1
+        assert mix(d1, d2, 1.0) == d2
+
+    def test_liftability_perturbation(self):
+        """Mixing with uniform gives full support while staying ε-close (Def 3.7)."""
+        space = WorldSpace(10)
+        d = Distribution.point_mass(space, 0)
+        eps = 1e-3
+        lifted = mix(d, Distribution.uniform(space), eps)
+        assert lifted.support().is_full()
+        assert d.distance_linf(lifted) < eps
+
+    def test_weight_validation(self):
+        space = WorldSpace(2)
+        d = Distribution.uniform(space)
+        with pytest.raises(ValueError):
+            mix(d, d, 1.5)

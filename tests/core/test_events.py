@@ -1,0 +1,206 @@
+"""Tests for lattice operations on hypercube properties (Section 5 preliminaries)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    HypercubeSpace,
+    down_closure,
+    is_down_set,
+    is_up_set,
+    join_set,
+    maximal_elements,
+    meet_set,
+    minimal_elements,
+    monotone_mask,
+    up_closure,
+    xor_mask,
+)
+from repro.exceptions import SpaceMismatchError
+from repro.core.worlds import WorldSpace
+
+
+def cube(n):
+    return HypercubeSpace(n)
+
+
+subsets3 = st.sets(st.integers(0, 7))
+subsets4 = st.sets(st.integers(0, 15))
+
+
+class TestUpDownSets:
+    def test_examples(self):
+        space = cube(3)
+        assert is_up_set(space.property_set(["111"]))
+        assert is_down_set(space.property_set(["000", "001"]))
+        assert not is_down_set(space.property_set(["001", "011"]))
+
+    def test_up_set_with_all_but_bottom(self):
+        space = cube(3)
+        s = space.where(lambda w: w != 0)
+        assert is_up_set(s)
+        assert not is_down_set(s)
+
+    def test_empty_and_full_are_both(self):
+        space = cube(3)
+        for s in (space.empty, space.full):
+            assert is_up_set(s) and is_down_set(s)
+
+    @given(subsets3)
+    def test_up_closure_is_up_set(self, xs):
+        space = cube(3)
+        s = space.property_set(xs)
+        closed = up_closure(s)
+        assert is_up_set(closed)
+        assert s <= closed
+
+    @given(subsets3)
+    def test_down_closure_is_down_set(self, xs):
+        space = cube(3)
+        s = space.property_set(xs)
+        closed = down_closure(s)
+        assert is_down_set(closed)
+        assert s <= closed
+
+    @given(subsets3)
+    def test_closure_idempotent(self, xs):
+        space = cube(3)
+        s = space.property_set(xs)
+        assert up_closure(up_closure(s)) == up_closure(s)
+        assert down_closure(down_closure(s)) == down_closure(s)
+
+    @given(subsets3)
+    def test_complement_duality(self, xs):
+        """A is an up-set iff its complement is a down-set."""
+        space = cube(3)
+        s = space.property_set(xs)
+        assert is_up_set(s) == is_down_set(~s)
+
+    def test_requires_hypercube(self):
+        with pytest.raises(SpaceMismatchError):
+            is_up_set(WorldSpace(4).full)
+
+
+class TestMeetJoinSets:
+    def test_theorem_53_notation(self):
+        space = cube(2)
+        a = space.property_set(["10"])
+        b = space.property_set(["01"])
+        assert meet_set(a, b) == space.property_set(["00"])
+        assert join_set(a, b) == space.property_set(["11"])
+
+    @given(subsets3, subsets3)
+    def test_meet_join_sizes(self, xs, ys):
+        space = cube(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        if a and b:
+            assert len(meet_set(a, b)) <= len(a) * len(b)
+            assert len(join_set(a, b)) <= len(a) * len(b)
+        else:
+            assert not meet_set(a, b) and not join_set(a, b)
+
+    @given(subsets3)
+    def test_meet_with_bottom(self, xs):
+        space = cube(3)
+        a = space.property_set(xs)
+        bottom = space.property_set([0])
+        if a:
+            assert meet_set(a, bottom) == bottom
+            assert join_set(a, bottom) == a
+
+
+class TestXorMask:
+    @given(subsets4, st.integers(0, 15))
+    def test_involution(self, xs, z):
+        space = cube(4)
+        a = space.property_set(xs)
+        assert xor_mask(z, xor_mask(z, a)) == a
+
+    @given(subsets4, st.integers(0, 15))
+    def test_preserves_size(self, xs, z):
+        space = cube(4)
+        a = space.property_set(xs)
+        assert len(xor_mask(z, a)) == len(a)
+
+    def test_full_flip_swaps_up_and_down(self):
+        space = cube(3)
+        up = space.property_set(["111", "110", "011", "101"])
+        assert is_up_set(up)
+        flipped = xor_mask(7, up)
+        assert is_down_set(flipped)
+
+    def test_bad_mask_rejected(self):
+        space = cube(2)
+        with pytest.raises(ValueError):
+            xor_mask(9, space.full)
+
+
+class TestExtremalElements:
+    def test_minimal_maximal(self):
+        space = cube(3)
+        s = space.property_set(["001", "011", "110", "100"])
+        assert set(minimal_elements(s).labels()) == {"001", "100"}
+        assert set(maximal_elements(s).labels()) == {"011", "110"}
+
+    @given(subsets3)
+    def test_minimal_generate_up_closure(self, xs):
+        space = cube(3)
+        s = space.property_set(xs)
+        assert up_closure(minimal_elements(s)) == up_closure(s)
+
+    @given(subsets3)
+    def test_maximal_generate_down_closure(self, xs):
+        space = cube(3)
+        s = space.property_set(xs)
+        assert down_closure(maximal_elements(s)) == down_closure(s)
+
+
+class TestMonotoneMask:
+    def test_upset_downset_needs_zero_mask(self):
+        space = cube(3)
+        a = up_closure(space.property_set(["100"]))
+        b = down_closure(space.property_set(["011"]))
+        assert monotone_mask(a, b) == 0
+
+    def test_flip_found(self):
+        space = cube(3)
+        a = up_closure(space.property_set(["100"]))
+        b = down_closure(space.property_set(["011"]))
+        z = 0b101
+        flipped_a, flipped_b = xor_mask(z, a), xor_mask(z, b)
+        found = monotone_mask(flipped_a, flipped_b)
+        assert found is not None
+        assert is_up_set(xor_mask(found, flipped_a))
+        assert is_down_set(xor_mask(found, flipped_b))
+
+    def test_no_mask_exists(self):
+        space = cube(2)
+        # A = {11, 00} can never be made an up-set by coordinate flips:
+        # any mask leaves two antichain-extremes both inside.
+        a = space.property_set(["11", "00"])
+        b = space.property_set(["01"])
+        assert monotone_mask(a, b) is None
+
+    @given(subsets4, subsets4)
+    def test_mask_soundness(self, xs, ys):
+        """Whenever a mask is returned, it really works (exhaustive check)."""
+        space = cube(4)
+        a, b = space.property_set(xs), space.property_set(ys)
+        z = monotone_mask(a, b)
+        if z is not None:
+            assert is_up_set(xor_mask(z, a))
+            assert is_down_set(xor_mask(z, b))
+
+    @given(st.sets(st.integers(0, 7)), st.sets(st.integers(0, 7)))
+    def test_mask_completeness_n3(self, xs, ys):
+        """Whenever some mask works (exhaustive search), monotone_mask finds one."""
+        space = cube(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        exists = any(
+            is_up_set(xor_mask(z, a)) and is_down_set(xor_mask(z, b))
+            for z in range(8)
+        )
+        assert (monotone_mask(a, b) is not None) == exists

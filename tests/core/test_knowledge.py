@@ -1,0 +1,169 @@
+"""Tests for knowledge worlds and second-level knowledge sets (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Distribution,
+    PossibilisticKnowledge,
+    PossibilisticKnowledgeWorld,
+    ProbabilisticKnowledge,
+    ProbabilisticKnowledgeWorld,
+    WorldSpace,
+    power_set,
+)
+from repro.exceptions import EmptyKnowledgeError, InconsistentKnowledgeError
+
+
+class TestKnowledgeWorlds:
+    def test_consistency_enforced_possibilistic(self):
+        """Remark 2.3: every agent considers the actual world possible."""
+        space = WorldSpace(3)
+        PossibilisticKnowledgeWorld(1, space.property_set([0, 1]))  # fine
+        with pytest.raises(InconsistentKnowledgeError):
+            PossibilisticKnowledgeWorld(2, space.property_set([0, 1]))
+
+    def test_consistency_enforced_probabilistic(self):
+        space = WorldSpace(3)
+        d = Distribution(space, [0.5, 0.5, 0.0])
+        ProbabilisticKnowledgeWorld(0, d)  # fine
+        with pytest.raises(InconsistentKnowledgeError):
+            ProbabilisticKnowledgeWorld(2, d)
+
+    def test_probabilistic_shadow_consistency(self):
+        """(ω, P) is consistent iff (ω, supp(P)) is (Remark 2.3)."""
+        space = WorldSpace(3)
+        d = Distribution(space, [0.5, 0.5, 0.0])
+        pair = ProbabilisticKnowledgeWorld(1, d)
+        shadow = pair.possibilistic_shadow()
+        assert shadow.world == 1
+        assert shadow.knowledge == space.property_set([0, 1])
+
+
+class TestPossibilisticKnowledge:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyKnowledgeError):
+            PossibilisticKnowledge(WorldSpace(2), [])
+
+    def test_product_drops_inconsistent_pairs(self):
+        """Definition 2.5: C ⊗ Σ = (C × Σ) ∩ Ω_poss."""
+        space = WorldSpace(3)
+        candidates = space.property_set([0, 1])
+        sigma = [space.property_set([0]), space.property_set([1, 2])]
+        k = PossibilisticKnowledge.product(candidates, sigma)
+        pairs = {(p.world, p.knowledge.members) for p in k}
+        assert pairs == {
+            (0, frozenset([0])),
+            (1, frozenset([1, 2])),
+        }
+
+    def test_inconsistent_product_rejected(self):
+        space = WorldSpace(3)
+        with pytest.raises(EmptyKnowledgeError):
+            PossibilisticKnowledge.product(
+                space.property_set([0]), [space.property_set([1])]
+            )
+
+    def test_full_enumerates_omega_poss(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        # |Ω_poss| = Σ_ω #{S : ω ∈ S} = 3 · 2² = 12.
+        assert len(k) == 12
+        assert all(pair.world in pair.knowledge for pair in k)
+
+    def test_known_world(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.known_world(space, 1)
+        assert k.worlds() == space.property_set([1])
+        assert len(k) == 4  # subsets of Ω containing world 1
+
+    def test_projections(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.from_tuples(
+            space, [(0, [0, 1]), (1, [0, 1]), (2, [2])]
+        )
+        assert k.worlds() == space.property_set([0, 1, 2])
+        assert len(k.knowledge_sets()) == 2
+
+    def test_restrict(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        smaller = k.restrict(lambda pair: pair.world == 0)
+        assert smaller.worlds() == space.property_set([0])
+        assert len(smaller) == 4
+
+
+class TestIntersectionClosure:
+    def test_power_set_product_is_closed(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        assert k.is_intersection_closed()
+
+    def test_detects_open_family(self):
+        space = WorldSpace(3)
+        # {0,1} and {1,2} both paired with world 1, but {1} missing.
+        k = PossibilisticKnowledge.from_tuples(
+            space, [(1, [0, 1]), (1, [1, 2])]
+        )
+        assert not k.is_intersection_closed()
+
+    def test_closure_adds_missing_meets(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.from_tuples(space, [(1, [0, 1]), (1, [1, 2])])
+        closed = k.intersection_closure()
+        assert closed.is_intersection_closed()
+        assert PossibilisticKnowledgeWorld(1, space.property_set([1])) in closed
+        # Closure is minimal: only the one missing meet is added.
+        assert len(closed) == 3
+
+    def test_closure_idempotent(self):
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.from_tuples(
+            space, [(0, [0, 1, 2]), (0, [0, 2, 3]), (0, [0, 1, 3])]
+        )
+        once = k.intersection_closure()
+        assert once.intersection_closure() == once
+
+    def test_different_worlds_not_intersected(self):
+        """Def 4.3 only intersects sets paired with the same world."""
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.from_tuples(space, [(0, [0, 1]), (1, [1, 2])])
+        assert k.is_intersection_closed()
+
+    def test_require_raises(self):
+        from repro.exceptions import NotIntersectionClosedError
+
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.from_tuples(space, [(1, [0, 1]), (1, [1, 2])])
+        with pytest.raises(NotIntersectionClosedError):
+            k.require_intersection_closed()
+
+
+class TestProbabilisticKnowledge:
+    def test_product_drops_zero_mass_worlds(self):
+        space = WorldSpace(3)
+        d = Distribution(space, [0.5, 0.5, 0.0])
+        k = ProbabilisticKnowledge.product(space.full, [d])
+        assert len(k) == 2  # worlds 0 and 1 only
+
+    def test_empty_rejected(self):
+        space = WorldSpace(2)
+        with pytest.raises(EmptyKnowledgeError):
+            ProbabilisticKnowledge(space, [])
+
+    def test_shadow(self):
+        space = WorldSpace(3)
+        d = Distribution(space, [0.5, 0.5, 0.0])
+        k = ProbabilisticKnowledge.product(space.full, [d])
+        shadow = k.possibilistic_shadow()
+        assert all(pair.knowledge == space.property_set([0, 1]) for pair in shadow)
+
+
+class TestPowerSet:
+    def test_counts_nonempty_subsets(self):
+        assert len(power_set(WorldSpace(3))) == 7
+
+    def test_guard_against_explosion(self):
+        with pytest.raises(ValueError):
+            power_set(WorldSpace(40))

@@ -1,0 +1,148 @@
+"""Tests for K-preserving disclosures and composition (Def 3.9, Prop 3.10)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Distribution,
+    PossibilisticKnowledge,
+    ProbabilisticKnowledge,
+    WorldSpace,
+    audit_disclosure_sequence_possibilistic,
+    compose_disclosures_possibilistic,
+    compose_disclosures_probabilistic,
+    is_preserving_possibilistic,
+    is_preserving_probabilistic,
+    safe_possibilistic,
+)
+from tests.conftest import all_subsets
+
+
+class TestPossibilisticPreservation:
+    def test_full_k_preserves_everything(self):
+        """Ω_poss is preserved by every disclosure: S∩B stays a valid pair."""
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        for b in all_subsets(space):
+            if b:
+                assert is_preserving_possibilistic(k, b)
+
+    def test_remark_4_2_counterexample(self):
+        """K = Ω ⊗ {Ω} is not preserved by proper subsets."""
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.product(space.full, [space.full])
+        b = space.property_set([0, 2])
+        assert not is_preserving_possibilistic(k, b)
+        assert is_preserving_possibilistic(k, space.full)
+
+    def test_prop_3_10_part1_intersection(self):
+        """B₁, B₂ K-preserving ⇒ B₁∩B₂ K-preserving — exhaustively verified."""
+        space = WorldSpace(3)
+        sigma = [
+            space.property_set(s)
+            for s in ([0], [1], [2], [0, 1], [1, 2], [0, 2], [0, 1, 2])
+        ]
+        k = PossibilisticKnowledge.product(space.full, sigma)
+        preserving = [
+            b for b in all_subsets(space) if b and is_preserving_possibilistic(k, b)
+        ]
+        for b1, b2 in itertools.combinations(preserving, 2):
+            meet = b1 & b2
+            if meet:
+                assert is_preserving_possibilistic(k, meet), (b1, b2)
+
+    def test_prop_3_10_part2_composition(self):
+        """Safe B₁, safe B₂, one preserving ⇒ Safe(B₁∩B₂) — exhaustively verified."""
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        subsets = [b for b in all_subsets(space) if b]
+        for a in all_subsets(space):
+            for b1, b2 in itertools.product(subsets, subsets):
+                if not (b1 & b2):
+                    continue
+                composable, _ = compose_disclosures_possibilistic(k, a, b1, b2)
+                if composable:
+                    assert safe_possibilistic(k, a, b1 & b2), (a, b1, b2)
+
+    def test_composition_reports_reason(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        a = space.property_set([0])
+        unsafe_b = space.property_set([0])  # reveals A to an ignorant user? A∩B≠∅, A∪B≠Ω
+        ok, reason = compose_disclosures_possibilistic(k, a, unsafe_b, space.full)
+        assert not ok and "B1" in reason
+
+    def test_remark_4_2_composition_failure(self):
+        """Without preservation, two individually safe disclosures can compose unsafely.
+
+        The paper's Remark 4.2: Ω = {1,2,3}, K = Ω ⊗ {Ω}, A = {3};
+        B₁ = {1,3} and B₂ = {2,3} are each safe but B₁∩B₂ = {3} is not.
+        """
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.product(space.full, [space.full])
+        a = space.property_set([2])  # world "3" of the paper → id 2
+        b1 = space.property_set([0, 2])
+        b2 = space.property_set([1, 2])
+        assert safe_possibilistic(k, a, b1)
+        assert safe_possibilistic(k, a, b2)
+        assert not safe_possibilistic(k, a, b1 & b2)
+        composable, reason = compose_disclosures_possibilistic(k, a, b1, b2)
+        assert not composable and "preserving" in reason
+
+
+class TestProbabilisticPreservation:
+    def _closed_family_k(self, space):
+        """A K closed under conditioning: uniforms on every non-empty subset."""
+        family = [
+            Distribution.uniform_on(s) for s in all_subsets(space) if s
+        ]
+        return ProbabilisticKnowledge.product(space.full, family)
+
+    def test_uniform_family_is_preserved(self):
+        space = WorldSpace(3)
+        k = self._closed_family_k(space)
+        for b in all_subsets(space):
+            if b:
+                assert is_preserving_probabilistic(k, b)
+
+    def test_single_distribution_not_preserved(self):
+        space = WorldSpace(3)
+        k = ProbabilisticKnowledge.product(space.full, [Distribution.uniform(space)])
+        b = space.property_set([0, 1])
+        assert not is_preserving_probabilistic(k, b)
+
+    def test_composition_probabilistic(self):
+        space = WorldSpace(3)
+        k = self._closed_family_k(space)
+        a = space.property_set([0])
+        b1 = space.property_set([1, 2])  # disjoint from A: safe
+        b2 = space.full
+        ok, reason = compose_disclosures_probabilistic(k, a, b1, b2)
+        assert ok
+
+
+class TestDisclosureSequence:
+    def test_cumulative_intersection_audit(self):
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.full(space)
+        a = space.property_set([0])
+        b1 = space.property_set([0, 1, 2])
+        b2 = space.property_set([0, 1, 3])
+        results = audit_disclosure_sequence_possibilistic(k, a, [b1, b2])
+        assert len(results) == 2
+        cumulative, step_safe, cumulative_safe = results[-1]
+        assert cumulative == space.property_set([0, 1])
+        # Each individual step is unsafe against an unrestricted K since
+        # A∩Bᵢ ≠ ∅ and A∪Bᵢ ≠ Ω (Thm 3.11).
+        assert not step_safe and not cumulative_safe
+
+    def test_safe_sequence(self):
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.full(space)
+        a = space.property_set([0])
+        b1 = space.property_set([1, 2, 3])
+        results = audit_disclosure_sequence_possibilistic(k, a, [b1])
+        assert results[0][1] and results[0][2]

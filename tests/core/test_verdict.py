@@ -1,0 +1,42 @@
+"""Tests for the AuditVerdict/Verdict types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AuditVerdict, Verdict
+
+
+class TestVerdictEnum:
+    def test_truthiness_is_forbidden(self):
+        """Tri-state verdicts must not be used in boolean context."""
+        with pytest.raises(TypeError):
+            bool(Verdict.SAFE)
+        with pytest.raises(TypeError):
+            if Verdict.UNKNOWN:
+                pass
+
+
+class TestAuditVerdict:
+    def test_constructors(self):
+        safe = AuditVerdict.safe("cancellation", match_vectors=5)
+        assert safe.is_safe and not safe.is_unsafe and safe.is_decided
+        assert safe.details["match_vectors"] == 5
+
+        unsafe = AuditVerdict.unsafe("box-necessary", witness="prior")
+        assert unsafe.is_unsafe and unsafe.witness == "prior"
+
+        unknown = AuditVerdict.unknown("pipeline-exhausted")
+        assert not unknown.is_decided
+
+    def test_str_mentions_method_and_evidence(self):
+        safe = AuditVerdict.safe("sos", certificate=object())
+        assert "SAFE" in str(safe) and "sos" in str(safe)
+        assert "certificate" in str(safe)
+        unsafe = AuditVerdict.unsafe("optimizer", witness=object())
+        assert "UNSAFE" in str(unsafe) and "witness" in str(unsafe)
+
+    def test_equality_ignores_details(self):
+        v1 = AuditVerdict.safe("m", note=1)
+        v2 = AuditVerdict.safe("m", note=2)
+        assert v1 == v2  # details are diagnostic, not identity

@@ -1,0 +1,210 @@
+"""Tests for world spaces and the property-set algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import GridSpace, HypercubeSpace, LabeledSpace, PropertySet, WorldSpace, quadrants
+from repro.exceptions import SpaceMismatchError
+
+
+class TestWorldSpace:
+    def test_size_and_iteration(self):
+        space = WorldSpace(5)
+        assert len(space) == 5
+        assert list(space.worlds()) == [0, 1, 2, 3, 4]
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            WorldSpace(0)
+
+    def test_world_id_bounds(self):
+        space = WorldSpace(3)
+        assert space.world_id(2) == 2
+        with pytest.raises(ValueError):
+            space.world_id(3)
+        with pytest.raises(TypeError):
+            space.world_id("nope")
+
+    def test_equality_by_structure(self):
+        assert WorldSpace(4) == WorldSpace(4)
+        assert WorldSpace(4) != WorldSpace(5)
+        assert HypercubeSpace(2) != GridSpace(2, 2)  # same size, different type
+
+    def test_check_same_raises(self):
+        with pytest.raises(SpaceMismatchError):
+            WorldSpace(4).check_same(WorldSpace(5))
+
+
+class TestHypercubeSpace:
+    def test_size_is_power_of_two(self):
+        assert HypercubeSpace(4).size == 16
+
+    def test_bit_string_designators(self):
+        space = HypercubeSpace(3)
+        w = space.world_id("110")
+        assert space.world_label(w) == "110"
+        assert space.world_id((1, 1, 0)) == w
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            HypercubeSpace(3).world_id("10")
+
+    def test_refuses_huge_dimension(self):
+        with pytest.raises(ValueError):
+            HypercubeSpace(30)
+
+    def test_lattice_operations(self):
+        space = HypercubeSpace(3)
+        u, v = space.world_id("110"), space.world_id("011")
+        assert space.world_label(space.meet(u, v)) == "010"
+        assert space.world_label(space.join(u, v)) == "111"
+        assert space.leq(space.meet(u, v), u)
+        assert not space.leq(u, v)
+
+    def test_coordinate_set(self):
+        space = HypercubeSpace(3)
+        x2 = space.coordinate_set(2)
+        assert len(x2) == 4
+        assert all(space.world_label(w)[1] == "1" for w in x2)
+        with pytest.raises(ValueError):
+            space.coordinate_set(0)
+
+    def test_coordinate_names(self):
+        space = HypercubeSpace(2, coordinate_names=["hiv", "transfusion"])
+        w = space.world_id("10")
+        assert space.records_present(w) == ("hiv",)
+        with pytest.raises(ValueError):
+            HypercubeSpace(2, coordinate_names=["only-one"])
+
+    def test_subcube(self):
+        space = HypercubeSpace(3)
+        cube = space.subcube("1*0")
+        assert set(space.world_label(w) for w in cube) == {"100", "110"}
+        with pytest.raises(ValueError):
+            space.subcube("1*")
+
+
+class TestGridSpace:
+    def test_figure1_dimensions(self):
+        grid = GridSpace(14, 7)
+        assert grid.size == 98
+
+    def test_pixel_designators(self):
+        grid = GridSpace(4, 3)
+        w = grid.world_id((2, 1))
+        assert grid.coordinates(w) == (2, 1)
+        assert grid.world_label(w) == "(2,1)"
+        with pytest.raises(ValueError):
+            grid.world_id((4, 0))
+
+    def test_rectangle_membership(self):
+        grid = GridSpace(5, 5)
+        rect = grid.rectangle(1, 1, 3, 2)
+        assert len(rect) == 3 * 2
+        assert (2, 1) in rect and (0, 0) not in rect
+
+    def test_rectangle_clipped_to_grid(self):
+        grid = GridSpace(3, 3)
+        rect = grid.rectangle(1, 1, 10, 10)
+        assert len(rect) == 4
+
+    def test_rectangle_rejects_bad_corners(self):
+        with pytest.raises(ValueError):
+            GridSpace(3, 3).rectangle(2, 0, 1, 1)
+
+    def test_ellipse_contains_centre(self):
+        grid = GridSpace(10, 10)
+        ell = grid.ellipse(5, 5, 2, 3)
+        assert (5, 5) in ell
+        assert (0, 0) not in ell
+
+
+class TestLabeledSpace:
+    def test_labels(self):
+        space = LabeledSpace(["alice", "bob", "cindy"])
+        assert space.world_id("bob") == 1
+        assert space.label_of(2) == "cindy"
+
+    def test_distinct_labels_required(self):
+        with pytest.raises(ValueError):
+            LabeledSpace(["x", "x"])
+
+
+class TestPropertySetAlgebra:
+    def test_boolean_operations(self):
+        space = WorldSpace(6)
+        a = space.property_set([0, 1, 2])
+        b = space.property_set([2, 3])
+        assert sorted(a & b) == [2]
+        assert sorted(a | b) == [0, 1, 2, 3]
+        assert sorted(a - b) == [0, 1]
+        assert sorted(a ^ b) == [0, 1, 3]
+        assert sorted(~a) == [3, 4, 5]
+
+    def test_subset_comparisons(self):
+        space = WorldSpace(4)
+        small = space.property_set([1])
+        big = space.property_set([1, 2])
+        assert small <= big and small < big
+        assert big >= small and big > small
+        assert not big <= small
+
+    def test_containment_and_len(self):
+        space = WorldSpace(4)
+        a = space.property_set([0, 3])
+        assert 0 in a and 1 not in a
+        assert len(a) == 2 and bool(a)
+        assert not space.empty
+
+    def test_full_and_empty(self):
+        space = WorldSpace(3)
+        assert space.full.is_full()
+        assert not space.empty.is_full()
+        assert (~space.empty) == space.full
+
+    def test_cross_space_operations_rejected(self):
+        a = WorldSpace(3).full
+        b = WorldSpace(4).full
+        with pytest.raises(SpaceMismatchError):
+            _ = a & b
+
+    def test_hashable_and_eq(self):
+        space = WorldSpace(4)
+        assert space.property_set([1, 2]) == space.property_set([2, 1])
+        assert len({space.property_set([1]), space.property_set([1])}) == 1
+
+    def test_repr_small_and_large(self):
+        space = WorldSpace(12)
+        assert "PropertySet" in repr(space.property_set([1]))
+        assert "..." in repr(space.property_set(range(12)))
+
+    def test_out_of_range_member_rejected(self):
+        with pytest.raises(ValueError):
+            PropertySet(WorldSpace(2), [5])
+
+
+class TestQuadrants:
+    def test_partition(self):
+        space = HypercubeSpace(3)
+        a = space.property_set(["011", "100", "110", "111"])
+        b = space.property_set(["010", "101", "110", "111"])
+        ab, a_not_b, not_a_b, neither = quadrants(a, b)
+        assert sorted(ab.labels()) == ["110", "111"]
+        assert sorted(a_not_b.labels()) == ["011", "100"]
+        assert sorted(not_a_b.labels()) == ["010", "101"]
+        assert sorted(neither.labels()) == ["000", "001"]
+        union = ab | a_not_b | not_a_b | neither
+        assert union.is_full()
+
+    @given(st.sets(st.integers(0, 7)), st.sets(st.integers(0, 7)))
+    def test_quadrants_always_partition(self, xs, ys):
+        space = HypercubeSpace(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        cells = quadrants(a, b)
+        assert sum(len(c) for c in cells) == space.size
+        for i, c1 in enumerate(cells):
+            for c2 in cells[i + 1 :]:
+                assert c1.isdisjoint(c2)

@@ -1,0 +1,105 @@
+"""Tests for schemas, the database, and record-level views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import ColumnType, Database, TableSchema
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def hospital():
+    db = Database()
+    db.create_table(
+        TableSchema.build(
+            "patients",
+            name=ColumnType.TEXT,
+            age=ColumnType.INTEGER,
+            hiv=ColumnType.BOOLEAN,
+        )
+    )
+    return db
+
+
+class TestSchema:
+    def test_build_and_lookup(self):
+        schema = TableSchema.build("t", a=ColumnType.TEXT, b=ColumnType.INTEGER)
+        assert schema.column_names == ("a", "b")
+        assert schema.column_type("b") is ColumnType.INTEGER
+        with pytest.raises(QueryError):
+            schema.column_type("c")
+
+    def test_invalid_names(self):
+        with pytest.raises(QueryError):
+            TableSchema.build("bad name", a=ColumnType.TEXT)
+        with pytest.raises(QueryError):
+            TableSchema.build("t")
+
+    def test_type_validation(self):
+        assert ColumnType.TEXT.validate("x") == "x"
+        assert ColumnType.REAL.validate(3) == 3.0
+        assert ColumnType.BOOLEAN.validate(True) is True
+        with pytest.raises(QueryError):
+            ColumnType.INTEGER.validate(True)  # bools are not ints here
+        with pytest.raises(QueryError):
+            ColumnType.TEXT.validate(5)
+
+    def test_row_validation(self):
+        schema = TableSchema.build("t", a=ColumnType.TEXT, b=ColumnType.INTEGER)
+        assert schema.validate_row({"a": "x", "b": 1}) == {"a": "x", "b": 1}
+        with pytest.raises(QueryError):
+            schema.validate_row({"a": "x"})
+        with pytest.raises(QueryError):
+            schema.validate_row({"a": "x", "b": 1, "c": 2})
+
+
+class TestDatabase:
+    def test_insert_and_rows(self, hospital):
+        rec = hospital.insert("patients", name="Bob", age=42, hiv=True)
+        assert rec["name"] == "Bob"
+        assert hospital.rows("patients") == (rec,)
+        assert hospital.record(rec.record_id) == rec
+
+    def test_duplicate_table_rejected(self, hospital):
+        with pytest.raises(QueryError):
+            hospital.create_table(TableSchema.build("patients", x=ColumnType.TEXT))
+
+    def test_unknown_table(self, hospital):
+        with pytest.raises(QueryError):
+            hospital.rows("nope")
+
+    def test_record_ids_are_unique(self, hospital):
+        a = hospital.insert("patients", name="A", age=1, hiv=False)
+        b = hospital.insert("patients", name="B", age=2, hiv=False)
+        assert a.record_id != b.record_id
+
+    def test_hypothetical_record_not_inserted(self, hospital):
+        ghost = hospital.hypothetical_record("patients", name="X", age=9, hiv=True)
+        assert ghost not in hospital.all_records()
+        assert ghost.record_id not in {r.record_id for r in hospital.all_records()}
+
+    def test_record_column_access(self, hospital):
+        rec = hospital.insert("patients", name="Bob", age=42, hiv=True)
+        with pytest.raises(QueryError):
+            rec["salary"]
+
+
+class TestViews:
+    def test_view_membership(self, hospital):
+        a = hospital.insert("patients", name="A", age=1, hiv=False)
+        b = hospital.insert("patients", name="B", age=2, hiv=True)
+        view = hospital.view([a])
+        assert view.contains(a) and not view.contains(b)
+        assert view.rows("patients") == (a,)
+        assert len(view) == 1
+
+    def test_actual_view(self, hospital):
+        a = hospital.insert("patients", name="A", age=1, hiv=False)
+        b = hospital.insert("patients", name="B", age=2, hiv=True)
+        assert set(hospital.actual_view().rows("patients")) == {a, b}
+
+    def test_view_with_hypothetical_record(self, hospital):
+        ghost = hospital.hypothetical_record("patients", name="X", age=9, hiv=True)
+        view = hospital.view([ghost])
+        assert view.contains(ghost)

@@ -1,0 +1,183 @@
+"""Tests for the query AST, the SQL-ish parser, and evaluation semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    AtLeast,
+    ColumnType,
+    Comparison,
+    ContainsRecord,
+    Database,
+    Exists,
+    Implies,
+    Literal,
+    Select,
+    TableSchema,
+    column_eq,
+    parse_boolean_query,
+    parse_select_query,
+)
+from repro.db.query import ColumnCompare, RowTrue
+from repro.exceptions import ParseError, QueryError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        TableSchema.build(
+            "visits",
+            patient=ColumnType.TEXT,
+            year=ColumnType.INTEGER,
+            hiv=ColumnType.BOOLEAN,
+        )
+    )
+    database.insert("visits", patient="Bob", year=2005, hiv=False)
+    database.insert("visits", patient="Bob", year=2007, hiv=True)
+    database.insert("visits", patient="Eve", year=2006, hiv=False)
+    return database
+
+
+class TestRowPredicates:
+    def test_comparisons(self, db):
+        rows = db.rows("visits")
+        pred = ColumnCompare("year", Comparison.GE, 2006)
+        assert [pred.matches(r) for r in rows] == [False, True, True]
+
+    def test_connectives(self, db):
+        rows = db.rows("visits")
+        pred = column_eq("patient", "Bob") & ColumnCompare("hiv", Comparison.EQ, True)
+        assert sum(pred.matches(r) for r in rows) == 1
+        pred_or = column_eq("patient", "Eve") | column_eq("patient", "Bob")
+        assert all(pred_or.matches(r) for r in rows)
+        assert not (~pred_or).matches(rows[0])
+
+    def test_incomparable_types(self, db):
+        pred = ColumnCompare("patient", Comparison.LT, 5)
+        with pytest.raises(QueryError):
+            pred.matches(db.rows("visits")[0])
+
+
+class TestBooleanQueries:
+    def test_exists(self, db):
+        query = Exists("visits", column_eq("patient", "Bob"))
+        assert query.evaluate(db.actual_view())
+        empty = db.view([])
+        assert not query.evaluate(empty)
+
+    def test_at_least(self, db):
+        query = AtLeast("visits", RowTrue(), 3)
+        assert query.evaluate(db.actual_view())
+        assert not AtLeast("visits", RowTrue(), 4).evaluate(db.actual_view())
+
+    def test_contains_record(self, db):
+        rec = db.rows("visits")[0]
+        query = ContainsRecord(rec)
+        assert query.evaluate(db.actual_view())
+        assert not query.evaluate(db.view(db.rows("visits")[1:]))
+
+    def test_implies_semantics(self, db):
+        hiv = Exists("visits", column_eq("hiv", True))
+        eve = Exists("visits", column_eq("patient", "Eve"))
+        query = hiv.implies(eve)
+        assert query.evaluate(db.actual_view())
+        # Remove Eve: antecedent true, consequent false.
+        only_bob = db.view([r for r in db.rows("visits") if r["patient"] == "Bob"])
+        assert not query.evaluate(only_bob)
+        # Remove all HIV rows: antecedent false ⇒ implication true.
+        no_hiv = db.view([r for r in db.rows("visits") if not r["hiv"]])
+        assert query.evaluate(no_hiv)
+
+    def test_connective_composition(self, db):
+        t, f = Literal(True), Literal(False)
+        view = db.actual_view()
+        assert (t & t).evaluate(view)
+        assert not (t & f).evaluate(view)
+        assert (t | f).evaluate(view)
+        assert (~f).evaluate(view)
+
+
+class TestSelect:
+    def test_projection(self, db):
+        query = Select("visits", column_eq("patient", "Bob"), columns=("year",))
+        assert query.evaluate(db.actual_view()) == frozenset({(2005,), (2007,)})
+
+    def test_star(self, db):
+        query = Select("visits", column_eq("patient", "Eve"))
+        results = query.evaluate(db.actual_view())
+        assert results == frozenset({("Eve", 2006, False)})
+
+    def test_output_changes_with_view(self, db):
+        query = Select("visits", RowTrue(), columns=("patient",))
+        full = query.evaluate(db.actual_view())
+        partial = query.evaluate(db.view(db.rows("visits")[:1]))
+        assert partial < full
+
+
+class TestParser:
+    def test_exists_roundtrip(self, db):
+        query = parse_boolean_query(
+            "EXISTS(SELECT * FROM visits WHERE patient = 'Bob' AND hiv = TRUE)"
+        )
+        assert isinstance(query, Exists)
+        assert query.evaluate(db.actual_view())
+
+    def test_implies_parsing(self, db):
+        query = parse_boolean_query(
+            "EXISTS(SELECT * FROM visits WHERE hiv = TRUE) IMPLIES "
+            "EXISTS(SELECT * FROM visits WHERE patient = 'Eve')"
+        )
+        assert isinstance(query, Implies)
+        assert query.evaluate(db.actual_view())
+
+    def test_count_parsing(self, db):
+        query = parse_boolean_query("COUNT(visits WHERE patient = 'Bob') >= 2")
+        assert isinstance(query, AtLeast)
+        assert query.evaluate(db.actual_view())
+
+    def test_not_and_parentheses(self, db):
+        query = parse_boolean_query(
+            "NOT (EXISTS(SELECT * FROM visits WHERE year > 2010) OR FALSE)"
+        )
+        assert query.evaluate(db.actual_view())
+
+    def test_operator_precedence(self):
+        # AND binds tighter than OR; IMPLIES is loosest.
+        query = parse_boolean_query("TRUE OR FALSE AND FALSE IMPLIES FALSE")
+        # Parsed as (TRUE OR (FALSE AND FALSE)) IMPLIES FALSE = FALSE.
+        db = Database()
+        db.create_table(TableSchema.build("t", a=ColumnType.TEXT))
+        assert not query.evaluate(db.actual_view())
+
+    def test_select_parsing(self, db):
+        query = parse_select_query(
+            "SELECT patient, year FROM visits WHERE hiv = FALSE AND year <= 2006"
+        )
+        assert query.columns == ("patient", "year")
+        results = query.evaluate(db.actual_view())
+        assert results == frozenset({("Bob", 2005), ("Eve", 2006)})
+
+    def test_string_escapes(self):
+        query = parse_select_query(r"SELECT * FROM t WHERE name = 'O\'Brien'")
+        assert query.predicate.value == "O'Brien"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "EXISTS(SELECT * FROM )",
+            "SELECT FROM t",
+            "COUNT(t) >= 'x'",
+            "TRUE AND",
+            "EXISTS(SELECT * FROM t) garbage",
+            "WHERE x = 1",
+        ],
+    )
+    def test_malformed_queries_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_boolean_query(bad)
+
+    def test_real_literals(self, db):
+        query = parse_boolean_query("EXISTS(SELECT * FROM visits WHERE year >= 2006.5)")
+        assert query.evaluate(db.actual_view())

@@ -1,0 +1,171 @@
+"""Round-trip tests for SQL rendering: AST → text → AST."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    AtLeast,
+    ColumnCompare,
+    Comparison,
+    ContainsRecord,
+    Exists,
+    Implies,
+    Literal,
+    Select,
+    column_eq,
+    parse_boolean_query,
+    parse_select_query,
+    render_select,
+    to_sql,
+)
+from repro.db.query import RowAnd, RowNot, RowOr, RowTrue
+from repro.exceptions import QueryError
+
+
+# -- strategies building random parseable ASTs --------------------------------
+
+_columns = st.sampled_from(["age", "name", "ward"])
+_ops = st.sampled_from(list(Comparison))
+_values = st.one_of(
+    st.integers(-100, 100),
+    st.booleans(),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters="\\"),
+        max_size=8,
+    ),
+)
+
+_comparisons = st.builds(ColumnCompare, _columns, _ops, _values)
+
+_predicates = st.recursive(
+    _comparisons,
+    lambda inner: st.one_of(
+        st.builds(RowAnd, inner, inner),
+        st.builds(RowOr, inner, inner),
+        st.builds(RowNot, inner),
+    ),
+    max_leaves=5,
+)
+
+_atoms = st.one_of(
+    st.builds(Exists, st.sampled_from(["patients", "visits"]), _predicates),
+    st.builds(
+        AtLeast,
+        st.sampled_from(["patients", "visits"]),
+        _predicates,
+        st.integers(0, 5),
+    ),
+    st.builds(Literal, st.booleans()),
+)
+
+_boolean_queries = st.recursive(
+    _atoms,
+    lambda inner: st.one_of(
+        st.builds(lambda q: ~q, inner),
+        st.builds(lambda a, b: a & b, inner, inner),
+        st.builds(lambda a, b: a | b, inner, inner),
+        st.builds(Implies, inner, inner),
+    ),
+    max_leaves=5,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(_boolean_queries)
+    def test_boolean_query_round_trip(self, query):
+        text = to_sql(query)
+        reparsed = parse_boolean_query(text)
+        assert to_sql(reparsed) == text  # canonical after one round
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.sampled_from(["patients", "visits"]),
+        _predicates,
+        st.lists(_columns, max_size=2, unique=True),
+    )
+    def test_select_round_trip(self, table, predicate, columns):
+        select = Select(table=table, predicate=predicate, columns=tuple(columns))
+        text = render_select(select)
+        reparsed = parse_select_query(text)
+        assert render_select(reparsed) == text
+
+    def test_select_star_without_where(self):
+        select = Select(table="t", predicate=RowTrue())
+        assert render_select(select) == "SELECT * FROM t"
+        assert render_select(parse_select_query("SELECT * FROM t")) == "SELECT * FROM t"
+
+
+class TestSemanticsPreserved:
+    @settings(max_examples=60, deadline=None)
+    @given(_boolean_queries)
+    def test_round_trip_preserves_evaluation(self, query):
+        """The reparsed query evaluates identically on a concrete database."""
+        from repro.db import ColumnType, Database, TableSchema
+
+        db = Database()
+        db.create_table(
+            TableSchema.build(
+                "patients",
+                age=ColumnType.INTEGER,
+                name=ColumnType.TEXT,
+                ward=ColumnType.INTEGER,
+            )
+        )
+        db.create_table(
+            TableSchema.build(
+                "visits",
+                age=ColumnType.INTEGER,
+                name=ColumnType.TEXT,
+                ward=ColumnType.INTEGER,
+            )
+        )
+        db.insert("patients", age=30, name="Bob", ward=3)
+        db.insert("visits", age=44, name="Eve", ward=1)
+        view = db.actual_view()
+        reparsed = parse_boolean_query(to_sql(query))
+        try:
+            expected = query.evaluate(view)
+        except QueryError:
+            # Type-incomparable literals raise identically on both sides.
+            with pytest.raises(QueryError):
+                reparsed.evaluate(view)
+            return
+        assert reparsed.evaluate(view) == expected
+
+
+class TestUnrenderable:
+    def test_contains_record_raises(self):
+        from repro.db import ColumnType, Database, TableSchema
+
+        db = Database()
+        db.create_table(TableSchema.build("t", x=ColumnType.INTEGER))
+        record = db.insert("t", x=1)
+        with pytest.raises(QueryError):
+            to_sql(ContainsRecord(record))
+
+
+class TestScenarioRoundTrip:
+    def test_dump_then_load_is_behaviourally_identical(self):
+        import json
+
+        from repro.audit import OfflineAuditor
+        from repro.io import dump_scenario, example_scenario_document, load_scenario
+
+        original = load_scenario(example_scenario_document())
+        document = dump_scenario(original)
+        json.dumps(document)  # must be JSON-serialisable
+        reloaded = load_scenario(document)
+        report_a = OfflineAuditor(original.universe, original.policy).audit_log(
+            original.log
+        )
+        report_b = OfflineAuditor(reloaded.universe, reloaded.policy).audit_log(
+            reloaded.log
+        )
+        assert [f.verdict.status for f in report_a.findings] == [
+            f.verdict.status for f in report_b.findings
+        ]
+        assert report_a.suspicious_users == report_b.suspicious_users

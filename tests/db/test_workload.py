@@ -1,0 +1,85 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import AuditPolicy, OfflineAuditor, PriorAssumption
+from repro.db import generate_disclosure_log, generate_registry, generate_workload
+from repro.db.compile import CandidateUniverse
+
+
+class TestGenerateRegistry:
+    def test_deterministic_under_seed(self):
+        db1, c1 = generate_registry(seed=7)
+        db2, c2 = generate_registry(seed=7)
+        assert [r.values for r in c1] == [r.values for r in c2]
+
+    def test_different_seeds_differ(self):
+        _, c1 = generate_registry(seed=1, n_patients=6)
+        _, c2 = generate_registry(seed=2, n_patients=6)
+        assert [r.values for r in c1] != [r.values for r in c2]
+
+    def test_hypothetical_records_not_inserted(self):
+        db, candidates = generate_registry(n_hypothetical=2, seed=3)
+        inserted = set(db.all_records())
+        hypothetical = [r for r in candidates if r not in inserted]
+        assert len(hypothetical) == 2
+
+    def test_candidate_cap(self):
+        db, candidates = generate_registry(
+            n_patients=16, n_hypothetical=2, diagnosis_probability=1.0, seed=0
+        )
+        assert len(candidates) <= 16
+
+    def test_never_empty_actual_world(self):
+        db, candidates = generate_registry(
+            n_patients=2, diagnosis_probability=0.0, seed=0
+        )
+        assert len(db.all_records()) >= 1
+
+
+class TestGenerateLog:
+    def test_event_count_and_users(self):
+        db, candidates = generate_registry(seed=5)
+        universe = CandidateUniverse(db, candidates)
+        log = generate_disclosure_log(universe, n_events=10, n_users=3, seed=5)
+        assert len(log) == 10
+        assert all(e.user.startswith("user") for e in log)
+
+    def test_queries_evaluate(self):
+        db, candidates = generate_registry(seed=6)
+        universe = CandidateUniverse(db, candidates)
+        log = generate_disclosure_log(universe, n_events=20, seed=6)
+        view = db.actual_view()
+        for event in log:
+            assert event.query.evaluate(view) in (True, False)
+
+    def test_deterministic(self):
+        db, candidates = generate_registry(seed=8)
+        universe = CandidateUniverse(db, candidates)
+        log1 = generate_disclosure_log(universe, seed=9)
+        log2 = generate_disclosure_log(universe, seed=9)
+        assert [str(e.query) for e in log1] == [str(e.query) for e in log2]
+
+
+class TestGenerateWorkload:
+    def test_end_to_end_auditable(self):
+        workload = generate_workload(seed=11)
+        policy = AuditPolicy(
+            audit_query=workload.audit_query,
+            assumption=PriorAssumption.PRODUCT,
+        )
+        report = OfflineAuditor(workload.universe, policy).audit_log(workload.log)
+        assert len(report.findings) == len(workload.log)
+        assert all(f.verdict.is_decided for f in report.findings)
+
+    def test_audit_query_is_true_in_actual_world(self):
+        workload = generate_workload(seed=12)
+        assert workload.audit_query.evaluate(workload.database.actual_view())
+
+    def test_sensitive_target_metadata(self):
+        workload = generate_workload(seed=13)
+        target = workload.universe.candidates[0]
+        assert target["patient"] == workload.sensitive_patient
+        assert target["disease"] == workload.sensitive_disease

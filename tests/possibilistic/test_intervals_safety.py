@@ -1,0 +1,270 @@
+"""Cross-validation of the Section 4 interval machinery against Definition 3.1.
+
+The central property: for ∩-closed K, Propositions 4.5/4.8 and Corollary 4.12
+all agree with the literal privacy definition, on exhaustive small cases and
+hypothesis-generated random families.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PossibilisticKnowledge,
+    WorldSpace,
+    safe_possibilistic,
+)
+from repro.exceptions import NotIntersectionClosedError
+from repro.possibilistic import (
+    ExplicitFamily,
+    ExplicitIntervalIndex,
+    FamilyIntervalOracle,
+    PossibilisticAuditor,
+    PowerSetFamily,
+    SafetyMarginIndex,
+    brute_force_audit,
+    interval_partition,
+    minimal_intervals_to,
+    safe_via_intervals,
+    safe_via_minimal_intervals,
+    safe_via_partition,
+)
+from tests.conftest import all_subsets
+
+
+def closed_knowledge(space, raw_sets, candidate_worlds=None):
+    """Build an ∩-closed K = C ⊗ closure(Σ) from raw member sets."""
+    family = ExplicitFamily(
+        space, [space.property_set(s) for s in raw_sets]
+    ).intersection_closure()
+    candidates = (
+        space.full if candidate_worlds is None else space.property_set(candidate_worlds)
+    )
+    return PossibilisticKnowledge.product(candidates, list(family))
+
+
+class TestIntervalIndex:
+    def test_requires_closed(self):
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.from_tuples(space, [(1, [0, 1]), (1, [1, 2])])
+        with pytest.raises(NotIntersectionClosedError):
+            ExplicitIntervalIndex(k)
+
+    def test_interval_values(self):
+        space = WorldSpace(4)
+        k = closed_knowledge(space, [[0, 1, 2], [1, 2, 3]])
+        index = ExplicitIntervalIndex(k)
+        # Smallest S containing both 1 and 2 is {1,2} (the closure meet).
+        assert index.interval(1, 2) == space.property_set([1, 2])
+        # From world 0, only {0,1,2} is available.
+        assert index.interval(0, 2) == space.property_set([0, 1, 2])
+        assert index.interval(0, 3) is None  # no member holds both 0 and 3
+
+    def test_interval_requires_pair_in_k(self):
+        space = WorldSpace(4)
+        k = closed_knowledge(space, [[0, 1]], candidate_worlds=[0])
+        index = ExplicitIntervalIndex(k)
+        assert index.interval(1, 0) is None  # world 1 ∉ C, so (1, S) ∉ K
+
+    def test_storage_bound(self):
+        space = WorldSpace(4)
+        k = closed_knowledge(space, [[0, 1]])
+        assert ExplicitIntervalIndex(k).storage_bound_bits() == 64
+
+    def test_family_oracle_matches_explicit(self):
+        space = WorldSpace(5)
+        raw = [[0, 1, 2], [2, 3], [1, 2, 3, 4], [0, 4]]
+        family = ExplicitFamily(
+            space, [space.property_set(s) for s in raw]
+        ).intersection_closure()
+        candidates = space.property_set([0, 2, 4])
+        k = PossibilisticKnowledge.product(candidates, list(family))
+        explicit = ExplicitIntervalIndex(k)
+        from_family = FamilyIntervalOracle(candidates, family)
+        for w1 in space.worlds():
+            for w2 in space.worlds():
+                assert explicit.interval(w1, w2) == from_family.interval(w1, w2)
+
+
+class TestTightIntervals:
+    def test_power_set_family_is_tight(self):
+        space = WorldSpace(4)
+        oracle = FamilyIntervalOracle(space.full, PowerSetFamily(space))
+        assert oracle.has_tight_intervals()
+
+    def test_remark_4_2_family_is_not_tight(self):
+        """K = Ω ⊗ {Ω} over 3 worlds: the counterexample of Remark 4.2."""
+        space = WorldSpace(3)
+        family = ExplicitFamily(space, [space.full])
+        oracle = FamilyIntervalOracle(space.full, family)
+        assert not oracle.has_tight_intervals()
+
+
+class TestMinimalIntervals:
+    def test_minimal_intervals_power_set(self):
+        """For Σ = P(Ω), I(ω₁, ω₂) = {ω₁, ω₂}: every target world is minimal."""
+        space = WorldSpace(5)
+        oracle = FamilyIntervalOracle(space.full, PowerSetFamily(space))
+        target = space.property_set([2, 3, 4])
+        items = minimal_intervals_to(oracle, 0, target)
+        assert len(items) == 3
+        for item in items:
+            assert len(item.interval) == 2
+
+    def test_partition_properties(self):
+        space = WorldSpace(5)
+        k = closed_knowledge(space, [[0, 1, 2], [0, 2, 3], [0, 3, 4]])
+        oracle = ExplicitIntervalIndex(k)
+        target = space.property_set([1, 3, 4])
+        partition = interval_partition(oracle, 0, target)
+        assert partition.is_partition_of(target)
+
+    def test_unreachable_class(self):
+        space = WorldSpace(4)
+        # From world 0 only {0,1} is available: world 3 is unreachable.
+        k = closed_knowledge(space, [[0, 1], [2, 3]])
+        oracle = ExplicitIntervalIndex(k)
+        target = space.property_set([1, 3])
+        partition = interval_partition(oracle, 0, target)
+        assert partition.unreachable == space.property_set([3])
+
+
+@st.composite
+def random_family_setup(draw):
+    """A random ∩-closed (C, Σ) over a 5-world space, plus A and B."""
+    space_size = 5
+    raw_sets = draw(
+        st.lists(
+            st.sets(st.integers(0, space_size - 1), min_size=1),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    a_members = draw(st.sets(st.integers(0, space_size - 1)))
+    b_members = draw(st.sets(st.integers(0, space_size - 1), min_size=1))
+    return raw_sets, a_members, b_members
+
+
+class TestSafetyEquivalences:
+    """Props 4.5, 4.8 and Cor 4.12 all agree with Definition 3.1."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(random_family_setup())
+    def test_interval_criteria_match_definition(self, setup):
+        raw_sets, a_members, b_members = setup
+        space = WorldSpace(5)
+        k = closed_knowledge(space, raw_sets)
+        oracle = ExplicitIntervalIndex(k)
+        a = space.property_set(a_members)
+        b = space.property_set(b_members)
+        expected = safe_possibilistic(k, a, b)
+        assert safe_via_intervals(oracle, a, b) == expected
+        assert safe_via_minimal_intervals(oracle, a, b) == expected
+        assert safe_via_partition(oracle, a, b) == expected
+
+    def test_exhaustive_three_worlds(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        oracle = ExplicitIntervalIndex(k)
+        for a in all_subsets(space):
+            for b in all_subsets(space):
+                if not b:
+                    continue
+                expected = safe_possibilistic(k, a, b)
+                assert safe_via_minimal_intervals(oracle, a, b) == expected, (a, b)
+
+
+class TestSafetyMargins:
+    def test_margin_exact_for_tight_intervals(self):
+        """Cor 4.14 over Σ = P(Ω): margin test ⇔ Definition 3.1, exhaustively."""
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        oracle = ExplicitIntervalIndex(k)
+        for a in all_subsets(space):
+            index = SafetyMarginIndex(oracle, a)
+            assert index.is_exact
+            for b in all_subsets(space):
+                if not b:
+                    continue
+                assert index.test(b) == safe_possibilistic(k, a, b), (a, b)
+
+    def test_margin_values_power_set(self):
+        """For Σ = P(Ω): β(ω) = Ā whenever A ≠ Ω (every outside world is a margin)."""
+        space = WorldSpace(4)
+        oracle = FamilyIntervalOracle(space.full, PowerSetFamily(space))
+        a = space.property_set([0, 1])
+        index = SafetyMarginIndex(oracle, a)
+        assert index.margin(0) == ~a
+
+    def test_margin_requires_tightness_by_default(self):
+        space = WorldSpace(3)
+        family = ExplicitFamily(space, [space.full])
+        oracle = FamilyIntervalOracle(space.full, family)
+        a = space.property_set([2])
+        with pytest.raises(NotIntersectionClosedError):
+            SafetyMarginIndex(oracle, a)
+        # Sufficient-only mode still sound: test(B) ⇒ Safe.
+        index = SafetyMarginIndex(oracle, a, require_tight=False)
+        assert not index.is_exact
+        k = PossibilisticKnowledge.product(space.full, [space.full])
+        for b in all_subsets(space):
+            if b and index.test(b):
+                assert safe_possibilistic(k, a, b)
+
+    def test_margin_rejects_world_outside_a(self):
+        space = WorldSpace(3)
+        oracle = FamilyIntervalOracle(space.full, PowerSetFamily(space))
+        index = SafetyMarginIndex(oracle, space.property_set([0]))
+        with pytest.raises(ValueError):
+            index.margin(1)
+
+    def test_audit_verdicts(self):
+        space = WorldSpace(3)
+        oracle = FamilyIntervalOracle(space.full, PowerSetFamily(space))
+        a = space.property_set([0])
+        index = SafetyMarginIndex(oracle, a)
+        safe_b = space.full
+        unsafe_b = space.property_set([0, 1])
+        assert index.audit(safe_b).is_safe
+        verdict = index.audit(unsafe_b)
+        assert verdict.is_unsafe and verdict.witness is not None
+
+
+class TestPossibilisticAuditor:
+    def test_matches_brute_force_randomised(self):
+        rnd = random.Random(42)
+        space = WorldSpace(5)
+        raw_sets = [[0, 1, 2], [1, 2, 3, 4], [0, 3], [2, 4]]
+        k = closed_knowledge(space, raw_sets)
+        auditor = PossibilisticAuditor.from_knowledge(k)
+        for _ in range(60):
+            a = space.property_set([w for w in space.worlds() if rnd.random() < 0.5])
+            b = space.property_set(
+                [w for w in space.worlds() if rnd.random() < 0.6] or [0]
+            )
+            expected = brute_force_audit(k, a, b)
+            got = auditor.audit(a, b)
+            assert got.status == expected.status, (a, b)
+            assert auditor.audit_uncached(a, b).status == expected.status
+
+    def test_audit_many_amortisation(self):
+        space = WorldSpace(4)
+        auditor = PossibilisticAuditor.from_family(space.full, PowerSetFamily(space))
+        a = space.property_set([0])
+        disclosures = [space.full, space.property_set([0, 1]), ~a]
+        verdicts = auditor.audit_many(a, disclosures)
+        assert [v.is_safe for v in verdicts] == [True, False, True]
+
+    def test_unsafe_witness_is_actionable(self):
+        space = WorldSpace(4)
+        auditor = PossibilisticAuditor.from_family(space.full, PowerSetFamily(space))
+        a = space.property_set([0, 1])
+        b = space.property_set([0, 2])
+        verdict = auditor.audit(a, b)
+        assert verdict.is_unsafe
+        # The witness class is a region of Ā that B misses entirely.
+        assert verdict.witness.isdisjoint(b)

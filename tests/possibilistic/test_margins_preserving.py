@@ -1,0 +1,118 @@
+"""Proposition 4.1's two directions: margins, preservation, and the converse.
+
+The forward direction (12) — margin condition ⇒ safety — holds for all B.
+The converse (13) holds only for K-preserving B (Remark 4.2's counterexample
+shows it fails otherwise).  These tests exercise both directions against
+the literal definitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PossibilisticKnowledge,
+    WorldSpace,
+    is_preserving_possibilistic,
+    safe_possibilistic,
+)
+from repro.possibilistic import (
+    ExplicitFamily,
+    ExplicitIntervalIndex,
+    FamilyIntervalOracle,
+    PowerSetFamily,
+    SafetyMarginIndex,
+    SubcubeFamily,
+)
+from tests.conftest import all_subsets
+
+
+def closed_k(space, raw_sets):
+    family = ExplicitFamily(
+        space, [space.property_set(s) for s in raw_sets]
+    ).intersection_closure()
+    return PossibilisticKnowledge.product(space.full, list(family))
+
+
+class TestProposition41Forward:
+    """(12): margin condition ⇒ Safe_K(A, B), for arbitrary B."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.sets(st.integers(0, 4), min_size=1), min_size=1, max_size=4),
+        st.sets(st.integers(0, 4)),
+        st.sets(st.integers(0, 4), min_size=1),
+    )
+    def test_margin_implies_safe(self, raw_sets, a_members, b_members):
+        space = WorldSpace(5)
+        k = closed_k(space, raw_sets)
+        oracle = ExplicitIntervalIndex(k)
+        a = space.property_set(a_members)
+        b = space.property_set(b_members)
+        index = SafetyMarginIndex(oracle, a, require_tight=False)
+        if index.test(b):
+            assert safe_possibilistic(k, a, b)
+
+
+class TestProposition41Converse:
+    """(13): for K-preserving B, Safe_K(A, B) ⇒ margin condition."""
+
+    def test_converse_on_preserving_disclosures(self):
+        space = WorldSpace(4)
+        # The subcube family over a tiny hypercube is ∩-closed and its
+        # product with Ω is preserved by subcube-shaped disclosures.
+        from repro.core import HypercubeSpace
+
+        cube = HypercubeSpace(2)
+        family = SubcubeFamily(cube)
+        k = PossibilisticKnowledge.product(cube.full, list(family))
+        oracle = FamilyIntervalOracle(cube.full, family)
+        for a in all_subsets(cube):
+            index = SafetyMarginIndex(oracle, a, require_tight=False)
+            for b in all_subsets(cube):
+                if not b or not is_preserving_possibilistic(k, b):
+                    continue
+                if safe_possibilistic(k, a, b):
+                    assert index.test(b), (a, b)
+
+    def test_converse_fails_without_preservation(self):
+        """Remark 4.2: no β works for B₁, B₂ that are not K-preserving."""
+        space = WorldSpace(3)
+        family = ExplicitFamily(space, [space.full])
+        k = PossibilisticKnowledge.product(space.full, [space.full])
+        oracle = FamilyIntervalOracle(space.full, family)
+        a = space.property_set([2])
+        b1 = space.property_set([0, 2])
+        b2 = space.property_set([1, 2])
+        assert safe_possibilistic(k, a, b1)
+        assert safe_possibilistic(k, a, b2)
+        assert not is_preserving_possibilistic(k, b1)
+        index = SafetyMarginIndex(oracle, a, require_tight=False)
+        # The margin test must reject at least one of the two safe B's —
+        # otherwise (12) would certify their (unsafe) intersection too.
+        assert not (index.test(b1) and index.test(b2))
+
+
+class TestPreservingFamilies:
+    def test_power_set_product_preserved_by_everything(self):
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.product(
+            space.full, list(PowerSetFamily(space))
+        )
+        for b in all_subsets(space):
+            if b:
+                assert is_preserving_possibilistic(k, b)
+
+    def test_subcube_product_preserved_by_subcubes_only(self):
+        from repro.core import HypercubeSpace
+
+        cube = HypercubeSpace(2)
+        family = SubcubeFamily(cube)
+        k = PossibilisticKnowledge.product(cube.full, list(family))
+        assert is_preserving_possibilistic(k, cube.subcube("1*"))
+        non_subcube = cube.property_set(["00", "11"])
+        assert not is_preserving_possibilistic(k, non_subcube)

@@ -1,0 +1,126 @@
+"""Property-based invariants of the minimal-interval machinery (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PossibilisticKnowledge, WorldSpace, safe_possibilistic
+from repro.possibilistic import (
+    ExplicitFamily,
+    ExplicitIntervalIndex,
+    interval_partition,
+    minimal_intervals_to,
+)
+
+
+@st.composite
+def closed_setup(draw):
+    raw_sets = draw(
+        st.lists(
+            st.sets(st.integers(0, 4), min_size=1),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    origin_pool = sorted(set().union(*raw_sets))
+    origin = draw(st.sampled_from(origin_pool))
+    target = draw(st.sets(st.integers(0, 4)))
+    return raw_sets, origin, target
+
+
+def build_oracle(raw_sets):
+    space = WorldSpace(5)
+    family = ExplicitFamily(
+        space, [space.property_set(s) for s in raw_sets]
+    ).intersection_closure()
+    k = PossibilisticKnowledge.product(space.full, list(family))
+    return space, k, ExplicitIntervalIndex(k)
+
+
+class TestMinimalIntervalInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(closed_setup())
+    def test_minimal_intervals_are_intervals(self, setup):
+        """Every reported minimal interval is a genuine I_K(ω₁, ω₂)."""
+        raw_sets, origin, target_members = setup
+        space, _, oracle = build_oracle(raw_sets)
+        target = space.property_set(target_members)
+        for item in minimal_intervals_to(oracle, origin, target):
+            assert item.witness in target
+            assert oracle.interval(origin, item.witness) == item.interval
+
+    @settings(max_examples=100, deadline=None)
+    @given(closed_setup())
+    def test_every_target_world_in_class_realises_same_interval(self, setup):
+        """Definition 4.7: all target worlds inside a minimal interval give
+        back that same interval."""
+        raw_sets, origin, target_members = setup
+        space, _, oracle = build_oracle(raw_sets)
+        target = space.property_set(target_members)
+        for item in minimal_intervals_to(oracle, origin, target):
+            for w in (item.interval & target):
+                assert oracle.interval(origin, w) == item.interval
+
+    @settings(max_examples=100, deadline=None)
+    @given(closed_setup())
+    def test_partition_tiles_target(self, setup):
+        """Prop 4.10: classes + unreachable exactly tile the target set."""
+        raw_sets, origin, target_members = setup
+        space, _, oracle = build_oracle(raw_sets)
+        target = space.property_set(target_members)
+        partition = interval_partition(oracle, origin, target)
+        assert partition.is_partition_of(target)
+
+    @settings(max_examples=100, deadline=None)
+    @given(closed_setup())
+    def test_unreachable_worlds_have_no_minimal_interval(self, setup):
+        """D_∞ members belong to no minimal interval from the origin."""
+        raw_sets, origin, target_members = setup
+        space, _, oracle = build_oracle(raw_sets)
+        target = space.property_set(target_members)
+        partition = interval_partition(oracle, origin, target)
+        minimal = minimal_intervals_to(oracle, origin, target)
+        for w in partition.unreachable:
+            assert all(w not in item.interval or
+                       oracle.interval(origin, w) != item.interval
+                       for item in minimal) or all(
+                w not in item.interval for item in minimal
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(closed_setup())
+    def test_nonminimal_intervals_strictly_contain_a_minimal_one(self, setup):
+        """Any existing interval to the target contains a minimal interval
+        whenever its target part is non-empty — the engine behind Prop 4.8."""
+        raw_sets, origin, target_members = setup
+        space, _, oracle = build_oracle(raw_sets)
+        target = space.property_set(target_members)
+        minimal = [i.interval for i in minimal_intervals_to(oracle, origin, target)]
+        for w in target:
+            interval = oracle.interval(origin, w)
+            if interval is None:
+                continue
+            assert any(m <= interval for m in minimal), (raw_sets, origin, w)
+
+
+class TestSafetyConsistencyUnderClosure:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.sets(st.integers(0, 4), min_size=1), min_size=1, max_size=4),
+        st.sets(st.integers(0, 4)),
+        st.sets(st.integers(0, 4), min_size=1),
+    )
+    def test_closure_only_restricts(self, raw_sets, a_members, b_members):
+        """Remark 3.2 through the closure: adding coalition knowledge can
+        only turn SAFE verdicts into UNSAFE, never the reverse."""
+        space = WorldSpace(5)
+        family = ExplicitFamily(space, [space.property_set(s) for s in raw_sets])
+        closed = family.intersection_closure()
+        k_small = PossibilisticKnowledge.product(space.full, list(family))
+        k_big = PossibilisticKnowledge.product(space.full, list(closed))
+        a = space.property_set(a_members)
+        b = space.property_set(b_members)
+        if safe_possibilistic(k_big, a, b):
+            assert safe_possibilistic(k_small, a, b)

@@ -1,0 +1,155 @@
+"""End-to-end tests for the probabilistic auditing pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Distribution,
+    HypercubeSpace,
+    Verdict,
+    WorldSpace,
+    safe_unrestricted,
+    safety_gap,
+)
+from repro.probabilistic import (
+    LogSupermodularFamily,
+    ProbabilisticAuditor,
+    SupermodularAuditor,
+    audit_unconstrained,
+    decide_product_safety,
+    is_log_supermodular,
+)
+from tests.conftest import random_pairs
+
+
+class TestProbabilisticAuditor:
+    def test_hiv_example_is_safe(self):
+        """The §1.1 headline example: disclosing "HIV ⇒ transfusions" never
+        raises confidence in "HIV-positive"."""
+        space = HypercubeSpace(2, coordinate_names=["hiv", "transfusion"])
+        a = space.coordinate_set(1)
+        b = ~space.coordinate_set(1) | space.coordinate_set(2)
+        verdict = ProbabilisticAuditor(space).audit(a, b)
+        assert verdict.is_safe
+
+    def test_pipeline_agrees_with_exact_decision(self):
+        """Whatever stage fires, the verdict matches the rigorous decision."""
+        space = HypercubeSpace(3)
+        auditor = ProbabilisticAuditor(space, optimizer_restarts=12)
+        for a, b in random_pairs(space, 60, seed=21, allow_empty=True):
+            verdict = auditor.audit(a, b)
+            exact = decide_product_safety(a, b)
+            assert exact.is_decided
+            assert verdict.is_decided, (a, b)
+            assert verdict.status == exact.status, (a, b, verdict.method)
+
+    def test_verdicts_carry_traces(self):
+        space = HypercubeSpace(2)
+        verdict = ProbabilisticAuditor(space).audit(
+            space.coordinate_set(1), space.coordinate_set(2)
+        )
+        assert "trace" in verdict.details
+        assert verdict.is_safe  # independent coordinates
+
+    def test_unsafe_verdicts_carry_witnesses(self):
+        space = HypercubeSpace(3)
+        a = space.property_set(["100", "101", "110", "111"])
+        b = space.property_set(["100"])
+        verdict = ProbabilisticAuditor(space).audit(a, b)
+        assert verdict.is_unsafe
+        witness = verdict.witness
+        gap = witness.prob(a) * witness.prob(b) - witness.prob(a & b)
+        assert gap < 0
+
+    def test_audit_many(self):
+        space = HypercubeSpace(2)
+        auditor = ProbabilisticAuditor(space)
+        a = space.coordinate_set(1)
+        verdicts = auditor.audit_many(
+            a, [space.coordinate_set(2), a | space.coordinate_set(2)]
+        )
+        assert verdicts[0].is_safe
+        assert verdicts[1].is_unsafe
+
+    def test_requires_hypercube(self):
+        with pytest.raises(TypeError):
+            ProbabilisticAuditor(WorldSpace(8))  # type: ignore[arg-type]
+
+    def test_sos_stage_enabled_pipeline_agrees(self):
+        """With use_sos=True the certificate stage may decide before the
+        exact stage; verdicts must not change."""
+        space = HypercubeSpace(3)
+        with_sos = ProbabilisticAuditor(space, use_sos=True, optimizer_restarts=6)
+        without = ProbabilisticAuditor(space, use_sos=False, optimizer_restarts=6)
+        for a, b in random_pairs(space, 12, seed=77, allow_empty=True):
+            v1 = with_sos.audit(a, b)
+            v2 = without.audit(a, b)
+            assert v1.status == v2.status, (a, b, v1.method, v2.method)
+
+    def test_large_dimension_falls_back_to_criteria(self):
+        """Beyond the dense-tensor guard (n > 12), the cheap criteria still
+        decide structured pairs; genuinely hard ones may return UNKNOWN."""
+        space = HypercubeSpace(14)
+        auditor = ProbabilisticAuditor(space, optimizer_restarts=2)
+        a = space.coordinate_set(1)
+        b = space.coordinate_set(14)
+        verdict = auditor.audit(a, b)
+        assert verdict.is_safe and verdict.method == "miklau-suciu"
+        leaky = auditor.audit(a, a)
+        assert leaky.is_unsafe  # the optimizer finds the violation
+
+
+class TestSupermodularAuditor:
+    def test_up_down_pair_safe(self):
+        from repro.core import down_closure, up_closure
+
+        space = HypercubeSpace(3)
+        auditor = SupermodularAuditor(space)
+        a = up_closure(space.property_set(["110"]))
+        b = down_closure(space.property_set(["001"]))
+        verdict = auditor.audit(a, b)
+        assert verdict.is_safe
+
+    def test_leaky_pair_unsafe_with_member_witness(self):
+        space = HypercubeSpace(2)
+        auditor = SupermodularAuditor(space)
+        a = space.property_set(["10", "11"])
+        b = space.property_set(["11"])
+        verdict = auditor.audit(a, b)
+        assert verdict.is_unsafe
+        assert is_log_supermodular(verdict.witness, tolerance=1e-9)
+        assert safety_gap(verdict.witness, a, b) < 0
+
+    def test_never_contradicts_sampled_members(self):
+        """SAFE verdicts survive a barrage of sampled Π_m⁺ priors."""
+        space = HypercubeSpace(3)
+        auditor = SupermodularAuditor(space)
+        family = LogSupermodularFamily(space)
+        rng = np.random.default_rng(31)
+        members = family.sample_many(30, rng)
+        for a, b in random_pairs(space, 40, seed=22, allow_empty=True):
+            verdict = auditor.audit(a, b)
+            if verdict.is_safe:
+                for dist in members:
+                    assert safety_gap(dist, a, b) >= -1e-9, (a, b)
+
+
+class TestUnconstrainedAuditor:
+    def test_matches_theorem_3_11(self):
+        space = WorldSpace(5)
+        for a, b in random_pairs(space, 100, seed=23, allow_empty=True):
+            if not b:
+                continue
+            verdict = audit_unconstrained(a, b)
+            assert verdict.is_safe == safe_unrestricted(a, b)
+
+    def test_unsafe_witness_gains_confidence(self):
+        space = WorldSpace(4)
+        a = space.property_set([0, 1])
+        b = space.property_set([0, 2])
+        verdict = audit_unconstrained(a, b)
+        assert verdict.is_unsafe
+        witness: Distribution = verdict.witness
+        assert witness.conditional_prob(a, b) > witness.prob(a)

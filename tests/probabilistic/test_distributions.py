@@ -1,0 +1,129 @@
+"""Tests for product distributions and modularity predicates (Definition 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Distribution, HypercubeSpace
+from repro.exceptions import InvalidDistributionError
+from repro.probabilistic import (
+    ProductDistribution,
+    dense_product,
+    is_log_submodular,
+    is_log_supermodular,
+    is_product,
+    random_log_supermodular,
+)
+
+
+bernoulli_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestProductDistribution:
+    def test_eq_17_point_mass_formula(self):
+        space = HypercubeSpace(3)
+        dist = ProductDistribution(space, [0.5, 0.25, 0.8])
+        assert dist.mass("101") == pytest.approx(0.5 * 0.75 * 0.8)
+        assert dist.mass("000") == pytest.approx(0.5 * 0.75 * 0.2)
+
+    def test_validation(self):
+        space = HypercubeSpace(2)
+        with pytest.raises(InvalidDistributionError):
+            ProductDistribution(space, [0.5])
+        with pytest.raises(InvalidDistributionError):
+            ProductDistribution(space, [0.5, 1.5])
+
+    @given(bernoulli_vectors)
+    def test_dense_matches_sparse(self, ps):
+        space = HypercubeSpace(3)
+        sparse = ProductDistribution(space, ps)
+        dense = sparse.to_dense()
+        for w in space.worlds():
+            assert dense.mass(w) == pytest.approx(sparse.mass(w), abs=1e-12)
+
+    @given(bernoulli_vectors)
+    def test_event_prob_matches_dense(self, ps):
+        space = HypercubeSpace(3)
+        sparse = ProductDistribution(space, ps)
+        dense = sparse.to_dense()
+        event = space.property_set(["001", "011", "111"])
+        assert sparse.prob(event) == pytest.approx(dense.prob(event), abs=1e-12)
+
+    def test_uniform(self):
+        space = HypercubeSpace(4)
+        dist = ProductDistribution.uniform(space)
+        assert dist.mass(0) == pytest.approx(1.0 / 16)
+
+    def test_degenerate_detection(self):
+        space = HypercubeSpace(2)
+        assert ProductDistribution(space, [0.0, 0.5]).is_degenerate()
+        assert not ProductDistribution(space, [0.3, 0.5]).is_degenerate()
+
+    def test_bernoulli_read_only(self):
+        dist = ProductDistribution(HypercubeSpace(2), [0.3, 0.7])
+        with pytest.raises(ValueError):
+            dist.bernoulli[0] = 0.5
+
+
+class TestModularityPredicates:
+    @given(bernoulli_vectors)
+    def test_products_are_both_modular(self, ps):
+        """Π_m⁰ = Π_m⁻ ∩ Π_m⁺ (the Lovász fact quoted in Section 5)."""
+        dist = dense_product(HypercubeSpace(3), ps)
+        assert is_log_supermodular(dist, tolerance=1e-9)
+        assert is_log_submodular(dist, tolerance=1e-9)
+        assert is_product(dist)
+
+    def test_supermodular_but_not_product(self):
+        """Mass on the diagonal {00, 11} is supermodular, not product."""
+        space = HypercubeSpace(2)
+        dist = Distribution.from_mapping(space, {"00": 0.5, "11": 0.5})
+        assert is_log_supermodular(dist)
+        assert not is_log_submodular(dist, tolerance=1e-12)
+        assert not is_product(dist)
+
+    def test_submodular_but_not_product(self):
+        """Mass on the antidiagonal {01, 10} is submodular, not supermodular."""
+        space = HypercubeSpace(2)
+        dist = Distribution.from_mapping(space, {"01": 0.5, "10": 0.5})
+        assert is_log_submodular(dist)
+        assert not is_log_supermodular(dist, tolerance=1e-12)
+
+    def test_equation_18_characterisation(self):
+        """Eq. (18): product ⇔ equality P(ω₁)P(ω₂) = P(ω₁∧ω₂)P(ω₁∨ω₂)."""
+        space = HypercubeSpace(2)
+        product = dense_product(space, [0.7, 0.6])
+        assert is_product(product)
+        perturbed = Distribution(
+            space, product.probs + np.array([0.01, -0.01, 0.0, 0.0])
+        )
+        assert not is_product(perturbed)
+
+    def test_requires_hypercube(self):
+        from repro.core import WorldSpace
+
+        dist = Distribution.uniform(WorldSpace(4))
+        with pytest.raises(InvalidDistributionError):
+            is_log_supermodular(dist)
+
+
+class TestRandomLogSupermodular:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_samples_are_members(self, seed):
+        space = HypercubeSpace(3)
+        rng = np.random.default_rng(seed)
+        dist = random_log_supermodular(space, rng)
+        assert is_log_supermodular(dist, tolerance=1e-9)
+        assert dist.probs.sum() == pytest.approx(1.0)
+
+    def test_samples_vary(self):
+        space = HypercubeSpace(2)
+        rng = np.random.default_rng(5)
+        d1 = random_log_supermodular(space, rng)
+        d2 = random_log_supermodular(space, rng)
+        assert not d1.allclose(d2)

@@ -1,0 +1,88 @@
+"""Property-based tests tying the exact decision to the ground truth.
+
+Hypothesis drives random (A, B, prior) triples through the full identity
+chain: gap polynomial ≡ direct computation ≡ the cancellation expansion,
+and the Bernstein decision never contradicts a concrete violating or
+certifying prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebraic.encode import safety_gap_polynomial
+from repro.core import HypercubeSpace, safety_gap
+from repro.probabilistic import (
+    ProductDistribution,
+    circ_pair_counter,
+    decide_product_safety,
+    monomial_weight,
+)
+from repro.core.worlds import quadrants
+
+subsets3 = st.sets(st.integers(0, 7))
+bernoulli3 = st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=3)
+
+
+class TestGapIdentityChain:
+    @settings(max_examples=80, deadline=None)
+    @given(subsets3, subsets3, bernoulli3)
+    def test_cancellation_expansion_equals_gap(self, xs, ys, ps):
+        """Σ_w m(w)·(|AB̄×ĀB ∩ Circ(w)| − |AB×ĀB̄ ∩ Circ(w)|) = gap(p)."""
+        space = HypercubeSpace(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        ab, a_not_b, not_a_b, neither = quadrants(a, b)
+        positive = circ_pair_counter(a_not_b, not_a_b)
+        negative = circ_pair_counter(ab, neither)
+        total = 0.0
+        for key, count in positive.items():
+            total += monomial_weight(space, key, ps) * count
+        for key, count in negative.items():
+            total -= monomial_weight(space, key, ps) * count
+        dist = ProductDistribution(space, ps)
+        direct = dist.prob(a) * dist.prob(b) - dist.prob(a & b)
+        assert total == pytest.approx(direct, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(subsets3, subsets3, bernoulli3)
+    def test_decision_never_contradicts_a_concrete_prior(self, xs, ys, ps):
+        """If any tested prior has a clearly negative gap, the decision is
+        UNSAFE; SAFE decisions keep every tested prior's gap ≥ −atol."""
+        space = HypercubeSpace(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        dist = ProductDistribution(space, ps)
+        value = dist.prob(a) * dist.prob(b) - dist.prob(a & b)
+        verdict = decide_product_safety(a, b)
+        assert verdict.is_decided
+        if verdict.is_safe:
+            assert value >= -1e-8, (xs, ys, ps)
+
+    @settings(max_examples=40, deadline=None)
+    @given(subsets3, subsets3)
+    def test_gap_polynomial_zero_iff_independent_everywhere(self, xs, ys):
+        """gap ≡ 0 exactly when A ⟂ B under every product prior — sampled."""
+        space = HypercubeSpace(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        poly = safety_gap_polynomial(a, b)
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(0, 1, size=(20, 3))
+        values = [poly(list(p)) for p in samples]
+        if poly.is_zero(1e-12):
+            assert all(abs(v) < 1e-9 for v in values)
+        else:
+            assert any(abs(v) > 1e-12 for v in values) or poly.max_abs_coefficient() < 1e-6
+
+
+class TestDenseSparseAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(subsets3, subsets3, bernoulli3)
+    def test_gap_via_dense_distribution(self, xs, ys, ps):
+        space = HypercubeSpace(3)
+        a, b = space.property_set(xs), space.property_set(ys)
+        sparse = ProductDistribution(space, ps)
+        dense = sparse.to_dense()
+        sparse_gap = sparse.prob(a) * sparse.prob(b) - sparse.prob(a & b)
+        assert safety_gap(dense, a, b) == pytest.approx(sparse_gap, abs=1e-12)

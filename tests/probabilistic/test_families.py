@@ -1,0 +1,139 @@
+"""Tests for distribution families and liftability (Definitions 3.7, 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Distribution, HypercubeSpace, WorldSpace, safe_pi
+from repro.probabilistic import (
+    ExplicitDistributionFamily,
+    LogSubmodularFamily,
+    LogSupermodularFamily,
+    ProductFamily,
+    UnconstrainedFamily,
+    is_log_submodular,
+    is_log_supermodular,
+    is_product,
+)
+
+
+@pytest.fixture
+def cube():
+    return HypercubeSpace(3)
+
+
+class TestProductFamily:
+    def test_membership(self, cube):
+        family = ProductFamily(cube)
+        rng = np.random.default_rng(0)
+        assert family.contains(family.sample(rng))
+        non_product = Distribution.from_mapping(cube, {"000": 0.5, "111": 0.5})
+        assert not family.contains(non_product)
+
+    def test_bernoulli_roundtrip(self, cube):
+        family = ProductFamily(cube)
+        from repro.probabilistic import dense_product
+
+        dist = dense_product(cube, [0.2, 0.5, 0.9])
+        recovered = family.bernoulli_of(dist)
+        assert np.allclose(recovered, [0.2, 0.5, 0.9])
+
+    def test_lift_gives_full_support(self, cube):
+        family = ProductFamily(cube)
+        from repro.probabilistic import dense_product
+
+        degenerate = dense_product(cube, [0.0, 1.0, 0.5])
+        lifted = family.lift(degenerate, epsilon=1e-3)
+        assert lifted.support().is_full()
+        assert degenerate.distance_linf(lifted) < 1e-3
+        assert is_product(lifted)
+
+    def test_liftability_justifies_safe_pi(self, cube):
+        """Prop 3.8 in action: Safe_Π decisions transfer to (C, Π) with
+        degenerate members, because lifts approximate them."""
+        family = ProductFamily(cube)
+        assert family.is_liftable()
+
+
+class TestLogSupermodularFamily:
+    def test_membership_and_sampling(self, cube):
+        family = LogSupermodularFamily(cube)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            assert family.contains(family.sample(rng))
+
+    def test_products_are_members(self, cube):
+        family = LogSupermodularFamily(cube)
+        rng = np.random.default_rng(2)
+        assert family.contains(ProductFamily(cube).sample(rng))
+
+    def test_lift_members_stay_members(self, cube):
+        family = LogSupermodularFamily(cube)
+        diagonal = Distribution.from_mapping(cube, {"000": 0.5, "111": 0.5})
+        assert family.contains(diagonal)
+        lifted = family.lift(diagonal, epsilon=1e-4)
+        assert lifted.support().is_full()
+        assert is_log_supermodular(lifted, tolerance=1e-9)
+
+
+class TestLogSubmodularFamily:
+    def test_membership_and_sampling(self, cube):
+        family = LogSubmodularFamily(cube)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            assert family.contains(family.sample(rng))
+
+    def test_antidiagonal_is_member(self, cube2=HypercubeSpace(2)):
+        family = LogSubmodularFamily(cube2)
+        anti = Distribution.from_mapping(cube2, {"01": 0.5, "10": 0.5})
+        assert family.contains(anti)
+
+
+class TestUnconstrainedFamily:
+    def test_contains_everything(self):
+        space = WorldSpace(5)
+        family = UnconstrainedFamily(space)
+        rng = np.random.default_rng(4)
+        assert family.contains(Distribution.random(space, rng))
+        assert family.is_liftable()
+
+    def test_lift(self):
+        space = WorldSpace(4)
+        family = UnconstrainedFamily(space)
+        point = Distribution.point_mass(space, 0)
+        lifted = family.lift(point, 1e-3)
+        assert lifted.support().is_full()
+        assert point.distance_linf(lifted) <= 1e-3
+
+
+class TestExplicitFamily:
+    def test_membership(self):
+        space = WorldSpace(3)
+        members = [Distribution.uniform(space)]
+        family = ExplicitDistributionFamily(space, members)
+        assert family.contains(Distribution.uniform(space))
+        assert not family.contains(Distribution.point_mass(space, 0))
+
+    def test_liftability_requires_full_support(self):
+        space = WorldSpace(3)
+        full = ExplicitDistributionFamily(space, [Distribution.uniform(space)])
+        assert full.is_liftable()
+        partial = ExplicitDistributionFamily(
+            space, [Distribution.point_mass(space, 0)]
+        )
+        assert not partial.is_liftable()
+        with pytest.raises(ValueError):
+            partial.lift(Distribution.point_mass(space, 0), 0.1)
+
+    def test_safe_pi_over_explicit_family(self):
+        space = WorldSpace(4)
+        family = ExplicitDistributionFamily(space, [Distribution.uniform(space)])
+        a = space.property_set([0])
+        b = space.property_set([0, 1])
+        assert not safe_pi(list(family), a, b)
+        assert safe_pi(list(family), a, space.property_set([1, 2, 3]))
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitDistributionFamily(WorldSpace(2), [])

@@ -1,0 +1,123 @@
+"""Tests for the Match/Box/Circ machinery (Definition 5.8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _bitops
+from repro.core import HypercubeSpace
+from repro.probabilistic import (
+    ProductDistribution,
+    box,
+    box_count,
+    box_count_tensor,
+    circ_count,
+    circ_members,
+    circ_pair_counter,
+    match,
+    match_string,
+    monomial_weight,
+)
+
+subsets3 = st.sets(st.integers(0, 7))
+subsets4 = st.sets(st.integers(0, 15))
+
+
+class TestMatch:
+    def test_paper_example(self):
+        space = HypercubeSpace(5)
+        key = match(space, "01011", "01101")
+        assert match_string(space, key) == "01**1"
+
+    def test_box_of_match(self):
+        space = HypercubeSpace(5)
+        key = match(space, "01011", "01101")
+        members = box(space, key)
+        assert len(members) == 4
+        assert "01011" in members and "01101" in members
+
+
+class TestBoxCounts:
+    @given(subsets4)
+    def test_tensor_matches_brute_force(self, xs):
+        space = HypercubeSpace(4)
+        event = space.property_set(xs)
+        tensor = box_count_tensor(event)
+        for star, agreed in _bitops.all_match_vectors(4):
+            idx = tuple(
+                2 if (star >> i) & 1 else ((agreed >> i) & 1) for i in range(4)
+            )
+            assert tensor[idx] == box_count(event, (star, agreed)), (star, agreed)
+
+    def test_full_star_counts_everything(self):
+        space = HypercubeSpace(3)
+        event = space.property_set([1, 3, 5])
+        tensor = box_count_tensor(event)
+        assert tensor[(2, 2, 2)] == 3
+
+    def test_zero_dimension(self):
+        space = HypercubeSpace(0)
+        tensor = box_count_tensor(space.full)
+        assert tensor[0] == 1
+
+
+class TestCircCounts:
+    def test_remark_5_12_counts(self):
+        """The paper's exact numbers: |AB̄×ĀB ∩ Circ(***)| = 0 and
+        |AB×ĀB̄ ∩ Circ(***)| = 2."""
+        space = HypercubeSpace(3)
+        a = space.property_set(["011", "100", "110", "111"])
+        b = space.property_set(["010", "101", "110", "111"])
+        key = _bitops.parse_match_vector("***")
+        assert circ_count(a & ~b, ~a & b, key) == 0
+        assert circ_count(a & b, ~a & ~b, key) == 2
+
+    @given(subsets3, subsets3)
+    def test_counter_matches_brute_force(self, xs, ys):
+        space = HypercubeSpace(3)
+        x, y = space.property_set(xs), space.property_set(ys)
+        counter = circ_pair_counter(x, y)
+        assert sum(counter.values()) == len(x) * len(y)
+        for star, agreed in _bitops.all_match_vectors(3):
+            expected = circ_count(x, y, (star, agreed))
+            assert counter.get((star, agreed), 0) == expected
+
+    def test_circ_members_partition_pairs(self):
+        space = HypercubeSpace(3)
+        key = _bitops.parse_match_vector("0**")
+        pairs = list(circ_members(space, key))
+        assert len(pairs) == 4  # 2^(#stars) ordered pairs
+        for u, v in pairs:
+            assert _bitops.match_key(u, v) == key
+
+
+class TestMonomialWeight:
+    @given(
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.lists(st.floats(0.01, 0.99), min_size=3, max_size=3),
+    )
+    def test_weight_equals_pair_mass(self, u, v, ps):
+        """m(w) = P(u)·P(v) for every pair (u,v) ∈ Circ(w) under a product P."""
+        space = HypercubeSpace(3)
+        dist = ProductDistribution(space, ps)
+        key = _bitops.match_key(u, v)
+        weight = monomial_weight(space, key, ps)
+        assert weight == pytest.approx(dist.mass(u) * dist.mass(v), rel=1e-9)
+
+    def test_grouping_identity(self):
+        """Σ_w m(w)·|(X×Y) ∩ Circ(w)| = P[X]·P[Y]: the expansion behind
+        the cancellation criterion."""
+        space = HypercubeSpace(3)
+        ps = [0.3, 0.6, 0.8]
+        dist = ProductDistribution(space, ps)
+        x = space.property_set(["001", "011", "100"])
+        y = space.property_set(["111", "010"])
+        counter = circ_pair_counter(x, y)
+        total = sum(
+            monomial_weight(space, key, ps) * count for key, count in counter.items()
+        )
+        assert total == pytest.approx(dist.prob(x) * dist.prob(y), rel=1e-9)

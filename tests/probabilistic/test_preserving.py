@@ -1,0 +1,174 @@
+"""Tests for family-level preservation and Prop 3.10 composition over Π."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Distribution, HypercubeSpace
+from repro.probabilistic import (
+    LogSupermodularFamily,
+    ProductDistribution,
+    ProductFamily,
+    UnconstrainedFamily,
+    compose_safe_disclosures,
+    conditioned_bernoulli,
+    decide_product_safety,
+    is_family_preserving,
+    is_log_supermodular,
+    is_product,
+    is_subcube,
+)
+
+bernoulli3 = st.lists(st.floats(0.05, 0.95), min_size=3, max_size=3)
+subcube_patterns = st.text(alphabet="01*", min_size=3, max_size=3)
+
+
+class TestIsSubcube:
+    def test_examples(self):
+        space = HypercubeSpace(3)
+        assert is_subcube(space.subcube("1*0"))
+        assert is_subcube(space.full)
+        assert is_subcube(space.singleton("101"))
+        assert not is_subcube(space.property_set(["000", "011"]))
+        assert not is_subcube(space.empty)
+
+    @given(subcube_patterns)
+    def test_every_pattern_is_a_subcube(self, pattern):
+        space = HypercubeSpace(3)
+        assert is_subcube(space.subcube(pattern))
+
+
+class TestProductConditioning:
+    @settings(max_examples=60, deadline=None)
+    @given(bernoulli3, subcube_patterns)
+    def test_conditioning_on_subcube_stays_product(self, ps, pattern):
+        """The closed form: P(·|subcube) is again a product distribution."""
+        space = HypercubeSpace(3)
+        event = space.subcube(pattern)
+        dense = ProductDistribution(space, ps).to_dense()
+        if dense.prob(event) <= 1e-12:
+            return
+        conditioned = dense.conditional(event)
+        assert is_product(conditioned, tolerance=1e-9)
+        # ... with exactly the predicted Bernoulli vector.
+        predicted = conditioned_bernoulli(ps, event)
+        rebuilt = ProductDistribution(space, predicted).to_dense()
+        assert conditioned.allclose(rebuilt, atol=1e-9)
+
+    def test_non_subcube_conditioning_breaks_product(self):
+        space = HypercubeSpace(2)
+        dense = ProductDistribution(space, [0.5, 0.5]).to_dense()
+        xor_event = space.property_set(["01", "10"])
+        conditioned = dense.conditional(xor_event)
+        assert not is_product(conditioned, tolerance=1e-9)
+
+    def test_conditioned_bernoulli_rejects_non_subcube(self):
+        space = HypercubeSpace(2)
+        with pytest.raises(ValueError):
+            conditioned_bernoulli([0.5, 0.5], space.property_set(["01", "10"]))
+
+
+class TestSupermodularConditioning:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), subcube_patterns)
+    def test_conditioning_on_subcube_stays_supermodular(self, seed, pattern):
+        space = HypercubeSpace(3)
+        rng = np.random.default_rng(seed)
+        member = LogSupermodularFamily(space).sample(rng)
+        event = space.subcube(pattern)
+        if member.prob(event) <= 1e-9:
+            return
+        conditioned = member.conditional(event)
+        assert is_log_supermodular(conditioned, tolerance=1e-9)
+
+
+class TestIsFamilyPreserving:
+    def test_product_family(self):
+        space = HypercubeSpace(3)
+        family = ProductFamily(space)
+        assert is_family_preserving(family, space.subcube("1**"))
+        assert not is_family_preserving(family, space.property_set(["000", "011"]))
+        assert not is_family_preserving(family, space.empty)
+
+    def test_unconstrained_family(self):
+        space = HypercubeSpace(2)
+        family = UnconstrainedFamily(space)
+        assert is_family_preserving(family, space.property_set(["01", "10"]))
+
+    def test_supermodular_family(self):
+        space = HypercubeSpace(2)
+        family = LogSupermodularFamily(space)
+        assert is_family_preserving(family, space.subcube("1*"))
+
+
+class TestComposition:
+    def test_composes_when_one_is_subcube(self):
+        """Prop 3.10 over Π_m⁰: safe B₁ (subcube) + safe B₂ ⇒ safe B₁∩B₂."""
+        space = HypercubeSpace(3)
+        family = ProductFamily(space)
+        a = space.coordinate_set(1)
+        b1 = space.subcube("*1*")  # coordinate-2 evidence: independent of A
+        b2 = ~space.coordinate_set(3)  # complement of coordinate 3
+
+        def decide(x, y):
+            return decide_product_safety(x, y).is_safe
+
+        ok, reason = compose_safe_disclosures(family, a, b1, b2, decide)
+        assert ok, reason
+        # The guaranteed conclusion checks out.
+        assert decide(a, b1 & b2)
+
+    def test_refuses_unsafe_inputs(self):
+        space = HypercubeSpace(2)
+        family = ProductFamily(space)
+        a = space.coordinate_set(1)
+
+        def decide(x, y):
+            return decide_product_safety(x, y).is_safe
+
+        ok, reason = compose_safe_disclosures(family, a, a, space.full, decide)
+        assert not ok and "B1" in reason
+
+    def test_refuses_when_nothing_preserves(self):
+        space = HypercubeSpace(2)
+        family = ProductFamily(space)
+        a = space.coordinate_set(1)
+        xor_event = space.property_set(["01", "10"])
+        odd = ~xor_event  # {00, 11}, also not a subcube
+
+        def decide(x, y):
+            return decide_product_safety(x, y).is_safe
+
+        if decide(a, xor_event) and decide(a, odd):
+            ok, reason = compose_safe_disclosures(family, a, xor_event, odd, decide)
+            assert not ok and "preserving" in reason
+
+    def test_prop_3_10_conclusion_holds_broadly(self):
+        """Randomised: whenever composition is granted, the intersection is
+        genuinely safe per the exact decision."""
+        import random
+
+        space = HypercubeSpace(3)
+        family = ProductFamily(space)
+        rnd = random.Random(3)
+        worlds = list(space.worlds())
+        patterns = ["0**", "1**", "*0*", "*1*", "**0", "**1", "***"]
+
+        def decide(x, y):
+            return decide_product_safety(x, y).is_safe
+
+        granted = 0
+        for _ in range(60):
+            a = space.property_set([w for w in worlds if rnd.random() < 0.5])
+            b1 = space.subcube(rnd.choice(patterns))
+            b2 = space.property_set([w for w in worlds if rnd.random() < 0.6])
+            if not a or not b2 or not (b1 & b2):
+                continue
+            ok, _ = compose_safe_disclosures(family, a, b1, b2, decide)
+            if ok:
+                granted += 1
+                assert decide(a, b1 & b2), (a, b1, b2)
+        assert granted > 5

@@ -1,0 +1,144 @@
+"""Tests for the §1.1 baseline privacy definitions (relaxations module)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Distribution, HypercubeSpace
+from repro.probabilistic import (
+    ProductFamily,
+    definition_matrix,
+    epistemic_privacy_holds,
+    gain_vs_loss_gap,
+    lambda_bound_holds,
+    perfect_secrecy_holds,
+    rho1_rho2_breach,
+    sulq_bound_holds,
+)
+
+
+@pytest.fixture
+def hiv_setting():
+    space = HypercubeSpace(2)
+    a = space.coordinate_set(1)
+    b = ~space.coordinate_set(1) | space.coordinate_set(2)
+    return space, a, b
+
+
+class TestPerPriorDefinitions:
+    def test_perfect_secrecy_requires_equality(self, hiv_setting):
+        space, a, b = hiv_setting
+        uniform = Distribution.uniform(space)
+        # Learning B strictly lowers P[A] under the uniform prior.
+        assert not perfect_secrecy_holds(uniform, a, b)
+        assert epistemic_privacy_holds(uniform, a, b)
+
+    def test_independent_events_satisfy_all(self):
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = space.coordinate_set(2)
+        uniform = Distribution.uniform(space)
+        assert perfect_secrecy_holds(uniform, a, b)
+        assert epistemic_privacy_holds(uniform, a, b)
+        assert lambda_bound_holds(uniform, a, b, 0.2)
+        assert sulq_bound_holds(uniform, a, b, 0.1)
+
+    def test_inconsistent_prior_is_vacuous(self, hiv_setting):
+        space, a, b = hiv_setting
+        outside = Distribution.point_mass(space, space.world_id("10"))
+        # P[B] = 0 for this prior: every definition holds vacuously.
+        assert perfect_secrecy_holds(outside, a, b)
+        assert epistemic_privacy_holds(outside, a, b)
+        assert not rho1_rho2_breach(outside, a, b, 0.3, 0.7)
+
+    def test_rho_breach_detection(self):
+        space = HypercubeSpace(2)
+        a = space.property_set(["11"])
+        b = space.property_set(["11", "10"])
+        prior = Distribution.from_mapping(
+            space, {"11": 0.2, "00": 0.7, "10": 0.1}
+        )
+        # P[A] = 0.2 ≤ 0.3; P[A|B] = 0.2/0.3 ≈ 0.67 < 0.7: below ρ2.
+        assert not rho1_rho2_breach(prior, a, b, 0.3, 0.7)
+        assert rho1_rho2_breach(prior, a, b, 0.3, 0.6)
+
+    def test_rho_parameter_validation(self, hiv_setting):
+        space, a, b = hiv_setting
+        prior = Distribution.uniform(space)
+        with pytest.raises(ValueError):
+            rho1_rho2_breach(prior, a, b, 0.7, 0.3)
+
+    def test_lambda_bound_symmetric(self):
+        """λ-bound punishes confidence LOSS too — the paper's observation."""
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = ~space.coordinate_set(1) | space.coordinate_set(2)
+        prior = Distribution.from_mapping(
+            space, {"10": 0.45, "00": 0.45, "11": 0.05, "01": 0.05}
+        )
+        # Learning B halves the confidence in A: epistemic privacy is happy,
+        # the ratio bound with small λ is violated by the LOSS.
+        assert epistemic_privacy_holds(prior, a, b)
+        assert not lambda_bound_holds(prior, a, b, 0.1)
+
+    def test_sulq_two_sided_vs_gain_only(self):
+        """Placing |…| over the difference forbids loss; dropping it doesn't."""
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = ~space.coordinate_set(1) | space.coordinate_set(2)
+        prior = Distribution.from_mapping(
+            space, {"10": 0.45, "00": 0.45, "11": 0.05, "01": 0.05}
+        )
+        assert not sulq_bound_holds(prior, a, b, epsilon=0.3, two_sided=True)
+        assert sulq_bound_holds(prior, a, b, epsilon=0.3, two_sided=False)
+
+    def test_sulq_parameter_validation(self, hiv_setting):
+        space, a, b = hiv_setting
+        with pytest.raises(ValueError):
+            sulq_bound_holds(Distribution.uniform(space), a, b, epsilon=0.0)
+
+    def test_gain_vs_loss_decomposition(self, hiv_setting):
+        space, a, b = hiv_setting
+        uniform = Distribution.uniform(space)
+        gain, loss = gain_vs_loss_gap(uniform, a, b)
+        assert gain == 0.0
+        assert loss > 0.0
+        # And on a genuinely leaking disclosure, gain > 0.
+        gain2, loss2 = gain_vs_loss_gap(uniform, a, a & space.coordinate_set(2))
+        assert gain2 > 0.0 and loss2 == 0.0
+
+
+class TestDefinitionMatrix:
+    def test_hiv_example_matrix(self, hiv_setting):
+        """The §1.1 example under sampled product priors: epistemic privacy
+        admits it, perfect secrecy and the symmetric relaxations refuse."""
+        space, a, b = hiv_setting
+        rng = np.random.default_rng(1)
+        priors = ProductFamily(space).sample_many(50, rng)
+        outcome = definition_matrix(priors, a, b, lam=0.1, epsilon=0.25)
+        assert outcome.epistemic
+        assert not outcome.perfect_secrecy
+        assert not outcome.lambda_bound  # loss punished
+        assert not outcome.sulq_two_sided  # loss punished
+        assert outcome.sulq_gain_only
+
+    def test_independent_pair_admitted_by_all(self):
+        space = HypercubeSpace(2)
+        a = space.coordinate_set(1)
+        b = space.coordinate_set(2)
+        rng = np.random.default_rng(2)
+        priors = ProductFamily(space).sample_many(30, rng)
+        outcome = definition_matrix(priors, a, b)
+        assert all(outcome.as_dict().values())
+
+    def test_leaky_pair_rejected_by_all_strict(self):
+        space = HypercubeSpace(2)
+        a = space.property_set(["10", "11"])
+        b = space.property_set(["10"])
+        rng = np.random.default_rng(3)
+        priors = ProductFamily(space).sample_many(30, rng)
+        outcome = definition_matrix(priors, a, b, epsilon=0.05, lam=0.02)
+        assert not outcome.epistemic
+        assert not outcome.perfect_secrecy
+        assert not outcome.sulq_gain_only

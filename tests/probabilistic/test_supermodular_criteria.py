@@ -1,0 +1,163 @@
+"""Tests for the Π_m⁺ criteria (Props 5.2, 5.4; Cor 5.5) and Theorem 5.3."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Distribution,
+    HypercubeSpace,
+    down_closure,
+    safety_gap,
+    up_closure,
+)
+from repro.probabilistic import (
+    LogSupermodularFamily,
+    is_log_supermodular,
+    pointwise_condition_holds,
+    set_inequality_holds,
+    supermodular_necessary_criterion,
+    supermodular_sufficient_criterion,
+    supermodularity_deficit,
+    fkg_correlation_holds,
+    up_down_criterion,
+)
+from tests.conftest import random_pairs
+
+subsets3 = st.sets(st.integers(0, 7))
+
+
+class TestNecessaryCriterion:
+    def test_witness_is_valid_member_and_violates(self):
+        """Whenever Prop 5.2 fails, the attached witness is a genuine
+        log-supermodular distribution with a strictly negative safety gap."""
+        space = HypercubeSpace(3)
+        failures = 0
+        for a, b in random_pairs(space, 150, seed=7, allow_empty=True):
+            result = supermodular_necessary_criterion(a, b)
+            if not result.holds:
+                failures += 1
+                witness = result.witness
+                assert is_log_supermodular(witness, tolerance=1e-12)
+                assert safety_gap(witness, a, b) < -1e-12, (a, b)
+        assert failures > 20
+
+    def test_comparable_pair_fails(self):
+        """ω₁ ∈ AB comparable with ω₂ ∈ ĀB̄ always breaks Π_m⁺ safety."""
+        space = HypercubeSpace(2)
+        a = space.property_set(["11"])  # AB = {11}
+        b = space.property_set(["11", "01"])
+        # ĀB̄ contains 00 ≼ 11: comparable.
+        result = supermodular_necessary_criterion(a, b)
+        assert not result.holds
+
+    def test_criterion_holds_when_quadrants_empty(self):
+        space = HypercubeSpace(2)
+        a = space.property_set(["10"])
+        b = space.property_set(["01", "11", "00"])  # AB = ∅
+        assert supermodular_necessary_criterion(a, b).holds
+
+
+class TestSufficientCriterion:
+    def test_soundness_against_sampled_members(self):
+        """Prop 5.4 holds ⇒ no sampled Π_m⁺ member ever gains confidence."""
+        space = HypercubeSpace(3)
+        family = LogSupermodularFamily(space)
+        rng = np.random.default_rng(11)
+        members = family.sample_many(40, rng)
+        holds_count = 0
+        for a, b in random_pairs(space, 80, seed=8, allow_empty=True):
+            if supermodular_sufficient_criterion(a, b).holds:
+                holds_count += 1
+                for dist in members:
+                    assert safety_gap(dist, a, b) >= -1e-9, (a, b)
+        assert holds_count > 0
+
+    def test_up_down_implies_sufficient(self):
+        """Corollary 5.5 instances satisfy Proposition 5.4."""
+        space = HypercubeSpace(3)
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            a = up_closure(
+                space.property_set([int(rng.integers(space.size))])
+            )
+            b = down_closure(
+                space.property_set([int(rng.integers(space.size))])
+            )
+            assert up_down_criterion(a, b).holds
+            assert supermodular_sufficient_criterion(a, b).holds
+
+    def test_trivial_quadrant_cases(self):
+        space = HypercubeSpace(2)
+        a = space.property_set(["10"])
+        b = space.property_set(["01"])  # AB = ∅
+        assert supermodular_sufficient_criterion(a, b).holds
+        assert supermodular_sufficient_criterion(a, space.full).holds  # ĀB̄ = ∅
+
+
+class TestCorollary55:
+    def test_monotone_disclosure_protects_monotone_audit(self):
+        """Remark 5.6: a "no" to a monotone query protects a "yes" to another."""
+        space = HypercubeSpace(4)
+        # A: "at least records 1 and 2 present" (monotone, answered yes).
+        a = space.coordinate_set(1) & space.coordinate_set(2)
+        # B: complement of monotone query "record 3 present" = a down-set.
+        b = ~space.coordinate_set(3)
+        assert up_down_criterion(a, b).holds
+        family = LogSupermodularFamily(space)
+        rng = np.random.default_rng(3)
+        for dist in family.sample_many(25, rng):
+            assert safety_gap(dist, a, b) >= -1e-9
+
+    def test_vice_versa_direction(self):
+        space = HypercubeSpace(3)
+        a = ~space.coordinate_set(2)  # down-set
+        b = space.coordinate_set(1)  # up-set
+        assert up_down_criterion(a, b).holds
+
+
+class TestFourFunctionsTheorem:
+    @settings(max_examples=40, deadline=None)
+    @given(subsets3, subsets3, st.integers(0, 2**31 - 1))
+    def test_pointwise_implies_set_level(self, xs, ys, seed):
+        """Theorem 5.3 forward direction with α=β=γ=δ=P log-supermodular."""
+        space = HypercubeSpace(3)
+        rng = np.random.default_rng(seed)
+        dist = LogSupermodularFamily(space).sample(rng)
+        func = lambda w: float(dist.probs[w])
+        assert pointwise_condition_holds(space, func, func, func, func, tolerance=1e-9)
+        a, b = space.property_set(xs), space.property_set(ys)
+        assert set_inequality_holds(space, func, func, func, func, a, b)
+
+    def test_reverse_direction_counterexample(self):
+        """A non-supermodular P breaks the pointwise condition."""
+        space = HypercubeSpace(2)
+        dist = Distribution.from_mapping(space, {"01": 0.5, "10": 0.5})
+        func = lambda w: float(dist.probs[w])
+        assert not pointwise_condition_holds(space, func, func, func, func)
+
+
+class TestModularityHelpers:
+    def test_deficit_zero_for_members(self):
+        space = HypercubeSpace(3)
+        rng = np.random.default_rng(2)
+        dist = LogSupermodularFamily(space).sample(rng)
+        assert supermodularity_deficit(dist) <= 1e-9
+
+    def test_deficit_positive_for_antidiagonal(self):
+        space = HypercubeSpace(2)
+        dist = Distribution.from_mapping(space, {"01": 0.5, "10": 0.5})
+        assert supermodularity_deficit(dist) == pytest.approx(0.25)
+
+    def test_fkg_for_members(self):
+        """Up-sets are nonnegatively correlated under Π_m⁺ (FKG)."""
+        space = HypercubeSpace(3)
+        rng = np.random.default_rng(9)
+        family = LogSupermodularFamily(space)
+        u1 = up_closure(space.property_set(["100"]))
+        u2 = up_closure(space.property_set(["010"]))
+        for dist in family.sample_many(20, rng):
+            assert fkg_correlation_holds(dist, u1, u2)

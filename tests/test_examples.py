@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    required = {
+        "quickstart",
+        "hospital_audit",
+        "rectangle_worlds",
+        "monotone_queries",
+        "sos_certificates",
+        "online_strategies",
+        "flexibility_study",
+    }
+    assert required <= names

@@ -1,0 +1,161 @@
+"""Cross-module integration tests: the full paper pipeline, end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    AuditPolicy,
+    DisclosureLog,
+    OfflineAuditor,
+    PriorAssumption,
+)
+from repro.core import (
+    HypercubeSpace,
+    PossibilisticKnowledge,
+    safe_possibilistic,
+    safe_unrestricted,
+    safety_gap,
+)
+from repro.db import (
+    CandidateUniverse,
+    ColumnType,
+    Database,
+    TableSchema,
+    parse_boolean_query,
+)
+from repro.probabilistic import (
+    ProbabilisticAuditor,
+    ProductFamily,
+    audit_unconstrained,
+    decide_product_safety,
+)
+from tests.conftest import random_pairs
+
+
+class TestProposition38Integration:
+    """Safe_Π decisions are consistent with per-member quantification."""
+
+    def test_exact_safe_means_no_member_violates(self):
+        space = HypercubeSpace(3)
+        family = ProductFamily(space)
+        rng = np.random.default_rng(5)
+        members = family.sample_many(40, rng)
+        for a, b in random_pairs(space, 30, seed=61, allow_empty=True):
+            if decide_product_safety(a, b).is_safe:
+                for dist in members:
+                    assert safety_gap(dist, a, b) >= -1e-9, (a, b)
+
+    def test_exact_unsafe_witness_is_family_member(self):
+        space = HypercubeSpace(3)
+        family = ProductFamily(space)
+        for a, b in random_pairs(space, 30, seed=62, allow_empty=True):
+            verdict = decide_product_safety(a, b)
+            if verdict.is_unsafe:
+                witness = verdict.witness
+                assert family.contains(witness.to_dense()), (a, b)
+
+
+class TestTheorem311CrossModel:
+    """Probabilistic and possibilistic unrestricted auditors agree (Thm 3.11)."""
+
+    def test_verdict_agreement(self):
+        from repro.core import WorldSpace
+
+        small = WorldSpace(4)
+        k_poss = PossibilisticKnowledge.full(small)
+        for a, b in random_pairs(small, 60, seed=63):
+            prob_verdict = audit_unconstrained(a, b)
+            poss_result = safe_possibilistic(k_poss, a, b)
+            assert prob_verdict.is_safe == poss_result, (a, b)
+
+
+class TestSqlToVerdictPipeline:
+    """SQL text → AST → PropertySet → verdict, against hand-built sets."""
+
+    def test_full_stack(self):
+        db = Database()
+        db.create_table(
+            TableSchema.build("t", who=ColumnType.TEXT, what=ColumnType.TEXT)
+        )
+        r1 = db.insert("t", who="Bob", what="hiv")
+        r2 = db.insert("t", who="Bob", what="transfusion")
+        universe = CandidateUniverse(db, [r1, r2])
+        space = universe.space
+
+        a_text = "EXISTS(SELECT * FROM t WHERE who = 'Bob' AND what = 'hiv')"
+        b_text = (
+            f"{a_text} IMPLIES "
+            "EXISTS(SELECT * FROM t WHERE who = 'Bob' AND what = 'transfusion')"
+        )
+        a = universe.compile_boolean(parse_boolean_query(a_text))
+        b = universe.compile_boolean(parse_boolean_query(b_text))
+        assert a == space.coordinate_set(1)
+        assert b == (~space.coordinate_set(1) | space.coordinate_set(2))
+
+        verdict = ProbabilisticAuditor(space).audit(a, b)
+        assert verdict.is_safe
+        assert safe_unrestricted(a, b)
+
+    def test_policy_families_are_ordered_by_strictness(self):
+        """Remark 3.2 end-to-end: larger prior families flag at least as many
+        disclosures as smaller ones (product ⊆ log-supermodular ⊆ all)."""
+        db = Database()
+        db.create_table(
+            TableSchema.build("t", who=ColumnType.TEXT, what=ColumnType.TEXT)
+        )
+        records = [
+            db.insert("t", who="Bob", what="hiv"),
+            db.insert("t", who="Bob", what="transfusion"),
+            db.hypothetical_record("t", who="Eve", what="hiv"),
+        ]
+        universe = CandidateUniverse(db, records)
+        log = DisclosureLog()
+        queries = [
+            "EXISTS(SELECT * FROM t WHERE who = 'Bob' AND what = 'hiv') IMPLIES "
+            "EXISTS(SELECT * FROM t WHERE who = 'Bob' AND what = 'transfusion')",
+            "NOT EXISTS(SELECT * FROM t WHERE who = 'Eve')",
+            "EXISTS(SELECT * FROM t WHERE what = 'hiv')",
+            "COUNT(t WHERE what = 'hiv') >= 1",
+        ]
+        for i, text in enumerate(queries):
+            log.record(i, f"user{i}", parse_boolean_query(text))
+
+        audit_text = "EXISTS(SELECT * FROM t WHERE who = 'Bob' AND what = 'hiv')"
+
+        def flagged(assumption):
+            policy = AuditPolicy(
+                audit_query=parse_boolean_query(audit_text), assumption=assumption
+            )
+            report = OfflineAuditor(universe, policy).audit_log(log)
+            return {
+                f.event.user for f in report.findings if f.verdict.is_unsafe
+            }
+
+        product_flags = flagged(PriorAssumption.PRODUCT)
+        supermodular_flags = flagged(PriorAssumption.LOG_SUPERMODULAR)
+        unrestricted_flags = flagged(PriorAssumption.UNRESTRICTED)
+        # Product ⊂ log-supermodular ⊂ unconstrained: verdicts that are
+        # decided must be monotone.  (UNKNOWNs are not counted as flags.)
+        assert product_flags <= unrestricted_flags
+        assert supermodular_flags <= unrestricted_flags
+
+
+class TestWitnessQuality:
+    """Every UNSAFE witness across the stack genuinely gains confidence."""
+
+    def test_product_pipeline_witnesses(self):
+        space = HypercubeSpace(3)
+        auditor = ProbabilisticAuditor(space, optimizer_restarts=8)
+        checked = 0
+        for a, b in random_pairs(space, 25, seed=64):
+            verdict = auditor.audit(a, b)
+            if verdict.is_unsafe and verdict.witness is not None:
+                witness = verdict.witness
+                gap = (
+                    witness.prob(a) * witness.prob(b) - witness.prob(a & b)
+                )
+                assert gap < 1e-9, (a, b, verdict.method)
+                checked += 1
+        assert checked > 5

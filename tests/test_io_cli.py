@@ -1,0 +1,124 @@
+"""Tests for the JSON scenario loader and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.audit import OfflineAuditor, PriorAssumption
+from repro.exceptions import ParseError, QueryError
+from repro.io import Scenario, example_scenario_document, load_scenario
+
+
+class TestLoadScenario:
+    def test_example_document_loads(self):
+        scenario = load_scenario(example_scenario_document())
+        assert isinstance(scenario, Scenario)
+        assert scenario.universe.space.n == 2
+        assert len(scenario.log) == 3
+        assert scenario.policy.assumption is PriorAssumption.PRODUCT
+
+    def test_loads_from_json_string(self):
+        text = json.dumps(example_scenario_document())
+        scenario = load_scenario(text)
+        assert scenario.policy.name == "bob-hiv-leak"
+
+    def test_loads_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(example_scenario_document()))
+        scenario = load_scenario(path)
+        assert len(scenario.universe.candidates) == 2
+
+    def test_hypothetical_records(self):
+        document = example_scenario_document()
+        document["records"].append(
+            {
+                "table": "facts",
+                "values": {"patient": "Eve", "kind": "hiv_positive"},
+                "present": False,
+            }
+        )
+        scenario = load_scenario(document)
+        assert scenario.universe.space.n == 3
+        assert len(scenario.database.all_records()) == 2  # Eve not inserted
+
+    def test_audit_result_matches_direct_construction(self):
+        scenario = load_scenario(example_scenario_document())
+        report = OfflineAuditor(scenario.universe, scenario.policy).audit_log(
+            scenario.log
+        )
+        assert report.suspicious_users == ("mallory",)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(QueryError):
+            load_scenario({"tables": {}, "records": []})  # no policy
+
+    def test_unknown_column_type_rejected(self):
+        document = example_scenario_document()
+        document["tables"]["facts"]["patient"] = "varchar"
+        with pytest.raises(QueryError):
+            load_scenario(document)
+
+    def test_unknown_assumption_rejected(self):
+        document = example_scenario_document()
+        document["policy"]["assumption"] = "differential-privacy"
+        with pytest.raises(QueryError):
+            load_scenario(document)
+
+    def test_malformed_query_rejected(self):
+        document = example_scenario_document()
+        document["log"][0]["query"] = "SELECT FROM WHERE"
+        with pytest.raises(ParseError):
+            load_scenario(document)
+
+    def test_record_missing_table_rejected(self):
+        document = example_scenario_document()
+        document["records"].append({"values": {"patient": "X", "kind": "y"}})
+        with pytest.raises(QueryError):
+            load_scenario(document)
+
+
+class TestCli:
+    @pytest.fixture
+    def scenario_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(example_scenario_document()))
+        return str(path)
+
+    def test_audit_command(self, scenario_path, capsys):
+        exit_code = main(["audit", scenario_path])
+        output = capsys.readouterr().out
+        assert exit_code == 1  # mallory is flagged
+        assert "suspicion falls on: mallory" in output
+
+    def test_check_command_safe(self, scenario_path, capsys):
+        exit_code = main([
+            "check", scenario_path, "--query",
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')"
+            " IMPLIES "
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'transfusion')",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "SAFE" in output
+
+    def test_check_command_unsafe(self, scenario_path, capsys):
+        exit_code = main([
+            "check", scenario_path, "--query",
+            "EXISTS(SELECT * FROM facts WHERE patient = 'Bob' AND kind = 'hiv_positive')",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "UNSAFE" in output and "witness" in output
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "mallory" in output
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1"]) == 0
+        output = capsys.readouterr().out
+        assert "(1, 1, 4, 4)" in output
