@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-all
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m repro.perf.bench
+
+bench-all:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q

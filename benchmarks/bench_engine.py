@@ -1,0 +1,53 @@
+"""E14 — the batched audit engine vs the seed per-event loop.
+
+A quick, tier-2 smoke run of :mod:`repro.perf.bench`: one mixed-density
+Zipf-weighted disclosure log audited by the seed loop, the batched serial
+engine and the (gated) parallel engine, asserting verdict identity and the
+≥3× batched-vs-seed speedup before writing ``BENCH_audit_pipeline.json``.
+The standalone ``python -m repro.perf.bench`` entry point (or ``make
+bench``) runs the same workload at full size; this copy keeps the event
+count small so the whole file fits a test-suite time budget.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+from repro.perf import write_bench_json
+from repro.perf.bench import run_bench
+
+
+def test_engine_speedup_smoke(results_dir):
+    document = run_bench(n_events=120, n_workers=4, seed=7)
+    write_bench_json(results_dir / "BENCH_audit_pipeline.json", document)
+
+    assert document["verdict_identical"]
+    workload = document["workload"]
+    assert workload["duplicate_fraction"] >= 0.30
+    assert document["speedup_serial_vs_seed"] >= 1.5
+    assert document["speedup_warm_vs_seed"] >= document["speedup_serial_vs_seed"]
+    # The warm rerun must be ~pure cache: every lookup after the cold run hits.
+    cache = document["engine_serial"]["cache"]
+    assert cache["misses"] == workload["unique_answers"]
+
+    lines = [
+        f"events={workload['events']}  unique={workload['unique_answers']}  "
+        f"duplicates={workload['duplicate_fraction']:.0%}",
+    ]
+    for name in (
+        "seed_loop",
+        "engine_serial",
+        "engine_parallel",
+        "engine_pool_forced",
+        "engine_warm",
+    ):
+        row = document[name]
+        lines.append(
+            f"{name:18s} {row['seconds'] * 1e3:9.2f} ms "
+            f"{row['events_per_sec']:12.0f} ev/s"
+        )
+    lines.append(
+        f"speedup vs seed: serial {document['speedup_serial_vs_seed']}x  "
+        f"parallel {document['speedup_parallel_vs_seed']}x  "
+        f"warm {document['speedup_warm_vs_seed']}x"
+    )
+    report_table("E14: batched audit engine vs seed loop", lines)

@@ -6,8 +6,9 @@ answer-strategy simulator (truthful denial vs. always-deny vs. the
 footnote-1 coin flip).
 """
 
+from .engine import BatchAuditEngine, VerdictCache
 from .log import DisclosureEvent, DisclosureLog
-from .offline import AuditReport, EventFinding, OfflineAuditor
+from .offline import AuditReport, EventFinding, OfflineAuditor, make_decider
 from .online import (
     AlwaysDenyStrategy,
     Answer,
@@ -31,6 +32,7 @@ __all__ = [
     "AnswerStrategy",
     "AuditPolicy",
     "AuditReport",
+    "BatchAuditEngine",
     "BayesianResult",
     "BayesianStep",
     "CoinFlipStrategy",
@@ -43,6 +45,8 @@ __all__ = [
     "SimulationResult",
     "SimulationStep",
     "TruthfulDenialStrategy",
+    "VerdictCache",
+    "make_decider",
     "render_report",
     "simulate",
     "simulate_bayesian",

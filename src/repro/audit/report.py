@@ -26,10 +26,12 @@ def render_report(report: AuditReport, width: int = 78) -> str:
             )
     lines.append("-" * width)
     counts = report.counts()
-    lines.append(
-        f"events: {len(report.findings)}  safe: {counts['safe']}  "
-        f"unsafe: {counts['unsafe']}  unknown: {counts['unknown']}"
-    )
+    summary = "  ".join(
+        f"{status}: {count}" for status, count in counts.items() if count
+    ) or "safe: 0  unsafe: 0  unknown: 0"
+    lines.append(f"events: {len(report.findings)}  {summary}")
+    if report.cache_stats is not None and report.cache_stats.lookups:
+        lines.append(f"verdict cache: {report.cache_stats}")
     if report.suspicious_users:
         lines.append("suspicion falls on: " + ", ".join(report.suspicious_users))
     if report.cleared_users:

@@ -19,6 +19,7 @@ hypercube the integer doubles as the bit mask of present records.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import (
     Callable,
@@ -335,11 +336,12 @@ class PropertySet:
     ``^`` (xor), ``~`` (negation/complement), and the subset comparisons.
     """
 
-    __slots__ = ("_space", "_members")
+    __slots__ = ("_space", "_members", "_fingerprint")
 
     def __init__(self, space: WorldSpace, members: Iterable[int]) -> None:
         self._space = space
         self._members: FrozenSet[int] = frozenset(members)
+        self._fingerprint: Optional[str] = None
         for w in self._members:
             if not 0 <= w < space.size:
                 raise ValueError(f"world {w} outside {space!r}")
@@ -420,6 +422,23 @@ class PropertySet:
 
     def __hash__(self) -> int:
         return hash((self._space, self._members))
+
+    def fingerprint(self) -> str:
+        """A stable content digest of ``(space, members)``.
+
+        Unlike :func:`hash` (whose string component is salted per process),
+        the fingerprint is identical across processes and sessions, so it can
+        key caches shared between workers — the audit engine's verdict cache
+        keys decisions by these digests.  Computed once and memoised.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(type(self._space).__name__.encode())
+            digest.update(repr(self._space._key()).encode())
+            for world in sorted(self._members):
+                digest.update(world.to_bytes(8, "little"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def sorted_members(self) -> List[int]:
         """Member ids in increasing order (deterministic iteration helper)."""

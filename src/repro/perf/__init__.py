@@ -1,0 +1,106 @@
+"""Performance instrumentation shared by the audit engine and benchmarks.
+
+Small, dependency-free helpers: :class:`CacheStats` counters (surfaced on
+:class:`~repro.audit.offline.AuditReport` and by the interval oracles),
+a :class:`Stopwatch` for wall-clock sections, and the ``BENCH_*.json``
+artifact writer used to track the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+__all__ = [
+    "CacheStats",
+    "Stopwatch",
+    "machine_info",
+    "write_bench_json",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache, with a derived hit rate.
+
+    ``hits`` counts lookups served without recomputation — including
+    duplicates answered by a decision scheduled earlier in the same batch.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combined counters of two caches (e.g. verdict + compile caches)."""
+        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%})"
+
+
+class Stopwatch:
+    """Context manager measuring a wall-clock section.
+
+    >>> with Stopwatch() as clock:
+    ...     do_work()
+    >>> clock.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+def machine_info() -> Dict[str, Any]:
+    """The environment fields stamped into every bench artifact."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def write_bench_json(
+    path: Union[str, pathlib.Path], document: Dict[str, Any]
+) -> pathlib.Path:
+    """Write a ``BENCH_*.json`` artifact (machine info added under ``env``).
+
+    The artifact is the cross-PR perf record: benchmarks append measured
+    events/sec, cache hit rates and speedups here so regressions are visible
+    in review diffs.
+    """
+    path = pathlib.Path(path)
+    document = dict(document)
+    document.setdefault("env", machine_info())
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,314 @@
+"""E14 — the audit-pipeline benchmark behind ``BENCH_audit_pipeline.json``.
+
+A synthetic, mixed-density disclosure log over an E11-style hospital
+registry (``n = 3`` candidate records on top of a populated background
+table): query answers range from dense implication sets to sparse SELECT
+outputs, and — like any real query log — popular queries repeat heavily
+(Zipf-weighted sampling, ≥30% duplicate answers guaranteed).
+
+Three pipelines audit the same log:
+
+* ``seed``     — the original per-event loop (compile + decide per event);
+* ``serial``   — the batched engine with one worker (dedupe + verdict cache);
+* ``parallel`` — the batched engine fanning decisions out to a process pool.
+
+The artifact records events/sec for each, the verdict-cache hit rate, the
+measured duplicate fraction, and the speedups; serial and parallel reports
+are asserted verdict-identical before anything is written.
+
+Run ``python -m repro.perf.bench`` (or ``make bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..audit import (
+    AuditPolicy,
+    AuditReport,
+    BatchAuditEngine,
+    DisclosureLog,
+    OfflineAuditor,
+    PriorAssumption,
+)
+from ..db import (
+    CandidateUniverse,
+    ColumnType,
+    Database,
+    TableSchema,
+    parse_boolean_query,
+    parse_select_query,
+)
+from . import Stopwatch, write_bench_json
+
+DEFAULT_EVENTS = 250
+DEFAULT_WORKERS = 4
+DEFAULT_SEED = 7
+DEFAULT_OUTPUT = "BENCH_audit_pipeline.json"
+
+#: The E11-style audit query: is Bob's HIV diagnosis disclosed?
+AUDIT_QUERY = (
+    "EXISTS(SELECT * FROM diagnoses WHERE patient = 'Bob' AND disease = 'hiv')"
+)
+
+
+def build_registry(background_rows: int = 48) -> CandidateUniverse:
+    """The E14 hospital registry: 3 candidate records over a populated table.
+
+    The candidate set is deliberately small (the paper's Section 6 point:
+    after coarse disclosures few worlds stay relevant) while the table
+    itself is not — background rows make every query evaluation scan a
+    realistically sized relation.
+    """
+    db = Database()
+    db.create_table(
+        TableSchema.build(
+            "diagnoses", patient=ColumnType.TEXT, disease=ColumnType.TEXT
+        )
+    )
+    diseases = ("flu", "hiv", "hepatitis", "measles")
+    for i in range(background_rows):
+        db.insert(
+            "diagnoses", patient=f"patient{i:03d}", disease=diseases[i % 4]
+        )
+    candidates = [
+        db.insert("diagnoses", patient="Bob", disease="hiv"),
+        db.insert("diagnoses", patient="Carol", disease="hiv"),
+        db.hypothetical_record("diagnoses", patient="Dana", disease="hiv"),
+    ]
+    return CandidateUniverse(db, candidates)
+
+
+def _exists(patient: str) -> str:
+    return f"EXISTS(SELECT * FROM diagnoses WHERE patient = '{patient}')"
+
+
+def query_pool(universe: CandidateUniverse) -> List[Any]:
+    """Mixed-density query shapes over the candidate records.
+
+    Answer sets span the density spectrum: implications and negated counts
+    compile to dense (6-world) sets, plain EXISTS to half-cubes, conjunction
+    and SELECT answers to sparse (1–2 world) sets.
+    """
+    patients = ("Bob", "Carol", "Dana")
+    texts: List[str] = []
+    for p in patients:
+        texts.append(_exists(p))
+        texts.append(f"NOT {_exists(p)}")
+    for p in patients:
+        for q in patients:
+            if p == q:
+                continue
+            texts.append(f"{_exists(p)} IMPLIES {_exists(q)}")
+    for i, p in enumerate(patients):
+        for q in patients[i + 1 :]:
+            texts.append(f"{_exists(p)} OR {_exists(q)}")
+            texts.append(f"{_exists(p)} AND {_exists(q)}")
+            texts.append(f"NOT {_exists(p)} OR NOT {_exists(q)}")
+    # Counts over the whole relation: thresholds around the background HIV
+    # tally make the answer depend on exactly how many candidates are real.
+    background_hiv = 12  # background_rows // 4 at the default size
+    for k in range(background_hiv, background_hiv + 4):
+        texts.append(f"COUNT(diagnoses WHERE disease = 'hiv') >= {k}")
+        texts.append(f"NOT COUNT(diagnoses WHERE disease = 'hiv') >= {k}")
+    # Compound audit-shaped disclosures (dense, §1.1-style).
+    texts.append(
+        f"({_exists('Bob')} IMPLIES {_exists('Carol')}) AND "
+        f"({_exists('Dana')} IMPLIES {_exists('Bob')})"
+    )
+    texts.append(
+        f"({_exists('Carol')} OR {_exists('Dana')}) AND "
+        f"(NOT {_exists('Dana')} OR {_exists('Bob')})"
+    )
+    queries: List[Any] = [parse_boolean_query(text) for text in texts]
+    # SELECT answers: exact projected rows, typically pinning single worlds.
+    for p in patients:
+        queries.append(
+            parse_select_query(
+                f"SELECT disease FROM diagnoses WHERE patient = '{p}'"
+            )
+        )
+    queries.append(
+        parse_select_query("SELECT patient FROM diagnoses WHERE disease = 'hiv'")
+    )
+    return queries
+
+
+def build_mixed_density_log(
+    universe: CandidateUniverse,
+    n_events: int = DEFAULT_EVENTS,
+    seed: int = DEFAULT_SEED,
+) -> DisclosureLog:
+    """A Zipf-weighted synthetic log: popular queries dominate, as in real
+    workloads, guaranteeing a high duplicate-answer fraction."""
+    pool = query_pool(universe)
+    rnd = random.Random(seed)
+    rnd.shuffle(pool)
+    weights = [1.0 / rank for rank in range(1, len(pool) + 1)]
+    log = DisclosureLog()
+    for t, query in enumerate(rnd.choices(pool, weights=weights, k=n_events)):
+        log.record(t, f"user{t % 17:02d}", query)
+    return log
+
+
+def duplicate_fraction(engine: BatchAuditEngine, log: DisclosureLog) -> float:
+    """Fraction of events whose disclosed set repeats an earlier event's."""
+    sets = engine.compile_log(log)
+    return 1.0 - len({s.fingerprint() for s in sets}) / len(sets) if sets else 0.0
+
+
+def _statuses(report: AuditReport) -> List[str]:
+    return [finding.verdict.status.value for finding in report.findings]
+
+
+def run_bench(
+    n_events: int = DEFAULT_EVENTS,
+    n_workers: int = DEFAULT_WORKERS,
+    seed: int = DEFAULT_SEED,
+    assumption: PriorAssumption = PriorAssumption.PRODUCT,
+) -> Dict[str, Any]:
+    """Audit one synthetic log through all three pipelines and compare."""
+    universe = build_registry()
+    log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
+    policy = AuditPolicy(
+        audit_query=parse_boolean_query(AUDIT_QUERY),
+        assumption=assumption,
+        name="bench-audit-pipeline",
+    )
+
+    auditor = OfflineAuditor(universe, policy)
+    with Stopwatch() as seed_clock:
+        seed_report = auditor.audit_log_serial(log)
+
+    serial_engine = BatchAuditEngine(universe, policy, n_workers=1)
+    with Stopwatch() as serial_clock:
+        serial_report = serial_engine.audit_log(log)
+
+    parallel_engine = BatchAuditEngine(universe, policy, n_workers=n_workers)
+    with Stopwatch() as parallel_clock:
+        parallel_report = parallel_engine.audit_log(log)
+
+    # Forced-pool run: bypass the adaptive small-batch gate so the true
+    # fork/pickle cost of the fan-out is on record alongside the default.
+    forced_engine = BatchAuditEngine(
+        universe, policy, n_workers=n_workers, parallel_threshold=0
+    )
+    with Stopwatch() as forced_clock:
+        forced_report = forced_engine.audit_log(log)
+
+    # Warm-cache rerun: the steady-state cost of re-auditing a known log.
+    with Stopwatch() as warm_clock:
+        warm_report = serial_engine.audit_log(log)
+
+    if _statuses(serial_report) != _statuses(seed_report):
+        raise AssertionError("batched engine disagrees with the seed loop")
+    if _statuses(parallel_report) != _statuses(serial_report):
+        raise AssertionError("parallel and serial engine reports differ")
+    if _statuses(forced_report) != _statuses(serial_report):
+        raise AssertionError("forced-pool engine report differs from serial")
+    if _statuses(warm_report) != _statuses(serial_report):
+        raise AssertionError("warm-cache rerun differs from cold run")
+
+    events = len(list(log))
+    dup = duplicate_fraction(serial_engine, log)
+    document: Dict[str, Any] = {
+        "benchmark": "audit_pipeline",
+        "workload": {
+            "events": events,
+            "unique_answers": len(
+                {s.fingerprint() for s in serial_engine.compile_log(log)}
+            ),
+            "duplicate_fraction": round(dup, 4),
+            "n": universe.space.n,
+            "assumption": assumption.value,
+            "seed": seed,
+        },
+        "seed_loop": {
+            "seconds": round(seed_clock.elapsed, 6),
+            "events_per_sec": round(events / seed_clock.elapsed, 1),
+        },
+        "engine_serial": {
+            "seconds": round(serial_clock.elapsed, 6),
+            "events_per_sec": round(events / serial_clock.elapsed, 1),
+            "cache": serial_report.cache_stats.as_dict(),
+        },
+        "engine_parallel": {
+            "seconds": round(parallel_clock.elapsed, 6),
+            "events_per_sec": round(events / parallel_clock.elapsed, 1),
+            "n_workers": n_workers,
+            "pool_engaged": parallel_engine.pool_engaged,
+            "cache": parallel_report.cache_stats.as_dict(),
+        },
+        "engine_pool_forced": {
+            "seconds": round(forced_clock.elapsed, 6),
+            "events_per_sec": round(events / forced_clock.elapsed, 1),
+            "n_workers": n_workers,
+            "pool_engaged": forced_engine.pool_engaged,
+        },
+        "engine_warm": {
+            "seconds": round(warm_clock.elapsed, 6),
+            "events_per_sec": round(events / warm_clock.elapsed, 1),
+        },
+        "speedup_parallel_vs_seed": round(
+            seed_clock.elapsed / parallel_clock.elapsed, 2
+        ),
+        "speedup_serial_vs_seed": round(
+            seed_clock.elapsed / serial_clock.elapsed, 2
+        ),
+        "speedup_warm_vs_seed": round(seed_clock.elapsed / warm_clock.elapsed, 2),
+        "verdict_identical": True,
+        "counts": serial_report.counts(),
+    }
+    return document
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Benchmark the batched audit engine and write BENCH_audit_pipeline.json",
+    )
+    parser.add_argument("--events", type=int, default=DEFAULT_EVENTS)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--assumption",
+        choices=[a.value for a in PriorAssumption],
+        default=PriorAssumption.PRODUCT.value,
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    document = run_bench(
+        n_events=args.events,
+        n_workers=args.workers,
+        seed=args.seed,
+        assumption=PriorAssumption(args.assumption),
+    )
+    path = write_bench_json(args.output, document)
+    workload = document["workload"]
+    print(f"wrote {path}")
+    print(
+        f"events={workload['events']}  unique answers={workload['unique_answers']}  "
+        f"duplicates={workload['duplicate_fraction']:.0%}"
+    )
+    for name in (
+        "seed_loop",
+        "engine_serial",
+        "engine_parallel",
+        "engine_pool_forced",
+        "engine_warm",
+    ):
+        row = document[name]
+        print(f"{name:16s} {row['seconds']*1e3:9.1f} ms  {row['events_per_sec']:10.0f} ev/s")
+    print(
+        f"speedup vs seed: serial {document['speedup_serial_vs_seed']}x  "
+        f"parallel({args.workers}w) {document['speedup_parallel_vs_seed']}x  "
+        f"warm {document['speedup_warm_vs_seed']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

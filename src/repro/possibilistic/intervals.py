@@ -25,11 +25,24 @@ from typing import Dict, Optional, Tuple
 from ..core.knowledge import PossibilisticKnowledge
 from ..core.worlds import PropertySet, WorldSpace
 from ..exceptions import NotIntersectionClosedError
+from ..perf import CacheStats
 from .families import KnowledgeFamily
 
 
 class IntervalOracle:
-    """Protocol-style base for interval computations over an ∩-closed ``K``."""
+    """Base for interval computations over an ∩-closed ``K``.
+
+    Subclasses implement :meth:`_compute_interval`; the base class memoises
+    every ``I_K(ω₁, ω₂)`` by ``(origin, world)`` key, so partition and
+    margin computations that revisit the same origin across many calls
+    (:func:`~repro.possibilistic.minimal.minimal_intervals_to` queries each
+    interval up to ``O(|Ā|)`` times) reuse the work.  :meth:`cache_clear`
+    resets the memo, e.g. between workloads with long-lived oracles.
+    """
+
+    def __init__(self) -> None:
+        self._interval_cache: Dict[Tuple[int, int], Optional[PropertySet]] = {}
+        self._interval_stats = CacheStats()
 
     @property
     def space(self) -> WorldSpace:
@@ -41,7 +54,30 @@ class IntervalOracle:
 
     def interval(self, world1: int, world2: int) -> Optional[PropertySet]:
         """``I_K(ω₁, ω₂)`` of Definition 4.4, or ``None`` when it does not exist."""
+        key = (world1, world2)
+        try:
+            value = self._interval_cache[key]
+        except KeyError:
+            self._interval_stats.misses += 1
+            value = self._interval_cache[key] = self._compute_interval(
+                world1, world2
+            )
+        else:
+            self._interval_stats.hits += 1
+        return value
+
+    def _compute_interval(self, world1: int, world2: int) -> Optional[PropertySet]:
+        """The uncached interval computation; implemented by subclasses."""
         raise NotImplementedError
+
+    def cache_clear(self) -> None:
+        """Drop all memoised intervals and reset the hit/miss counters."""
+        self._interval_cache.clear()
+        self._interval_stats = CacheStats()
+
+    def cache_info(self) -> CacheStats:
+        """Hit/miss counters of the interval memo."""
+        return self._interval_stats
 
     def interval_exists(self, world1: int, world2: int) -> bool:
         return self.interval(world1, world2) is not None
@@ -74,10 +110,12 @@ class ExplicitIntervalIndex(IntervalOracle):
 
     ``I_K(ω₁, ω₂) = ∩ {S : (ω₁, S) ∈ K, ω₂ ∈ S}``; the intersection is a
     member of the family because ``K`` is ∩-closed (both sets contain
-    ``ω₁``, so their meet is consistent).  Intervals are memoised.
+    ``ω₁``, so their meet is consistent).  Intervals are memoised by the
+    base class.
     """
 
     def __init__(self, knowledge: PossibilisticKnowledge) -> None:
+        super().__init__()
         if not knowledge.is_intersection_closed():
             raise NotIntersectionClosedError(
                 "intervals are defined for ∩-closed K only (Definition 4.4)"
@@ -86,7 +124,6 @@ class ExplicitIntervalIndex(IntervalOracle):
         self._by_world: Dict[int, list] = {}
         for pair in knowledge:
             self._by_world.setdefault(pair.world, []).append(pair.knowledge)
-        self._cache: Dict[Tuple[int, int], Optional[PropertySet]] = {}
 
     @property
     def space(self) -> WorldSpace:
@@ -99,13 +136,7 @@ class ExplicitIntervalIndex(IntervalOracle):
     def candidate_worlds(self) -> PropertySet:
         return self._knowledge.worlds()
 
-    def interval(self, world1: int, world2: int) -> Optional[PropertySet]:
-        key = (world1, world2)
-        if key not in self._cache:
-            self._cache[key] = self._compute(world1, world2)
-        return self._cache[key]
-
-    def _compute(self, world1: int, world2: int) -> Optional[PropertySet]:
+    def _compute_interval(self, world1: int, world2: int) -> Optional[PropertySet]:
         containing = [
             s for s in self._by_world.get(world1, []) if world2 in s
         ]
@@ -129,6 +160,7 @@ class FamilyIntervalOracle(IntervalOracle):
     """
 
     def __init__(self, candidates: PropertySet, family: KnowledgeFamily) -> None:
+        super().__init__()
         candidates.space.check_same(family.space)
         if not candidates:
             raise ValueError("the candidate set C must be non-empty")
@@ -150,7 +182,7 @@ class FamilyIntervalOracle(IntervalOracle):
     def candidate_worlds(self) -> PropertySet:
         return self._candidates
 
-    def interval(self, world1: int, world2: int) -> Optional[PropertySet]:
+    def _compute_interval(self, world1: int, world2: int) -> Optional[PropertySet]:
         if world1 not in self._candidates:
             return None
         return self._family.interval_between(world1, world2)

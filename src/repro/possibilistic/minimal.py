@@ -12,7 +12,7 @@ with, and Figure 1's hatched regions are exactly these classes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.worlds import PropertySet
 from .intervals import IntervalOracle
@@ -40,23 +40,22 @@ def minimal_intervals_to(
     ``I_K(ω₁, ω₂)`` with ``ω₂ ∈ X`` is minimal iff every
     ``ω₂' ∈ X ∩ I_K(ω₁, ω₂)`` satisfies ``I_K(ω₁, ω₂') = I_K(ω₁, ω₂)``.
     Duplicate intervals (realised by several witnesses) are reported once.
+
+    Interval lookups go through the oracle's ``(origin, ω₂)`` memo, so
+    partition computations across many origins (and repeated calls with the
+    same oracle) reuse each interval instead of rebuilding a private cache
+    per call.
     """
     oracle.space.check_same(target.space)
     intervals: Dict[frozenset, Tuple[int, PropertySet]] = {}
-    cache: Dict[int, Optional[PropertySet]] = {}
-
-    def interval_of(w2: int) -> Optional[PropertySet]:
-        if w2 not in cache:
-            cache[w2] = oracle.interval(origin, w2)
-        return cache[w2]
 
     for w2 in target.sorted_members():
-        candidate = interval_of(w2)
+        candidate = oracle.interval(origin, w2)
         if candidate is None:
             continue
         minimal = True
         for w2_prime in (candidate & target).sorted_members():
-            other = interval_of(w2_prime)
+            other = oracle.interval(origin, w2_prime)
             if other is None or other != candidate:
                 minimal = False
                 break

@@ -81,6 +81,8 @@ class ProbabilisticAuditor:
         inconclusive (only for ``n ≤ 12``).
     optimizer_restarts:
         Multi-start count for the numeric counterexample search.
+    atol:
+        Tolerance forwarded to the exact Bernstein decision.
     """
 
     def __init__(
@@ -90,6 +92,7 @@ class ProbabilisticAuditor:
         use_exact: bool = True,
         optimizer_restarts: int = 24,
         rng: Optional[np.random.Generator] = None,
+        atol: Optional[float] = None,
     ) -> None:
         if not isinstance(space, HypercubeSpace):
             raise TypeError("the probabilistic auditor works over hypercube spaces")
@@ -98,6 +101,7 @@ class ProbabilisticAuditor:
         self._use_exact = use_exact and space.n <= MAX_EXACT_DIMENSION
         self._restarts = optimizer_restarts
         self._rng = rng or np.random.default_rng(0)
+        self._atol = atol
 
     @property
     def space(self) -> HypercubeSpace:
@@ -107,8 +111,18 @@ class ProbabilisticAuditor:
         self._space.check_same(audited.space)
         self._space.check_same(disclosed.space)
 
-    def audit(self, audited: PropertySet, disclosed: PropertySet) -> AuditVerdict:
-        """Decide ``Safe_{Π_m⁰}(A, B)`` via the staged pipeline."""
+    def audit(
+        self,
+        audited: PropertySet,
+        disclosed: PropertySet,
+        tensor: Optional[np.ndarray] = None,
+    ) -> AuditVerdict:
+        """Decide ``Safe_{Π_m⁰}(A, B)`` via the staged pipeline.
+
+        ``tensor`` optionally carries a precomputed safety-gap tensor for
+        the exact stage (see :func:`decide_product_safety`); batch layers
+        use it to share tensors across repeated decisions of one pair.
+        """
         self._check(audited, disclosed)
         trace: List[str] = []
 
@@ -146,7 +160,8 @@ class ProbabilisticAuditor:
                 return self._finish(verdict, trace)
 
         if self._use_exact:
-            verdict = decide_product_safety(audited, disclosed)
+            kwargs = {} if self._atol is None else {"atol": self._atol}
+            verdict = decide_product_safety(audited, disclosed, tensor=tensor, **kwargs)
             trace.append(str(verdict))
             if verdict.is_decided:
                 return self._finish(verdict, trace)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -81,16 +82,34 @@ def bernstein_range(coeffs: np.ndarray) -> Tuple[float, float]:
     return float(coeffs.min()), float(coeffs.max())
 
 
-def _corner_values(coeffs: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
+@lru_cache(maxsize=None)
+def _corner_picks(n: int) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+    """The corner index table for ``(3,)*n`` Bernstein tensors, per dimension.
+
+    Row ``k`` gives the per-axis node index of corner ``k`` (0 = low end of
+    the axis, 2 = high end).  The table is identical for every box of the
+    same dimension, yet the branch and bound used to re-enumerate it (and
+    gather values through a Python loop) on *every* box push — exponential
+    rebuild work per node.  Cached per ``n``, with the transposed advanced
+    index precomputed for a single vectorised gather.  Treat as read-only.
+    """
+    picks = np.array(
+        list(itertools.product((0, 2), repeat=n)), dtype=np.intp
+    ).reshape(1 << n, n)
+    gather = tuple(np.ascontiguousarray(col) for col in picks.T)
+    return picks, gather
+
+
+def _corner_values(coeffs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Exact polynomial values at the box corners (corner Bernstein coefficients).
 
-    Returns the value vector and the per-corner index tuples (0 = low end of
+    Returns the value vector and the per-corner index rows (0 = low end of
     the axis, 2 = high end).
     """
-    n = coeffs.ndim
-    picks_list = list(itertools.product((0, 2), repeat=n))
-    corners = np.array([coeffs[picks] for picks in picks_list])
-    return corners, picks_list
+    picks, gather = _corner_picks(coeffs.ndim)
+    if coeffs.ndim == 0:
+        return coeffs.reshape(1), picks
+    return coeffs[gather], picks
 
 
 @dataclass(frozen=True)
@@ -131,14 +150,11 @@ def decide_nonnegative_on_box(
         lower, _ = bernstein_range(coeffs)
         if lower >= -atol:
             return None  # certified nonnegative on this box; prune
-        corners, picks_list = _corner_values(coeffs)
+        corners, picks = _corner_values(coeffs)
         worst = int(np.argmin(corners))
         if corners[worst] < -atol:
             # Corner coefficients are exact evaluations: immediate witness.
-            picks = picks_list[worst]
-            return np.array(
-                [hi[i] if pick == 2 else lo[i] for i, pick in enumerate(picks)]
-            )
+            return np.where(picks[worst] == 2, hi, lo)
         heapq.heappush(heap, (lower, next(counter), coeffs, lo, hi))
         return None
 
@@ -173,18 +189,29 @@ def decide_product_safety(
     disclosed: PropertySet,
     atol: float = DEFAULT_ATOL,
     max_boxes: int = 200_000,
+    tensor: Optional[np.ndarray] = None,
 ) -> AuditVerdict:
     """Decide ``Safe_{Π_m⁰}(A, B)`` rigorously (up to ``atol``) for ``n ≤ 12``.
 
     SAFE verdicts certify ``g ≥ −atol`` over the entire Bernoulli box;
     UNSAFE verdicts carry an exactly-evaluated witness
     :class:`ProductDistribution`.
+
+    ``tensor`` optionally supplies a precomputed :func:`safety_gap_tensor`
+    of the pair, letting batch layers share one tensor across repeated
+    decisions of the same ``(A, B)`` (e.g. assumption/tolerance ablations).
     """
     space = audited.space
     if not isinstance(space, HypercubeSpace):
         raise TypeError("product-family safety is defined on hypercube spaces")
     space.check_same(disclosed.space)
-    tensor = safety_gap_tensor(audited, disclosed)
+    if tensor is None:
+        tensor = safety_gap_tensor(audited, disclosed)
+    elif tensor.shape != (3,) * space.n:
+        raise ValueError(
+            f"precomputed tensor has shape {tensor.shape}; "
+            f"expected {(3,) * space.n}"
+        )
     decision = decide_nonnegative_on_box(tensor, atol=atol, max_boxes=max_boxes)
     if decision.nonnegative is True:
         return AuditVerdict.safe(
