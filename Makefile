@@ -1,13 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-all
+.PHONY: test bench bench-smoke bench-all
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m repro.perf.bench
+
+# Down-scaled E14/E15 sanity run for CI: tiny workloads, throwaway output.
+bench-smoke:
+	$(PYTHON) -m repro.perf.bench --smoke --output BENCH_smoke.json
 
 bench-all:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest -q

@@ -17,10 +17,13 @@ from repro.perf.bench import run_bench
 
 
 def test_engine_speedup_smoke(results_dir):
-    document = run_bench(n_events=120, n_workers=4, seed=7)
+    document = run_bench(
+        n_events=120, n_workers=4, seed=7, serial_n=8, serial_disclosures=40
+    )
     write_bench_json(results_dir / "BENCH_audit_pipeline.json", document)
 
     assert document["verdict_identical"]
+    assert document["serial_path"]["verdict_identical"]
     workload = document["workload"]
     assert workload["duplicate_fraction"] >= 0.30
     assert document["speedup_serial_vs_seed"] >= 1.5

@@ -1,0 +1,42 @@
+"""E15 — packed-mask serial decision path vs the frozenset reference.
+
+A tier-2 smoke run of the E15 sweep from :mod:`repro.perf.bench`: build the
+Corollary 4.14 safety-margin index over a hypercube under the subcube prior
+family and margin-test a batch of random disclosures, once on the packed
+bitmask kernels and once on the ``frozenset`` reference implementation
+(:mod:`repro.possibilistic._reference`).  Margins and verdicts are asserted
+identical, and the mask backend must win.  The full-size run (``n = 12``,
+200 disclosures, target ≥3×) happens in ``python -m repro.perf.bench`` /
+``make bench`` and lands in ``BENCH_audit_pipeline.json``; this copy runs
+at ``n = 10`` to fit the test-suite time budget, so the asserted floor is
+deliberately conservative.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+from repro.perf.bench import run_serial_path_bench
+
+
+def test_serial_path_speedup_smoke():
+    document = run_serial_path_bench(n=10, n_disclosures=80, seed=7)
+
+    assert document["verdict_identical"]
+    workload = document["workload"]
+    # Both margin-test outcomes must actually occur in the sweep.
+    assert 0.0 < workload["safe_fraction"] < 1.0
+    assert document["speedup_serial_path"] >= 1.5
+
+    mask = document["mask_backend"]
+    ref = document["frozenset_reference"]
+    lines = [
+        f"n={workload['n']}  |Ω|={workload['space_size']}  "
+        f"|A|={workload['audited_size']}  disclosures={workload['disclosures']}",
+        f"{'mask backend':22s} build {mask['build_seconds']*1e3:8.2f} ms  "
+        f"test {mask['test_seconds']*1e3:8.2f} ms",
+        f"{'frozenset reference':22s} build {ref['build_seconds']*1e3:8.2f} ms  "
+        f"test {ref['test_seconds']*1e3:8.2f} ms",
+        f"serial-path speedup: {document['speedup_serial_path']}x "
+        f"(safe fraction {workload['safe_fraction']:.0%})",
+    ]
+    report_table("E15: packed-mask serial path vs frozenset reference", lines)

@@ -11,10 +11,66 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Tuple
 
+try:  # CPython ≥ 3.10: a C-level word loop, no string materialisation
+    int.bit_count
 
-def popcount(x: int) -> int:
-    """Number of set bits of ``x`` (the Hamming weight)."""
-    return bin(x).count("1")
+    def popcount(x: int) -> int:
+        """Number of set bits of ``x`` (the Hamming weight)."""
+        return x.bit_count()
+
+except AttributeError:  # pragma: no cover - 3.9 floor of pyproject.toml
+
+    def popcount(x: int) -> int:
+        """Number of set bits of ``x`` (the Hamming weight)."""
+        return bin(x).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Iterate the indices of the set bits of ``mask`` in increasing order.
+
+    Linear in the bit length: the mask is exported to bytes once and each
+    byte is scanned, rather than repeatedly shifting a big int.
+    """
+    if mask <= 0:
+        if mask < 0:
+            raise ValueError("iter_bits expects a nonnegative mask")
+        return
+    for byte_index, byte in enumerate(
+        mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    ):
+        if byte:
+            base = byte_index << 3
+            while byte:
+                low = byte & -byte
+                yield base + low.bit_length() - 1
+                byte ^= low
+
+
+def mask_of(worlds, size: int) -> int:
+    """Pack an iterable of world ids into a bitmask, bounds-checked."""
+    mask = 0
+    for w in worlds:
+        if not 0 <= w < size:
+            raise ValueError(f"world {w} outside range(0, {size})")
+        mask |= 1 << int(w)
+    return mask
+
+
+def stripe_mask(block: int, total: int) -> int:
+    """The mask of positions ``p < total`` whose ``(p // block)`` is odd.
+
+    For ``block = 2**i`` this selects exactly the hypercube worlds with
+    coordinate bit ``i`` set; built by doubling, so it costs ``O(log total)``
+    big-int operations regardless of how many bits end up set.
+    """
+    if block <= 0:
+        raise ValueError("block must be positive")
+    mask = ((1 << block) - 1) << block
+    width = 2 * block
+    while width < total:
+        mask |= mask << width
+        width *= 2
+    return mask & ((1 << total) - 1)
 
 
 def bits_of(x: int, n: int) -> Tuple[int, ...]:
@@ -96,6 +152,24 @@ def box_members(star_mask: int, agreed_bits: int, n: int) -> Iterator[int]:
     """
     for filling in iter_subsets(star_mask):
         yield agreed_bits | filling
+
+
+def box_mask(star_mask: int, agreed_bits: int) -> int:
+    """The packed ``Ω``-mask of ``Box(w)`` for the key ``(star_mask, agreed_bits)``.
+
+    Equivalent to OR-ing ``1 << member`` over :func:`box_members`, but built
+    by doubling: starting from the single world ``agreed_bits``, each star
+    coordinate ``b`` doubles the box by shifting it up by the world-id offset
+    ``2**b`` — ``popcount(star_mask)`` big-int shifts instead of
+    ``2**popcount(star_mask)`` set insertions.
+    """
+    mask = 1 << agreed_bits
+    star = star_mask & ~agreed_bits
+    while star:
+        low = star & -star
+        mask |= mask << low
+        star ^= low
+    return mask
 
 
 def match_vector_string(star_mask: int, agreed_bits: int, n: int) -> str:

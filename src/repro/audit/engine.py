@@ -13,9 +13,12 @@ the batched engine exploits three layers of reuse:
 2. **Verdict cache** — decisions are memoised by content fingerprints of
    ``(A, B)`` plus the prior assumption and tolerance, so duplicate
    disclosures in a log (and across successive ``audit_log`` calls) cost
-   one decision.  The cache is the bounded-agent move of Halpern–Pucella's
-   *probabilistic algorithmic knowledge*: the auditor's knowledge is
-   whatever its resource budget lets it recompute — or remember.
+   one decision.  Fingerprints digest each property set's packed bitmask in
+   one fixed-width hashlib update (see ``PropertySet.fingerprint``), so key
+   construction is cheap even for dense sets.  The cache is the
+   bounded-agent move of Halpern–Pucella's *probabilistic algorithmic
+   knowledge*: the auditor's knowledge is whatever its resource budget lets
+   it recompute — or remember.
 3. **Process-pool fan-out** — the remaining unique decisions are pure
    functions of numpy tensors and frozensets, so they pickle cleanly and
    dispatch across cores via :mod:`concurrent.futures`.  Small batches and
@@ -104,9 +107,10 @@ class VerdictCache:
     """Memo table for ``Safe_K(A, B)`` verdicts.
 
     Keys are canonical content fingerprints (:meth:`PropertySet.fingerprint`
-    digests of ``A`` and ``B``) plus the assumption and tolerance, so
-    logically identical disclosures hit regardless of how their property
-    sets were constructed.  Hit/miss counters feed the engine's reports;
+    digests of ``A`` and ``B``, each one blake2b update over the packed mask
+    bytes) plus the assumption and tolerance, so logically identical
+    disclosures hit regardless of how their property sets were constructed.
+    Hit/miss counters feed the engine's reports;
     a *hit* is any lookup served without scheduling a new decision,
     including duplicates within one batch.
     """

@@ -42,63 +42,65 @@ def xor_mask(z: int, a: PropertySet) -> PropertySet:
     space = _hypercube_of(a)
     if not 0 <= z < space.size:
         raise ValueError(f"mask {z} outside {space!r}")
-    return PropertySet(space, {z ^ w for w in a.members})
+    mask = 0
+    for w in a:
+        mask |= 1 << (z ^ w)
+    return PropertySet._from_mask(space, mask)
 
 
 def is_up_set(a: PropertySet) -> bool:
     """True iff ``A`` is closed upward: ``ω₁ ∈ A`` and ``ω₁ ≼ ω₂`` imply ``ω₂ ∈ A``.
 
-    Checked in ``O(|A| · n)`` by verifying closure under single-bit raises.
+    Vectorized over the packed mask: raising coordinate ``i`` shifts the
+    lower half of each ``i``-stripe onto the upper half, so closure under
+    single-bit raises is ``n`` big-int shift/AND tests — no per-world loop.
     """
     space = _hypercube_of(a)
-    members = a.members
-    for w in members:
-        for i in range(space.n):
-            if not (w >> i) & 1 and (w | (1 << i)) not in members:
-                return False
+    mask = a.mask
+    for i in range(space.n):
+        offset = 1 << i
+        stripe = _bitops.stripe_mask(offset, space.size)  # worlds with ω[i]=1
+        if ((mask & ~stripe) << offset) & ~mask != 0:
+            return False
     return True
 
 
 def is_down_set(a: PropertySet) -> bool:
     """True iff ``A`` is closed downward under ``≼``."""
     space = _hypercube_of(a)
-    members = a.members
-    for w in members:
-        for i in range(space.n):
-            if (w >> i) & 1 and (w & ~(1 << i)) not in members:
-                return False
+    mask = a.mask
+    for i in range(space.n):
+        offset = 1 << i
+        stripe = _bitops.stripe_mask(offset, space.size)
+        if ((mask & stripe) >> offset) & ~mask != 0:
+            return False
     return True
 
 
 def up_closure(a: PropertySet) -> PropertySet:
-    """The smallest up-set containing ``A``."""
+    """The smallest up-set containing ``A``.
+
+    One saturating pass per coordinate suffices: raising coordinate ``j``
+    never breaks closure under raises of an already-processed ``i``.
+    """
     space = _hypercube_of(a)
-    closed = set(a.members)
-    frontier = list(closed)
-    while frontier:
-        w = frontier.pop()
-        for i in range(space.n):
-            up = w | (1 << i)
-            if up not in closed:
-                closed.add(up)
-                frontier.append(up)
-    return PropertySet(space, closed)
+    mask = a.mask
+    for i in range(space.n):
+        offset = 1 << i
+        stripe = _bitops.stripe_mask(offset, space.size)
+        mask |= (mask & ~stripe) << offset
+    return PropertySet._from_mask(space, mask)
 
 
 def down_closure(a: PropertySet) -> PropertySet:
     """The smallest down-set containing ``A``."""
     space = _hypercube_of(a)
-    closed = set(a.members)
-    frontier = list(closed)
-    while frontier:
-        w = frontier.pop()
-        for i in range(space.n):
-            if (w >> i) & 1:
-                down = w & ~(1 << i)
-                if down not in closed:
-                    closed.add(down)
-                    frontier.append(down)
-    return PropertySet(space, closed)
+    mask = a.mask
+    for i in range(space.n):
+        offset = 1 << i
+        stripe = _bitops.stripe_mask(offset, space.size)
+        mask |= (mask & stripe) >> offset
+    return PropertySet._from_mask(space, mask)
 
 
 def minimal_elements(a: PropertySet) -> PropertySet:
@@ -158,21 +160,14 @@ def _edge_orientation(a: PropertySet, b: PropertySet, bit: int) -> tuple:
 
     ``ok_plain`` holds when every ``bit``-edge of ``A`` points up and of ``B``
     points down already; ``ok_flip`` when the reverse orientation works.
+    Each of the four conditions is one big-int shift/AND over the packed
+    masks (cf. :func:`is_up_set`).
     """
-    ok_plain = True
-    ok_flip = True
-    for w in a.members:
-        if not w & bit and (w | bit) not in a.members:
-            ok_plain = False
-        if w & bit and (w & ~bit) not in a.members:
-            ok_flip = False
-        if not ok_plain and not ok_flip:
-            return False, False
-    for w in b.members:
-        if w & bit and (w & ~bit) not in b.members:
-            ok_plain = False
-        if not w & bit and (w | bit) not in b.members:
-            ok_flip = False
-        if not ok_plain and not ok_flip:
-            return False, False
-    return ok_plain, ok_flip
+    size = a.space.size
+    stripe = _bitops.stripe_mask(bit, size)  # worlds with this coordinate set
+    am, bm = a.mask, b.mask
+    a_up = ((am & ~stripe) << bit) & ~am == 0
+    a_down = ((am & stripe) >> bit) & ~am == 0
+    b_up = ((bm & ~stripe) << bit) & ~bm == 0
+    b_down = ((bm & stripe) >> bit) & ~bm == 0
+    return a_up and b_down, a_down and b_up

@@ -15,6 +15,7 @@ import itertools
 from dataclasses import dataclass
 from typing import (
     AbstractSet,
+    Dict,
     FrozenSet,
     Iterable,
     Iterator,
@@ -85,7 +86,7 @@ class PossibilisticKnowledge:
     :mod:`repro.possibilistic`.
     """
 
-    __slots__ = ("_space", "_pairs")
+    __slots__ = ("_space", "_pairs", "_mask_pairs")
 
     def __init__(
         self, space: WorldSpace, pairs: Iterable[PossibilisticKnowledgeWorld]
@@ -97,6 +98,7 @@ class PossibilisticKnowledge:
             space.check_same(pair.space)
         self._space = space
         self._pairs = pairs
+        self._mask_pairs: Optional[FrozenSet[Tuple[int, int]]] = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -169,6 +171,18 @@ class PossibilisticKnowledge:
     def __hash__(self) -> int:
         return hash((self._space, self._pairs))
 
+    def mask_pairs(self) -> FrozenSet[Tuple[int, int]]:
+        """The pairs as hashable ``(ω, mask-of-S)`` keys (memoised).
+
+        Integer keys make membership probes in the preservation and
+        ∩-closure kernels cheap: no frozenset hashing per probe.
+        """
+        if self._mask_pairs is None:
+            self._mask_pairs = frozenset(
+                (pair.world, pair.knowledge.mask) for pair in self._pairs
+            )
+        return self._mask_pairs
+
     def worlds(self) -> PropertySet:
         """The projection ``π₁(K)``: candidate actual databases."""
         return self._space.property_set({pair.world for pair in self._pairs})
@@ -188,13 +202,18 @@ class PossibilisticKnowledge:
     # -- ∩-closure (Definition 4.3) ---------------------------------------------
 
     def is_intersection_closed(self) -> bool:
-        """True iff ``(ω,S₁),(ω,S₂) ∈ K`` imply ``(ω, S₁∩S₂) ∈ K`` (Def 4.3)."""
-        by_world: dict = {}
+        """True iff ``(ω,S₁),(ω,S₂) ∈ K`` imply ``(ω, S₁∩S₂) ∈ K`` (Def 4.3).
+
+        Runs over packed masks: each closure probe is one big-int AND plus a
+        set lookup on integer keys.
+        """
+        keys = self.mask_pairs()
+        by_world: Dict[int, List[int]] = {}
         for pair in self._pairs:
-            by_world.setdefault(pair.world, []).append(pair.knowledge)
-        for world, sets in by_world.items():
-            for s1, s2 in itertools.combinations(sets, 2):
-                if PossibilisticKnowledgeWorld(world, s1 & s2) not in self._pairs:
+            by_world.setdefault(pair.world, []).append(pair.knowledge.mask)
+        for world, masks in by_world.items():
+            for m1, m2 in itertools.combinations(masks, 2):
+                if (world, m1 & m2) not in keys:
                     return False
         return True
 
@@ -203,14 +222,16 @@ class PossibilisticKnowledge:
 
         Models the auditor accounting for arbitrary collusions (Section 4.1):
         whenever ``(ω,S₁)`` and ``(ω,S₂)`` are possible, so is ``(ω,S₁∩S₂)``.
+        The fixpoint iteration runs on packed masks; property sets are only
+        rebuilt for the pairs of the final closure.
         """
-        by_world: dict = {}
+        by_world: Dict[int, set] = {}
         for pair in self._pairs:
-            by_world.setdefault(pair.world, set()).add(pair.knowledge)
+            by_world.setdefault(pair.world, set()).add(pair.knowledge.mask)
         closed_pairs: List[PossibilisticKnowledgeWorld] = []
-        for world, sets in by_world.items():
-            closed = set(sets)
-            frontier = list(sets)
+        for world, masks in by_world.items():
+            closed = set(masks)
+            frontier = list(masks)
             while frontier:
                 current = frontier.pop()
                 for other in list(closed):
@@ -220,7 +241,10 @@ class PossibilisticKnowledge:
                         closed.add(meet)
                         frontier.append(meet)
             closed_pairs.extend(
-                PossibilisticKnowledgeWorld(world, s) for s in closed
+                PossibilisticKnowledgeWorld(
+                    world, PropertySet._from_mask(self._space, mask)
+                )
+                for mask in closed
             )
         return PossibilisticKnowledge(self._space, closed_pairs)
 
@@ -306,8 +330,7 @@ def power_set(space: WorldSpace) -> List[PropertySet]:
         raise ValueError(
             f"refusing to enumerate 2^{space.size} subsets; use a structured family"
         )
-    subsets = []
-    for mask in range(1, 1 << space.size):
-        members = [w for w in range(space.size) if (mask >> w) & 1]
-        subsets.append(space.property_set(members))
-    return subsets
+    # A subset of Ω *is* a mask over |Ω| bits: enumerate them directly.
+    return [
+        PropertySet._from_mask(space, mask) for mask in range(1, 1 << space.size)
+    ]

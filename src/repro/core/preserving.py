@@ -31,13 +31,18 @@ def is_preserving_possibilistic(
 
     ``B`` is K-preserving when for all ``(ω, S) ∈ K`` with ``ω ∈ B`` we have
     ``(ω, S ∩ B) ∈ K``.
+
+    Probes run on ``(ω, mask)`` integer keys: one big-int AND plus a set
+    lookup per pair, with no intermediate property sets.  (The updated pair
+    is automatically consistent: ``ω ∈ S`` and ``ω ∈ B`` give ``ω ∈ S ∩ B``.)
     """
     knowledge.space.check_same(disclosed.space)
+    keys = knowledge.mask_pairs()
+    b_mask = disclosed.mask
     for pair in knowledge:
-        if pair.world not in disclosed:
+        if not (b_mask >> pair.world) & 1:
             continue
-        updated = PossibilisticKnowledgeWorld(pair.world, pair.knowledge & disclosed)
-        if updated not in knowledge:
+        if (pair.world, pair.knowledge.mask & b_mask) not in keys:
             return False
     return True
 

@@ -39,14 +39,19 @@ def safe_possibilistic(
     """``Safe_K(A, B)`` for possibilistic ``K`` — Definition 3.1, literally.
 
     ``∀ (ω, S) ∈ K : (ω ∈ B  &  S ∩ B ⊆ A)  ⇒  S ⊆ A``.
+
+    Runs entirely on the packed masks: per pair, two big-int AND/test
+    operations instead of building posterior property sets.
     """
     knowledge.space.check_same(audited.space)
     knowledge.space.check_same(disclosed.space)
+    outside = ~audited.mask
+    b_mask = disclosed.mask
     for pair in knowledge:
-        if pair.world not in disclosed:
+        if not (b_mask >> pair.world) & 1:
             continue  # inconsistent with the disclosure of B; discarded
-        posterior = pair.knowledge & disclosed
-        if posterior <= audited and not pair.knowledge <= audited:
+        s_mask = pair.knowledge.mask
+        if s_mask & b_mask & outside == 0 and s_mask & outside != 0:
             return False
     return True
 
@@ -60,13 +65,15 @@ def possibilistic_violation(
     ``A`` before the disclosure (``S ⊄ A``) but knows it after
     (``S ∩ B ⊆ A``).
     """
+    outside = ~audited.mask
+    b_mask = disclosed.mask
     for pair in sorted(
         knowledge, key=lambda p: (p.world, tuple(p.knowledge.sorted_members()))
     ):
-        if pair.world not in disclosed:
+        if not (b_mask >> pair.world) & 1:
             continue
-        posterior = pair.knowledge & disclosed
-        if posterior <= audited and not pair.knowledge <= audited:
+        s_mask = pair.knowledge.mask
+        if s_mask & b_mask & outside == 0 and s_mask & outside != 0:
             return pair
     return None
 
@@ -84,11 +91,18 @@ def safe_c_sigma(
     This avoids materialising the product ``C ⊗ Σ`` and is how the auditor
     separates knowledge of the database from assumptions about the user.
     """
+    space = audited.space
+    space.check_same(disclosed.space)
+    space.check_same(candidates.space)
+    outside = ~audited.mask
+    b_mask = disclosed.mask
+    c_mask = candidates.mask
     for knowledge_set in families:
-        meet = knowledge_set & disclosed
-        if not (meet & candidates):
+        space.check_same(knowledge_set.space)
+        meet = knowledge_set.mask & b_mask
+        if meet & c_mask == 0:
             continue
-        if meet <= audited and not knowledge_set <= audited:
+        if meet & outside == 0 and knowledge_set.mask & outside != 0:
             return False
     return True
 
@@ -199,7 +213,8 @@ def safe_unrestricted(audited: PropertySet, disclosed: PropertySet) -> bool:
     ``Safe_K(A, B)`` holds iff ``A ∩ B = ∅`` or ``A ∪ B = Ω``.
     """
     audited.space.check_same(disclosed.space)
-    return audited.isdisjoint(disclosed) or (audited | disclosed).is_full()
+    a_mask, b_mask = audited.mask, disclosed.mask
+    return a_mask & b_mask == 0 or a_mask | b_mask == audited.space.full_mask
 
 
 def safe_unrestricted_known_world(

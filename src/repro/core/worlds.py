@@ -15,6 +15,13 @@ Three concrete spaces are provided:
 
 Worlds are always represented internally by integers ``0 .. |Ω|-1``; on a
 hypercube the integer doubles as the bit mask of present records.
+
+Representation: a :class:`PropertySet` stores its members as one packed
+bitmask — a Python int whose bit ``ω`` records ``ω ∈ A`` — so the Boolean
+algebra, the subset order, cardinality and emptiness are single big-int
+operations instead of hash-set walks.  ``members`` still exposes a
+``FrozenSet[int]``, derived lazily on first access; ``mask`` exposes the
+packed form for the vectorized kernels in :mod:`repro.possibilistic`.
 """
 
 from __future__ import annotations
@@ -56,11 +63,17 @@ class WorldSpace:
             raise ValueError("a world space must contain at least one world")
         self._size = int(size)
         self._name = name or f"Ω[{size}]"
+        self._full_mask = (1 << self._size) - 1
 
     @property
     def size(self) -> int:
         """The number of worlds ``|Ω|``."""
         return self._size
+
+    @property
+    def full_mask(self) -> int:
+        """The packed mask of ``Ω`` itself: ``|Ω|`` set bits."""
+        return self._full_mask
 
     @property
     def name(self) -> str:
@@ -93,23 +106,33 @@ class WorldSpace:
         """Build the property ``{ω : ω ∈ worlds}``."""
         return PropertySet(self, (self.world_id(w) for w in worlds))
 
+    def from_mask(self, mask: int) -> "PropertySet":
+        """Build a property directly from its packed bitmask."""
+        if not 0 <= mask <= self._full_mask:
+            raise ValueError(f"mask {mask:#x} outside the {self._size}-bit space")
+        return PropertySet._from_mask(self, mask)
+
     def where(self, predicate: Callable[[int], bool]) -> "PropertySet":
         """Build the property of all worlds satisfying ``predicate``."""
-        return PropertySet(self, (w for w in self.worlds() if predicate(w)))
+        mask = 0
+        for w in range(self._size):
+            if predicate(w):
+                mask |= 1 << w
+        return PropertySet._from_mask(self, mask)
 
     @property
     def empty(self) -> "PropertySet":
         """The impossible property ``∅``."""
-        return PropertySet(self, ())
+        return PropertySet._from_mask(self, 0)
 
     @property
     def full(self) -> "PropertySet":
         """The trivial property ``Ω``."""
-        return PropertySet(self, range(self._size))
+        return PropertySet._from_mask(self, self._full_mask)
 
     def singleton(self, world: WorldLike) -> "PropertySet":
         """The property ``{ω}`` holding exactly at ``world``."""
-        return PropertySet(self, (self.world_id(world),))
+        return PropertySet._from_mask(self, 1 << self.world_id(world))
 
     # -- misc -------------------------------------------------------------------
 
@@ -210,8 +233,11 @@ class HypercubeSpace(WorldSpace):
         """The property ``X_i = {ω : ω[i] = 1}`` for the 1-based coordinate ``i``."""
         if not 1 <= i <= self._n:
             raise ValueError(f"coordinate {i} outside 1..{self._n}")
-        bit = 1 << (i - 1)
-        return self.where(lambda w: bool(w & bit))
+        # Worlds with bit i-1 set form a stripe pattern over the world ids;
+        # built by doubling instead of testing all 2^n worlds.
+        return PropertySet._from_mask(
+            self, _bitops.stripe_mask(1 << (i - 1), self.size)
+        )
 
     def records_present(self, world: int) -> Tuple[str, ...]:
         """The names of the records present in ``world``."""
@@ -227,7 +253,7 @@ class HypercubeSpace(WorldSpace):
         if len(pattern) != self._n:
             raise ValueError(f"pattern {pattern!r} has wrong length for n={self._n}")
         star_mask, agreed = _bitops.parse_match_vector(pattern)
-        return self.property_set(_bitops.box_members(star_mask, agreed, self._n))
+        return PropertySet._from_mask(self, _bitops.box_mask(star_mask, agreed))
 
 
 class GridSpace(WorldSpace):
@@ -278,12 +304,14 @@ class GridSpace(WorldSpace):
         """The inclusive integer rectangle from ``(x0, y0)`` to ``(x1, y1)``."""
         if x0 > x1 or y0 > y1:
             raise ValueError("rectangle corners out of order")
-        members = (
-            y * self._width + x
-            for y in range(max(0, y0), min(self._height, y1 + 1))
-            for x in range(max(0, x0), min(self._width, x1 + 1))
-        )
-        return PropertySet(self, members)
+        x0, x1 = max(0, x0), min(self._width - 1, x1)
+        y0, y1 = max(0, y0), min(self._height - 1, y1)
+        mask = 0
+        if x0 <= x1 and y0 <= y1:
+            row = ((1 << (x1 - x0 + 1)) - 1) << x0
+            for y in range(y0, y1 + 1):
+                mask |= row << (y * self._width)
+        return PropertySet._from_mask(self, mask)
 
     def ellipse(self, cx: float, cy: float, rx: float, ry: float) -> "PropertySet":
         """Pixels inside the axis-aligned ellipse centred at ``(cx, cy)``."""
@@ -334,17 +362,38 @@ class PropertySet:
     returns true iff ``ω* ∈ A`` (Section 3).  Instances are hashable and
     support ``&`` (conjunction), ``|`` (disjunction), ``-`` (difference),
     ``^`` (xor), ``~`` (negation/complement), and the subset comparisons.
+
+    Members are stored as one packed bitmask over ``|Ω|`` bits (bit ``ω``
+    set iff ``ω ∈ A``), so every operator above is a single big-int
+    operation.  ``members`` derives the frozenset view lazily and memoises
+    it; hot paths should prefer ``mask``.
     """
 
-    __slots__ = ("_space", "_members", "_fingerprint")
+    __slots__ = ("_space", "_mask", "_members", "_count", "_fingerprint")
 
     def __init__(self, space: WorldSpace, members: Iterable[int]) -> None:
         self._space = space
-        self._members: FrozenSet[int] = frozenset(members)
-        self._fingerprint: Optional[str] = None
-        for w in self._members:
-            if not 0 <= w < space.size:
+        size = space.size
+        mask = 0
+        for w in members:
+            if not 0 <= w < size:
                 raise ValueError(f"world {w} outside {space!r}")
+            mask |= 1 << int(w)
+        self._mask = mask
+        self._members: Optional[FrozenSet[int]] = None
+        self._count: Optional[int] = None
+        self._fingerprint: Optional[str] = None
+
+    @classmethod
+    def _from_mask(cls, space: WorldSpace, mask: int) -> "PropertySet":
+        """Wrap a known-valid packed mask without re-validating members."""
+        self = cls.__new__(cls)
+        self._space = space
+        self._mask = mask
+        self._members = None
+        self._count = None
+        self._fingerprint = None
+        return self
 
     @property
     def space(self) -> WorldSpace:
@@ -352,43 +401,52 @@ class PropertySet:
         return self._space
 
     @property
+    def mask(self) -> int:
+        """The packed bitmask: bit ``ω`` is set iff ``ω ∈ A``."""
+        return self._mask
+
+    @property
     def members(self) -> FrozenSet[int]:
-        """The frozenset of member world ids."""
+        """The frozenset of member world ids (derived lazily from the mask)."""
+        if self._members is None:
+            self._members = frozenset(_bitops.iter_bits(self._mask))
         return self._members
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self._members)
+        return _bitops.iter_bits(self._mask)
 
     def __len__(self) -> int:
-        return len(self._members)
+        if self._count is None:
+            self._count = _bitops.popcount(self._mask)
+        return self._count
 
     def __bool__(self) -> bool:
-        return bool(self._members)
+        return self._mask != 0
 
     def __contains__(self, world: WorldLike) -> bool:
-        return self._space.world_id(world) in self._members
+        return (self._mask >> self._space.world_id(world)) & 1 == 1
 
-    def _coerce(self, other: "PropertySet") -> FrozenSet[int]:
+    def _coerce(self, other: "PropertySet") -> int:
         if not isinstance(other, PropertySet):
             raise TypeError(f"expected a PropertySet, got {other!r}")
         self._space.check_same(other._space)
-        return other._members
+        return other._mask
 
     def __and__(self, other: "PropertySet") -> "PropertySet":
-        return PropertySet(self._space, self._members & self._coerce(other))
+        return PropertySet._from_mask(self._space, self._mask & self._coerce(other))
 
     def __or__(self, other: "PropertySet") -> "PropertySet":
-        return PropertySet(self._space, self._members | self._coerce(other))
+        return PropertySet._from_mask(self._space, self._mask | self._coerce(other))
 
     def __sub__(self, other: "PropertySet") -> "PropertySet":
-        return PropertySet(self._space, self._members - self._coerce(other))
+        return PropertySet._from_mask(self._space, self._mask & ~self._coerce(other))
 
     def __xor__(self, other: "PropertySet") -> "PropertySet":
-        return PropertySet(self._space, self._members ^ self._coerce(other))
+        return PropertySet._from_mask(self._space, self._mask ^ self._coerce(other))
 
     def __invert__(self) -> "PropertySet":
-        return PropertySet(
-            self._space, (w for w in range(self._space.size) if w not in self._members)
+        return PropertySet._from_mask(
+            self._space, self._mask ^ self._space.full_mask
         )
 
     def complement(self) -> "PropertySet":
@@ -396,32 +454,34 @@ class PropertySet:
         return ~self
 
     def __le__(self, other: "PropertySet") -> bool:
-        return self._members <= self._coerce(other)
+        return self._mask & ~self._coerce(other) == 0
 
     def __lt__(self, other: "PropertySet") -> bool:
-        return self._members < self._coerce(other)
+        other_mask = self._coerce(other)
+        return self._mask != other_mask and self._mask & ~other_mask == 0
 
     def __ge__(self, other: "PropertySet") -> bool:
-        return self._members >= self._coerce(other)
+        return self._coerce(other) & ~self._mask == 0
 
     def __gt__(self, other: "PropertySet") -> bool:
-        return self._members > self._coerce(other)
+        other_mask = self._coerce(other)
+        return self._mask != other_mask and other_mask & ~self._mask == 0
 
     def isdisjoint(self, other: "PropertySet") -> bool:
         """True iff ``A ∩ B = ∅``."""
-        return self._members.isdisjoint(self._coerce(other))
+        return self._mask & self._coerce(other) == 0
 
     def is_full(self) -> bool:
         """True iff ``A = Ω``."""
-        return len(self._members) == self._space.size
+        return self._mask == self._space.full_mask
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PropertySet):
             return NotImplemented
-        return self._space == other._space and self._members == other._members
+        return self._space == other._space and self._mask == other._mask
 
     def __hash__(self) -> int:
-        return hash((self._space, self._members))
+        return hash((self._space, self._mask))
 
     def fingerprint(self) -> str:
         """A stable content digest of ``(space, members)``.
@@ -429,31 +489,33 @@ class PropertySet:
         Unlike :func:`hash` (whose string component is salted per process),
         the fingerprint is identical across processes and sessions, so it can
         key caches shared between workers — the audit engine's verdict cache
-        keys decisions by these digests.  Computed once and memoised.
+        keys decisions by these digests.  The member part is one hashlib
+        update over the mask's fixed-width little-endian bytes.  Computed
+        once and memoised.
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=16)
             digest.update(type(self._space).__name__.encode())
             digest.update(repr(self._space._key()).encode())
-            for world in sorted(self._members):
-                digest.update(world.to_bytes(8, "little"))
+            digest.update(self._mask.to_bytes((self._space.size + 7) // 8, "little"))
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
     def sorted_members(self) -> List[int]:
         """Member ids in increasing order (deterministic iteration helper)."""
-        return sorted(self._members)
+        return list(_bitops.iter_bits(self._mask))
 
     def labels(self) -> List[str]:
         """Sorted printable labels of the member worlds."""
         return [self._space.world_label(w) for w in self.sorted_members()]
 
     def __repr__(self) -> str:
-        if len(self._members) <= 8:
+        count = len(self)
+        if count <= 8:
             inner = ", ".join(self.labels())
         else:
             shown = ", ".join(self.labels()[:8])
-            inner = f"{shown}, ... ({len(self._members)} worlds)"
+            inner = f"{shown}, ... ({count} worlds)"
         return f"PropertySet{{{inner}}}"
 
 
@@ -466,9 +528,14 @@ def quadrants(
     2×2 contingency table of ``A`` and ``B``.
     """
     a.space.check_same(b.space)
-    not_a = ~a
-    not_b = ~b
-    return a & b, a & not_b, not_a & b, not_a & not_b
+    space = a.space
+    am, bm = a.mask, b.mask
+    return (
+        PropertySet._from_mask(space, am & bm),
+        PropertySet._from_mask(space, am & ~bm),
+        PropertySet._from_mask(space, bm & ~am),
+        PropertySet._from_mask(space, space.full_mask & ~(am | bm)),
+    )
 
 
 def cartesian_pairs(x: PropertySet, y: PropertySet) -> Iterator[Tuple[int, int]]:

@@ -1,30 +1,40 @@
-"""E14 — the audit-pipeline benchmark behind ``BENCH_audit_pipeline.json``.
+"""E14/E15 — the benchmarks behind ``BENCH_audit_pipeline.json``.
 
-A synthetic, mixed-density disclosure log over an E11-style hospital
-registry (``n = 3`` candidate records on top of a populated background
-table): query answers range from dense implication sets to sparse SELECT
-outputs, and — like any real query log — popular queries repeat heavily
-(Zipf-weighted sampling, ≥30% duplicate answers guaranteed).
-
-Three pipelines audit the same log:
+**E14 (audit pipeline).** A synthetic, mixed-density disclosure log over an
+E11-style hospital registry (``n = 3`` candidate records on top of a
+populated background table): query answers range from dense implication
+sets to sparse SELECT outputs, and — like any real query log — popular
+queries repeat heavily (Zipf-weighted sampling, ≥30% duplicate answers
+guaranteed).  Three pipelines audit the same log:
 
 * ``seed``     — the original per-event loop (compile + decide per event);
 * ``serial``   — the batched engine with one worker (dedupe + verdict cache);
 * ``parallel`` — the batched engine fanning decisions out to a process pool.
 
-The artifact records events/sec for each, the verdict-cache hit rate, the
-measured duplicate fraction, and the speedups; serial and parallel reports
-are asserted verdict-identical before anything is written.
+**E15 (serial decision path).** A margin/interval sweep over a 12-record
+hypercube (``|Ω| = 4096``) under the subcube prior family: build the
+Corollary 4.14 safety-margin index for one audit query, then margin-test a
+batch of random disclosures.  The identical sweep runs twice — once on the
+packed-bitmask :class:`~repro.core.worlds.PropertySet` kernels and once on
+the ``frozenset`` reference implementation
+(:mod:`~repro.possibilistic._reference`) — and the artifact records the
+serial-path speedup after asserting margins and verdicts are identical.
 
-Run ``python -m repro.perf.bench`` (or ``make bench``).
+The artifact records events/sec for each pipeline, the verdict-cache hit
+rate, the measured duplicate fraction, and the speedups; every compared
+pair of runs is asserted verdict-identical before anything is written.
+
+Run ``python -m repro.perf.bench`` (or ``make bench``; ``make bench-smoke``
+for a down-scaled run).
 """
 
 from __future__ import annotations
 
 import argparse
 import random
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .. import _bitops
 from ..audit import (
     AuditPolicy,
     AuditReport,
@@ -33,6 +43,7 @@ from ..audit import (
     OfflineAuditor,
     PriorAssumption,
 )
+from ..core.worlds import HypercubeSpace
 from ..db import (
     CandidateUniverse,
     ColumnType,
@@ -41,12 +52,20 @@ from ..db import (
     parse_boolean_query,
     parse_select_query,
 )
+from ..possibilistic import _reference
+from ..possibilistic.families import SubcubeFamily
+from ..possibilistic.intervals import FamilyIntervalOracle
+from ..possibilistic.margins import SafetyMarginIndex
 from . import Stopwatch, write_bench_json
 
 DEFAULT_EVENTS = 250
 DEFAULT_WORKERS = 4
 DEFAULT_SEED = 7
 DEFAULT_OUTPUT = "BENCH_audit_pipeline.json"
+
+DEFAULT_SERIAL_N = 12
+DEFAULT_SERIAL_CANDIDATES = 6
+DEFAULT_SERIAL_DISCLOSURES = 200
 
 #: The E11-style audit query: is Bob's HIV diagnosis disclosed?
 AUDIT_QUERY = (
@@ -163,13 +182,142 @@ def _statuses(report: AuditReport) -> List[str]:
     return [finding.verdict.status.value for finding in report.findings]
 
 
+# ---------------------------------------------------------------------------
+# E15 — packed-mask serial decision path vs the frozenset reference
+# ---------------------------------------------------------------------------
+
+
+def _serial_path_workload(
+    n: int, n_candidates: int, n_disclosures: int, seed: int
+) -> Tuple[List[int], FrozenSet[int], List[FrozenSet[int]]]:
+    """Candidates ``C``, audit query ``A`` and disclosure batch for E15.
+
+    ``A`` is a random half of ``Ω`` forced to contain some candidates (so
+    margins are non-trivial).  Half the disclosures are "healed" — widened
+    by exactly the margins they intersect — so the sweep exercises both
+    margin-test outcomes; the rest stay raw random and almost surely fail.
+    The shaping pass uses a throwaway reference oracle and is never timed.
+    """
+    rnd = random.Random(seed)
+    size = 1 << n
+    candidates = sorted(rnd.sample(range(size), n_candidates))
+    audited = set(rnd.sample(range(size), size // 2))
+    audited.update(candidates[: max(1, n_candidates // 2)])
+    audited_frozen = frozenset(audited)
+
+    shaping = _reference.RefSubcubeOracle(n, candidates)
+    margins = _reference.ref_margin_index(shaping, audited_frozen)
+
+    disclosures: List[FrozenSet[int]] = []
+    for i in range(n_disclosures):
+        b = set(rnd.sample(range(size), rnd.randrange(size // 4, 3 * size // 4)))
+        if i % 2 == 0:
+            # Margins live in Ā, so widening B never adds worlds of A ∩ B:
+            # one pass reaches the margin-condition fixpoint.
+            for w1 in audited_frozen & b:
+                margin = margins.get(w1)
+                if margin is not None:
+                    b |= margin
+        disclosures.append(frozenset(b))
+    return candidates, audited_frozen, disclosures
+
+
+def run_serial_path_bench(
+    n: int = DEFAULT_SERIAL_N,
+    n_candidates: int = DEFAULT_SERIAL_CANDIDATES,
+    n_disclosures: int = DEFAULT_SERIAL_DISCLOSURES,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Any]:
+    """Run the E15 margin/interval sweep through both backends and compare.
+
+    Each backend receives the workload in its native representation up
+    front (packed masks vs frozensets); the timed region is exactly the
+    serial decision path — margin-index construction (minimal intervals +
+    Proposition 4.10 partitions for every origin in ``A ∩ C``) followed by
+    the margin test over every disclosure.
+    """
+    candidates, audited_worlds, disclosures = _serial_path_workload(
+        n, n_candidates, n_disclosures, seed
+    )
+    space = HypercubeSpace(n)
+    audited = space.from_mask(_bitops.mask_of(audited_worlds, space.size))
+    disclosed_sets = [
+        space.from_mask(_bitops.mask_of(b, space.size)) for b in disclosures
+    ]
+
+    family = SubcubeFamily(space)
+    candidate_set = space.property_set(candidates)
+    with Stopwatch() as mask_build:
+        oracle = FamilyIntervalOracle(candidate_set, family)
+        index = SafetyMarginIndex(oracle, audited, require_tight=False)
+    with Stopwatch() as mask_test:
+        mask_verdicts = [index.test(b) for b in disclosed_sets]
+
+    with Stopwatch() as ref_build:
+        ref_oracle = _reference.RefSubcubeOracle(n, candidates)
+        ref_margins = _reference.ref_margin_index(ref_oracle, audited_worlds)
+    with Stopwatch() as ref_test:
+        ref_verdicts = [
+            _reference.ref_margin_test(ref_margins, audited_worlds, b)
+            for b in disclosures
+        ]
+
+    if mask_verdicts != ref_verdicts:
+        raise AssertionError(
+            "mask backend and frozenset reference disagree on margin verdicts"
+        )
+    mask_margins = {
+        w1: frozenset(index.margin(w1))
+        for w1 in audited_worlds & frozenset(candidates)
+    }
+    if mask_margins != ref_margins:
+        raise AssertionError(
+            "mask backend and frozenset reference computed different margins"
+        )
+
+    mask_total = mask_build.elapsed + mask_test.elapsed
+    ref_total = ref_build.elapsed + ref_test.elapsed
+    return {
+        "benchmark": "serial_path",
+        "workload": {
+            "n": n,
+            "space_size": space.size,
+            "candidates": n_candidates,
+            "audited_size": len(audited_worlds),
+            "disclosures": n_disclosures,
+            "safe_fraction": round(sum(mask_verdicts) / len(mask_verdicts), 4),
+            "seed": seed,
+        },
+        "mask_backend": {
+            "build_seconds": round(mask_build.elapsed, 6),
+            "test_seconds": round(mask_test.elapsed, 6),
+            "seconds": round(mask_total, 6),
+            "tests_per_sec": round(n_disclosures / mask_test.elapsed, 1),
+        },
+        "frozenset_reference": {
+            "build_seconds": round(ref_build.elapsed, 6),
+            "test_seconds": round(ref_test.elapsed, 6),
+            "seconds": round(ref_total, 6),
+            "tests_per_sec": round(n_disclosures / ref_test.elapsed, 1),
+        },
+        "speedup_serial_path": round(ref_total / mask_total, 2),
+        "verdict_identical": True,
+    }
+
+
 def run_bench(
     n_events: int = DEFAULT_EVENTS,
     n_workers: int = DEFAULT_WORKERS,
     seed: int = DEFAULT_SEED,
     assumption: PriorAssumption = PriorAssumption.PRODUCT,
+    serial_n: int = DEFAULT_SERIAL_N,
+    serial_disclosures: int = DEFAULT_SERIAL_DISCLOSURES,
 ) -> Dict[str, Any]:
-    """Audit one synthetic log through all three pipelines and compare."""
+    """Audit one synthetic log through all three pipelines and compare.
+
+    Also runs the E15 serial-path sweep (at ``serial_n`` records) and
+    embeds its section in the returned document.
+    """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
     policy = AuditPolicy(
@@ -261,6 +409,9 @@ def run_bench(
         "verdict_identical": True,
         "counts": serial_report.counts(),
     }
+    document["serial_path"] = run_serial_path_bench(
+        n=serial_n, n_disclosures=serial_disclosures, seed=seed
+    )
     return document
 
 
@@ -277,14 +428,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=[a.value for a in PriorAssumption],
         default=PriorAssumption.PRODUCT.value,
     )
+    parser.add_argument("--serial-n", type=int, default=DEFAULT_SERIAL_N)
+    parser.add_argument(
+        "--serial-disclosures", type=int, default=DEFAULT_SERIAL_DISCLOSURES
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="down-scale every workload for a quick CI sanity run",
+    )
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.events = min(args.events, 60)
+        args.serial_n = min(args.serial_n, 8)
+        args.serial_disclosures = min(args.serial_disclosures, 40)
 
     document = run_bench(
         n_events=args.events,
         n_workers=args.workers,
         seed=args.seed,
         assumption=PriorAssumption(args.assumption),
+        serial_n=args.serial_n,
+        serial_disclosures=args.serial_disclosures,
     )
     path = write_bench_json(args.output, document)
     workload = document["workload"]
@@ -306,6 +473,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"speedup vs seed: serial {document['speedup_serial_vs_seed']}x  "
         f"parallel({args.workers}w) {document['speedup_parallel_vs_seed']}x  "
         f"warm {document['speedup_warm_vs_seed']}x"
+    )
+    serial_path = document["serial_path"]
+    sp_workload = serial_path["workload"]
+    print(
+        f"serial path (n={sp_workload['n']}, |Ω|={sp_workload['space_size']}, "
+        f"{sp_workload['disclosures']} disclosures): "
+        f"mask {serial_path['mask_backend']['seconds']*1e3:.1f} ms vs "
+        f"frozenset {serial_path['frozenset_reference']['seconds']*1e3:.1f} ms "
+        f"→ {serial_path['speedup_serial_path']}x"
     )
     return 0
 

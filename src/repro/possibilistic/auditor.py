@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from .. import _bitops
 from ..core.knowledge import PossibilisticKnowledge
 from ..core.privacy import safe_possibilistic
 from ..core.verdict import AuditVerdict
@@ -64,7 +65,8 @@ class PossibilisticAuditor:
         if audited not in self._partitions:
             outside = ~audited
             table = {}
-            for w1 in (audited & self._oracle.candidate_worlds()).sorted_members():
+            active = audited.mask & self._oracle.candidate_worlds().mask
+            for w1 in _bitops.iter_bits(active):
                 table[w1] = interval_partition(self._oracle, w1, outside)
             self._partitions[audited] = table
         return self._partitions[audited]
@@ -78,14 +80,15 @@ class PossibilisticAuditor:
         self.space.check_same(audited.space)
         self.space.check_same(disclosed.space)
         table = self._partitions_for(audited)
+        b_mask = disclosed.mask
         checked = 0
-        for w1 in (audited & disclosed).sorted_members():
+        for w1 in _bitops.iter_bits(audited.mask & b_mask):
             partition = table.get(w1)
             if partition is None:
                 continue
             for cls in partition.classes:
                 checked += 1
-                if cls.isdisjoint(disclosed):
+                if cls.mask & b_mask == 0:
                     return AuditVerdict.unsafe(
                         "interval-partition",
                         witness=cls,

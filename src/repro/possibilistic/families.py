@@ -64,15 +64,14 @@ class KnowledgeFamily:
         override with closed forms.  For an ∩-closed family the result is
         itself a member, which is what Definition 4.4 requires.
         """
-        result: Optional[Set[int]] = None
+        result: Optional[int] = None
         for member in self:
-            if world1 in member and world2 in member:
-                result = (
-                    set(member.members) if result is None else result & member.members
-                )
+            m = member.mask
+            if (m >> world1) & 1 and (m >> world2) & 1:
+                result = m if result is None else result & m
         if result is None:
             return None
-        return self._space.property_set(result)
+        return PropertySet._from_mask(self._space, result)
 
     def _check_world(self, world: int) -> None:
         if not 0 <= world < self._space.size:
@@ -121,21 +120,20 @@ class SubcubeFamily(KnowledgeFamily):
 
     def __iter__(self) -> Iterator[PropertySet]:
         for star_mask, agreed in _bitops.all_match_vectors(self._n):
-            yield self._space.property_set(
-                _bitops.box_members(star_mask, agreed, self._n)
+            yield PropertySet._from_mask(
+                self._space, _bitops.box_mask(star_mask, agreed)
             )
 
     def __contains__(self, candidate: PropertySet) -> bool:
         self._space.check_same(candidate.space)
         if not candidate:
             return False
-        members = candidate.members
-        m_and = m_or = next(iter(members))
-        for w in members:
-            m_and &= w
-            m_or |= w
+        m_and = m_or = None
+        for w in candidate:
+            m_and = w if m_and is None else m_and & w
+            m_or = w if m_or is None else m_or | w
         stars = m_or & ~m_and
-        return len(members) == 1 << _bitops.popcount(stars)
+        return len(candidate) == 1 << _bitops.popcount(stars)
 
     def is_intersection_closed(self) -> bool:
         return True
@@ -144,8 +142,10 @@ class SubcubeFamily(KnowledgeFamily):
         self._check_world(world1)
         self._check_world(world2)
         star_mask, agreed = _bitops.match_key(world1, world2)
-        return self._space.property_set(
-            _bitops.box_members(star_mask, agreed, self._n)
+        # Box(Match(ω₁, ω₂)) built by popcount(star) big-int shifts instead
+        # of enumerating its 2^popcount(star) members one by one.
+        return PropertySet._from_mask(
+            self._space, _bitops.box_mask(star_mask, agreed)
         )
 
 
@@ -238,13 +238,13 @@ class ExplicitFamily(KnowledgeFamily):
     def __init__(self, space: WorldSpace, members: Iterable[PropertySet]) -> None:
         super().__init__(space)
         unique: List[PropertySet] = []
-        seen = set()
+        seen: Set[int] = set()  # packed masks — cheap integer keys
         for member in members:
             space.check_same(member.space)
             if not member:
                 raise ValueError("knowledge sets must be non-empty")
-            if member.members not in seen:
-                seen.add(member.members)
+            if member.mask not in seen:
+                seen.add(member.mask)
                 unique.append(member)
         if not unique:
             raise ValueError("a knowledge family must have at least one member")
@@ -259,12 +259,12 @@ class ExplicitFamily(KnowledgeFamily):
 
     def __contains__(self, candidate: PropertySet) -> bool:
         self._space.check_same(candidate.space)
-        return candidate.members in self._member_keys
+        return candidate.mask in self._member_keys
 
     def is_intersection_closed(self) -> bool:
         for s1, s2 in itertools.combinations(self._members, 2):
-            meet = s1 & s2
-            if meet and meet.members not in self._member_keys:
+            meet = s1.mask & s2.mask
+            if meet and meet not in self._member_keys:
                 return False
         return True
 
@@ -272,15 +272,15 @@ class ExplicitFamily(KnowledgeFamily):
         """The smallest ∩-closed family containing this one.
 
         This is how an auditor upgrades an ad-hoc assumption to one robust
-        against collusion (Section 4.1).
+        against collusion (Section 4.1).  The fixpoint runs on packed masks.
         """
-        closed = {m.members: m for m in self._members}
-        frontier = list(self._members)
+        closed = {m.mask: m for m in self._members}
+        frontier = [m.mask for m in self._members]
         while frontier:
             current = frontier.pop()
-            for other in list(closed.values()):
+            for other in list(closed):
                 meet = current & other
-                if meet and meet.members not in closed:
-                    closed[meet.members] = meet
+                if meet and meet not in closed:
+                    closed[meet] = PropertySet._from_mask(self._space, meet)
                     frontier.append(meet)
         return ExplicitFamily(self._space, closed.values())

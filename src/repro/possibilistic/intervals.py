@@ -121,9 +121,11 @@ class ExplicitIntervalIndex(IntervalOracle):
                 "intervals are defined for ∩-closed K only (Definition 4.4)"
             )
         self._knowledge = knowledge
+        # world → packed masks of its knowledge sets; the interval kernel
+        # intersects these as big ints.
         self._by_world: Dict[int, list] = {}
         for pair in knowledge:
-            self._by_world.setdefault(pair.world, []).append(pair.knowledge)
+            self._by_world.setdefault(pair.world, []).append(pair.knowledge.mask)
 
     @property
     def space(self) -> WorldSpace:
@@ -137,15 +139,13 @@ class ExplicitIntervalIndex(IntervalOracle):
         return self._knowledge.worlds()
 
     def _compute_interval(self, world1: int, world2: int) -> Optional[PropertySet]:
-        containing = [
-            s for s in self._by_world.get(world1, []) if world2 in s
-        ]
-        if not containing:
+        result: Optional[int] = None
+        for mask in self._by_world.get(world1, ()):
+            if (mask >> world2) & 1:
+                result = mask if result is None else result & mask
+        if result is None:
             return None
-        result = containing[0]
-        for s in containing[1:]:
-            result = result & s
-        return result
+        return PropertySet._from_mask(self.space, result)
 
     def storage_bound_bits(self) -> int:
         """The Remark 4.6 storage bound: at most ``|Ω|³`` bits for all intervals."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from .. import _bitops
 from ..core.worlds import PropertySet
 from .intervals import IntervalOracle
 
@@ -44,23 +45,26 @@ def minimal_intervals_to(
     Interval lookups go through the oracle's ``(origin, ω₂)`` memo, so
     partition computations across many origins (and repeated calls with the
     same oracle) reuse each interval instead of rebuilding a private cache
-    per call.
+    per call.  Minimality checks compare packed masks: candidate ∩ target is
+    one big-int AND and every interval comparison an int equality.
     """
     oracle.space.check_same(target.space)
-    intervals: Dict[frozenset, Tuple[int, PropertySet]] = {}
+    target_mask = target.mask
+    intervals: Dict[int, Tuple[int, PropertySet]] = {}
 
-    for w2 in target.sorted_members():
+    for w2 in _bitops.iter_bits(target_mask):
         candidate = oracle.interval(origin, w2)
         if candidate is None:
             continue
+        candidate_mask = candidate.mask
         minimal = True
-        for w2_prime in (candidate & target).sorted_members():
+        for w2_prime in _bitops.iter_bits(candidate_mask & target_mask):
             other = oracle.interval(origin, w2_prime)
-            if other is None or other != candidate:
+            if other is None or other.mask != candidate_mask:
                 minimal = False
                 break
-        if minimal and candidate.members not in intervals:
-            intervals[candidate.members] = (w2, candidate)
+        if minimal and candidate_mask not in intervals:
+            intervals[candidate_mask] = (w2, candidate)
     return [
         MinimalInterval(origin, witness, interval)
         for witness, interval in intervals.values()
@@ -88,12 +92,12 @@ class IntervalPartition:
 
     def is_partition_of(self, target: PropertySet) -> bool:
         """Sanity predicate: classes plus ``D_∞`` tile ``target`` disjointly."""
-        union = self.unreachable
+        union = self.unreachable.mask
         total = len(self.unreachable)
         for cls in self.classes:
-            union = union | cls
+            union |= cls.mask
             total += len(cls)
-        return union == target and total == len(target)
+        return union == target.mask and total == len(target)
 
 
 def interval_partition(
@@ -106,19 +110,20 @@ def interval_partition(
     asserted (cheaply) as an internal consistency check.
     """
     minimal = minimal_intervals_to(oracle, origin, target)
+    space = target.space
     classes: List[PropertySet] = []
-    covered = target.space.empty
+    covered = 0
     for item in minimal:
-        cls = item.interval & target
-        if any(not cls.isdisjoint(existing) for existing in classes):
+        cls_mask = item.interval.mask & target.mask
+        if cls_mask & covered:
             raise AssertionError(
                 "Proposition 4.10 violated: overlapping minimal-interval classes "
                 "(is the oracle really ∩-closed?)"
             )
-        classes.append(cls)
-        covered = covered | cls
+        classes.append(PropertySet._from_mask(space, cls_mask))
+        covered |= cls_mask
     return IntervalPartition(
         origin=origin,
         classes=tuple(classes),
-        unreachable=target - covered,
+        unreachable=PropertySet._from_mask(space, target.mask & ~covered),
     )

@@ -16,6 +16,7 @@ Definition 3.1 (property-tested in the suite).
 
 from __future__ import annotations
 
+from .. import _bitops
 from ..core.verdict import AuditVerdict
 from ..core.worlds import PropertySet
 from .intervals import IntervalOracle
@@ -29,15 +30,20 @@ def safe_via_intervals(
 
     ``Safe_K(A, B)`` iff for all intervals ``I_K(ω₁, ω₂)`` with
     ``ω₁ ∈ A ∩ B`` and ``ω₂ ∉ A``: ``I_K(ω₁, ω₂) ∩ (B − A) ≠ ∅``.
+
+    The double loop runs over packed masks: origins and targets come
+    straight from bit iteration and each disjointness test is one AND.
     """
     oracle.space.check_same(audited.space)
     oracle.space.check_same(disclosed.space)
-    escape = disclosed - audited
-    outside = ~audited
-    for w1 in (audited & disclosed & oracle.candidate_worlds()).sorted_members():
-        for w2 in outside.sorted_members():
+    full = oracle.space.full_mask
+    escape = disclosed.mask & ~audited.mask
+    outside = full & ~audited.mask
+    active = audited.mask & disclosed.mask & oracle.candidate_worlds().mask
+    for w1 in _bitops.iter_bits(active):
+        for w2 in _bitops.iter_bits(outside):
             interval = oracle.interval(w1, w2)
-            if interval is not None and interval.isdisjoint(escape):
+            if interval is not None and interval.mask & escape == 0:
                 return False
     return True
 
@@ -48,11 +54,12 @@ def safe_via_minimal_intervals(
     """Proposition 4.8: check only minimal intervals from ``AB`` to ``Ω − A``."""
     oracle.space.check_same(audited.space)
     oracle.space.check_same(disclosed.space)
-    escape = disclosed - audited
+    escape = disclosed.mask & ~audited.mask
     outside = ~audited
-    for w1 in (audited & disclosed & oracle.candidate_worlds()).sorted_members():
+    active = audited.mask & disclosed.mask & oracle.candidate_worlds().mask
+    for w1 in _bitops.iter_bits(active):
         for item in minimal_intervals_to(oracle, w1, outside):
-            if item.interval.isdisjoint(escape):
+            if item.interval.mask & escape == 0:
                 return False
     return True
 
@@ -68,11 +75,13 @@ def safe_via_partition(
     """
     oracle.space.check_same(audited.space)
     oracle.space.check_same(disclosed.space)
+    b_mask = disclosed.mask
     outside = ~audited
-    for w1 in (audited & disclosed & oracle.candidate_worlds()).sorted_members():
+    active = audited.mask & b_mask & oracle.candidate_worlds().mask
+    for w1 in _bitops.iter_bits(active):
         partition = interval_partition(oracle, w1, outside)
         for cls in partition.classes:
-            if cls.isdisjoint(disclosed):
+            if cls.mask & b_mask == 0:
                 return False
     return True
 
@@ -87,13 +96,14 @@ def audit_interval_based(
     """
     oracle.space.check_same(audited.space)
     oracle.space.check_same(disclosed.space)
-    escape = disclosed - audited
+    escape = disclosed.mask & ~audited.mask
     outside = ~audited
+    active = audited.mask & disclosed.mask & oracle.candidate_worlds().mask
     checked = 0
-    for w1 in (audited & disclosed & oracle.candidate_worlds()).sorted_members():
+    for w1 in _bitops.iter_bits(active):
         for item in minimal_intervals_to(oracle, w1, outside):
             checked += 1
-            if item.interval.isdisjoint(escape):
+            if item.interval.mask & escape == 0:
                 return AuditVerdict.unsafe(
                     "minimal-intervals",
                     witness=item,

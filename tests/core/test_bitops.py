@@ -33,6 +33,58 @@ class TestPopcountAndBits:
     def test_string_roundtrip(self, x):
         assert bo.from_string(bo.to_string(x, 8)) == x
 
+    def test_popcount_dispatch(self):
+        """The selected branch and the 3.9 fallback agree on Ω-sized masks."""
+        mask = (1 << 4096) - (1 << 100)
+        assert bo.popcount(mask) == bin(mask).count("1") == 3996
+        if hasattr(int, "bit_count"):  # 3.10+: dispatch must pick the C path
+            assert bo.popcount(mask) == mask.bit_count()
+
+
+class TestPackedMaskHelpers:
+    @given(st.integers(min_value=0, max_value=2**200 - 1))
+    def test_iter_bits_ascending_and_complete(self, mask):
+        bits = list(bo.iter_bits(mask))
+        assert bits == sorted(bits)
+        assert bits == [i for i in range(mask.bit_length()) if (mask >> i) & 1]
+
+    def test_iter_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(bo.iter_bits(-1))
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    def test_mask_of_roundtrip(self, worlds):
+        assert set(bo.iter_bits(bo.mask_of(worlds, 64))) == worlds
+
+    def test_mask_of_bounds_checked(self):
+        with pytest.raises(ValueError):
+            bo.mask_of([64], 64)
+        with pytest.raises(ValueError):
+            bo.mask_of([-1], 64)
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=1, max_value=128))
+    def test_stripe_mask_selects_odd_blocks(self, log_block, total):
+        block = 1 << log_block
+        stripe = bo.stripe_mask(block, total)
+        assert stripe == bo.mask_of(
+            [p for p in range(total) if (p // block) % 2 == 1], total
+        )
+
+    def test_stripe_mask_is_hypercube_coordinate(self):
+        # block = 2^i selects exactly the worlds with coordinate bit i set.
+        for n, i in [(4, 0), (4, 3), (6, 2)]:
+            stripe = bo.stripe_mask(1 << i, 1 << n)
+            assert set(bo.iter_bits(stripe)) == {
+                w for w in range(1 << n) if (w >> i) & 1
+            }
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_box_mask_matches_box_members(self, u, v):
+        star, agreed = bo.match_key(u, v)
+        assert set(bo.iter_bits(bo.box_mask(star, agreed))) == set(
+            bo.box_members(star, agreed, 8)
+        )
+
 
 class TestPartialOrder:
     def test_leq_examples(self):

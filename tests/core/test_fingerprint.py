@@ -1,0 +1,82 @@
+"""Cross-process stability of ``PropertySet.fingerprint``.
+
+The audit engine's verdict cache keys decisions by these digests, and the
+parallel fan-out compares fingerprints computed in *different* worker
+processes.  Python's built-in ``hash`` is salted per process, so these
+tests pin the fingerprint scheme three ways: exact digests recorded here
+(any change to the scheme must show up as an explicit test edit), equality
+across construction routes, and a subprocess recomputation with a fresh
+interpreter (fresh hash salt).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.core import GridSpace, HypercubeSpace, WorldSpace
+
+#: Pinned digests: changing the fingerprint scheme invalidates every
+#: persisted/verdict-cache key, so it must be a deliberate, visible choice.
+PINNED = {
+    "worldspace": "b4a768649134fefcca994ee4b5e7caf1",
+    "hypercube": "acd9bbdd6e07720b4df6896f3047cfb9",
+    "grid": "9c2d3a249fa7b44e4cba97b338a5bced",
+    "empty": "17740602db360b4566ce20713fab6a07",
+}
+
+_SNIPPET = """
+from repro.core import GridSpace, HypercubeSpace, WorldSpace
+print(WorldSpace(6).property_set({0, 3, 5}).fingerprint())
+print(HypercubeSpace(3).property_set({1, 2, 7}).fingerprint())
+print(GridSpace(4, 3).property_set({0, 11}).fingerprint())
+print(WorldSpace(6).empty.fingerprint())
+"""
+
+
+def _current_digests():
+    return {
+        "worldspace": WorldSpace(6).property_set({0, 3, 5}).fingerprint(),
+        "hypercube": HypercubeSpace(3).property_set({1, 2, 7}).fingerprint(),
+        "grid": GridSpace(4, 3).property_set({0, 11}).fingerprint(),
+        "empty": WorldSpace(6).empty.fingerprint(),
+    }
+
+
+class TestFingerprintStability:
+    def test_pinned_digests(self):
+        assert _current_digests() == PINNED
+
+    def test_construction_route_does_not_matter(self):
+        space = WorldSpace(9)
+        via_iterable = space.property_set([7, 2, 2, 5])
+        via_mask = space.from_mask((1 << 2) | (1 << 5) | (1 << 7))
+        via_algebra = space.property_set({2, 5}) | space.singleton(7)
+        assert via_iterable.fingerprint() == via_mask.fingerprint()
+        assert via_iterable.fingerprint() == via_algebra.fingerprint()
+
+    def test_distinct_content_distinct_digest(self):
+        space = WorldSpace(9)
+        seen = {space.property_set(s).fingerprint() for s in [(0,), (1,), (0, 1), ()]}
+        assert len(seen) == 4
+        # Same members in a structurally different space must not collide:
+        # the digest covers the space, not just the mask bytes.
+        assert (
+            HypercubeSpace(2).property_set({1, 2}).fingerprint()
+            != GridSpace(2, 2).property_set({1, 2}).fingerprint()
+        )
+
+    def test_stable_across_processes(self):
+        """A fresh interpreter (fresh hash salt) reproduces the digests."""
+        out = subprocess.run(
+            [sys.executable, "-c", _SNIPPET],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.split() == [
+            PINNED["worldspace"],
+            PINNED["hypercube"],
+            PINNED["grid"],
+            PINNED["empty"],
+        ]
