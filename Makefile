@@ -1,10 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-all
+.PHONY: test chaos-smoke bench bench-smoke bench-all
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Seeded chaos matrix: the fault-injection suite replayed under several
+# fault schedules.  Verdicts must stay identical at every seed.
+chaos-smoke:
+	for seed in 0 1 2; do \
+		echo "== chaos seed $$seed =="; \
+		REPRO_FAULTS_SEED=$$seed $(PYTHON) -m pytest tests/runtime -x -q || exit 1; \
+	done
 
 bench:
 	$(PYTHON) -m repro.perf.bench

@@ -1,0 +1,45 @@
+"""E16 — clean-path overhead of the fault-tolerant audit runtime.
+
+A tier-2 run of the E16 measurement from :mod:`repro.perf.bench`: the E14
+mixed-density log is audited through a plain single-worker engine and
+through a resilience-armed one (per-decision deadline budget + circuit
+breaker, every runtime probe live), with no fault plan installed.  Verdicts
+must be identical, the armed run must report zero degradation counters, and
+the clean-path overhead must stay within the PR's ≤5% acceptance bound —
+asserted here with slack for timer noise on a down-scaled workload, and
+recorded at full size in ``BENCH_audit_pipeline.json`` via ``make bench``.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+from repro.perf.bench import run_resilience_bench
+
+#: The acceptance bound is 5% at full size; the smoke workload is small
+#: enough that a single noisy scheduler tick is a few percent, so the
+#: asserted ceiling carries measurement slack.
+OVERHEAD_CEILING = 0.15
+
+
+def test_resilience_clean_path_overhead_smoke():
+    document = run_resilience_bench(n_events=120, seed=7, repeats=3)
+
+    assert document["verdict_identical"]
+    stats = document["engine_armed"]["runtime_stats"]
+    assert stats is not None and not any(stats.values())
+    assert document["overhead_fraction"] <= OVERHEAD_CEILING
+
+    workload = document["workload"]
+    plain = document["engine_plain"]
+    armed = document["engine_armed"]
+    lines = [
+        f"events={workload['events']}  repeats={workload['repeats']}  "
+        f"budget={workload['decision_budget_seconds']}s",
+        f"{'plain engine':16s} {plain['seconds']*1e3:8.1f} ms  "
+        f"{plain['events_per_sec']:8.0f} ev/s",
+        f"{'armed engine':16s} {armed['seconds']*1e3:8.1f} ms  "
+        f"{armed['events_per_sec']:8.0f} ev/s",
+        f"clean-path overhead: {document['overhead_fraction']:+.1%} "
+        f"(acceptance bound 5% at full size, asserted ≤{OVERHEAD_CEILING:.0%} here)",
+    ]
+    report_table("E16: resilience layer clean-path overhead", lines)

@@ -20,8 +20,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..exceptions import SolverConfigurationError, StageTimeoutError
+from ..runtime import faults
+from ..runtime.budget import Budget
+
 #: Eigenvalues above this (relative to the largest) are kept in PSD projections.
 _EIG_CLIP = 0.0
+
+#: Residual checks between budget polls / stall checks in the iterative solvers.
+_CHECK_EVERY = 50
 
 
 def project_psd(matrix: np.ndarray) -> np.ndarray:
@@ -128,19 +135,26 @@ def _alternating_projections(
     max_iterations: int,
     tolerance: float,
     rng: np.random.Generator,
+    budget: Optional[Budget] = None,
 ) -> FeasibilityResult:
     """Von Neumann alternating projections between the PSD cone and the
     affine subspace.  Reliable when the intersection has interior; slow on
-    boundary (rank-deficient) solutions, hence used as a fallback."""
+    boundary (rank-deficient) solutions, hence used as a fallback.
+
+    Convergence guard: residuals that stop improving by ≥1% across 40
+    checks (2000 iterations) abort early — infeasible systems plateau, and
+    grinding out the remaining iteration budget on them proves nothing.  An
+    expired ``budget`` aborts at the next residual check.
+    """
     total = int(sum(size * size for size in block_sizes))
     vector = rng.normal(0.0, 1e-3, size=total)
     best_residual = np.inf
+    checks_since_improvement = 0
     for iteration in range(1, max_iterations + 1):
         vector = system.project(vector)
         blocks = [project_psd(block) for block in _split(vector, block_sizes)]
         vector = _join(blocks)
         residual = system.residual_norm(vector)
-        best_residual = min(best_residual, residual)
         if residual <= tolerance:
             return FeasibilityResult(
                 matrices=blocks,
@@ -148,6 +162,23 @@ def _alternating_projections(
                 affine_residual=residual,
                 psd_residual=0.0,
             )
+        if residual < best_residual * 0.99:
+            best_residual = min(best_residual, residual)
+            checks_since_improvement = 0
+        elif iteration % _CHECK_EVERY == 0:
+            best_residual = min(best_residual, residual)
+            checks_since_improvement += 1
+            if checks_since_improvement >= 40 or (
+                budget is not None and budget.expired
+            ):
+                return FeasibilityResult(
+                    matrices=None,
+                    iterations=iteration,
+                    affine_residual=best_residual,
+                    psd_residual=0.0,
+                )
+        else:
+            best_residual = min(best_residual, residual)
     return FeasibilityResult(
         matrices=None,
         iterations=max_iterations,
@@ -162,6 +193,7 @@ def _burer_monteiro(
     restarts: int,
     tolerance: float,
     rng: np.random.Generator,
+    budget: Optional[Budget] = None,
 ) -> FeasibilityResult:
     """Burer–Monteiro factorisation: parametrise each block as ``L·Lᵀ``
     (automatically PSD) and minimise ``‖A·vec − b‖²`` over the factors with
@@ -200,7 +232,9 @@ def _burer_monteiro(
 
     iterations = 0
     best = np.inf
-    for _ in range(restarts):
+    for restart in range(restarts):
+        if restart and budget is not None and budget.expired:
+            break  # deadline passed: report the best residual seen so far
         theta0 = rng.normal(0.0, 0.5, size=factor_len)
         result = sp_optimize.minimize(
             objective, theta0, jac=True, method="L-BFGS-B",
@@ -231,6 +265,7 @@ def _admm(
     system: AffineSystem,
     max_iterations: int,
     tolerance: float,
+    budget: Optional[Budget] = None,
 ) -> FeasibilityResult:
     """Douglas–Rachford / ADMM splitting between the PSD cone and the
     affine subspace.  Unlike plain alternating projections, the dual
@@ -240,7 +275,7 @@ def _admm(
     z = np.zeros(total)
     u = np.zeros(total)
     x = z
-    check_every = 50
+    check_every = _CHECK_EVERY
     best_residual = np.inf
     checks_since_improvement = 0
     for iteration in range(1, max_iterations + 1):
@@ -258,19 +293,21 @@ def _admm(
                 )
             # Stall detection: infeasible systems plateau; feasible ones keep
             # descending.  Give up after 40 checks (2000 iterations) without
-            # at least a 1% improvement.
+            # at least a 1% improvement, or when the deadline budget dies.
             if residual < best_residual * 0.99:
                 best_residual = residual
                 checks_since_improvement = 0
             else:
                 checks_since_improvement += 1
-                if checks_since_improvement >= 40:
-                    return FeasibilityResult(
-                        matrices=None,
-                        iterations=iteration,
-                        affine_residual=residual,
-                        psd_residual=0.0,
-                    )
+            if checks_since_improvement >= 40 or (
+                budget is not None and budget.expired
+            ):
+                return FeasibilityResult(
+                    matrices=None,
+                    iterations=iteration,
+                    affine_residual=residual,
+                    psd_residual=0.0,
+                )
     residual = system.residual_norm(x)
     if residual <= tolerance:
         return FeasibilityResult(
@@ -293,6 +330,7 @@ def solve_psd_feasibility(
     max_iterations: int = 4000,
     tolerance: float = 1e-9,
     rng: Optional[np.random.Generator] = None,
+    budget: Optional[Budget] = None,
 ) -> FeasibilityResult:
     """Find PSD blocks satisfying ``system``.
 
@@ -300,22 +338,67 @@ def solve_psd_feasibility(
     boundary-rank solutions typical of exact SOS decompositions), then a
     Burer–Monteiro factorisation restart as a fallback.  A ``None`` result
     means *not found within budget*, never *infeasible*.
+
+    ``budget`` optionally bounds the solve's wall clock: both stages poll
+    it at their residual checks and bail out with a not-found result, so a
+    caller's deadline cannot be blown by a pathological system.  Malformed
+    arguments raise :class:`~repro.exceptions.SolverConfigurationError`
+    (a :class:`ValueError`) naming the offence.
     """
+    block_sizes = list(block_sizes)
+    if not block_sizes:
+        raise SolverConfigurationError("at least one PSD block is required")
+    for position, size in enumerate(block_sizes):
+        if int(size) != size or size < 1:
+            raise SolverConfigurationError(
+                f"block size #{position} must be a positive integer, got {size!r}"
+            )
+    if not isinstance(system, AffineSystem):
+        raise SolverConfigurationError(
+            f"system must be an AffineSystem, got {type(system).__name__}"
+        )
+    if max_iterations < 1:
+        raise SolverConfigurationError(
+            f"max_iterations must be positive, got {max_iterations}"
+        )
+    if not tolerance > 0.0:
+        raise SolverConfigurationError(
+            f"tolerance must be positive, got {tolerance}"
+        )
     total = int(sum(size * size for size in block_sizes))
     if system.dimension != total:
-        raise ValueError(
+        raise SolverConfigurationError(
             f"affine system over {system.dimension} entries, blocks give {total}"
         )
+    if faults.fire(faults.SOLVER_TIMEOUT):
+        raise StageTimeoutError("injected solver timeout (chaos harness)")
+    if faults.fire(faults.NONCONVERGENCE):
+        # Simulated nonconvergence: the honest "not found within budget"
+        # shape callers must already survive (matrices=None is never
+        # interpreted as infeasibility).
+        return FeasibilityResult(
+            matrices=None,
+            iterations=0,
+            affine_residual=float("inf"),
+            psd_residual=0.0,
+        )
     rng = rng or np.random.default_rng(0)
-    result = _admm(block_sizes, system, max_iterations, tolerance)
+    result = _admm(block_sizes, system, max_iterations, tolerance, budget=budget)
     if result.feasible:
         return result
     if result.affine_residual > 1000 * max(tolerance, 1e-12):
         # ADMM stalled far from feasibility: almost certainly infeasible;
         # don't burn a Burer–Monteiro pass on it.
         return result
+    if budget is not None and budget.expired:
+        return result
     fallback = _burer_monteiro(
-        block_sizes, system, restarts=2, tolerance=max(tolerance, 5e-7), rng=rng
+        block_sizes,
+        system,
+        restarts=2,
+        tolerance=max(tolerance, 5e-7),
+        rng=rng,
+        budget=budget,
     )
     if fallback.feasible:
         return fallback

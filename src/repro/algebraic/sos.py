@@ -27,8 +27,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.worlds import PropertySet
-from ..exceptions import CertificateError
+from ..exceptions import CertificateError, StageTimeoutError
+from ..runtime import faults
 from .encode import safety_gap_polynomial
+from ..runtime.budget import Budget
 from .polynomial import Monomial, Polynomial, monomials_up_to_degree
 from .sdp import AffineSystem, solve_psd_feasibility
 
@@ -142,12 +144,18 @@ def _attempt(
     max_iterations: int,
     residual_tol: float,
     rng: Optional[np.random.Generator],
+    budget: Optional[Budget] = None,
 ) -> Optional[SOSDecomposition]:
     system, sizes = _build_system(target, blocks)
     if not system.is_consistent(tol=1e-9):
         return None
     result = solve_psd_feasibility(
-        sizes, system, max_iterations=max_iterations, tolerance=residual_tol / 2, rng=rng
+        sizes,
+        system,
+        max_iterations=max_iterations,
+        tolerance=residual_tol / 2,
+        rng=rng,
+        budget=budget,
     )
     if not result.feasible:
         return None
@@ -204,6 +212,7 @@ def sos_decompose(
     max_iterations: int = 4000,
     residual_tol: float = DEFAULT_RESIDUAL_TOL,
     rng: Optional[np.random.Generator] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[SOSDecomposition]:
     """Find (and verify) an SOS decomposition of ``poly``, or ``None``.
 
@@ -220,9 +229,12 @@ def sos_decompose(
             max_iterations,
             residual_tol,
             rng,
+            budget=budget,
         )
     one = Polynomial.constant(poly.nvars, 1.0)
-    return _attempt(poly, [(one, list(basis))], max_iterations, residual_tol, rng)
+    return _attempt(
+        poly, [(one, list(basis))], max_iterations, residual_tol, rng, budget=budget
+    )
 
 
 def is_sos(poly: Polynomial, **kwargs) -> bool:
@@ -258,6 +270,7 @@ def certify_box_nonnegative(
     max_iterations: int = 40000,
     residual_tol: float = DEFAULT_RESIDUAL_TOL,
     rng: Optional[np.random.Generator] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[BoxCertificate]:
     """Search for a Schmüdgen-form certificate of nonnegativity on ``[0,1]^n``:
 
@@ -292,7 +305,9 @@ def certify_box_nonnegative(
                 if all(mono[i] == 0 for i in subset)
             ]
             blocks.append((multiplier, basis))
-    decomposition = _attempt(poly, blocks, max_iterations, residual_tol, rng)
+    decomposition = _attempt(
+        poly, blocks, max_iterations, residual_tol, rng, budget=budget
+    )
     if decomposition is None:
         return None
     return BoxCertificate(decomposition=decomposition, residual=decomposition.residual)
@@ -419,6 +434,7 @@ def certify_gap_nonnegative(
     degree: Optional[int] = None,
     max_iterations: int = 40000,
     rng: Optional[np.random.Generator] = None,
+    budget: Optional[Budget] = None,
 ):
     """Certify ``Safe_{Π_m⁰}(A, B)`` via the safety gap polynomial.
 
@@ -426,6 +442,10 @@ def certify_gap_nonnegative(
     then the Schmüdgen-SOS search.  Returns a verified
     :class:`HandelmanCertificate` or :class:`BoxCertificate`, or ``None``.
     """
+    if faults.fire(faults.SOLVER_TIMEOUT):
+        # Chaos probe at the certificate-stage entry: the Handelman LP would
+        # otherwise shield the SDP probe inside solve_psd_feasibility.
+        raise StageTimeoutError("injected certificate-stage timeout (chaos harness)")
     gap = safety_gap_polynomial(audited, disclosed)
     if gap.is_zero():
         return HandelmanCertificate(coefficients=(), residual=0.0)
@@ -433,5 +453,5 @@ def certify_gap_nonnegative(
     if certificate is not None:
         return certificate
     return certify_box_nonnegative(
-        gap, degree=degree, max_iterations=max_iterations, rng=rng
+        gap, degree=degree, max_iterations=max_iterations, rng=rng, budget=budget
     )

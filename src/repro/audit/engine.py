@@ -1,4 +1,4 @@
-"""The batched audit engine: dedupe → verdict cache → process-pool fan-out.
+"""The batched audit engine: dedupe → verdict cache → fault-tolerant fan-out.
 
 The seed pipeline audited a disclosure log strictly one event at a time:
 every event recompiled its disclosed set and re-ran the full decision
@@ -22,8 +22,26 @@ the batched engine exploits three layers of reuse:
 3. **Process-pool fan-out** — the remaining unique decisions are pure
    functions of numpy tensors and frozensets, so they pickle cleanly and
    dispatch across cores via :mod:`concurrent.futures`.  Small batches and
-   ``n_workers <= 1`` stay serial; pool failures (sandboxes without fork)
-   fall back to serial transparently.
+   ``n_workers <= 1`` stay serial.
+
+On top of the reuse layers sits the **resilience layer**
+(:mod:`repro.runtime`), with one invariant: *degradation changes
+provenance, never verdicts*.
+
+* A broken pool (worker OOM-killed, sandbox refusing ``fork``, pipe loss)
+  keeps every verdict healthy workers already returned; only the lost
+  tasks are resubmitted, with seeded decorrelated-jitter backoff, and the
+  final remainder is decided in-process.  Each such event is counted on
+  :class:`~repro.runtime.RuntimeStats` — never a silent serial rerun.
+* ``decision_budget`` gives every decision a monotonic-clock deadline; the
+  stage chain polls it and degrades soundly (optional stages skipped, the
+  exact stage stops at its next poll, typed UNKNOWN at worst).
+* A :class:`~repro.runtime.CircuitBreaker` watches certificate-stage
+  failures when ``use_sos`` is on and pins subsequent decisions to the
+  deterministic exact path once tripped.
+* Every finding carries a :class:`~repro.runtime.DecisionOutcome` — the
+  verdict plus its stage provenance and degradation flags — so a chaos run
+  (see :mod:`repro.runtime.faults`) is auditable after the fact.
 
 Determinism: every decision runs with a freshly seeded generator, so
 results are independent of decision *order* — parallel and serial runs are
@@ -35,8 +53,10 @@ randomised stages are backed by deterministic exact/criteria stages).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from pickle import PicklingError
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -45,13 +65,24 @@ import numpy as np
 from ..core.verdict import AuditVerdict
 from ..core.worlds import HypercubeSpace, PropertySet
 from ..db.compile import CandidateUniverse
+from ..exceptions import MalformedEventError, QueryError, ReproError
 from ..perf import CacheStats
 from ..probabilistic.exact import DEFAULT_ATOL
+from ..runtime import faults
+from ..runtime.breaker import CircuitBreaker
+from ..runtime.budget import Budget
+from ..runtime.outcome import DecisionOutcome, RuntimeStats
+from ..runtime.retry import RetryPolicy
 from .log import DisclosureLog
 from .offline import AuditReport, EventFinding, make_decider
 from .policy import AuditPolicy, PriorAssumption
 
-__all__ = ["BatchAuditEngine", "VerdictCache", "MIN_PARALLEL_DECISIONS"]
+__all__ = [
+    "BatchAuditEngine",
+    "DecisionTask",
+    "VerdictCache",
+    "MIN_PARALLEL_DECISIONS",
+]
 
 #: A verdict-cache key: (A digest, B digest, assumption value, atol).
 CacheKey = Tuple[str, str, str, float]
@@ -66,10 +97,6 @@ MIN_PARALLEL_DECISIONS = 4
 #: need a large batch before forking beats deciding in-process.
 MIN_PARALLEL_WORK = 4096
 
-#: One decision task shipped to a worker:
-#: (assumption value, atol, A, B, optional precomputed gap tensor).
-_Task = Tuple[str, float, PropertySet, PropertySet, Optional[np.ndarray]]
-
 #: Per-process memo of stateless (possibilistic/unrestricted) deciders, so a
 #: pool worker builds its partition structures once per (space, family).
 _DECIDER_MEMO: Dict[tuple, object] = {}
@@ -78,29 +105,118 @@ _DECIDER_MEMO: Dict[tuple, object] = {}
 #: with a fresh seed per decision to keep results order-independent.
 _RANDOMISED = (PriorAssumption.PRODUCT, PriorAssumption.LOG_SUPERMODULAR)
 
+#: True in processes spawned as pool workers (set by the pool initializer).
+#: Gates the worker-crash fault probe: the serial/recovery path never
+#: crashes itself, so chaos runs are guaranteed to terminate.
+_POOL_WORKER = False
 
-def _decide_task(task: _Task) -> AuditVerdict:
-    """Decide one ``(A, B)`` pair; importable top-level so pools can pickle it.
 
-    Used identically by the serial path and by pool workers: the decider is
-    built (or fetched from the per-process memo) from the task's assumption
-    and the property sets' own space.
+def _mark_pool_worker() -> None:
+    """Pool initializer: flag this process as a worker (fault-probe gate)."""
+    global _POOL_WORKER
+    _POOL_WORKER = True
+
+
+@dataclass(frozen=True)
+class DecisionTask:
+    """One decision shipped to a worker (or decided in-process).
+
+    Budgets deliberately travel as ``budget_seconds`` rather than as a
+    live :class:`~repro.runtime.Budget`: the worker starts its own clock
+    when the decision starts, so the deadline measures decision time, not
+    queue time.  ``pinned`` forces the deterministic exact path (set by
+    the circuit breaker); ``use_sos`` enables the certificate stage.
     """
-    assumption_value, atol, audited, disclosed, tensor = task
-    assumption = PriorAssumption(assumption_value)
-    space = audited.space
+
+    assumption_value: str
+    atol: float
+    audited: PropertySet
+    disclosed: PropertySet
+    tensor: Optional[np.ndarray] = None
+    budget_seconds: Optional[float] = None
+    use_sos: bool = False
+    pinned: bool = False
+
+
+def _run_pipeline(
+    task: DecisionTask,
+    assumption: PriorAssumption,
+    budget: Budget,
+    force_pinned: bool = False,
+) -> AuditVerdict:
+    """Build the task's decider and run it once."""
+    space = task.audited.space
+    pinned = task.pinned or force_pinned
     if assumption in _RANDOMISED:
         decider = make_decider(
-            space, assumption, rng=np.random.default_rng(0), atol=atol
+            space,
+            assumption,
+            rng=np.random.default_rng(0),
+            atol=task.atol,
+            use_sos=task.use_sos,
+            exact_only=pinned,
         )
-    else:
-        memo_key = (assumption_value, type(space).__name__, space._key())
-        decider = _DECIDER_MEMO.get(memo_key)
-        if decider is None:
-            decider = _DECIDER_MEMO[memo_key] = make_decider(space, assumption)
-    if tensor is not None and assumption is PriorAssumption.PRODUCT:
-        return decider(audited, disclosed, tensor=tensor)
-    return decider(audited, disclosed)
+        if assumption is PriorAssumption.PRODUCT:
+            return decider(
+                task.audited, task.disclosed, tensor=task.tensor, budget=budget
+            )
+        return decider(task.audited, task.disclosed, budget=budget)
+    memo_key = (task.assumption_value, type(space).__name__, space._key())
+    decider = _DECIDER_MEMO.get(memo_key)
+    if decider is None:
+        decider = _DECIDER_MEMO[memo_key] = make_decider(space, assumption)
+    return decider(task.audited, task.disclosed)
+
+
+def _outcome_from_verdict(
+    task: DecisionTask, verdict: AuditVerdict, retries: int, elapsed: float
+) -> DecisionOutcome:
+    """Fold the pipeline's provenance details into a typed outcome."""
+    details = verdict.details
+    flags = tuple(details.get("degraded", ()))
+    parts = (("breaker-pinned",) if task.pinned else ()) + flags
+    degradation = ";".join(parts) if parts else None
+    return DecisionOutcome(
+        verdict=verdict,
+        stages=tuple(details.get("trace", ())),
+        degraded=degradation is not None,
+        degradation=degradation,
+        retries=retries,
+        elapsed=elapsed,
+    )
+
+
+def _decide_task(task: DecisionTask) -> DecisionOutcome:
+    """Decide one ``(A, B)`` pair; importable top-level so pools can pickle it.
+
+    Used identically by the serial path and by pool workers.  Pipeline
+    errors (injected or real) are retried once on the deterministic exact
+    path before surfacing as a typed ``UNKNOWN("decision-error")`` — this
+    function never raises a :class:`~repro.exceptions.ReproError`.
+    """
+    if _POOL_WORKER and faults.fire(faults.WORKER_CRASH):
+        os._exit(86)  # simulate an OOM-kill: a genuine BrokenProcessPool
+    started = time.monotonic()
+    budget = Budget(task.budget_seconds)
+    assumption = PriorAssumption(task.assumption_value)
+    try:
+        verdict = _run_pipeline(task, assumption, budget)
+    except ReproError as exc:
+        reason = f"pipeline-error:{type(exc).__name__}"
+        try:
+            verdict = _run_pipeline(task, assumption, budget, force_pinned=True)
+        except ReproError as retry_exc:
+            verdict = AuditVerdict.unknown(
+                "decision-error",
+                error=f"{type(retry_exc).__name__}: {retry_exc}",
+            )
+        outcome = _outcome_from_verdict(
+            task, verdict, retries=1, elapsed=time.monotonic() - started
+        )
+        return outcome.with_degradation(reason)
+    return _outcome_from_verdict(
+        task, verdict, retries=0, elapsed=time.monotonic() - started
+    )
 
 
 class VerdictCache:
@@ -166,7 +282,7 @@ class VerdictCache:
 
 
 class BatchAuditEngine:
-    """Batched, memoised, optionally parallel offline auditing.
+    """Batched, memoised, fault-tolerant, optionally parallel auditing.
 
     Parameters
     ----------
@@ -188,6 +304,22 @@ class BatchAuditEngine:
         ``None`` (default) adapts to the space dimension via
         :data:`MIN_PARALLEL_WORK`; ``0`` forces the pool whenever
         ``n_workers > 1`` (used by tests and pool-cost measurements).
+    decision_budget:
+        Per-decision deadline in seconds (``None`` = unlimited).  Shipped
+        inside each task; the deciding process starts its own clock.
+    use_sos:
+        Attempt the sum-of-squares certificate stage for product-family
+        decisions (the stage the circuit breaker guards).
+    breaker:
+        The :class:`~repro.runtime.CircuitBreaker` watching certificate
+        failures; a default one is created when omitted.
+    retry:
+        The :class:`~repro.runtime.RetryPolicy` for pool resubmission; a
+        default seeded policy is created when omitted.
+
+    ``runtime_stats`` accumulates the resilience layer's counters across
+    ``audit_log`` calls on this engine (like the verdict cache, which also
+    persists across calls); every report references the same object.
     """
 
     def __init__(
@@ -198,12 +330,21 @@ class BatchAuditEngine:
         atol: Optional[float] = None,
         cache: Optional[VerdictCache] = None,
         parallel_threshold: Optional[int] = None,
+        decision_budget: Optional[float] = None,
+        use_sos: bool = False,
+        breaker: Optional[CircuitBreaker] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._universe = universe
         self._policy = policy
         self.n_workers = n_workers
         self.parallel_threshold = parallel_threshold
         self.pool_engaged = False  # did the last audit_log use the pool?
+        self.decision_budget = decision_budget
+        self.use_sos = use_sos
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.runtime_stats = RuntimeStats()
         self._atol = DEFAULT_ATOL if atol is None else float(atol)
         self._cache = cache if cache is not None else VerdictCache()
         self._audited = universe.compile_boolean(policy.audit_query)
@@ -245,14 +386,25 @@ class BatchAuditEngine:
 
         Queries are canonicalised by ``repr`` (they are frozen dataclasses
         with deterministic reprs), so re-asked queries — the common case in
-        real logs — share one ``2^n``-world evaluation sweep.
+        real logs — share one ``2^n``-world evaluation sweep.  A query that
+        does not compile against the universe raises a
+        :class:`~repro.exceptions.MalformedEventError` naming the offending
+        event's index, not a bare ``KeyError`` from deep inside the
+        compiler.
         """
         sets: List[PropertySet] = []
-        for event in log:
+        for index, event in enumerate(log):
             query_key = repr(event.query)
             disclosed = self._compiled.get(query_key)
             if disclosed is None:
-                disclosed = self._universe.compile_answer(event.query)
+                try:
+                    disclosed = self._universe.compile_answer(event.query)
+                except (KeyError, QueryError) as exc:
+                    raise MalformedEventError(
+                        f"query {event.query} does not compile against the "
+                        f"universe: {exc}",
+                        event_index=index,
+                    ) from exc
                 self._compiled[query_key] = disclosed
                 self._compile_stats.misses += 1
             else:
@@ -300,7 +452,7 @@ class BatchAuditEngine:
 
         # Probe the cache per event; schedule each missing pair exactly once.
         keys: List[CacheKey] = []
-        pending: Dict[CacheKey, _Task] = {}
+        pending: Dict[CacheKey, DecisionTask] = {}
         for disclosed in disclosed_sets:
             key = VerdictCache.key(self._audited, disclosed, assumption, self._atol)
             keys.append(key)
@@ -308,29 +460,41 @@ class BatchAuditEngine:
                 self._cache.hits += 1
                 continue
             self._cache.misses += 1
-            pending[key] = (
-                assumption.value,
-                self._atol,
-                self._audited,
-                disclosed,
-                self._tensor_for(disclosed),
+            pending[key] = DecisionTask(
+                assumption_value=assumption.value,
+                atol=self._atol,
+                audited=self._audited,
+                disclosed=disclosed,
+                tensor=self._tensor_for(disclosed),
+                budget_seconds=self.decision_budget,
+                use_sos=self.use_sos,
             )
 
-        for key, verdict in zip(pending, self._decide_batch(list(pending.values()))):
-            self._cache.put(key, verdict)
+        outcomes: Dict[CacheKey, DecisionOutcome] = {}
+        for key, outcome in zip(pending, self._decide_batch(list(pending.values()))):
+            self._cache.put(key, outcome.verdict)
+            outcomes[key] = outcome
 
-        findings = [
-            EventFinding(
-                event=event,
-                disclosed_set=disclosed,
-                verdict=self._cache.fetch(key),
+        findings = []
+        for event, disclosed, key in zip(events, disclosed_sets, keys):
+            verdict = self._cache.fetch(key)
+            outcome = outcomes.get(key)
+            if outcome is None:
+                # Decided by an earlier audit_log call: provenance is the cache.
+                outcome = DecisionOutcome(verdict=verdict, stages=("verdict-cache",))
+            findings.append(
+                EventFinding(
+                    event=event,
+                    disclosed_set=disclosed,
+                    verdict=verdict,
+                    outcome=outcome,
+                )
             )
-            for event, disclosed, key in zip(events, disclosed_sets, keys)
-        ]
         return AuditReport(
             policy=self._policy,
             findings=findings,
             cache_stats=self._cache.stats(),
+            runtime_stats=self.runtime_stats,
         )
 
     def audit_ablation(
@@ -340,7 +504,10 @@ class BatchAuditEngine:
 
         Compiled disclosed sets and the verdict cache are shared across the
         runs; when the product family appears, gap tensors are precomputed
-        once so its exact stage never rebuilds them.
+        once so its exact stage never rebuilds them.  The runtime knobs
+        (budget, certificate stage, breaker, retry policy) and the stats
+        they feed are shared too, so a fault during one family's run is
+        visible in every sibling report.
         """
         if PriorAssumption.PRODUCT in assumptions:
             self.precompute_tensors(log)
@@ -356,10 +523,15 @@ class BatchAuditEngine:
                 n_workers=self.n_workers,
                 atol=self._atol,
                 cache=self._cache,
+                decision_budget=self.decision_budget,
+                use_sos=self.use_sos,
+                breaker=self.breaker,
+                retry=self.retry,
             )
             sibling._compiled = self._compiled
             sibling._compile_stats = self._compile_stats
             sibling._tensors = self._tensors
+            sibling.runtime_stats = self.runtime_stats
             reports[assumption] = sibling.audit_log(log)
         return reports
 
@@ -373,23 +545,134 @@ class BatchAuditEngine:
         per_task_work = max(1, size * size)  # criteria sweep ≈ 4^n
         return max(MIN_PARALLEL_DECISIONS, MIN_PARALLEL_WORK // per_task_work)
 
-    def _decide_batch(self, tasks: List[_Task]) -> List[AuditVerdict]:
+    def _apply_breaker(self, task: DecisionTask) -> DecisionTask:
+        """Pin the task to the exact path when the breaker refuses its stage.
+
+        Only product-family tasks with the certificate stage enabled are
+        ever pinned: the breaker guards that stage specifically, and the
+        exact path is verdict-identical only where a complete stage backs
+        the ones being skipped.
+        """
+        if (
+            not task.use_sos
+            or task.assumption_value != PriorAssumption.PRODUCT.value
+        ):
+            return task
+        if self.breaker.allow():
+            return task
+        self.runtime_stats.breaker_pinned += 1
+        return replace(task, pinned=True)
+
+    def _record_outcome(self, outcome: DecisionOutcome) -> None:
+        """Feed the breaker and the run counters from one decision's outcome."""
+        stats = self.runtime_stats
+        details = outcome.verdict.details
+        certificate_stage = details.get("certificate_stage")
+        if certificate_stage == "failed":
+            stats.certificate_failures += 1
+            if self.breaker.record_failure():
+                stats.breaker_trips += 1
+        elif certificate_stage == "ok":
+            self.breaker.record_success()
+        degradation = outcome.degradation or ""
+        if details.get("budget_exhausted") or "budget" in degradation:
+            stats.budget_exhausted += 1
+        if outcome.degraded:
+            stats.degraded_decisions += 1
+
+    def _decide_batch(self, tasks: List[DecisionTask]) -> List[DecisionOutcome]:
         workers = os.cpu_count() if self.n_workers is None else self.n_workers
         self.pool_engaged = False
         if workers and workers > 1 and len(tasks) >= self._pool_threshold():
-            try:
-                verdicts = self._decide_parallel(tasks, workers)
-            except (BrokenProcessPool, PicklingError, OSError):
-                pass  # no fork / no pipes here — decide in-process instead
-            else:
-                self.pool_engaged = True
-                return verdicts
-        return [_decide_task(task) for task in tasks]
+            # Outcomes arrive asynchronously, so the breaker's view is
+            # batch-granular here: pinning applies from the next batch on.
+            tasks = [self._apply_breaker(task) for task in tasks]
+            outcomes = self._decide_parallel(tasks, workers)
+            for outcome in outcomes:
+                self._record_outcome(outcome)
+            return outcomes
+        # Serial: feed the breaker per decision, so repeated certificate
+        # failures pin the *rest of this batch* to the exact path.
+        outcomes = []
+        for task in tasks:
+            outcome = _decide_task(self._apply_breaker(task))
+            self._record_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes
 
-    @staticmethod
-    def _decide_parallel(tasks: List[_Task], workers: int) -> List[AuditVerdict]:
-        # One chunk per worker: decisions are pure and independent, so the
-        # only IPC that matters is shipping the chunks themselves.
-        chunksize = -(-len(tasks) // workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_decide_task, tasks, chunksize=chunksize))
+    def _decide_parallel(
+        self, tasks: List[DecisionTask], workers: int
+    ) -> List[DecisionOutcome]:
+        """Fan tasks out to a process pool, surviving pool loss.
+
+        Verdicts returned by healthy workers are always kept; only the
+        tasks a broken pool lost are resubmitted (fresh pool, jittered
+        backoff), and whatever still remains after the retry budget is
+        decided in-process.  All of it is counted on ``runtime_stats``.
+        """
+        results: List[Optional[DecisionOutcome]] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        self.retry.reset()
+        for attempt in range(1, self.retry.max_attempts + 1):
+            survivors = self._pool_round(tasks, pending, workers, results)
+            if not survivors:
+                return results  # type: ignore[return-value]
+            self.runtime_stats.pool_failures += 1
+            if attempt < self.retry.max_attempts:
+                self.runtime_stats.tasks_resubmitted += len(survivors)
+                self.runtime_stats.pool_retries += 1
+                self.retry.backoff()
+            pending = survivors
+        # The pool never came back: finish the remainder in this process.
+        # (The worker-crash fault probe is inert here, so this terminates.)
+        self.runtime_stats.tasks_recovered_serial += len(pending)
+        for idx in pending:
+            results[idx] = _decide_task(tasks[idx]).with_degradation(
+                "pool-lost:serial-recovery"
+            )
+        return results  # type: ignore[return-value]
+
+    def _pool_round(
+        self,
+        tasks: List[DecisionTask],
+        pending: List[int],
+        workers: int,
+        results: List[Optional[DecisionOutcome]],
+    ) -> List[int]:
+        """One pool pass over ``pending``; returns the indices still missing.
+
+        Tolerates a pool that breaks at any point — creation, submission,
+        or mid-execution.  Futures that completed before the break keep
+        their results; everything else is reported back as a survivor.
+        """
+        futures: Dict[Future, int] = {}
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=_mark_pool_worker,
+            )
+        except (OSError, ValueError, RuntimeError):
+            return list(pending)  # this environment cannot fork at all
+        try:
+            with pool:
+                try:
+                    for idx in pending:
+                        if faults.fire(faults.PICKLE_FAILURE):
+                            self.runtime_stats.faults_injected += 1
+                            raise PicklingError(
+                                "injected task-dispatch pickle failure "
+                                "(chaos harness)"
+                            )
+                        futures[pool.submit(_decide_task, tasks[idx])] = idx
+                except (BrokenProcessPool, PicklingError, OSError, RuntimeError):
+                    pass  # already-submitted futures still drain below
+                for future in as_completed(futures):
+                    idx = futures[future]
+                    try:
+                        results[idx] = future.result()
+                        self.pool_engaged = True
+                    except (BrokenProcessPool, PicklingError, OSError):
+                        pass  # lost with the pool; caller resubmits
+        except (BrokenProcessPool, OSError):
+            pass  # pool shutdown itself failed; survivors cover the loss
+        return [idx for idx in pending if results[idx] is None]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple, Union
 
 from ..db.query import BooleanQuery, Select
+from ..exceptions import MalformedEventError
 
 Query = Union[BooleanQuery, Select]
 
@@ -22,12 +23,29 @@ class DisclosureEvent:
     """One answered query: ``user`` learned the answer to ``query`` at ``time``.
 
     ``time`` is any totally ordered value (int year, datetime, ...).
+    Malformed fields raise :class:`~repro.exceptions.MalformedEventError`
+    at construction — an audit run never discovers a bad entry mid-batch.
     """
 
     time: object
     user: str
     query: Query
     note: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.user, str) or not self.user:
+            raise MalformedEventError(
+                f"user must be a non-empty string, got {self.user!r}"
+            )
+        if not isinstance(self.query, (BooleanQuery, Select)):
+            raise MalformedEventError(
+                "query must be a BooleanQuery or Select, "
+                f"got {type(self.query).__name__}"
+            )
+        if not isinstance(self.note, str):
+            raise MalformedEventError(
+                f"note must be a string, got {type(self.note).__name__}"
+            )
 
     def describe(self) -> str:
         suffix = f" — {self.note}" if self.note else ""
@@ -38,15 +56,45 @@ class DisclosureLog:
     """An append-only, time-ordered log of disclosures."""
 
     def __init__(self, events: Iterable[DisclosureEvent] = ()) -> None:
-        self._events: List[DisclosureEvent] = sorted(
-            events, key=lambda e: (e.time, e.user)
-        )
+        validated: List[DisclosureEvent] = []
+        for index, event in enumerate(events):
+            if not isinstance(event, DisclosureEvent):
+                raise MalformedEventError(
+                    f"expected a DisclosureEvent, got {type(event).__name__}",
+                    event_index=index,
+                )
+            validated.append(event)
+        try:
+            self._events: List[DisclosureEvent] = sorted(
+                validated, key=lambda e: (e.time, e.user)
+            )
+        except TypeError as exc:
+            raise MalformedEventError(
+                f"event times are not mutually orderable: {exc}"
+            ) from exc
 
     def record(self, time, user: str, query: Query, note: str = "") -> DisclosureEvent:
-        """Append an event (keeping time order)."""
-        event = DisclosureEvent(time=time, user=user, query=query, note=note)
+        """Append an event (keeping time order).
+
+        Raises :class:`~repro.exceptions.MalformedEventError` carrying the
+        would-be event index when the entry is malformed or its time does
+        not order against the log's existing entries.
+        """
+        try:
+            event = DisclosureEvent(time=time, user=user, query=query, note=note)
+        except MalformedEventError as exc:
+            raise MalformedEventError(
+                str(exc), event_index=len(self._events)
+            ) from exc
         self._events.append(event)
-        self._events.sort(key=lambda e: (e.time, e.user))
+        try:
+            self._events.sort(key=lambda e: (e.time, e.user))
+        except TypeError as exc:
+            self._events.pop()
+            raise MalformedEventError(
+                f"event time {time!r} does not order against the log",
+                event_index=len(self._events),
+            ) from exc
         return event
 
     def __iter__(self) -> Iterator[DisclosureEvent]:

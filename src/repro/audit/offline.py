@@ -24,6 +24,7 @@ import numpy as np
 from ..core.verdict import AuditVerdict, Verdict
 from ..core.worlds import PropertySet, WorldSpace
 from ..db.compile import CandidateUniverse
+from ..exceptions import PolicyError
 from ..perf import CacheStats
 from ..possibilistic.auditor import PossibilisticAuditor
 from ..possibilistic.families import PowerSetFamily, SubcubeFamily
@@ -32,6 +33,7 @@ from ..probabilistic.auditor import (
     SupermodularAuditor,
     audit_unconstrained,
 )
+from ..runtime.outcome import DecisionOutcome, RuntimeStats
 from .log import DisclosureEvent, DisclosureLog
 from .policy import AuditPolicy, PriorAssumption
 
@@ -41,6 +43,8 @@ def make_decider(
     assumption: PriorAssumption,
     rng: Optional[np.random.Generator] = None,
     atol: Optional[float] = None,
+    use_sos: bool = False,
+    exact_only: bool = False,
 ):
     """Build the ``Safe_K(A, B)`` decision callable for one prior family.
 
@@ -48,11 +52,27 @@ def make_decider(
     batched :class:`~repro.audit.engine.BatchAuditEngine` (including its
     pool workers, which rebuild deciders in subprocesses) construct
     identical pipelines.
+
+    ``use_sos`` enables the sum-of-squares certificate stage of the
+    product-family pipeline.  ``exact_only`` pins that pipeline to its
+    deterministic path (criteria + Bernstein branch-and-bound, no
+    randomized optimizer, no certificate) — the degraded configuration the
+    engine's circuit breaker falls back to; it is sound and, within the
+    exact stage's dimension limit, verdict-identical.  Both flags are
+    ignored by the other families.  The product and log-supermodular
+    deciders additionally accept a ``budget=`` keyword (a
+    :class:`~repro.runtime.Budget`) bounding the decision's wall clock.
     """
     rng = rng or np.random.default_rng(0)
     if assumption is PriorAssumption.PRODUCT:
         kwargs = {} if atol is None else {"atol": atol}
-        return ProbabilisticAuditor(space, rng=rng, **kwargs).audit
+        return ProbabilisticAuditor(
+            space,
+            rng=rng,
+            use_sos=use_sos and not exact_only,
+            use_optimizer=not exact_only,
+            **kwargs,
+        ).audit
     if assumption is PriorAssumption.LOG_SUPERMODULAR:
         return SupermodularAuditor(space, rng=rng).audit
     if assumption is PriorAssumption.UNRESTRICTED:
@@ -71,20 +91,31 @@ def make_decider(
         return PossibilisticAuditor.from_family(
             space.full, ExplicitFamily(space, [space.full])
         ).audit
-    raise ValueError(f"unsupported assumption {assumption}")
+    raise PolicyError(f"unsupported assumption {assumption}")
 
 
 @dataclass(frozen=True)
 class EventFinding:
-    """The audit outcome for one disclosure event."""
+    """The audit outcome for one disclosure event.
+
+    ``outcome`` carries the decision's runtime provenance (stages run,
+    degradation flags, retries) when the finding came from the batched
+    engine; the per-event reference path leaves it ``None``.
+    """
 
     event: DisclosureEvent
     disclosed_set: PropertySet
     verdict: AuditVerdict
+    outcome: Optional[DecisionOutcome] = None
 
     @property
     def suspicious(self) -> bool:
         return self.verdict.is_unsafe
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the decision left its normal path (see the outcome)."""
+        return self.outcome is not None and self.outcome.degraded
 
     def describe(self) -> str:
         return f"{self.event.describe()}  →  {self.verdict}"
@@ -95,12 +126,20 @@ class AuditReport:
     """All findings of one audit run, grouped per user.
 
     ``cache_stats`` carries the engine's verdict-cache hit/miss counters
-    when the report was produced by the batched path (``None`` otherwise).
+    when the report was produced by the batched path (``None`` otherwise);
+    ``runtime_stats`` likewise carries the engine's resilience counters
+    (pool failures survived, breaker trips, budget expiries) — all zeros
+    on a clean run.
     """
 
     policy: AuditPolicy
     findings: List[EventFinding] = field(default_factory=list)
     cache_stats: Optional[CacheStats] = None
+    runtime_stats: Optional[RuntimeStats] = None
+
+    @property
+    def degraded_findings(self) -> List[EventFinding]:
+        return [f for f in self.findings if f.degraded]
 
     @property
     def suspicious_users(self) -> Tuple[str, ...]:
@@ -204,7 +243,12 @@ class OfflineAuditor:
         verdict = self._decider(self._audited, disclosed)
         return EventFinding(event=event, disclosed_set=disclosed, verdict=verdict)
 
-    def audit_log(self, log: DisclosureLog, n_workers: int = 1) -> AuditReport:
+    def audit_log(
+        self,
+        log: DisclosureLog,
+        n_workers: int = 1,
+        decision_budget: Optional[float] = None,
+    ) -> AuditReport:
         """Audit every event of the log against the policy's audit query.
 
         Delegates to the batched :class:`~repro.audit.engine.BatchAuditEngine`:
@@ -213,6 +257,11 @@ class OfflineAuditor:
         ``n_workers > 1`` independent decisions fan out to a process pool.
         Verdict statuses are identical to the per-event path; see the engine
         docs for the one caveat on optimiser witnesses.
+
+        ``decision_budget`` bounds each decision's wall clock in seconds
+        (``None`` = unlimited); on expiry the pipeline degrades soundly
+        (see :class:`~repro.runtime.Budget`) and the report's
+        ``runtime_stats`` record the expiries — no exception escapes.
         """
         from .engine import BatchAuditEngine
 
@@ -221,6 +270,7 @@ class OfflineAuditor:
                 self._universe, self._policy, n_workers=n_workers
             )
         self._engine.n_workers = n_workers
+        self._engine.decision_budget = decision_budget
         return self._engine.audit_log(log)
 
     def audit_log_serial(self, log: DisclosureLog) -> AuditReport:

@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass
 
 from ..db.query import BooleanQuery
+from ..exceptions import PolicyError
 
 
 class PriorAssumption(enum.Enum):
@@ -54,11 +55,40 @@ class AuditPolicy:
         disclosures), so when in doubt pick a larger family.
     name:
         Label used in reports.
+
+    Fields are validated at construction; a bad one raises a typed
+    :class:`~repro.exceptions.PolicyError` (a ``ValueError`` subclass)
+    rather than surfacing later as a bare ``KeyError`` mid-audit.  The
+    ``assumption`` accepts the enum value string (e.g. ``"product"``) and
+    coerces it.
     """
 
     audit_query: BooleanQuery
     assumption: PriorAssumption = PriorAssumption.PRODUCT
     name: str = "audit"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.audit_query, BooleanQuery):
+            raise PolicyError(
+                "audit_query must be a BooleanQuery, "
+                f"got {type(self.audit_query).__name__}"
+            )
+        if isinstance(self.assumption, str):
+            try:
+                coerced = PriorAssumption(self.assumption)
+            except ValueError as exc:
+                known = ", ".join(a.value for a in PriorAssumption)
+                raise PolicyError(
+                    f"unknown prior assumption {self.assumption!r}; known: {known}"
+                ) from exc
+            object.__setattr__(self, "assumption", coerced)
+        elif not isinstance(self.assumption, PriorAssumption):
+            raise PolicyError(
+                "assumption must be a PriorAssumption (or its value string), "
+                f"got {type(self.assumption).__name__}"
+            )
+        if not isinstance(self.name, str) or not self.name:
+            raise PolicyError(f"policy name must be a non-empty string, got {self.name!r}")
 
     def describe(self) -> str:
         return (

@@ -32,6 +32,13 @@ def render_report(report: AuditReport, width: int = 78) -> str:
     lines.append(f"events: {len(report.findings)}  {summary}")
     if report.cache_stats is not None and report.cache_stats.lookups:
         lines.append(f"verdict cache: {report.cache_stats}")
+    if report.runtime_stats is not None and report.runtime_stats.any_degradation:
+        lines.append(f"runtime degradation: {report.runtime_stats}")
+        for finding in report.degraded_findings:
+            lines.append(
+                f"  degraded: {finding.event.describe()}"
+                f" [{finding.outcome.degradation}]"
+            )
     if report.suspicious_users:
         lines.append("suspicion falls on: " + ", ".join(report.suspicious_users))
     if report.cleared_users:

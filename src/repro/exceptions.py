@@ -49,6 +49,52 @@ class UndecidedError(ReproError):
     """A decision procedure could not reach a sound verdict within its budget."""
 
 
+class MalformedEventError(ReproError, ValueError):
+    """A disclosure-log entry is malformed (bad user, time, or query).
+
+    ``event_index`` locates the offending entry within the log (or batch)
+    being processed, ``None`` when the event was validated standalone.
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    call sites keep working.
+    """
+
+    def __init__(self, message: str, event_index: "int | None" = None) -> None:
+        if event_index is not None:
+            message = f"event #{event_index}: {message}"
+        super().__init__(message)
+        self.event_index = event_index
+
+
+class PolicyError(ReproError, ValueError):
+    """An :class:`~repro.audit.policy.AuditPolicy` field failed validation."""
+
+
+class SolverConfigurationError(ReproError, ValueError):
+    """Arguments to a numeric solver are malformed (block sizes, dimensions…).
+
+    Subclasses :class:`ValueError` for backward compatibility with callers
+    that predate the typed hierarchy.
+    """
+
+
+class BudgetExhaustedError(ReproError):
+    """A decision's deadline budget ran out where degrading was impossible.
+
+    The staged pipeline prefers degrading (skipping optional stages,
+    returning a typed UNKNOWN verdict) over raising; this escape hatch is
+    for call sites that cannot continue at all.  ``stage`` names where the
+    budget died.
+    """
+
+    def __init__(self, message: str, stage: "str | None" = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class StageTimeoutError(ReproError):
+    """A decision stage (e.g. an SDP solve) exceeded its time allowance."""
+
+
 class QueryError(ReproError):
     """A database query is malformed or references unknown tables/columns."""
 

@@ -56,6 +56,7 @@ from ..possibilistic import _reference
 from ..possibilistic.families import SubcubeFamily
 from ..possibilistic.intervals import FamilyIntervalOracle
 from ..possibilistic.margins import SafetyMarginIndex
+from ..runtime import CircuitBreaker
 from . import Stopwatch, write_bench_json
 
 DEFAULT_EVENTS = 250
@@ -66,6 +67,9 @@ DEFAULT_OUTPUT = "BENCH_audit_pipeline.json"
 DEFAULT_SERIAL_N = 12
 DEFAULT_SERIAL_CANDIDATES = 6
 DEFAULT_SERIAL_DISCLOSURES = 200
+
+DEFAULT_RESILIENCE_REPEATS = 3
+DEFAULT_RESILIENCE_BUDGET = 30.0
 
 #: The E11-style audit query: is Bob's HIV diagnosis disclosed?
 AUDIT_QUERY = (
@@ -305,6 +309,87 @@ def run_serial_path_bench(
     }
 
 
+# ---------------------------------------------------------------------------
+# E16 — clean-path overhead of the resilience layer
+# ---------------------------------------------------------------------------
+
+
+def run_resilience_bench(
+    n_events: int = DEFAULT_EVENTS,
+    seed: int = DEFAULT_SEED,
+    repeats: int = DEFAULT_RESILIENCE_REPEATS,
+    decision_budget: float = DEFAULT_RESILIENCE_BUDGET,
+) -> Dict[str, Any]:
+    """Measure what the resilience layer costs when nothing goes wrong.
+
+    The E14 log is audited twice per repeat through fresh single-worker
+    engines: once plain, once *armed* — a per-decision deadline budget plus
+    an explicit circuit breaker, i.e. every resilience probe live on the
+    hot path.  No fault plan is installed and the budget is generous, so
+    both runs take the identical decision path; the artifact records the
+    best-of-``repeats`` wall clock for each and their overhead fraction.
+    Verdicts are asserted identical and the armed run is asserted clean
+    (zero degradation counters) before anything is reported.
+    """
+    universe = build_registry()
+    log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
+    policy = AuditPolicy(
+        audit_query=parse_boolean_query(AUDIT_QUERY),
+        assumption=PriorAssumption.PRODUCT,
+        name="bench-resilience",
+    )
+
+    plain_best = armed_best = float("inf")
+    plain_report = armed_report = None
+    for _ in range(max(1, repeats)):
+        plain_engine = BatchAuditEngine(universe, policy, n_workers=1)
+        with Stopwatch() as plain_clock:
+            plain_report = plain_engine.audit_log(log)
+        plain_best = min(plain_best, plain_clock.elapsed)
+
+        armed_engine = BatchAuditEngine(
+            universe,
+            policy,
+            n_workers=1,
+            decision_budget=decision_budget,
+            breaker=CircuitBreaker(),
+        )
+        with Stopwatch() as armed_clock:
+            armed_report = armed_engine.audit_log(log)
+        armed_best = min(armed_best, armed_clock.elapsed)
+
+    if _statuses(armed_report) != _statuses(plain_report):
+        raise AssertionError("resilience-armed engine changed verdicts")
+    stats = armed_report.runtime_stats
+    if stats is not None and stats.any_degradation:
+        raise AssertionError(
+            f"clean-path run reported degradation: {stats}"
+        )
+
+    events = len(list(log))
+    overhead = armed_best / plain_best - 1.0
+    return {
+        "benchmark": "resilience_overhead",
+        "workload": {
+            "events": events,
+            "repeats": repeats,
+            "decision_budget_seconds": decision_budget,
+            "seed": seed,
+        },
+        "engine_plain": {
+            "seconds": round(plain_best, 6),
+            "events_per_sec": round(events / plain_best, 1),
+        },
+        "engine_armed": {
+            "seconds": round(armed_best, 6),
+            "events_per_sec": round(events / armed_best, 1),
+            "runtime_stats": stats.as_dict() if stats is not None else None,
+        },
+        "overhead_fraction": round(overhead, 4),
+        "verdict_identical": True,
+    }
+
+
 def run_bench(
     n_events: int = DEFAULT_EVENTS,
     n_workers: int = DEFAULT_WORKERS,
@@ -312,11 +397,13 @@ def run_bench(
     assumption: PriorAssumption = PriorAssumption.PRODUCT,
     serial_n: int = DEFAULT_SERIAL_N,
     serial_disclosures: int = DEFAULT_SERIAL_DISCLOSURES,
+    resilience_repeats: int = DEFAULT_RESILIENCE_REPEATS,
 ) -> Dict[str, Any]:
     """Audit one synthetic log through all three pipelines and compare.
 
-    Also runs the E15 serial-path sweep (at ``serial_n`` records) and
-    embeds its section in the returned document.
+    Also runs the E15 serial-path sweep (at ``serial_n`` records) and the
+    E16 resilience-overhead measurement, embedding both sections in the
+    returned document.
     """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
@@ -412,6 +499,9 @@ def run_bench(
     document["serial_path"] = run_serial_path_bench(
         n=serial_n, n_disclosures=serial_disclosures, seed=seed
     )
+    document["resilience"] = run_resilience_bench(
+        n_events=n_events, seed=seed, repeats=resilience_repeats
+    )
     return document
 
 
@@ -440,10 +530,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
+    resilience_repeats = DEFAULT_RESILIENCE_REPEATS
     if args.smoke:
         args.events = min(args.events, 60)
         args.serial_n = min(args.serial_n, 8)
         args.serial_disclosures = min(args.serial_disclosures, 40)
+        resilience_repeats = 1
 
     document = run_bench(
         n_events=args.events,
@@ -452,6 +544,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         assumption=PriorAssumption(args.assumption),
         serial_n=args.serial_n,
         serial_disclosures=args.serial_disclosures,
+        resilience_repeats=resilience_repeats,
     )
     path = write_bench_json(args.output, document)
     workload = document["workload"]
@@ -482,6 +575,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"mask {serial_path['mask_backend']['seconds']*1e3:.1f} ms vs "
         f"frozenset {serial_path['frozenset_reference']['seconds']*1e3:.1f} ms "
         f"→ {serial_path['speedup_serial_path']}x"
+    )
+    resilience = document["resilience"]
+    print(
+        f"resilience overhead (budget "
+        f"{resilience['workload']['decision_budget_seconds']}s + breaker): "
+        f"plain {resilience['engine_plain']['seconds']*1e3:.1f} ms vs "
+        f"armed {resilience['engine_armed']['seconds']*1e3:.1f} ms "
+        f"→ {resilience['overhead_fraction']:+.1%}"
     )
     return 0
 

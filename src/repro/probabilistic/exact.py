@@ -31,10 +31,14 @@ import numpy as np
 from ..algebraic.encode import safety_gap_tensor
 from ..core.verdict import AuditVerdict
 from ..core.worlds import HypercubeSpace, PropertySet
+from ..runtime.budget import Budget
 from .distributions import ProductDistribution
 
 #: Default tolerance: minima in [−atol, 0) are treated as boundary-safe.
 DEFAULT_ATOL = 1e-9
+
+#: Boxes explored between deadline-budget polls in the branch and bound.
+_BUDGET_CHECK_EVERY = 128
 
 #: Conversion matrix: power basis (1, p, p²) → Bernstein degree-2 coefficients.
 #: Row j gives the Bernstein coefficient at node j of each power monomial.
@@ -130,11 +134,15 @@ def decide_nonnegative_on_box(
     tensor: np.ndarray,
     atol: float = DEFAULT_ATOL,
     max_boxes: int = 200_000,
+    budget: Optional[Budget] = None,
 ) -> BernsteinDecision:
     """Decide ``g ≥ −atol`` on ``[0,1]^n`` for a degree-≤2-per-variable ``g``.
 
     ``tensor`` holds power-basis coefficients with shape ``(3,)*n``.
-    Best-first branch and bound on the Bernstein lower bound.
+    Best-first branch and bound on the Bernstein lower bound.  An expired
+    ``budget`` (polled every :data:`_BUDGET_CHECK_EVERY` boxes) stops the
+    search with an undecided result — sound, since undecided carries the
+    best certified lower bound found so far.
     """
     n = tensor.ndim
     root = power_tensor_to_bernstein(tensor)
@@ -162,6 +170,12 @@ def decide_nonnegative_on_box(
     if witness is not None:
         return BernsteinDecision(False, float(root.min()), witness, 1)
     while heap and explored < max_boxes:
+        if (
+            budget is not None
+            and explored % _BUDGET_CHECK_EVERY == 0
+            and budget.expired
+        ):
+            break  # deadline passed: report undecided with the frontier bound
         lower, _, coeffs, lo, hi = heapq.heappop(heap)
         explored += 1
         # Split along the axis with the largest coefficient variation.
@@ -190,6 +204,7 @@ def decide_product_safety(
     atol: float = DEFAULT_ATOL,
     max_boxes: int = 200_000,
     tensor: Optional[np.ndarray] = None,
+    budget: Optional[Budget] = None,
 ) -> AuditVerdict:
     """Decide ``Safe_{Π_m⁰}(A, B)`` rigorously (up to ``atol``) for ``n ≤ 12``.
 
@@ -212,7 +227,9 @@ def decide_product_safety(
             f"precomputed tensor has shape {tensor.shape}; "
             f"expected {(3,) * space.n}"
         )
-    decision = decide_nonnegative_on_box(tensor, atol=atol, max_boxes=max_boxes)
+    decision = decide_nonnegative_on_box(
+        tensor, atol=atol, max_boxes=max_boxes, budget=budget
+    )
     if decision.nonnegative is True:
         return AuditVerdict.safe(
             "bernstein-branch-and-bound",
@@ -235,4 +252,5 @@ def decide_product_safety(
         "bernstein-branch-and-bound",
         lower_bound=decision.lower_bound,
         boxes_explored=decision.boxes_explored,
+        budget_exhausted=budget is not None and budget.expired,
     )

@@ -1,0 +1,104 @@
+"""A deterministic circuit breaker for fragile decision stages.
+
+The certificate stage (SOS / SDP feasibility) is the decision pipeline's
+only numerically fragile component: a pathological batch can make every
+solve time out or stall.  Paying that cost once is diagnosis; paying it for
+every remaining decision of a 10⁵-event log is an outage.  The breaker
+watches consecutive certificate-stage failures and, once tripped, pins
+subsequent decisions of the batch to the deterministic exact path — sound,
+somewhat slower, verdict-identical (the exact stage is complete where the
+certificate stage is merely faster).
+
+Unlike textbook breakers this one is **count-based, not clock-based**: it
+re-probes after a fixed number of short-circuited calls rather than after a
+cooldown period.  Audit batches replay deterministically (the whole point
+of the fault-injection harness), and a wall-clock cooldown would make the
+set of pinned decisions depend on scheduler noise.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"  # normal operation, failures being counted
+    OPEN = "open"  # tripped: callers must take the degraded path
+    HALF_OPEN = "half-open"  # one probe call allowed through
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with count-based recovery.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker (CLOSED → OPEN).
+    recovery_after:
+        Short-circuited calls to sit out while OPEN before letting one
+        probe through (OPEN → HALF_OPEN).  The probe's success closes the
+        breaker; its failure re-opens it for another ``recovery_after``
+        calls.
+    """
+
+    def __init__(self, failure_threshold: int = 3, recovery_after: int = 16) -> None:
+        if failure_threshold < 1 or recovery_after < 1:
+            raise ValueError("thresholds must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_after = int(recovery_after)
+        self.state = BreakerState.CLOSED
+        self.trips = 0  # lifetime CLOSED/HALF_OPEN → OPEN transitions
+        self.short_circuits = 0  # lifetime calls answered "degrade"
+        self._consecutive_failures = 0
+        self._open_calls = 0
+
+    def allow(self) -> bool:
+        """Whether the protected stage may run for the next call.
+
+        ``False`` means the caller must take its degraded path; the refusal
+        is counted toward the recovery window.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            self._open_calls += 1
+            self.short_circuits += 1
+            if self._open_calls >= self.recovery_after:
+                self.state = BreakerState.HALF_OPEN
+            return False
+        # HALF_OPEN: exactly one probe runs; concurrent callers degrade.
+        self.state = BreakerState.OPEN
+        self._open_calls = 0
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self._open_calls = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns ``True`` when this call trips the breaker."""
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ) or self.state is BreakerState.OPEN and self._open_calls == 0:
+            # Second disjunct: the HALF_OPEN probe (state already flipped
+            # back to OPEN by allow()) failed — count it as a fresh trip.
+            tripped = self.state is BreakerState.CLOSED
+            self.state = BreakerState.OPEN
+            self._open_calls = 0
+            if tripped:
+                self.trips += 1
+            return tripped
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state.value}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold}, "
+            f"trips={self.trips})"
+        )

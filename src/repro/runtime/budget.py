@@ -1,0 +1,90 @@
+"""Per-decision deadline budgets on the monotonic clock.
+
+A :class:`Budget` is created when a decision starts and handed down the
+stage chain (criteria → optimizer → certificate → exact).  Stages poll
+:attr:`Budget.expired` at their natural checkpoints — between pipeline
+stages, every few hundred branch-and-bound boxes, every solver residual
+check — and degrade when the deadline passes: optional refutation and
+certification stages are skipped (sound — a later complete stage still
+decides), and a decision that runs completely dry returns a typed
+``UNKNOWN("budget-exhausted")`` verdict rather than raising.
+
+Budgets deliberately do not cross process boundaries: the batch engine
+ships ``budget_seconds`` inside each task and the worker starts its own
+clock, so a task's deadline measures *decision* time, not queue time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+from ..exceptions import BudgetExhaustedError
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """A monotonic-clock deadline for one decision (or one solver call).
+
+    Parameters
+    ----------
+    seconds:
+        Wall-clock allowance from *now*.  ``None`` means unlimited: every
+        poll is then a pair of attribute reads, so threading an unlimited
+        budget through the pipeline costs nothing measurable.
+    clock:
+        Injectable time source (tests use a fake); defaults to
+        :func:`time.monotonic`, which never jumps backwards.
+    """
+
+    __slots__ = ("seconds", "deadline", "_clock")
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise BudgetExhaustedError(
+                f"budget seconds must be nonnegative, got {seconds}"
+            )
+        self._clock = clock
+        self.seconds = None if seconds is None else float(seconds)
+        self.deadline = None if seconds is None else clock() + float(seconds)
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        return cls(None)
+
+    @property
+    def limited(self) -> bool:
+        return self.deadline is not None
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited, floored at zero)."""
+        if self.deadline is None:
+            return math.inf
+        return max(0.0, self.deadline - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and self._clock() >= self.deadline
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`BudgetExhaustedError` naming ``stage`` if expired.
+
+        For call sites where continuing is not an option; most pipeline
+        stages prefer polling :attr:`expired` and degrading instead.
+        """
+        if self.expired:
+            raise BudgetExhaustedError(
+                f"decision budget of {self.seconds}s exhausted before {stage}",
+                stage=stage,
+            )
+
+    def __repr__(self) -> str:
+        if self.deadline is None:
+            return "Budget(unlimited)"
+        return f"Budget({self.seconds}s, {self.remaining():.3f}s remaining)"

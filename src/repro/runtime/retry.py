@@ -1,0 +1,103 @@
+"""Retry with decorrelated-jitter backoff for transient runtime failures.
+
+The batch engine's process pool can break for reasons that have nothing to
+do with the decisions themselves: a worker OOM-killed mid-batch, a sandbox
+briefly refusing ``fork``, a pipe closed under memory pressure.  Those are
+worth retrying — but retrying on a fixed schedule synchronises the retries
+of every engine sharing the machine.  Decorrelated jitter (each delay drawn
+uniformly from ``[base, 3 × previous]``, capped) spreads them out while
+still backing off exponentially in expectation.
+
+The policy is seeded so chaos runs are reproducible: the same fault plan
+produces the same delay sequence, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Bounded retry with seeded decorrelated-jitter delays.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``3`` → one initial try plus two
+        retries).
+    base:
+        Lower bound of every delay, and the first delay's scale, in seconds.
+    cap:
+        Upper bound on any single delay.
+    seed:
+        Seeds the jitter stream; equal seeds give equal delay sequences.
+    sleep:
+        Injectable sleeper (tests pass a recorder); defaults to
+        :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base: float = 0.02,
+        cap: float = 0.25,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0 < base <= cap:
+            raise ValueError("need 0 < base <= cap")
+        self.max_attempts = int(max_attempts)
+        self.base = float(base)
+        self.cap = float(cap)
+        self._seed = seed
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._previous = self.base
+
+    def reset(self) -> None:
+        """Restart both the jitter stream and the backoff state."""
+        self._rng = random.Random(self._seed)
+        self._previous = self.base
+
+    def next_delay(self) -> float:
+        """The next backoff delay (decorrelated jitter, capped)."""
+        delay = min(self.cap, self._rng.uniform(self.base, self._previous * 3.0))
+        self._previous = delay
+        return delay
+
+    def backoff(self) -> float:
+        """Sleep for :meth:`next_delay` seconds; returns the delay slept."""
+        delay = self.next_delay()
+        self._sleep(delay)
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[int], object],
+        retryable: Tuple[Type[BaseException], ...],
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        """Run ``fn(attempt)`` until it succeeds or attempts run out.
+
+        Only exceptions in ``retryable`` are retried; the final attempt's
+        exception propagates.  ``on_retry(attempt, exc, delay)`` is called
+        before each backoff sleep.
+        """
+        self.reset()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(attempt)
+            except retryable as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.next_delay()
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -3,13 +3,48 @@
 from __future__ import annotations
 
 import itertools
+import os
 import random
+import signal
+import threading
 from typing import Iterator, List, Tuple
 
 import numpy as np
 import pytest
 
 from repro.core import Distribution, HypercubeSpace, PropertySet, WorldSpace
+
+#: Per-test hang guard in seconds (0 disables).  A signal-based stand-in for
+#: pytest-timeout, which this environment does not ship: the resilience and
+#: chaos tests exercise broken process pools and injected solver stalls, and
+#: a regression there must fail the suite, not wedge it.
+_TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard(request):
+    """Abort any single test that runs longer than ``REPRO_TEST_TIMEOUT``."""
+    if (
+        _TEST_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RuntimeError(
+            f"test exceeded the {_TEST_TIMEOUT}s hang guard "
+            f"({request.node.nodeid}); see REPRO_TEST_TIMEOUT"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,360 @@
+"""Seeded fault-injection suite for the resilience layer.
+
+The contract under test: every injected fault class — worker crash
+mid-batch, task-dispatch pickle failure, solver timeout, forced SDP
+nonconvergence, budget exhaustion — yields verdict *statuses* identical to
+a clean serial run (budgets may soundly weaken decided verdicts to
+UNKNOWN, never flip them), records its degradation on the report's
+``runtime_stats`` and per-finding ``DecisionOutcome``, and never lets an
+exception escape ``audit_log``.
+
+``REPRO_FAULTS_SEED`` (the ``make chaos-smoke`` matrix) varies the fault
+schedules; every assertion here is seed-independent unless it pins its own
+seed explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.audit import (
+    AuditPolicy,
+    AuditReport,
+    BatchAuditEngine,
+    DisclosureLog,
+    OfflineAuditor,
+)
+from repro.core.verdict import Verdict
+from repro.db import parse_boolean_query
+from repro.perf.bench import AUDIT_QUERY, build_mixed_density_log, build_registry
+from repro.runtime import CircuitBreaker, faults
+
+#: Seed for the chaos matrix (varied by `make chaos-smoke`).
+ENV_SEED = int(os.environ.get(faults.ENV_SEED, "0"))
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """No fault plan may leak between tests (or out of this module)."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry(background_rows=16)
+
+
+@pytest.fixture(scope="module")
+def mixed_log(registry):
+    return build_mixed_density_log(registry, n_events=30, seed=11)
+
+
+def make_policy(name="faults-test"):
+    return AuditPolicy(audit_query=parse_boolean_query(AUDIT_QUERY), name=name)
+
+
+def statuses(report: AuditReport):
+    return [finding.verdict.status for finding in report.findings]
+
+
+def clean_statuses(universe, policy, log, **kwargs):
+    """Reference statuses: serial engine, no faults installed."""
+    engine = BatchAuditEngine(universe, policy, n_workers=1, **kwargs)
+    return statuses(engine.audit_log(log))
+
+
+# -- the SOS-reaching workload ----------------------------------------------------
+#
+# The registry's candidate worlds are {0..7} (three candidate records); a
+# query's disclosed set is its equal-answer set, which always contains the
+# actual world 3.  The pairs below are exhaustively verified to pass every
+# cheap criterion *and* the optimizer inconclusively, so their decisions
+# reach the certificate stage — the stage the solver-timeout injector and
+# the circuit breaker act on.  A/B sets are encoded as DNF over the
+# per-candidate EXISTS coordinates, so this is an end-to-end DB-layer path.
+
+_PATIENTS = ("Bob", "Carol", "Dana")
+_SOS_AUDIT = (1, 2, 3, 5)
+_SOS_REACHING = ((0, 1, 3, 6, 7), (0, 1, 3, 7), (0, 3, 7))
+_CRITERIA_DECIDED = ((1, 3, 5, 7), (0, 1, 2, 3))
+
+
+def _exists(patient):
+    return f"EXISTS(SELECT * FROM diagnoses WHERE patient = '{patient}')"
+
+
+def _dnf(worlds):
+    """A boolean query true exactly on ``worlds`` (bit k ↔ candidate k real)."""
+    terms = []
+    for w in worlds:
+        literals = [
+            _exists(p) if (w >> bit) & 1 else f"NOT {_exists(p)}"
+            for bit, p in enumerate(_PATIENTS)
+        ]
+        terms.append("(" + " AND ".join(literals) + ")")
+    return " OR ".join(terms)
+
+
+def sos_policy():
+    return AuditPolicy(audit_query=parse_boolean_query(_dnf(_SOS_AUDIT)), name="sos")
+
+
+def sos_log():
+    log = DisclosureLog()
+    for t, b in enumerate(_SOS_REACHING + _CRITERIA_DECIDED):
+        log.record(t, f"user{t}", parse_boolean_query(_dnf(b)))
+    return log
+
+
+def test_dnf_encoding_compiles_to_the_intended_sets(registry):
+    audited = registry.compile_boolean(parse_boolean_query(_dnf(_SOS_AUDIT)))
+    assert tuple(sorted(audited.members)) == _SOS_AUDIT
+
+
+class TestWorkerCrash:
+    def test_total_pool_loss_recovers_serially_verdict_identical(
+        self, registry, mixed_log
+    ):
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        engine = BatchAuditEngine(
+            registry, policy, n_workers=2, parallel_threshold=0
+        )
+        with faults.inject("worker-crash:1", seed=ENV_SEED):
+            report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        stats = report.runtime_stats
+        n_unique = engine.cache.misses
+        assert stats.pool_failures >= 1
+        assert stats.tasks_recovered_serial == n_unique
+        assert stats.degraded_decisions == n_unique
+        # Every decided finding records the recovery in its provenance.
+        for finding in report.findings:
+            assert finding.outcome is not None
+            if finding.outcome.stages[-1:] != ("verdict-cache",):
+                assert finding.outcome.degraded
+                assert "serial-recovery" in finding.outcome.degradation
+
+    def test_serial_engine_never_crashes_itself(self, registry, mixed_log):
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        engine = BatchAuditEngine(registry, policy, n_workers=1)
+        with faults.inject("worker-crash:1", seed=ENV_SEED):
+            report = engine.audit_log(mixed_log)
+        # The probe is gated on being a pool worker: serial runs are immune.
+        assert statuses(report) == reference
+        assert not report.runtime_stats.any_degradation
+
+
+class TestPickleFailure:
+    def test_partial_loss_keeps_completed_verdicts(self, registry, mixed_log):
+        """A dispatch failure mid-submission loses only the unsubmitted tasks.
+
+        Seed 1 is pinned: its schedule fires the (rate-0.5, max-1) probe on
+        the third submission, so exactly two tasks complete in the first
+        pool round and everything else is resubmitted once.
+        """
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        engine = BatchAuditEngine(
+            registry, policy, n_workers=2, parallel_threshold=0
+        )
+        with faults.inject("pickle-failure:0.5:1", seed=1):
+            report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        stats = report.runtime_stats
+        assert stats.faults_injected == 1
+        assert stats.pool_failures == 1
+        assert stats.pool_retries == 1
+        # Two tasks were submitted (and kept!) before the injected failure.
+        assert stats.tasks_resubmitted == engine.cache.misses - 2
+        assert stats.tasks_recovered_serial == 0
+        assert engine.pool_engaged
+
+    def test_persistent_dispatch_failure_degrades_to_serial(
+        self, registry, mixed_log
+    ):
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        engine = BatchAuditEngine(
+            registry, policy, n_workers=2, parallel_threshold=0
+        )
+        with faults.inject("pickle-failure:1", seed=ENV_SEED):
+            report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        assert report.runtime_stats.tasks_recovered_serial == engine.cache.misses
+
+
+class TestSolverTimeout:
+    def test_certificate_failures_keep_verdicts_and_trip_breaker(self, registry):
+        policy = sos_policy()
+        log = sos_log()
+        reference = clean_statuses(registry, policy, log)
+        breaker = CircuitBreaker(failure_threshold=1, recovery_after=100)
+        engine = BatchAuditEngine(
+            registry, policy, n_workers=1, use_sos=True, breaker=breaker
+        )
+        with faults.inject("solver-timeout:1", seed=ENV_SEED):
+            report = engine.audit_log(log)
+        assert statuses(report) == reference
+        stats = report.runtime_stats
+        # The first certificate-stage decision failed and tripped the
+        # breaker; every later task of the batch was pinned to the exact
+        # path (so exactly one certificate failure total).
+        assert stats.certificate_failures == 1
+        assert stats.breaker_trips == 1
+        assert stats.breaker_pinned == engine.cache.misses - 1
+        pinned = [
+            f
+            for f in report.findings
+            if f.outcome and f.outcome.degradation
+            and "breaker-pinned" in f.outcome.degradation
+        ]
+        assert len(pinned) >= 1
+
+    def test_without_breaker_every_certificate_fails_soundly(self, registry):
+        policy = sos_policy()
+        log = sos_log()
+        reference = clean_statuses(registry, policy, log)
+        breaker = CircuitBreaker(failure_threshold=10_000)  # effectively off
+        engine = BatchAuditEngine(
+            registry, policy, n_workers=1, use_sos=True, breaker=breaker
+        )
+        with faults.inject("solver-timeout:1", seed=ENV_SEED):
+            report = engine.audit_log(log)
+        assert statuses(report) == reference
+        stats = report.runtime_stats
+        assert stats.certificate_failures == len(_SOS_REACHING)
+        assert stats.breaker_trips == 0
+        assert stats.breaker_pinned == 0
+        failed = [
+            f
+            for f in report.findings
+            if f.verdict.details.get("certificate_stage") == "failed"
+        ]
+        assert len(failed) == len(_SOS_REACHING)
+        for finding in failed:
+            assert finding.verdict.status in (Verdict.SAFE, Verdict.UNSAFE)
+            assert any(
+                "sos failed" in stage for stage in finding.outcome.stages
+            )
+
+
+class TestNonconvergence:
+    def test_nonconvergent_sdp_is_inconclusive_not_an_error(self, registry):
+        policy = sos_policy()
+        log = sos_log()
+        reference = clean_statuses(registry, policy, log)
+        engine = BatchAuditEngine(registry, policy, n_workers=1, use_sos=True)
+        with faults.inject("nonconvergence:1", seed=ENV_SEED):
+            report = engine.audit_log(log)
+        assert statuses(report) == reference
+        # "Solver found nothing" is a clean inconclusive, not a failure:
+        # the exact stage decides and the breaker never hears about it.
+        assert report.runtime_stats.certificate_failures == 0
+        assert report.runtime_stats.breaker_trips == 0
+
+
+class TestBudget:
+    def test_zero_budget_is_sound_and_typed(self, registry):
+        # The SOS workload needs the optimizer/exact stages, so a dead
+        # budget actually bites (the mixed log is criteria-decided and
+        # would sail through unchanged).
+        policy = sos_policy()
+        log = sos_log()
+        reference = clean_statuses(registry, policy, log)
+        engine = BatchAuditEngine(registry, policy, n_workers=1, decision_budget=0.0)
+        report = engine.audit_log(log)
+        for clean, starved in zip(reference, statuses(report)):
+            # Budgets degrade soundly: a decided status either survives
+            # (criteria are always run) or weakens to UNKNOWN — never flips.
+            assert starved in (clean, Verdict.UNKNOWN)
+        assert report.runtime_stats.budget_exhausted >= 1
+        assert report.runtime_stats.degraded_decisions >= 1
+        starved_unknowns = [
+            f for f in report.findings if f.verdict.status is Verdict.UNKNOWN
+        ]
+        assert starved_unknowns  # the SOS-reaching pairs ran out of budget
+        for finding in starved_unknowns:
+            assert finding.verdict.method == "budget-exhausted"
+            assert "budget" in (finding.outcome.degradation or "")
+
+    def test_generous_budget_changes_nothing(self, registry, mixed_log):
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        engine = BatchAuditEngine(registry, policy, n_workers=1, decision_budget=60.0)
+        report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        assert report.runtime_stats.budget_exhausted == 0
+        assert not report.runtime_stats.any_degradation
+
+    def test_offline_auditor_budget_passthrough(self, registry):
+        auditor = OfflineAuditor(registry, sos_policy())
+        report = auditor.audit_log(sos_log(), decision_budget=0.0)
+        assert report.runtime_stats is not None
+        assert report.runtime_stats.budget_exhausted >= 1
+
+
+class TestChaosMatrix:
+    def test_mixed_fault_plan_is_verdict_identical(self, registry):
+        """Crashes, timeouts and nonconvergence together: provenance moves,
+        verdicts do not (no budget in the plan, so full identity holds)."""
+        policy = sos_policy()
+        log = sos_log()
+        reference = clean_statuses(registry, policy, log)
+        engine = BatchAuditEngine(
+            registry,
+            policy,
+            n_workers=2,
+            parallel_threshold=0,
+            use_sos=True,
+        )
+        plan = "worker-crash:0.4,solver-timeout:0.6,nonconvergence:0.5"
+        with faults.inject(plan, seed=ENV_SEED):
+            report = engine.audit_log(log)
+        assert statuses(report) == reference
+        for finding in report.findings:
+            assert finding.outcome is not None
+
+    def test_no_exception_escapes_audit_log(self, registry, mixed_log):
+        for site in faults.KNOWN_SITES:
+            auditor = OfflineAuditor(registry, make_policy(name=f"chaos-{site}"))
+            with faults.inject(f"{site}:1", seed=ENV_SEED):
+                report = auditor.audit_log(mixed_log, n_workers=2)
+            assert isinstance(report, AuditReport)
+            assert len(report.findings) == len(mixed_log)
+
+
+class TestProvenance:
+    def test_clean_run_outcomes_are_attached_and_undegraded(
+        self, registry, mixed_log
+    ):
+        engine = BatchAuditEngine(registry, make_policy(), n_workers=1)
+        report = engine.audit_log(mixed_log)
+        assert not report.runtime_stats.any_degradation
+        for finding in report.findings:
+            assert finding.outcome is not None
+            assert not finding.outcome.degraded
+            assert finding.outcome.stages  # pipeline trace is never empty
+            assert finding.outcome.verdict is finding.verdict
+
+    def test_warm_rerun_provenance_is_the_cache(self, registry, mixed_log):
+        engine = BatchAuditEngine(registry, make_policy(), n_workers=1)
+        engine.audit_log(mixed_log)
+        warm = engine.audit_log(mixed_log)
+        for finding in warm.findings:
+            assert finding.outcome.stages == ("verdict-cache",)
+
+    def test_env_plan_activates_and_deactivates(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_PLAN, "solver-timeout:1")
+        monkeypatch.setenv(faults.ENV_SEED, "3")
+        assert faults.active() is not None
+        assert faults.fire(faults.SOLVER_TIMEOUT)
+        assert not faults.fire(faults.WORKER_CRASH)
+        monkeypatch.delenv(faults.ENV_PLAN)
+        assert faults.active() is None
+        assert not faults.fire(faults.SOLVER_TIMEOUT)
