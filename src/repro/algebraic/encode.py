@@ -15,6 +15,9 @@ decision procedure.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from functools import lru_cache
+from typing import Tuple
 
 import numpy as np
 
@@ -42,14 +45,19 @@ def event_multilinear_coeffs(event: PropertySet) -> np.ndarray:
     """
     space = _hypercube_of(event)
     n = space.n
-    coeffs = np.zeros(1 << n)
-    for w in event:
-        coeffs[w] = 1.0
-    for i in range(n):
-        bit = 1 << i
-        for mask in range(1 << n):
-            if mask & bit:
-                coeffs[mask] -= coeffs[mask ^ bit]
+    size = 1 << n
+    # Indicator straight from the packed mask: one to_bytes + one unpackbits.
+    packed = np.frombuffer(
+        event.mask.to_bytes((size + 7) // 8, "little"), dtype=np.uint8
+    )
+    coeffs = np.unpackbits(packed, bitorder="little", count=size).astype(np.float64)
+    # Signed Möbius transform, one in-place vectorized pass per coordinate.
+    # Bit ``i`` of the world index lands on axis ``n - 1 - i`` of the C-order
+    # reshape, but the axis order is irrelevant: the per-axis updates commute.
+    shaped = coeffs.reshape((2,) * n)
+    for axis in range(n):
+        view = np.moveaxis(shaped, axis, 0)
+        view[1] -= view[0]
     return coeffs
 
 
@@ -79,6 +87,7 @@ def safety_gap_polynomial(audited: PropertySet, disclosed: PropertySet) -> Polyn
     return pa * pb - pab
 
 
+@lru_cache(maxsize=None)
 def _ternary_codes(n: int) -> np.ndarray:
     """``tern[x] = Σ_i x_i · 3^(n-1-i)`` for every mask ``x`` in ``{0,1}^n``.
 
@@ -87,14 +96,14 @@ def _ternary_codes(n: int) -> np.ndarray:
     is the ternary code of the product monomial.  Digit ``i`` (coordinate
     ``i+1``) is placed at position ``3^(n-1-i)`` so that a C-order reshape
     to ``(3,)*n`` puts coordinate ``i+1`` on axis ``i``.
+
+    Cached per ``n`` (and marked read-only): every tensor build for a space
+    reuses one table instead of re-deriving ``2^n`` digit sums.
     """
-    codes = np.zeros(1 << n, dtype=np.int64)
-    for x in range(1 << n):
-        code = 0
-        for i in range(n):
-            if (x >> i) & 1:
-                code += 3 ** (n - 1 - i)
-        codes[x] = code
+    masks = np.arange(1 << n, dtype=np.int64)
+    bits = (masks[:, None] >> np.arange(n, dtype=np.int64)) & 1
+    codes = bits @ (3 ** np.arange(n - 1, -1, -1, dtype=np.int64))
+    codes.flags.writeable = False
     return codes
 
 
@@ -133,6 +142,55 @@ def safety_gap_tensor(audited: PropertySet, disclosed: PropertySet) -> np.ndarra
     nonzero_ab = np.flatnonzero(cab)
     np.subtract.at(flat, tern[nonzero_ab], cab[nonzero_ab])
     return flat.reshape((3,) * n)
+
+
+class TensorCache:
+    """Bounded LRU cache of safety-gap tensors keyed by pair fingerprint.
+
+    Ablation sweeps and duplicate-heavy disclosure logs decide the same
+    ``(A, B)`` pair against many prior families; the gap tensor depends only
+    on the pair, so rebuilding it per decision is pure waste.  Keys are the
+    cross-process-stable :meth:`~repro.core.worlds.PropertySet.fingerprint`
+    digests, so a cache can be rebuilt consistently inside pool workers.
+    Cached tensors are marked read-only — they are shared across decisions.
+    """
+
+    __slots__ = ("_capacity", "_entries", "hits", "misses")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"tensor cache capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple[str, str], np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, audited: PropertySet, disclosed: PropertySet) -> np.ndarray:
+        """The gap tensor for ``(audited, disclosed)``, built at most once."""
+        key = (audited.fingerprint(), disclosed.fingerprint())
+        tensor = self._entries.get(key)
+        if tensor is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return tensor
+        self.misses += 1
+        tensor = safety_gap_tensor(audited, disclosed)
+        tensor.flags.writeable = False
+        self._entries[key] = tensor
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return tensor
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
 
 
 def polynomial_from_tensor(tensor: np.ndarray) -> Polynomial:

@@ -6,7 +6,7 @@ answer-strategy simulator (truthful denial vs. always-deny vs. the
 footnote-1 coin flip).
 """
 
-from .engine import BatchAuditEngine, VerdictCache
+from .engine import BatchAuditEngine, DispatchStats, VerdictCache
 from .log import DisclosureEvent, DisclosureLog
 from .offline import AuditReport, EventFinding, OfflineAuditor, make_decider
 from .online import (
@@ -38,6 +38,7 @@ __all__ = [
     "CoinFlipStrategy",
     "DisclosureEvent",
     "DisclosureLog",
+    "DispatchStats",
     "EventFinding",
     "ObserverBelief",
     "OfflineAuditor",

@@ -52,6 +52,7 @@ randomised stages are backed by deterministic exact/criteria stages).
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
@@ -62,6 +63,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..algebraic.encode import MAX_TENSOR_DIMENSION, TensorCache
 from ..core.verdict import AuditVerdict
 from ..core.worlds import HypercubeSpace, PropertySet
 from ..db.compile import CandidateUniverse
@@ -80,8 +82,10 @@ from .policy import AuditPolicy, PriorAssumption
 __all__ = [
     "BatchAuditEngine",
     "DecisionTask",
+    "DispatchStats",
     "VerdictCache",
     "MIN_PARALLEL_DECISIONS",
+    "DEFAULT_CHUNK_SIZE",
 ]
 
 #: A verdict-cache key: (A digest, B digest, assumption value, atol).
@@ -90,6 +94,23 @@ CacheKey = Tuple[str, str, str, float]
 #: Batches with fewer undecided pairs than this run serially even when a
 #: pool is allowed — fork + pickle overhead would dominate.
 MIN_PARALLEL_DECISIONS = 4
+
+#: Tasks per pool future when no per-task cost has been measured yet.
+DEFAULT_CHUNK_SIZE = 32
+
+#: Upper bound on the adaptive chunk size (bounds per-future pickle memory).
+MAX_CHUNK_SIZE = 512
+
+#: Adaptive chunking aims each chunk at roughly this much worker time:
+#: big enough to amortise the submit/pickle round-trip, small enough that a
+#: straggler chunk cannot idle the other workers for long.
+CHUNK_TARGET_SECONDS = 0.25
+
+#: EWMA smoothing for the measured per-task decision cost.
+_EWMA_ALPHA = 0.2
+
+#: Entries retained in the engine's cross-event safety-gap tensor cache.
+TENSOR_CACHE_CAPACITY = 512
 
 #: Adaptive pool gate: estimated batch work (tasks × 4^n) below this stays
 #: serial.  Decision cost grows roughly exponentially with the dimension,
@@ -110,11 +131,21 @@ _RANDOMISED = (PriorAssumption.PRODUCT, PriorAssumption.LOG_SUPERMODULAR)
 #: crashes itself, so chaos runs are guaranteed to terminate.
 _POOL_WORKER = False
 
+#: The batch-constant half of every task, deserialised once per worker by
+#: the pool initializer instead of once per task (see :class:`_TaskContext`).
+_WORKER_CONTEXT: Optional["_TaskContext"] = None
 
-def _mark_pool_worker() -> None:
-    """Pool initializer: flag this process as a worker (fault-probe gate)."""
-    global _POOL_WORKER
+
+def _init_pool_worker(context: Optional["_TaskContext"] = None) -> None:
+    """Pool initializer: flag this process as a worker and pin the context.
+
+    Runs once per worker process.  ``context`` carries everything constant
+    across a batch (audited set, assumption, tolerance, budget), so each
+    shipped task only pickles its per-pair payload.
+    """
+    global _POOL_WORKER, _WORKER_CONTEXT
     _POOL_WORKER = True
+    _WORKER_CONTEXT = context
 
 
 @dataclass(frozen=True)
@@ -136,6 +167,114 @@ class DecisionTask:
     budget_seconds: Optional[float] = None
     use_sos: bool = False
     pinned: bool = False
+
+
+@dataclass(frozen=True)
+class _TaskContext:
+    """The batch-constant task fields, shipped once per worker.
+
+    Every task of a batch shares the audited set, assumption, tolerance,
+    certificate flag and budget; only ``(disclosed, tensor, pinned)`` vary.
+    Pickling the constants per task made dispatch cost scale with payload
+    size times batch size — the context travels through the pool
+    initializer's ``initargs`` instead, once per worker process.
+    """
+
+    assumption_value: str
+    atol: float
+    audited: PropertySet
+    budget_seconds: Optional[float] = None
+    use_sos: bool = False
+
+    def rebuild(self, slim: "_SlimTask") -> DecisionTask:
+        return DecisionTask(
+            assumption_value=self.assumption_value,
+            atol=self.atol,
+            audited=self.audited,
+            disclosed=slim.disclosed,
+            tensor=slim.tensor,
+            budget_seconds=self.budget_seconds,
+            use_sos=self.use_sos,
+            pinned=slim.pinned,
+        )
+
+
+@dataclass(frozen=True)
+class _SlimTask:
+    """The per-pair remainder of a task once the context is factored out."""
+
+    disclosed: PropertySet
+    tensor: Optional[np.ndarray] = None
+    pinned: bool = False
+
+
+def _decide_chunk(slims: Tuple[_SlimTask, ...]) -> List[DecisionOutcome]:
+    """Decide a chunk of slim tasks inside a pool worker.
+
+    One future per chunk instead of per task: the submit/pickle round-trip
+    and the executor's bookkeeping are amortised over the whole chunk.  The
+    fault probes in :func:`_decide_task` still fire per task, so chaos
+    schedules keep their per-task granularity.
+    """
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("pool worker was not initialised with a task context")
+    return [_decide_task(context.rebuild(slim)) for slim in slims]
+
+
+@dataclass
+class DispatchStats:
+    """Pool-economics counters: what dispatch itself costs, per task.
+
+    ``submit_seconds`` is parent-side time spent in the chunked submission
+    loop (slim-task construction + executor handoff); ``pool_setup_seconds``
+    is cumulative executor construction time; ``task_cost_ewma`` is an
+    exponentially-weighted average of worker-measured per-decision seconds.
+    Together they yield the per-task dispatch overhead and the pool
+    break-even point reported by :meth:`BatchAuditEngine.pool_break_even` —
+    so a regression in pool economics shows up as a number, not as a vague
+    end-to-end slowdown.
+    """
+
+    tasks_shipped: int = 0
+    chunks_shipped: int = 0
+    rounds: int = 0
+    submit_seconds: float = 0.0
+    pool_setup_seconds: float = 0.0
+    last_chunk_size: Optional[int] = None
+    task_cost_ewma: Optional[float] = None
+
+    def observe_task_cost(self, elapsed: Optional[float]) -> None:
+        if elapsed is None:
+            return
+        if self.task_cost_ewma is None:
+            self.task_cost_ewma = float(elapsed)
+        else:
+            self.task_cost_ewma += _EWMA_ALPHA * (float(elapsed) - self.task_cost_ewma)
+
+    def per_task_overhead(self) -> Optional[float]:
+        """Parent-side dispatch seconds per shipped task (None before data)."""
+        if not self.tasks_shipped:
+            return None
+        return self.submit_seconds / self.tasks_shipped
+
+    def pool_setup_cost(self) -> Optional[float]:
+        """Mean executor construction seconds per pool round (None before data)."""
+        if not self.rounds:
+            return None
+        return self.pool_setup_seconds / self.rounds
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "tasks_shipped": self.tasks_shipped,
+            "chunks_shipped": self.chunks_shipped,
+            "rounds": self.rounds,
+            "submit_seconds": self.submit_seconds,
+            "pool_setup_seconds": self.pool_setup_seconds,
+            "last_chunk_size": self.last_chunk_size,
+            "task_cost_ewma": self.task_cost_ewma,
+            "per_task_overhead": self.per_task_overhead(),
+        }
 
 
 def _run_pipeline(
@@ -316,10 +455,18 @@ class BatchAuditEngine:
     retry:
         The :class:`~repro.runtime.RetryPolicy` for pool resubmission; a
         default seeded policy is created when omitted.
+    chunk_size:
+        Tasks per pool future.  ``None`` (default) adapts: start at
+        :data:`DEFAULT_CHUNK_SIZE`, then aim each chunk at
+        :data:`CHUNK_TARGET_SECONDS` of worker time using the measured
+        per-task cost EWMA, always capped by a fair share
+        (``ceil(pending / workers)``) so every worker gets work.
 
     ``runtime_stats`` accumulates the resilience layer's counters across
     ``audit_log`` calls on this engine (like the verdict cache, which also
     persists across calls); every report references the same object.
+    ``dispatch_stats`` does the same for pool economics (chunks shipped,
+    per-task dispatch overhead, measured per-task cost).
     """
 
     def __init__(
@@ -334,6 +481,7 @@ class BatchAuditEngine:
         use_sos: bool = False,
         breaker: Optional[CircuitBreaker] = None,
         retry: Optional[RetryPolicy] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         self._universe = universe
         self._policy = policy
@@ -345,14 +493,17 @@ class BatchAuditEngine:
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.retry = retry if retry is not None else RetryPolicy()
         self.runtime_stats = RuntimeStats()
+        self.chunk_size = chunk_size
+        self.dispatch_stats = DispatchStats()
         self._atol = DEFAULT_ATOL if atol is None else float(atol)
         self._cache = cache if cache is not None else VerdictCache()
         self._audited = universe.compile_boolean(policy.audit_query)
         # query repr → compiled disclosed set (batch-compilation memo)
         self._compiled: Dict[str, PropertySet] = {}
         self._compile_stats = CacheStats()
-        # (A digest, B digest) → safety-gap tensor, shared across ablations
-        self._tensors: Dict[Tuple[str, str], np.ndarray] = {}
+        # Cross-event safety-gap tensors keyed by pair fingerprint, shared
+        # across ablation siblings and successive audit_log calls.
+        self._tensor_cache = TensorCache(capacity=TENSOR_CACHE_CAPACITY)
 
     @property
     def universe(self) -> CandidateUniverse:
@@ -421,25 +572,38 @@ class BatchAuditEngine:
         Call before auditing the same log under several product-family
         configurations (e.g. an ``atol`` ablation): each unique ``(A, B)``
         then shares one tensor across all runs.  Returns the number of
-        tensors now cached.
+        tensors now cached.  (Product-family audits also populate the same
+        cache lazily via :meth:`_tensor_for`, so precomputation is an
+        optimisation for sweeps, not a requirement for sharing.)
         """
-        from ..algebraic.encode import MAX_TENSOR_DIMENSION, safety_gap_tensor
-
-        space = self._universe.space
-        if not isinstance(space, HypercubeSpace) or space.n > MAX_TENSOR_DIMENSION:
+        if not self._tensors_applicable():
             return 0
         for disclosed in set(self.compile_log(log)):
-            pair = (self._audited.fingerprint(), disclosed.fingerprint())
-            if pair not in self._tensors:
-                self._tensors[pair] = safety_gap_tensor(self._audited, disclosed)
-        return len(self._tensors)
+            self._tensor_cache.get(self._audited, disclosed)
+        return len(self._tensor_cache)
+
+    def _tensors_applicable(self) -> bool:
+        space = self._universe.space
+        return isinstance(space, HypercubeSpace) and space.n <= MAX_TENSOR_DIMENSION
 
     def _tensor_for(self, disclosed: PropertySet) -> Optional[np.ndarray]:
+        """The pair's gap tensor, built at most once across events and calls.
+
+        Duplicate-heavy logs and ablation sweeps re-decide the same pair
+        under different configurations; the tensor depends only on the pair,
+        so it is served from the bounded fingerprint-keyed cache (and built
+        into it on first need) rather than rebuilt inside each decision.
+        """
         if self._policy.assumption is not PriorAssumption.PRODUCT:
             return None
-        return self._tensors.get(
-            (self._audited.fingerprint(), disclosed.fingerprint())
-        )
+        if not self._tensors_applicable():
+            return None
+        return self._tensor_cache.get(self._audited, disclosed)
+
+    @property
+    def tensor_cache(self) -> TensorCache:
+        """The cross-event safety-gap tensor cache (hit/miss stats included)."""
+        return self._tensor_cache
 
     # -- auditing ------------------------------------------------------------------
 
@@ -527,11 +691,13 @@ class BatchAuditEngine:
                 use_sos=self.use_sos,
                 breaker=self.breaker,
                 retry=self.retry,
+                chunk_size=self.chunk_size,
             )
             sibling._compiled = self._compiled
             sibling._compile_stats = self._compile_stats
-            sibling._tensors = self._tensors
+            sibling._tensor_cache = self._tensor_cache
             sibling.runtime_stats = self.runtime_stats
+            sibling.dispatch_stats = self.dispatch_stats
             reports[assumption] = sibling.audit_log(log)
         return reports
 
@@ -632,6 +798,75 @@ class BatchAuditEngine:
             )
         return results  # type: ignore[return-value]
 
+    def _task_context(self) -> _TaskContext:
+        """The batch-constant task half shipped via the worker initializer."""
+        return _TaskContext(
+            assumption_value=self._policy.assumption.value,
+            atol=self._atol,
+            audited=self._audited,
+            budget_seconds=self.decision_budget,
+            use_sos=self.use_sos,
+        )
+
+    def _chunk_cap(self, pending_count: int, workers: int) -> int:
+        """Tasks per future for this round (explicit, adaptive, or fair)."""
+        if self.chunk_size is not None:
+            size = max(1, int(self.chunk_size))
+        else:
+            ewma = self.dispatch_stats.task_cost_ewma
+            if ewma is not None and ewma > 0.0:
+                size = int(round(CHUNK_TARGET_SECONDS / ewma))
+            else:
+                size = DEFAULT_CHUNK_SIZE
+            size = max(1, min(size, MAX_CHUNK_SIZE))
+        fair = math.ceil(pending_count / max(1, workers))
+        return max(1, min(size, fair))
+
+    def pool_break_even(self, workers: Optional[int] = None) -> Optional[float]:
+        """Estimated batch size beyond which the pool beats staying serial.
+
+        Solves ``t·c  >  s + t·d + t·c/w`` for the task count ``t``, with
+        ``c`` the measured per-task decision cost (EWMA), ``d`` the measured
+        per-task dispatch overhead, ``s`` the measured pool setup cost and
+        ``w`` the worker count: ``t* = s / (c·(1 − 1/w) − d)``.  Returns
+        ``None`` before any pool round has produced measurements (or when
+        ``w <= 1``), and ``math.inf`` when dispatch overhead eats the whole
+        parallel speedup — i.e. the pool *never* pays off at this ``w``.
+        """
+        if workers is None:
+            workers = os.cpu_count() if self.n_workers is None else self.n_workers
+        stats = self.dispatch_stats
+        cost = stats.task_cost_ewma
+        if not workers or workers <= 1 or cost is None or cost <= 0.0:
+            return None
+        overhead = stats.per_task_overhead() or 0.0
+        setup = stats.pool_setup_cost() or 0.0
+        gain_per_task = cost * (1.0 - 1.0 / workers) - overhead
+        if gain_per_task <= 0.0:
+            return math.inf
+        return setup / gain_per_task
+
+    def _submit_chunk(
+        self,
+        pool: ProcessPoolExecutor,
+        tasks: List[DecisionTask],
+        chunk: List[int],
+        futures: Dict[Future, List[int]],
+    ) -> None:
+        if not chunk:
+            return
+        slims = tuple(
+            _SlimTask(
+                disclosed=tasks[idx].disclosed,
+                tensor=tasks[idx].tensor,
+                pinned=tasks[idx].pinned,
+            )
+            for idx in chunk
+        )
+        futures[pool.submit(_decide_chunk, slims)] = list(chunk)
+        self.dispatch_stats.chunks_shipped += 1
+        self.dispatch_stats.tasks_shipped += len(chunk)
+
     def _pool_round(
         self,
         tasks: List[DecisionTask],
@@ -641,38 +876,63 @@ class BatchAuditEngine:
     ) -> List[int]:
         """One pool pass over ``pending``; returns the indices still missing.
 
-        Tolerates a pool that breaks at any point — creation, submission,
-        or mid-execution.  Futures that completed before the break keep
-        their results; everything else is reported back as a survivor.
+        Tasks ship in chunks — one future per :meth:`_chunk_cap` tasks, each
+        carrying only its slim per-pair payload (the constant half travels
+        once per worker via the initializer).  Tolerates a pool that breaks
+        at any point — creation, submission, or mid-execution.  Futures that
+        completed before the break keep their results; everything else is
+        reported back as a survivor.  The injected pickle-failure probe is
+        still consulted once per *task* (chaos schedules keep per-task
+        granularity), and tasks already probed when a failure fires are
+        shipped as a partial chunk — completed work is never thrown away.
         """
-        futures: Dict[Future, int] = {}
+        stats = self.dispatch_stats
+        futures: Dict[Future, List[int]] = {}
+        setup_started = time.monotonic()
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
-                initializer=_mark_pool_worker,
+                initializer=_init_pool_worker,
+                initargs=(self._task_context(),),
             )
         except (OSError, ValueError, RuntimeError):
             return list(pending)  # this environment cannot fork at all
+        stats.rounds += 1
+        stats.pool_setup_seconds += time.monotonic() - setup_started
+        chunk_cap = self._chunk_cap(len(pending), min(workers, len(pending)))
+        stats.last_chunk_size = chunk_cap
         try:
             with pool:
+                submit_started = time.monotonic()
                 try:
+                    chunk: List[int] = []
                     for idx in pending:
                         if faults.fire(faults.PICKLE_FAILURE):
                             self.runtime_stats.faults_injected += 1
+                            self._submit_chunk(pool, tasks, chunk, futures)
                             raise PicklingError(
                                 "injected task-dispatch pickle failure "
                                 "(chaos harness)"
                             )
-                        futures[pool.submit(_decide_task, tasks[idx])] = idx
+                        chunk.append(idx)
+                        if len(chunk) >= chunk_cap:
+                            self._submit_chunk(pool, tasks, chunk, futures)
+                            chunk = []
+                    self._submit_chunk(pool, tasks, chunk, futures)
                 except (BrokenProcessPool, PicklingError, OSError, RuntimeError):
                     pass  # already-submitted futures still drain below
+                finally:
+                    stats.submit_seconds += time.monotonic() - submit_started
                 for future in as_completed(futures):
-                    idx = futures[future]
+                    indices = futures[future]
                     try:
-                        results[idx] = future.result()
-                        self.pool_engaged = True
+                        outcomes = future.result()
                     except (BrokenProcessPool, PicklingError, OSError):
-                        pass  # lost with the pool; caller resubmits
+                        continue  # lost with the pool; caller resubmits
+                    self.pool_engaged = True
+                    for idx, outcome in zip(indices, outcomes):
+                        results[idx] = outcome
+                        stats.observe_task_cost(outcome.elapsed)
         except (BrokenProcessPool, OSError):
             pass  # pool shutdown itself failed; survivors cover the loss
         return [idx for idx in pending if results[idx] is None]

@@ -45,6 +45,7 @@ def make_decider(
     atol: Optional[float] = None,
     use_sos: bool = False,
     exact_only: bool = False,
+    exact_kernel: str = "batched",
 ):
     """Build the ``Safe_K(A, B)`` decision callable for one prior family.
 
@@ -62,6 +63,9 @@ def make_decider(
     ignored by the other families.  The product and log-supermodular
     deciders additionally accept a ``budget=`` keyword (a
     :class:`~repro.runtime.Budget`) bounding the decision's wall clock.
+    ``exact_kernel`` selects the Bernstein implementation of the
+    product-family exact stage (``"batched"``/``"scalar"``, see
+    :func:`~repro.probabilistic.exact.decide_product_safety`).
     """
     rng = rng or np.random.default_rng(0)
     if assumption is PriorAssumption.PRODUCT:
@@ -71,6 +75,7 @@ def make_decider(
             rng=rng,
             use_sos=use_sos and not exact_only,
             use_optimizer=not exact_only,
+            exact_kernel=exact_kernel,
             **kwargs,
         ).audit
     if assumption is PriorAssumption.LOG_SUPERMODULAR:

@@ -22,10 +22,12 @@ from .distributions import (
     random_log_supermodular,
 )
 from .exact import (
+    DEFAULT_FRONTIER_BATCH,
     BernsteinDecision,
     bernstein_range,
     bernstein_split,
     decide_nonnegative_on_box,
+    decide_nonnegative_on_box_batched,
     decide_product_safety,
     power_tensor_to_bernstein,
 )
@@ -56,8 +58,10 @@ from .modularity import (
 )
 from .optimize import (
     GapEvaluator,
+    clear_gap_evaluator_cache,
     find_log_supermodular_counterexample,
     find_product_counterexample,
+    gap_evaluator_cache_stats,
 )
 from .preserving import (
     compose_safe_disclosures,
@@ -92,6 +96,7 @@ from .supermodular_criteria import (
 __all__ = [
     "BernsteinDecision",
     "CriterionKind",
+    "DEFAULT_FRONTIER_BATCH",
     "CriterionResult",
     "DefinitionOutcome",
     "DistributionFamily",
@@ -116,10 +121,12 @@ __all__ = [
     "circ_count",
     "circ_members",
     "circ_pair_counter",
+    "clear_gap_evaluator_cache",
     "compose_safe_disclosures",
     "conditioned_bernoulli",
     "critical_coordinates",
     "decide_nonnegative_on_box",
+    "decide_nonnegative_on_box_batched",
     "decide_product_safety",
     "definition_matrix",
     "dense_product",
@@ -128,6 +135,7 @@ __all__ = [
     "find_product_counterexample",
     "fkg_correlation_holds",
     "gain_vs_loss_gap",
+    "gap_evaluator_cache_stats",
     "independence_holds",
     "is_family_preserving",
     "is_log_submodular",

@@ -96,6 +96,11 @@ class ProbabilisticAuditor:
         :meth:`audit` call may also bring its own.  Expiry degrades the
         pipeline (optional stages are skipped, the exact stage stops at its
         next poll); it never raises out of :meth:`audit`.
+    exact_kernel:
+        Which Bernstein branch-and-bound implementation the exact stage
+        runs: ``"batched"`` (frontier-batched, the default) or ``"scalar"``
+        (one box per iteration).  Verdicts agree up to subdivision tie
+        order; see :func:`decide_product_safety`.
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class ProbabilisticAuditor:
         rng: Optional[np.random.Generator] = None,
         atol: Optional[float] = None,
         budget: Optional[Budget] = None,
+        exact_kernel: str = "batched",
     ) -> None:
         if not isinstance(space, HypercubeSpace):
             raise TypeError("the probabilistic auditor works over hypercube spaces")
@@ -119,6 +125,7 @@ class ProbabilisticAuditor:
         self._rng = rng or np.random.default_rng(0)
         self._atol = atol
         self._budget = budget
+        self._exact_kernel = exact_kernel
 
     @property
     def space(self) -> HypercubeSpace:
@@ -231,7 +238,12 @@ class ProbabilisticAuditor:
                 )
             kwargs = {} if self._atol is None else {"atol": self._atol}
             verdict = decide_product_safety(
-                audited, disclosed, tensor=tensor, budget=budget, **kwargs
+                audited,
+                disclosed,
+                tensor=tensor,
+                budget=budget,
+                kernel=self._exact_kernel,
+                **kwargs,
             )
             trace.append(str(verdict))
             if verdict.is_decided:

@@ -19,8 +19,9 @@ the Bernstein decision).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import optimize as sp_optimize
@@ -32,6 +33,30 @@ from .distributions import ProductDistribution, is_log_supermodular
 
 #: A gap more negative than this counts as a genuine violation.
 VIOLATION_TOL = 1e-10
+
+#: Bound on the :meth:`GapEvaluator.build` memo (entries, LRU-evicted).
+BUILD_CACHE_CAPACITY = 256
+
+_build_cache: "OrderedDict[Tuple[str, str], GapEvaluator]" = OrderedDict()
+_build_cache_hits = 0
+_build_cache_misses = 0
+
+
+def gap_evaluator_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the :meth:`GapEvaluator.build` memo."""
+    return {
+        "hits": _build_cache_hits,
+        "misses": _build_cache_misses,
+        "size": len(_build_cache),
+    }
+
+
+def clear_gap_evaluator_cache() -> None:
+    """Drop all memoised evaluators and reset the counters."""
+    global _build_cache_hits, _build_cache_misses
+    _build_cache.clear()
+    _build_cache_hits = 0
+    _build_cache_misses = 0
 
 
 @dataclass(frozen=True)
@@ -49,16 +74,37 @@ class GapEvaluator:
 
     @classmethod
     def build(cls, audited: PropertySet, disclosed: PropertySet) -> "GapEvaluator":
+        """The evaluator for ``(audited, disclosed)``, memoised by fingerprint.
+
+        Multi-start counterexample search calls :meth:`build` once per
+        decision, and batch audits decide the same pair against many prior
+        families — so the ``|A|×n`` bit-matrices are cached in a bounded LRU
+        keyed by the pair's cross-process-stable fingerprints.  Evaluators
+        are immutable (frozen dataclass, read-only arrays), so sharing one
+        instance across decisions is safe.
+        """
+        global _build_cache_hits, _build_cache_misses
         space = audited.space
         if not isinstance(space, HypercubeSpace):
             raise TypeError("the gap evaluator works over hypercube spaces")
         space.check_same(disclosed.space)
-        return cls(
+        key = (audited.fingerprint(), disclosed.fingerprint())
+        cached = _build_cache.get(key)
+        if cached is not None:
+            _build_cache_hits += 1
+            _build_cache.move_to_end(key)
+            return cached
+        _build_cache_misses += 1
+        evaluator = cls(
             n=space.n,
             a_bits=_bit_matrix(audited, space.n),
             b_bits=_bit_matrix(disclosed, space.n),
             ab_bits=_bit_matrix(audited & disclosed, space.n),
         )
+        _build_cache[key] = evaluator
+        if len(_build_cache) > BUILD_CACHE_CAPACITY:
+            _build_cache.popitem(last=False)
+        return evaluator
 
     def _event_prob_and_grad(
         self, bits: np.ndarray, p: np.ndarray
@@ -94,11 +140,9 @@ class GapEvaluator:
 
 
 def _bit_matrix(event: PropertySet, n: int) -> np.ndarray:
-    rows = event.sorted_members()
-    matrix = np.zeros((len(rows), n), dtype=np.int8)
-    for r, w in enumerate(rows):
-        for i in range(n):
-            matrix[r, i] = (w >> i) & 1
+    rows = np.asarray(event.sorted_members(), dtype=np.int64).reshape(-1, 1)
+    matrix = ((rows >> np.arange(n, dtype=np.int64)) & 1).astype(np.int8)
+    matrix.flags.writeable = False
     return matrix
 
 

@@ -24,13 +24,14 @@ returns a typed "unresolved" outcome instead of raising.
 """
 
 from .breaker import BreakerState, CircuitBreaker
-from .budget import Budget
+from .budget import Budget, BudgetPoller
 from .outcome import DecisionOutcome, RuntimeStats
 from .retry import RetryPolicy
 
 __all__ = [
     "BreakerState",
     "Budget",
+    "BudgetPoller",
     "CircuitBreaker",
     "DecisionOutcome",
     "RetryPolicy",

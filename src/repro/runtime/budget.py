@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 from ..exceptions import BudgetExhaustedError
 
-__all__ = ["Budget"]
+__all__ = ["Budget", "BudgetPoller"]
 
 
 class Budget:
@@ -84,7 +84,50 @@ class Budget:
                 stage=stage,
             )
 
+    def poller(self, every: int = 128) -> "BudgetPoller":
+        """A :class:`BudgetPoller` amortising clock reads over ``every`` work units."""
+        return BudgetPoller(self, every=every)
+
     def __repr__(self) -> str:
         if self.deadline is None:
             return "Budget(unlimited)"
         return f"Budget({self.seconds}s, {self.remaining():.3f}s remaining)"
+
+
+class BudgetPoller:
+    """Amortised expiry polling for batched loops.
+
+    Hot loops that process work in variable-size batches (the frontier
+    rounds of the batched Bernstein kernel, solver iteration blocks) cannot
+    poll :attr:`Budget.expired` per item without paying one monotonic-clock
+    read each — and polling per *batch* alone would make the poll cadence
+    depend on the batch size.  A poller decouples the two: each loop round
+    :meth:`charge`\\ s the units of work it is about to do, and the clock is
+    read only when the accrued units cross ``every`` (and on the very first
+    charge, so a deadline dead on arrival is noticed before any work).
+
+    An unlimited budget never reads the clock at all; a charge is then two
+    attribute reads, matching the cost contract of ``Budget.expired``.
+    """
+
+    __slots__ = ("_budget", "_every", "_accrued")
+
+    def __init__(self, budget: Budget, every: int = 128) -> None:
+        if every < 1:
+            raise ValueError(f"poll granularity must be >= 1, got {every}")
+        self._budget = budget
+        self._every = int(every)
+        self._accrued = int(every)  # so the first charge always polls
+
+    def charge(self, units: int = 1) -> bool:
+        """Account ``units`` of upcoming work; True iff a poll found expiry."""
+        if self._budget.deadline is None:
+            return False
+        self._accrued += units
+        if self._accrued < self._every:
+            return False
+        self._accrued = 0
+        return self._budget.expired
+
+    def __repr__(self) -> str:
+        return f"BudgetPoller({self._budget!r}, every={self._every})"

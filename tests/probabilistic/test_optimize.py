@@ -58,6 +58,53 @@ class TestGapEvaluator:
         assert np.allclose(grad, 0.0)
 
 
+class TestBuildMemo:
+    def test_same_pair_returns_the_same_instance(self):
+        from repro.probabilistic import (
+            clear_gap_evaluator_cache,
+            gap_evaluator_cache_stats,
+        )
+
+        clear_gap_evaluator_cache()
+        space = HypercubeSpace(3)
+        a, b = space.property_set([1, 3]), space.property_set([2, 3])
+        first = GapEvaluator.build(a, b)
+        # Logically identical sets built differently must still hit.
+        second = GapEvaluator.build(space.property_set([3, 1]), b)
+        assert first is second
+        stats = gap_evaluator_cache_stats()
+        assert stats == {"hits": 1, "misses": 1, "size": 1}
+        clear_gap_evaluator_cache()
+        assert gap_evaluator_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_order_matters_in_the_key(self):
+        from repro.probabilistic import clear_gap_evaluator_cache
+
+        clear_gap_evaluator_cache()
+        space = HypercubeSpace(3)
+        a, b = space.property_set([1, 3]), space.property_set([2, 5])
+        assert GapEvaluator.build(a, b) is not GapEvaluator.build(b, a)
+
+    def test_eviction_respects_capacity(self):
+        from repro.probabilistic import optimize as opt
+
+        opt.clear_gap_evaluator_cache()
+        space = HypercubeSpace(4)
+        a = space.property_set([1, 2])
+        for mask in range(1, opt.BUILD_CACHE_CAPACITY + 9):
+            GapEvaluator.build(a, space.from_mask(mask))
+        assert opt.gap_evaluator_cache_stats()["size"] == opt.BUILD_CACHE_CAPACITY
+        opt.clear_gap_evaluator_cache()
+
+    def test_cached_matrices_are_immutable(self):
+        space = HypercubeSpace(3)
+        evaluator = GapEvaluator.build(
+            space.property_set([1, 3]), space.property_set([2, 3])
+        )
+        with pytest.raises(ValueError):
+            evaluator.a_bits[0, 0] = 1
+
+
 class TestProductCounterexample:
     def test_finds_obvious_violation(self):
         space = HypercubeSpace(3)
