@@ -17,7 +17,7 @@ chaos-smoke:
 bench:
 	$(PYTHON) -m repro.perf.bench
 
-# Down-scaled E14–E17 sanity run for CI: tiny workloads, throwaway output.
+# Down-scaled E14–E18 sanity run for CI: tiny workloads, throwaway output.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --smoke --output BENCH_smoke.json
 

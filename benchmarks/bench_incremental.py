@@ -1,0 +1,53 @@
+"""E18 — incremental re-audit against a persistent verdict store.
+
+A tier-2 run of the E18 measurement from :mod:`repro.perf.bench`: the E14
+mixed-density log grows by 5% and is re-audited from scratch (serial
+reference loop), incrementally with a cold store, and incrementally with a
+warm store loaded from disk by a fresh auditor — the "new process resumes
+yesterday's audit" scenario.  Verdicts must be identical across all three
+runs, the warm run must be decision-free (every unique answer a store hit),
+and the warm-vs-serial speedup must clear the acceptance bound — ≥5x at
+full size, asserted here with slack for the down-scaled smoke workload,
+and recorded at full size in ``BENCH_audit_pipeline.json`` via
+``make bench``.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+from repro.perf.bench import run_incremental_bench
+
+#: The acceptance bound is 5x at full size (250 events); the smoke workload
+#: is small enough that fixed per-run costs (log compilation, store I/O)
+#: eat into the ratio, so the asserted floor carries measurement slack.
+SPEEDUP_FLOOR = 2.0
+
+
+def test_incremental_warm_reaudit_smoke():
+    document = run_incremental_bench(n_events=100, seed=7, repeats=3)
+
+    assert document["verdict_identical"]
+    warm_store = document["incremental_warm"]["store"]
+    assert warm_store["loaded"] > 0
+    assert warm_store["hit_rate"] == 1.0  # decision-free warm re-audit
+    assert document["speedup_warm_vs_serial"] >= SPEEDUP_FLOOR
+
+    workload = document["workload"]
+    lines = [
+        f"events={workload['events']}  appended={workload['append_events']}  "
+        f"repeats={workload['repeats']}",
+        f"{'serial scratch':18s} "
+        f"{document['serial_scratch']['seconds']*1e3:8.1f} ms  "
+        f"{document['serial_scratch']['events_per_sec']:8.0f} ev/s",
+        f"{'incremental cold':18s} "
+        f"{document['incremental_cold']['seconds']*1e3:8.1f} ms  "
+        f"{document['incremental_cold']['events_per_sec']:8.0f} ev/s",
+        f"{'incremental warm':18s} "
+        f"{document['incremental_warm']['seconds']*1e3:8.1f} ms  "
+        f"{document['incremental_warm']['events_per_sec']:8.0f} ev/s",
+        f"warm store: {warm_store['loaded']} loaded, {warm_store['hits']} hits "
+        f"(hit rate {warm_store['hit_rate']:.0%})",
+        f"speedup warm vs serial: {document['speedup_warm_vs_serial']}x "
+        f"(acceptance bound 5x at full size, asserted ≥{SPEEDUP_FLOOR:.0f}x here)",
+    ]
+    report_table("E18: incremental re-audit with a warm verdict store", lines)

@@ -22,6 +22,7 @@ import sys
 
 from .audit.offline import OfflineAuditor
 from .audit.report import render_report
+from .audit.store import VerdictStore
 from .db.sql import parse_boolean_query
 from .io import example_scenario_document, load_scenario
 
@@ -29,8 +30,19 @@ from .io import example_scenario_document, load_scenario
 def _cmd_audit(args: argparse.Namespace) -> int:
     scenario = load_scenario(args.scenario)
     auditor = OfflineAuditor(scenario.universe, scenario.policy)
-    report = auditor.audit_log(scenario.log)
+    if args.incremental:
+        store = VerdictStore(args.store) if args.store else None
+        report = auditor.audit_log_incremental(
+            scenario.log, since=args.since, store=store
+        )
+    elif args.store:
+        print("--store requires --incremental", file=sys.stderr)
+        return 2
+    else:
+        report = auditor.audit_log(scenario.log)
     print(render_report(report))
+    if report.store_stats is not None:
+        print(f"verdict store: {report.store_stats}")
     return 1 if report.suspicious_users else 0
 
 
@@ -78,6 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = subparsers.add_parser("audit", help="audit a JSON scenario's log")
     audit.add_argument("scenario", help="path to a scenario JSON file")
+    audit.add_argument(
+        "--incremental",
+        action="store_true",
+        help="stream the log through the incremental auditor",
+    )
+    audit.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent verdict store (implies reuse across runs; "
+        "requires --incremental)",
+    )
+    audit.add_argument(
+        "--since",
+        type=int,
+        metavar="TIME",
+        help="only report events at/after this time (incremental mode)",
+    )
     audit.set_defaults(func=_cmd_audit)
 
     check = subparsers.add_parser(

@@ -7,6 +7,11 @@ footnote-1 coin flip).
 """
 
 from .engine import BatchAuditEngine, DispatchStats, VerdictCache
+from .incremental import (
+    IncrementalAuditor,
+    UserCompositionState,
+    explicit_possibilistic_knowledge,
+)
 from .log import DisclosureEvent, DisclosureLog
 from .offline import AuditReport, EventFinding, OfflineAuditor, make_decider
 from .online import (
@@ -25,6 +30,7 @@ from .online import (
 )
 from .policy import AuditPolicy, PriorAssumption
 from .report import render_report
+from .store import StoreStats, VerdictStore
 
 __all__ = [
     "AlwaysDenyStrategy",
@@ -40,13 +46,18 @@ __all__ = [
     "DisclosureLog",
     "DispatchStats",
     "EventFinding",
+    "IncrementalAuditor",
     "ObserverBelief",
     "OfflineAuditor",
     "PriorAssumption",
     "SimulationResult",
     "SimulationStep",
+    "StoreStats",
     "TruthfulDenialStrategy",
+    "UserCompositionState",
     "VerdictCache",
+    "VerdictStore",
+    "explicit_possibilistic_knowledge",
     "make_decider",
     "render_report",
     "simulate",

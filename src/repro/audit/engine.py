@@ -78,6 +78,7 @@ from ..runtime.retry import RetryPolicy
 from .log import DisclosureLog
 from .offline import AuditReport, EventFinding, make_decider
 from .policy import AuditPolicy, PriorAssumption
+from .store import VerdictStore
 
 __all__ = [
     "BatchAuditEngine",
@@ -455,6 +456,14 @@ class BatchAuditEngine:
     retry:
         The :class:`~repro.runtime.RetryPolicy` for pool resubmission; a
         default seeded policy is created when omitted.
+    store:
+        An optional persistent :class:`~repro.audit.store.VerdictStore`.
+        When attached, cache misses probe the store before any decision is
+        scheduled — warm pairs are pruned from the batch before pool
+        dispatch — and freshly decided verdicts are written back and
+        flushed once per ``audit_log`` call.  Store failures (corrupt
+        loads, failed flushes) degrade to recomputation and are counted as
+        ``store_failures`` on ``runtime_stats``; they never raise.
     chunk_size:
         Tasks per pool future.  ``None`` (default) adapts: start at
         :data:`DEFAULT_CHUNK_SIZE`, then aim each chunk at
@@ -482,6 +491,7 @@ class BatchAuditEngine:
         breaker: Optional[CircuitBreaker] = None,
         retry: Optional[RetryPolicy] = None,
         chunk_size: Optional[int] = None,
+        store: Optional[VerdictStore] = None,
     ) -> None:
         self._universe = universe
         self._policy = policy
@@ -497,6 +507,7 @@ class BatchAuditEngine:
         self.dispatch_stats = DispatchStats()
         self._atol = DEFAULT_ATOL if atol is None else float(atol)
         self._cache = cache if cache is not None else VerdictCache()
+        self.store = store
         self._audited = universe.compile_boolean(policy.audit_query)
         # query repr → compiled disclosed set (batch-compilation memo)
         self._compiled: Dict[str, PropertySet] = {}
@@ -614,9 +625,12 @@ class BatchAuditEngine:
         disclosed_sets = self.compile_log(log)
         assumption = self._policy.assumption
 
-        # Probe the cache per event; schedule each missing pair exactly once.
+        # Probe the cache (then the persistent store) per event; schedule
+        # each genuinely cold pair exactly once — store-warm pairs are
+        # pruned here, before any pool dispatch cost is paid.
         keys: List[CacheKey] = []
         pending: Dict[CacheKey, DecisionTask] = {}
+        store_outcomes: Dict[CacheKey, DecisionOutcome] = {}
         for disclosed in disclosed_sets:
             key = VerdictCache.key(self._audited, disclosed, assumption, self._atol)
             keys.append(key)
@@ -624,6 +638,14 @@ class BatchAuditEngine:
                 self._cache.hits += 1
                 continue
             self._cache.misses += 1
+            if self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._cache.put(key, stored)
+                    store_outcomes[key] = DecisionOutcome(
+                        verdict=stored, stages=("verdict-store",)
+                    )
+                    continue
             pending[key] = DecisionTask(
                 assumption_value=assumption.value,
                 atol=self._atol,
@@ -634,10 +656,13 @@ class BatchAuditEngine:
                 use_sos=self.use_sos,
             )
 
-        outcomes: Dict[CacheKey, DecisionOutcome] = {}
+        outcomes: Dict[CacheKey, DecisionOutcome] = dict(store_outcomes)
         for key, outcome in zip(pending, self._decide_batch(list(pending.values()))):
             self._cache.put(key, outcome.verdict)
+            if self.store is not None:
+                self.store.put(key, outcome.verdict)
             outcomes[key] = outcome
+        self.flush_store()
 
         findings = []
         for event, disclosed, key in zip(events, disclosed_sets, keys):
@@ -659,6 +684,7 @@ class BatchAuditEngine:
             findings=findings,
             cache_stats=self._cache.stats(),
             runtime_stats=self.runtime_stats,
+            store_stats=self.store.stats if self.store is not None else None,
         )
 
     def audit_ablation(
@@ -692,6 +718,7 @@ class BatchAuditEngine:
                 breaker=self.breaker,
                 retry=self.retry,
                 chunk_size=self.chunk_size,
+                store=self.store,
             )
             sibling._compiled = self._compiled
             sibling._compile_stats = self._compile_stats
@@ -700,6 +727,63 @@ class BatchAuditEngine:
             sibling.dispatch_stats = self.dispatch_stats
             reports[assumption] = sibling.audit_log(log)
         return reports
+
+    # -- persistent store ----------------------------------------------------------
+
+    def flush_store(self) -> None:
+        """Persist the attached store (no-op without one) and tally failures.
+
+        Load and write failures accumulate on the store's own stats; the
+        engine mirrors the *new* ones onto ``runtime_stats.store_failures``
+        so degradation is visible in every report, PR-3 style.
+        """
+        if self.store is None:
+            return
+        self.store.flush()
+        failures = (
+            self.store.stats.load_failures + self.store.stats.write_failures
+        )
+        delta = failures - self.store.failures_reported
+        if delta > 0:
+            self.runtime_stats.store_failures += delta
+            self.store.failures_reported = failures
+
+    def decide_one(self, disclosed: PropertySet) -> DecisionOutcome:
+        """Decide ``Safe_K(A, disclosed)`` through cache → store → pipeline.
+
+        The single-pair entry the incremental layer uses for running-
+        intersection fallbacks: same key derivation, breaker gating, budget
+        and outcome accounting as the batched path, without building a
+        batch.  The caller is responsible for an eventual
+        :meth:`flush_store` (the incremental auditor flushes once per
+        ``audit_log_incremental`` call).
+        """
+        key = VerdictCache.key(
+            self._audited, disclosed, self._policy.assumption, self._atol
+        )
+        verdict = self._cache.lookup(key)
+        if verdict is not None:
+            return DecisionOutcome(verdict=verdict, stages=("verdict-cache",))
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                self._cache.put(key, stored)
+                return DecisionOutcome(verdict=stored, stages=("verdict-store",))
+        task = DecisionTask(
+            assumption_value=self._policy.assumption.value,
+            atol=self._atol,
+            audited=self._audited,
+            disclosed=disclosed,
+            tensor=self._tensor_for(disclosed),
+            budget_seconds=self.decision_budget,
+            use_sos=self.use_sos,
+        )
+        outcome = _decide_task(self._apply_breaker(task))
+        self._record_outcome(outcome)
+        self._cache.put(key, outcome.verdict)
+        if self.store is not None:
+            self.store.put(key, outcome.verdict)
+        return outcome
 
     # -- decision dispatch ---------------------------------------------------------
 

@@ -1,0 +1,313 @@
+"""Incremental streaming audits: K-preserving prefix states (Prop 3.10).
+
+The batched engine made *one* audit run cheap; this module makes the
+*next* run cheap.  An :class:`IncrementalAuditor` treats the disclosure
+log as a stream: it remembers which prefix it has already consumed, keeps
+one :class:`UserCompositionState` per user — the running disclosed
+intersection, whether the Proposition 3.10 composition invariant still
+holds, and the last safe prefix length — and prices an appended event at
+one ``is_preserving_*`` check plus one engine decision.
+
+Two reuse layers stack:
+
+1. **Across calls in one process** — per-event verdicts come from the
+   engine's verdict cache; only genuinely new events reach a pipeline.
+2. **Across processes** — an attached
+   :class:`~repro.audit.store.VerdictStore` replays previous runs'
+   decisions from disk, so a cold process re-auditing an append-mostly
+   log only decides the appended tail.
+
+The fast path is the paper's Proposition 3.10.  Write ``C_t`` for a
+user's cumulative disclosed set after ``t`` events.  ``C_0 = Ω`` is
+trivially safe and K-preserving; if ``C_t`` is safe and K-preserving and
+event ``t+1`` discloses a ``B`` that is itself safe and K-preserving,
+then ``C_{t+1} = C_t ∩ B`` is safe (3.10(2)) *and* K-preserving
+(3.10(1): preserving sets are closed under intersection) — so the
+cumulative verdict is settled without running the full decision pipeline
+on ``C_{t+1}``.  The first event that breaks the invariant drops the
+user to full engine decisions permanently (sound: the possibilistic
+deciders are exact, so a direct decision is never wrong — the fast path
+only ever *skips* work the proposition has already done).  The
+``fast_path`` knob disables the shortcut outright; it must never change
+a verdict (tests assert this).
+
+The fast path needs an explicit ``K`` to run :func:`is_preserving
+<repro.core.preserving.is_preserving_possibilistic>` against;
+:func:`explicit_possibilistic_knowledge` materialises one for the
+possibilistic prior families when the product ``C ⊗ Σ`` is small enough,
+and returns ``None`` otherwise — in which case every cumulative verdict
+simply takes the (still correct) engine path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.knowledge import PossibilisticKnowledge
+from ..core.preserving import is_preserving_possibilistic
+from ..core.verdict import AuditVerdict
+from ..core.worlds import HypercubeSpace, PropertySet, WorldSpace
+from ..db.compile import CandidateUniverse
+from ..possibilistic.families import SubcubeFamily
+from .log import DisclosureEvent, DisclosureLog
+from .offline import AuditReport, EventFinding
+from .policy import AuditPolicy, PriorAssumption
+from .store import VerdictStore
+
+__all__ = [
+    "IncrementalAuditor",
+    "UserCompositionState",
+    "explicit_possibilistic_knowledge",
+    "MAX_EXPLICIT_PAIRS",
+]
+
+#: Largest explicit ``K`` (in ``(ω, S)`` pairs) the fast path materialises.
+#: Beyond this the preservation check itself would rival a decision, so the
+#: incremental layer falls back to full engine decisions instead.
+MAX_EXPLICIT_PAIRS = 4096
+
+#: Method tag of cumulative verdicts settled by the composition shortcut.
+FAST_PATH_METHOD = "prop-3.10-composition"
+
+
+def explicit_possibilistic_knowledge(
+    space: WorldSpace,
+    assumption: PriorAssumption,
+    max_pairs: int = MAX_EXPLICIT_PAIRS,
+) -> Optional[PossibilisticKnowledge]:
+    """The explicit ``K`` matching a possibilistic prior family, if small.
+
+    Materialises the product ``Ω ⊗ Σ`` (Definition 2.5) the family-based
+    deciders reason over, so Definition 3.9 preservation can be checked
+    directly.  Returns ``None`` whenever the product would exceed
+    ``max_pairs`` or the assumption is not possibilistic — callers must
+    treat ``None`` as "no fast path", never as "not preserving".
+    """
+    if assumption is PriorAssumption.POSSIBILISTIC_IGNORANT:
+        if len(space.full) > max_pairs:
+            return None
+        return PossibilisticKnowledge.product(space.full, [space.full])
+    if assumption is PriorAssumption.POSSIBILISTIC_SUBCUBES:
+        if not isinstance(space, HypercubeSpace):
+            return None
+        # |Ω ⊗ subcubes| = Σ_S |S| = 4^n exactly; check before enumerating.
+        if 4 ** space.n > max_pairs:
+            return None
+        return PossibilisticKnowledge.product(
+            space.full, list(SubcubeFamily(space))
+        )
+    if assumption is PriorAssumption.POSSIBILISTIC_UNRESTRICTED:
+        # |Ω ⊗ P(Ω)| = Σ_S |S| = |Ω| · 2^(|Ω|-1); gate before enumerating.
+        size = len(space.full)
+        if size > 32 or size * (1 << (size - 1)) > max_pairs:
+            return None
+        return PossibilisticKnowledge.full(space)
+    return None
+
+
+@dataclass
+class UserCompositionState:
+    """One user's running composition, Section 3.3 style.
+
+    ``cumulative`` is ``C_t = B_1 ∩ … ∩ B_t`` — acquiring a sequence of
+    disclosures equals acquiring their intersection.  ``fast`` records
+    whether the Proposition 3.10 invariant (``C_t`` safe and K-preserving)
+    is still established; once it breaks it stays broken.
+    ``last_safe_prefix`` is the largest ``t`` with ``C_t`` safe — the
+    longest event prefix this user could have been shown without the
+    composition becoming unsafe.
+    """
+
+    cumulative: PropertySet
+    fast: bool = True
+    events_seen: int = 0
+    last_safe_prefix: int = 0
+    fast_path_hits: int = 0
+    full_decisions: int = 0
+    cumulative_verdict: Optional[AuditVerdict] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "events_seen": self.events_seen,
+            "fast": self.fast,
+            "last_safe_prefix": self.last_safe_prefix,
+            "fast_path_hits": self.fast_path_hits,
+            "full_decisions": self.full_decisions,
+            "cumulative_status": (
+                self.cumulative_verdict.status.value
+                if self.cumulative_verdict is not None
+                else None
+            ),
+        }
+
+
+class IncrementalAuditor:
+    """Streaming auditor over an append-mostly disclosure log.
+
+    Parameters mirror :class:`~repro.audit.engine.BatchAuditEngine` (which
+    does the per-event deciding); ``store`` attaches a persistent
+    :class:`~repro.audit.store.VerdictStore` so reuse survives the process,
+    and ``fast_path`` gates the Proposition 3.10 composition shortcut for
+    cumulative verdicts (never per-event ones — those are always engine
+    decisions, cache/store-served when warm).
+
+    :meth:`audit_log` may be called repeatedly with a growing log; the
+    auditor consumes only the unseen suffix.  If the log's seen prefix
+    *changed* (an event edited or removed), all streaming state is reset
+    and the log is re-consumed from the start — correctness never depends
+    on the caller appending politely.
+    """
+
+    def __init__(
+        self,
+        universe: CandidateUniverse,
+        policy: AuditPolicy,
+        store: Optional[VerdictStore] = None,
+        n_workers: int = 1,
+        fast_path: bool = True,
+        decision_budget: Optional[float] = None,
+    ) -> None:
+        from .engine import BatchAuditEngine
+
+        self._universe = universe
+        self._policy = policy
+        self.n_workers = n_workers
+        self.fast_path = fast_path
+        self.decision_budget = decision_budget
+        self._engine = BatchAuditEngine(
+            universe,
+            policy,
+            n_workers=n_workers,
+            decision_budget=decision_budget,
+            store=store,
+        )
+        self._knowledge = explicit_possibilistic_knowledge(
+            universe.space, policy.assumption
+        )
+        self._consumed: List[DisclosureEvent] = []
+        self._findings: List[EventFinding] = []
+        self._states: Dict[str, UserCompositionState] = {}
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def store(self) -> Optional[VerdictStore]:
+        return self._engine.store
+
+    @property
+    def policy(self) -> AuditPolicy:
+        return self._policy
+
+    @property
+    def states(self) -> Dict[str, UserCompositionState]:
+        """Per-user composition states (read-only by convention)."""
+        return self._states
+
+    def user_state(self, user: str) -> UserCompositionState:
+        state = self._states.get(user)
+        if state is None:
+            raise KeyError(f"no disclosures consumed for {user!r}")
+        return state
+
+    def cumulative_verdict(self, user: str) -> AuditVerdict:
+        """The verdict on everything ``user`` has learned so far."""
+        verdict = self.user_state(user).cumulative_verdict
+        if verdict is None:  # pragma: no cover - set on first consumed event
+            raise KeyError(f"no cumulative verdict for {user!r}")
+        return verdict
+
+    def reset(self) -> None:
+        """Forget all streaming state (the engine's caches survive)."""
+        self._consumed = []
+        self._findings = []
+        self._states = {}
+
+    # -- streaming -----------------------------------------------------------------
+
+    def _is_extension(self, events: List[DisclosureEvent]) -> bool:
+        if len(events) < len(self._consumed):
+            return False
+        return events[: len(self._consumed)] == self._consumed
+
+    def _consume(self, event: DisclosureEvent, finding: EventFinding) -> None:
+        """Fold one audited event into its user's composition state."""
+        state = self._states.get(event.user)
+        if state is None:
+            state = self._states[event.user] = UserCompositionState(
+                cumulative=self._universe.space.full
+            )
+        state.cumulative = state.cumulative & finding.disclosed_set
+        state.events_seen += 1
+        if (
+            self.fast_path
+            and state.fast
+            and self._knowledge is not None
+            and finding.verdict.is_safe
+            and is_preserving_possibilistic(
+                self._knowledge, finding.disclosed_set
+            )
+        ):
+            # Proposition 3.10: C_t safe+preserving, B safe+preserving ⇒
+            # C_{t+1} = C_t ∩ B safe (3.10(2)) and preserving (3.10(1)).
+            state.fast_path_hits += 1
+            state.cumulative_verdict = AuditVerdict.safe(
+                FAST_PATH_METHOD,
+                events=state.events_seen,
+                user=event.user,
+            )
+        else:
+            outcome = self._engine.decide_one(state.cumulative)
+            state.fast = False
+            state.full_decisions += 1
+            state.cumulative_verdict = outcome.verdict
+        if state.cumulative_verdict.is_safe:
+            state.last_safe_prefix = state.events_seen
+        self._consumed.append(event)
+        self._findings.append(finding)
+
+    def audit_log(
+        self, log: DisclosureLog, since: Optional[object] = None
+    ) -> AuditReport:
+        """Audit the log's unseen suffix; report events at/after ``since``.
+
+        Per-event verdict statuses are identical to
+        :meth:`~repro.audit.offline.OfflineAuditor.audit_log_serial` over
+        the same events — the streaming machinery changes where verdicts
+        come from (cache, store, Prop 3.10), never what they are.
+        """
+        events = list(log)
+        if not self._is_extension(events):
+            self.reset()
+        new_events = events[len(self._consumed) :]
+
+        self._engine.n_workers = self.n_workers
+        self._engine.decision_budget = self.decision_budget
+        if new_events:
+            suffix_report = self._engine.audit_log(DisclosureLog(new_events))
+            # DisclosureLog re-sorts, but the suffix of an already-sorted
+            # log keeps its order, so findings align with new_events.
+            for finding in suffix_report.findings:
+                self._consume(finding.event, finding)
+        # decide_one writes through to the store without flushing; one
+        # atomic flush per streaming call keeps the on-disk generation
+        # consistent with everything consumed so far.
+        self._engine.flush_store()
+
+        if since is None:
+            findings = list(self._findings)
+        else:
+            findings = [f for f in self._findings if f.event.time >= since]
+        return AuditReport(
+            policy=self._policy,
+            findings=findings,
+            cache_stats=self._engine.cache.stats(),
+            runtime_stats=self._engine.runtime_stats,
+            store_stats=(
+                self._engine.store.stats
+                if self._engine.store is not None
+                else None
+            ),
+        )

@@ -36,6 +36,7 @@ from ..probabilistic.auditor import (
 from ..runtime.outcome import DecisionOutcome, RuntimeStats
 from .log import DisclosureEvent, DisclosureLog
 from .policy import AuditPolicy, PriorAssumption
+from .store import StoreStats, VerdictStore
 
 
 def make_decider(
@@ -134,13 +135,15 @@ class AuditReport:
     when the report was produced by the batched path (``None`` otherwise);
     ``runtime_stats`` likewise carries the engine's resilience counters
     (pool failures survived, breaker trips, budget expiries) — all zeros
-    on a clean run.
+    on a clean run.  ``store_stats`` is the persistent verdict store's
+    counters when one was attached (``None`` otherwise).
     """
 
     policy: AuditPolicy
     findings: List[EventFinding] = field(default_factory=list)
     cache_stats: Optional[CacheStats] = None
     runtime_stats: Optional[RuntimeStats] = None
+    store_stats: Optional[StoreStats] = None
 
     @property
     def degraded_findings(self) -> List[EventFinding]:
@@ -194,6 +197,7 @@ class OfflineAuditor:
         self._audited = universe.compile_boolean(policy.audit_query)
         self._decider = self._build_decider()
         self._engine = None  # lazy BatchAuditEngine, reused across audit_log calls
+        self._incremental = None  # lazy IncrementalAuditor (streaming entry point)
 
     @property
     def universe(self) -> CandidateUniverse:
@@ -277,6 +281,48 @@ class OfflineAuditor:
         self._engine.n_workers = n_workers
         self._engine.decision_budget = decision_budget
         return self._engine.audit_log(log)
+
+    def audit_log_incremental(
+        self,
+        log: DisclosureLog,
+        since: Optional[int] = None,
+        store: Optional[VerdictStore] = None,
+        n_workers: int = 1,
+        fast_path: bool = True,
+        decision_budget: Optional[float] = None,
+    ) -> AuditReport:
+        """Audit the log as a stream, reusing everything already decided.
+
+        The streaming entry point for append-mostly logs: a lazily built
+        :class:`~repro.audit.incremental.IncrementalAuditor` keeps per-user
+        composition state across calls on this auditor, so re-auditing a log
+        that grew by a few events costs roughly the new events — and with a
+        persistent ``store`` the warm part of a *cold* process is priced the
+        same way.  Verdict statuses are identical to :meth:`audit_log_serial`
+        (the equivalence suite in ``tests/audit/test_incremental.py`` checks
+        cold, warm, ``since`` and corrupted-store runs).
+
+        ``since`` restricts the report to events with ``time >= since``
+        (``None`` reports the whole log); earlier events still feed the
+        per-user cumulative states.  ``fast_path=False`` disables the
+        Proposition 3.10 composition shortcut — a debugging knob that must
+        never change verdicts.
+        """
+        from .incremental import IncrementalAuditor
+
+        if self._incremental is None or self._incremental.store is not store:
+            self._incremental = IncrementalAuditor(
+                self._universe,
+                self._policy,
+                store=store,
+                n_workers=n_workers,
+                fast_path=fast_path,
+                decision_budget=decision_budget,
+            )
+        self._incremental.n_workers = n_workers
+        self._incremental.fast_path = fast_path
+        self._incremental.decision_budget = decision_budget
+        return self._incremental.audit_log(log, since=since)
 
     def audit_log_serial(self, log: DisclosureLog) -> AuditReport:
         """The original one-event-at-a-time loop (no dedupe, no cache).

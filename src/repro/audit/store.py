@@ -1,0 +1,303 @@
+"""The persistent verdict store: audit verdicts that outlive the process.
+
+The in-memory :class:`~repro.audit.engine.VerdictCache` already collapses
+duplicate decisions *within* a process, but a nightly re-audit of a log
+that grew by 2% still paid 100% of the engine cost because the cache died
+with the process.  The :class:`VerdictStore` persists decided verdicts on
+disk, keyed by the same content fingerprints the cache uses — policy ⊗
+universe ⊗ disclosed-mask (the audited set's digest pins both the compiled
+policy query and the universe's world space) — so successive runs over an
+append-mostly log only decide what is genuinely new.
+
+Design constraints, in order:
+
+1. **A bad store is discarded, never a wrong verdict.**  Loads tolerate
+   every corruption mode — truncated files, invalid JSON, wrong format
+   marker, future versions, malformed entries — by starting empty and
+   counting a ``load_failure``.  Entries are revalidated individually, so
+   one bad record does not poison its neighbours.
+2. **Writes are atomic.**  The store serialises to a sibling temp file and
+   ``os.replace``s it into place, so a crash mid-write leaves the previous
+   generation intact.  A failed write (counted, surfaced as
+   ``store_failures`` on :class:`~repro.runtime.RuntimeStats`) degrades to
+   recomputation on the next run — it cannot corrupt anything.
+3. **Versioned format.**  ``format``/``version`` headers gate the loader;
+   bumping :data:`STORE_VERSION` retires old stores wholesale rather than
+   risking a misread.
+
+Stored verdicts keep their status, deciding method, and JSON-safe details;
+witness/certificate objects (priors, property sets, SOS decompositions) are
+process-local evidence and are not persisted — the same caveat the batched
+engine documents for its optimiser witnesses.  Verdict *statuses* are what
+incremental equivalence is asserted on.  UNKNOWN verdicts are deliberately
+not persisted: a later run with a larger budget (or a repaired solver) must
+be free to turn them into real decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..core.verdict import AuditVerdict, Verdict
+from ..runtime import faults
+
+__all__ = ["StoreStats", "VerdictStore", "STORE_FORMAT", "STORE_VERSION"]
+
+#: Format marker of the on-disk document; anything else is not ours.
+STORE_FORMAT = "repro-verdict-store"
+
+#: Current store schema version; loaders discard any other generation.
+STORE_VERSION = 1
+
+#: A store key: (A digest, B digest, assumption value, atol) — identical to
+#: the engine's :data:`~repro.audit.engine.CacheKey` so the two layers
+#: address the same decision identically.
+StoreKey = Tuple[str, str, str, float]
+
+#: Keys are flattened into one string column for JSON (dict keys must be
+#: strings); the digests are fixed-width hex so "/" is an unambiguous joint.
+_KEY_SEP = "/"
+
+
+@dataclass
+class StoreStats:
+    """Counters of one store's lifetime within this process.
+
+    ``hits``/``misses`` mirror :class:`~repro.perf.CacheStats`; the failure
+    counters make degradation visible: a store that cannot load or flush
+    never raises into the audit path, it just stops saving work.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0  # verdicts persisted by this process
+    loaded: int = 0  # verdicts inherited from disk at open time
+    load_failures: int = 0  # corrupt/incompatible stores discarded
+    write_failures: int = 0  # flushes that failed (degraded to recompute)
+    dropped_entries: int = 0  # individually malformed records skipped
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "stored": self.stored,
+            "loaded": self.loaded,
+            "load_failures": self.load_failures,
+            "write_failures": self.write_failures,
+            "dropped_entries": self.dropped_entries,
+        }
+
+    def __str__(self) -> str:
+        tail = ""
+        if self.load_failures or self.write_failures:
+            tail = (
+                f", {self.load_failures} load / "
+                f"{self.write_failures} write failures"
+            )
+        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%}){tail}"
+
+
+def _encode_key(key: StoreKey) -> str:
+    audited, disclosed, assumption, atol = key
+    return _KEY_SEP.join((audited, disclosed, assumption, repr(float(atol))))
+
+
+def _decode_key(text: str) -> StoreKey:
+    audited, disclosed, assumption, atol = text.split(_KEY_SEP)
+    return (audited, disclosed, assumption, float(atol))
+
+
+def _json_safe(value: Any) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def _encode_verdict(verdict: AuditVerdict) -> Dict[str, Any]:
+    """The verdict's persistable projection (no witness/certificate)."""
+    details = {
+        name: value
+        for name, value in verdict.details.items()
+        if _json_safe(value)
+    }
+    return {
+        "status": verdict.status.value,
+        "method": verdict.method,
+        "details": details,
+    }
+
+
+def _decode_verdict(record: Any) -> AuditVerdict:
+    """Rebuild a verdict from its stored projection; raises on any malformation."""
+    if not isinstance(record, dict):
+        raise ValueError(f"store record must be an object, got {type(record).__name__}")
+    status = Verdict(record["status"])  # ValueError on unknown statuses
+    method = record["method"]
+    if not isinstance(method, str) or not method:
+        raise ValueError(f"store record method must be a non-empty string: {method!r}")
+    details = record.get("details", {})
+    if not isinstance(details, dict):
+        raise ValueError("store record details must be an object")
+    return AuditVerdict(status=status, method=method, details=dict(details))
+
+
+class VerdictStore:
+    """A persistent, versioned, corruption-tolerant verdict table.
+
+    Parameters
+    ----------
+    path:
+        Where the store lives.  The file need not exist; the parent
+        directory must.  Opening loads whatever is salvageable.
+    read_only:
+        When true, :meth:`flush` is a no-op — useful for auditing against a
+        shared store without contending for its file.
+
+    The store is a plain dict in memory; persistence is explicit via
+    :meth:`flush` (the engine flushes once per ``audit_log`` call, after the
+    batch decided, so a crash mid-audit loses at most one run's increment).
+    """
+
+    def __init__(
+        self, path: Union[str, pathlib.Path], read_only: bool = False
+    ) -> None:
+        self._path = pathlib.Path(path)
+        self.read_only = bool(read_only)
+        self.stats = StoreStats()
+        #: Failures already mirrored onto some RuntimeStats (see the
+        #: engine's ``flush_store``); lives here so engines sharing one
+        #: store — ablation siblings — never double-count.
+        self.failures_reported = 0
+        self._entries: Dict[StoreKey, AuditVerdict] = {}
+        self._dirty = False
+        self._load()
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key in self._entries
+
+    # -- persistence ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Load the on-disk generation; discard it wholesale if untrustworthy."""
+        try:
+            raw = self._path.read_text()
+        except FileNotFoundError:
+            return  # a fresh store: empty, not a failure
+        except OSError:
+            self.stats.load_failures += 1
+            return
+        try:
+            document = json.loads(raw)
+        except ValueError:
+            self.stats.load_failures += 1
+            return
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != STORE_FORMAT
+            or document.get("version") != STORE_VERSION
+            or not isinstance(document.get("entries"), dict)
+        ):
+            self.stats.load_failures += 1
+            return
+        for text, record in document["entries"].items():
+            try:
+                key = _decode_key(text)
+                verdict = _decode_verdict(record)
+            except (KeyError, TypeError, ValueError):
+                self.stats.dropped_entries += 1
+                continue
+            self._entries[key] = verdict
+        self.stats.loaded = len(self._entries)
+
+    def flush(self) -> bool:
+        """Atomically persist the current entries; ``False`` on failure.
+
+        Serialise to a temp file in the store's directory, then
+        ``os.replace`` — readers never observe a partial document and a
+        crash preserves the previous generation.  Every failure mode
+        (including the injected ``store-write`` chaos fault) is swallowed
+        and counted: a store that cannot write degrades to recomputation
+        on the next run, it never takes the audit down with it.
+        """
+        if self.read_only or not self._dirty:
+            return True
+        document = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "entries": {
+                _encode_key(key): _encode_verdict(verdict)
+                for key, verdict in self._entries.items()
+            },
+        }
+        tmp_path: Optional[str] = None
+        try:
+            if faults.fire(faults.STORE_WRITE):
+                raise OSError("injected store-write failure (chaos harness)")
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=self._path.name + ".", suffix=".tmp", dir=self._path.parent
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(tmp_path, self._path)
+            tmp_path = None
+        except (OSError, TypeError, ValueError):
+            self.stats.write_failures += 1
+            return False
+        finally:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        self._dirty = False
+        return True
+
+    # -- lookup --------------------------------------------------------------------
+
+    def get(self, key: StoreKey) -> Optional[AuditVerdict]:
+        """The stored verdict for ``key``, counting the hit/miss."""
+        verdict = self._entries.get(key)
+        if verdict is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return verdict
+
+    def put(self, key: StoreKey, verdict: AuditVerdict) -> None:
+        """Record a decided verdict (UNKNOWNs are not persisted — see module docs)."""
+        if not verdict.is_decided:
+            return
+        if self._entries.get(key) == verdict:
+            return
+        self._entries[key] = verdict
+        self.stats.stored += 1
+        self._dirty = True
+
+    def clear(self) -> None:
+        """Drop all entries (memory only until the next :meth:`flush`)."""
+        if self._entries:
+            self._dirty = True
+        self._entries.clear()

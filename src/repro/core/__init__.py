@@ -35,6 +35,8 @@ from .preserving import (
     compose_disclosures_probabilistic,
     is_preserving_possibilistic,
     is_preserving_probabilistic,
+    preserving_cache_clear,
+    preserving_cache_stats,
 )
 from .privacy import (
     possibilistic_violation,
@@ -90,6 +92,8 @@ __all__ = [
     "monotone_mask",
     "possibilistic_violation",
     "power_set",
+    "preserving_cache_clear",
+    "preserving_cache_stats",
     "probabilistic_violation",
     "quadrants",
     "safe_c_pi",

@@ -11,6 +11,7 @@ assumptions about the user, dropping the inconsistent pairs.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
 from typing import (
@@ -86,7 +87,7 @@ class PossibilisticKnowledge:
     :mod:`repro.possibilistic`.
     """
 
-    __slots__ = ("_space", "_pairs", "_mask_pairs")
+    __slots__ = ("_space", "_pairs", "_mask_pairs", "_fingerprint")
 
     def __init__(
         self, space: WorldSpace, pairs: Iterable[PossibilisticKnowledgeWorld]
@@ -99,6 +100,7 @@ class PossibilisticKnowledge:
         self._space = space
         self._pairs = pairs
         self._mask_pairs: Optional[FrozenSet[Tuple[int, int]]] = None
+        self._fingerprint: Optional[str] = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -182,6 +184,24 @@ class PossibilisticKnowledge:
                 (pair.world, pair.knowledge.mask) for pair in self._pairs
             )
         return self._mask_pairs
+
+    def fingerprint(self) -> str:
+        """A stable content digest of ``(space, pairs)``, in the
+        :meth:`PropertySet.fingerprint` mould: identical across processes,
+        so it can key caches of ``K``-dependent computations — the
+        preservation memo in :mod:`repro.core.preserving` keys on it.
+        Computed once and memoised (the pair walk is linear in ``|K|``).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(type(self._space).__name__.encode())
+            digest.update(repr(self._space._key()).encode())
+            width = (self._space.size + 7) // 8
+            for world, mask in sorted(self.mask_pairs()):
+                digest.update(world.to_bytes(8, "little"))
+                digest.update(mask.to_bytes(width, "little"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def worlds(self) -> PropertySet:
         """The projection ``π₁(K)``: candidate actual databases."""
@@ -269,7 +289,7 @@ class ProbabilisticKnowledge:
     the brute-force validation of the symbolic criteria needs.
     """
 
-    __slots__ = ("_space", "_pairs")
+    __slots__ = ("_space", "_pairs", "_fingerprint")
 
     def __init__(
         self, space: WorldSpace, pairs: Iterable[ProbabilisticKnowledgeWorld]
@@ -281,6 +301,7 @@ class ProbabilisticKnowledge:
             space.check_same(pair.space)
         self._space = space
         self._pairs = pairs
+        self._fingerprint: Optional[str] = None
 
     @classmethod
     def product(
@@ -313,6 +334,24 @@ class ProbabilisticKnowledge:
 
     def __len__(self) -> int:
         return len(self._pairs)
+
+    def fingerprint(self) -> str:
+        """A stable content digest of ``(space, pairs)``; probabilistic
+        sibling of :meth:`PossibilisticKnowledge.fingerprint` (belief
+        vectors are digested as their raw float64 bytes, so fingerprint
+        equality means bit-identical distributions)."""
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(type(self._space).__name__.encode())
+            digest.update(repr(self._space._key()).encode())
+            keyed = sorted(
+                (pair.world, pair.belief.probs.tobytes()) for pair in self._pairs
+            )
+            for world, probs in keyed:
+                digest.update(world.to_bytes(8, "little"))
+                digest.update(probs)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def possibilistic_shadow(self) -> PossibilisticKnowledge:
         """Replace each ``(ω, P)`` by ``(ω, supp(P))`` (Remark 2.3)."""

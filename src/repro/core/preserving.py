@@ -9,8 +9,10 @@ one of them preserves ``K``, disclosing both (i.e. ``B₁ ∩ B₂``) is safe.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, List, Tuple
 
+from ..perf import CacheStats
 from .knowledge import (
     PossibilisticKnowledge,
     PossibilisticKnowledgeWorld,
@@ -22,6 +24,43 @@ from .worlds import PropertySet
 
 #: Tolerance for matching updated distributions against members of K.
 _DIST_ATOL = 1e-9
+
+#: Entries retained by the preservation memo.  Streaming audits probe the
+#: same ``(K, B)`` pairs once per user and once per composition step, so the
+#: memo converts the per-pair ``O(|K|)`` walk into one dict lookup; the
+#: bound keeps a long-lived incremental service from growing without limit.
+PRESERVING_MEMO_CAPACITY = 1 << 16
+
+#: (kind, K-fingerprint, B-mask) → is-preserving, in LRU order.
+_PRESERVING_MEMO: "OrderedDict[Tuple[str, str, int], bool]" = OrderedDict()
+_PRESERVING_STATS = CacheStats()
+
+
+def preserving_cache_stats() -> CacheStats:
+    """Hit/miss counters of the ``is_preserving_*`` memo."""
+    return _PRESERVING_STATS
+
+
+def preserving_cache_clear() -> None:
+    """Drop all memoised preservation verdicts and reset the counters."""
+    global _PRESERVING_STATS
+    _PRESERVING_MEMO.clear()
+    _PRESERVING_STATS = CacheStats()
+
+
+def _memoized(kind: str, k_fingerprint: str, b_mask: int, compute) -> bool:
+    key = (kind, k_fingerprint, b_mask)
+    try:
+        value = _PRESERVING_MEMO[key]
+    except KeyError:
+        _PRESERVING_STATS.misses += 1
+        value = _PRESERVING_MEMO[key] = compute()
+        if len(_PRESERVING_MEMO) > PRESERVING_MEMO_CAPACITY:
+            _PRESERVING_MEMO.popitem(last=False)
+    else:
+        _PRESERVING_STATS.hits += 1
+        _PRESERVING_MEMO.move_to_end(key)
+    return value
 
 
 def is_preserving_possibilistic(
@@ -35,16 +74,22 @@ def is_preserving_possibilistic(
     Probes run on ``(ω, mask)`` integer keys: one big-int AND plus a set
     lookup per pair, with no intermediate property sets.  (The updated pair
     is automatically consistent: ``ω ∈ S`` and ``ω ∈ B`` give ``ω ∈ S ∩ B``.)
+    Results are memoised on ``(K-fingerprint, B-mask)`` — the streaming
+    composition layer re-asks the same question per user and per step.
     """
     knowledge.space.check_same(disclosed.space)
-    keys = knowledge.mask_pairs()
-    b_mask = disclosed.mask
-    for pair in knowledge:
-        if not (b_mask >> pair.world) & 1:
-            continue
-        if (pair.world, pair.knowledge.mask & b_mask) not in keys:
-            return False
-    return True
+
+    def compute() -> bool:
+        keys = knowledge.mask_pairs()
+        b_mask = disclosed.mask
+        for pair in knowledge:
+            if not (b_mask >> pair.world) & 1:
+                continue
+            if (pair.world, pair.knowledge.mask & b_mask) not in keys:
+                return False
+        return True
+
+    return _memoized("poss", knowledge.fingerprint(), disclosed.mask, compute)
 
 
 def is_preserving_probabilistic(
@@ -54,20 +99,27 @@ def is_preserving_probabilistic(
 
     ``B`` is K-preserving when for all ``(ω, P) ∈ K`` with ``ω ∈ B`` we have
     ``(ω, P(· | B)) ∈ K``.  Membership of the conditional distribution is
-    tested up to a small numeric tolerance.
+    tested up to a small numeric tolerance.  Memoised like the
+    possibilistic form (the tolerance is a module constant, so it needs no
+    place in the key).
     """
     knowledge.space.check_same(disclosed.space)
-    for pair in knowledge:
-        if pair.world not in disclosed:
-            continue
-        conditioned = pair.belief.conditional(disclosed)
-        found = any(
-            other.world == pair.world and other.belief.allclose(conditioned, atol=_DIST_ATOL)
-            for other in knowledge
-        )
-        if not found:
-            return False
-    return True
+
+    def compute() -> bool:
+        for pair in knowledge:
+            if pair.world not in disclosed:
+                continue
+            conditioned = pair.belief.conditional(disclosed)
+            found = any(
+                other.world == pair.world
+                and other.belief.allclose(conditioned, atol=_DIST_ATOL)
+                for other in knowledge
+            )
+            if not found:
+                return False
+        return True
+
+    return _memoized("prob", knowledge.fingerprint(), disclosed.mask, compute)
 
 
 def preserving_intersection_possibilistic(
@@ -136,12 +188,32 @@ def audit_disclosure_sequence_possibilistic(
     ``B₁ ∩ B₂`` (Section 3.3), so the auditor tracks the running
     intersection.  Returns per-step tuples
     ``(cumulative_B, step_is_safe, cumulative_is_safe)``.
+
+    While the running intersection is known to be safe *and* K-preserving,
+    a step that is itself safe and K-preserving settles the new cumulative
+    verdict by Proposition 3.10 — both halves safe, one preserving — and
+    3.10(1) keeps the invariant (preserving sets are closed under
+    intersection), so the per-step ``safe_possibilistic`` call on the
+    cumulative set is skipped.  The first step that breaks the invariant
+    falls back to the direct check, permanently.  ``Ω`` is trivially safe
+    and K-preserving, so the invariant holds at the start.
     """
     results: List[Tuple[PropertySet, bool, bool]] = []
     cumulative = knowledge.space.full
+    composable = True  # cumulative is safe and K-preserving so far
     for disclosed in disclosures:
         step_safe = safe_possibilistic(knowledge, audited, disclosed)
         cumulative = cumulative & disclosed
-        cumulative_safe = safe_possibilistic(knowledge, audited, cumulative)
+        if (
+            composable
+            and step_safe
+            and is_preserving_possibilistic(knowledge, disclosed)
+        ):
+            cumulative_safe = True
+        else:
+            cumulative_safe = safe_possibilistic(knowledge, audited, cumulative)
+            composable = cumulative_safe and is_preserving_possibilistic(
+                knowledge, cumulative
+            )
         results.append((cumulative, step_safe, cumulative_safe))
     return results

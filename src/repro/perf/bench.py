@@ -34,6 +34,16 @@ once with adaptive chunking, recording the dispatch telemetry
 (per-task overhead, chunk sizes, EWMA task cost) and the engine's
 :meth:`~repro.audit.BatchAuditEngine.pool_break_even` estimate.
 
+**E18 (incremental re-audit).** The streaming scenario behind PR-5: the
+E14 log is audited once and persisted to a :class:`~repro.audit.store.
+VerdictStore`; then 5% more events arrive and the grown log is re-audited
+three ways — from scratch through the serial reference loop, incrementally
+with a cold (empty) store, and incrementally with the warm store loaded
+from disk by a fresh process-like auditor.  The warm run must be
+verdict-identical to the serial one and is expected to be ≥5x faster at
+full size (only the appended tail needs decisions; everything else is a
+store hit).
+
 The artifact records events/sec for each pipeline, the verdict-cache hit
 rate, the measured duplicate fraction, and the speedups; every compared
 pair of runs is asserted verdict-identical before anything is written.
@@ -48,6 +58,7 @@ import argparse
 import math
 import os
 import random
+import tempfile
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,6 +71,7 @@ from ..audit import (
     DisclosureLog,
     OfflineAuditor,
     PriorAssumption,
+    VerdictStore,
 )
 from ..core.worlds import HypercubeSpace
 from ..db import (
@@ -92,6 +104,9 @@ DEFAULT_SERIAL_DISCLOSURES = 200
 
 DEFAULT_RESILIENCE_REPEATS = 3
 DEFAULT_RESILIENCE_BUDGET = 30.0
+
+DEFAULT_INCREMENTAL_APPEND_FRACTION = 0.05
+DEFAULT_INCREMENTAL_REPEATS = 3
 
 DEFAULT_KERNEL_DIMS = (4, 5, 6, 8)
 DEFAULT_KERNEL_BOXES = 1500
@@ -421,6 +436,130 @@ def run_resilience_bench(
 
 
 # ---------------------------------------------------------------------------
+# E18 — incremental re-audit against a persistent verdict store
+# ---------------------------------------------------------------------------
+
+
+def run_incremental_bench(
+    n_events: int = DEFAULT_EVENTS,
+    seed: int = DEFAULT_SEED,
+    append_fraction: float = DEFAULT_INCREMENTAL_APPEND_FRACTION,
+    repeats: int = DEFAULT_INCREMENTAL_REPEATS,
+) -> Dict[str, Any]:
+    """The PR-5 streaming scenario: audit, append 5%, re-audit.
+
+    A store is primed by incrementally auditing the first
+    ``1 - append_fraction`` of the E14 log (untimed: that work happened
+    "yesterday").  The full grown log is then audited three ways, each
+    best-of-``repeats`` from a fresh auditor:
+
+    * ``serial_scratch``    — the per-event reference loop, no reuse;
+    * ``incremental_cold``  — the incremental auditor with an empty store;
+    * ``incremental_warm``  — a fresh auditor + fresh store object loading
+      the primed file, modelling a new process resuming yesterday's audit.
+
+    The primed file is restored byte-for-byte before every warm repeat so
+    each one measures the same disk state.  All three reports are asserted
+    verdict-identical before anything is recorded; the headline number is
+    ``speedup_warm_vs_serial`` (acceptance bound ≥5x at full size).
+    """
+    universe = build_registry()
+    log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
+    policy = AuditPolicy(
+        audit_query=parse_boolean_query(AUDIT_QUERY),
+        assumption=PriorAssumption.PRODUCT,
+        name="bench-incremental",
+    )
+    n_append = max(1, int(round(n_events * append_fraction)))
+    cut = n_events - n_append
+    base_log = log.before(cut)
+    events = len(list(log))
+
+    serial_best = float("inf")
+    serial_report = None
+    for _ in range(max(1, repeats)):
+        auditor = OfflineAuditor(universe, policy)
+        with Stopwatch() as clock:
+            serial_report = auditor.audit_log_serial(log)
+        serial_best = min(serial_best, clock.elapsed)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        path = os.path.join(tmp, "verdicts.json")
+
+        cold_best = float("inf")
+        cold_report = None
+        cold_stats = None
+        for _ in range(max(1, repeats)):
+            if os.path.exists(path):
+                os.remove(path)
+            store = VerdictStore(path)
+            with Stopwatch() as clock:
+                cold_report = OfflineAuditor(universe, policy).audit_log_incremental(
+                    log, store=store
+                )
+            if clock.elapsed < cold_best:
+                cold_best = clock.elapsed
+                cold_stats = store.stats
+        os.remove(path)
+
+        # Prime the store with "yesterday's" audit of the base prefix.
+        OfflineAuditor(universe, policy).audit_log_incremental(
+            base_log, store=VerdictStore(path)
+        )
+        with open(path, "rb") as handle:
+            primed = handle.read()
+
+        warm_best = float("inf")
+        warm_report = None
+        warm_stats = None
+        for _ in range(max(1, repeats)):
+            with open(path, "wb") as handle:
+                handle.write(primed)
+            store = VerdictStore(path)
+            with Stopwatch() as clock:
+                warm_report = OfflineAuditor(universe, policy).audit_log_incremental(
+                    log, store=store
+                )
+            if clock.elapsed < warm_best:
+                warm_best = clock.elapsed
+                warm_stats = store.stats
+
+    if _statuses(cold_report) != _statuses(serial_report):
+        raise AssertionError("cold incremental audit disagrees with serial loop")
+    if _statuses(warm_report) != _statuses(serial_report):
+        raise AssertionError("warm incremental audit disagrees with serial loop")
+
+    return {
+        "benchmark": "incremental_audit",
+        "workload": {
+            "events": events,
+            "append_events": n_append,
+            "append_fraction": round(n_append / events, 4),
+            "repeats": repeats,
+            "assumption": policy.assumption.value,
+            "seed": seed,
+        },
+        "serial_scratch": {
+            "seconds": round(serial_best, 6),
+            "events_per_sec": round(events / serial_best, 1),
+        },
+        "incremental_cold": {
+            "seconds": round(cold_best, 6),
+            "events_per_sec": round(events / cold_best, 1),
+            "store": cold_stats.as_dict(),
+        },
+        "incremental_warm": {
+            "seconds": round(warm_best, 6),
+            "events_per_sec": round(events / warm_best, 1),
+            "store": warm_stats.as_dict(),
+        },
+        "speedup_cold_vs_serial": round(serial_best / cold_best, 2),
+        "speedup_warm_vs_serial": round(serial_best / warm_best, 2),
+        "verdict_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # E17 — frontier-batched Bernstein kernel and amortized pool dispatch
 # ---------------------------------------------------------------------------
 
@@ -639,13 +778,15 @@ def run_bench(
     kernel_dims: Sequence[int] = DEFAULT_KERNEL_DIMS,
     kernel_boxes: int = DEFAULT_KERNEL_BOXES,
     kernel_repeats: int = DEFAULT_KERNEL_REPEATS,
+    incremental_repeats: int = DEFAULT_INCREMENTAL_REPEATS,
 ) -> Dict[str, Any]:
     """Audit one synthetic log through all three pipelines and compare.
 
     Also runs the E15 serial-path sweep (at ``serial_n`` records), the E16
-    resilience-overhead measurement, and the E17 probabilistic hot-path
+    resilience-overhead measurement, the E17 probabilistic hot-path
     section (kernel sweep over ``kernel_dims`` + pool dispatch economics),
-    embedding all three sections in the returned document.
+    and the E18 incremental re-audit measurement, embedding all four
+    sections in the returned document.
     """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
@@ -756,6 +897,9 @@ def run_bench(
         n_workers=n_workers,
         seed=seed,
     )
+    document["incremental"] = run_incremental_bench(
+        n_events=n_events, seed=seed, repeats=incremental_repeats
+    )
     return document
 
 
@@ -788,6 +932,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     kernel_dims: Sequence[int] = DEFAULT_KERNEL_DIMS
     kernel_boxes = DEFAULT_KERNEL_BOXES
     kernel_repeats = DEFAULT_KERNEL_REPEATS
+    incremental_repeats = DEFAULT_INCREMENTAL_REPEATS
     if args.smoke:
         args.events = min(args.events, 60)
         args.serial_n = min(args.serial_n, 8)
@@ -796,6 +941,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kernel_dims = (3, 4)
         kernel_boxes = 400
         kernel_repeats = 1
+        incremental_repeats = 1
 
     document = run_bench(
         n_events=args.events,
@@ -808,6 +954,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kernel_dims=kernel_dims,
         kernel_boxes=kernel_boxes,
         kernel_repeats=kernel_repeats,
+        incremental_repeats=incremental_repeats,
     )
     path = write_bench_json(args.output, document)
     workload = document["workload"]
@@ -864,6 +1011,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"→ {pool['speedup_chunked_vs_per_task']}x  "
         f"(overhead {chunked['per_task_overhead'] or 0:.2e} s/task, "
         f"break-even {pool['pool_break_even_tasks']} tasks)"
+    )
+    incremental = document["incremental"]
+    warm_store = incremental["incremental_warm"]["store"]
+    print(
+        f"incremental re-audit (+{incremental['workload']['append_events']} events): "
+        f"serial {incremental['serial_scratch']['seconds']*1e3:.1f} ms vs "
+        f"cold {incremental['incremental_cold']['seconds']*1e3:.1f} ms vs "
+        f"warm {incremental['incremental_warm']['seconds']*1e3:.1f} ms "
+        f"→ warm {incremental['speedup_warm_vs_serial']}x "
+        f"({warm_store['hits']} store hits)"
     )
     return 0
 

@@ -20,6 +20,7 @@ the ``|Ω|·2^|Ω|`` bits of the raw ``K``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..core.knowledge import PossibilisticKnowledge
@@ -27,6 +28,13 @@ from ..core.worlds import PropertySet, WorldSpace
 from ..exceptions import NotIntersectionClosedError
 from ..perf import CacheStats
 from .families import KnowledgeFamily
+
+#: Default bound on memoised intervals per oracle.  ``(origin, world)``
+#: pairs grow as ``|Ω|²``, which is fine for one audit query but not for a
+#: long-lived oracle serving a stream of queries over a large space — the
+#: LRU bound caps residency while keeping the partition/margin access
+#: pattern (many consecutive probes of one origin) effectively all-hits.
+DEFAULT_INTERVAL_CACHE_CAPACITY = 1 << 16
 
 
 class IntervalOracle:
@@ -36,17 +44,32 @@ class IntervalOracle:
     every ``I_K(ω₁, ω₂)`` by ``(origin, world)`` key, so partition and
     margin computations that revisit the same origin across many calls
     (:func:`~repro.possibilistic.minimal.minimal_intervals_to` queries each
-    interval up to ``O(|Ā|)`` times) reuse the work.  :meth:`cache_clear`
-    resets the memo, e.g. between workloads with long-lived oracles.
+    interval up to ``O(|Ā|)`` times) reuse the work.  The memo is bounded:
+    least-recently-used intervals are evicted past ``cache_capacity``
+    (eviction can only cost recomputation, never change an interval).
+    :meth:`cache_clear` resets the memo, e.g. between workloads with
+    long-lived oracles; :meth:`cache_stats` exposes the counters.
     """
 
-    def __init__(self) -> None:
-        self._interval_cache: Dict[Tuple[int, int], Optional[PropertySet]] = {}
+    def __init__(
+        self, cache_capacity: int = DEFAULT_INTERVAL_CACHE_CAPACITY
+    ) -> None:
+        if cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {cache_capacity}")
+        self._interval_cache: "OrderedDict[Tuple[int, int], Optional[PropertySet]]" = (
+            OrderedDict()
+        )
+        self._interval_capacity = int(cache_capacity)
         self._interval_stats = CacheStats()
+        self.cache_evictions = 0
 
     @property
     def space(self) -> WorldSpace:
         raise NotImplementedError
+
+    @property
+    def cache_capacity(self) -> int:
+        return self._interval_capacity
 
     def candidate_worlds(self) -> PropertySet:
         """``π₁(K)``: the worlds that occur as first components of pairs in K."""
@@ -62,8 +85,12 @@ class IntervalOracle:
             value = self._interval_cache[key] = self._compute_interval(
                 world1, world2
             )
+            if len(self._interval_cache) > self._interval_capacity:
+                self._interval_cache.popitem(last=False)
+                self.cache_evictions += 1
         else:
             self._interval_stats.hits += 1
+            self._interval_cache.move_to_end(key)
         return value
 
     def _compute_interval(self, world1: int, world2: int) -> Optional[PropertySet]:
@@ -74,9 +101,14 @@ class IntervalOracle:
         """Drop all memoised intervals and reset the hit/miss counters."""
         self._interval_cache.clear()
         self._interval_stats = CacheStats()
+        self.cache_evictions = 0
 
     def cache_info(self) -> CacheStats:
         """Hit/miss counters of the interval memo."""
+        return self._interval_stats
+
+    def cache_stats(self) -> CacheStats:
+        """Alias of :meth:`cache_info`, matching the other memo layers."""
         return self._interval_stats
 
     def interval_exists(self, world1: int, world2: int) -> bool:
@@ -114,8 +146,12 @@ class ExplicitIntervalIndex(IntervalOracle):
     base class.
     """
 
-    def __init__(self, knowledge: PossibilisticKnowledge) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        knowledge: PossibilisticKnowledge,
+        cache_capacity: int = DEFAULT_INTERVAL_CACHE_CAPACITY,
+    ) -> None:
+        super().__init__(cache_capacity=cache_capacity)
         if not knowledge.is_intersection_closed():
             raise NotIntersectionClosedError(
                 "intervals are defined for ∩-closed K only (Definition 4.4)"
@@ -159,8 +195,13 @@ class FamilyIntervalOracle(IntervalOracle):
     worlds; it then equals the family's analytic ``interval_between``.
     """
 
-    def __init__(self, candidates: PropertySet, family: KnowledgeFamily) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        candidates: PropertySet,
+        family: KnowledgeFamily,
+        cache_capacity: int = DEFAULT_INTERVAL_CACHE_CAPACITY,
+    ) -> None:
+        super().__init__(cache_capacity=cache_capacity)
         candidates.space.check_same(family.space)
         if not candidates:
             raise ValueError("the candidate set C must be non-empty")

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from .. import _bitops
 from ..core.verdict import AuditVerdict
 from ..core.worlds import PropertySet
+from ..perf import CacheStats
 from .intervals import IntervalOracle
 from .minimal import interval_partition
 
@@ -42,7 +43,11 @@ class SafetyMarginIndex:
         something actually asks for exactness (``is_exact`` or ``audit``).
 
     Margins are stored as packed masks: one big-int per origin world, so a
-    margin test is one AND-NOT per world of ``A ∩ B``.
+    margin test is one AND-NOT per world of ``A ∩ B``.  The map is filled
+    *lazily*: each origin's interval partition — the expensive part — is
+    computed on its first test and memoised, so a streaming auditor that
+    only ever sees disclosures touching a few origins never pays for the
+    rest of ``A``.  :meth:`cache_stats` exposes the memo's counters.
     """
 
     def __init__(
@@ -63,14 +68,28 @@ class SafetyMarginIndex:
                     "Corollary 4.14 requires tight intervals (Definition 4.13); "
                     "pass require_tight=False for a sufficient-only margin test"
                 )
-        outside = ~audited
+        self._outside = ~audited
+        self._origin_mask = audited.mask & oracle.candidate_worlds().mask
         self._margins: Dict[int, int] = {}
-        for w1 in _bitops.iter_bits(audited.mask & oracle.candidate_worlds().mask):
-            partition = interval_partition(oracle, w1, outside)
+        self._stats = CacheStats()
+
+    def _margin_mask(self, world: int) -> int:
+        """``β(ω)`` as a packed mask, computed at most once per origin."""
+        margin = self._margins.get(world)
+        if margin is None:
+            self._stats.misses += 1
+            partition = interval_partition(self._oracle, world, self._outside)
             margin = 0
             for cls in partition.classes:
                 margin |= cls.mask
-            self._margins[w1] = margin
+            self._margins[world] = margin
+        else:
+            self._stats.hits += 1
+        return margin
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the lazy per-origin margin memo."""
+        return self._stats
 
     def _check_tight(self) -> bool:
         if self._tight is None:
@@ -90,8 +109,10 @@ class SafetyMarginIndex:
         """``β(ω)`` for ``ω ∈ A`` (empty for worlds outside ``π₁(K)``)."""
         if world not in self._audited:
             raise ValueError(f"margins are defined on A only; {world} ∉ A")
+        if not (self._origin_mask >> world) & 1:
+            return PropertySet._from_mask(self._audited.space, 0)
         return PropertySet._from_mask(
-            self._audited.space, self._margins.get(world, 0)
+            self._audited.space, self._margin_mask(world)
         )
 
     def test(self, disclosed: PropertySet) -> bool:
@@ -103,10 +124,11 @@ class SafetyMarginIndex:
         self._audited.space.check_same(disclosed.space)
         b_mask = disclosed.mask
         # Worlds of A ∩ B outside π₁(K) have empty margins and pass
-        # trivially, so only the margin map's own origins need checking —
-        # O(|A ∩ C|) bit probes instead of a walk over all of A ∩ B.
-        for w1, margin in self._margins.items():
-            if (b_mask >> w1) & 1 and margin & ~b_mask != 0:
+        # trivially, so only origins need checking — O(|A ∩ C ∩ B|) bit
+        # probes (and at most that many lazy margin fills) instead of a
+        # walk over all of A ∩ B.
+        for w1 in _bitops.iter_bits(self._origin_mask & b_mask):
+            if self._margin_mask(w1) & ~b_mask != 0:
                 return False
         return True
 
@@ -122,13 +144,13 @@ class SafetyMarginIndex:
             b_mask = disclosed.mask
             offending = next(
                 w
-                for w, margin in self._margins.items()
-                if (b_mask >> w) & 1 and margin & ~b_mask != 0
+                for w in _bitops.iter_bits(self._origin_mask & b_mask)
+                if self._margin_mask(w) & ~b_mask != 0
             )
             return AuditVerdict.unsafe(
                 "safety-margin",
                 witness=PropertySet._from_mask(
-                    self._audited.space, self._margins[offending]
+                    self._audited.space, self._margin_mask(offending)
                 ),
                 origin=offending,
                 exact=True,

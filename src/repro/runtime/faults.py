@@ -14,6 +14,9 @@ site               effect at the probe point
                    :class:`~repro.exceptions.StageTimeoutError`
 ``nonconvergence`` the SDP solver reports "not found within budget" without
                    iterating (matrices ``None``, infinite residual)
+``store-write``    :meth:`~repro.audit.store.VerdictStore.flush` fails with
+                   an ``OSError`` before touching the file — the persistent
+                   verdict store degrades to recomputation, never corrupts
 =================  ==========================================================
 
 Plans activate either programmatically (:func:`install` / the
@@ -44,6 +47,7 @@ __all__ = [
     "NONCONVERGENCE",
     "PICKLE_FAILURE",
     "SOLVER_TIMEOUT",
+    "STORE_WRITE",
     "WORKER_CRASH",
     "active",
     "fire",
@@ -56,8 +60,15 @@ WORKER_CRASH = "worker-crash"
 PICKLE_FAILURE = "pickle-failure"
 SOLVER_TIMEOUT = "solver-timeout"
 NONCONVERGENCE = "nonconvergence"
+STORE_WRITE = "store-write"
 
-KNOWN_SITES = (WORKER_CRASH, PICKLE_FAILURE, SOLVER_TIMEOUT, NONCONVERGENCE)
+KNOWN_SITES = (
+    WORKER_CRASH,
+    PICKLE_FAILURE,
+    SOLVER_TIMEOUT,
+    NONCONVERGENCE,
+    STORE_WRITE,
+)
 
 ENV_PLAN = "REPRO_FAULTS"
 ENV_SEED = "REPRO_FAULTS_SEED"

@@ -99,6 +99,7 @@ class RuntimeStats:
     budget_exhausted: int = 0  # decisions that ran out of deadline budget
     degraded_decisions: int = 0  # findings whose outcome is degraded
     faults_injected: int = 0  # injector fires observed in this process
+    store_failures: int = 0  # verdict-store loads/flushes that failed
 
     def merge(self, other: "RuntimeStats") -> "RuntimeStats":
         merged = RuntimeStats()

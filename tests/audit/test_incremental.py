@@ -1,0 +1,282 @@
+"""Equivalence and soundness of the incremental streaming auditor.
+
+The contract: ``audit_log_incremental`` is verdict-identical to the serial
+reference path under every streaming configuration — cold store, warm
+store, mid-log ``since``, corrupted store — and the Proposition 3.10 fast
+path only ever fires when the running composition genuinely is safe and
+K-preserving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import (
+    AuditPolicy,
+    DisclosureLog,
+    IncrementalAuditor,
+    OfflineAuditor,
+    PriorAssumption,
+)
+from repro.audit.incremental import (
+    FAST_PATH_METHOD,
+    explicit_possibilistic_knowledge,
+)
+from repro.audit.store import VerdictStore
+from repro.core.preserving import (
+    is_preserving_possibilistic,
+    preserving_cache_clear,
+)
+from repro.core.privacy import safe_possibilistic
+from repro.core.worlds import HypercubeSpace
+from repro.db import parse_boolean_query
+from repro.perf.bench import AUDIT_QUERY, build_mixed_density_log, build_registry
+
+SEEDS = (3, 11, 29)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_registry(background_rows=16)
+
+
+def make_policy(assumption=PriorAssumption.PRODUCT):
+    return AuditPolicy(
+        audit_query=parse_boolean_query(AUDIT_QUERY), assumption=assumption
+    )
+
+
+def statuses(report):
+    return [f.verdict.status for f in report.findings]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cold_equivalent_to_serial(self, registry, tmp_path, seed):
+        log = build_mixed_density_log(registry, n_events=40, seed=seed)
+        policy = make_policy()
+        serial = OfflineAuditor(registry, policy).audit_log_serial(log)
+        store = VerdictStore(tmp_path / "store.json")
+        report = OfflineAuditor(registry, policy).audit_log_incremental(
+            log, store=store
+        )
+        assert statuses(report) == statuses(serial)
+        assert report.store_stats is not None
+        assert report.store_stats.stored > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_warm_store_equivalent_and_decision_free(
+        self, registry, tmp_path, seed
+    ):
+        log = build_mixed_density_log(registry, n_events=40, seed=seed)
+        policy = make_policy()
+        path = tmp_path / "store.json"
+        OfflineAuditor(registry, policy).audit_log_incremental(
+            log, store=VerdictStore(path)
+        )
+        serial = OfflineAuditor(registry, policy).audit_log_serial(log)
+
+        # A cold process warming up from disk: fresh auditor, fresh store
+        # object, same path.  Every unique per-event decision must come
+        # from the store, none from a pipeline.
+        warm_store = VerdictStore(path)
+        warm = OfflineAuditor(registry, policy).audit_log_incremental(
+            log, store=warm_store
+        )
+        assert statuses(warm) == statuses(serial)
+        assert warm_store.stats.loaded > 0
+        assert warm_store.stats.hits == warm_store.stats.lookups
+        assert warm_store.stats.stored == 0  # nothing new to persist
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_mid_log_since(self, registry, tmp_path, seed):
+        log = build_mixed_density_log(registry, n_events=40, seed=seed)
+        policy = make_policy()
+        cut = 20
+        auditor = OfflineAuditor(registry, policy)
+        # Stream the prefix first, then the grown log with a since filter.
+        auditor.audit_log_incremental(
+            log.before(cut), store=VerdictStore(tmp_path / "store.json")
+        )
+        report = auditor.audit_log_incremental(
+            log, since=cut, store=auditor._incremental.store
+        )
+        serial = OfflineAuditor(registry, policy).audit_log_serial(log.since(cut))
+        assert [f.event for f in report.findings] == list(log.since(cut))
+        assert statuses(report) == statuses(serial)
+
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_corrupted_store_recovery(self, registry, tmp_path, seed):
+        log = build_mixed_density_log(registry, n_events=30, seed=seed)
+        policy = make_policy()
+        path = tmp_path / "store.json"
+        path.write_text("{definitely not a store")
+        store = VerdictStore(path)
+        report = OfflineAuditor(registry, policy).audit_log_incremental(
+            log, store=store
+        )
+        serial = OfflineAuditor(registry, policy).audit_log_serial(log)
+        assert statuses(report) == statuses(serial)
+        assert report.store_stats.load_failures == 1
+        assert report.runtime_stats.store_failures >= 1
+        # The bad generation is replaced by a good one.
+        assert VerdictStore(path).stats.loaded > 0
+
+    def test_append_only_consumes_suffix(self, registry, tmp_path):
+        log = build_mixed_density_log(registry, n_events=30, seed=5)
+        policy = make_policy()
+        auditor = OfflineAuditor(registry, policy)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor.audit_log_incremental(log, store=store)
+        inc = auditor._incremental
+        consumed_before = len(inc._consumed)
+
+        grown = DisclosureLog(list(log))
+        extra = build_mixed_density_log(registry, n_events=5, seed=99)
+        for i, event in enumerate(extra):
+            grown.record(1000 + i, event.user, event.query)
+        report = auditor.audit_log_incremental(grown, store=store)
+        assert len(inc._consumed) == consumed_before + 5
+        serial = OfflineAuditor(registry, policy).audit_log_serial(grown)
+        assert statuses(report) == statuses(serial)
+
+    def test_rewritten_prefix_resets(self, registry, tmp_path):
+        log = build_mixed_density_log(registry, n_events=20, seed=5)
+        policy = make_policy()
+        auditor = OfflineAuditor(registry, policy)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor.audit_log_incremental(log, store=store)
+        shuffled = DisclosureLog(list(log)[5:])  # events removed, not appended
+        report = auditor.audit_log_incremental(shuffled, store=store)
+        serial = OfflineAuditor(registry, policy).audit_log_serial(shuffled)
+        assert statuses(report) == statuses(serial)
+        assert len(report.findings) == len(shuffled)
+
+    def test_no_store_still_works(self, registry):
+        log = build_mixed_density_log(registry, n_events=20, seed=5)
+        policy = make_policy()
+        report = OfflineAuditor(registry, policy).audit_log_incremental(log)
+        serial = OfflineAuditor(registry, policy).audit_log_serial(log)
+        assert statuses(report) == statuses(serial)
+        assert report.store_stats is None
+
+
+POSSIBILISTIC = (
+    PriorAssumption.POSSIBILISTIC_SUBCUBES,
+    PriorAssumption.POSSIBILISTIC_UNRESTRICTED,
+    PriorAssumption.POSSIBILISTIC_IGNORANT,
+)
+
+
+class TestFastPath:
+    @pytest.mark.parametrize("assumption", POSSIBILISTIC)
+    @pytest.mark.parametrize("seed", SEEDS[:2])
+    def test_knob_never_changes_verdicts(self, registry, assumption, seed):
+        log = build_mixed_density_log(registry, n_events=30, seed=seed)
+        policy = make_policy(assumption)
+
+        fast = IncrementalAuditor(registry, policy, fast_path=True)
+        fast_report = fast.audit_log(log)
+        slow = IncrementalAuditor(registry, policy, fast_path=False)
+        slow_report = slow.audit_log(log)
+
+        assert statuses(fast_report) == statuses(slow_report)
+        for user in fast.states:
+            assert (
+                fast.cumulative_verdict(user).status
+                is slow.cumulative_verdict(user).status
+            ), user
+        # The knob genuinely disables the shortcut.
+        assert all(s.fast_path_hits == 0 for s in slow.states.values())
+
+    @pytest.mark.parametrize("assumption", POSSIBILISTIC)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fast_path_fires_only_when_actually_preserving(
+        self, registry, assumption, seed
+    ):
+        """Prop 3.10 property test: every fast-path verdict is backed by a
+        composition that really is safe and K-preserving (checked directly
+        against Definition 3.9 and the exact possibilistic decider)."""
+        log = build_mixed_density_log(registry, n_events=30, seed=seed)
+        policy = make_policy(assumption)
+        auditor = IncrementalAuditor(registry, policy)
+        auditor.audit_log(log)
+        knowledge = explicit_possibilistic_knowledge(
+            registry.space, assumption
+        )
+        assert knowledge is not None
+        audited = auditor.engine.audited_set
+        preserving_cache_clear()  # re-derive, don't trust the memo
+
+        for user, state in auditor.states.items():
+            events = [e for e in auditor._consumed if e.user == user]
+            cumulative = registry.space.full
+            for step, event in enumerate(events[: state.fast_path_hits], 1):
+                disclosed = auditor.engine.compile_log(
+                    DisclosureLog([event])
+                )[0]
+                cumulative = cumulative & disclosed
+                assert is_preserving_possibilistic(knowledge, cumulative), (
+                    user,
+                    step,
+                )
+                assert safe_possibilistic(knowledge, audited, cumulative), (
+                    user,
+                    step,
+                )
+
+    def test_fast_path_verdict_carries_method_tag(self, registry):
+        log = build_mixed_density_log(registry, n_events=30, seed=3)
+        policy = make_policy(PriorAssumption.POSSIBILISTIC_UNRESTRICTED)
+        auditor = IncrementalAuditor(registry, policy)
+        auditor.audit_log(log)
+        tagged = [
+            user
+            for user, state in auditor.states.items()
+            if state.fast_path_hits
+            and state.fast
+            and auditor.cumulative_verdict(user).method == FAST_PATH_METHOD
+        ]
+        fired = [u for u, s in auditor.states.items() if s.fast_path_hits and s.fast]
+        assert tagged == fired
+
+
+class TestExplicitKnowledge:
+    def test_subcubes_gated_by_pair_count(self):
+        small = HypercubeSpace(3)
+        assert (
+            explicit_possibilistic_knowledge(
+                small, PriorAssumption.POSSIBILISTIC_SUBCUBES
+            )
+            is not None
+        )
+        big = HypercubeSpace(8)  # 4^8 = 65536 pairs > the 4096 bound
+        assert (
+            explicit_possibilistic_knowledge(
+                big, PriorAssumption.POSSIBILISTIC_SUBCUBES
+            )
+            is None
+        )
+
+    def test_unrestricted_gated_by_pair_count(self):
+        assert (
+            explicit_possibilistic_knowledge(
+                HypercubeSpace(3), PriorAssumption.POSSIBILISTIC_UNRESTRICTED
+            )
+            is not None
+        )
+        assert (
+            explicit_possibilistic_knowledge(
+                HypercubeSpace(5), PriorAssumption.POSSIBILISTIC_UNRESTRICTED
+            )
+            is None
+        )
+
+    def test_non_possibilistic_families_have_no_fast_path(self):
+        space = HypercubeSpace(3)
+        for assumption in (
+            PriorAssumption.PRODUCT,
+            PriorAssumption.LOG_SUPERMODULAR,
+            PriorAssumption.UNRESTRICTED,
+        ):
+            assert explicit_possibilistic_knowledge(space, assumption) is None

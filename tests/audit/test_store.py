@@ -1,0 +1,169 @@
+"""Persistence, versioning and corruption tolerance of the verdict store.
+
+The contract: a bad store is discarded, never a wrong verdict; writes are
+atomic; failures are counted, not raised.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.audit.store import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    StoreStats,
+    VerdictStore,
+    _decode_key,
+    _encode_key,
+)
+from repro.core.verdict import AuditVerdict, Verdict
+from repro.runtime import faults
+
+KEY = ("a" * 32, "b" * 32, "product", 1e-9)
+KEY2 = ("a" * 32, "c" * 32, "product", 1e-9)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def make_store(tmp_path, name="store.json", **kwargs):
+    return VerdictStore(tmp_path / name, **kwargs)
+
+
+class TestRoundTrip:
+    def test_put_flush_reload(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        store.put(KEY2, AuditVerdict.unsafe("optimizer", gap=0.25))
+        assert store.flush()
+
+        reloaded = make_store(tmp_path)
+        assert len(reloaded) == 2
+        assert reloaded.stats.loaded == 2
+        verdict = reloaded.get(KEY)
+        assert verdict is not None and verdict.status is Verdict.SAFE
+        verdict2 = reloaded.get(KEY2)
+        assert verdict2 is not None and verdict2.status is Verdict.UNSAFE
+        assert verdict2.details["gap"] == 0.25
+        assert reloaded.stats.hits == 2
+
+    def test_key_codec_roundtrip(self):
+        assert _decode_key(_encode_key(KEY)) == KEY
+
+    def test_missing_file_is_fresh_not_failure(self, tmp_path):
+        store = make_store(tmp_path)
+        assert len(store) == 0
+        assert store.stats.load_failures == 0
+
+    def test_unknown_verdicts_not_persisted(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.unknown("budget"))
+        store.flush()
+        assert len(store) == 0
+        assert not store.path.exists()  # nothing dirty, nothing written
+
+    def test_witness_and_certificate_dropped(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.unsafe("optimizer", witness=object()))
+        assert store.flush()
+        reloaded = make_store(tmp_path)
+        verdict = reloaded.get(KEY)
+        assert verdict.status is Verdict.UNSAFE
+        assert verdict.witness is None
+
+    def test_get_counts_misses(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.get(KEY) is None
+        assert store.stats.misses == 1
+
+    def test_read_only_never_writes(self, tmp_path):
+        store = make_store(tmp_path, read_only=True)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        assert store.flush()
+        assert not store.path.exists()
+
+
+class TestCorruptionTolerance:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # truncated to nothing
+            "{not json",  # invalid JSON
+            json.dumps([1, 2, 3]),  # not an object
+            json.dumps({"format": "other", "version": STORE_VERSION, "entries": {}}),
+            json.dumps({"format": STORE_FORMAT, "version": 99, "entries": {}}),
+            json.dumps({"format": STORE_FORMAT, "version": STORE_VERSION}),
+        ],
+    )
+    def test_bad_document_discarded_wholesale(self, tmp_path, content):
+        path = tmp_path / "store.json"
+        path.write_text(content)
+        store = VerdictStore(path)
+        assert len(store) == 0
+        assert store.stats.load_failures == 1
+
+    def test_malformed_entries_dropped_individually(self, tmp_path):
+        path = tmp_path / "store.json"
+        good = VerdictStore(path)
+        good.put(KEY, AuditVerdict.safe("cancellation"))
+        good.flush()
+        document = json.loads(path.read_text())
+        document["entries"]["not-a-key"] = {"status": "safe", "method": "x"}
+        document["entries"][_encode_key(KEY2)] = {"status": "bogus", "method": "x"}
+        path.write_text(json.dumps(document))
+
+        store = VerdictStore(path)
+        assert len(store) == 1
+        assert store.stats.dropped_entries == 2
+        assert store.stats.load_failures == 0
+        assert store.get(KEY).status is Verdict.SAFE
+
+    def test_corrupt_store_overwritten_by_next_flush(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("garbage")
+        store = VerdictStore(path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        assert store.flush()
+        assert VerdictStore(path).stats.loaded == 1
+
+
+class TestWriteFailures:
+    def test_injected_write_failure_counted_not_raised(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        with faults.inject({faults.STORE_WRITE: 1.0}):
+            assert store.flush() is False
+        assert store.stats.write_failures == 1
+        assert not store.path.exists()
+        # The entry is still live in memory and flushes once the fault lifts.
+        assert store.flush()
+        assert VerdictStore(store.path).stats.loaded == 1
+
+    def test_failed_write_preserves_previous_generation(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        store.flush()
+        store.put(KEY2, AuditVerdict.unsafe("optimizer"))
+        with faults.inject({faults.STORE_WRITE: 1.0}):
+            assert store.flush() is False
+        assert VerdictStore(store.path).stats.loaded == 1  # old generation intact
+
+
+class TestStats:
+    def test_hit_rate_and_str(self):
+        stats = StoreStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert "3 hits" in str(stats)
+        assert "failures" not in str(stats)
+        assert "failures" in str(StoreStats(load_failures=1))
+
+    def test_as_dict_keys(self):
+        d = StoreStats().as_dict()
+        assert {"hits", "misses", "stored", "loaded", "load_failures"} <= set(d)

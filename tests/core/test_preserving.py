@@ -16,6 +16,8 @@ from repro.core import (
     compose_disclosures_probabilistic,
     is_preserving_possibilistic,
     is_preserving_probabilistic,
+    preserving_cache_clear,
+    preserving_cache_stats,
     safe_possibilistic,
 )
 from tests.conftest import all_subsets
@@ -146,3 +148,83 @@ class TestDisclosureSequence:
         b1 = space.property_set([1, 2, 3])
         results = audit_disclosure_sequence_possibilistic(k, a, [b1])
         assert results[0][1] and results[0][2]
+
+
+class TestPreservingMemo:
+    """The (K-fingerprint, B-mask) memo behind is_preserving_*."""
+
+    def setup_method(self):
+        preserving_cache_clear()
+
+    def teardown_method(self):
+        preserving_cache_clear()
+
+    def test_repeat_checks_hit(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        b = space.property_set([0, 1])
+        first = is_preserving_possibilistic(k, b)
+        stats = preserving_cache_stats()
+        misses = stats.misses
+        assert is_preserving_possibilistic(k, b) is first
+        assert stats.hits >= 1
+        assert stats.misses == misses  # no recomputation
+
+    def test_memo_discriminates_by_knowledge(self):
+        """Two different K over the same space must not share entries."""
+        space = WorldSpace(3)
+        full = PossibilisticKnowledge.full(space)
+        ignorant = PossibilisticKnowledge.product(space.full, [space.full])
+        b = space.property_set([0, 2])
+        assert is_preserving_possibilistic(full, b)
+        assert not is_preserving_possibilistic(ignorant, b)
+        # And again, now from the memo.
+        assert is_preserving_possibilistic(full, b)
+        assert not is_preserving_possibilistic(ignorant, b)
+
+    def test_clear_resets_counters(self):
+        space = WorldSpace(3)
+        k = PossibilisticKnowledge.full(space)
+        is_preserving_possibilistic(k, space.full)
+        preserving_cache_clear()
+        stats = preserving_cache_stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_probabilistic_memoised_too(self):
+        space = WorldSpace(3)
+        k = ProbabilisticKnowledge.product(
+            space.full, [Distribution.uniform(space)]
+        )
+        b = space.property_set([0, 1])
+        first = is_preserving_probabilistic(k, b)
+        hits_before = preserving_cache_stats().hits
+        assert is_preserving_probabilistic(k, b) is first
+        assert preserving_cache_stats().hits == hits_before + 1
+
+
+class TestSequenceFastPath:
+    """audit_disclosure_sequence_possibilistic's Prop 3.10 shortcut."""
+
+    def test_matches_direct_per_step_decisions(self):
+        import random
+
+        rnd = random.Random(13)
+        space = WorldSpace(4)
+        k = PossibilisticKnowledge.full(space)
+        for _ in range(25):
+            a = space.property_set(
+                [w for w in space.worlds() if rnd.random() < 0.4] or [0]
+            )
+            seq = [
+                space.property_set(
+                    [w for w in space.worlds() if rnd.random() < 0.7] or [0]
+                )
+                for _ in range(4)
+            ]
+            results = audit_disclosure_sequence_possibilistic(k, a, seq)
+            cumulative = space.full
+            for disclosed, (cum, step_safe, cum_safe) in zip(seq, results):
+                cumulative = cumulative & disclosed
+                assert cum == cumulative
+                assert step_safe == safe_possibilistic(k, a, disclosed)
+                assert cum_safe == safe_possibilistic(k, a, cumulative)

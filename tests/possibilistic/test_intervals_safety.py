@@ -268,3 +268,63 @@ class TestPossibilisticAuditor:
         assert verdict.is_unsafe
         # The witness class is a region of Ā that B misses entirely.
         assert verdict.witness.isdisjoint(b)
+
+
+class TestIntervalCacheBound:
+    """The LRU bound on the interval memo: eviction costs recomputation only."""
+
+    def _random_queries(self, space, seed, count=400):
+        rnd = random.Random(seed)
+        size = space.size
+        return [
+            (rnd.randrange(size), rnd.randrange(size)) for _ in range(count)
+        ]
+
+    def test_eviction_keeps_intervals_identical(self):
+        space = WorldSpace(5)
+        raw_sets = [[0, 1, 2], [1, 2, 3, 4], [0, 3], [2, 4], [0, 1, 2, 3, 4]]
+        k = closed_knowledge(space, raw_sets)
+        unbounded = ExplicitIntervalIndex(k)
+        tiny = ExplicitIntervalIndex(k, cache_capacity=4)
+        for w1, w2 in self._random_queries(space, seed=21):
+            assert tiny.interval(w1, w2) == unbounded.interval(w1, w2)
+        assert tiny.cache_evictions > 0
+        assert len(tiny._interval_cache) <= tiny.cache_capacity
+        assert unbounded.cache_evictions == 0
+
+    def test_eviction_keeps_verdicts_identical(self):
+        space = WorldSpace(4)
+        family = PowerSetFamily(space)
+        roomy = PossibilisticAuditor.from_family(space.full, family)
+        tight = PossibilisticAuditor(
+            FamilyIntervalOracle(space.full, family, cache_capacity=2)
+        )
+        rnd = random.Random(8)
+        for _ in range(40):
+            a = space.property_set(
+                [w for w in space.worlds() if rnd.random() < 0.5] or [0]
+            )
+            b = space.property_set(
+                [w for w in space.worlds() if rnd.random() < 0.6] or [1]
+            )
+            assert tight.audit(a, b).status == roomy.audit(a, b).status, (a, b)
+        assert tight._oracle.cache_evictions > 0
+
+    def test_cache_stats_and_clear(self):
+        space = WorldSpace(3)
+        oracle = FamilyIntervalOracle(space.full, PowerSetFamily(space))
+        oracle.interval(0, 1)
+        oracle.interval(0, 1)
+        stats = oracle.cache_stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert oracle.cache_stats() is oracle.cache_info()
+        oracle.cache_clear()
+        assert oracle.cache_stats().misses == 0
+        assert oracle.cache_evictions == 0
+
+    def test_capacity_validation(self):
+        space = WorldSpace(3)
+        with pytest.raises(ValueError):
+            FamilyIntervalOracle(
+                space.full, PowerSetFamily(space), cache_capacity=0
+            )

@@ -116,3 +116,50 @@ class TestPreservingFamilies:
         assert is_preserving_possibilistic(k, cube.subcube("1*"))
         non_subcube = cube.property_set(["00", "11"])
         assert not is_preserving_possibilistic(k, non_subcube)
+
+
+class TestLazyMargins:
+    """The per-origin margin memo: filled on demand, counted, verdict-inert."""
+
+    def _index(self, space):
+        k = closed_k(space, [[0, 1, 2], [1, 2, 3], [0, 3], [0, 1, 2, 3]])
+        oracle = ExplicitIntervalIndex(k)
+        audited = space.property_set([0, 1])
+        return SafetyMarginIndex(oracle, audited, require_tight=False)
+
+    def test_construction_computes_nothing(self):
+        index = self._index(WorldSpace(4))
+        assert index.cache_stats().lookups == 0
+
+    def test_first_test_fills_only_touched_origins(self):
+        space = WorldSpace(4)
+        index = self._index(space)
+        # B contains origin 0 but not origin 1: only 0's margin is built.
+        index.test(space.property_set([0, 2, 3]))
+        assert index.cache_stats().misses == 1
+        index.test(space.property_set([0, 2, 3]))
+        assert index.cache_stats().hits >= 1
+        assert index.cache_stats().misses == 1
+
+    def test_lazy_margins_match_eager_walk(self):
+        """Every origin queried directly agrees with what test() uses."""
+        space = WorldSpace(4)
+        index = self._index(space)
+        lazy = {w: frozenset(index.margin(w)) for w in [0, 1]}
+        fresh = self._index(space)
+        for b in all_subsets(space):
+            expected = all(
+                lazy[w] <= set(b) for w in [0, 1] if w in b
+            )
+            assert fresh.test(b) == expected, b
+
+    def test_margin_outside_candidates_is_empty_without_compute(self):
+        space = WorldSpace(4)
+        k = closed_k(space, [[0, 1, 2]])
+        oracle = ExplicitIntervalIndex(k)
+        audited = space.property_set([0, 3])  # 3 ∉ π₁(K)... unless it is
+        index = SafetyMarginIndex(oracle, audited, require_tight=False)
+        lookups = index.cache_stats().lookups
+        if 3 not in oracle.candidate_worlds():
+            assert not index.margin(3)
+            assert index.cache_stats().lookups == lookups

@@ -358,3 +358,52 @@ class TestProvenance:
         monkeypatch.delenv(faults.ENV_PLAN)
         assert faults.active() is None
         assert not faults.fire(faults.SOLVER_TIMEOUT)
+
+
+class TestStoreWrite:
+    """The store-write fault site: a failed flush degrades to recomputation."""
+
+    def test_failed_flush_verdict_identical_and_counted(
+        self, registry, mixed_log, tmp_path
+    ):
+        from repro.audit import VerdictStore
+
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        store = VerdictStore(tmp_path / "store.json")
+        engine = BatchAuditEngine(registry, policy, n_workers=1, store=store)
+        with faults.inject("store-write:1", seed=ENV_SEED):
+            report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        assert store.stats.write_failures >= 1
+        assert report.runtime_stats.store_failures >= 1
+        assert not store.path.exists()  # nothing partial on disk
+
+    def test_next_clean_flush_recovers(self, registry, mixed_log, tmp_path):
+        from repro.audit import VerdictStore
+
+        policy = make_policy()
+        store = VerdictStore(tmp_path / "store.json")
+        engine = BatchAuditEngine(registry, policy, n_workers=1, store=store)
+        with faults.inject("store-write:1:1", seed=ENV_SEED):
+            engine.audit_log(mixed_log)
+        assert store.stats.write_failures == 1
+        # Fault budget spent: the same engine's next audit flushes cleanly
+        # and the next process inherits every verdict.
+        engine.audit_log(mixed_log)
+        assert store.path.exists()
+        reloaded = VerdictStore(tmp_path / "store.json")
+        assert reloaded.stats.loaded == store.stats.stored
+
+    def test_incremental_chaos_run_stays_equivalent(
+        self, registry, mixed_log, tmp_path
+    ):
+        from repro.audit import OfflineAuditor, VerdictStore
+
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor = OfflineAuditor(registry, policy)
+        with faults.inject("store-write:0.5", seed=ENV_SEED):
+            report = auditor.audit_log_incremental(mixed_log, store=store)
+        assert statuses(report) == reference
