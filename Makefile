@@ -7,7 +7,8 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # Seeded chaos matrix: the fault-injection suite replayed under several
-# fault schedules.  Verdicts must stay identical at every seed.
+# fault schedules (including the store-write and store-sql-write sites).
+# Verdicts must stay identical at every seed.
 chaos-smoke:
 	for seed in 0 1 2; do \
 		echo "== chaos seed $$seed =="; \
@@ -17,7 +18,7 @@ chaos-smoke:
 bench:
 	$(PYTHON) -m repro.perf.bench
 
-# Down-scaled E14–E18 sanity run for CI: tiny workloads, throwaway output.
+# Down-scaled E14–E19 sanity run for CI: tiny workloads, throwaway output.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --smoke --output BENCH_smoke.json
 

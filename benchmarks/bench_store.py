@@ -1,0 +1,63 @@
+"""E19 — verdict-store backends: warm batched probe and concurrent writers.
+
+A tier-2 run of the E19 measurement from :mod:`repro.perf.bench`: a
+production-shaped ``(key, verdict)`` workload is written through both
+persistent-store backends, then each answers the engine's one batched
+``probe_many`` from a fresh store object (open cost inside the clock —
+the cold-process-resumes scenario).  The sharded SQLite backend must beat
+the wholesale-parsing JSON reference; the acceptance bound is ≥3x at the
+full 100k-pair size, asserted here with slack for the smoke workload and
+recorded at full size in ``BENCH_audit_pipeline.json`` via ``make bench``.
+The concurrency soak — 4 forked writers appending disjoint slices, one
+reader seeing the union with zero load failures — is asserted outright.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+from repro.perf.bench import run_store_bench
+
+#: The warm-probe advantage grows with store size (the JSON backend's open
+#: is O(store)); the smoke workload is small enough that fixed costs eat
+#: the ratio, so the asserted floor only requires parity-or-better here.
+SPEEDUP_FLOOR = 1.0
+
+SMOKE_PAIRS = 30_000
+
+
+def test_store_backends_smoke():
+    document = run_store_bench(n_pairs=SMOKE_PAIRS, repeats=3, n_writers=4, seed=7)
+
+    assert document["speedup_sqlite_vs_json"] >= SPEEDUP_FLOOR
+    for soak in document["concurrent_soak"]:
+        assert soak["union_complete"]
+        assert soak["load_failures"] == 0
+    # The sqlite probe is lazy: nothing is ever loaded wholesale.
+    assert document["sqlite"]["store"]["loaded"] == 0
+    assert document["sqlite"]["store"]["probes"] == 1
+
+    workload = document["workload"]
+    lines = [
+        f"pairs={workload['pairs']}  repeats={workload['repeats']}  "
+        f"soak={workload['soak_writers']}x{workload['soak_pairs_per_writer']}",
+    ]
+    for backend in ("json", "sqlite"):
+        row = document[backend]
+        lines.append(
+            f"{backend:8s} write {row['write_seconds']*1e3:8.1f} ms   "
+            f"warm probe {row['warm_probe_seconds']*1e3:8.1f} ms  "
+            f"({row['warm_probes_per_sec']:9.0f} keys/s)"
+        )
+    lines.append(
+        f"warm-probe speedup sqlite vs json: "
+        f"{document['speedup_sqlite_vs_json']}x "
+        f"(acceptance bound ≥{document['warm_probe_target']}x at 100k pairs, "
+        f"asserted ≥{SPEEDUP_FLOOR:.0f}x here)"
+    )
+    for soak in document["concurrent_soak"]:
+        lines.append(
+            f"soak [{soak['backend']}]: {soak['writers']} writers x "
+            f"{soak['pairs_per_writer']} pairs in {soak['seconds']*1e3:.1f} ms "
+            f"→ union complete, 0 load failures"
+        )
+    report_table("E19: verdict-store backends (warm probe + soak)", lines)

@@ -22,7 +22,7 @@ import sys
 
 from .audit.offline import OfflineAuditor
 from .audit.report import render_report
-from .audit.store import VerdictStore
+from .audit.store_sql import STORE_BACKENDS, open_verdict_store
 from .db.sql import parse_boolean_query
 from .io import example_scenario_document, load_scenario
 
@@ -31,7 +31,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     scenario = load_scenario(args.scenario)
     auditor = OfflineAuditor(scenario.universe, scenario.policy)
     if args.incremental:
-        store = VerdictStore(args.store) if args.store else None
+        store = (
+            open_verdict_store(args.store, backend=args.store_backend)
+            if args.store
+            else None
+        )
         report = auditor.audit_log_incremental(
             scenario.log, since=args.since, store=store
         )
@@ -40,9 +44,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         return 2
     else:
         report = auditor.audit_log(scenario.log)
+    # StoreStats (hits/misses/stored/load failures) render inside the
+    # report footer — see render_report — so nothing is swallowed here.
     print(render_report(report))
-    if report.store_stats is not None:
-        print(f"verdict store: {report.store_stats}")
     return 1 if report.suspicious_users else 0
 
 
@@ -100,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persistent verdict store (implies reuse across runs; "
         "requires --incremental)",
+    )
+    audit.add_argument(
+        "--store-backend",
+        choices=STORE_BACKENDS,
+        default="json",
+        help="verdict-store backend: 'json' (single human-readable file) or "
+        "'sqlite' (sharded WAL directory for concurrent writers); "
+        "with 'sqlite' the --store PATH names a directory",
     )
     audit.add_argument(
         "--since",

@@ -30,7 +30,8 @@ from .online import (
 )
 from .policy import AuditPolicy, PriorAssumption
 from .report import render_report
-from .store import StoreStats, VerdictStore
+from .store import StoreStats, VerdictStore, VerdictStoreBase
+from .store_sql import STORE_BACKENDS, SqliteVerdictStore, open_verdict_store
 
 __all__ = [
     "AlwaysDenyStrategy",
@@ -50,15 +51,19 @@ __all__ = [
     "ObserverBelief",
     "OfflineAuditor",
     "PriorAssumption",
+    "STORE_BACKENDS",
     "SimulationResult",
     "SimulationStep",
+    "SqliteVerdictStore",
     "StoreStats",
     "TruthfulDenialStrategy",
     "UserCompositionState",
     "VerdictCache",
     "VerdictStore",
+    "VerdictStoreBase",
     "explicit_possibilistic_knowledge",
     "make_decider",
+    "open_verdict_store",
     "render_report",
     "simulate",
     "simulate_bayesian",

@@ -78,7 +78,7 @@ from ..runtime.retry import RetryPolicy
 from .log import DisclosureLog
 from .offline import AuditReport, EventFinding, make_decider
 from .policy import AuditPolicy, PriorAssumption
-from .store import VerdictStore
+from .store import VerdictStoreBase
 
 __all__ = [
     "BatchAuditEngine",
@@ -457,12 +457,15 @@ class BatchAuditEngine:
         The :class:`~repro.runtime.RetryPolicy` for pool resubmission; a
         default seeded policy is created when omitted.
     store:
-        An optional persistent :class:`~repro.audit.store.VerdictStore`.
-        When attached, cache misses probe the store before any decision is
-        scheduled — warm pairs are pruned from the batch before pool
-        dispatch — and freshly decided verdicts are written back and
-        flushed once per ``audit_log`` call.  Store failures (corrupt
-        loads, failed flushes) degrade to recomputation and are counted as
+        An optional persistent verdict store (any
+        :class:`~repro.audit.store.VerdictStoreBase` backend — the JSON
+        reference store or the sharded SQLite one).  When attached, cache
+        misses are resolved through **one** batched
+        :meth:`~repro.audit.store.VerdictStoreBase.probe_many` round trip
+        per ``audit_log`` call — warm pairs are pruned from the batch
+        before pool dispatch — and freshly decided verdicts are written
+        back and flushed once per call.  Store failures (corrupt loads,
+        failed flushes) degrade to recomputation and are counted as
         ``store_failures`` on ``runtime_stats``; they never raise.
     chunk_size:
         Tasks per pool future.  ``None`` (default) adapts: start at
@@ -491,7 +494,7 @@ class BatchAuditEngine:
         breaker: Optional[CircuitBreaker] = None,
         retry: Optional[RetryPolicy] = None,
         chunk_size: Optional[int] = None,
-        store: Optional[VerdictStore] = None,
+        store: Optional[VerdictStoreBase] = None,
     ) -> None:
         self._universe = universe
         self._policy = policy
@@ -625,28 +628,31 @@ class BatchAuditEngine:
         disclosed_sets = self.compile_log(log)
         assumption = self._policy.assumption
 
-        # Probe the cache (then the persistent store) per event; schedule
-        # each genuinely cold pair exactly once — store-warm pairs are
-        # pruned here, before any pool dispatch cost is paid.
+        # Probe the in-memory cache per event, then resolve every cache
+        # miss against the persistent store in ONE batched round trip —
+        # the store answers "what do we already know about this batch?"
+        # at a cost priced by the batch, not per pair.  Store-warm pairs
+        # are pruned here, before any pool dispatch cost is paid.
         keys: List[CacheKey] = []
-        pending: Dict[CacheKey, DecisionTask] = {}
-        store_outcomes: Dict[CacheKey, DecisionOutcome] = {}
+        cold: Dict[CacheKey, PropertySet] = {}
         for disclosed in disclosed_sets:
             key = VerdictCache.key(self._audited, disclosed, assumption, self._atol)
             keys.append(key)
-            if self._cache.contains(key) or key in pending:
+            if self._cache.contains(key) or key in cold:
                 self._cache.hits += 1
                 continue
             self._cache.misses += 1
-            if self.store is not None:
-                stored = self.store.get(key)
-                if stored is not None:
-                    self._cache.put(key, stored)
-                    store_outcomes[key] = DecisionOutcome(
-                        verdict=stored, stages=("verdict-store",)
-                    )
-                    continue
-            pending[key] = DecisionTask(
+            cold[key] = disclosed
+        store_outcomes: Dict[CacheKey, DecisionOutcome] = {}
+        if self.store is not None and cold:
+            for key, stored in self.store.probe_many(list(cold)).items():
+                self._cache.put(key, stored)
+                store_outcomes[key] = DecisionOutcome(
+                    verdict=stored, stages=("verdict-store",)
+                )
+                del cold[key]
+        pending: Dict[CacheKey, DecisionTask] = {
+            key: DecisionTask(
                 assumption_value=assumption.value,
                 atol=self._atol,
                 audited=self._audited,
@@ -655,6 +661,8 @@ class BatchAuditEngine:
                 budget_seconds=self.decision_budget,
                 use_sos=self.use_sos,
             )
+            for key, disclosed in cold.items()
+        }
 
         outcomes: Dict[CacheKey, DecisionOutcome] = dict(store_outcomes)
         for key, outcome in zip(pending, self._decide_batch(list(pending.values()))):

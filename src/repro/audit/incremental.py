@@ -12,10 +12,12 @@ Two reuse layers stack:
 
 1. **Across calls in one process** — per-event verdicts come from the
    engine's verdict cache; only genuinely new events reach a pipeline.
-2. **Across processes** — an attached
-   :class:`~repro.audit.store.VerdictStore` replays previous runs'
-   decisions from disk, so a cold process re-auditing an append-mostly
-   log only decides the appended tail.
+2. **Across processes** — an attached persistent verdict store (the JSON
+   :class:`~repro.audit.store.VerdictStore` or the sharded SQLite
+   :class:`~repro.audit.store_sql.SqliteVerdictStore`) replays previous
+   runs' decisions from disk — one batched probe per audit — so a cold
+   process re-auditing an append-mostly log only decides the appended
+   tail.
 
 The fast path is the paper's Proposition 3.10.  Write ``C_t`` for a
 user's cumulative disclosed set after ``t`` events.  ``C_0 = Ω`` is
@@ -53,7 +55,7 @@ from ..possibilistic.families import SubcubeFamily
 from .log import DisclosureEvent, DisclosureLog
 from .offline import AuditReport, EventFinding
 from .policy import AuditPolicy, PriorAssumption
-from .store import VerdictStore
+from .store import VerdictStoreBase
 
 __all__ = [
     "IncrementalAuditor",
@@ -147,7 +149,8 @@ class IncrementalAuditor:
 
     Parameters mirror :class:`~repro.audit.engine.BatchAuditEngine` (which
     does the per-event deciding); ``store`` attaches a persistent
-    :class:`~repro.audit.store.VerdictStore` so reuse survives the process,
+    verdict store (any :class:`~repro.audit.store.VerdictStoreBase`
+    backend) so reuse survives the process,
     and ``fast_path`` gates the Proposition 3.10 composition shortcut for
     cumulative verdicts (never per-event ones — those are always engine
     decisions, cache/store-served when warm).
@@ -163,7 +166,7 @@ class IncrementalAuditor:
         self,
         universe: CandidateUniverse,
         policy: AuditPolicy,
-        store: Optional[VerdictStore] = None,
+        store: Optional[VerdictStoreBase] = None,
         n_workers: int = 1,
         fast_path: bool = True,
         decision_budget: Optional[float] = None,
@@ -194,7 +197,7 @@ class IncrementalAuditor:
         return self._engine
 
     @property
-    def store(self) -> Optional[VerdictStore]:
+    def store(self) -> Optional[VerdictStoreBase]:
         return self._engine.store
 
     @property

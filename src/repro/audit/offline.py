@@ -36,7 +36,7 @@ from ..probabilistic.auditor import (
 from ..runtime.outcome import DecisionOutcome, RuntimeStats
 from .log import DisclosureEvent, DisclosureLog
 from .policy import AuditPolicy, PriorAssumption
-from .store import StoreStats, VerdictStore
+from .store import StoreStats, VerdictStoreBase
 
 
 def make_decider(
@@ -286,7 +286,7 @@ class OfflineAuditor:
         self,
         log: DisclosureLog,
         since: Optional[int] = None,
-        store: Optional[VerdictStore] = None,
+        store: Optional[VerdictStoreBase] = None,
         n_workers: int = 1,
         fast_path: bool = True,
         decision_budget: Optional[float] = None,

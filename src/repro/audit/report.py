@@ -32,6 +32,11 @@ def render_report(report: AuditReport, width: int = 78) -> str:
     lines.append(f"events: {len(report.findings)}  {summary}")
     if report.cache_stats is not None and report.cache_stats.lookups:
         lines.append(f"verdict cache: {report.cache_stats}")
+    store = report.store_stats
+    if store is not None and (
+        store.lookups or store.stored or store.loaded or store.load_failures
+    ):
+        lines.append(f"verdict store: {store}")
     if report.runtime_stats is not None and report.runtime_stats.any_degradation:
         lines.append(f"runtime degradation: {report.runtime_stats}")
         for finding in report.degraded_findings:

@@ -3,13 +3,24 @@
 The in-memory :class:`~repro.audit.engine.VerdictCache` already collapses
 duplicate decisions *within* a process, but a nightly re-audit of a log
 that grew by 2% still paid 100% of the engine cost because the cache died
-with the process.  The :class:`VerdictStore` persists decided verdicts on
-disk, keyed by the same content fingerprints the cache uses — policy ⊗
+with the process.  A verdict store persists decided verdicts on disk,
+keyed by the same content fingerprints the cache uses — policy ⊗
 universe ⊗ disclosed-mask (the audited set's digest pins both the compiled
 policy query and the universe's world space) — so successive runs over an
 append-mostly log only decide what is genuinely new.
 
-Design constraints, in order:
+Two backends implement the :class:`VerdictStoreBase` contract:
+
+* :class:`VerdictStore` (this module) — one JSON document loaded wholesale
+  at open time.  Simple, greppable, and the small-scale reference backend:
+  every other backend is asserted verdict-identical against it.
+* :class:`~repro.audit.store_sql.SqliteVerdictStore` — sharded SQLite in
+  WAL mode, built for production traffic: lazy opens, one batched
+  ``probe_many`` round trip per audit, safe concurrent multi-process
+  writers.  Select with ``--store-backend sqlite`` on the CLI or
+  :func:`~repro.audit.store_sql.open_verdict_store`.
+
+Design constraints, in order (both backends):
 
 1. **A bad store is discarded, never a wrong verdict.**  Loads tolerate
    every corruption mode — truncated files, invalid JSON, wrong format
@@ -20,10 +31,16 @@ Design constraints, in order:
    ``os.replace``s it into place, so a crash mid-write leaves the previous
    generation intact.  A failed write (counted, surfaced as
    ``store_failures`` on :class:`~repro.runtime.RuntimeStats`) degrades to
-   recomputation on the next run — it cannot corrupt anything.
+   recomputation on the next run — it cannot corrupt anything.  Flushes
+   with nothing new to say are skipped outright (``skipped_flushes``).
 3. **Versioned format.**  ``format``/``version`` headers gate the loader;
    bumping :data:`STORE_VERSION` retires old stores wholesale rather than
    risking a misread.
+4. **Concurrent writers merge, they don't clobber.**  A flush re-reads the
+   on-disk generation under an advisory lock and merges it beneath this
+   process's entries, so several processes appending disjoint verdicts
+   converge on the union (the sharded SQLite backend gets the same
+   guarantee from WAL + per-shard transactions).
 
 Stored verdicts keep their status, deciding method, and JSON-safe details;
 witness/certificate objects (priors, property sets, SOS decompositions) are
@@ -36,17 +53,30 @@ be free to turn them into real decisions.
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import pathlib
 import tempfile
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, Union
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.verdict import AuditVerdict, Verdict
 from ..runtime import faults
 
-__all__ = ["StoreStats", "VerdictStore", "STORE_FORMAT", "STORE_VERSION"]
+try:  # advisory flush locking (POSIX; flushes stay merge-safe without it)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "StoreStats",
+    "VerdictStore",
+    "VerdictStoreBase",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+]
 
 #: Format marker of the on-disk document; anything else is not ours.
 STORE_FORMAT = "repro-verdict-store"
@@ -80,6 +110,10 @@ class StoreStats:
     load_failures: int = 0  # corrupt/incompatible stores discarded
     write_failures: int = 0  # flushes that failed (degraded to recompute)
     dropped_entries: int = 0  # individually malformed records skipped
+    probes: int = 0  # probe_many round trips issued
+    flushes: int = 0  # flushes that actually wrote a generation
+    skipped_flushes: int = 0  # clean flushes skipped (nothing new since last)
+    compactions: int = 0  # sharded backends: superseded history rewrites
 
     @property
     def lookups(self) -> int:
@@ -99,6 +133,10 @@ class StoreStats:
             "load_failures": self.load_failures,
             "write_failures": self.write_failures,
             "dropped_entries": self.dropped_entries,
+            "probes": self.probes,
+            "flushes": self.flushes,
+            "skipped_flushes": self.skipped_flushes,
+            "compactions": self.compactions,
         }
 
     def __str__(self) -> str:
@@ -108,12 +146,62 @@ class StoreStats:
                 f", {self.load_failures} load / "
                 f"{self.write_failures} write failures"
             )
-        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%}){tail}"
+        return (
+            f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.1%}), "
+            f"{self.stored} stored / {self.loaded} loaded{tail}"
+        )
+
+
+#: atol values in flight at any moment are a handful (one per policy), so
+#: their canonical reprs are memoised off the encode hot path.
+_ATOL_REPRS: Dict[float, str] = {}
 
 
 def _encode_key(key: StoreKey) -> str:
     audited, disclosed, assumption, atol = key
-    return _KEY_SEP.join((audited, disclosed, assumption, repr(float(atol))))
+    atol_text = _ATOL_REPRS.get(atol)
+    if atol_text is None:
+        if len(_ATOL_REPRS) > 64:
+            _ATOL_REPRS.clear()
+        atol_text = _ATOL_REPRS[atol] = repr(float(atol))
+    return _KEY_SEP.join((audited, disclosed, assumption, atol_text))
+
+
+def _encode_keys(keys: List[StoreKey]) -> List[str]:
+    """Encode a batch of keys with the per-call overhead hoisted out.
+
+    Semantically ``[_encode_key(k) for k in keys]``; on the batched probe
+    path the function-call and memo-lookup costs per key are what an
+    80k-key probe actually pays, so the loop keeps everything local.
+    """
+    atol_reprs = _ATOL_REPRS
+    join = _KEY_SEP.join
+    out: List[str] = []
+    append = out.append
+    for audited, disclosed, assumption, atol in keys:
+        atol_text = atol_reprs.get(atol)
+        if atol_text is None:
+            if len(atol_reprs) > 64:
+                atol_reprs.clear()
+            atol_text = atol_reprs[atol] = repr(float(atol))
+        append(join((audited, disclosed, assumption, atol_text)))
+    return out
+
+
+def _encode_key_map(keys: List[StoreKey]) -> Dict[str, StoreKey]:
+    """``{encoded: key}`` for a batch, built in one pass (no list detour)."""
+    atol_reprs = _ATOL_REPRS
+    join = _KEY_SEP.join
+    out: Dict[str, StoreKey] = {}
+    for key in keys:
+        audited, disclosed, assumption, atol = key
+        atol_text = atol_reprs.get(atol)
+        if atol_text is None:
+            if len(atol_reprs) > 64:
+                atol_reprs.clear()
+            atol_text = atol_reprs[atol] = repr(float(atol))
+        out[join((audited, disclosed, assumption, atol_text))] = key
+    return out
 
 
 def _decode_key(text: str) -> StoreKey:
@@ -157,7 +245,68 @@ def _decode_verdict(record: Any) -> AuditVerdict:
     return AuditVerdict(status=status, method=method, details=dict(details))
 
 
-class VerdictStore:
+class VerdictStoreBase(abc.ABC):
+    """The contract every verdict-store backend honours.
+
+    The engine talks to stores exclusively through this interface:
+    :meth:`probe_many` once per audit (the single batched round trip),
+    :meth:`put` per freshly decided verdict, :meth:`flush` once per
+    ``audit_log``/streaming call.  Shared semantics, asserted by the
+    cross-backend equivalence suite:
+
+    * UNKNOWN verdicts are never persisted;
+    * corrupt state is discarded and counted (``load_failures`` /
+      ``dropped_entries`` on :attr:`stats`), never surfaced as a verdict;
+    * a failed flush is counted (``write_failures``) and degrades to
+      recomputation — no store method ever raises into the audit path.
+
+    ``failures_reported`` is bookkeeping for engines mirroring new
+    failures onto :class:`~repro.runtime.RuntimeStats` (shared stores —
+    ablation siblings — must not double-count).
+    """
+
+    stats: StoreStats
+    failures_reported: int
+    read_only: bool
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of distinct keys currently visible (persisted + pending)."""
+
+    @abc.abstractmethod
+    def get(self, key: StoreKey) -> Optional[AuditVerdict]:
+        """The stored verdict for one key, counting the hit/miss."""
+
+    @abc.abstractmethod
+    def probe_many(
+        self, keys: Iterable[StoreKey]
+    ) -> Dict[StoreKey, AuditVerdict]:
+        """All known verdicts among ``keys`` in one store round trip.
+
+        Counts one ``probes`` tick plus a hit/miss per key; absent keys are
+        simply missing from the result (never ``None`` values).
+        """
+
+    @abc.abstractmethod
+    def put(self, key: StoreKey, verdict: AuditVerdict) -> None:
+        """Record a decided verdict (UNKNOWNs are dropped, never persisted)."""
+
+    @abc.abstractmethod
+    def flush(self) -> bool:
+        """Persist pending verdicts; ``False`` on (counted) failure."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop all entries (takes effect on disk at the next flush)."""
+
+    def __contains__(self, key: StoreKey) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any OS resources (connections); further use may reopen."""
+
+
+class VerdictStore(VerdictStoreBase):
     """A persistent, versioned, corruption-tolerant verdict table.
 
     Parameters
@@ -186,6 +335,9 @@ class VerdictStore:
         self.failures_reported = 0
         self._entries: Dict[StoreKey, AuditVerdict] = {}
         self._dirty = False
+        #: ``clear()`` was called since the last flush: the next flush must
+        #: overwrite the on-disk generation instead of merging beneath it.
+        self._cleared = False
         self._load()
 
     @property
@@ -232,37 +384,98 @@ class VerdictStore:
             self._entries[key] = verdict
         self.stats.loaded = len(self._entries)
 
+    def _merge_from_disk(self, entries: Dict[str, Any]) -> None:
+        """Fold the latest on-disk generation beneath ``entries`` (in place).
+
+        Called under the flush lock so concurrent writers converge on the
+        union of their disjoint appends instead of the last flush winning.
+        This process's entries take precedence on key collisions; disk
+        records that fail revalidation are silently left behind (the next
+        load would only drop them anyway).
+        """
+        try:
+            document = json.loads(self._path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != STORE_FORMAT
+            or document.get("version") != STORE_VERSION
+            or not isinstance(document.get("entries"), dict)
+        ):
+            return
+        for text, record in document["entries"].items():
+            if text in entries:
+                continue
+            try:
+                _decode_key(text)
+                _decode_verdict(record)
+            except (KeyError, TypeError, ValueError):
+                continue
+            entries[text] = record
+
+    @contextmanager
+    def _flush_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over the read-merge-replace cycle.
+
+        A sidecar ``.lock`` file is flocked (the store file itself changes
+        inode on every ``os.replace``).  Without :mod:`fcntl` the flush
+        proceeds unlocked — still atomic, merely racy under concurrency.
+        """
+        if fcntl is None:
+            yield
+            return
+        fd = os.open(str(self._path) + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
+
     def flush(self) -> bool:
         """Atomically persist the current entries; ``False`` on failure.
 
-        Serialise to a temp file in the store's directory, then
-        ``os.replace`` — readers never observe a partial document and a
-        crash preserves the previous generation.  Every failure mode
-        (including the injected ``store-write`` chaos fault) is swallowed
-        and counted: a store that cannot write degrades to recomputation
-        on the next run, it never takes the audit down with it.
+        Under an advisory lock, merge the latest on-disk generation beneath
+        this process's entries, serialise to a temp file in the store's
+        directory, then ``os.replace`` — readers never observe a partial
+        document, a crash preserves the previous generation, and concurrent
+        writers keep each other's appends.  A flush with nothing new since
+        the last one skips the whole cycle (counted as a
+        ``skipped_flush``).  Every failure mode (including the injected
+        ``store-write`` chaos fault) is swallowed and counted: a store that
+        cannot write degrades to recomputation on the next run, it never
+        takes the audit down with it.
         """
-        if self.read_only or not self._dirty:
+        if self.read_only:
             return True
-        document = {
-            "format": STORE_FORMAT,
-            "version": STORE_VERSION,
-            "entries": {
-                _encode_key(key): _encode_verdict(verdict)
-                for key, verdict in self._entries.items()
-            },
+        if not self._dirty:
+            self.stats.skipped_flushes += 1
+            return True
+        entries = {
+            _encode_key(key): _encode_verdict(verdict)
+            for key, verdict in self._entries.items()
         }
         tmp_path: Optional[str] = None
         try:
             if faults.fire(faults.STORE_WRITE):
                 raise OSError("injected store-write failure (chaos harness)")
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=self._path.name + ".", suffix=".tmp", dir=self._path.parent
-            )
-            with os.fdopen(fd, "w") as handle:
-                json.dump(document, handle, separators=(",", ":"))
-            os.replace(tmp_path, self._path)
-            tmp_path = None
+            with self._flush_lock():
+                if not self._cleared:
+                    self._merge_from_disk(entries)
+                document = {
+                    "format": STORE_FORMAT,
+                    "version": STORE_VERSION,
+                    "entries": entries,
+                }
+                fd, tmp_path = tempfile.mkstemp(
+                    prefix=self._path.name + ".",
+                    suffix=".tmp",
+                    dir=self._path.parent,
+                )
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle, separators=(",", ":"))
+                os.replace(tmp_path, self._path)
+                tmp_path = None
         except (OSError, TypeError, ValueError):
             self.stats.write_failures += 1
             return False
@@ -273,6 +486,8 @@ class VerdictStore:
                 except OSError:
                     pass
         self._dirty = False
+        self._cleared = False
+        self.stats.flushes += 1
         return True
 
     # -- lookup --------------------------------------------------------------------
@@ -285,6 +500,26 @@ class VerdictStore:
         else:
             self.stats.hits += 1
         return verdict
+
+    def probe_many(
+        self, keys: Iterable[StoreKey]
+    ) -> Dict[StoreKey, AuditVerdict]:
+        """All known verdicts among ``keys``; one counted probe round trip.
+
+        The JSON backend holds everything in memory, so this is a dict
+        sweep — the method exists so callers are written against the one
+        bulk API every backend serves (see :class:`VerdictStoreBase`).
+        """
+        self.stats.probes += 1
+        found: Dict[StoreKey, AuditVerdict] = {}
+        for key in keys:
+            verdict = self._entries.get(key)
+            if verdict is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+                found[key] = verdict
+        return found
 
     def put(self, key: StoreKey, verdict: AuditVerdict) -> None:
         """Record a decided verdict (UNKNOWNs are not persisted — see module docs)."""
@@ -300,4 +535,5 @@ class VerdictStore:
         """Drop all entries (memory only until the next :meth:`flush`)."""
         if self._entries:
             self._dirty = True
+        self._cleared = True
         self._entries.clear()

@@ -1,0 +1,852 @@
+"""Sharded SQLite-WAL verdict store: the production-traffic backend.
+
+The JSON :class:`~repro.audit.store.VerdictStore` is the small-scale
+reference: one document, loaded wholesale, probed pair-by-pair.  That
+shape collapses under the north-star workload — millions of users means
+millions of persisted verdicts, and an auditor that re-parses all of them
+to answer "what do we already know about this batch?" pays O(store) per
+audit.  Treating persisted verdicts as the auditor's resource-bounded
+knowledge (Halpern–Pucella's *algorithmic knowledge*: you know what your
+budget lets you look up), the store must answer a batch probe in one
+round trip priced by the *batch*, not by the store.
+
+:class:`SqliteVerdictStore` keeps the same key space and the same
+semantics behind the :class:`~repro.audit.store.VerdictStoreBase`
+contract, with a different on-disk shape:
+
+* **Sharded layout.**  A store is a *directory* of ``shard-NN.sqlite``
+  files; each key lives in exactly one shard, picked by a stable hash of
+  its encoded form (crc32 — cross-process, cross-version deterministic).
+  Within one audit policy the audited digest is constant, so the hash is
+  effectively a partition of the disclosed-set fingerprint space: one
+  user's (or one tenant's) hot keys spread uniformly, and concurrent
+  writers mostly land on different shard files.  ``layout.json`` pins the
+  shard count so every process agrees on the partition.
+* **WAL + busy-timeout + retry.**  Every shard runs in write-ahead-log
+  mode with a generous busy timeout; commits are retried with a short
+  fixed backoff on lock contention.  Multiple processes may append
+  concurrently — WAL serialises writers per shard without blocking
+  readers, and a crash mid-commit rolls back to the last committed
+  generation (the journal is the atomicity story; no temp files needed).
+* **Append-only writes + periodic compaction.**  ``put`` buffers in
+  memory; ``flush`` appends one row per verdict in a single transaction
+  per shard (latest row wins on re-reads).  When a shard accumulates
+  enough superseded rows, flush compacts it — deletes everything but each
+  key's newest row — so re-decided verdicts cannot grow the file without
+  bound.  Compaction only ever removes superseded history; it can never
+  change what a probe returns.
+* **One batched probe.**  :meth:`probe_many` groups the requested keys by
+  shard and answers each shard with chunked ``SELECT … WHERE key IN``
+  statements over a covering index.  Cost scales with
+  the probe batch, not the store: opening is lazy (no wholesale load —
+  ``stats.loaded`` stays 0 by design) and unprobed shards are never
+  touched.  When one probe requests most of a shard (the warm re-audit
+  shape), the shard switches to an aggregated scan: rows are grouped
+  server-side by identical verdict text over an expression index, so a
+  handful of ``(verdict, concatenated keys)`` rows cross the SQL
+  boundary instead of one row per key.
+
+Corruption tolerance mirrors the JSON backend: a shard that fails
+SQLite's own integrity checks, carries the wrong format/version marker,
+or cannot be opened is discarded wholesale (counted as a
+``load_failure``; a writable store recreates it empty), and individually
+malformed rows are skipped and counted as ``dropped_entries``.  UNKNOWN
+verdicts are never persisted.  The generic ``store-write`` chaos site
+still guards the whole flush, and the SQLite-specific ``store-sql-write``
+site injects per-shard commit failures — a failed shard keeps its pending
+verdicts in memory for the next flush, degrading to recomputation, never
+corrupting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.verdict import AuditVerdict
+from ..runtime import faults
+from .store import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    StoreKey,
+    StoreStats,
+    VerdictStore,
+    VerdictStoreBase,
+    _decode_verdict,
+    _encode_key,
+    _encode_key_map,
+    _encode_keys,
+    _encode_verdict,
+)
+
+__all__ = [
+    "SqliteVerdictStore",
+    "open_verdict_store",
+    "DEFAULT_SHARDS",
+    "STORE_BACKENDS",
+]
+
+#: Default shard count: enough to spread 4–8 concurrent writers across
+#: mostly-distinct files without scattering a small store over many inodes.
+DEFAULT_SHARDS = 8
+
+#: Backend names accepted by :func:`open_verdict_store` / ``--store-backend``.
+STORE_BACKENDS = ("json", "sqlite")
+
+#: Keys per ``IN (…)`` chunk — comfortably under SQLite's historical
+#: 999-variable limit while keeping the per-statement overhead amortised.
+_PROBE_CHUNK = 500
+
+#: Commit retry schedule on lock contention (seconds); the per-connection
+#: busy timeout already absorbs ordinary contention, so these only fire
+#: when a writer holds a shard for longer than that.
+_RETRY_DELAYS = (0.05, 0.1, 0.2)
+
+#: Per-connection busy timeout (milliseconds).
+_BUSY_TIMEOUT_MS = 5000
+
+#: A shard is compacted when its dead (superseded) rows both outnumber the
+#: live keys and clear this floor — tiny shards are never worth a rewrite.
+_COMPACT_MIN_DEAD = 256
+
+#: The row cache (decoded verdicts shared across identical rows) is
+#: bounded at this many distinct ``status/method/details`` shapes.
+_ROW_CACHE_MAX = 8192
+
+#: Column separator for the probe path's server-side row concatenation
+#: (``status || sep || method || sep || details`` — one string per row
+#: instead of a tuple).  The unit separator can never appear raw in the
+#: details column: it is stored as ``json.dumps`` output, which escapes
+#: control characters, so splitting the last field from the right is
+#: unambiguous.
+_ROW_SEP = "\x1f"
+
+#: Key separator for the aggregated scan path's ``group_concat`` (the
+#: record separator, one control char up from :data:`_ROW_SEP`).  Encoded
+#: keys are hex digests, registry family names and float reprs joined by
+#: ``/`` — no raw control characters — and the scan preflight refuses the
+#: fast path outright for any shard that does hold such a key, so a
+#: mis-split can never assign a verdict to the wrong key.
+_CONCAT_SEP = "\x1e"
+
+#: A shard switches from chunked ``IN`` lookups to the aggregated scan
+#: when the probe requests at least this many of its keys …
+_SCAN_MIN_KEYS = 1024
+
+#: … and the request covers a decent fraction of the shard: bucket size
+#: times this factor must reach the shard's top ``seq`` (a free upper
+#: bound on its row count), so a small probe of a huge shard never pays
+#: for a full scan.
+_SCAN_ROW_FACTOR = 4
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (k TEXT PRIMARY KEY, v TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS verdicts (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    key     TEXT NOT NULL,
+    status  TEXT NOT NULL,
+    method  TEXT NOT NULL,
+    details TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS verdicts_key
+    ON verdicts (key, seq, status, method, details);
+CREATE INDEX IF NOT EXISTS verdicts_blob
+    ON verdicts (status || char(31) || method || char(31) || details, key);
+INSERT OR IGNORE INTO meta (k, v) VALUES ('dead', '0');
+"""
+
+
+def shard_of(encoded_key: str, n_shards: int) -> int:
+    """The shard owning ``encoded_key``: a stable hash partition.
+
+    crc32 is deterministic across processes, platforms and Python hash
+    randomisation, so every writer and reader agrees on the layout.
+    """
+    return zlib.crc32(encoded_key.encode("utf-8")) % n_shards
+
+
+class SqliteVerdictStore(VerdictStoreBase):
+    """A sharded, WAL-journaled, corruption-tolerant verdict store.
+
+    Parameters
+    ----------
+    path:
+        The store *directory* (created on first write; need not exist).
+        Shards live inside as ``shard-NN.sqlite`` next to ``layout.json``.
+    read_only:
+        When true, nothing is ever created or written: flushes no-op,
+        missing/corrupt shards read as empty.
+    n_shards:
+        Shard count for a store created by this process.  An existing
+        store's ``layout.json`` wins over this argument — the partition is
+        a property of the data on disk, not of the opener.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        read_only: bool = False,
+        n_shards: int = DEFAULT_SHARDS,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self._path = pathlib.Path(path)
+        self.read_only = bool(read_only)
+        self.stats = StoreStats()
+        self.failures_reported = 0
+        self._pending: Dict[StoreKey, AuditVerdict] = {}
+        self._cleared = False
+        self._conns: Dict[int, Optional[sqlite3.Connection]] = {}
+        self._row_cache: Dict[str, AuditVerdict] = {}
+        self.n_shards = self._resolve_layout(int(n_shards))
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    # -- layout --------------------------------------------------------------------
+
+    def _layout_path(self) -> pathlib.Path:
+        return self._path / "layout.json"
+
+    def _shard_path(self, index: int) -> pathlib.Path:
+        return self._path / f"shard-{index:02d}.sqlite"
+
+    def _resolve_layout(self, requested: int) -> int:
+        """The store's authoritative shard count.
+
+        An existing, well-formed ``layout.json`` pins the partition; a
+        malformed one is a load failure (the store restarts on the
+        requested count and the next flush rewrites the layout).
+        """
+        try:
+            raw = self._layout_path().read_text()
+        except FileNotFoundError:
+            return requested
+        except OSError:
+            self.stats.load_failures += 1
+            return requested
+        try:
+            document = json.loads(raw)
+            shards = document["shards"]
+            if (
+                document.get("format") != STORE_FORMAT
+                or document.get("version") != STORE_VERSION
+                or not isinstance(shards, int)
+                or shards < 1
+            ):
+                raise ValueError(f"bad layout document: {document!r}")
+        except (KeyError, TypeError, ValueError):
+            self.stats.load_failures += 1
+            return requested
+        return shards
+
+    def _write_layout(self) -> None:
+        document = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "shards": self.n_shards,
+        }
+        tmp = self._layout_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, separators=(",", ":")))
+        os.replace(tmp, self._layout_path())
+
+    # -- connections ---------------------------------------------------------------
+
+    def _discard_shard(self, index: int) -> None:
+        """Drop an untrustworthy shard wholesale (files + journal)."""
+        base = self._shard_path(index)
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(str(base) + suffix)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _meta_valid(conn: sqlite3.Connection) -> bool:
+        """Whether the shard's meta markers match this store format.
+
+        A missing ``meta`` table (brand-new or half-created file) reads as
+        invalid rather than raising, so the writable open can fall into
+        the idempotent initialisation; genuine corruption (not a database
+        at all) still raises out to the discard path.
+        """
+        try:
+            rows = conn.execute(
+                "SELECT k, v FROM meta WHERE k IN ('format', 'version') "
+                "ORDER BY k"
+            ).fetchall()
+        except sqlite3.OperationalError:
+            return False
+        return rows == [("format", STORE_FORMAT), ("version", str(STORE_VERSION))]
+
+    def _open_shard(self, index: int) -> Optional[sqlite3.Connection]:
+        """Connect to one shard, creating or discarding as appropriate.
+
+        Returns ``None`` when the shard is absent (or unusable) and the
+        store is read-only — callers treat that as an empty shard.
+        """
+        path = self._shard_path(index)
+        if not path.exists():
+            if self.read_only:
+                return None
+            self._path.mkdir(parents=True, exist_ok=True)
+        try:
+            conn = sqlite3.connect(str(path), timeout=_BUSY_TIMEOUT_MS / 1000.0)
+            conn.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+            if not self._meta_valid(conn):
+                if self.read_only:
+                    raise sqlite3.DatabaseError(
+                        f"shard {index} carries an alien format/version"
+                    )
+                # Brand-new or half-created shard: idempotent initialisation
+                # (IF NOT EXISTS + OR IGNORE) lets concurrent openers
+                # converge on the same file instead of mistaking each
+                # other's half-created state for corruption (and discarding
+                # live data).  On an alien file it either raises (schema
+                # clash → discard) or leaves the foreign markers in place
+                # for the re-validation below.  Shards that validated above
+                # skip all of this — the open stays cheap on the probe path.
+                conn.executescript(_SCHEMA)
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (k, v) VALUES ('format', ?)",
+                    (STORE_FORMAT,),
+                )
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (k, v) VALUES ('version', ?)",
+                    (str(STORE_VERSION),),
+                )
+                self._commit_with_retry(conn)
+                if not self._meta_valid(conn):
+                    raise sqlite3.DatabaseError(
+                        f"shard {index} carries an alien format/version"
+                    )
+        except sqlite3.Error:
+            # Not a store of ours (corrupt file, foreign schema, future
+            # version): discard wholesale, exactly like a bad JSON document.
+            try:
+                conn.close()  # type: ignore[possibly-undefined]
+            except (sqlite3.Error, UnboundLocalError):
+                pass
+            self.stats.load_failures += 1
+            if self.read_only:
+                return None
+            self._discard_shard(index)
+            return self._create_shard(index)
+        return conn
+
+    def _create_shard(self, index: int) -> Optional[sqlite3.Connection]:
+        """Create a fresh shard after a discard; ``None`` if even that fails."""
+        try:
+            self._path.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self._shard_path(index)), timeout=_BUSY_TIMEOUT_MS / 1000.0
+            )
+            conn.execute(f"PRAGMA busy_timeout = {_BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (k, v) VALUES ('format', ?)",
+                (STORE_FORMAT,),
+            )
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (k, v) VALUES ('version', ?)",
+                (str(STORE_VERSION),),
+            )
+            conn.commit()
+            return conn
+        except sqlite3.Error:
+            return None
+
+    def _conn(self, index: int) -> Optional[sqlite3.Connection]:
+        if index not in self._conns:
+            self._conns[index] = self._open_shard(index)
+        return self._conns[index]
+
+    def close(self) -> None:
+        """Close every open shard connection (reopened lazily on next use)."""
+        for conn in self._conns.values():
+            if conn is not None:
+                try:
+                    conn.close()
+                except sqlite3.Error:
+                    pass
+        self._conns.clear()
+
+    # -- row codec -----------------------------------------------------------------
+
+    @staticmethod
+    def _encode_row(key: StoreKey, verdict: AuditVerdict) -> Tuple[str, str, str, str]:
+        record = _encode_verdict(verdict)
+        return (
+            _encode_key(key),
+            record["status"],
+            record["method"],
+            json.dumps(record["details"], separators=(",", ":")),
+        )
+
+    def _decode_blob(self, blob: str) -> Optional[AuditVerdict]:
+        """A row blob's verdict, or ``None`` (counted) on revalidation failure.
+
+        Decoded verdicts are memoised on the raw concatenated
+        ``status/method/details`` text — verdict-identical rows (the
+        overwhelmingly common case in real logs: few methods, small
+        detail vocabularies) share one immutable-by-convention instance
+        instead of paying JSON + enum + dataclass construction per row.
+        The status is split off the left and the details off the right,
+        so a pathological method string containing the separator still
+        round-trips.
+        """
+        try:
+            status, rest = blob.split(_ROW_SEP, 1)
+            method, details_text = rest.rsplit(_ROW_SEP, 1)
+            details = {} if details_text == "{}" else json.loads(details_text)
+            verdict = _decode_verdict(
+                {"status": status, "method": method, "details": details}
+            )
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # Malformed rows are counted per occurrence (JSON-backend
+            # parity), so failures are never cached.
+            self.stats.dropped_entries += 1
+            return None
+        if len(self._row_cache) >= _ROW_CACHE_MAX:
+            self._row_cache.clear()
+        self._row_cache[blob] = verdict
+        return verdict
+
+    # -- lookup --------------------------------------------------------------------
+
+    def _select_shard(
+        self,
+        conn: sqlite3.Connection,
+        encoded: List[str],
+        out: Dict[str, AuditVerdict],
+    ) -> None:
+        """Resolve one shard's keys into ``out`` (latest row per key wins).
+
+        ``ORDER BY key, seq`` matches the covering index's own order, so
+        SQLite streams rows with no sort step and a key's newer rows
+        arrive last — the plain dict assignment below IS the last-write-
+        wins resolution.  The server-side concatenation ships one string
+        per row instead of a column tuple, and doubles as the decode-
+        cache key.
+        """
+        cache_get = self._row_cache.get
+        decode = self._decode_blob
+        query_head = (
+            "SELECT key, status || char(31) || method || char(31) || details "
+            "FROM verdicts WHERE key IN ("
+        )
+        for start in range(0, len(encoded), _PROBE_CHUNK):
+            chunk = encoded[start : start + _PROBE_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            try:
+                rows = conn.execute(
+                    f"{query_head}{marks}) ORDER BY key, seq", chunk
+                ).fetchall()
+            except sqlite3.Error:
+                self.stats.load_failures += 1
+                return
+            for key_text, blob in rows:
+                verdict = cache_get(blob)
+                if verdict is None:
+                    verdict = decode(blob)
+                    if verdict is None:
+                        continue
+                out[key_text] = verdict
+
+    def _scan_shard(
+        self,
+        conn: sqlite3.Connection,
+        quota: int,
+        key_map: Dict[str, StoreKey],
+        found: Dict[StoreKey, AuditVerdict],
+    ) -> bool:
+        """Try to resolve one shard by aggregated scan; ``False`` = use ``IN``.
+
+        When a probe wants most of a shard (the warm re-audit shape),
+        per-key index seeks and per-row tuple transfer dominate.  This
+        path instead groups the whole shard server-side by identical
+        verdict text — riding the ``verdicts_blob`` expression index, so
+        no sort step — and ships one ``(verdict, group_concat(keys))``
+        row per distinct verdict shape (real stores hold a handful).
+
+        The preflight refuses (falling back to the exact ``IN`` path)
+        whenever the aggregate could be wrong: any superseded row (the
+        flat grouping has no per-key version order, tracked by the
+        transactional ``dead`` meta counter :meth:`flush` maintains —
+        absent on legacy shards, which refuse conservatively) or the
+        ``concat_unsafe`` meta flag, which :meth:`flush` sets — in the
+        same transaction as the offending rows — whenever a stored key
+        contains the concat separator.  The flag makes every split
+        fragment below a *genuine stored key*, so matching fragments
+        against the requested-key map can never mis-attribute a verdict.
+        A malformed verdict shape is counted once per distinct shape
+        here, not once per row — same degradation, coarser count.
+        """
+        try:
+            unsafe, dead, top_seq = conn.execute(
+                "SELECT (SELECT v FROM meta WHERE k = 'concat_unsafe'), "
+                "(SELECT v FROM meta WHERE k = 'dead'), "
+                "(SELECT MAX(seq) FROM verdicts)"
+            ).fetchone()
+            if unsafe or dead != "0":
+                return False
+            if quota * _SCAN_ROW_FACTOR < (top_seq or 0):
+                return False
+            groups = conn.execute(
+                "SELECT status || char(31) || method || char(31) || details, "
+                "group_concat(key, char(30)) FROM verdicts GROUP BY 1"
+            ).fetchall()
+        except sqlite3.Error:
+            self.stats.load_failures += 1
+            return True
+        cache_get = self._row_cache.get
+        decode = self._decode_blob
+        km_get = key_map.get
+        update = found.update
+        fromkeys = dict.fromkeys
+        for blob, concat in groups:
+            verdict = cache_get(blob)
+            if verdict is None:
+                verdict = decode(blob)
+                if verdict is None:
+                    continue
+            # map/filter keep the fragment matching in C: km_get misses
+            # return None and are filtered out; a StoreKey is a non-empty
+            # tuple, so filter(None, …) can never drop a genuine hit.
+            update(fromkeys(filter(None, map(km_get, concat.split(_CONCAT_SEP))), verdict))
+        return True
+
+    def probe_many(
+        self, keys: Iterable[StoreKey]
+    ) -> Dict[StoreKey, AuditVerdict]:
+        """All known verdicts among ``keys`` in one batched round trip.
+
+        Pending (unflushed) writes are visible to their own process, same
+        as the JSON backend.  Keys are grouped per shard and resolved with
+        chunked ``IN`` selects over the covering index — or, when the
+        probe wants most of a shard, one aggregated scan (see
+        :meth:`_scan_shard`); shards with no requested keys are never
+        opened.
+        """
+        self.stats.probes += 1
+        found: Dict[StoreKey, AuditVerdict] = {}
+        key_list = list(keys)
+        if self._pending:
+            pending = self._pending
+            disk_keys = []
+            for key in key_list:
+                hit = pending.get(key)
+                if hit is not None:
+                    found[key] = hit
+                else:
+                    disk_keys.append(key)
+        else:
+            disk_keys = key_list
+        n_shards = self.n_shards
+        crc32 = zlib.crc32
+        quota = len(disk_keys) // n_shards
+        if quota >= _SCAN_MIN_KEYS:
+            # Large probe: skip the per-key crc32 routing entirely — every
+            # shard scans against one shared requested-key map, and only a
+            # shard that refuses the scan pays for computing its bucket.
+            key_map = _encode_key_map(disk_keys)
+            for index in range(n_shards):
+                conn = self._conn(index)
+                if conn is None:
+                    continue
+                if self._scan_shard(conn, quota, key_map, found):
+                    continue
+                bucket = [
+                    text
+                    for text in key_map
+                    if crc32(text.encode("utf-8")) % n_shards == index
+                ]
+                resolved: Dict[str, AuditVerdict] = {}
+                self._select_shard(conn, bucket, resolved)
+                for text, verdict in resolved.items():
+                    found[key_map[text]] = verdict
+        else:
+            encoded = _encode_keys(disk_keys)
+            buckets: List[List[str]] = [[] for _ in range(n_shards)]
+            for text in encoded:
+                buckets[crc32(text.encode("utf-8")) % n_shards].append(text)
+            resolved = {}
+            for index, shard_keys in enumerate(buckets):
+                if not shard_keys:
+                    continue
+                conn = self._conn(index)
+                if conn is None:
+                    continue
+                self._select_shard(conn, shard_keys, resolved)
+            if resolved:
+                resolved_get = resolved.get
+                for key, text in zip(disk_keys, encoded):
+                    verdict = resolved_get(text)
+                    if verdict is not None:
+                        found[key] = verdict
+        self.stats.hits += len(found)
+        self.stats.misses += len(key_list) - len(found)
+        return found
+
+    def get(self, key: StoreKey) -> Optional[AuditVerdict]:
+        """The stored verdict for one key, counting the hit/miss.
+
+        Single-pair entry for callers outside the batched path (e.g. the
+        incremental auditor's cumulative fallback); does not count a probe
+        round trip — ``stats.probes`` tracks :meth:`probe_many` calls so
+        "one batched probe per audit" stays assertable.
+        """
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.stats.hits += 1
+            return pending
+        text = _encode_key(key)
+        conn = self._conn(shard_of(text, self.n_shards))
+        verdict: Optional[AuditVerdict] = None
+        if conn is not None:
+            resolved: Dict[str, AuditVerdict] = {}
+            self._select_shard(conn, [text], resolved)
+            verdict = resolved.get(text)
+        if verdict is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return verdict
+
+    def _on_disk(self, key: StoreKey) -> bool:
+        text = _encode_key(key)
+        conn = self._conn(shard_of(text, self.n_shards))
+        if conn is None:
+            return False
+        try:
+            row = conn.execute(
+                "SELECT 1 FROM verdicts WHERE key = ? LIMIT 1", (text,)
+            ).fetchone()
+        except sqlite3.Error:
+            return False
+        return row is not None
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key in self._pending or self._on_disk(key)
+
+    def __len__(self) -> int:
+        """Distinct keys visible right now (disk ∪ pending)."""
+        total = 0
+        for index in range(self.n_shards):
+            if not self._shard_path(index).exists() and index not in self._conns:
+                continue
+            conn = self._conn(index)
+            if conn is None:
+                continue
+            try:
+                total += conn.execute(
+                    "SELECT COUNT(DISTINCT key) FROM verdicts"
+                ).fetchone()[0]
+            except sqlite3.Error:
+                continue
+        return total + sum(
+            1 for key in self._pending if not self._on_disk(key)
+        )
+
+    # -- writes --------------------------------------------------------------------
+
+    def put(self, key: StoreKey, verdict: AuditVerdict) -> None:
+        """Buffer a decided verdict for the next flush (UNKNOWNs dropped)."""
+        if not verdict.is_decided:
+            return
+        if self._pending.get(key) == verdict:
+            return
+        self._pending[key] = verdict
+        self.stats.stored += 1
+
+    def clear(self) -> None:
+        """Drop all entries; shards are emptied at the next :meth:`flush`."""
+        self._pending.clear()
+        self._cleared = True
+
+    def _commit_with_retry(self, conn: sqlite3.Connection) -> None:
+        """Commit, riding out lock contention beyond the busy timeout."""
+        for delay in _RETRY_DELAYS:
+            try:
+                conn.commit()
+                return
+            except sqlite3.OperationalError:
+                time.sleep(delay)
+        conn.commit()  # final attempt surfaces to the flush handler
+
+    def _maybe_compact(self, conn: sqlite3.Connection) -> None:
+        """Drop superseded rows once they outnumber the live keys.
+
+        Compaction removes history only — each key's newest row survives —
+        so it can never change a probe result; a failure merely defers it.
+        The write-time ``dead`` counter gives the common case a one-row
+        early out; the decision proper re-derives the count inside the
+        write transaction (authoritative even if the counter ever drifted
+        high) and the DELETE and counter reset commit together.
+        """
+        try:
+            row = conn.execute(
+                "SELECT v FROM meta WHERE k = 'dead'"
+            ).fetchone()
+            if (
+                row is not None
+                and str(row[0]).isdigit()
+                and int(row[0]) < _COMPACT_MIN_DEAD
+            ):
+                return
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+            keys = conn.execute(
+                "SELECT COUNT(DISTINCT key) FROM verdicts"
+            ).fetchone()[0]
+            dead = rows - keys
+            if dead < _COMPACT_MIN_DEAD or dead < keys:
+                conn.rollback()
+                return
+            conn.execute(
+                "DELETE FROM verdicts WHERE seq NOT IN "
+                "(SELECT MAX(seq) FROM verdicts GROUP BY key)"
+            )
+            conn.execute("UPDATE meta SET v = '0' WHERE k = 'dead'")
+            self._commit_with_retry(conn)
+            self.stats.compactions += 1
+        except sqlite3.Error:
+            try:
+                conn.rollback()
+            except sqlite3.Error:
+                pass
+
+    def flush(self) -> bool:
+        """Append pending verdicts, one transaction per touched shard.
+
+        WAL journaling makes each shard's transaction atomic; a crash (or
+        an injected fault) between shards simply leaves some appends for
+        the next flush — partial progress is safe under append-only
+        semantics.  A shard whose commit fails keeps its verdicts pending
+        and counts a ``write_failure``; a flush with nothing to say is
+        skipped outright.  Both the generic ``store-write`` site and the
+        SQLite-specific ``store-sql-write`` site inject here.
+        """
+        if self.read_only:
+            return True
+        if not self._pending and not self._cleared:
+            self.stats.skipped_flushes += 1
+            return True
+        if faults.fire(faults.STORE_WRITE):
+            self.stats.write_failures += 1
+            return False
+        by_shard: Dict[int, List[Tuple[StoreKey, Tuple[str, str, str, str]]]] = {}
+        for key, verdict in self._pending.items():
+            row = self._encode_row(key, verdict)
+            by_shard.setdefault(shard_of(row[0], self.n_shards), []).append(
+                (key, row)
+            )
+        if self._cleared:
+            # A cleared store rewrites every shard, even ones with no new rows.
+            for index in range(self.n_shards):
+                by_shard.setdefault(index, [])
+        ok = True
+        for index, items in sorted(by_shard.items()):
+            conn = self._conn(index)
+            if conn is None:
+                self.stats.write_failures += 1
+                ok = False
+                continue
+            try:
+                if faults.fire(faults.STORE_SQL_WRITE):
+                    raise sqlite3.OperationalError(
+                        "injected store-sql-write failure (chaos harness)"
+                    )
+                # IMMEDIATE takes the shard's write lock up front: the
+                # superseded-row count below and the inserts it prices are
+                # one atomic unit even against concurrent writers, so the
+                # ``dead`` counter can never under-count (the scan path's
+                # safety hinges on ``dead == 0`` implying no history).
+                conn.execute("BEGIN IMMEDIATE")
+                if self._cleared:
+                    conn.execute("DELETE FROM verdicts")
+                    conn.execute("DELETE FROM meta WHERE k = 'concat_unsafe'")
+                    conn.execute("UPDATE meta SET v = '0' WHERE k = 'dead'")
+                if items:
+                    texts = [row[0] for _, row in items]
+                    if any(_CONCAT_SEP in text for text in texts):
+                        # An out-of-contract key (raw record separator):
+                        # flag the shard in the same transaction so the
+                        # aggregated scan path refuses it forever after.
+                        conn.execute(
+                            "INSERT OR REPLACE INTO meta (k, v) "
+                            "VALUES ('concat_unsafe', '1')"
+                        )
+                    uniq = list(dict.fromkeys(texts))
+                    superseded = len(texts) - len(uniq)
+                    for start in range(0, len(uniq), _PROBE_CHUNK):
+                        chunk = uniq[start : start + _PROBE_CHUNK]
+                        marks = ",".join("?" * len(chunk))
+                        superseded += conn.execute(
+                            "SELECT COUNT(DISTINCT key) FROM verdicts "
+                            f"WHERE key IN ({marks})",
+                            chunk,
+                        ).fetchone()[0]
+                    if superseded:
+                        conn.execute(
+                            "UPDATE meta SET v = CAST(v AS INTEGER) + ? "
+                            "WHERE k = 'dead'",
+                            (superseded,),
+                        )
+                    conn.executemany(
+                        "INSERT INTO verdicts (key, status, method, details) "
+                        "VALUES (?, ?, ?, ?)",
+                        [row for _, row in items],
+                    )
+                self._commit_with_retry(conn)
+            except sqlite3.Error:
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                self.stats.write_failures += 1
+                ok = False
+                continue
+            for key, _ in items:
+                self._pending.pop(key, None)
+            self._maybe_compact(conn)
+        if ok:
+            self._cleared = False
+            try:
+                if not self._layout_path().exists():
+                    self._write_layout()
+            except OSError:
+                pass  # layout is re-attempted next flush; shards are intact
+            self.stats.flushes += 1
+        return ok
+
+
+def open_verdict_store(
+    path: Union[str, pathlib.Path],
+    backend: str = "json",
+    read_only: bool = False,
+    n_shards: int = DEFAULT_SHARDS,
+) -> VerdictStoreBase:
+    """Open a verdict store of the requested backend.
+
+    ``json`` is the single-file reference backend; ``sqlite`` the sharded
+    production backend (``path`` becomes a directory).  This is the one
+    construction point the CLI's ``--store-backend`` flag maps onto.
+    """
+    if backend == "json":
+        return VerdictStore(path, read_only=read_only)
+    if backend == "sqlite":
+        return SqliteVerdictStore(path, read_only=read_only, n_shards=n_shards)
+    raise ValueError(
+        f"unknown store backend {backend!r}; known: {', '.join(STORE_BACKENDS)}"
+    )

@@ -44,6 +44,21 @@ verdict-identical to the serial one and is expected to be ≥5x faster at
 full size (only the appended tail needs decisions; everything else is a
 store hit).
 
+**E19 (verdict-store backends).** The two persistent-store backends head
+to head on a production-shaped workload.  The *warm probe* half writes
+100k synthetic ``(key, verdict)`` pairs through each backend, then — from
+a fresh store object per repeat, so open cost is inside the timed region
+exactly as it is for a cold process resuming an audit — issues the one
+batched :meth:`~repro.audit.store.VerdictStoreBase.probe_many` an audit
+performs and asserts every key comes back.  The JSON reference backend
+must parse and decode the whole document to answer anything; the sharded
+SQLite backend opens lazily and answers off the ``(key, seq)`` index, so
+the acceptance bound is a ≥3x warm-probe throughput win at full size.
+The *soak* half forks 4 writer processes that append disjoint key ranges
+to one store and flush concurrently (WAL + busy-timeout + commit retry
+on sqlite, lock-file merge-on-flush on json); a reader process must then
+see exactly the union with zero ``load_failures``.
+
 The artifact records events/sec for each pipeline, the verdict-cache hit
 rate, the measured duplicate fraction, and the speedups; every compared
 pair of runs is asserted verdict-identical before anything is written.
@@ -56,8 +71,10 @@ from __future__ import annotations
 
 import argparse
 import math
+import multiprocessing
 import os
 import random
+import sys
 import tempfile
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -72,7 +89,9 @@ from ..audit import (
     OfflineAuditor,
     PriorAssumption,
     VerdictStore,
+    open_verdict_store,
 )
+from ..core.verdict import AuditVerdict
 from ..core.worlds import HypercubeSpace
 from ..db import (
     CandidateUniverse,
@@ -107,6 +126,13 @@ DEFAULT_RESILIENCE_BUDGET = 30.0
 
 DEFAULT_INCREMENTAL_APPEND_FRACTION = 0.05
 DEFAULT_INCREMENTAL_REPEATS = 3
+
+DEFAULT_STORE_PAIRS = 100_000
+DEFAULT_STORE_REPEATS = 3
+DEFAULT_STORE_WRITERS = 4
+#: E19 acceptance bound: sqlite warm-probe throughput over the json
+#: reference at the full 100k-pair size (advisory below full size).
+STORE_WARM_TARGET_SPEEDUP = 3.0
 
 DEFAULT_KERNEL_DIMS = (4, 5, 6, 8)
 DEFAULT_KERNEL_BOXES = 1500
@@ -560,6 +586,209 @@ def run_incremental_bench(
 
 
 # ---------------------------------------------------------------------------
+# E19 — verdict-store backends: warm batched probe and concurrent writers
+# ---------------------------------------------------------------------------
+
+_STORE_VERDICT_METHODS = (
+    "margin-index",
+    "interval-oracle",
+    "prop-3.10-composition",
+    "bernstein-branch-bound",
+)
+
+
+def synthetic_store_pairs(
+    n_pairs: int, seed: int, offset: int = 0
+) -> List[Tuple[Tuple[str, str, str, float], AuditVerdict]]:
+    """A deterministic production-shaped ``(key, verdict)`` workload.
+
+    Keys mimic the engine's cache keys (digest pair + assumption + atol);
+    verdicts mix SAFE and UNSAFE with small detail payloads.  Everything
+    is a pure function of ``(seed, index)`` so concurrent writers can
+    generate disjoint slices via ``offset`` and a reader can regenerate
+    the exact union without any channel between processes.
+    """
+    pairs = []
+    for i in range(offset, offset + n_pairs):
+        key = (
+            f"aud{seed:02d}{i:010d}",
+            f"dis{seed:02d}{(i * 2654435761) % (1 << 32):08x}",
+            "product",
+            1e-09,
+        )
+        method = _STORE_VERDICT_METHODS[i % len(_STORE_VERDICT_METHODS)]
+        if i % 5 == 0:
+            verdict = AuditVerdict.unsafe(method, events=i % 13)
+        else:
+            verdict = AuditVerdict.safe(method, events=i % 13)
+        pairs.append((key, verdict))
+    return pairs
+
+
+def _store_path(root: str, backend: str, name: str) -> str:
+    suffix = ".json" if backend == "json" else ""
+    return os.path.join(root, f"{name}-{backend}{suffix}")
+
+
+def _store_soak_worker(
+    backend: str, path: str, seed: int, offset: int, count: int
+) -> None:
+    """One E19 soak writer: append a disjoint key range, flush once, exit.
+
+    Runs in a forked child; the exit code carries flush success back to
+    the parent (0 = the store accepted the whole slice).
+    """
+    store = open_verdict_store(path, backend=backend)
+    for key, verdict in synthetic_store_pairs(count, seed, offset=offset):
+        store.put(key, verdict)
+    flushed = store.flush()
+    store.close()
+    sys.exit(0 if flushed else 1)
+
+
+def run_store_backend_bench(
+    backend: str, root: str, pairs: List[Tuple[Any, AuditVerdict]], repeats: int
+) -> Dict[str, Any]:
+    """Write the workload through one backend, then time the warm probe.
+
+    The timed warm-probe region is exactly what a cold process resuming
+    an audit pays: constructing a fresh store object over the on-disk
+    state plus the engine's one batched :meth:`probe_many` — open cost
+    deliberately inside the clock, because that is where the two backends
+    differ (wholesale JSON parse vs lazy sharded index lookups).
+    """
+    path = _store_path(root, backend, "warm")
+    store = open_verdict_store(path, backend=backend)
+    with Stopwatch() as write_clock:
+        for key, verdict in pairs:
+            store.put(key, verdict)
+        if not store.flush():
+            raise AssertionError(f"{backend} store failed to flush E19 workload")
+    store.close()
+
+    keys = [key for key, _ in pairs]
+    probe_best = float("inf")
+    probe_stats = None
+    for _ in range(max(1, repeats)):
+        with Stopwatch() as clock:
+            warm = open_verdict_store(path, backend=backend)
+            found = warm.probe_many(keys)
+        if len(found) != len(keys):
+            raise AssertionError(
+                f"{backend} warm probe lost verdicts: {len(found)}/{len(keys)}"
+            )
+        if clock.elapsed < probe_best:
+            probe_best = clock.elapsed
+            probe_stats = warm.stats
+        warm.close()
+
+    return {
+        "backend": backend,
+        "write_seconds": round(write_clock.elapsed, 6),
+        "writes_per_sec": round(len(pairs) / write_clock.elapsed, 1),
+        "warm_probe_seconds": round(probe_best, 6),
+        "warm_probes_per_sec": round(len(keys) / probe_best, 1),
+        "store": probe_stats.as_dict(),
+    }
+
+
+def run_store_soak(
+    backend: str, root: str, seed: int, n_writers: int, pairs_per_writer: int
+) -> Dict[str, Any]:
+    """Fork ``n_writers`` concurrent appenders, then read back the union.
+
+    Every writer owns a disjoint index range and flushes once, all at
+    roughly the same moment — the worst case for the commit path (WAL
+    busy-retry on sqlite, lock-file merge-on-flush on json).  The reader
+    must see every key from every writer with zero ``load_failures``.
+    """
+    path = _store_path(root, backend, "soak")
+    workers = [
+        multiprocessing.Process(
+            target=_store_soak_worker,
+            args=(backend, path, seed, w * pairs_per_writer, pairs_per_writer),
+        )
+        for w in range(n_writers)
+    ]
+    with Stopwatch() as clock:
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join()
+    codes = [proc.exitcode for proc in workers]
+    if any(codes):
+        raise AssertionError(f"{backend} soak writers failed: exit codes {codes}")
+
+    reader = open_verdict_store(path, backend=backend, read_only=True)
+    keys = [
+        key
+        for key, _ in synthetic_store_pairs(n_writers * pairs_per_writer, seed)
+    ]
+    found = reader.probe_many(keys)
+    if len(found) != len(keys):
+        raise AssertionError(
+            f"{backend} soak reader sees {len(found)}/{len(keys)} verdicts"
+        )
+    if reader.stats.load_failures:
+        raise AssertionError(
+            f"{backend} soak reader hit {reader.stats.load_failures} load failures"
+        )
+    reader.close()
+    total = n_writers * pairs_per_writer
+    return {
+        "backend": backend,
+        "writers": n_writers,
+        "pairs_per_writer": pairs_per_writer,
+        "seconds": round(clock.elapsed, 6),
+        "writes_per_sec": round(total / clock.elapsed, 1),
+        "union_complete": True,
+        "load_failures": 0,
+    }
+
+
+def run_store_bench(
+    n_pairs: int = DEFAULT_STORE_PAIRS,
+    repeats: int = DEFAULT_STORE_REPEATS,
+    n_writers: int = DEFAULT_STORE_WRITERS,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Any]:
+    """The full E19 section: warm-probe head-to-head plus concurrency soak.
+
+    ``warm_probe_target_met`` is recorded, not asserted — the ≥3x bound
+    is an acceptance criterion at the full 100k-pair size; smoke-scaled
+    runs report whatever they measure.
+    """
+    pairs = synthetic_store_pairs(n_pairs, seed)
+    soak_per_writer = max(1, n_pairs // (n_writers * 4))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-e19-") as root:
+        json_row = run_store_backend_bench("json", root, pairs, repeats)
+        sqlite_row = run_store_backend_bench("sqlite", root, pairs, repeats)
+        soaks = [
+            run_store_soak(backend, root, seed + 1, n_writers, soak_per_writer)
+            for backend in ("json", "sqlite")
+        ]
+    speedup = round(
+        json_row["warm_probe_seconds"] / sqlite_row["warm_probe_seconds"], 2
+    )
+    return {
+        "benchmark": "store_backends",
+        "workload": {
+            "pairs": n_pairs,
+            "repeats": repeats,
+            "soak_writers": n_writers,
+            "soak_pairs_per_writer": soak_per_writer,
+            "seed": seed,
+        },
+        "json": json_row,
+        "sqlite": sqlite_row,
+        "speedup_sqlite_vs_json": speedup,
+        "warm_probe_target": STORE_WARM_TARGET_SPEEDUP,
+        "warm_probe_target_met": speedup >= STORE_WARM_TARGET_SPEEDUP,
+        "concurrent_soak": soaks,
+    }
+
+
+# ---------------------------------------------------------------------------
 # E17 — frontier-batched Bernstein kernel and amortized pool dispatch
 # ---------------------------------------------------------------------------
 
@@ -779,14 +1008,18 @@ def run_bench(
     kernel_boxes: int = DEFAULT_KERNEL_BOXES,
     kernel_repeats: int = DEFAULT_KERNEL_REPEATS,
     incremental_repeats: int = DEFAULT_INCREMENTAL_REPEATS,
+    store_pairs: int = DEFAULT_STORE_PAIRS,
+    store_repeats: int = DEFAULT_STORE_REPEATS,
+    store_writers: int = DEFAULT_STORE_WRITERS,
 ) -> Dict[str, Any]:
     """Audit one synthetic log through all three pipelines and compare.
 
     Also runs the E15 serial-path sweep (at ``serial_n`` records), the E16
     resilience-overhead measurement, the E17 probabilistic hot-path
     section (kernel sweep over ``kernel_dims`` + pool dispatch economics),
-    and the E18 incremental re-audit measurement, embedding all four
-    sections in the returned document.
+    the E18 incremental re-audit measurement, and the E19 verdict-store
+    backend head-to-head (``store_pairs`` warm probe + concurrency soak),
+    embedding all five sections in the returned document.
     """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
@@ -900,6 +1133,12 @@ def run_bench(
     document["incremental"] = run_incremental_bench(
         n_events=n_events, seed=seed, repeats=incremental_repeats
     )
+    document["store"] = run_store_bench(
+        n_pairs=store_pairs,
+        repeats=store_repeats,
+        n_writers=store_writers,
+        seed=seed,
+    )
     return document
 
 
@@ -933,6 +1172,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     kernel_boxes = DEFAULT_KERNEL_BOXES
     kernel_repeats = DEFAULT_KERNEL_REPEATS
     incremental_repeats = DEFAULT_INCREMENTAL_REPEATS
+    store_pairs = DEFAULT_STORE_PAIRS
+    store_repeats = DEFAULT_STORE_REPEATS
     if args.smoke:
         args.events = min(args.events, 60)
         args.serial_n = min(args.serial_n, 8)
@@ -942,6 +1183,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kernel_boxes = 400
         kernel_repeats = 1
         incremental_repeats = 1
+        store_pairs = 5_000
+        store_repeats = 1
 
     document = run_bench(
         n_events=args.events,
@@ -955,6 +1198,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kernel_boxes=kernel_boxes,
         kernel_repeats=kernel_repeats,
         incremental_repeats=incremental_repeats,
+        store_pairs=store_pairs,
+        store_repeats=store_repeats,
     )
     path = write_bench_json(args.output, document)
     workload = document["workload"]
@@ -1022,6 +1267,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"→ warm {incremental['speedup_warm_vs_serial']}x "
         f"({warm_store['hits']} store hits)"
     )
+    store_doc = document["store"]
+    print(
+        f"store warm probe ({store_doc['workload']['pairs']} pairs): "
+        f"json {store_doc['json']['warm_probe_seconds']*1e3:.1f} ms vs "
+        f"sqlite {store_doc['sqlite']['warm_probe_seconds']*1e3:.1f} ms "
+        f"→ {store_doc['speedup_sqlite_vs_json']}x "
+        f"(target ≥{store_doc['warm_probe_target']}x: "
+        f"{'met' if store_doc['warm_probe_target_met'] else 'not met'})"
+    )
+    for soak in store_doc["concurrent_soak"]:
+        print(
+            f"store soak [{soak['backend']}]: {soak['writers']} writers x "
+            f"{soak['pairs_per_writer']} pairs in {soak['seconds']*1e3:.1f} ms, "
+            f"union complete, 0 load failures"
+        )
     return 0
 
 

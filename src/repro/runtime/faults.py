@@ -17,6 +17,9 @@ site               effect at the probe point
 ``store-write``    :meth:`~repro.audit.store.VerdictStore.flush` fails with
                    an ``OSError`` before touching the file — the persistent
                    verdict store degrades to recomputation, never corrupts
+``store-sql-write``  one shard commit of :meth:`~repro.audit.store_sql.
+                   SqliteVerdictStore.flush` fails — that shard's verdicts
+                   stay pending (retried next flush); other shards land
 =================  ==========================================================
 
 Plans activate either programmatically (:func:`install` / the
@@ -47,6 +50,7 @@ __all__ = [
     "NONCONVERGENCE",
     "PICKLE_FAILURE",
     "SOLVER_TIMEOUT",
+    "STORE_SQL_WRITE",
     "STORE_WRITE",
     "WORKER_CRASH",
     "active",
@@ -61,6 +65,7 @@ PICKLE_FAILURE = "pickle-failure"
 SOLVER_TIMEOUT = "solver-timeout"
 NONCONVERGENCE = "nonconvergence"
 STORE_WRITE = "store-write"
+STORE_SQL_WRITE = "store-sql-write"
 
 KNOWN_SITES = (
     WORKER_CRASH,
@@ -68,6 +73,7 @@ KNOWN_SITES = (
     SOLVER_TIMEOUT,
     NONCONVERGENCE,
     STORE_WRITE,
+    STORE_SQL_WRITE,
 )
 
 ENV_PLAN = "REPRO_FAULTS"

@@ -155,6 +155,65 @@ class TestWriteFailures:
         assert VerdictStore(store.path).stats.loaded == 1  # old generation intact
 
 
+class TestProbeMany:
+    def test_probe_returns_only_found_and_counts(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        store.flush()
+        reloaded = make_store(tmp_path)
+        found = reloaded.probe_many([KEY, KEY2])
+        assert set(found) == {KEY}
+        assert found[KEY].status is Verdict.SAFE
+        assert reloaded.stats.probes == 1
+        assert reloaded.stats.hits == 1
+        assert reloaded.stats.misses == 1
+
+    def test_get_does_not_count_a_probe(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        assert store.get(KEY) is not None
+        assert store.stats.probes == 0
+
+    def test_unflushed_writes_visible(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        assert set(store.probe_many([KEY])) == {KEY}
+
+
+class TestFlushDiscipline:
+    def test_clean_flush_skipped_and_counted(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        assert store.flush()
+        assert store.stats.flushes == 1
+        before = store.path.stat().st_mtime_ns
+        assert store.flush()  # nothing new: no rewrite
+        assert store.stats.skipped_flushes == 1
+        assert store.stats.flushes == 1
+        assert store.path.stat().st_mtime_ns == before
+
+    def test_dirty_after_new_put_flushes_again(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(KEY, AuditVerdict.safe("cancellation"))
+        store.flush()
+        store.put(KEY2, AuditVerdict.unsafe("optimizer"))
+        assert store.flush()
+        assert store.stats.flushes == 2
+
+    def test_concurrent_generations_merge_on_flush(self, tmp_path):
+        """Two store objects flushing to one path converge on the union."""
+        path = tmp_path / "store.json"
+        first = VerdictStore(path)
+        second = VerdictStore(path)
+        first.put(KEY, AuditVerdict.safe("cancellation"))
+        second.put(KEY2, AuditVerdict.unsafe("optimizer"))
+        assert first.flush()
+        assert second.flush()
+        reloaded = VerdictStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.stats.load_failures == 0
+
+
 class TestStats:
     def test_hit_rate_and_str(self):
         stats = StoreStats(hits=3, misses=1)

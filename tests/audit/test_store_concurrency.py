@@ -1,0 +1,66 @@
+"""Concurrent multi-process writers against one verdict store.
+
+Satellite contract: 4 processes append disjoint verdicts and flush
+concurrently; a reader then sees exactly the union with zero
+``load_failures`` — for both backends.  The JSON reference gets there by
+merge-on-flush under an advisory lock; the SQLite backend by WAL-mode
+shards with busy-timeout + commit retry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.audit import open_verdict_store
+from repro.audit.store_sql import STORE_BACKENDS
+from repro.core.verdict import AuditVerdict, Verdict
+
+N_WRITERS = 4
+KEYS_PER_WRITER = 25
+
+
+def writer_keys(writer: int):
+    return [
+        (f"aud-w{writer}-{i:03d}", f"dis-w{writer}-{i:03d}", "product", 1e-9)
+        for i in range(KEYS_PER_WRITER)
+    ]
+
+
+def _append_slice(backend: str, path: str, writer: int) -> None:
+    """Child-process body: append one writer's disjoint slice and flush."""
+    store = open_verdict_store(path, backend=backend)
+    for key in writer_keys(writer):
+        store.put(key, AuditVerdict.safe(f"writer-{writer}"))
+    flushed = store.flush()
+    store.close()
+    sys.exit(0 if flushed else 1)
+
+
+@pytest.mark.parametrize("backend", STORE_BACKENDS)
+def test_four_writers_reader_sees_union(tmp_path, backend):
+    path = str(tmp_path / ("store.json" if backend == "json" else "store"))
+    procs = [
+        multiprocessing.Process(target=_append_slice, args=(backend, path, w))
+        for w in range(N_WRITERS)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+    codes = [proc.exitcode for proc in procs]
+    assert codes == [0] * N_WRITERS, f"writer exit codes: {codes}"
+
+    reader = open_verdict_store(path, backend=backend, read_only=True)
+    all_keys = [key for w in range(N_WRITERS) for key in writer_keys(w)]
+    found = reader.probe_many(all_keys)
+    assert len(found) == N_WRITERS * KEYS_PER_WRITER
+    assert reader.stats.load_failures == 0
+    # Spot-check attribution: each slice carries its writer's method tag.
+    for w in range(N_WRITERS):
+        verdict = found[writer_keys(w)[0]]
+        assert verdict.status is Verdict.SAFE
+        assert verdict.method == f"writer-{w}"
+    reader.close()

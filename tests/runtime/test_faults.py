@@ -407,3 +407,64 @@ class TestStoreWrite:
         with faults.inject("store-write:0.5", seed=ENV_SEED):
             report = auditor.audit_log_incremental(mixed_log, store=store)
         assert statuses(report) == reference
+
+
+class TestStoreSqlWrite:
+    """The store-sql-write site: per-shard commit failures on the SQLite
+    backend degrade that shard's appends to the next flush — verdicts are
+    never wrong, pending rows are never lost, partial progress is safe."""
+
+    def test_failed_shard_commits_verdict_identical_and_counted(
+        self, registry, mixed_log, tmp_path
+    ):
+        from repro.audit import SqliteVerdictStore
+
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        store = SqliteVerdictStore(tmp_path / "store")
+        engine = BatchAuditEngine(registry, policy, n_workers=1, store=store)
+        with faults.inject("store-sql-write:1", seed=ENV_SEED):
+            report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        assert store.stats.write_failures >= 1
+        assert report.runtime_stats.store_failures >= 1
+
+    def test_failed_shards_keep_verdicts_pending_and_recover(
+        self, registry, mixed_log, tmp_path
+    ):
+        from repro.audit import SqliteVerdictStore
+
+        policy = make_policy()
+        store = SqliteVerdictStore(tmp_path / "store")
+        engine = BatchAuditEngine(registry, policy, n_workers=1, store=store)
+        with faults.inject("store-sql-write:1", seed=ENV_SEED):
+            engine.audit_log(mixed_log)
+        failed = store.stats.write_failures
+        assert failed >= 1
+        # Every verdict the failed shards could not commit is still
+        # pending in memory — visible to this process's probes.
+        stored_total = store.stats.stored
+        assert len(store) == stored_total
+        # The next clean flush lands them on disk for other processes.
+        assert store.flush()
+        store.close()
+        reloaded = SqliteVerdictStore(tmp_path / "store")
+        assert len(reloaded) == stored_total
+
+    def test_partial_flush_is_safe_progress(self, registry, mixed_log, tmp_path):
+        """A probabilistic per-shard fault leaves committed shards intact
+        and failed shards pending — never a torn or wrong row."""
+        from repro.audit import OfflineAuditor, SqliteVerdictStore
+
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        store = SqliteVerdictStore(tmp_path / "store")
+        auditor = OfflineAuditor(registry, policy)
+        with faults.inject("store-sql-write:0.5", seed=ENV_SEED):
+            report = auditor.audit_log_incremental(mixed_log, store=store)
+        assert statuses(report) == reference
+        assert store.flush()  # lands any survivors once the fault lifts
+        store.close()
+        reloaded = SqliteVerdictStore(tmp_path / "store")
+        assert len(reloaded) == store.stats.stored
+        assert reloaded.stats.load_failures == 0
