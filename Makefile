@@ -1,14 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos-smoke bench bench-smoke bench-all
+.PHONY: test chaos-smoke bench bench-smoke bench-all build-native
+
+# Best-effort build of the E20 compiled kernels into src/ (optional: the
+# NumPy fallback is verdict-identical when this fails or is skipped).
+build-native:
+	$(PYTHON) setup.py build_ext --inplace
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Seeded chaos matrix: the fault-injection suite replayed under several
-# fault schedules (including the store-write and store-sql-write sites).
-# Verdicts must stay identical at every seed.
+# fault schedules (including the store-write, store-sql-write and
+# native-load sites). Verdicts must stay identical at every seed.
 chaos-smoke:
 	for seed in 0 1 2; do \
 		echo "== chaos seed $$seed =="; \
@@ -18,7 +23,7 @@ chaos-smoke:
 bench:
 	$(PYTHON) -m repro.perf.bench
 
-# Down-scaled E14–E19 sanity run for CI: tiny workloads, throwaway output.
+# Down-scaled E14–E20 sanity run for CI: tiny workloads, throwaway output.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --smoke --output BENCH_smoke.json
 

@@ -1,0 +1,87 @@
+"""E20 — native decision kernels: compiled Bernstein loop + word sweeps.
+
+A tier-2 run of the E20 measurement from :mod:`repro.perf.bench`, down-
+scaled for CI: the quadratic-well kernel head-to-head (scalar reference vs
+batched NumPy fallback vs the compiled fused-split kernel when built) and
+the word-array margin sweep against its big-int reference.  Verdicts must
+be identical across every implementation — the backends trade throughput,
+never decisions.
+
+The acceptance bounds — compiled kernel ≥3x over scalar at n=8, word sweep
+≥2x over big-int at n≥12 — hold at the full workload sizes recorded in
+``BENCH_audit_pipeline.json`` via ``make bench``; the smoke floors here
+carry slack for the down-scaled dimensions, where fixed per-call overheads
+eat into both ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report_table
+from repro import _native
+from repro.perf.bench import run_native_bench
+
+#: Smoke floors with measurement slack (full-size bounds are 3x / 2x).
+FALLBACK_SPEEDUP_FLOOR = 1.5
+NATIVE_SPEEDUP_FLOOR = 1.5
+MASK_SPEEDUP_FLOOR = 1.2
+
+
+def test_native_kernels_smoke():
+    document = run_native_bench(
+        dims=(4, 6),
+        max_boxes=800,
+        mask_dims=(12,),
+        mask_origins=128,
+        mask_disclosures=200,
+        repeats=2,
+        seed=7,
+    )
+
+    assert document["verdict_identical"]
+    assert document["backend"]["name"] in ("native", "numpy-fallback")
+
+    lines = [f"backend: {document['backend']['name']}"]
+    for row in document["kernel"]:
+        assert row["speedup_fallback_vs_scalar"] >= FALLBACK_SPEEDUP_FLOOR
+        native_part = ""
+        if "speedup_native_vs_scalar" in row:
+            assert row["speedup_native_vs_scalar"] >= NATIVE_SPEEDUP_FLOOR
+            native_part = (
+                f"  native {row['native_us_per_box']:8.2f} µs/box "
+                f"({row['speedup_native_vs_scalar']}x)"
+            )
+        lines.append(
+            f"kernel n={row['n']}: scalar {row['scalar_us_per_box']:8.2f} µs/box"
+            f"  fallback {row['fallback_us_per_box']:8.2f} µs/box "
+            f"({row['speedup_fallback_vs_scalar']}x)"
+            f"{native_part}"
+        )
+    for row in document["mask_sweep"]:
+        assert row["speedup_word_vs_bigint"] >= MASK_SPEEDUP_FLOOR
+        lines.append(
+            f"mask n={row['n']} (|Ω|={row['space_size']}, "
+            f"{row['origins']} origins): bigint "
+            f"{row['bigint_seconds']*1e3:.2f} ms vs word "
+            f"{row['word_seconds']*1e3:.2f} ms "
+            f"({row['speedup_word_vs_bigint']}x)"
+        )
+    lines.append(
+        "acceptance at full size: native ≥3x at n=8, word sweep ≥2x at "
+        "n≥12 (see BENCH_audit_pipeline.json)"
+    )
+    report_table("E20: native decision kernels", lines)
+
+
+NATIVE_AVAILABLE = _native.configure("auto").fused_split is not None
+_native.configure(None)  # leave the process on the environment's choice
+
+
+@pytest.mark.skipif(not NATIVE_AVAILABLE, reason="native extension not built")
+def test_native_backend_is_exercised():
+    """When the extension is built, the head-to-head must actually run it."""
+    document = run_native_bench(
+        dims=(4,), max_boxes=400, mask_dims=(), repeats=1, seed=7
+    )
+    assert document["backend"]["name"] == "native"
+    assert "speedup_native_vs_scalar" in document["kernel"][0]

@@ -1,9 +1,31 @@
 """Legacy setup shim so ``pip install -e .`` works without the ``wheel`` package.
 
-All real metadata lives in ``pyproject.toml``; this file only enables the
-``setup.py develop`` editable path in offline environments.
+All real metadata lives in ``pyproject.toml``; this file additionally declares
+the optional native kernel extension (``repro._native._kernels``).  The build
+is strictly best-effort: ``optional=True`` turns any compiler failure into a
+warning, and ``repro._native`` falls back to the pure-NumPy path whenever the
+extension is absent (see ``REPRO_NATIVE`` in DESIGN.md).  Build it in place
+for a source checkout with::
+
+    python setup.py build_ext --inplace
 """
 
 from setuptools import setup
 
-setup()
+try:
+    import numpy
+    from setuptools import Extension
+
+    ext_modules = [
+        Extension(
+            "repro._native._kernels",
+            sources=["src/repro/_native/_kernels.c"],
+            include_dirs=[numpy.get_include()],
+            optional=True,  # a failed build must never fail the install
+            extra_compile_args=["-O3"],
+        )
+    ]
+except ImportError:  # numpy not importable at build time: skip the extension
+    ext_modules = []
+
+setup(ext_modules=ext_modules)

@@ -5,11 +5,25 @@ Worlds of the hypercube ``Ω = {0,1}^n`` are encoded as integers in
 paper) records whether coordinate ``i`` is set.  These helpers are kept free
 of any class machinery so that the hot loops in the criteria modules stay
 cheap.
+
+Two representations of an ``Ω``-mask coexist:
+
+* the Python big int — compact, hashable, the API currency of the whole
+  possibilistic layer, and
+* the **word array** — the same bits as a little-endian ``(nwords,)``
+  ``uint64`` NumPy vector (:func:`mask_to_words` / :func:`words_to_mask`),
+  which is what the E20 native layer sweeps: bulk popcount / AND-popcount /
+  AND-NOT tests over a ``(k, nwords)`` matrix replace ``k`` big-int
+  operations with one vectorised pass, so the β(ω) margin sweeps stop
+  re-touching Python ints per origin.  Popcounts use ``np.bitwise_count``
+  where NumPy provides it and a byte lookup table otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 try:  # CPython ≥ 3.10: a C-level word loop, no string materialisation
     int.bit_count
@@ -218,3 +232,109 @@ def hamming_ball(center: int, radius: int, n: int) -> List[int]:
         if popcount(x ^ center) <= radius:
             members.append(x)
     return members
+
+
+# --------------------------------------------------------------------------
+# Word-array mask kernels (E20)
+# --------------------------------------------------------------------------
+
+#: Bits per word of the array representation.
+WORD_BITS = 64
+
+
+def n_words(size: int) -> int:
+    """Words needed to hold a ``size``-bit mask (at least one)."""
+    return max(1, (int(size) + WORD_BITS - 1) // WORD_BITS)
+
+
+def mask_to_words(mask: int, size: int, copy: bool = True) -> np.ndarray:
+    """Unpack a big-int mask into a little-endian ``(n_words(size),)`` uint64 array.
+
+    Word ``w`` holds bits ``64*w .. 64*w+63``; bits at or above ``size``
+    are zero by construction (``mask`` must fit in ``size`` bits).
+
+    ``copy=False`` returns a read-only view over the exported bytes —
+    for hot sweeps that only ever read the words, it skips one array
+    copy per call.
+    """
+    if mask < 0:
+        raise ValueError("mask_to_words expects a nonnegative mask")
+    nw = n_words(size)
+    if mask.bit_length() > nw * WORD_BITS:
+        raise ValueError(f"mask has {mask.bit_length()} bits; size is {size}")
+    view = np.frombuffer(mask.to_bytes(nw * 8, "little"), dtype="<u8")
+    if not copy:
+        return view
+    return view.astype(np.uint64, copy=True)
+
+
+def masks_to_words(masks: Sequence[int], size: int) -> np.ndarray:
+    """Stack masks into a ``(len(masks), n_words(size))`` uint64 matrix.
+
+    One bulk byte conversion — the matrix form is what the vectorised
+    sweeps (margins, intervals) operate on.
+    """
+    nw = n_words(size)
+    if not masks:
+        return np.empty((0, nw), dtype=np.uint64)
+    nbytes = nw * 8
+    payload = b"".join(int(m).to_bytes(nbytes, "little") for m in masks)
+    return (
+        np.frombuffer(payload, dtype="<u8")
+        .astype(np.uint64, copy=True)
+        .reshape(len(masks), nw)
+    )
+
+
+def words_to_mask(words: np.ndarray) -> int:
+    """Inverse of :func:`mask_to_words`: pack a uint64 vector into a big int."""
+    return int.from_bytes(np.ascontiguousarray(words, dtype="<u8").tobytes(), "little")
+
+
+#: 256-entry popcount lookup table for NumPy builds without bitwise_count.
+_POPCOUNT_LUT: Optional[np.ndarray] = None
+
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_words_lut(words: np.ndarray) -> int:
+    """Byte-LUT popcount of a uint64 array (the pre-``bitwise_count`` path)."""
+    global _POPCOUNT_LUT
+    if _POPCOUNT_LUT is None:
+        _POPCOUNT_LUT = np.array(
+            [popcount(i) for i in range(256)], dtype=np.uint8
+        )
+    flat = np.ascontiguousarray(words, dtype=np.uint64)
+    return int(_POPCOUNT_LUT[flat.view(np.uint8)].sum(dtype=np.int64))
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Total set bits of a uint64 array (any shape)."""
+    if _HAVE_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum(dtype=np.int64))
+    return _popcount_words_lut(words)
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a ``(k, nwords)`` uint64 matrix."""
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    global _POPCOUNT_LUT
+    if _POPCOUNT_LUT is None:
+        _popcount_words_lut(np.zeros(1, dtype=np.uint64))
+    view = np.ascontiguousarray(words, dtype=np.uint64).view(np.uint8)
+    return _POPCOUNT_LUT[view].sum(axis=-1, dtype=np.int64)
+
+
+def and_popcount_words(a: np.ndarray, b: np.ndarray) -> int:
+    """``popcount(a & b)`` without materialising the big-int intersection."""
+    return popcount_words(np.bitwise_and(a, b))
+
+
+def andnot_any_rows(rows: np.ndarray, words: np.ndarray) -> np.ndarray:
+    """Per-row test ``rows[i] & ~words != 0`` over a ``(k, nwords)`` matrix.
+
+    The vectorised form of the margin containment check ``β(ω) ⊄ B``: row
+    ``i`` is True when it has a set bit outside ``words``.
+    """
+    return np.bitwise_and(rows, np.bitwise_not(words)).any(axis=-1)

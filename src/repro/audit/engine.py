@@ -58,10 +58,13 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
 from pickle import PicklingError
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .. import _native
 
 from ..algebraic.encode import MAX_TENSOR_DIMENSION, TensorCache
 from ..core.verdict import AuditVerdict
@@ -136,17 +139,69 @@ _POOL_WORKER = False
 #: the pool initializer instead of once per task (see :class:`_TaskContext`).
 _WORKER_CONTEXT: Optional["_TaskContext"] = None
 
+#: The worker's view of the batch's shared-memory tensor pool: a read-only
+#: ``(count, 3, …, 3)`` float64 array mapped over the parent's segment, or
+#: ``None`` when no pool is attached (tasks then carry inline tensors, or
+#: none at all and the pipeline recomputes them).
+_WORKER_TENSORS: Optional[np.ndarray] = None
+
+#: Keeps the worker's SharedMemory mapping alive for the pool's lifetime.
+_WORKER_SHM: Optional[shared_memory.SharedMemory] = None
+
+
+def _unregister_shm(shm: shared_memory.SharedMemory) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    Attaching registers the segment with the tracker on CPythons before the
+    3.13 ``track=`` parameter, so every spawned worker would try to clean up
+    (and warn about) a segment only the parent owns.  Unregistering after
+    attach restores single-owner semantics; failures are cosmetic only.
+
+    Forked workers share the parent's tracker process, where registration
+    is a set — their duplicate register is a no-op, but an unregister would
+    strip the *parent's* entry and make the eventual ``unlink`` trip a
+    tracker KeyError.  So under fork this does nothing.
+    """
+    try:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if multiprocessing.get_start_method(allow_none=True) == "fork":
+            return
+        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:  # pragma: no cover - tracker API drift is non-fatal
+        pass
+
 
 def _init_pool_worker(context: Optional["_TaskContext"] = None) -> None:
     """Pool initializer: flag this process as a worker and pin the context.
 
     Runs once per worker process.  ``context`` carries everything constant
     across a batch (audited set, assumption, tolerance, budget), so each
-    shipped task only pickles its per-pair payload.
+    shipped task only pickles its per-pair payload.  When the context names
+    a shared-memory tensor pool, the worker maps it once here — a failed
+    attach degrades to tensor recomputation per task, never to an error.
     """
-    global _POOL_WORKER, _WORKER_CONTEXT
+    global _POOL_WORKER, _WORKER_CONTEXT, _WORKER_TENSORS, _WORKER_SHM
     _POOL_WORKER = True
     _WORKER_CONTEXT = context
+    _WORKER_TENSORS = None
+    _WORKER_SHM = None
+    if context is None or context.shm_name is None:
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=context.shm_name)
+    except (OSError, ValueError):
+        return  # pool gone or unmappable: slim tasks recompute tensors
+    _unregister_shm(shm)
+    _WORKER_SHM = shm
+    tensors = np.ndarray(
+        (context.tensor_count,) + tuple(context.tensor_shape),
+        dtype=np.float64,
+        buffer=shm.buf,
+    )
+    tensors.flags.writeable = False
+    _WORKER_TENSORS = tensors
 
 
 @dataclass(frozen=True)
@@ -179,6 +234,11 @@ class _TaskContext:
     Pickling the constants per task made dispatch cost scale with payload
     size times batch size — the context travels through the pool
     initializer's ``initargs`` instead, once per worker process.
+
+    ``shm_name``/``tensor_shape``/``tensor_count`` describe the batch's
+    shared-memory tensor pool (E20): slim tasks then ship an integer slot
+    into the pool instead of a pickled ``3**n``-element tensor, and the
+    worker maps the segment once in its initializer.
     """
 
     assumption_value: str
@@ -186,14 +246,20 @@ class _TaskContext:
     audited: PropertySet
     budget_seconds: Optional[float] = None
     use_sos: bool = False
+    shm_name: Optional[str] = None
+    tensor_shape: Optional[Tuple[int, ...]] = None
+    tensor_count: int = 0
 
     def rebuild(self, slim: "_SlimTask") -> DecisionTask:
+        tensor = slim.tensor
+        if tensor is None and slim.tensor_slot is not None and _WORKER_TENSORS is not None:
+            tensor = _WORKER_TENSORS[slim.tensor_slot]
         return DecisionTask(
             assumption_value=self.assumption_value,
             atol=self.atol,
             audited=self.audited,
             disclosed=slim.disclosed,
-            tensor=slim.tensor,
+            tensor=tensor,
             budget_seconds=self.budget_seconds,
             use_sos=self.use_sos,
             pinned=slim.pinned,
@@ -202,11 +268,17 @@ class _TaskContext:
 
 @dataclass(frozen=True)
 class _SlimTask:
-    """The per-pair remainder of a task once the context is factored out."""
+    """The per-pair remainder of a task once the context is factored out.
+
+    ``tensor_slot`` indexes the batch's shared-memory tensor pool when one
+    is attached (``tensor`` is then ``None``); an inline ``tensor`` is the
+    degraded path for pools that could not be created or mapped.
+    """
 
     disclosed: PropertySet
     tensor: Optional[np.ndarray] = None
     pinned: bool = False
+    tensor_slot: Optional[int] = None
 
 
 def _decide_chunk(slims: Tuple[_SlimTask, ...]) -> List[DecisionOutcome]:
@@ -627,6 +699,8 @@ class BatchAuditEngine:
         events = list(log)
         disclosed_sets = self.compile_log(log)
         assumption = self._policy.assumption
+        # Provenance for reports/benchmarks: which kernel backend decided.
+        self.runtime_stats.native_backend = _native.backend_name()
 
         # Probe the in-memory cache per event, then resolve every cache
         # miss against the persistent store in ONE batched round trip —
@@ -766,6 +840,7 @@ class BatchAuditEngine:
         :meth:`flush_store` (the incremental auditor flushes once per
         ``audit_log_incremental`` call).
         """
+        self.runtime_stats.native_backend = _native.backend_name()
         key = VerdictCache.key(
             self._audited, disclosed, self._policy.assumption, self._atol
         )
@@ -871,26 +946,81 @@ class BatchAuditEngine:
         results: List[Optional[DecisionOutcome]] = [None] * len(tasks)
         pending = list(range(len(tasks)))
         self.retry.reset()
-        for attempt in range(1, self.retry.max_attempts + 1):
-            survivors = self._pool_round(tasks, pending, workers, results)
-            if not survivors:
-                return results  # type: ignore[return-value]
-            self.runtime_stats.pool_failures += 1
-            if attempt < self.retry.max_attempts:
-                self.runtime_stats.tasks_resubmitted += len(survivors)
-                self.runtime_stats.pool_retries += 1
-                self.retry.backoff()
-            pending = survivors
-        # The pool never came back: finish the remainder in this process.
-        # (The worker-crash fault probe is inert here, so this terminates.)
-        self.runtime_stats.tasks_recovered_serial += len(pending)
-        for idx in pending:
-            results[idx] = _decide_task(tasks[idx]).with_degradation(
-                "pool-lost:serial-recovery"
-            )
-        return results  # type: ignore[return-value]
+        shm, slots, pool_shape, pool_count = self._share_tensors(tasks)
+        context = self._task_context(shm, pool_shape, pool_count)
+        try:
+            for attempt in range(1, self.retry.max_attempts + 1):
+                survivors = self._pool_round(
+                    tasks, pending, workers, results, context, slots
+                )
+                if not survivors:
+                    return results  # type: ignore[return-value]
+                self.runtime_stats.pool_failures += 1
+                if attempt < self.retry.max_attempts:
+                    self.runtime_stats.tasks_resubmitted += len(survivors)
+                    self.runtime_stats.pool_retries += 1
+                    self.retry.backoff()
+                pending = survivors
+            # The pool never came back: finish the remainder in this process.
+            # (The worker-crash fault probe is inert here, so this terminates.)
+            self.runtime_stats.tasks_recovered_serial += len(pending)
+            for idx in pending:
+                results[idx] = _decide_task(tasks[idx]).with_degradation(
+                    "pool-lost:serial-recovery"
+                )
+            return results  # type: ignore[return-value]
+        finally:
+            if shm is not None:
+                # The parent is the pool's sole owner: close the local
+                # mapping and unlink the segment once the batch is done.
+                shm.close()
+                try:
+                    shm.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
 
-    def _task_context(self) -> _TaskContext:
+    def _share_tensors(self, tasks: List[DecisionTask]) -> Tuple[
+        Optional[shared_memory.SharedMemory],
+        Optional[List[Optional[int]]],
+        Optional[Tuple[int, ...]],
+        int,
+    ]:
+        """Pack the batch's gap tensors into one shared-memory pool.
+
+        Returns ``(segment, slots, shape, count)`` where ``slots[i]`` is
+        task ``i``'s row in the pool (``None`` for tensor-less tasks).  A
+        ``None`` segment means no pool: either the batch carries no tensors
+        at all (possibilistic assumptions) or the segment could not be
+        created — the latter is counted as ``shm_degraded`` and tasks fall
+        back to pickling their tensors inline, verdicts unchanged.
+        """
+        shapes = {t.tensor.shape for t in tasks if t.tensor is not None}
+        if len(shapes) != 1:
+            return None, None, None, 0  # no tensors (or heterogeneous)
+        shape = shapes.pop()
+        count = sum(1 for t in tasks if t.tensor is not None)
+        nbytes = count * int(np.prod(shape)) * np.dtype(np.float64).itemsize
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+            pool = np.ndarray((count,) + shape, dtype=np.float64, buffer=shm.buf)
+        except (OSError, ValueError):
+            self.runtime_stats.shm_degraded += 1
+            return None, None, None, 0
+        slots: List[Optional[int]] = [None] * len(tasks)
+        slot = 0
+        for i, task in enumerate(tasks):
+            if task.tensor is not None:
+                pool[slot] = task.tensor
+                slots[i] = slot
+                slot += 1
+        return shm, slots, shape, count
+
+    def _task_context(
+        self,
+        shm: Optional[shared_memory.SharedMemory] = None,
+        tensor_shape: Optional[Tuple[int, ...]] = None,
+        tensor_count: int = 0,
+    ) -> _TaskContext:
         """The batch-constant task half shipped via the worker initializer."""
         return _TaskContext(
             assumption_value=self._policy.assumption.value,
@@ -898,6 +1028,9 @@ class BatchAuditEngine:
             audited=self._audited,
             budget_seconds=self.decision_budget,
             use_sos=self.use_sos,
+            shm_name=None if shm is None else shm.name,
+            tensor_shape=tensor_shape,
+            tensor_count=tensor_count,
         )
 
     def _chunk_cap(self, pending_count: int, workers: int) -> int:
@@ -944,14 +1077,22 @@ class BatchAuditEngine:
         tasks: List[DecisionTask],
         chunk: List[int],
         futures: Dict[Future, List[int]],
+        slots: Optional[List[Optional[int]]] = None,
     ) -> None:
         if not chunk:
             return
         slims = tuple(
             _SlimTask(
                 disclosed=tasks[idx].disclosed,
-                tensor=tasks[idx].tensor,
+                # A pooled tensor ships as a slot index; only slot-less
+                # tensors (no pool, or pool creation failed) pickle inline.
+                tensor=(
+                    None
+                    if slots is not None and slots[idx] is not None
+                    else tasks[idx].tensor
+                ),
                 pinned=tasks[idx].pinned,
+                tensor_slot=None if slots is None else slots[idx],
             )
             for idx in chunk
         )
@@ -965,6 +1106,8 @@ class BatchAuditEngine:
         pending: List[int],
         workers: int,
         results: List[Optional[DecisionOutcome]],
+        context: Optional[_TaskContext] = None,
+        slots: Optional[List[Optional[int]]] = None,
     ) -> List[int]:
         """One pool pass over ``pending``; returns the indices still missing.
 
@@ -980,12 +1123,14 @@ class BatchAuditEngine:
         """
         stats = self.dispatch_stats
         futures: Dict[Future, List[int]] = {}
+        if context is None:
+            context = self._task_context()
         setup_started = time.monotonic()
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
                 initializer=_init_pool_worker,
-                initargs=(self._task_context(),),
+                initargs=(context,),
             )
         except (OSError, ValueError, RuntimeError):
             return list(pending)  # this environment cannot fork at all
@@ -1001,16 +1146,16 @@ class BatchAuditEngine:
                     for idx in pending:
                         if faults.fire(faults.PICKLE_FAILURE):
                             self.runtime_stats.faults_injected += 1
-                            self._submit_chunk(pool, tasks, chunk, futures)
+                            self._submit_chunk(pool, tasks, chunk, futures, slots)
                             raise PicklingError(
                                 "injected task-dispatch pickle failure "
                                 "(chaos harness)"
                             )
                         chunk.append(idx)
                         if len(chunk) >= chunk_cap:
-                            self._submit_chunk(pool, tasks, chunk, futures)
+                            self._submit_chunk(pool, tasks, chunk, futures, slots)
                             chunk = []
-                    self._submit_chunk(pool, tasks, chunk, futures)
+                    self._submit_chunk(pool, tasks, chunk, futures, slots)
                 except (BrokenProcessPool, PicklingError, OSError, RuntimeError):
                     pass  # already-submitted futures still drain below
                 finally:

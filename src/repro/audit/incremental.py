@@ -191,6 +191,12 @@ class IncrementalAuditor:
         self._consumed: List[DisclosureEvent] = []
         self._findings: List[EventFinding] = []
         self._states: Dict[str, UserCompositionState] = {}
+        # Replay memo: (log fingerprint, repr(since)) of the last audit and
+        # its report.  An identical replay — same events, same window — is
+        # answered from here without touching the engine or the store, so
+        # probing a store twice for the same question costs one probe.
+        self._last_audit_key: Optional[tuple] = None
+        self._last_report: Optional[AuditReport] = None
 
     @property
     def engine(self):
@@ -227,6 +233,8 @@ class IncrementalAuditor:
         self._consumed = []
         self._findings = []
         self._states = {}
+        self._last_audit_key = None
+        self._last_report = None
 
     # -- streaming -----------------------------------------------------------------
 
@@ -280,7 +288,14 @@ class IncrementalAuditor:
         :meth:`~repro.audit.offline.OfflineAuditor.audit_log_serial` over
         the same events — the streaming machinery changes where verdicts
         come from (cache, store, Prop 3.10), never what they are.
+
+        Probing is idempotent per ``(log fingerprint, since)``: replaying
+        the identical log with the identical window returns the memoised
+        report outright — no engine pass, no store probe, no flush.
         """
+        audit_key = (log.fingerprint(), repr(since))
+        if audit_key == self._last_audit_key and self._last_report is not None:
+            return self._last_report
         events = list(log)
         if not self._is_extension(events):
             self.reset()
@@ -303,7 +318,7 @@ class IncrementalAuditor:
             findings = list(self._findings)
         else:
             findings = [f for f in self._findings if f.event.time >= since]
-        return AuditReport(
+        report = AuditReport(
             policy=self._policy,
             findings=findings,
             cache_stats=self._engine.cache.stats(),
@@ -314,3 +329,6 @@ class IncrementalAuditor:
                 else None
             ),
         )
+        self._last_audit_key = audit_key
+        self._last_report = report
+        return report

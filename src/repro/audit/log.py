@@ -9,6 +9,7 @@ did it in 2005 and Mallory did in 2007").  A :class:`DisclosureLog` records
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple, Union
 
@@ -96,6 +97,24 @@ class DisclosureLog:
                 event_index=len(self._events),
             ) from exc
         return event
+
+    def fingerprint(self) -> str:
+        """A stable digest of the log's event identities, in log order.
+
+        Two logs fingerprint equal iff they hold the same events (time,
+        user, query text, note) in the same order — the identity the
+        incremental auditor keys its replay memo on.  Content-derived, so
+        it survives pickling, copies, and process restarts.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for event in self._events:
+            digest.update(
+                repr(
+                    (event.time, event.user, str(event.query), event.note)
+                ).encode("utf-8")
+            )
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     def __iter__(self) -> Iterator[DisclosureEvent]:
         return iter(self._events)

@@ -37,6 +37,8 @@ def render_report(report: AuditReport, width: int = 78) -> str:
         store.lookups or store.stored or store.loaded or store.load_failures
     ):
         lines.append(f"verdict store: {store}")
+    if report.runtime_stats is not None and report.runtime_stats.native_backend:
+        lines.append(f"kernel backend: {report.runtime_stats.native_backend}")
     if report.runtime_stats is not None and report.runtime_stats.any_degradation:
         lines.append(f"runtime degradation: {report.runtime_stats}")
         for finding in report.degraded_findings:

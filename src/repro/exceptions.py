@@ -49,6 +49,15 @@ class UndecidedError(ReproError):
     """A decision procedure could not reach a sound verdict within its budget."""
 
 
+class NativeBackendError(ReproError):
+    """``REPRO_NATIVE=require`` but the compiled kernel extension is unusable.
+
+    Under ``auto`` (the default) a missing or broken extension degrades
+    silently to the NumPy fallback; ``require`` turns that degradation into
+    this error so CI legs can prove the native path actually ran.
+    """
+
+
 class MalformedEventError(ReproError, ValueError):
     """A disclosure-log entry is malformed (bad user, time, or query).
 

@@ -82,12 +82,32 @@ class Stopwatch:
 
 
 def machine_info() -> Dict[str, Any]:
-    """The environment fields stamped into every bench artifact."""
-    return {
+    """The environment fields stamped into every bench artifact.
+
+    Besides the interpreter and host, this records the NumPy version and
+    which decision-kernel backend (``native`` or ``numpy-fallback``) was
+    selected — a bench number is meaningless without knowing which kernel
+    produced it.  Lazy imports keep this module dependency-free for
+    callers that never write artifacts.
+    """
+    info: Dict[str, Any] = {
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
     }
+    try:
+        import numpy
+
+        info["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        info["numpy"] = None
+    try:
+        from .. import _native
+
+        info["kernel_backend"] = _native.backend_name()
+    except Exception:  # pragma: no cover - backend probing must never fail
+        info["kernel_backend"] = None
+    return info
 
 
 def write_bench_json(

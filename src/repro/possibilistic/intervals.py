@@ -23,6 +23,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
+from .. import _bitops
 from ..core.knowledge import PossibilisticKnowledge
 from ..core.worlds import PropertySet, WorldSpace
 from ..exceptions import NotIntersectionClosedError
@@ -157,11 +160,15 @@ class ExplicitIntervalIndex(IntervalOracle):
                 "intervals are defined for ∩-closed K only (Definition 4.4)"
             )
         self._knowledge = knowledge
-        # world → packed masks of its knowledge sets; the interval kernel
-        # intersects these as big ints.
+        # world → packed masks of its knowledge sets.  The big-int lists are
+        # the construction currency; the interval kernel works on a lazily
+        # built word-array mirror (one (k, nwords) uint64 matrix per world,
+        # see _world_words) so an interval is one vectorised membership
+        # column plus one AND-reduction instead of k big-int operations.
         self._by_world: Dict[int, list] = {}
         for pair in knowledge:
             self._by_world.setdefault(pair.world, []).append(pair.knowledge.mask)
+        self._words_by_world: Dict[int, np.ndarray] = {}
 
     @property
     def space(self) -> WorldSpace:
@@ -174,14 +181,32 @@ class ExplicitIntervalIndex(IntervalOracle):
     def candidate_worlds(self) -> PropertySet:
         return self._knowledge.worlds()
 
+    def _world_words(self, world1: int) -> Optional[np.ndarray]:
+        """The ``(k, nwords)`` uint64 matrix of ``world1``'s knowledge sets."""
+        rows = self._words_by_world.get(world1)
+        if rows is None:
+            masks = self._by_world.get(world1)
+            if masks is None:
+                return None
+            rows = _bitops.masks_to_words(masks, self.space.size)
+            self._words_by_world[world1] = rows
+        return rows
+
     def _compute_interval(self, world1: int, world2: int) -> Optional[PropertySet]:
-        result: Optional[int] = None
-        for mask in self._by_world.get(world1, ()):
-            if (mask >> world2) & 1:
-                result = mask if result is None else result & mask
-        if result is None:
+        rows = self._world_words(world1)
+        if rows is None:
             return None
-        return PropertySet._from_mask(self.space, result)
+        # Membership of ω₂ in every set at once: extract bit column ω₂,
+        # then AND-reduce the selected rows — the word-array interval kernel.
+        word, shift = divmod(world2, _bitops.WORD_BITS)
+        member = (rows[:, word] >> np.uint64(shift)) & np.uint64(1)
+        selected = rows[member.astype(bool)]
+        if selected.shape[0] == 0:
+            return None
+        intersection = np.bitwise_and.reduce(selected, axis=0)
+        return PropertySet._from_mask(
+            self.space, _bitops.words_to_mask(intersection)
+        )
 
     def storage_bound_bits(self) -> int:
         """The Remark 4.6 storage bound: at most ``|Ω|³`` bits for all intervals."""

@@ -15,7 +15,9 @@ highlights after Proposition 4.1.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from .. import _bitops
 from ..core.verdict import AuditVerdict
@@ -72,6 +74,26 @@ class SafetyMarginIndex:
         self._origin_mask = audited.mask & oracle.candidate_worlds().mask
         self._margins: Dict[int, int] = {}
         self._stats = CacheStats()
+        # Word-array mirror of the margin memo (E20): origin worlds in
+        # increasing order, one uint64 row per origin, filled in lockstep
+        # with ``_margins`` so the sweep below is a single matrix AND-NOT
+        # instead of one big-int op per origin.
+        self._size = audited.space.size
+        self._origins: List[int] = list(_bitops.iter_bits(self._origin_mask))
+        self._origin_index: Dict[int, int] = {
+            w: i for i, w in enumerate(self._origins)
+        }
+        nwords = _bitops.n_words(self._size)
+        self._margin_words = np.zeros((len(self._origins), nwords), dtype=np.uint64)
+        self._filled = np.zeros(len(self._origins), dtype=bool)
+        self._unfilled_count = len(self._origins)
+        origins_arr = np.array(self._origins, dtype=np.int64).reshape(-1)
+        self._origin_word = origins_arr // _bitops.WORD_BITS
+        self._origin_shift = (origins_arr % _bitops.WORD_BITS).astype(np.uint64)
+        self._origin_bit = np.uint64(1) << self._origin_shift
+        # Reusable sweep buffers: the containment test allocates nothing.
+        self._sweep_not = np.empty(nwords, dtype=np.uint64)
+        self._sweep_and = np.empty_like(self._margin_words)
 
     def _margin_mask(self, world: int) -> int:
         """``β(ω)`` as a packed mask, computed at most once per origin."""
@@ -83,9 +105,20 @@ class SafetyMarginIndex:
             for cls in partition.classes:
                 margin |= cls.mask
             self._margins[world] = margin
+            idx = self._origin_index.get(world)
+            if idx is not None and not self._filled[idx]:
+                self._margin_words[idx] = _bitops.mask_to_words(margin, self._size)
+                self._filled[idx] = True
+                self._unfilled_count -= 1
         else:
             self._stats.hits += 1
         return margin
+
+    def _present_origins(self, b_words: np.ndarray) -> np.ndarray:
+        """Indices (into the origin order) of origins contained in ``B``."""
+        if not self._origins:
+            return np.empty(0, dtype=np.intp)
+        return np.flatnonzero(b_words[self._origin_word] & self._origin_bit)
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss counters of the lazy per-origin margin memo."""
@@ -120,13 +153,48 @@ class SafetyMarginIndex:
 
         By Proposition 4.1 this implies ``Safe_K(A, B)``; with tight
         intervals (Corollary 4.14) it is equivalent to it.
+
+        Worlds of A ∩ B outside ``π₁(K)`` have empty margins and pass
+        trivially, so only origins are checked.  The containment sweep is
+        the word-array kernel of :mod:`repro._bitops`: one ``(k, nwords)``
+        AND-NOT over all present origins at once, instead of one big-int
+        operation per origin (``k`` lazy margin fills at most — each
+        present origin still counts one memo hit or miss per call).
+        """
+        self._audited.space.check_same(disclosed.space)
+        if not self._origins:
+            return True
+        b_words = _bitops.mask_to_words(disclosed.mask, self._size, copy=False)
+        present_bits = (b_words[self._origin_word] & self._origin_bit) != 0
+        present_count = int(present_bits.sum())
+        if present_count == 0:
+            return True
+        if self._unfilled_count:
+            present = np.flatnonzero(present_bits)
+            unfilled = present[~self._filled[present]]
+            for idx in unfilled:
+                self._margin_mask(self._origins[int(idx)])  # miss + row fill
+            self._stats.hits += int(present.size - unfilled.size)
+        else:
+            self._stats.hits += present_count
+        # Full-matrix AND-NOT into the preallocated buffers: absent or
+        # unfilled rows are zero (or masked out by present_bits) and can
+        # never report a spurious violation.
+        np.bitwise_not(b_words, out=self._sweep_not)
+        np.bitwise_and(self._margin_words, self._sweep_not, out=self._sweep_and)
+        violations = self._sweep_and.any(axis=-1)
+        return not bool(np.any(violations & present_bits))
+
+    def test_bigint(self, disclosed: PropertySet) -> bool:
+        """Reference big-int sweep of :meth:`test` (one AND-NOT per origin).
+
+        Kept as the equivalence oracle for the word-array kernel — the E20
+        benchmark and the property tests compare the two implementations
+        verdict-for-verdict.  Counts memo traffic exactly like the legacy
+        path did: one lookup per origin until the first violation.
         """
         self._audited.space.check_same(disclosed.space)
         b_mask = disclosed.mask
-        # Worlds of A ∩ B outside π₁(K) have empty margins and pass
-        # trivially, so only origins need checking — O(|A ∩ C ∩ B|) bit
-        # probes (and at most that many lazy margin fills) instead of a
-        # walk over all of A ∩ B.
         for w1 in _bitops.iter_bits(self._origin_mask & b_mask):
             if self._margin_mask(w1) & ~b_mask != 0:
                 return False
@@ -141,12 +209,15 @@ class SafetyMarginIndex:
         if self.test(disclosed):
             return AuditVerdict.safe("safety-margin", exact=self._check_tight())
         if self._check_tight():
-            b_mask = disclosed.mask
-            offending = next(
-                w
-                for w in _bitops.iter_bits(self._origin_mask & b_mask)
-                if self._margin_mask(w) & ~b_mask != 0
+            # test() filled every present origin's row, so the offending
+            # search is a pure re-sweep; the first violating row in the
+            # increasing origin order matches the legacy big-int walk.
+            b_words = _bitops.mask_to_words(disclosed.mask, self._size)
+            present = self._present_origins(b_words)
+            violations = _bitops.andnot_any_rows(
+                self._margin_words[present], b_words
             )
+            offending = self._origins[int(present[int(np.argmax(violations))])]
             return AuditVerdict.unsafe(
                 "safety-margin",
                 witness=PropertySet._from_mask(

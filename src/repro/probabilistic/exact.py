@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import _native
 from ..algebraic.encode import safety_gap_tensor
 from ..core.verdict import AuditVerdict
 from ..core.worlds import HypercubeSpace, PropertySet
@@ -502,7 +503,7 @@ class _Workspace:
         self.scratch = np.empty((batch, (2 * size) // 3))
         self.masked = np.empty((batch, n))
         self.best = np.empty(batch)
-        self.best_axis = np.empty(batch, dtype=np.intp)
+        self.best_axis = np.empty(batch, dtype=np.int64)
         self.true_var = np.empty(batch)
         self.child_lowers = np.empty(2 * batch)
         self.corners = np.empty((2 * batch, n_corners))
@@ -563,6 +564,11 @@ def decide_nonnegative_on_box_batched(
     )
     explored = 0
     poller = None if budget is None else budget.poller(_BUDGET_CHECK_EVERY)
+    # Resolved once per decision: the compiled kernels, or None for the
+    # pure-NumPy fallback path (REPRO_NATIVE=off, or the extension is absent).
+    _backend = _native.backend()
+    fused = _backend.fused_split
+    select = _backend.select_axes
 
     while len(frontier) and explored < max_boxes:
         count = min(batch, len(frontier), max_boxes - explored)
@@ -572,21 +578,30 @@ def decide_nonnegative_on_box_batched(
         sel_lo, sel_hi, sel_lowers, sel_ub, sel_scale = frontier.take(count, sel)
         explored += count
 
-        # Reorder the slice so boxes sharing a split axis form contiguous
-        # runs: the de Casteljau pass below then works purely on views.
-        axes = _lazy_split_axes(sel, sel_ub, ws, n)
-        order = np.argsort(axes, kind="stable")
-        axes = axes[order]
-        np.take(sel, order, axis=0, out=ws.ordered[:count], mode="clip")
-        ordered = ws.ordered[:count].reshape((count,) + shape3)
-        lo_s = sel_lo[order]
-        hi_s = sel_hi[order]
-        ub_s = sel_ub[order]
-        scale_s = sel_scale[order]
+        if select is not None:
+            # Compiled row-at-a-time lazy selection: same measurements, same
+            # tie order, same in-place bound tightening as _lazy_split_axes.
+            axes = ws.best_axis[:count]
+            select(sel, sel_ub, axes, n)
+        else:
+            axes = _lazy_split_axes(sel, sel_ub, ws, n)
+        if fused is not None:
+            # The fused kernel walks each row at its own axis stride, so no
+            # axis-run reorder is needed — the slice is processed in place.
+            lo_s, hi_s, ub_s, scale_s = sel_lo, sel_hi, sel_ub, sel_scale
+        else:
+            # Reorder the slice so boxes sharing a split axis form contiguous
+            # runs: the de Casteljau pass below then works purely on views.
+            order = np.argsort(axes, kind="stable")
+            axes = axes[order]
+            np.take(sel, order, axis=0, out=ws.ordered[:count], mode="clip")
+            ordered = ws.ordered[:count].reshape((count,) + shape3)
+            lo_s = sel_lo[order]
+            hi_s = sel_hi[order]
+            ub_s = sel_ub[order]
+            scale_s = sel_scale[order]
 
         children = ws.children[: 2 * count]
-        left = children[:count].reshape((count,) + shape3)
-        right = children[count:].reshape((count,) + shape3)
         child_lo = ws.child_lo[: 2 * count]
         child_hi = ws.child_hi[: 2 * count]
         child_lo[:count] = lo_s
@@ -598,27 +613,43 @@ def decide_nonnegative_on_box_batched(
         child_hi[rows, axes] = mids  # left halves
         child_lo[count + rows, axes] = mids  # right halves
 
-        # De Casteljau per axis run, written straight into the child buffer:
-        # m01 = (b0+b1)/2, m12 = (b1+b2)/2, mid = (m01+m12)/2 — bit-for-bit
-        # the arithmetic of :func:`bernstein_split`.
-        start = 0
-        while start < count:
-            axis = int(axes[start])
-            stop = int(np.searchsorted(axes, axis, side="right"))
-            src = np.moveaxis(ordered[start:stop], 1 + axis, 1)
-            left_v = np.moveaxis(left[start:stop], 1 + axis, 1)
-            right_v = np.moveaxis(right[start:stop], 1 + axis, 1)
-            b0, b1, b2 = src[:, 0], src[:, 1], src[:, 2]
-            left_v[:, 0] = b0
-            np.add(b0, b1, out=left_v[:, 1])
-            left_v[:, 1] *= 0.5
-            np.add(b1, b2, out=right_v[:, 1])
-            right_v[:, 1] *= 0.5
-            np.add(left_v[:, 1], right_v[:, 1], out=left_v[:, 2])
-            left_v[:, 2] *= 0.5
-            right_v[:, 0] = left_v[:, 2]
-            right_v[:, 2] = b2
-            start = stop
+        if fused is not None:
+            # Fused native pass: split + per-child min enclosure + corner
+            # gather in one sweep over the pools (see _native/_kernels.c).
+            fused(
+                sel,
+                axes.astype(np.int64, copy=False),
+                children[:count],
+                children[count:],
+                ws.child_lowers[: 2 * count],
+                ws.corners[: 2 * count],
+                corner_idx,
+                n,
+            )
+        else:
+            left = children[:count].reshape((count,) + shape3)
+            right = children[count:].reshape((count,) + shape3)
+            # De Casteljau per axis run, written straight into the child
+            # buffer: m01 = (b0+b1)/2, m12 = (b1+b2)/2, mid = (m01+m12)/2 —
+            # bit-for-bit the arithmetic of :func:`bernstein_split`.
+            start = 0
+            while start < count:
+                axis = int(axes[start])
+                stop = int(np.searchsorted(axes, axis, side="right"))
+                src = np.moveaxis(ordered[start:stop], 1 + axis, 1)
+                left_v = np.moveaxis(left[start:stop], 1 + axis, 1)
+                right_v = np.moveaxis(right[start:stop], 1 + axis, 1)
+                b0, b1, b2 = src[:, 0], src[:, 1], src[:, 2]
+                left_v[:, 0] = b0
+                np.add(b0, b1, out=left_v[:, 1])
+                left_v[:, 1] *= 0.5
+                np.add(b1, b2, out=right_v[:, 1])
+                right_v[:, 1] *= 0.5
+                np.add(left_v[:, 1], right_v[:, 1], out=left_v[:, 2])
+                left_v[:, 2] *= 0.5
+                right_v[:, 0] = left_v[:, 2]
+                right_v[:, 2] = b2
+                start = stop
 
         # Children inherit variation bounds: along any unsplit axis the child
         # coefficients are convex combinations of the parent's (bound kept),
@@ -637,12 +668,15 @@ def decide_nonnegative_on_box_batched(
         child_scale *= 1.0 + _UB_SLACK
         child_ub += _UB_SLACK * child_scale[:, None]
 
-        child_lowers = children.min(axis=1, out=ws.child_lowers[: 2 * count])
-
-        # Corner coefficients are exact values: any < -atol is a witness.
-        child_corners = np.take(
-            children, corner_idx, axis=1, out=ws.corners[: 2 * count], mode="clip"
-        )
+        if fused is not None:
+            child_lowers = ws.child_lowers[: 2 * count]
+            child_corners = ws.corners[: 2 * count]
+        else:
+            child_lowers = children.min(axis=1, out=ws.child_lowers[: 2 * count])
+            # Corner coefficients are exact values: any < -atol is a witness.
+            child_corners = np.take(
+                children, corner_idx, axis=1, out=ws.corners[: 2 * count], mode="clip"
+            )
         worst = int(child_corners.argmin())
         if child_corners.flat[worst] < -atol:
             box, corner = divmod(worst, corner_idx.shape[0])

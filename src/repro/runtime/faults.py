@@ -20,6 +20,9 @@ site               effect at the probe point
 ``store-sql-write``  one shard commit of :meth:`~repro.audit.store_sql.
                    SqliteVerdictStore.flush` fails — that shard's verdicts
                    stay pending (retried next flush); other shards land
+``native-load``    the compiled kernel extension fails to import during
+                   :func:`repro._native.configure` — ``auto`` mode degrades
+                   to the NumPy fallback, ``require`` raises
 =================  ==========================================================
 
 Plans activate either programmatically (:func:`install` / the
@@ -47,6 +50,7 @@ __all__ = [
     "FaultInjector",
     "FaultRule",
     "KNOWN_SITES",
+    "NATIVE_LOAD",
     "NONCONVERGENCE",
     "PICKLE_FAILURE",
     "SOLVER_TIMEOUT",
@@ -66,6 +70,7 @@ SOLVER_TIMEOUT = "solver-timeout"
 NONCONVERGENCE = "nonconvergence"
 STORE_WRITE = "store-write"
 STORE_SQL_WRITE = "store-sql-write"
+NATIVE_LOAD = "native-load"
 
 KNOWN_SITES = (
     WORKER_CRASH,
@@ -74,6 +79,7 @@ KNOWN_SITES = (
     NONCONVERGENCE,
     STORE_WRITE,
     STORE_SQL_WRITE,
+    NATIVE_LOAD,
 )
 
 ENV_PLAN = "REPRO_FAULTS"

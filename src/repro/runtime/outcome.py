@@ -100,22 +100,36 @@ class RuntimeStats:
     degraded_decisions: int = 0  # findings whose outcome is degraded
     faults_injected: int = 0  # injector fires observed in this process
     store_failures: int = 0  # verdict-store loads/flushes that failed
+    shm_degraded: int = 0  # shared-memory tensor pools that fell back to pickling
+    #: Selected decision-kernel backend ("native"/"numpy-fallback"; "" until
+    #: an audit stamped it).  Provenance, not a degradation counter: it is
+    #: excluded from ``merge`` sums, ``any_degradation`` and ``__str__``.
+    native_backend: str = ""
 
     def merge(self, other: "RuntimeStats") -> "RuntimeStats":
         merged = RuntimeStats()
         for name, value in asdict(self).items():
-            setattr(merged, name, value + getattr(other, name))
+            if isinstance(value, str):
+                setattr(merged, name, value or getattr(other, name))
+            else:
+                setattr(merged, name, value + getattr(other, name))
         return merged
 
     @property
     def any_degradation(self) -> bool:
-        return any(value for value in asdict(self).values())
+        return any(
+            value
+            for value in asdict(self).values()
+            if not isinstance(value, str)
+        )
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
     def __str__(self) -> str:
-        nonzero = {k: v for k, v in asdict(self).items() if v}
+        nonzero = {
+            k: v for k, v in asdict(self).items() if v and not isinstance(v, str)
+        }
         return "clean" if not nonzero else ", ".join(
             f"{k}={v}" for k, v in nonzero.items()
         )

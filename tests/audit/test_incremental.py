@@ -161,6 +161,79 @@ class TestEquivalence:
         assert report.store_stats is None
 
 
+class TestProbeIdempotency:
+    """Replaying an identical (log, since) is free: no probe, no flush."""
+
+    def test_identical_replay_touches_neither_store_nor_engine(
+        self, registry, tmp_path
+    ):
+        log = build_mixed_density_log(registry, n_events=30, seed=7)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor = IncrementalAuditor(registry, make_policy(), store=store)
+        first = auditor.audit_log(log)
+        probes = store.stats.probes
+        flushes = store.stats.flushes
+        skipped = store.stats.skipped_flushes
+        assert probes == 1  # one batched probe on the cold run
+
+        replay = auditor.audit_log(log)
+        assert replay is first  # memoised report, returned outright
+        assert store.stats.probes == probes
+        assert store.stats.flushes == flushes
+        assert store.stats.skipped_flushes == skipped
+        assert statuses(replay) == statuses(first)
+
+    def test_grown_log_is_not_short_circuited(self, registry, tmp_path):
+        log = build_mixed_density_log(registry, n_events=20, seed=7)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor = IncrementalAuditor(registry, make_policy(), store=store)
+        auditor.audit_log(log)
+        probes = store.stats.probes
+
+        grown = DisclosureLog(list(log))
+        extra = build_mixed_density_log(registry, n_events=3, seed=41)
+        for i, event in enumerate(extra):
+            grown.record(1000 + i, event.user, event.query)
+        report = auditor.audit_log(grown)
+        assert store.stats.probes == probes + 1  # the fingerprint moved
+        assert len(report.findings) == len(grown)
+
+    def test_same_content_rebuilt_log_still_short_circuits(
+        self, registry, tmp_path
+    ):
+        """The memo keys on content (fingerprint), not object identity —
+        a cold-restart shape where the log is re-read from scratch."""
+        log = build_mixed_density_log(registry, n_events=20, seed=7)
+        rebuilt = DisclosureLog(list(log))
+        assert log.fingerprint() == rebuilt.fingerprint()
+
+        store = VerdictStore(tmp_path / "store.json")
+        auditor = IncrementalAuditor(registry, make_policy(), store=store)
+        first = auditor.audit_log(log)
+        probes = store.stats.probes
+        assert auditor.audit_log(rebuilt) is first
+        assert store.stats.probes == probes
+
+    def test_since_is_part_of_the_key(self, registry, tmp_path):
+        log = build_mixed_density_log(registry, n_events=20, seed=7)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor = IncrementalAuditor(registry, make_policy(), store=store)
+        full = auditor.audit_log(log)
+        tail = auditor.audit_log(log, since=10)
+        assert tail is not full
+        assert [f.event for f in tail.findings] == list(log.since(10))
+
+    def test_reset_clears_the_memo(self, registry, tmp_path):
+        log = build_mixed_density_log(registry, n_events=20, seed=7)
+        store = VerdictStore(tmp_path / "store.json")
+        auditor = IncrementalAuditor(registry, make_policy(), store=store)
+        first = auditor.audit_log(log)
+        auditor.reset()
+        again = auditor.audit_log(log)
+        assert again is not first
+        assert statuses(again) == statuses(first)
+
+
 POSSIBILISTIC = (
     PriorAssumption.POSSIBILISTIC_SUBCUBES,
     PriorAssumption.POSSIBILISTIC_UNRESTRICTED,

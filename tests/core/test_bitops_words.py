@@ -1,0 +1,106 @@
+"""Property tests for the E20 word-array mask kernels.
+
+Every word-array operation is checked against its big-int reference on
+randomly drawn masks: the two representations must be interchangeable
+bit-for-bit, and the byte-LUT popcount path must agree with NumPy's
+``bitwise_count`` wherever both exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import _bitops as bo
+
+#: Sizes straddling the word boundary: sub-word, exact words, ragged tail.
+SIZES = [1, 7, 63, 64, 65, 128, 200, 300]
+
+
+def masks(size: int):
+    return st.integers(min_value=0, max_value=(1 << size) - 1)
+
+
+class TestWordConversion:
+    @given(st.data())
+    def test_roundtrip(self, data):
+        size = data.draw(st.sampled_from(SIZES))
+        mask = data.draw(masks(size))
+        words = bo.mask_to_words(mask, size)
+        assert words.dtype == np.uint64
+        assert words.shape == (bo.n_words(size),)
+        assert bo.words_to_mask(words) == mask
+
+    @given(st.data())
+    def test_bulk_matches_per_mask(self, data):
+        size = data.draw(st.sampled_from(SIZES))
+        values = data.draw(st.lists(masks(size), min_size=0, max_size=8))
+        bulk = bo.masks_to_words(values, size)
+        assert bulk.shape == (len(values), bo.n_words(size))
+        for row, mask in zip(bulk, values):
+            np.testing.assert_array_equal(row, bo.mask_to_words(mask, size))
+
+    def test_oversized_mask_rejected(self):
+        with pytest.raises(ValueError):
+            bo.mask_to_words(1 << 64, 64)
+        with pytest.raises(ValueError):
+            bo.mask_to_words(-1, 64)
+
+    def test_word_layout_is_little_endian(self):
+        words = bo.mask_to_words((1 << 64) | 1, 65)
+        assert list(words) == [1, 1]
+
+
+class TestPopcounts:
+    @given(st.data())
+    def test_popcount_words_matches_bigint(self, data):
+        size = data.draw(st.sampled_from(SIZES))
+        mask = data.draw(masks(size))
+        assert bo.popcount_words(bo.mask_to_words(mask, size)) == bo.popcount(mask)
+
+    @given(st.data())
+    def test_lut_path_matches_bigint(self, data):
+        # The fallback must hold even when bitwise_count exists — it is the
+        # only popcount on older NumPy and never allowed to rot.
+        size = data.draw(st.sampled_from(SIZES))
+        mask = data.draw(masks(size))
+        words = bo.mask_to_words(mask, size)
+        assert bo._popcount_words_lut(words) == bo.popcount(mask)
+
+    @given(st.data())
+    def test_popcount_rows_matches_per_row(self, data):
+        size = data.draw(st.sampled_from(SIZES))
+        values = data.draw(st.lists(masks(size), min_size=1, max_size=6))
+        rows = bo.masks_to_words(values, size)
+        got = bo.popcount_rows(rows)
+        assert got.tolist() == [bo.popcount(m) for m in values]
+
+    @given(st.data())
+    def test_and_popcount_matches_bigint(self, data):
+        size = data.draw(st.sampled_from(SIZES))
+        a = data.draw(masks(size))
+        b = data.draw(masks(size))
+        got = bo.and_popcount_words(
+            bo.mask_to_words(a, size), bo.mask_to_words(b, size)
+        )
+        assert got == bo.popcount(a & b)
+
+
+class TestAndNotSweep:
+    @given(st.data())
+    def test_matches_bigint_containment(self, data):
+        size = data.draw(st.sampled_from(SIZES))
+        rows_masks = data.draw(st.lists(masks(size), min_size=1, max_size=8))
+        b = data.draw(masks(size))
+        rows = bo.masks_to_words(rows_masks, size)
+        b_words = bo.mask_to_words(b, size)
+        got = bo.andnot_any_rows(rows, b_words)
+        expected = [m & ~b != 0 for m in rows_masks]
+        assert got.tolist() == expected
+
+    def test_empty_matrix(self):
+        rows = bo.masks_to_words([], 128)
+        got = bo.andnot_any_rows(rows, bo.mask_to_words(0, 128))
+        assert got.shape == (0,)

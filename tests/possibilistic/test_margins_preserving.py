@@ -163,3 +163,39 @@ class TestLazyMargins:
         if 3 not in oracle.candidate_worlds():
             assert not index.margin(3)
             assert index.cache_stats().lookups == lookups
+
+
+class TestWordSweepEquivalence:
+    """The E20 word-array margin sweep against its big-int reference."""
+
+    def _index(self, space):
+        k = closed_k(space, [[0, 1, 2], [1, 2, 3], [0, 3], [0, 1, 2, 3]])
+        oracle = ExplicitIntervalIndex(k)
+        audited = space.property_set([0, 1])
+        return SafetyMarginIndex(oracle, audited, require_tight=False)
+
+    def test_word_and_bigint_sweeps_agree_on_all_subsets(self):
+        space = WorldSpace(4)
+        word_index = self._index(space)
+        bigint_index = self._index(space)
+        for b in all_subsets(space):
+            assert word_index.test(b) == bigint_index.test_bigint(b), b
+
+    def test_audit_offending_origin_matches_bigint_walk(self):
+        """UNSAFE audits blame the first violating origin in increasing order."""
+        space = WorldSpace(4)
+        index = self._index(space)
+        for b in all_subsets(space):
+            if index.test(b):
+                continue
+            b_mask = b.mask
+            expected = next(
+                w
+                for w in sorted(index._origin_index)
+                if (b_mask >> w) & 1 and index._margin_mask(w) & ~b_mask != 0
+            )
+            verdict_index = self._index(space)
+            verdict_index._tight = True  # skip the tightness scan; data is fixed
+            verdict = verdict_index.audit(b)
+            assert not verdict.is_safe
+            assert verdict.details["origin"] == expected

@@ -468,3 +468,43 @@ class TestStoreSqlWrite:
         reloaded = SqliteVerdictStore(tmp_path / "store")
         assert len(reloaded) == store.stats.stored
         assert reloaded.stats.load_failures == 0
+
+
+class TestNativeLoad:
+    """The native-load fault site: a failed kernel import degrades, never decides."""
+
+    @pytest.fixture(autouse=True)
+    def restore_backend(self):
+        from repro import _native
+
+        yield
+        _native.configure(None)
+
+    def test_auto_falls_back_under_fault(self):
+        from repro import _native
+
+        with faults.inject("native-load:1", seed=ENV_SEED):
+            backend = _native.configure("auto")
+        assert backend.name == "numpy-fallback"
+        assert backend.fused_split is None
+        assert backend.load_error == "fault-injected: native-load"
+
+    def test_require_raises_under_fault(self):
+        from repro import _native
+        from repro.exceptions import NativeBackendError
+
+        with faults.inject("native-load:1", seed=ENV_SEED):
+            with pytest.raises(NativeBackendError):
+                _native.configure("require")
+
+    def test_fallback_is_verdict_identical(self, registry, mixed_log):
+        from repro import _native
+
+        policy = make_policy()
+        reference = clean_statuses(registry, policy, mixed_log)
+        with faults.inject("native-load:1", seed=ENV_SEED):
+            _native.configure("auto")
+            engine = BatchAuditEngine(registry, policy, n_workers=1)
+            report = engine.audit_log(mixed_log)
+        assert statuses(report) == reference
+        assert report.runtime_stats.native_backend == "numpy-fallback"
