@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos-smoke bench bench-smoke bench-all build-native
+.PHONY: test chaos-smoke serve-smoke bench bench-smoke bench-all build-native
 
 # Best-effort build of the E20 compiled kernels into src/ (optional: the
 # NumPy fallback is verdict-identical when this fails or is skipped).
@@ -13,12 +13,20 @@ test:
 
 # Seeded chaos matrix: the fault-injection suite replayed under several
 # fault schedules (including the store-write, store-sql-write and
-# native-load sites). Verdicts must stay identical at every seed.
+# native-load sites), plus the gateway chaos matrix (conn-drop,
+# journal-torn-write, slow-tenant, drain-flush). Verdicts must stay
+# identical at every seed.
 chaos-smoke:
 	for seed in 0 1 2; do \
 		echo "== chaos seed $$seed =="; \
-		REPRO_FAULTS_SEED=$$seed $(PYTHON) -m pytest tests/runtime -x -q || exit 1; \
+		REPRO_FAULTS_SEED=$$seed $(PYTHON) -m pytest tests/runtime tests/service -x -q || exit 1; \
 	done
+
+# End-to-end gateway smoke: boot `repro serve` on ephemeral ports, replay
+# a 1k-event two-tenant trace over real sockets, SIGTERM, assert a clean
+# drain with full per-tenant accounting.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 bench:
 	$(PYTHON) -m repro.perf.bench

@@ -1,0 +1,55 @@
+"""E21 — the online gateway: sustained multi-tenant decisions over TCP.
+
+A tier-2 run of the E21 measurement from :mod:`repro.perf.bench`: a real
+asyncio gateway (ephemeral loopback port, per-tenant fsync'd journals,
+shared sharded-SQLite verdict store) replays a seeded Zipf trace through
+concurrent client connections, then drains SIGTERM-style.  Asserted, not
+just recorded: the drain is clean (flushed, zero drain-sheds), sheds were
+retried honestly rather than dropped, and every per-event status the live
+gateway answered equals a batched offline audit of the same events — the
+online path moves latency and provenance, never verdicts.  The full-size
+run (12k events / 120 tenants) lands in ``BENCH_audit_pipeline.json`` via
+``make bench``.
+"""
+
+from __future__ import annotations
+
+from conftest import report_table
+from repro.perf.bench import run_gateway_bench
+
+SMOKE_EVENTS = 600
+SMOKE_TENANTS = 24
+SMOKE_CONNECTIONS = 4
+
+
+def test_gateway_smoke():
+    document = run_gateway_bench(
+        n_events=SMOKE_EVENTS,
+        n_tenants=SMOKE_TENANTS,
+        n_connections=SMOKE_CONNECTIONS,
+        seed=7,
+    )
+
+    assert document["verdict_identical"]
+    assert document["drain"]["clean_drain"]
+    assert document["drain"]["decided"] == SMOKE_EVENTS
+    # Honest accounting: every shed was retried to a decision.
+    assert document["admission"]["retries"] == document["admission"]["shed"]
+
+    workload = document["workload"]
+    lines = [
+        f"events={workload['events']}  tenants={workload['tenants']}  "
+        f"connections={workload['connections']}  "
+        f"queue_limit={workload['queue_limit']}",
+        f"throughput {document['throughput']['decisions_per_sec']:8.0f} "
+        f"decisions/s over {document['throughput']['seconds']*1e3:.1f} ms",
+        f"latency p50 {document['latency_ms']['p50']:7.2f} ms   "
+        f"p99 {document['latency_ms']['p99']:7.2f} ms   "
+        f"max {document['latency_ms']['max']:7.2f} ms",
+        f"admission: {document['admission']['shed']} sheds "
+        f"({document['admission']['shed_rate']:.2%}), all retried",
+        f"drain: clean={document['drain']['clean_drain']}  "
+        f"decided={document['drain']['decided']}  "
+        f"verdicts identical to offline audit",
+    ]
+    report_table("E21: online gateway (multi-tenant Zipf replay)", lines)

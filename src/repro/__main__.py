@@ -12,6 +12,11 @@ Commands
     The paper's §1.1 hospital story, end to end.
 ``figure1``
     Render the reconstructed Figure 1 and its minimal intervals.
+``serve SCENARIO.json``
+    Boot the multi-tenant online auditing gateway over the scenario's
+    universe and policy: JSON-lines decisions over TCP, HTTP health/stats,
+    per-tenant journals for crash recovery.  Runs until SIGTERM/SIGINT,
+    then drains gracefully and prints the per-tenant footer.
 """
 
 from __future__ import annotations
@@ -85,6 +90,53 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .audit.report import render_gateway_footer
+    from .service import AuditGateway, ShardManager
+
+    scenario = load_scenario(args.scenario)
+    store = (
+        open_verdict_store(args.store, backend=args.store_backend)
+        if args.store
+        else None
+    )
+    manager = ShardManager(
+        scenario.universe,
+        scenario.policy,
+        journal_dir=args.journal,
+        store=store,
+        decision_budget=args.decision_budget,
+    )
+
+    async def run() -> dict:
+        gateway = AuditGateway(
+            manager,
+            host=args.host,
+            port=args.port,
+            http_port=args.http_port,
+            queue_limit=args.queue_limit,
+            drain_budget=args.drain_budget,
+            default_deadline_ms=args.deadline_ms,
+        )
+        await gateway.start()
+        gateway.install_signal_handlers()
+        print(
+            f"gateway listening on {args.host}:{gateway.port} "
+            f"(http {args.host}:{gateway.http_port}) — "
+            f"policy {scenario.policy.name!r}, journals in {args.journal}",
+            flush=True,
+        )
+        report = await gateway.serve_until_drained()
+        return report
+
+    report = asyncio.run(run())
+    print("drained:", json.dumps({k: v for k, v in report.items() if k != "tenants"}))
+    print(render_gateway_footer(manager.snapshot()))
+    return 0 if report["flushed"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -133,6 +185,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure1 = subparsers.add_parser("figure1", help="render Figure 1")
     figure1.set_defaults(func=_cmd_figure1)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant online auditing gateway"
+    )
+    serve.add_argument("scenario", help="path to a scenario JSON file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7341, help="decision port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=7342,
+        help="health/stats HTTP port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--journal",
+        default="journals",
+        metavar="DIR",
+        help="per-tenant event-journal directory (created if absent; "
+        "existing journals are replayed before accepting)",
+    )
+    serve.add_argument(
+        "--store", metavar="PATH", help="shared persistent verdict store"
+    )
+    serve.add_argument(
+        "--store-backend", choices=STORE_BACKENDS, default="sqlite"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="per-tenant admission queue bound (overflow sheds)",
+    )
+    serve.add_argument(
+        "--drain-budget",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how long a SIGTERM drain waits for in-flight work",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (requests may override)",
+    )
+    serve.add_argument(
+        "--decision-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-decision engine budget when no deadline applies",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

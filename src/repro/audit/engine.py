@@ -631,23 +631,35 @@ class BatchAuditEngine:
         """
         sets: List[PropertySet] = []
         for index, event in enumerate(log):
-            query_key = repr(event.query)
-            disclosed = self._compiled.get(query_key)
-            if disclosed is None:
-                try:
-                    disclosed = self._universe.compile_answer(event.query)
-                except (KeyError, QueryError) as exc:
-                    raise MalformedEventError(
-                        f"query {event.query} does not compile against the "
-                        f"universe: {exc}",
-                        event_index=index,
-                    ) from exc
-                self._compiled[query_key] = disclosed
-                self._compile_stats.misses += 1
-            else:
-                self._compile_stats.hits += 1
-            sets.append(disclosed)
+            try:
+                sets.append(self.compile_query(event.query))
+            except (KeyError, QueryError) as exc:
+                raise MalformedEventError(
+                    f"query {event.query} does not compile against the "
+                    f"universe: {exc}",
+                    event_index=index,
+                ) from exc
         return sets
+
+    def compile_query(self, query) -> PropertySet:
+        """One query's disclosed set, served from the batch-compilation memo.
+
+        The single-query entry behind :meth:`compile_log`, exposed for
+        streaming callers (the incremental auditor's per-event ``append``
+        and the online gateway) that receive events one at a time but want
+        the same memoisation a batch gets.  Raises the compiler's own
+        :class:`KeyError`/:class:`~repro.exceptions.QueryError` — callers
+        with an event index wrap it in a ``MalformedEventError``.
+        """
+        query_key = repr(query)
+        disclosed = self._compiled.get(query_key)
+        if disclosed is None:
+            disclosed = self._universe.compile_answer(query)
+            self._compiled[query_key] = disclosed
+            self._compile_stats.misses += 1
+        else:
+            self._compile_stats.hits += 1
+        return disclosed
 
     # -- tensor sharing ------------------------------------------------------------
 
@@ -830,7 +842,9 @@ class BatchAuditEngine:
             self.runtime_stats.store_failures += delta
             self.store.failures_reported = failures
 
-    def decide_one(self, disclosed: PropertySet) -> DecisionOutcome:
+    def decide_one(
+        self, disclosed: PropertySet, pinned: bool = False
+    ) -> DecisionOutcome:
         """Decide ``Safe_K(A, disclosed)`` through cache → store → pipeline.
 
         The single-pair entry the incremental layer uses for running-
@@ -839,6 +853,14 @@ class BatchAuditEngine:
         batch.  The caller is responsible for an eventual
         :meth:`flush_store` (the incremental auditor flushes once per
         ``audit_log_incremental`` call).
+
+        ``pinned`` forces the deterministic exact path regardless of the
+        breaker — the gateway uses it to pin a misbehaving *tenant* (whose
+        keyed breaker is open) without waiting for this engine's own
+        certificate-stage breaker to trip.  Sound and verdict-identical,
+        like every breaker pin.  Note the cache/store are consulted first:
+        a pinned call can still be served an unpinned run's verdict —
+        they are interchangeable by the resilience contract.
         """
         self.runtime_stats.native_backend = _native.backend_name()
         key = VerdictCache.key(
@@ -860,6 +882,7 @@ class BatchAuditEngine:
             tensor=self._tensor_for(disclosed),
             budget_seconds=self.decision_budget,
             use_sos=self.use_sos,
+            pinned=pinned,
         )
         outcome = _decide_task(self._apply_breaker(task))
         self._record_outcome(outcome)

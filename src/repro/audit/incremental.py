@@ -279,6 +279,54 @@ class IncrementalAuditor:
         self._consumed.append(event)
         self._findings.append(finding)
 
+    def append(
+        self,
+        event: DisclosureEvent,
+        budget_seconds: Optional[float] = None,
+        pinned: bool = False,
+    ) -> EventFinding:
+        """Consume one appended event and return its finding, synchronously.
+
+        The single-event streaming entry the online gateway decides each
+        disclosure through *before* release: compile the query (memoised),
+        decide the pair through cache → store → pipeline, fold the event
+        into its user's composition state, and return the finding.  The
+        cumulative verdict is then available via :meth:`cumulative_verdict`.
+        Verdict statuses are identical to :meth:`audit_log` consuming the
+        same events — this entry changes when decisions happen (one at a
+        time, before each release), never what they are.
+
+        ``budget_seconds`` overrides the auditor's ``decision_budget`` for
+        this one decision (the gateway threads each request's remaining
+        admission deadline through here); ``pinned`` forces the
+        deterministic exact path (the gateway sets it while a tenant's
+        keyed circuit breaker is open).  The caller owns flush cadence:
+        like :meth:`~repro.audit.engine.BatchAuditEngine.decide_one`, this
+        writes through to an attached store without flushing.
+        """
+        self._engine.decision_budget = (
+            budget_seconds if budget_seconds is not None else self.decision_budget
+        )
+        try:
+            disclosed = self._engine.compile_query(event.query)
+            outcome = self._engine.decide_one(disclosed, pinned=pinned)
+            finding = EventFinding(
+                event=event,
+                disclosed_set=disclosed,
+                verdict=outcome.verdict,
+                outcome=outcome,
+            )
+            # _consume may run a cumulative decision too; it shares the
+            # request's budget (the deadline covers the whole decision).
+            self._consume(event, finding)
+        finally:
+            self._engine.decision_budget = self.decision_budget
+        # The replay memo keys on (log fingerprint, since); a direct append
+        # changes the consumed prefix, so any memoised report is stale.
+        self._last_audit_key = None
+        self._last_report = None
+        return finding
+
     def audit_log(
         self, log: DisclosureLog, since: Optional[object] = None
     ) -> AuditReport:

@@ -1,8 +1,8 @@
-"""Rendering audit reports as human-readable text."""
+"""Rendering audit reports (and gateway stats) as human-readable text."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from .offline import AuditReport
 
@@ -59,3 +59,79 @@ def _summarise_witness(witness) -> str:
     if len(text) > 100:
         text = text[:97] + "..."
     return text
+
+
+def render_gateway_footer(snapshot: Dict[str, Any], width: int = 78) -> str:
+    """The per-tenant footer for gateway stats snapshots.
+
+    Takes the JSON document the gateway serves on ``/stats`` (see
+    :meth:`~repro.service.stats.GatewayStats.snapshot`) and renders the
+    same counters-never-silent footer :func:`render_report` gives offline
+    audits: one row per tenant, then the aggregated runtime/store lines in
+    their established format.  Used by ``repro serve`` after a drain and
+    reusable against any saved snapshot.
+    """
+    lines: List[str] = ["-" * width]
+    lines.append(
+        f"gateway: {snapshot.get('decided', 0)} decided  "
+        f"{snapshot.get('shed', 0)} shed  "
+        f"{snapshot.get('connections', 0)} connections "
+        f"({snapshot.get('connections_dropped', 0)} dropped)  "
+        f"{snapshot.get('protocol_errors', 0)} protocol errors"
+    )
+    for name, tenant in sorted(snapshot.get("tenants", {}).items()):
+        verdicts = (
+            f"allow={tenant['allowed']} deny={tenant['denied']}"
+            + (f" unknown={tenant['unknown']}" if tenant.get("unknown") else "")
+        )
+        extras = []
+        if tenant.get("shed"):
+            reasons = ",".join(
+                f"{reason}:{count}"
+                for reason, count in sorted(tenant["shed_reasons"].items())
+            )
+            extras.append(f"shed={tenant['shed']}({reasons})")
+        if tenant.get("degraded"):
+            extras.append(f"degraded={tenant['degraded']}")
+        if tenant.get("pinned"):
+            extras.append(f"pinned={tenant['pinned']}")
+        if tenant.get("recoveries"):
+            extras.append(
+                f"recovered={tenant['replayed_events']}ev"
+                f"/{tenant['recoveries']}x"
+            )
+        if tenant.get("torn_tails_dropped"):
+            extras.append(f"torn={tenant['torn_tails_dropped']}")
+        if tenant.get("breaker_state", "closed") != "closed":
+            extras.append(f"breaker={tenant['breaker_state']}")
+        tail = ("  " + " ".join(extras)) if extras else ""
+        lines.append(
+            f"  {name}: {tenant['decided']} decided ({verdicts})"
+            f"  {tenant['busy_ms']:.0f}ms{tail}"
+        )
+    runtime = snapshot.get("runtime") or {}
+    nonzero = {
+        key: value
+        for key, value in runtime.items()
+        if value and not isinstance(value, str)
+    }
+    if nonzero:
+        lines.append(
+            "runtime degradation: "
+            + ", ".join(f"{key}={value}" for key, value in nonzero.items())
+        )
+    store = snapshot.get("store") or {}
+    if store and (store.get("hits") or store.get("misses") or store.get("stored")):
+        lines.append(
+            f"verdict store: {store.get('hits', 0)} hits "
+            f"{store.get('misses', 0)} misses "
+            f"{store.get('stored', 0)} stored "
+            f"{store.get('flushes', 0)} flushes"
+            + (
+                f" {store['write_failures']} write failures"
+                if store.get("write_failures")
+                else ""
+            )
+        )
+    lines.append("-" * width)
+    return "\n".join(lines)

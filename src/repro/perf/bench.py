@@ -138,6 +138,11 @@ DEFAULT_KERNEL_DIMS = (4, 5, 6, 8)
 DEFAULT_KERNEL_BOXES = 1500
 DEFAULT_KERNEL_REPEATS = 3
 
+DEFAULT_GATEWAY_EVENTS = 12_000
+DEFAULT_GATEWAY_TENANTS = 120
+DEFAULT_GATEWAY_CONNECTIONS = 8
+DEFAULT_GATEWAY_QUEUE_LIMIT = 64
+
 DEFAULT_NATIVE_DIMS = (4, 6, 8)
 DEFAULT_NATIVE_BOXES = 2000
 DEFAULT_NATIVE_MASK_DIMS = (12, 14)
@@ -1217,6 +1222,160 @@ def run_native_bench(
     }
 
 
+# ---------------------------------------------------------------------------
+# E21 — the online gateway: sustained decisions/sec under multi-tenant load
+# ---------------------------------------------------------------------------
+
+
+def run_gateway_bench(
+    n_events: int = DEFAULT_GATEWAY_EVENTS,
+    n_tenants: int = DEFAULT_GATEWAY_TENANTS,
+    n_connections: int = DEFAULT_GATEWAY_CONNECTIONS,
+    queue_limit: int = DEFAULT_GATEWAY_QUEUE_LIMIT,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Any]:
+    """The E21 section: an in-process gateway replaying a seeded Zipf trace.
+
+    A real asyncio gateway (TCP on an ephemeral loopback port, per-tenant
+    journals, shared SQLite verdict store) serves a Zipf-skewed trace over
+    ``n_tenants`` tenants through ``n_connections`` concurrent client
+    connections.  Recorded: sustained decisions/sec (journal fsync and
+    event-loop time included — this is end-to-end, not engine-only), p50
+    and p99 decision latency, and the *honest* shed count — sheds are
+    retried and counted, never hidden.  The run ends in a SIGTERM-style
+    drain; ``clean_drain`` asserts nothing was dropped silently.  Verdict
+    cross-check: every per-event status the live gateway answered must
+    equal a batched offline audit of the same events.
+    """
+    import asyncio
+    import pathlib
+    import tempfile
+
+    from ..audit.store_sql import SqliteVerdictStore
+    from ..service import AuditGateway, GatewayClient, ShardManager
+    from ..service.trace import hospital_pool, zipf_trace
+
+    universe, policy, pool = hospital_pool()
+    trace = zipf_trace(
+        n_events=n_events, n_tenants=n_tenants, seed=seed, pool=pool
+    )
+    latencies: List[float] = []
+    sheds = 0
+    retries = 0
+    responses: Dict[int, str] = {}
+
+    async def client_task(gateway, events) -> None:
+        nonlocal sheds, retries
+        async with GatewayClient("127.0.0.1", gateway.port, "bench") as client:
+            for event in events:
+                while True:
+                    with Stopwatch() as clock:
+                        response = await client.decide(
+                            event.user,
+                            event.query_text,
+                            time=event.time,
+                            tenant=event.tenant,
+                        )
+                    if response.get("decision") == "shed":
+                        sheds += 1
+                        retries += 1
+                        await asyncio.sleep(response["retry_after_ms"] / 1000.0)
+                        continue
+                    latencies.append(clock.elapsed)
+                    responses[event.time] = response["status"]
+                    break
+
+    async def run(tmp: str) -> Dict[str, Any]:
+        root = pathlib.Path(tmp)
+        manager = ShardManager(
+            universe,
+            policy,
+            journal_dir=root / "journals",
+            store=SqliteVerdictStore(root / "store"),
+        )
+        gateway = AuditGateway(
+            manager, port=0, queue_limit=queue_limit, drain_budget=30.0
+        )
+        await gateway.start()
+        # Tenants are partitioned across connections (round-robin by first
+        # appearance), so per-tenant event order — the order that matters
+        # for composition state — is preserved within each connection.
+        lanes: List[List[Any]] = [[] for _ in range(n_connections)]
+        lane_of: Dict[str, int] = {}
+        for event in trace:
+            lane = lane_of.setdefault(event.tenant, len(lane_of) % n_connections)
+            lanes[lane].append(event)
+        with Stopwatch() as clock:
+            await asyncio.gather(
+                *(client_task(gateway, lane) for lane in lanes if lane)
+            )
+        report = await gateway.drain()
+        return {"seconds": clock.elapsed, "drain": report}
+
+    with tempfile.TemporaryDirectory(prefix="repro-gateway-bench-") as tmp:
+        outcome = asyncio.run(run(tmp))
+
+    # Verdict cross-check against the batched offline engine.  Per-event
+    # verdicts are tenant-independent (they key on the disclosed set), so
+    # one engine pass over the full trace is the reference.
+    log = DisclosureLog()
+    for event in trace:
+        log.record(
+            event.time, event.user, parse_boolean_query(event.query_text)
+        )
+    reference = BatchAuditEngine(universe, policy, n_workers=1).audit_log(log)
+    expected = {
+        finding.event.time: finding.verdict.status.value
+        for finding in reference.findings
+    }
+    if responses != expected:
+        raise AssertionError("gateway verdicts diverge from the offline audit")
+
+    latencies.sort()
+    elapsed = outcome["seconds"]
+    drain = outcome["drain"]
+
+    def percentile(fraction: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(fraction * len(latencies)))]
+
+    return {
+        "workload": {
+            "events": n_events,
+            "tenants": n_tenants,
+            "connections": n_connections,
+            "queue_limit": queue_limit,
+            "seed": seed,
+        },
+        "throughput": {
+            "seconds": round(elapsed, 6),
+            "decisions_per_sec": round(len(latencies) / elapsed, 1),
+        },
+        "latency_ms": {
+            "p50": round(percentile(0.50) * 1e3, 3),
+            "p99": round(percentile(0.99) * 1e3, 3),
+            "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+        },
+        "admission": {
+            "shed": sheds,
+            "shed_rate": round(sheds / (len(latencies) + sheds), 4)
+            if latencies or sheds
+            else 0.0,
+            "retries": retries,
+        },
+        "drain": {
+            "clean_drain": bool(
+                drain["flushed"] and drain["drain_shed"] == 0
+            ),
+            "drain_shed": drain["drain_shed"],
+            "flushed": drain["flushed"],
+            "decided": drain["decided"],
+        },
+        "verdict_identical": True,
+    }
+
+
 def run_bench(
     n_events: int = DEFAULT_EVENTS,
     n_workers: int = DEFAULT_WORKERS,
@@ -1237,15 +1396,21 @@ def run_bench(
     native_mask_dims: Sequence[int] = DEFAULT_NATIVE_MASK_DIMS,
     native_mask_disclosures: int = DEFAULT_NATIVE_MASK_DISCLOSURES,
     native_repeats: int = DEFAULT_NATIVE_REPEATS,
+    gateway_events: int = DEFAULT_GATEWAY_EVENTS,
+    gateway_tenants: int = DEFAULT_GATEWAY_TENANTS,
+    gateway_connections: int = DEFAULT_GATEWAY_CONNECTIONS,
+    gateway_queue_limit: int = DEFAULT_GATEWAY_QUEUE_LIMIT,
 ) -> Dict[str, Any]:
     """Audit one synthetic log through all three pipelines and compare.
 
     Also runs the E15 serial-path sweep (at ``serial_n`` records), the E16
     resilience-overhead measurement, the E17 probabilistic hot-path
     section (kernel sweep over ``kernel_dims`` + pool dispatch economics),
-    the E18 incremental re-audit measurement, and the E19 verdict-store
+    the E18 incremental re-audit measurement, the E19 verdict-store
     backend head-to-head (``store_pairs`` warm probe + concurrency soak),
-    embedding all five sections in the returned document.
+    and the E21 online-gateway replay (``gateway_events`` over
+    ``gateway_tenants`` tenants), embedding all these sections in the
+    returned document.
     """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
@@ -1373,6 +1538,13 @@ def run_bench(
         repeats=native_repeats,
         seed=seed,
     )
+    document["gateway"] = run_gateway_bench(
+        n_events=gateway_events,
+        n_tenants=gateway_tenants,
+        n_connections=gateway_connections,
+        queue_limit=gateway_queue_limit,
+        seed=seed,
+    )
     return document
 
 
@@ -1413,6 +1585,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     native_mask_dims: Sequence[int] = DEFAULT_NATIVE_MASK_DIMS
     native_mask_disclosures = DEFAULT_NATIVE_MASK_DISCLOSURES
     native_repeats = DEFAULT_NATIVE_REPEATS
+    gateway_events = DEFAULT_GATEWAY_EVENTS
+    gateway_tenants = DEFAULT_GATEWAY_TENANTS
+    gateway_connections = DEFAULT_GATEWAY_CONNECTIONS
     if args.smoke:
         args.events = min(args.events, 60)
         args.serial_n = min(args.serial_n, 8)
@@ -1429,6 +1604,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         native_mask_dims = (10,)
         native_mask_disclosures = 60
         native_repeats = 1
+        gateway_events = 400
+        gateway_tenants = 24
+        gateway_connections = 4
 
     document = run_bench(
         n_events=args.events,
@@ -1449,6 +1627,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         native_mask_dims=native_mask_dims,
         native_mask_disclosures=native_mask_disclosures,
         native_repeats=native_repeats,
+        gateway_events=gateway_events,
+        gateway_tenants=gateway_tenants,
+        gateway_connections=gateway_connections,
     )
     path = write_bench_json(args.output, document)
     workload = document["workload"]
@@ -1554,6 +1735,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{row['word_seconds']*1e3:.1f} ms "
             f"→ {row['speedup_word_vs_bigint']}x"
         )
+    gateway = document["gateway"]
+    gw_workload = gateway["workload"]
+    print(
+        f"gateway ({gw_workload['events']} events / {gw_workload['tenants']} "
+        f"tenants / {gw_workload['connections']} conns): "
+        f"{gateway['throughput']['decisions_per_sec']:.0f} decisions/s  "
+        f"p50 {gateway['latency_ms']['p50']:.1f} ms  "
+        f"p99 {gateway['latency_ms']['p99']:.1f} ms  "
+        f"shed rate {gateway['admission']['shed_rate']:.1%}  "
+        f"drain {'clean' if gateway['drain']['clean_drain'] else 'DIRTY'}"
+    )
     return 0
 
 

@@ -23,12 +23,13 @@ the pipeline's *sound* stages, and a decision that exhausts every resource
 returns a typed "unresolved" outcome instead of raising.
 """
 
-from .breaker import BreakerState, CircuitBreaker
+from .breaker import BreakerRegistry, BreakerState, CircuitBreaker
 from .budget import Budget, BudgetPoller
 from .outcome import DecisionOutcome, RuntimeStats
 from .retry import RetryPolicy
 
 __all__ = [
+    "BreakerRegistry",
     "BreakerState",
     "Budget",
     "BudgetPoller",

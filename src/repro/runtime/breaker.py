@@ -19,8 +19,9 @@ set of pinned decisions depend on scheduler noise.
 from __future__ import annotations
 
 import enum
+from typing import Dict, Hashable, Tuple
 
-__all__ = ["BreakerState", "CircuitBreaker"]
+__all__ = ["BreakerState", "BreakerRegistry", "CircuitBreaker"]
 
 
 class BreakerState(enum.Enum):
@@ -101,4 +102,72 @@ class CircuitBreaker:
             f"CircuitBreaker({self.state.value}, "
             f"failures={self._consecutive_failures}/{self.failure_threshold}, "
             f"trips={self.trips})"
+        )
+
+
+class BreakerRegistry:
+    """Independent :class:`CircuitBreaker` instances scoped by key.
+
+    The engine's single breaker protects one fragile stage of one batch; a
+    multi-tenant service needs the same protection *per tenant* (and per
+    stage), because one tenant's pathological workload must never pin its
+    neighbours to the degraded path.  The registry lazily creates one
+    breaker per key — keys are arbitrary hashables, typically a tenant id
+    or a ``(tenant, stage)`` pair — all sharing the registry's thresholds.
+    Each breaker's counters and state advance only on its own key's calls,
+    so trips are isolated by construction.
+
+    The existing single-breaker behaviour is exactly the one-key case:
+    ``registry.for_key(None)`` is API-compatible with constructing a bare
+    ``CircuitBreaker`` (same thresholds, same state machine), so callers
+    can migrate by threading a key through — nothing else changes.
+    """
+
+    def __init__(self, failure_threshold: int = 3, recovery_after: int = 16) -> None:
+        if failure_threshold < 1 or recovery_after < 1:
+            raise ValueError("thresholds must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_after = int(recovery_after)
+        self._breakers: Dict[Hashable, CircuitBreaker] = {}
+
+    def for_key(self, key: Hashable) -> CircuitBreaker:
+        """The key's breaker, created on first use (stable thereafter)."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                recovery_after=self.recovery_after,
+            )
+        return breaker
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._breakers
+
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        return tuple(self._breakers)
+
+    @property
+    def total_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+    @property
+    def open_keys(self) -> Tuple[Hashable, ...]:
+        """Keys whose breaker is currently refusing its protected stage."""
+        return tuple(
+            key
+            for key, breaker in self._breakers.items()
+            if breaker.state is not BreakerState.CLOSED
+        )
+
+    def states(self) -> Dict[Hashable, str]:
+        """Snapshot of every key's breaker state (for stats surfaces)."""
+        return {key: b.state.value for key, b in self._breakers.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"BreakerRegistry({len(self._breakers)} keys, "
+            f"{len(self.open_keys)} open, trips={self.total_trips})"
         )

@@ -23,6 +23,17 @@ site               effect at the probe point
 ``native-load``    the compiled kernel extension fails to import during
                    :func:`repro._native.configure` — ``auto`` mode degrades
                    to the NumPy fallback, ``require`` raises
+``conn-drop``      the gateway closes a tenant connection abruptly at
+                   admission, before journaling or deciding — the client
+                   observes a dropped socket, never a wrong verdict
+``journal-torn-write``  a gateway journal append writes only a prefix of
+                   its CRC-framed record and raises — simulating a hard
+                   crash mid-``write``; replay drops the torn tail
+``slow-tenant``    one tenant's shard worker stalls before deciding — its
+                   own queue backs up (and sheds); neighbours are untouched
+``drain-flush``    the shutdown drain's store flush fails — shed work and
+                   unflushed verdicts are reported, the drain still
+                   completes
 =================  ==========================================================
 
 Plans activate either programmatically (:func:`install` / the
@@ -49,10 +60,14 @@ from typing import Dict, Iterator, Mapping, Optional, Union
 __all__ = [
     "FaultInjector",
     "FaultRule",
+    "CONN_DROP",
+    "DRAIN_FLUSH",
+    "JOURNAL_TORN_WRITE",
     "KNOWN_SITES",
     "NATIVE_LOAD",
     "NONCONVERGENCE",
     "PICKLE_FAILURE",
+    "SLOW_TENANT",
     "SOLVER_TIMEOUT",
     "STORE_SQL_WRITE",
     "STORE_WRITE",
@@ -71,6 +86,10 @@ NONCONVERGENCE = "nonconvergence"
 STORE_WRITE = "store-write"
 STORE_SQL_WRITE = "store-sql-write"
 NATIVE_LOAD = "native-load"
+CONN_DROP = "conn-drop"
+JOURNAL_TORN_WRITE = "journal-torn-write"
+SLOW_TENANT = "slow-tenant"
+DRAIN_FLUSH = "drain-flush"
 
 KNOWN_SITES = (
     WORKER_CRASH,
@@ -80,6 +99,10 @@ KNOWN_SITES = (
     STORE_WRITE,
     STORE_SQL_WRITE,
     NATIVE_LOAD,
+    CONN_DROP,
+    JOURNAL_TORN_WRITE,
+    SLOW_TENANT,
+    DRAIN_FLUSH,
 )
 
 ENV_PLAN = "REPRO_FAULTS"

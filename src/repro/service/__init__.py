@@ -1,0 +1,47 @@
+"""The multi-tenant online auditing gateway (§1.1's online setting, served).
+
+Offline auditing asks "did the log leak?" after the fact; *online*
+auditing must answer **before** each disclosure is released — the verdict
+is the release gate.  This package turns the streaming auditor into a
+long-running, multi-tenant network service with the robustness properties
+a gate needs:
+
+* :mod:`~repro.service.protocol` — JSON lines over TCP; explicit shed
+  responses with retry hints, never a hang;
+* :mod:`~repro.service.journal` — fsync'd CRC-framed per-tenant event
+  journals; journal-before-decide makes ``kill -9`` recoverable;
+* :mod:`~repro.service.shard` — per-tenant auditor + journal + keyed
+  breaker over one shared verdict store; startup and lazy crash recovery;
+* :mod:`~repro.service.server` — the asyncio gateway: admission control,
+  per-tenant worker isolation, SIGTERM drain, HTTP health/stats;
+* :mod:`~repro.service.client` — the reference asyncio client;
+* :mod:`~repro.service.stats` — per-tenant and gateway-wide counters;
+* :mod:`~repro.service.trace` — seeded Zipf multi-tenant traces (E21).
+
+The package-wide invariant (inherited from the runtime layer, asserted by
+``tests/service/``): admission control, crash recovery, and every chaos
+site move *provenance and availability* — who waits, who retries, where a
+verdict came from — never the verdicts themselves.
+"""
+
+from .client import GatewayClient
+from .journal import EventJournal, JournalRecord, JournalTornWriteError
+from .server import AuditGateway
+from .shard import ShardManager, TenantShard
+from .stats import GatewayStats, TenantStats
+from .trace import TraceEvent, hospital_pool, zipf_trace
+
+__all__ = [
+    "AuditGateway",
+    "EventJournal",
+    "GatewayClient",
+    "GatewayStats",
+    "JournalRecord",
+    "JournalTornWriteError",
+    "ShardManager",
+    "TenantShard",
+    "TenantStats",
+    "TraceEvent",
+    "hospital_pool",
+    "zipf_trace",
+]

@@ -1,0 +1,127 @@
+"""A small asyncio client for the gateway's JSON-lines protocol.
+
+Used by the test suite, the serve-smoke script, and the E21 benchmark —
+and a working reference for tenants: open a TCP stream, write one JSON
+object per line, read one response line per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["GatewayClient"]
+
+
+class GatewayClient:
+    """One tenant connection; requests are serial per connection.
+
+    Concurrency is modelled the way the gateway prices it: one client
+    object per concurrent stream.  ``request_timeout`` bounds every await
+    so a dropped connection (the ``conn-drop`` chaos site) surfaces as a
+    typed error, never a hang.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.request_timeout = request_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+
+    async def connect(self) -> "GatewayClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "GatewayClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _roundtrip(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._writer is not None and self._reader is not None
+        self._writer.write(
+            json.dumps(document, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        await asyncio.wait_for(
+            self._writer.drain(), timeout=self.request_timeout
+        )
+        line = await asyncio.wait_for(
+            self._reader.readline(), timeout=self.request_timeout
+        )
+        if not line:
+            raise ConnectionError(
+                f"gateway dropped the connection (tenant={self.tenant})"
+            )
+        return json.loads(line.decode("utf-8"))
+
+    async def decide(
+        self,
+        user: str,
+        query: str,
+        time: Any = 0,
+        note: str = "",
+        deadline_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit one disclosure; returns the gateway's response object.
+
+        The response is the release gate: callers release the answer only
+        on ``decision == "allow"``.  A ``shed`` response means not
+        decided — retry after ``retry_after_ms`` on a fresh request.
+        ``tenant`` overrides the connection default (connections are not
+        tenant-bound; benchmark drivers multiplex tenants per connection).
+        """
+        self._next_id += 1
+        return await self._roundtrip(
+            {
+                "op": "decide",
+                "id": self._next_id,
+                "tenant": tenant if tenant is not None else self.tenant,
+                "user": user,
+                "time": time,
+                "query": query,
+                "note": note,
+                **(
+                    {"deadline_ms": deadline_ms}
+                    if deadline_ms is not None
+                    else {}
+                ),
+            }
+        )
+
+    async def ping(self) -> Dict[str, Any]:
+        self._next_id += 1
+        return await self._roundtrip({"op": "ping", "id": self._next_id})
+
+    async def stats(self) -> Dict[str, Any]:
+        self._next_id += 1
+        response = await self._roundtrip({"op": "stats", "id": self._next_id})
+        return response.get("stats", {})
+
+    async def drain(self) -> Dict[str, Any]:
+        self._next_id += 1
+        return await self._roundtrip({"op": "drain", "id": self._next_id})

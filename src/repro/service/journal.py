@@ -1,0 +1,218 @@
+"""Append-only, torn-write-tolerant event journals for crash recovery.
+
+The gateway's recovery contract is that a ``kill -9`` mid-stream loses at
+most the decisions that were never issued: after restart, replaying the
+journal against the shared verdict store must reproduce verdicts
+bit-identical to an offline scratch audit of the same events.  That works
+because of a strict ordering discipline — **journal before decide** — so
+the journal *is* the disclosure log.  A record that did not survive the
+crash corresponds to a verdict that was never returned to the tenant,
+hence an answer that was never released; dropping it is sound.
+
+Frame format (little-endian), one frame per event::
+
+    [4-byte payload length][4-byte CRC32 of payload][payload JSON]
+
+Appends write the whole frame with a single ``write`` and ``fsync`` before
+returning, so an acknowledged append survives the process dying on the
+next instruction.  Replay stops at the first frame whose length or CRC
+does not check out — a torn tail from a crash mid-``write`` — records how
+many bytes it dropped, and (on the writable path) truncates the file back
+to the last good frame so subsequent appends extend a clean prefix.
+
+The ``journal-torn-write`` chaos site lives at the append: when it fires,
+only a prefix of the frame hits the disk and :class:`JournalTornWriteError`
+is raised, simulating the crash the replay path must absorb.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..runtime import faults
+
+__all__ = [
+    "EventJournal",
+    "JournalRecord",
+    "JournalTornWriteError",
+    "ReplayResult",
+]
+
+_HEADER = struct.Struct("<II")  # payload length, CRC32(payload)
+
+
+class JournalTornWriteError(OSError):
+    """A journal append crashed mid-frame (injected via ``journal-torn-write``).
+
+    The bytes on disk end in a torn partial frame, exactly as after a real
+    power-cut mid-``write``; the owning shard must treat itself as crashed
+    and recover by replay.
+    """
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled disclosure event, as raw JSON-able fields.
+
+    The journal stores the *textual* query (the SQL-ish form tenants send
+    on the wire), not compiled objects — replay re-parses, so a journal
+    outlives any in-memory compilation cache.
+    """
+
+    user: str
+    time: Any
+    query_text: str
+    note: str = ""
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "user": self.user,
+            "time": self.time,
+            "query": self.query_text,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "JournalRecord":
+        return cls(
+            user=document["user"],
+            time=document["time"],
+            query_text=document["query"],
+            note=document.get("note", ""),
+        )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What a replay recovered: the good prefix, and what it had to drop."""
+
+    records: List[JournalRecord]
+    dropped_bytes: int
+    truncated: bool
+
+    @property
+    def torn(self) -> bool:
+        return self.dropped_bytes > 0
+
+
+class EventJournal:
+    """One tenant's append-only CRC-framed event journal."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._file = None  # lazily opened append handle
+        self.appended = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def _handle(self):
+        if self._file is None or self._file.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def append(self, record: JournalRecord) -> None:
+        """Durably append one record; returns only after ``fsync``.
+
+        Raises :class:`JournalTornWriteError` when the ``journal-torn-write``
+        chaos site fires: a partial frame is flushed to disk (the torn tail
+        a real crash would leave) and the handle is closed, so the caller
+        must recover via :meth:`replay` before appending again.
+        """
+        payload = json.dumps(
+            record.to_document(), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        handle = self._handle()
+        if faults.fire(faults.JOURNAL_TORN_WRITE):
+            torn = frame[: max(1, len(frame) // 2)]
+            handle.write(torn)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self.close()
+            raise JournalTornWriteError(
+                f"journal append to {self.path} torn after {len(torn)} "
+                f"of {len(frame)} bytes (injected crash)"
+            )
+        handle.write(frame)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+        self._file = None
+
+    # -- reading -----------------------------------------------------------
+
+    def replay(self, repair: bool = True) -> ReplayResult:
+        """Read back every intact record, dropping any torn tail.
+
+        With ``repair=True`` (the default on the owning gateway) the file
+        is truncated back to the last good frame, so the journal is again
+        a clean prefix that appends can extend.  Read-only consumers (an
+        offline scratch audit of a live journal) pass ``repair=False``.
+        """
+        self.close()
+        records: List[JournalRecord] = []
+        good_end = 0
+        data = b""
+        if self.path.exists():
+            data = self.path.read_bytes()
+        offset = 0
+        while True:
+            frame = self._read_frame(data, offset)
+            if frame is None:
+                break
+            record, offset = frame
+            records.append(record)
+            good_end = offset
+        dropped = len(data) - good_end
+        truncated = False
+        if dropped and repair:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            truncated = True
+        return ReplayResult(
+            records=records, dropped_bytes=dropped, truncated=truncated
+        )
+
+    @staticmethod
+    def _read_frame(
+        data: bytes, offset: int
+    ) -> Optional[Tuple[JournalRecord, int]]:
+        """One frame at ``offset``, or ``None`` when the tail is short/torn."""
+        header_end = offset + _HEADER.size
+        if header_end > len(data):
+            return None
+        length, crc = _HEADER.unpack_from(data, offset)
+        payload_end = header_end + length
+        if payload_end > len(data):
+            return None
+        payload = data[header_end:payload_end]
+        if zlib.crc32(payload) != crc:
+            return None
+        try:
+            document = json.loads(payload.decode("utf-8"))
+            record = JournalRecord.from_document(document)
+        except (ValueError, KeyError, UnicodeDecodeError):
+            # A CRC-valid frame with an undecodable payload means the
+            # journal was written by something other than this code; treat
+            # it like a torn tail rather than guessing at its contents.
+            return None
+        return record, payload_end
+
+    def __iter__(self) -> Iterator[JournalRecord]:
+        return iter(self.replay(repair=False).records)
+
+    def __repr__(self) -> str:
+        return f"EventJournal({str(self.path)!r}, appended={self.appended})"

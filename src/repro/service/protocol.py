@@ -1,0 +1,187 @@
+"""The gateway wire protocol: JSON lines over TCP, one object per line.
+
+Online auditing (§1.1) means the verdict gates the release: a tenant sends
+a disclosure event and *waits* for allow/deny before answering its own
+user.  The protocol is therefore deliberately boring — newline-delimited
+JSON objects over a plain TCP stream, decodable with nothing but the
+stdlib — because every exotic framing choice is another thing that can
+fail between a tenant and its verdict.
+
+Request objects::
+
+    {"op": "decide", "id": 7, "tenant": "clinic-a", "user": "alice",
+     "time": 12, "query": "EXISTS(...)", "note": "", "deadline_ms": 250}
+    {"op": "ping", "id": 8}
+    {"op": "stats", "id": 9}
+
+Response objects (one per request, same ``id``)::
+
+    {"id": 7, "ok": true, "decision": "allow", "status": "safe",
+     "cumulative_status": "safe", "method": "...", "provenance": [...],
+     "degraded": false, "elapsed_ms": 1.9}
+    {"id": 7, "ok": false, "decision": "shed", "reason": "queue-full",
+     "retry_after_ms": 40}
+
+``decision`` is the release gate, derived from the *cumulative* verdict
+(Section 3.3: acquiring a sequence of disclosures equals acquiring their
+intersection): ``allow`` iff everything this user has learned — including
+this event — stays safe, ``deny`` when it is unsafe, ``unknown`` when the
+auditor ran out of resources (the tenant's policy decides what to do; the
+sound reading of UNKNOWN is deny).  A ``shed`` decision is admission
+control speaking: the event was **not** journaled, **not** decided, and
+must be retried — with the explicit provenance (``reason``) and a
+deterministic ``retry_after_ms`` hint, never a hang.  Per the paper's own
+observation that "the denial, when it occurs, is also an 'answer'",
+sheds and denials are disclosures about the *system*; they are therefore
+deterministic functions of admission state, never of verdict internals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DecisionRequest",
+    "ProtocolError",
+    "decision_of",
+    "encode_response",
+    "error_response",
+    "parse_request",
+    "shed_response",
+    "verdict_response",
+    "MAX_LINE_BYTES",
+    "OPS",
+]
+
+#: Hard cap on one request line; longer lines are a protocol error (and a
+#: trivially cheap way to bound per-connection memory).
+MAX_LINE_BYTES = 64 * 1024
+
+#: Operations the gateway serves.
+OPS = ("decide", "ping", "stats", "drain")
+
+
+class ProtocolError(ValueError):
+    """A request line the gateway cannot honour (malformed, oversized)."""
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """One parsed ``decide`` request."""
+
+    tenant: str
+    user: str
+    time: Any
+    query_text: str
+    note: str = ""
+    deadline_ms: Optional[float] = None
+    request_id: Optional[Any] = None
+
+
+def parse_request(line: bytes) -> Dict[str, Any]:
+    """Decode one raw request line into its JSON object.
+
+    Raises :class:`ProtocolError` on anything other than a single JSON
+    object with a known ``op`` — the connection handler answers those with
+    an error response instead of dying, so one malformed tenant line never
+    takes down a connection's other requests.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = document.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    return document
+
+
+def parse_decision(document: Dict[str, Any]) -> DecisionRequest:
+    """Validate a ``decide`` object's fields into a typed request."""
+    tenant = document.get("tenant")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("decide requires a non-empty string 'tenant'")
+    user = document.get("user")
+    if not isinstance(user, str) or not user:
+        raise ProtocolError("decide requires a non-empty string 'user'")
+    query_text = document.get("query")
+    if not isinstance(query_text, str) or not query_text:
+        raise ProtocolError("decide requires a non-empty string 'query'")
+    note = document.get("note", "")
+    if not isinstance(note, str):
+        raise ProtocolError("'note' must be a string")
+    deadline_ms = document.get("deadline_ms")
+    if deadline_ms is not None:
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("'deadline_ms' must be a number") from exc
+        if deadline_ms < 0:
+            raise ProtocolError("'deadline_ms' must be nonnegative")
+    return DecisionRequest(
+        tenant=tenant,
+        user=user,
+        time=document.get("time", 0),
+        query_text=query_text,
+        note=note,
+        deadline_ms=deadline_ms,
+        request_id=document.get("id"),
+    )
+
+
+def decision_of(cumulative_status: str) -> str:
+    """Map the cumulative verdict status onto the release gate."""
+    if cumulative_status == "safe":
+        return "allow"
+    if cumulative_status == "unsafe":
+        return "deny"
+    return "unknown"
+
+
+def verdict_response(
+    request_id: Any,
+    status: str,
+    cumulative_status: str,
+    method: str,
+    provenance: List[str],
+    degraded: bool,
+    elapsed_ms: float,
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": True,
+        "decision": decision_of(cumulative_status),
+        "status": status,
+        "cumulative_status": cumulative_status,
+        "method": method,
+        "provenance": list(provenance),
+        "degraded": bool(degraded),
+        "elapsed_ms": round(float(elapsed_ms), 3),
+    }
+
+
+def shed_response(
+    request_id: Any, reason: str, retry_after_ms: float
+) -> Dict[str, Any]:
+    """An explicit admission-control refusal (RETRY_AFTER semantics)."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "decision": "shed",
+        "reason": reason,
+        "retry_after_ms": round(float(retry_after_ms), 3),
+    }
+
+
+def error_response(request_id: Any, error: str) -> Dict[str, Any]:
+    return {"id": request_id, "ok": False, "decision": "error", "error": error}
+
+
+def encode_response(document: Dict[str, Any]) -> bytes:
+    return json.dumps(document, separators=(",", ":")).encode("utf-8") + b"\n"

@@ -1,0 +1,421 @@
+"""The asyncio multi-tenant online auditing gateway.
+
+One process, one event loop, no threads: decisions are CPU-bound and the
+verdict store's SQLite connections are thread-affine, so every decision
+runs inline in the loop and *isolation* comes from structure instead —
+each tenant gets a bounded queue and a dedicated worker coroutine, so a
+stalled or flooded tenant backs up (and sheds) its own queue while its
+neighbours' workers keep draining.
+
+The four robustness pillars, and where they live:
+
+* **Admission control** (:meth:`AuditGateway._admit`): a ``decide``
+  request either lands in its tenant's bounded queue or is *shed* with an
+  explicit reason and a deterministic ``retry_after_ms`` — never a hang.
+  Each request carries a :class:`~repro.runtime.Budget` started at
+  admission; a request whose deadline expires while queued is shed before
+  any work is done, and the remaining budget is what the decision gets.
+* **Crash recovery** (:class:`~repro.service.shard.ShardManager`): the
+  manager replays every journal before the gateway accepts its first
+  connection, and resurrects any shard that crashes mid-stream (the
+  ``journal-torn-write`` site) on that tenant's next request.
+* **Graceful degradation and drain** (:meth:`AuditGateway.drain`): on
+  SIGTERM the gateway stops accepting, lets in-flight work finish under a
+  drain budget, sheds (with explicit responses) whatever the budget
+  cannot cover, flushes the store, and reports exactly what was shed.
+* **Chaos sites**: ``conn-drop`` severs a connection at admission (before
+  journaling — the client saw no verdict, so no verdict exists to be
+  wrong); ``slow-tenant`` stalls one tenant's worker; ``drain-flush``
+  fails the final flush.  The invariant, asserted by ``tests/service/``:
+  every site moves provenance and availability, never a verdict.
+
+A second listener speaks just enough HTTP/1.0 for ``GET /healthz`` and
+``GET /stats`` so ordinary tooling (curl, a liveness probe) can watch the
+gateway without a JSON-lines client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runtime import Budget, faults
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_response,
+    error_response,
+    parse_decision,
+    parse_request,
+    shed_response,
+)
+from .shard import ShardManager
+
+__all__ = ["AuditGateway"]
+
+#: Deterministic RETRY_AFTER hint: per queued item, in milliseconds.  A
+#: function of queue depth only — admission must never leak verdict
+#: internals (the denial is also an answer).
+_RETRY_PER_QUEUED_MS = 5.0
+_RETRY_FLOOR_MS = 10.0
+
+#: How long the ``slow-tenant`` chaos site stalls a worker per fire.
+_SLOW_TENANT_STALL = 0.05
+
+
+class AuditGateway:
+    """JSON-lines-over-TCP online auditor with per-tenant isolation."""
+
+    def __init__(
+        self,
+        manager: ShardManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: Optional[int] = None,
+        queue_limit: int = 64,
+        drain_budget: float = 5.0,
+        default_deadline_ms: Optional[float] = None,
+        flush_every: int = 256,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.queue_limit = int(queue_limit)
+        self.drain_budget = float(drain_budget)
+        self.default_deadline_ms = default_deadline_ms
+        self.flush_every = int(flush_every)
+        self.stats = manager.gateway_stats
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._workers: Dict[str, asyncio.Task] = {}
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._decided_since_flush = 0
+        self.drain_report: Optional[Dict[str, Any]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover journals, bind both listeners, start serving."""
+        recovered = self.manager.recover_all()
+        if recovered:
+            # Startup replay is part of the availability story; surface it.
+            for tenant, events in recovered.items():
+                self.stats.tenant(tenant)  # ensure a stats row exists
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.http_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_http, host=self.host, port=self.http_port
+            )
+            self.http_port = self._http_server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    async def serve_until_drained(self) -> Dict[str, Any]:
+        """Block until :meth:`drain` completes; returns the drain report."""
+        await self._drained.wait()
+        assert self.drain_report is not None
+        return self.drain_report
+
+    async def drain(self) -> Dict[str, Any]:
+        """Stop accepting, drain in-flight work under the drain budget.
+
+        Idempotent.  Whatever the budget cannot cover is shed *explicitly*
+        (each queued request gets a ``drain-shed`` response before its
+        connection closes), the store is flushed (the ``drain-flush``
+        chaos site fires here), and the report says exactly what happened.
+        """
+        if self._draining:
+            await self._drained.wait()
+            assert self.drain_report is not None
+            return self.drain_report
+        self._draining = True
+        self.stats.draining = True
+        for server in (self._server, self._http_server):
+            if server is not None:
+                server.close()
+        budget = Budget(self.drain_budget)
+        shed = 0
+        # Drain phase: give workers until the budget to empty their queues.
+        pending = [q for q in self._queues.values() if not q.empty()]
+        while pending and not budget.expired:
+            await asyncio.sleep(0.01)
+            pending = [q for q in self._queues.values() if not q.empty()]
+        # Shed phase: answer whatever is still queued, then stop workers.
+        for tenant, queue in self._queues.items():
+            while not queue.empty():
+                request, budget_left, future = queue.get_nowait()
+                if not future.done():
+                    future.set_result(
+                        shed_response(request.request_id, "drain-shed", 0.0)
+                    )
+                self.stats.tenant(tenant).record_shed("drain-shed")
+                shed += 1
+        self.stats.drain_shed += shed
+        for worker in self._workers.values():
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(
+                *self._workers.values(), return_exceptions=True
+            )
+        flushed = self.manager.flush_all(draining=True)
+        self.manager.close()
+        for server in (self._server, self._http_server):
+            if server is not None:
+                with contextlib.suppress(Exception):
+                    await server.wait_closed()
+        self.drain_report = {
+            "decided": self.stats.decided,
+            "shed_total": self.stats.shed,
+            "drain_shed": self.stats.drain_shed,
+            "flushed": flushed,
+            "drain_budget_expired": budget.expired,
+            "tenants": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.stats.tenants.items())
+            },
+        }
+        self._drained.set()
+        return self.drain_report
+
+    # -- admission and workers --------------------------------------------
+
+    def _queue_for(self, tenant: str) -> asyncio.Queue:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = asyncio.Queue(
+                maxsize=self.queue_limit
+            )
+            self._workers[tenant] = asyncio.ensure_future(
+                self._tenant_worker(tenant, queue)
+            )
+        return queue
+
+    def _admit(self, request) -> "asyncio.Future":
+        """Queue a decision or shed it; always resolves the returned future.
+
+        Shedding is deterministic in admission state alone: draining sheds
+        everything, a full queue sheds with a depth-proportional
+        ``retry_after_ms``.  The request's budget starts here — queue wait
+        spends it, so the decision gets only what the deadline leaves.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        tenant_stats = self.stats.tenant(request.tenant)
+        if self._draining:
+            tenant_stats.record_shed("draining")
+            future.set_result(
+                shed_response(request.request_id, "draining", 0.0)
+            )
+            return future
+        queue = self._queue_for(request.tenant)
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.default_deadline_ms
+        )
+        budget = Budget(None if deadline_ms is None else deadline_ms / 1000.0)
+        try:
+            queue.put_nowait((request, budget, future))
+        except asyncio.QueueFull:
+            retry_after = max(
+                _RETRY_FLOOR_MS, queue.qsize() * _RETRY_PER_QUEUED_MS
+            )
+            tenant_stats.record_shed("queue-full")
+            future.set_result(
+                shed_response(request.request_id, "queue-full", retry_after)
+            )
+        return future
+
+    async def _tenant_worker(self, tenant: str, queue: asyncio.Queue) -> None:
+        """Serially decide one tenant's queue; the isolation boundary.
+
+        The ``slow-tenant`` stall is an ``await asyncio.sleep`` *here*, so
+        even on a single-threaded gateway it backs up exactly one tenant's
+        queue — the event loop keeps running everyone else's workers.
+        """
+        while True:
+            request, budget, future = await queue.get()
+            try:
+                if faults.fire(faults.SLOW_TENANT):
+                    await asyncio.sleep(_SLOW_TENANT_STALL)
+                if future.done():  # connection died while queued
+                    continue
+                if budget.expired:
+                    self.stats.tenant(tenant).record_shed("deadline-expired")
+                    future.set_result(
+                        shed_response(
+                            request.request_id, "deadline-expired", 0.0
+                        )
+                    )
+                    continue
+                remaining = budget.remaining()
+                shard = self.manager.shard(tenant)
+                response = shard.decide(
+                    request,
+                    budget_seconds=None if remaining == float("inf") else remaining,
+                )
+                self.stats.tenant(tenant).queue_depth = queue.qsize()
+                self._decided_since_flush += 1
+                if self._decided_since_flush >= self.flush_every:
+                    self._decided_since_flush = 0
+                    self.manager.flush_all()
+                if not future.done():
+                    future.set_result(response)
+            except asyncio.CancelledError:
+                # Cancelled mid-item during a drain: the tenant still gets
+                # an explicit answer, never a silently dropped request.
+                if not future.done():
+                    future.set_result(
+                        shed_response(request.request_id, "drain-shed", 0.0)
+                    )
+                    self.stats.tenant(tenant).record_shed("drain-shed")
+                    self.stats.drain_shed += 1
+                raise
+            except Exception as exc:  # a shard bug must not kill the worker
+                if not future.done():
+                    future.set_result(
+                        error_response(request.request_id, f"internal: {exc}")
+                    )
+            finally:
+                queue.task_done()
+
+    # -- the JSON-lines protocol ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError):
+                    # ValueError: the stream limit tripped — an oversized
+                    # line is unrecoverable mid-stream, drop the connection.
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                self.stats.requests += 1
+                try:
+                    document = parse_request(line)
+                except ProtocolError as exc:
+                    self.stats.protocol_errors += 1
+                    writer.write(encode_response(error_response(None, str(exc))))
+                    await writer.drain()
+                    continue
+                op = document["op"]
+                if op == "ping":
+                    writer.write(
+                        encode_response(
+                            {"id": document.get("id"), "ok": True, "pong": True}
+                        )
+                    )
+                elif op == "stats":
+                    writer.write(
+                        encode_response(
+                            {
+                                "id": document.get("id"),
+                                "ok": True,
+                                "stats": self.manager.snapshot(),
+                            }
+                        )
+                    )
+                elif op == "drain":
+                    report = await self.drain()
+                    writer.write(
+                        encode_response(
+                            {
+                                "id": document.get("id"),
+                                "ok": True,
+                                "drained": True,
+                                "report": report,
+                            }
+                        )
+                    )
+                else:  # decide
+                    try:
+                        request = parse_decision(document)
+                    except ProtocolError as exc:
+                        self.stats.protocol_errors += 1
+                        writer.write(
+                            encode_response(
+                                error_response(document.get("id"), str(exc))
+                            )
+                        )
+                        await writer.drain()
+                        continue
+                    # conn-drop fires *before* journaling or deciding: the
+                    # tenant sees a severed socket and retries; no verdict
+                    # was issued, so none can have been wrong.
+                    if faults.fire(faults.CONN_DROP):
+                        self.stats.connections_dropped += 1
+                        break
+                    response = await self._admit(request)
+                    writer.write(encode_response(response))
+                await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    # -- minimal HTTP ------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain (tiny) headers; probes send few and close promptly.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            target = parts[1] if len(parts) >= 2 else "/"
+            if target == "/healthz":
+                status, body = "200 OK", {
+                    "ok": True,
+                    "draining": self._draining,
+                }
+            elif target == "/stats":
+                status, body = "200 OK", self.manager.snapshot()
+            else:
+                status, body = "404 Not Found", {"error": "not found"}
+            payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except Exception:
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()

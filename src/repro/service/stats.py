@@ -1,0 +1,132 @@
+"""Per-tenant and gateway-wide operational counters.
+
+The gateway's observability contract mirrors the runtime's: degradation is
+never silent.  Every shed, breaker pin, journal replay, and dropped
+connection lands in a counter here, and the same snapshot feeds three
+surfaces — the ``stats`` wire op, the HTTP ``/stats`` endpoint, and the
+per-tenant footer the CLI prints after a drain — so what an operator sees
+is what the tenant experienced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..audit.store import StoreStats
+from ..runtime.outcome import RuntimeStats
+
+__all__ = ["GatewayStats", "TenantStats"]
+
+
+@dataclass
+class TenantStats:
+    """One tenant's view of the gateway: decisions, sheds, recoveries."""
+
+    tenant: str
+    decided: int = 0  # verdicts actually issued (allow+deny+unknown)
+    allowed: int = 0
+    denied: int = 0
+    unknown: int = 0
+    shed: int = 0  # admission refusals (explicit, retryable)
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    degraded: int = 0  # decisions with a degraded outcome
+    pinned: int = 0  # decisions forced down the exact path by the breaker
+    journal_appends: int = 0
+    recoveries: int = 0  # journal replays (startup + post-crash resurrection)
+    replayed_events: int = 0  # events recovered across those replays
+    torn_tails_dropped: int = 0  # replays that had to drop a torn tail
+    breaker_state: str = "closed"
+    queue_depth: int = 0
+    busy_ms: float = 0.0  # wall-clock spent deciding for this tenant
+
+    def record_shed(self, reason: str) -> None:
+        self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+
+    def record_decision(self, decision: str, degraded: bool, elapsed_ms: float) -> None:
+        self.decided += 1
+        if decision == "allow":
+            self.allowed += 1
+        elif decision == "deny":
+            self.denied += 1
+        else:
+            self.unknown += 1
+        if degraded:
+            self.degraded += 1
+        self.busy_ms += elapsed_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "decided": self.decided,
+            "allowed": self.allowed,
+            "denied": self.denied,
+            "unknown": self.unknown,
+            "shed": self.shed,
+            "shed_reasons": dict(self.shed_reasons),
+            "degraded": self.degraded,
+            "pinned": self.pinned,
+            "journal_appends": self.journal_appends,
+            "recoveries": self.recoveries,
+            "replayed_events": self.replayed_events,
+            "torn_tails_dropped": self.torn_tails_dropped,
+            "breaker_state": self.breaker_state,
+            "queue_depth": self.queue_depth,
+            "busy_ms": round(self.busy_ms, 3),
+        }
+
+
+@dataclass
+class GatewayStats:
+    """Gateway-wide counters plus the per-tenant breakdown."""
+
+    connections: int = 0
+    connections_dropped: int = 0  # conn-drop chaos fires
+    protocol_errors: int = 0
+    requests: int = 0
+    draining: bool = False
+    drain_shed: int = 0  # in-flight work shed by the drain budget
+    flush_failures: int = 0  # store flushes that failed (incl. drain-flush)
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantStats:
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = self.tenants[name] = TenantStats(tenant=name)
+        return stats
+
+    @property
+    def decided(self) -> int:
+        return sum(t.decided for t in self.tenants.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants.values())
+
+    def snapshot(
+        self,
+        runtime: Optional[RuntimeStats] = None,
+        store: Optional[StoreStats] = None,
+    ) -> Dict[str, Any]:
+        """The JSON document served on ``/stats`` and the ``stats`` op."""
+        document: Dict[str, Any] = {
+            "connections": self.connections,
+            "connections_dropped": self.connections_dropped,
+            "protocol_errors": self.protocol_errors,
+            "requests": self.requests,
+            "decided": self.decided,
+            "shed": self.shed,
+            "draining": self.draining,
+            "drain_shed": self.drain_shed,
+            "flush_failures": self.flush_failures,
+            "tenants": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.tenants.items())
+            },
+        }
+        if runtime is not None:
+            document["runtime"] = runtime.as_dict()
+        if store is not None:
+            document["store"] = store.as_dict()
+        return document

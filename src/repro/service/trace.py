@@ -1,0 +1,141 @@
+"""Seeded multi-tenant traces for gateway tests, smoke runs, and E21.
+
+The service keeps its own trace generator (rather than importing the
+benchmark's) so the gateway package stays dependency-light and the wire
+format stays honest: tenants send query *text*, so the trace is text all
+the way down — ``TraceEvent`` rows carry exactly the strings a tenant
+would put on the socket.
+
+The workload shape follows the benchmark suite's E14 conventions: a
+hospital registry with a small candidate set over a populated background
+table, a mixed-density boolean query pool, Zipf-weighted query popularity
+*and* Zipf-weighted tenant traffic (a few hot tenants, a long cold tail)
+— the distribution that makes multi-tenant isolation worth testing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..audit.policy import AuditPolicy, PriorAssumption
+from ..db.compile import CandidateUniverse
+from ..db.database import Database
+from ..db.schema import ColumnType, TableSchema
+from ..db.sql import parse_boolean_query
+
+__all__ = ["TraceEvent", "hospital_pool", "zipf_trace"]
+
+#: The audit secret: is Bob's HIV record in the registry?
+AUDIT_QUERY = "EXISTS(SELECT * FROM registry WHERE patient = 'Bob')"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One wire-ready disclosure: what some tenant asks the gateway."""
+
+    tenant: str
+    user: str
+    time: int
+    query_text: str
+
+
+def _exists(patient: str) -> str:
+    return f"EXISTS(SELECT * FROM registry WHERE patient = '{patient}')"
+
+
+def hospital_pool(
+    background_rows: int = 32,
+) -> Tuple[CandidateUniverse, AuditPolicy, List[str]]:
+    """The gateway's standard scenario: universe, policy, query texts.
+
+    Three candidate records (two real, one hypothetical) over a populated
+    background table; the query pool mixes answer densities — implications
+    and negations compile dense, EXISTS to half-cubes, conjunctions
+    sparse — so gateway decisions exercise every pipeline weight class.
+    """
+    db = Database()
+    db.create_table(
+        TableSchema.build(
+            "registry", patient=ColumnType.TEXT, disease=ColumnType.TEXT
+        )
+    )
+    diseases = ("flu", "hiv", "hepatitis", "measles")
+    for i in range(background_rows):
+        db.insert(
+            "registry", patient=f"patient{i:03d}", disease=diseases[i % 4]
+        )
+    candidates = [
+        db.insert("registry", patient="Bob", disease="hiv"),
+        db.insert("registry", patient="Carol", disease="hiv"),
+        db.hypothetical_record("registry", patient="Dana", disease="hiv"),
+    ]
+    universe = CandidateUniverse(db, candidates)
+    policy = AuditPolicy(
+        audit_query=parse_boolean_query(AUDIT_QUERY),
+        assumption=PriorAssumption.PRODUCT,
+        name="gateway-hospital",
+    )
+    patients = ("Bob", "Carol", "Dana")
+    texts: List[str] = []
+    for p in patients:
+        texts.append(_exists(p))
+        texts.append(f"NOT {_exists(p)}")
+    for p in patients:
+        for q in patients:
+            if p != q:
+                texts.append(f"{_exists(p)} IMPLIES {_exists(q)}")
+    for i, p in enumerate(patients):
+        for q in patients[i + 1 :]:
+            texts.append(f"{_exists(p)} OR {_exists(q)}")
+            texts.append(f"{_exists(p)} AND {_exists(q)}")
+            texts.append(f"NOT {_exists(p)} OR NOT {_exists(q)}")
+    texts.append(
+        f"({_exists('Bob')} IMPLIES {_exists('Carol')}) AND "
+        f"({_exists('Dana')} IMPLIES {_exists('Bob')})"
+    )
+    # Sanity: every pool entry must parse — a trace with an unparseable
+    # query would test the error path, not the decision path.
+    for text in texts:
+        parse_boolean_query(text)
+    return universe, policy, texts
+
+
+def zipf_trace(
+    n_events: int = 10_000,
+    n_tenants: int = 100,
+    n_users: int = 12,
+    seed: int = 0,
+    pool: List[str] = None,
+) -> List[TraceEvent]:
+    """A seeded Zipf-skewed multi-tenant trace of ``n_events`` disclosures.
+
+    Both tenant traffic and query popularity are Zipf(1): tenant ranks are
+    shuffled per seed so "which tenant is hot" varies across seeds while
+    the skew itself does not.  Users are scoped per tenant (``t042/u03``)
+    — composition states never alias across tenants.  Event times are the
+    global arrival index, so any sub-trace stays time-ordered.
+    """
+    if pool is None:
+        _, _, pool = hospital_pool()
+    rnd = random.Random(seed)
+    tenants = [f"t{i:03d}" for i in range(n_tenants)]
+    rnd.shuffle(tenants)
+    tenant_weights = [1.0 / rank for rank in range(1, n_tenants + 1)]
+    queries = list(pool)
+    rnd.shuffle(queries)
+    query_weights = [1.0 / rank for rank in range(1, len(queries) + 1)]
+    chosen_tenants = rnd.choices(tenants, weights=tenant_weights, k=n_events)
+    chosen_queries = rnd.choices(queries, weights=query_weights, k=n_events)
+    return [
+        TraceEvent(
+            tenant=tenant,
+            user=f"{tenant}/u{rnd.randrange(n_users):02d}",
+            time=t,
+            query_text=query,
+        )
+        for t, (tenant, query) in enumerate(
+            zip(chosen_tenants, chosen_queries)
+        )
+    ]

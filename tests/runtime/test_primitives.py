@@ -247,3 +247,55 @@ class TestTypedExceptions:
             solve_psd_feasibility([2], system, max_iterations=0)
         with pytest.raises(ValueError):  # typed errors stay catchable as before
             solve_psd_feasibility([2], system, tolerance=0.0)
+
+
+class TestBreakerRegistry:
+    def test_lazy_per_key_creation_with_shared_thresholds(self):
+        from repro.runtime import BreakerRegistry
+
+        registry = BreakerRegistry(failure_threshold=2, recovery_after=4)
+        assert len(registry) == 0 and "a" not in registry
+        breaker = registry.for_key("a")
+        assert breaker is registry.for_key("a")  # stable per key
+        assert breaker.failure_threshold == 2
+        assert breaker.recovery_after == 4
+        assert "a" in registry and registry.keys() == ("a",)
+
+    def test_keys_trip_independently(self):
+        from repro.runtime import BreakerRegistry
+
+        registry = BreakerRegistry(failure_threshold=2)
+        for _ in range(2):
+            registry.for_key("noisy").record_failure()
+        assert registry.for_key("noisy").state is BreakerState.OPEN
+        assert registry.for_key("quiet").state is BreakerState.CLOSED
+        assert registry.for_key("quiet").allow()  # neighbour unaffected
+        assert registry.open_keys == ("noisy",)
+        assert registry.total_trips == 1
+        assert registry.states() == {"noisy": "open", "quiet": "closed"}
+
+    def test_single_breaker_is_the_one_key_case(self):
+        """API-compatibility: registry.for_key(k) behaves exactly like a
+        bare CircuitBreaker with the same thresholds."""
+        from repro.runtime import BreakerRegistry
+
+        registry = BreakerRegistry(failure_threshold=3, recovery_after=2)
+        keyed = registry.for_key(None)
+        bare = CircuitBreaker(failure_threshold=3, recovery_after=2)
+        script = ["fail", "fail", "fail", "allow", "allow", "allow", "ok"]
+        for step in script:
+            if step == "fail":
+                assert keyed.record_failure() == bare.record_failure()
+            elif step == "allow":
+                assert keyed.allow() == bare.allow()
+            else:
+                keyed.record_success(), bare.record_success()
+            assert keyed.state is bare.state
+
+    def test_thresholds_validated(self):
+        from repro.runtime import BreakerRegistry
+
+        with pytest.raises(ValueError):
+            BreakerRegistry(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerRegistry(recovery_after=0)

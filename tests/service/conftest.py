@@ -1,0 +1,91 @@
+"""Shared fixtures for the gateway suite: scenario, traces, scratch audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import DisclosureLog, OfflineAuditor
+from repro.audit.log import DisclosureEvent
+from repro.db import parse_boolean_query
+from repro.service.protocol import DecisionRequest
+from repro.service.trace import hospital_pool, zipf_trace
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """(universe, policy, query_texts) — small background for test speed."""
+    return hospital_pool(background_rows=12)
+
+
+@pytest.fixture
+def trace(scenario):
+    _, _, pool = scenario
+    return zipf_trace(n_events=48, n_tenants=4, n_users=3, seed=7, pool=pool)
+
+
+def as_request(event) -> DecisionRequest:
+    return DecisionRequest(
+        tenant=event.tenant,
+        user=event.user,
+        time=event.time,
+        query_text=event.query_text,
+        request_id=event.time,
+    )
+
+
+def drive_manager(manager, events):
+    """Decide a trace through shards directly; returns responses per event."""
+    responses = []
+    for event in events:
+        shard = manager.shard(event.tenant)
+        responses.append(shard.decide(as_request(event)))
+    return responses
+
+
+def scratch_statuses(universe, policy, events):
+    """Offline scratch audit, per tenant: {(tenant, time): status}."""
+    statuses = {}
+    by_tenant = {}
+    for event in events:
+        by_tenant.setdefault(event.tenant, []).append(event)
+    for tenant, tenant_events in by_tenant.items():
+        log = DisclosureLog(
+            DisclosureEvent(
+                time=e.time,
+                user=e.user,
+                query=parse_boolean_query(e.query_text),
+            )
+            for e in tenant_events
+        )
+        report = OfflineAuditor(universe, policy).audit_log_serial(log)
+        for finding in report.findings:
+            statuses[(tenant, finding.event.time)] = finding.verdict.status.value
+    return statuses
+
+
+def recovered_statuses(manager, tenants):
+    """Per-event statuses of a recovered manager: {(tenant, time): status}.
+
+    Reads each shard's journal back (repair=False — pure observation) and
+    asks the recovered auditor for the same log's report; the memoised
+    replay answers without re-deciding.
+    """
+    statuses = {}
+    for tenant in tenants:
+        shard = manager.shard(tenant)
+        records = shard.journal.replay(repair=False).records
+        if not records:
+            continue
+        log = DisclosureLog(
+            DisclosureEvent(
+                time=r.time,
+                user=r.user,
+                query=parse_boolean_query(r.query_text),
+                note=r.note,
+            )
+            for r in records
+        )
+        report = shard.auditor.audit_log(log)
+        for finding in report.findings:
+            statuses[(tenant, finding.event.time)] = finding.verdict.status.value
+    return statuses

@@ -1,0 +1,158 @@
+"""Tenant isolation: one tenant's trouble never touches its neighbours.
+
+Three isolation boundaries, each with its own test: the keyed breaker
+(tenant A tripping pins only A), the per-tenant worker (a ``slow-tenant``
+stall backs up one queue while neighbours decide), and bounded-queue
+admission (a flooded tenant sheds; others are admitted).  Plus the
+invariant that makes degradation acceptable at all: pinned decisions are
+verdict-identical to unpinned ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime import BreakerState, faults
+from repro.service import server as server_module
+from repro.service.server import AuditGateway
+from repro.service.shard import ShardManager
+
+from .conftest import as_request, scratch_statuses
+
+
+def make_manager(scenario, tmp_path):
+    universe, policy, _ = scenario
+    return ShardManager(
+        universe, policy, journal_dir=tmp_path / "journals", store=None
+    )
+
+
+class TestBreakerIsolation:
+    def trip(self, shard, times=3):
+        for i in range(times):
+            response = shard.decide(
+                as_request(FakeEvent("x", f"u{i}", i, "NOT VALID SQL ((("))
+            )
+            assert response["decision"] == "error"
+
+    def test_tripped_tenant_is_pinned_neighbour_is_not(
+        self, scenario, trace, tmp_path
+    ):
+        universe, policy, _ = scenario
+        manager = make_manager(scenario, tmp_path)
+        a_events = [e for e in trace if e.tenant == trace[0].tenant][:3]
+        b_events = [e for e in trace if e.tenant != trace[0].tenant][:3]
+        shard_a = manager.shard(a_events[0].tenant)
+        shard_b = manager.shard(b_events[0].tenant)
+        # Three malformed queries trip A's breaker (default threshold 3)...
+        self.trip(shard_a)
+        assert shard_a.breaker.state is BreakerState.OPEN
+        # ...so A's next decisions are pinned to the exact path...
+        responses_a = [shard_a.decide(as_request(e)) for e in a_events]
+        assert shard_a.stats.pinned == len(a_events)
+        assert all(r["degraded"] for r in responses_a)
+        # ...while B's breaker never heard about any of it.
+        responses_b = [shard_b.decide(as_request(e)) for e in b_events]
+        assert shard_b.breaker.state is BreakerState.CLOSED
+        assert shard_b.stats.pinned == 0
+        assert not any(r["degraded"] for r in responses_b)
+        # Degradation moved provenance, not verdicts: pinned statuses
+        # equal the offline scratch audit's, same as B's.
+        live = {
+            (e.tenant, e.time): r["status"]
+            for e, r in zip(a_events + b_events, responses_a + responses_b)
+        }
+        assert live == scratch_statuses(universe, policy, a_events + b_events)
+
+
+class FakeEvent:
+    def __init__(self, tenant, user, time, query_text):
+        self.tenant = tenant
+        self.user = user
+        self.time = time
+        self.query_text = query_text
+
+
+class TestWorkerIsolation:
+    def test_slow_tenant_stalls_only_its_own_worker(
+        self, scenario, trace, tmp_path, monkeypatch
+    ):
+        """A's worker eats the one slow-tenant fire and stalls; B's
+        decision — admitted after A's — completes while A still sleeps."""
+        monkeypatch.setattr(server_module, "_SLOW_TENANT_STALL", 0.5)
+        a_event = next(e for e in trace if e.tenant == trace[0].tenant)
+        b_event = next(e for e in trace if e.tenant != trace[0].tenant)
+
+        async def scenario_run():
+            manager = make_manager(scenario, tmp_path)
+            gateway = AuditGateway(manager, queue_limit=4)
+            with faults.inject(
+                {
+                    faults.SLOW_TENANT: faults.FaultRule(
+                        site=faults.SLOW_TENANT, rate=1.0, max_fires=1
+                    )
+                }
+            ):
+                future_a = gateway._admit(as_request(a_event))
+                future_b = gateway._admit(as_request(b_event))
+                # B must resolve well inside A's stall window.
+                response_b = await asyncio.wait_for(future_b, timeout=0.4)
+                assert not future_a.done()  # A is still stalled
+                response_a = await asyncio.wait_for(future_a, timeout=2.0)
+            assert response_a["ok"] and response_b["ok"]
+            await gateway.drain()
+
+        asyncio.run(scenario_run())
+
+
+class TestAdmissionIsolation:
+    def test_flooded_tenant_sheds_neighbour_admitted(
+        self, scenario, trace, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(server_module, "_SLOW_TENANT_STALL", 0.5)
+        a_events = [e for e in trace if e.tenant == trace[0].tenant]
+        a_tenant = a_events[0].tenant
+        b_event = next(e for e in trace if e.tenant != a_tenant)
+
+        async def scenario_run():
+            manager = make_manager(scenario, tmp_path)
+            gateway = AuditGateway(manager, queue_limit=2)
+            with faults.inject(
+                {
+                    faults.SLOW_TENANT: faults.FaultRule(
+                        site=faults.SLOW_TENANT, rate=1.0, max_fires=1
+                    )
+                }
+            ):
+                # First A request occupies the (stalled) worker; two more
+                # fill the queue; the fourth must shed — deterministically,
+                # with a retry hint, not a hang.
+                def admit(t):
+                    return gateway._admit(
+                        as_request(
+                            FakeEvent(a_tenant, "u0", t, a_events[0].query_text)
+                        )
+                    )
+
+                futures = [admit(0)]
+                await asyncio.sleep(0.05)  # worker dequeues #0 and stalls
+                futures += [admit(1), admit(2), admit(3)]
+                shed = await asyncio.wait_for(futures[3], timeout=0.3)
+                assert shed["decision"] == "shed"
+                assert shed["reason"] == "queue-full"
+                assert shed["retry_after_ms"] >= 10.0
+                # The neighbour is admitted and decided despite A's flood.
+                response_b = await asyncio.wait_for(
+                    gateway._admit(as_request(b_event)), timeout=0.4
+                )
+                assert response_b["ok"]
+                for future in futures[:3]:
+                    assert (await asyncio.wait_for(future, timeout=2.0))["ok"]
+            stats = gateway.stats
+            assert stats.tenant(a_tenant).shed_reasons == {"queue-full": 1}
+            assert stats.tenant(b_event.tenant).shed == 0
+            await gateway.drain()
+
+        asyncio.run(scenario_run())

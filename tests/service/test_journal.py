@@ -1,0 +1,128 @@
+"""The event journal: durable appends, torn-write tolerance, self-repair."""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.runtime import faults
+from repro.service.journal import (
+    EventJournal,
+    JournalRecord,
+    JournalTornWriteError,
+)
+
+RECORDS = [
+    JournalRecord(user="alice", time=1, query_text="Q1", note="first"),
+    JournalRecord(user="bob", time=2, query_text="Q2"),
+    JournalRecord(user="alice", time=3, query_text="Q3", note="third"),
+]
+
+
+def write_all(path):
+    journal = EventJournal(path)
+    for record in RECORDS:
+        journal.append(record)
+    journal.close()
+    return journal
+
+
+class TestRoundtrip:
+    def test_append_then_replay(self, tmp_path):
+        journal = write_all(tmp_path / "t.journal")
+        result = journal.replay()
+        assert result.records == RECORDS
+        assert result.dropped_bytes == 0 and not result.torn
+        assert not result.truncated
+
+    def test_replay_from_fresh_handle(self, tmp_path):
+        write_all(tmp_path / "t.journal")
+        assert list(EventJournal(tmp_path / "t.journal")) == RECORDS
+
+    def test_missing_file_is_empty(self, tmp_path):
+        result = EventJournal(tmp_path / "absent.journal").replay()
+        assert result.records == [] and result.dropped_bytes == 0
+
+    def test_non_string_times_roundtrip(self, tmp_path):
+        journal = EventJournal(tmp_path / "t.journal")
+        record = JournalRecord(user="u", time=2005, query_text="Q")
+        journal.append(record)
+        assert journal.replay().records == [record]
+
+
+class TestTornTails:
+    def test_partial_frame_is_dropped_and_truncated(self, tmp_path):
+        path = tmp_path / "t.journal"
+        write_all(path)
+        intact = path.stat().st_size
+        payload = json.dumps({"user": "x", "time": 9, "query": "Q"}).encode()
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        with open(path, "ab") as handle:
+            handle.write(frame[: len(frame) // 2])  # the torn tail
+        result = EventJournal(path).replay(repair=True)
+        assert result.records == RECORDS
+        assert result.torn and result.truncated
+        assert path.stat().st_size == intact  # repaired back to a clean prefix
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        path = tmp_path / "t.journal"
+        write_all(path)
+        payload = b'{"user":"x","time":9,"query":"Q"}'
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload) ^ 0xFF) + payload
+        with open(path, "ab") as handle:
+            handle.write(frame)
+        result = EventJournal(path).replay()
+        assert result.records == RECORDS and result.torn
+
+    def test_repair_false_leaves_bytes_alone(self, tmp_path):
+        path = tmp_path / "t.journal"
+        write_all(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")
+        size = path.stat().st_size
+        result = EventJournal(path).replay(repair=False)
+        assert result.records == RECORDS and result.torn
+        assert not result.truncated and path.stat().st_size == size
+
+    def test_append_after_repair_extends_clean_prefix(self, tmp_path):
+        path = tmp_path / "t.journal"
+        write_all(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad")
+        journal = EventJournal(path)
+        journal.replay(repair=True)
+        extra = JournalRecord(user="carol", time=4, query_text="Q4")
+        journal.append(extra)
+        assert journal.replay().records == RECORDS + [extra]
+
+
+class TestTornWriteFault:
+    def test_injected_torn_write_raises_and_leaves_torn_tail(self, tmp_path):
+        path = tmp_path / "t.journal"
+        journal = EventJournal(path)
+        journal.append(RECORDS[0])
+        with faults.inject({faults.JOURNAL_TORN_WRITE: 1.0}):
+            with pytest.raises(JournalTornWriteError):
+                journal.append(RECORDS[1])
+        result = EventJournal(path).replay(repair=True)
+        # The acknowledged record survives; the torn one never existed.
+        assert result.records == [RECORDS[0]]
+        assert result.torn and result.truncated
+
+    def test_max_fires_limits_the_crash(self, tmp_path):
+        journal = EventJournal(tmp_path / "t.journal")
+        with faults.inject(
+            {
+                faults.JOURNAL_TORN_WRITE: faults.FaultRule(
+                    site=faults.JOURNAL_TORN_WRITE, rate=1.0, max_fires=1
+                )
+            }
+        ):
+            with pytest.raises(JournalTornWriteError):
+                journal.append(RECORDS[0])
+            journal.replay(repair=True)
+            journal.append(RECORDS[1])  # the plan is spent; appends work
+        assert journal.replay().records == [RECORDS[1]]

@@ -1,0 +1,119 @@
+"""The JSON-lines wire protocol: parsing, validation, response shapes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decision_of,
+    encode_response,
+    error_response,
+    parse_decision,
+    parse_request,
+    shed_response,
+    verdict_response,
+)
+
+
+def line(**kwargs) -> bytes:
+    return json.dumps(kwargs).encode("utf-8")
+
+
+class TestParseRequest:
+    def test_known_ops_parse(self):
+        for op in ("decide", "ping", "stats", "drain"):
+            assert parse_request(line(op=op))["op"] == op
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"not json\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"[1, 2]")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request(line(op="explode"))
+
+    def test_rejects_oversized_line(self):
+        huge = line(op="decide", note="x" * (MAX_LINE_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_request(huge)
+
+
+class TestParseDecision:
+    def good(self, **overrides):
+        document = {
+            "op": "decide",
+            "id": 7,
+            "tenant": "clinic",
+            "user": "alice",
+            "time": 3,
+            "query": "EXISTS(SELECT * FROM t WHERE a = 'b')",
+        }
+        document.update(overrides)
+        return document
+
+    def test_full_request_parses(self):
+        request = parse_decision(self.good(deadline_ms=250, note="n"))
+        assert request.tenant == "clinic" and request.user == "alice"
+        assert request.time == 3 and request.deadline_ms == 250.0
+        assert request.note == "n" and request.request_id == 7
+
+    def test_defaults(self):
+        document = self.good()
+        del document["time"]
+        request = parse_decision(document)
+        assert request.time == 0 and request.deadline_ms is None
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("tenant", ""),
+            ("tenant", 7),
+            ("user", ""),
+            ("query", ""),
+            ("query", None),
+            ("note", 3),
+            ("deadline_ms", "soon"),
+            ("deadline_ms", -1),
+        ],
+    )
+    def test_bad_fields_rejected(self, field, value):
+        with pytest.raises(ProtocolError):
+            parse_decision(self.good(**{field: value}))
+
+
+class TestResponses:
+    def test_decision_of_maps_cumulative_status(self):
+        assert decision_of("safe") == "allow"
+        assert decision_of("unsafe") == "deny"
+        assert decision_of("unknown") == "unknown"
+
+    def test_verdict_response_shape(self):
+        response = verdict_response(
+            4, "safe", "unsafe", "exact", ["verdict-cache"], False, 1.23456
+        )
+        assert response["ok"] and response["decision"] == "deny"
+        assert response["status"] == "safe"
+        assert response["elapsed_ms"] == 1.235
+
+    def test_shed_response_is_explicit_and_retryable(self):
+        response = shed_response(9, "queue-full", 40.0)
+        assert not response["ok"] and response["decision"] == "shed"
+        assert response["reason"] == "queue-full"
+        assert response["retry_after_ms"] == 40.0
+
+    def test_error_response(self):
+        response = error_response(None, "bad query")
+        assert not response["ok"] and response["decision"] == "error"
+
+    def test_encode_is_one_line(self):
+        payload = encode_response({"id": 1, "ok": True})
+        assert payload.endswith(b"\n") and payload.count(b"\n") == 1
+        assert json.loads(payload)["ok"] is True

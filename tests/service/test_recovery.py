@@ -1,0 +1,208 @@
+"""Crash recovery: journal replay is verdict-bit-identical to scratch audits.
+
+The PR's central invariant.  A gateway killed mid-stream (``kill -9``
+simulated by abandoning the manager without flush or close; torn final
+records injected directly and via the ``journal-torn-write`` chaos site)
+must, after restart + journal replay, hold exactly the verdicts an
+offline scratch audit of the same events computes — per event and per
+user-cumulative — whether the shared verdict store survived, was lost, or
+never existed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.store_sql import SqliteVerdictStore
+from repro.runtime import faults
+from repro.service.journal import JournalTornWriteError
+from repro.service.shard import ShardManager
+
+from .conftest import (
+    as_request,
+    drive_manager,
+    recovered_statuses,
+    scratch_statuses,
+)
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - test extra not installed
+    HAVE_HYPOTHESIS = False
+
+
+def make_manager(scenario, tmp_path, store=True, subdir="run"):
+    universe, policy, _ = scenario
+    root = tmp_path / subdir
+    return ShardManager(
+        universe,
+        policy,
+        journal_dir=root / "journals",
+        store=SqliteVerdictStore(root / "store") if store else None,
+    )
+
+
+def live_statuses(responses, events):
+    return {
+        (event.tenant, event.time): response["status"]
+        for event, response in zip(events, responses)
+        if response.get("ok")
+    }
+
+
+class TestKill9Recovery:
+    @pytest.mark.parametrize("store_survives", [True, False])
+    def test_recovery_bit_identical_to_scratch(
+        self, scenario, trace, tmp_path, store_survives
+    ):
+        universe, policy, _ = scenario
+        manager = make_manager(scenario, tmp_path)
+        responses = drive_manager(manager, trace)
+        live = live_statuses(responses, trace)
+        assert len(live) == len(trace)  # no faults: everything decided
+        # kill -9: no flush, no close — the manager is simply abandoned.
+        # With store_survives=False the store directory is also lost, so
+        # recovery must *recompute* (identically) rather than replay.
+        universe2, policy2 = universe, policy
+        recovered = ShardManager(
+            universe2,
+            policy2,
+            journal_dir=tmp_path / "run" / "journals",
+            store=(
+                SqliteVerdictStore(tmp_path / "run" / "store")
+                if store_survives
+                else SqliteVerdictStore(tmp_path / "fresh-store")
+            ),
+        )
+        counts = recovered.recover_all()
+        assert sum(counts.values()) == len(trace)
+        after = recovered_statuses(recovered, counts)
+        scratch = scratch_statuses(universe, policy, trace)
+        assert after == scratch == live
+
+    def test_recovery_reuses_surviving_store(self, scenario, trace, tmp_path):
+        manager = make_manager(scenario, tmp_path)
+        drive_manager(manager, trace)
+        manager.flush_all()
+        store = SqliteVerdictStore(tmp_path / "run" / "store")
+        recovered = ShardManager(
+            scenario[0],
+            scenario[1],
+            journal_dir=tmp_path / "run" / "journals",
+            store=store,
+        )
+        recovered.recover_all()
+        # Replay must have probed the surviving store and found it warm.
+        assert store.stats.hits > 0
+
+    def test_cumulative_states_survive_recovery(self, scenario, trace, tmp_path):
+        manager = make_manager(scenario, tmp_path)
+        drive_manager(manager, trace)
+        before = {
+            tenant: {
+                user: state.cumulative_verdict.status.value
+                for user, state in shard.auditor.states.items()
+            }
+            for tenant, shard in manager.tenants.items()
+        }
+        recovered = make_manager(scenario, tmp_path)  # same dirs
+        recovered.recover_all()
+        after = {
+            tenant: {
+                user: state.cumulative_verdict.status.value
+                for user, state in shard.auditor.states.items()
+            }
+            for tenant, shard in recovered.tenants.items()
+        }
+        assert after == before
+
+
+class TestTornFinalRecord:
+    def test_torn_final_record_dropped_and_rest_identical(
+        self, scenario, trace, tmp_path
+    ):
+        universe, policy, _ = scenario
+        manager = make_manager(scenario, tmp_path)
+        drive_manager(manager, trace)
+        victim = trace[-1].tenant
+        journal_path = manager.shard(victim).journal.path
+        manager.close()
+        with open(journal_path, "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00PARTIAL")  # a torn frame
+        recovered = make_manager(scenario, tmp_path)
+        counts = recovered.recover_all()
+        assert counts[victim] == sum(1 for e in trace if e.tenant == victim)
+        assert recovered.shard(victim).stats.torn_tails_dropped == 1
+        after = recovered_statuses(recovered, counts)
+        assert after == scratch_statuses(universe, policy, trace)
+
+    def test_injected_torn_write_heals_on_next_request(
+        self, scenario, trace, tmp_path
+    ):
+        """The live-gateway variant: a shard crashes mid-append and the
+        manager resurrects it (by replay) on the tenant's next request."""
+        universe, policy, _ = scenario
+        manager = make_manager(scenario, tmp_path)
+        tenant_events = [e for e in trace if e.tenant == trace[0].tenant]
+        assert len(tenant_events) >= 3
+        shard = manager.shard(tenant_events[0].tenant)
+        ok = shard.decide(as_request(tenant_events[0]))
+        assert ok["ok"]
+        with faults.inject(
+            {
+                faults.JOURNAL_TORN_WRITE: faults.FaultRule(
+                    site=faults.JOURNAL_TORN_WRITE, rate=1.0, max_fires=1
+                )
+            }
+        ):
+            crashed = shard.decide(as_request(tenant_events[1]))
+            assert not crashed["ok"] and "journal crash" in crashed["error"]
+            assert shard.crashed
+            healed = shard.decide(as_request(tenant_events[2]))
+        assert healed["ok"] and not shard.crashed
+        assert shard.stats.recoveries == 1
+        # The torn event was never decided; events 0 and 2 audit as if the
+        # crash never happened.
+        surviving = [tenant_events[0], tenant_events[2]]
+        after = recovered_statuses(manager, [tenant_events[0].tenant])
+        assert after == scratch_statuses(universe, policy, surviving)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        cut=st.integers(min_value=0, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_kill_at_any_point_recovers_identically(
+        scenario, tmp_path_factory, cut, seed
+    ):
+        """Property: for any prefix length and any trace seed, killing the
+        gateway after ``cut`` decisions and replaying journals yields
+        verdicts bit-identical to a scratch audit of those decisions."""
+        from repro.service.trace import zipf_trace
+
+        universe, policy, pool = scenario
+        events = zipf_trace(
+            n_events=30, n_tenants=3, n_users=2, seed=seed, pool=pool
+        )[:cut]
+        tmp_path = tmp_path_factory.mktemp("prop")
+        manager = ShardManager(
+            universe, policy, journal_dir=tmp_path / "journals", store=None
+        )
+        responses = drive_manager(manager, events)
+        live = live_statuses(responses, events)
+        recovered = ShardManager(
+            universe, policy, journal_dir=tmp_path / "journals", store=None
+        )
+        counts = recovered.recover_all()
+        after = recovered_statuses(recovered, counts)
+        assert after == scratch_statuses(universe, policy, events) == live
