@@ -1,0 +1,70 @@
+"""E22 — symbolic decision backend: Safe_K by SAT vs 2^n world masks.
+
+A tier-2 run of the E22 measurement from :mod:`repro.perf.bench`, down-
+scaled for CI: the same bounded-support disclosures decided under every
+supported possibilistic family through the mask path and the symbolic
+path, plus one decision in the mask-infeasible ``n > 20`` regime.
+Statuses must be identical wherever both backends ran — the backends
+trade representation, never decisions.
+
+The full crossover curve (to ``n = 32``, with the per-family mask
+feasibility caps and the 10 s big-``n`` acceptance headline) is recorded
+in ``BENCH_audit_pipeline.json`` via ``make bench``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report_table
+from repro.perf.bench import SYMBOLIC_BIG_N_BUDGET, run_symbolic_bench
+from repro.symbolic import enabled
+
+if not enabled():
+    pytest.skip(
+        "symbolic backend disabled (REPRO_SYMBOLIC=off)",
+        allow_module_level=True,
+    )
+
+#: At these sizes every mask point is measurable within the smoke budget.
+SMOKE_DIMS = (6, 8, 24)
+SMOKE_MASK_CAPS = {
+    "possibilistic-ignorant": 8,
+    "possibilistic-unrestricted": 8,
+    "possibilistic-subcubes": 8,
+}
+
+
+def test_symbolic_backend_smoke():
+    document = run_symbolic_bench(dims=SMOKE_DIMS, mask_caps=SMOKE_MASK_CAPS)
+
+    assert document["backend"]["name"].startswith("symbolic-")
+    lines = [f"backend: {document['backend']['name']}"]
+    compared = 0
+    for row in document["crossover"]:
+        # Every symbolic point must resolve (bounded-support workload).
+        assert all(s in ("safe", "unsafe") for s in row["statuses"]), row
+        if row["mask_seconds"] is not None:
+            assert row["verdict_identical"]
+            compared += 1
+            mask_part = (
+                f"mask {row['mask_seconds'] * 1e3:9.2f} ms "
+                f"({row['speedup_symbolic_vs_mask']}x)"
+            )
+        else:
+            mask_part = f"mask {row['mask']}"
+        lines.append(
+            f"n={row['n']:2d} [{row['assumption']}]: "
+            f"sat {row['symbolic_seconds'] * 1e3:7.2f} ms  {mask_part}"
+        )
+    assert compared >= 6  # both backends ran head-to-head at n=6 and n=8
+
+    head = document["big_n"]
+    assert head is not None
+    assert head["status"] in ("safe", "unsafe")
+    assert head["under_budget"], head
+    assert head["seconds"] < SYMBOLIC_BIG_N_BUDGET
+    lines.append(
+        f"big-n: n={head['n']} subcubes {head['status']} in "
+        f"{head['seconds'] * 1e3:.1f} ms (budget {head['budget_seconds']}s)"
+    )
+    report_table("E22: symbolic Safe_K vs mask enumeration", lines)

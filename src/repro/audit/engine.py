@@ -88,9 +88,17 @@ __all__ = [
     "DecisionTask",
     "DispatchStats",
     "VerdictCache",
+    "DECISION_BACKENDS",
     "MIN_PARALLEL_DECISIONS",
     "DEFAULT_CHUNK_SIZE",
 ]
+
+#: Valid ``decision_backend`` requests.  ``"mask"`` always enumerates the
+#: ``2^n`` world masks; ``"symbolic"`` lowers queries to formulas and
+#: decides by SAT (falling back to masks when no engine is available);
+#: ``"auto"`` follows the ``REPRO_SYMBOLIC`` environment switch — symbolic
+#: only under ``REPRO_SYMBOLIC=require``, masks otherwise.
+DECISION_BACKENDS = ("auto", "mask", "symbolic")
 
 #: A verdict-cache key: (A digest, B digest, assumption value, atol).
 CacheKey = Tuple[str, str, str, float]
@@ -223,6 +231,11 @@ class DecisionTask:
     budget_seconds: Optional[float] = None
     use_sos: bool = False
     pinned: bool = False
+    #: Lowered ``(A, B)`` formulas for the symbolic decision backend
+    #: (a :class:`~repro.symbolic.SymbolicPair`), or ``None`` for the
+    #: mask path.  Typed loosely so the mask path never imports
+    #: :mod:`repro.symbolic`.
+    symbolic: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -263,6 +276,7 @@ class _TaskContext:
             budget_seconds=self.budget_seconds,
             use_sos=self.use_sos,
             pinned=slim.pinned,
+            symbolic=slim.symbolic,
         )
 
 
@@ -279,6 +293,7 @@ class _SlimTask:
     tensor: Optional[np.ndarray] = None
     pinned: bool = False
     tensor_slot: Optional[int] = None
+    symbolic: Optional[object] = None
 
 
 def _decide_chunk(slims: Tuple[_SlimTask, ...]) -> List[DecisionOutcome]:
@@ -377,6 +392,20 @@ def _run_pipeline(
     decider = _DECIDER_MEMO.get(memo_key)
     if decider is None:
         decider = _DECIDER_MEMO[memo_key] = make_decider(space, assumption)
+    if task.symbolic is not None and not pinned:
+        # Symbolic-first dispatch: engine availability is checked at decide
+        # time (works in forked pool workers), and any shortfall falls back
+        # to the mask decider with the degradation recorded on the verdict.
+        from ..possibilistic.safety import audit_with_backend
+
+        return audit_with_backend(
+            decider,
+            task.audited,
+            task.disclosed,
+            task.assumption_value,
+            symbolic_pair=task.symbolic,
+            budget=budget,
+        )
     return decider(task.audited, task.disclosed)
 
 
@@ -545,6 +574,15 @@ class BatchAuditEngine:
         :data:`CHUNK_TARGET_SECONDS` of worker time using the measured
         per-task cost EWMA, always capped by a fair share
         (``ceil(pending / workers)``) so every worker gets work.
+    decision_backend:
+        ``Safe_K`` decision procedure request (:data:`DECISION_BACKENDS`).
+        ``"mask"`` keeps the world-mask path; ``"symbolic"`` lowers
+        possibilistic decisions to SAT via :mod:`repro.symbolic` (other
+        families always stay on masks); ``"auto"`` (default) engages the
+        symbolic path only under ``REPRO_SYMBOLIC=require``.  Whatever is
+        requested, symbolic shortfalls (backend off, no engine, solver
+        timeout) degrade to the mask path with ``symbolic_degraded``
+        counted — never silently, never changing a verdict.
 
     ``runtime_stats`` accumulates the resilience layer's counters across
     ``audit_log`` calls on this engine (like the verdict cache, which also
@@ -567,7 +605,13 @@ class BatchAuditEngine:
         retry: Optional[RetryPolicy] = None,
         chunk_size: Optional[int] = None,
         store: Optional[VerdictStoreBase] = None,
+        decision_backend: str = "auto",
     ) -> None:
+        if decision_backend not in DECISION_BACKENDS:
+            raise ValueError(
+                f"decision_backend must be one of {DECISION_BACKENDS}, "
+                f"got {decision_backend!r}"
+            )
         self._universe = universe
         self._policy = policy
         self.n_workers = n_workers
@@ -587,6 +631,16 @@ class BatchAuditEngine:
         # query repr → compiled disclosed set (batch-compilation memo)
         self._compiled: Dict[str, PropertySet] = {}
         self._compile_stats = CacheStats()
+        self._decision_backend = decision_backend
+        # query repr → lowered SymbolicPair (None = unlowerable); shared
+        # across ablation siblings like the compiled-set memo.
+        self._formulas: Dict[str, Optional[object]] = {}
+        self._formula_audited: Optional[object] = None
+        self._formula_audited_ready = False
+        #: Decisions per deciding backend name ("mask", "symbolic-builtin",
+        #: "symbolic-z3"), accumulated across audit_log calls and shared
+        #: with ablation siblings; rendered on the report.
+        self.backend_counts: Dict[str, int] = {}
         # Cross-event safety-gap tensors keyed by pair fingerprint, shared
         # across ablation siblings and successive audit_log calls.
         self._tensor_cache = TensorCache(capacity=TENSOR_CACHE_CAPACITY)
@@ -661,6 +715,78 @@ class BatchAuditEngine:
             self._compile_stats.hits += 1
         return disclosed
 
+    # -- symbolic lowering ---------------------------------------------------------
+
+    @property
+    def decision_backend(self) -> str:
+        """The requested ``Safe_K`` decision backend (``"auto"``/``"mask"``/
+        ``"symbolic"``)."""
+        return self._decision_backend
+
+    def _symbolic_wanted(self) -> bool:
+        """Whether decisions should carry lowered formulas.
+
+        ``"mask"`` never; unsupported assumption families never; an
+        explicit ``"symbolic"`` request always (availability is re-checked
+        at decide time, so absence degrades rather than erroring);
+        ``"auto"`` only when the environment *requires* the symbolic
+        backend — the default environment keeps existing behaviour
+        bit-identical.
+        """
+        if self._decision_backend == "mask":
+            return False
+        from ..symbolic.decide import SUPPORTED
+
+        if self._policy.assumption.value not in SUPPORTED:
+            return False
+        if self._decision_backend == "symbolic":
+            return True
+        from ..symbolic.backend import preferred
+
+        return preferred()
+
+    def _audited_formula(self) -> Optional[object]:
+        """The lowered audit-query formula (None if unlowerable), built once."""
+        if not self._formula_audited_ready:
+            from ..exceptions import SymbolicLoweringError
+
+            try:
+                self._formula_audited = self._universe.lower_boolean(
+                    self._policy.audit_query
+                )
+            except SymbolicLoweringError:
+                self._formula_audited = None
+            self._formula_audited_ready = True
+        return self._formula_audited
+
+    def _symbolic_for(self, query) -> Optional[object]:
+        """The query's lowered :class:`~repro.symbolic.SymbolicPair`.
+
+        Memoised by query repr (like :meth:`compile_query`) and shared
+        across ablation siblings; ``None`` marks queries only the mask
+        compiler can evaluate — those decisions simply stay on masks.
+        """
+        query_key = repr(query)
+        if query_key in self._formulas:
+            return self._formulas[query_key]
+        from ..exceptions import SymbolicLoweringError
+
+        pair: Optional[object] = None
+        formula_a = self._audited_formula()
+        if formula_a is not None:
+            from ..symbolic.decide import SymbolicPair
+
+            try:
+                pair = SymbolicPair(
+                    formula_a,
+                    self._universe.lower_answer(query),
+                    self._universe.space.n,
+                )
+            except SymbolicLoweringError:
+                pair = None
+        self._formulas[query_key] = pair
+        return pair
+
     # -- tensor sharing ------------------------------------------------------------
 
     def precompute_tensors(self, log: DisclosureLog) -> int:
@@ -713,6 +839,8 @@ class BatchAuditEngine:
         assumption = self._policy.assumption
         # Provenance for reports/benchmarks: which kernel backend decided.
         self.runtime_stats.native_backend = _native.backend_name()
+        self.runtime_stats.decision_backend = self._decision_backend
+        symbolic_wanted = self._symbolic_wanted()
 
         # Probe the in-memory cache per event, then resolve every cache
         # miss against the persistent store in ONE batched round trip —
@@ -721,7 +849,8 @@ class BatchAuditEngine:
         # are pruned here, before any pool dispatch cost is paid.
         keys: List[CacheKey] = []
         cold: Dict[CacheKey, PropertySet] = {}
-        for disclosed in disclosed_sets:
+        cold_symbolic: Dict[CacheKey, Optional[object]] = {}
+        for event, disclosed in zip(events, disclosed_sets):
             key = VerdictCache.key(self._audited, disclosed, assumption, self._atol)
             keys.append(key)
             if self._cache.contains(key) or key in cold:
@@ -729,6 +858,8 @@ class BatchAuditEngine:
                 continue
             self._cache.misses += 1
             cold[key] = disclosed
+            if symbolic_wanted:
+                cold_symbolic[key] = self._symbolic_for(event.query)
         store_outcomes: Dict[CacheKey, DecisionOutcome] = {}
         if self.store is not None and cold:
             for key, stored in self.store.probe_many(list(cold)).items():
@@ -746,6 +877,7 @@ class BatchAuditEngine:
                 tensor=self._tensor_for(disclosed),
                 budget_seconds=self.decision_budget,
                 use_sos=self.use_sos,
+                symbolic=cold_symbolic.get(key),
             )
             for key, disclosed in cold.items()
         }
@@ -779,6 +911,7 @@ class BatchAuditEngine:
             cache_stats=self._cache.stats(),
             runtime_stats=self.runtime_stats,
             store_stats=self.store.stats if self.store is not None else None,
+            backend_counts=self.backend_counts,
         )
 
     def audit_ablation(
@@ -813,12 +946,15 @@ class BatchAuditEngine:
                 retry=self.retry,
                 chunk_size=self.chunk_size,
                 store=self.store,
+                decision_backend=self._decision_backend,
             )
             sibling._compiled = self._compiled
             sibling._compile_stats = self._compile_stats
             sibling._tensor_cache = self._tensor_cache
             sibling.runtime_stats = self.runtime_stats
             sibling.dispatch_stats = self.dispatch_stats
+            sibling._formulas = self._formulas
+            sibling.backend_counts = self.backend_counts
             reports[assumption] = sibling.audit_log(log)
         return reports
 
@@ -843,7 +979,7 @@ class BatchAuditEngine:
             self.store.failures_reported = failures
 
     def decide_one(
-        self, disclosed: PropertySet, pinned: bool = False
+        self, disclosed: PropertySet, pinned: bool = False, query=None
     ) -> DecisionOutcome:
         """Decide ``Safe_K(A, disclosed)`` through cache → store → pipeline.
 
@@ -861,8 +997,14 @@ class BatchAuditEngine:
         like every breaker pin.  Note the cache/store are consulted first:
         a pinned call can still be served an unpinned run's verdict —
         they are interchangeable by the resilience contract.
+
+        ``query`` (optional) lets streaming callers pass the original
+        query so the decision can ride the symbolic backend; without it —
+        or when ``pinned`` — the decision stays on the mask path (a pin is
+        a pin to the deterministic known-good procedure).
         """
         self.runtime_stats.native_backend = _native.backend_name()
+        self.runtime_stats.decision_backend = self._decision_backend
         key = VerdictCache.key(
             self._audited, disclosed, self._policy.assumption, self._atol
         )
@@ -874,6 +1016,9 @@ class BatchAuditEngine:
             if stored is not None:
                 self._cache.put(key, stored)
                 return DecisionOutcome(verdict=stored, stages=("verdict-store",))
+        symbolic = None
+        if query is not None and not pinned and self._symbolic_wanted():
+            symbolic = self._symbolic_for(query)
         task = DecisionTask(
             assumption_value=self._policy.assumption.value,
             atol=self._atol,
@@ -883,6 +1028,7 @@ class BatchAuditEngine:
             budget_seconds=self.decision_budget,
             use_sos=self.use_sos,
             pinned=pinned,
+            symbolic=symbolic,
         )
         outcome = _decide_task(self._apply_breaker(task))
         self._record_outcome(outcome)
@@ -933,6 +1079,12 @@ class BatchAuditEngine:
         degradation = outcome.degradation or ""
         if details.get("budget_exhausted") or "budget" in degradation:
             stats.budget_exhausted += 1
+        if "symbolic" in degradation:
+            stats.symbolic_degraded += 1
+        backend_used = details.get("backend", "mask")
+        self.backend_counts[backend_used] = (
+            self.backend_counts.get(backend_used, 0) + 1
+        )
         if outcome.degraded:
             stats.degraded_decisions += 1
 
@@ -1116,6 +1268,7 @@ class BatchAuditEngine:
                 ),
                 pinned=tasks[idx].pinned,
                 tensor_slot=None if slots is None else slots[idx],
+                symbolic=tasks[idx].symbolic,
             )
             for idx in chunk
         )

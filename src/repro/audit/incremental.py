@@ -170,6 +170,7 @@ class IncrementalAuditor:
         n_workers: int = 1,
         fast_path: bool = True,
         decision_budget: Optional[float] = None,
+        decision_backend: str = "auto",
     ) -> None:
         from .engine import BatchAuditEngine
 
@@ -184,6 +185,7 @@ class IncrementalAuditor:
             n_workers=n_workers,
             decision_budget=decision_budget,
             store=store,
+            decision_backend=decision_backend,
         )
         self._knowledge = explicit_possibilistic_knowledge(
             universe.space, policy.assumption
@@ -243,6 +245,39 @@ class IncrementalAuditor:
             return False
         return events[: len(self._consumed)] == self._consumed
 
+    def _is_preserving(self, finding: EventFinding) -> bool:
+        """Definition 3.9 preservation of one disclosed set, if checkable.
+
+        The explicit-``K`` check runs when the family's product was small
+        enough to materialise.  When it was not (``_knowledge is None`` —
+        e.g. subcubes beyond ``4^n > MAX_EXPLICIT_PAIRS``), the symbolic
+        backend can still decide preservation from the lowered formula —
+        a handful of SAT calls instead of a ``4^n`` product — provided the
+        engine's backend selection wants the symbolic path.  Any shortfall
+        (unlowerable query, no engine, solver timeout) answers ``False``:
+        the fast path is an optimisation, never a correctness dependency.
+        """
+        if self._knowledge is not None:
+            return is_preserving_possibilistic(
+                self._knowledge, finding.disclosed_set
+            )
+        if not self._engine._symbolic_wanted():
+            return False
+        pair = self._engine._symbolic_for(finding.event.query)
+        if pair is None:
+            return False
+        from ..runtime.budget import Budget
+        from ..symbolic.decide import preserving_symbolic
+
+        return bool(
+            preserving_symbolic(
+                self._policy.assumption.value,
+                pair.formula_b,
+                pair.n_vars,
+                budget=Budget(self.decision_budget),
+            )
+        )
+
     def _consume(self, event: DisclosureEvent, finding: EventFinding) -> None:
         """Fold one audited event into its user's composition state."""
         state = self._states.get(event.user)
@@ -255,11 +290,8 @@ class IncrementalAuditor:
         if (
             self.fast_path
             and state.fast
-            and self._knowledge is not None
             and finding.verdict.is_safe
-            and is_preserving_possibilistic(
-                self._knowledge, finding.disclosed_set
-            )
+            and self._is_preserving(finding)
         ):
             # Proposition 3.10: C_t safe+preserving, B safe+preserving ⇒
             # C_{t+1} = C_t ∩ B safe (3.10(2)) and preserving (3.10(1)).
@@ -309,7 +341,9 @@ class IncrementalAuditor:
         )
         try:
             disclosed = self._engine.compile_query(event.query)
-            outcome = self._engine.decide_one(disclosed, pinned=pinned)
+            outcome = self._engine.decide_one(
+                disclosed, pinned=pinned, query=event.query
+            )
             finding = EventFinding(
                 event=event,
                 disclosed_set=disclosed,
@@ -376,6 +410,7 @@ class IncrementalAuditor:
                 if self._engine.store is not None
                 else None
             ),
+            backend_counts=self._engine.backend_counts,
         )
         self._last_audit_key = audit_key
         self._last_report = report

@@ -137,6 +137,10 @@ class AuditReport:
     (pool failures survived, breaker trips, budget expiries) — all zeros
     on a clean run.  ``store_stats`` is the persistent verdict store's
     counters when one was attached (``None`` otherwise).
+    ``backend_counts`` maps each deciding backend name (``"mask"``,
+    ``"symbolic-builtin"``, ``"symbolic-z3"``) to the number of decisions
+    it produced, accumulated across the engine's lifetime like
+    ``cache_stats`` (``None`` from the per-event reference path).
     """
 
     policy: AuditPolicy
@@ -144,6 +148,7 @@ class AuditReport:
     cache_stats: Optional[CacheStats] = None
     runtime_stats: Optional[RuntimeStats] = None
     store_stats: Optional[StoreStats] = None
+    backend_counts: Optional[Dict[str, int]] = None
 
     @property
     def degraded_findings(self) -> List[EventFinding]:
@@ -190,9 +195,11 @@ class OfflineAuditor:
         universe: CandidateUniverse,
         policy: AuditPolicy,
         rng: Optional[np.random.Generator] = None,
+        decision_backend: str = "auto",
     ) -> None:
         self._universe = universe
         self._policy = policy
+        self.decision_backend = decision_backend
         self._rng = rng or np.random.default_rng(0)
         self._audited = universe.compile_boolean(policy.audit_query)
         self._decider = self._build_decider()
@@ -276,7 +283,10 @@ class OfflineAuditor:
 
         if self._engine is None:
             self._engine = BatchAuditEngine(
-                self._universe, self._policy, n_workers=n_workers
+                self._universe,
+                self._policy,
+                n_workers=n_workers,
+                decision_backend=self.decision_backend,
             )
         self._engine.n_workers = n_workers
         self._engine.decision_budget = decision_budget
@@ -318,6 +328,7 @@ class OfflineAuditor:
                 n_workers=n_workers,
                 fast_path=fast_path,
                 decision_budget=decision_budget,
+                decision_backend=self.decision_backend,
             )
         self._incremental.n_workers = n_workers
         self._incremental.fast_path = fast_path

@@ -128,3 +128,36 @@ class CandidateUniverse:
         """Alias of :meth:`compile_boolean`, named for audit-policy use:
         a "yes" to the audit query is the protected property ``A``."""
         return self.compile_boolean(query)
+
+    # -- symbolic lowering ---------------------------------------------------------
+    # The same compiler surface, but into propositional formulas instead of
+    # PropertySets — the entry point the symbolic decision backend uses.
+    # Imports are deferred so the mask path never pays for repro.symbolic.
+
+    def lower_boolean(self, query: BooleanQuery):
+        """The formula ``φ`` with ``φ(ω) ⟺ query(ω)`` on every world.
+
+        Semantically identical to :meth:`compile_boolean` (the equivalence
+        suite asserts it world-by-world) but costs ``O(|query| · n)``
+        instead of ``O(2^n)``.
+        """
+        from ..symbolic.lower import lower_boolean as _lower
+
+        return _lower(query, self._candidates)
+
+    def lower_answer(self, query, actual_world: Optional[int] = None):
+        """Formula form of :meth:`compile_answer` (the equal-output set).
+
+        Raises :class:`~repro.exceptions.SymbolicLoweringError` for opaque
+        callable queries, which only the mask compiler can evaluate.
+        """
+        from ..exceptions import SymbolicLoweringError
+        from ..symbolic.lower import lower_answer as _lower
+
+        if not isinstance(query, (BooleanQuery, Select)):
+            raise SymbolicLoweringError(
+                f"cannot lower answers of {type(query).__name__} (opaque evaluator)"
+            )
+        if actual_world is None:
+            actual_world = self.actual_world()
+        return _lower(query, self._candidates, self.view_of(actual_world))

@@ -58,6 +58,16 @@ class NativeBackendError(ReproError):
     """
 
 
+class SymbolicBackendError(ReproError):
+    """``REPRO_SYMBOLIC=require`` but no symbolic decision engine is usable.
+
+    Under ``auto`` (the default) a missing or faulted symbolic engine
+    degrades to the mask path — counted on ``RuntimeStats``, never silent;
+    ``require`` turns that degradation into this error so CI legs can prove
+    the symbolic path actually ran.
+    """
+
+
 class MalformedEventError(ReproError, ValueError):
     """A disclosure-log entry is malformed (bad user, time, or query).
 
@@ -110,6 +120,15 @@ class QueryError(ReproError):
 
 class ParseError(QueryError):
     """The SQL-ish query text could not be parsed."""
+
+
+class SymbolicLoweringError(QueryError):
+    """A query could not be lowered to a propositional formula.
+
+    Raised by the symbolic backend's query→formula compiler for inputs
+    outside the lowerable fragment (e.g. opaque callables passed to
+    ``compile_answer``).  Callers degrade such decisions to the mask path.
+    """
 
 
 class CertificateError(ReproError):

@@ -59,6 +59,17 @@ to one store and flush concurrently (WAL + busy-timeout + commit retry
 on sqlite, lock-file merge-on-flush on json); a reader process must then
 see exactly the union with zero ``load_failures``.
 
+**E22 (symbolic decision backend).** ``Safe_K(A, B)`` by SAT over ``n``
+presence variables vs by ``2^n`` world masks, the same bounded-support
+disclosures decided under every supported possibilistic family through
+both backends.  Mask timings stop at the per-family feasibility caps
+(the family sweeps are ≈ ``4^n``; points beyond carry an explicit
+infeasibility marker, never a fabricated number), symbolic timings
+continue to ``n = 32`` — a space the mask representation cannot even
+construct — with the big-``n`` subcube decision re-timed alone as the
+acceptance headline (< 10 s).  Statuses are asserted identical wherever
+both backends ran.
+
 The artifact records events/sec for each pipeline, the verdict-cache hit
 rate, the measured duplicate fraction, and the speedups; every compared
 pair of runs is asserted verdict-identical before anything is written.
@@ -89,6 +100,7 @@ from ..audit import (
     OfflineAuditor,
     PriorAssumption,
     VerdictStore,
+    make_decider,
     open_verdict_store,
 )
 from ..core.verdict import AuditVerdict
@@ -142,6 +154,21 @@ DEFAULT_GATEWAY_EVENTS = 12_000
 DEFAULT_GATEWAY_TENANTS = 120
 DEFAULT_GATEWAY_CONNECTIONS = 8
 DEFAULT_GATEWAY_QUEUE_LIMIT = 64
+
+DEFAULT_SYMBOLIC_DIMS = (6, 8, 10, 16, 24, 32)
+#: Largest ``n`` the mask path is timed at, per family — beyond these a
+#: single point dominates the whole bench run (the ignorant family's
+#: explicit interval sweep is ≈ 60 s at ``n = 10``), which is exactly the
+#: scaling E22 exists to record.  Points above the cap carry an explicit
+#: ``"infeasible"`` marker instead of a fabricated number.
+SYMBOLIC_MASK_CAPS = {
+    "possibilistic-ignorant": 8,
+    "possibilistic-unrestricted": 10,
+    "possibilistic-subcubes": 10,
+}
+#: E22 acceptance bound: the big-``n`` subcube decision (mask-infeasible)
+#: must resolve within this many seconds.
+SYMBOLIC_BIG_N_BUDGET = 10.0
 
 DEFAULT_NATIVE_DIMS = (4, 6, 8)
 DEFAULT_NATIVE_BOXES = 2000
@@ -1376,6 +1403,150 @@ def run_gateway_bench(
     }
 
 
+# -------------------------------------------------------------------------------
+# E22 — symbolic decision backend: mask-vs-SAT crossover and the big-n regime
+
+
+def _symbolic_universe_records(n: int):
+    """A width-``n`` single-table database: candidates ``v = 0 .. n-1``.
+
+    Half the records are actually inserted, half hypothetical, so answer
+    sets are non-trivial at every ``n``.
+    """
+    db = Database()
+    db.create_table(TableSchema("t", (("v", ColumnType.INTEGER),)))
+    records = [db.insert("t", v=i) for i in range(n // 2)]
+    records += [db.hypothetical_record("t", v=i) for i in range(n // 2, n)]
+    return db, records
+
+
+def _symbolic_queries():
+    """The E22 audit query and disclosure batch (bounded support).
+
+    Every query mentions only records with ``v ≤ 5``, so formula support
+    stays constant as ``n`` grows — the regime where the subcube CEGAR
+    loop is ``n``-independent.  (Wide-support cardinality disclosures can
+    exceed the solver budget and surface as honest UNKNOWNs; the
+    randomized suite covers that path, the benchmark records the feasible
+    one.)
+    """
+    from ..db.query import AtLeast, ColumnCompare, Comparison, Exists, column_eq
+
+    audit_query = Exists("t", column_eq("v", 0))
+    disclosures = [
+        AtLeast("t", ColumnCompare("v", Comparison.LE, 3), 2),
+        Exists("t", column_eq("v", 1)),
+        AtLeast("t", ColumnCompare("v", Comparison.LE, 5), 3),
+    ]
+    return audit_query, disclosures
+
+
+def run_symbolic_bench(
+    dims: Sequence[int] = DEFAULT_SYMBOLIC_DIMS,
+    mask_caps: Optional[Dict[str, int]] = None,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Any]:
+    """The E22 section: ``Safe_K`` by SAT vs by ``2^n`` world masks.
+
+    For each dimension the same three disclosures are decided under every
+    supported possibilistic family through both backends; mask timings
+    stop at :data:`SYMBOLIC_MASK_CAPS` (the sweep is ≈ ``4^n``) with an
+    explicit infeasibility marker, symbolic timings continue into the
+    ``n > 20`` regime the mask representation cannot even construct.
+    Statuses are asserted identical wherever both backends ran.  The
+    largest mask-infeasible dimension's subcube decision is re-timed alone
+    as the acceptance headline (< :data:`SYMBOLIC_BIG_N_BUDGET` s).
+    """
+    from ..runtime.budget import Budget
+    from ..symbolic import backend_name
+    from ..symbolic.decide import SUPPORTED, audit_symbolic
+    from ..symbolic.universe import SymbolicUniverse
+
+    if mask_caps is None:
+        mask_caps = SYMBOLIC_MASK_CAPS
+    audit_query, disclosures = _symbolic_queries()
+    rows: List[Dict[str, Any]] = []
+    big_n: Optional[Dict[str, Any]] = None
+    for n in dims:
+        db, records = _symbolic_universe_records(n)
+        symbolic_universe = SymbolicUniverse(db, records)
+        pairs = [symbolic_universe.pair(audit_query, q) for q in disclosures]
+        mask_universe = None
+        if n <= max(mask_caps.values()):
+            mask_universe = CandidateUniverse(db, records)
+        for family in SUPPORTED:
+            row: Dict[str, Any] = {"n": n, "assumption": family}
+            with Stopwatch() as symbolic_clock:
+                verdicts = [
+                    audit_symbolic(
+                        family, pair, budget=Budget(SYMBOLIC_BIG_N_BUDGET)
+                    )
+                    for pair in pairs
+                ]
+            row["symbolic_seconds"] = round(symbolic_clock.elapsed, 6)
+            row["statuses"] = [v.status.value for v in verdicts]
+            if mask_universe is not None and n <= mask_caps[family]:
+                assumption = PriorAssumption(family)
+                with Stopwatch() as mask_clock:
+                    decider = make_decider(mask_universe.space, assumption)
+                    audited = mask_universe.compile_boolean(audit_query)
+                    mask_statuses = [
+                        decider(
+                            audited, mask_universe.compile_answer(q)
+                        ).status.value
+                        for q in disclosures
+                    ]
+                if mask_statuses != row["statuses"]:
+                    raise AssertionError(
+                        f"E22 backend disagreement at n={n} {family}: "
+                        f"mask={mask_statuses} symbolic={row['statuses']}"
+                    )
+                row["mask_seconds"] = round(mask_clock.elapsed, 6)
+                row["speedup_symbolic_vs_mask"] = round(
+                    mask_clock.elapsed / max(symbolic_clock.elapsed, 1e-9), 1
+                )
+                row["verdict_identical"] = True
+            else:
+                row["mask_seconds"] = None
+                row["mask"] = (
+                    f"infeasible: 2^{n} worlds"
+                    if n > 20
+                    else f"not measured: ~4^{n} interval sweep beyond "
+                    f"{mask_caps[family]}-dim cap"
+                )
+            rows.append(row)
+        if n >= 24:
+            with Stopwatch() as headline_clock:
+                verdict = audit_symbolic(
+                    "possibilistic-subcubes",
+                    symbolic_universe.pair(audit_query, disclosures[0]),
+                    budget=Budget(SYMBOLIC_BIG_N_BUDGET),
+                )
+            big_n = {
+                "n": n,
+                "assumption": "possibilistic-subcubes",
+                "seconds": round(headline_clock.elapsed, 6),
+                "status": verdict.status.value,
+                "method": verdict.method,
+                "cegar_rounds": verdict.details.get("cegar_rounds"),
+                "budget_seconds": SYMBOLIC_BIG_N_BUDGET,
+                "under_budget": headline_clock.elapsed < SYMBOLIC_BIG_N_BUDGET
+                and verdict.is_decided,
+            }
+    return {
+        "workload": {
+            "dims": list(dims),
+            "decisions_per_point": len(disclosures),
+            "families": list(SUPPORTED),
+            "mask_caps": dict(mask_caps),
+            "seed": seed,
+        },
+        "backend": {"name": backend_name()},
+        "crossover": rows,
+        "big_n": big_n,
+    }
+
+
 def run_bench(
     n_events: int = DEFAULT_EVENTS,
     n_workers: int = DEFAULT_WORKERS,
@@ -1400,6 +1571,7 @@ def run_bench(
     gateway_tenants: int = DEFAULT_GATEWAY_TENANTS,
     gateway_connections: int = DEFAULT_GATEWAY_CONNECTIONS,
     gateway_queue_limit: int = DEFAULT_GATEWAY_QUEUE_LIMIT,
+    symbolic_dims: Sequence[int] = DEFAULT_SYMBOLIC_DIMS,
 ) -> Dict[str, Any]:
     """Audit one synthetic log through all three pipelines and compare.
 
@@ -1408,9 +1580,11 @@ def run_bench(
     section (kernel sweep over ``kernel_dims`` + pool dispatch economics),
     the E18 incremental re-audit measurement, the E19 verdict-store
     backend head-to-head (``store_pairs`` warm probe + concurrency soak),
-    and the E21 online-gateway replay (``gateway_events`` over
-    ``gateway_tenants`` tenants), embedding all these sections in the
-    returned document.
+    the E21 online-gateway replay (``gateway_events`` over
+    ``gateway_tenants`` tenants), and the E22 symbolic-backend crossover
+    (mask vs SAT over ``symbolic_dims``, into the mask-infeasible
+    ``n > 20`` regime), embedding all these sections in the returned
+    document.
     """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
@@ -1545,6 +1719,7 @@ def run_bench(
         queue_limit=gateway_queue_limit,
         seed=seed,
     )
+    document["symbolic"] = run_symbolic_bench(dims=symbolic_dims, seed=seed)
     return document
 
 
@@ -1588,6 +1763,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     gateway_events = DEFAULT_GATEWAY_EVENTS
     gateway_tenants = DEFAULT_GATEWAY_TENANTS
     gateway_connections = DEFAULT_GATEWAY_CONNECTIONS
+    symbolic_dims: Sequence[int] = DEFAULT_SYMBOLIC_DIMS
     if args.smoke:
         args.events = min(args.events, 60)
         args.serial_n = min(args.serial_n, 8)
@@ -1607,6 +1783,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         gateway_events = 400
         gateway_tenants = 24
         gateway_connections = 4
+        symbolic_dims = (6, 8)
 
     document = run_bench(
         n_events=args.events,
@@ -1630,6 +1807,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         gateway_events=gateway_events,
         gateway_tenants=gateway_tenants,
         gateway_connections=gateway_connections,
+        symbolic_dims=symbolic_dims,
     )
     path = write_bench_json(args.output, document)
     workload = document["workload"]
@@ -1746,6 +1924,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"shed rate {gateway['admission']['shed_rate']:.1%}  "
         f"drain {'clean' if gateway['drain']['clean_drain'] else 'DIRTY'}"
     )
+    symbolic = document["symbolic"]
+    print(f"symbolic backend: {symbolic['backend']['name']}")
+    for row in symbolic["crossover"]:
+        mask_part = (
+            f"mask {row['mask_seconds']*1e3:9.1f} ms "
+            f"→ {row['speedup_symbolic_vs_mask']}x"
+            if row["mask_seconds"] is not None
+            else f"mask {row['mask']}"
+        )
+        print(
+            f"symbolic n={row['n']:2d} [{row['assumption']}]: "
+            f"sat {row['symbolic_seconds']*1e3:7.1f} ms  {mask_part}"
+        )
+    if symbolic["big_n"] is not None:
+        head = symbolic["big_n"]
+        print(
+            f"symbolic big-n headline: n={head['n']} subcubes decided "
+            f"{head['status']} in {head['seconds']*1e3:.1f} ms "
+            f"({'within' if head['under_budget'] else 'OVER'} "
+            f"{head['budget_seconds']}s budget)"
+        )
     return 0
 
 

@@ -34,6 +34,13 @@ site               effect at the probe point
 ``drain-flush``    the shutdown drain's store flush fails — shed work and
                    unflushed verdicts are reported, the drain still
                    completes
+``symbolic-load``  the symbolic decision engine fails to load during
+                   :func:`repro.symbolic.configure` — ``auto`` mode degrades
+                   to the mask path (counted), ``require`` raises
+``symbolic-timeout``  one symbolic solver call reports ``unknown`` as if it
+                   timed out — engine decisions degrade to the mask path
+                   (verdict unchanged); standalone symbolic audits return
+                   ``UNKNOWN("solver-timeout")``
 =================  ==========================================================
 
 Plans activate either programmatically (:func:`install` / the
@@ -71,6 +78,8 @@ __all__ = [
     "SOLVER_TIMEOUT",
     "STORE_SQL_WRITE",
     "STORE_WRITE",
+    "SYMBOLIC_LOAD",
+    "SYMBOLIC_TIMEOUT",
     "WORKER_CRASH",
     "active",
     "fire",
@@ -90,6 +99,8 @@ CONN_DROP = "conn-drop"
 JOURNAL_TORN_WRITE = "journal-torn-write"
 SLOW_TENANT = "slow-tenant"
 DRAIN_FLUSH = "drain-flush"
+SYMBOLIC_LOAD = "symbolic-load"
+SYMBOLIC_TIMEOUT = "symbolic-timeout"
 
 KNOWN_SITES = (
     WORKER_CRASH,
@@ -103,6 +114,8 @@ KNOWN_SITES = (
     JOURNAL_TORN_WRITE,
     SLOW_TENANT,
     DRAIN_FLUSH,
+    SYMBOLIC_LOAD,
+    SYMBOLIC_TIMEOUT,
 )
 
 ENV_PLAN = "REPRO_FAULTS"

@@ -101,10 +101,15 @@ class RuntimeStats:
     faults_injected: int = 0  # injector fires observed in this process
     store_failures: int = 0  # verdict-store loads/flushes that failed
     shm_degraded: int = 0  # shared-memory tensor pools that fell back to pickling
+    symbolic_degraded: int = 0  # symbolic decisions that fell back to the mask path
     #: Selected decision-kernel backend ("native"/"numpy-fallback"; "" until
     #: an audit stamped it).  Provenance, not a degradation counter: it is
     #: excluded from ``merge`` sums, ``any_degradation`` and ``__str__``.
     native_backend: str = ""
+    #: Requested decision backend for Safe_K checks ("auto"/"mask"/
+    #: "symbolic"; "" until an audit stamped it).  Provenance like
+    #: ``native_backend`` — string, so excluded from sums and degradation.
+    decision_backend: str = ""
 
     def merge(self, other: "RuntimeStats") -> "RuntimeStats":
         merged = RuntimeStats()

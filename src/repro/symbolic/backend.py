@@ -1,0 +1,110 @@
+"""Symbolic backend selection — the ``REPRO_SYMBOLIC`` switch.
+
+Mirrors :mod:`repro._native`: a process-wide singleton chosen once from the
+environment (or explicitly via :func:`configure`), three modes::
+
+    REPRO_SYMBOLIC=auto     use the symbolic engine where selected (default)
+    REPRO_SYMBOLIC=off      mask path only; symbolic tests auto-skip
+    REPRO_SYMBOLIC=require  raise SymbolicBackendError if no engine loads
+
+Engine choice inside ``auto``/``require``: the optional ``z3-solver``
+package when importable, else the built-in DPLL — which always loads, so
+the only load failure in practice is the deterministic ``symbolic-load``
+chaos site (fired here, in :func:`configure`, exactly like ``native-load``
+in :func:`repro._native.configure`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import SymbolicBackendError
+from ..runtime import faults
+from .engine import BuiltinEngine, Z3Engine
+
+ENV_SYMBOLIC = "REPRO_SYMBOLIC"
+MODES = ("auto", "off", "require")
+
+#: Backend name reported when no engine is active.
+OFF = "off"
+
+
+@dataclass(frozen=True)
+class Backend:
+    """The resolved symbolic backend for this process."""
+
+    name: str
+    mode: str
+    engine: Optional[object] = None
+    load_error: Optional[str] = None
+
+
+_BACKEND: Optional[Backend] = None
+
+
+def _load_engine() -> Tuple[Optional[object], Optional[str]]:
+    if faults.fire(faults.SYMBOLIC_LOAD):
+        return None, "fault-injected: symbolic-load"
+    try:
+        import z3  # type: ignore[import-not-found]
+    except Exception:
+        z3 = None
+    if z3 is not None:
+        try:
+            return Z3Engine(z3), None
+        except Exception as exc:  # pragma: no cover - defensive
+            return BuiltinEngine(), f"z3 unusable ({exc}); using builtin"
+    return BuiltinEngine(), None
+
+
+def configure(mode: Optional[str] = None) -> Backend:
+    """(Re)select the symbolic backend; ``mode=None`` re-reads the env."""
+    global _BACKEND
+    if mode is None:
+        mode = os.environ.get(ENV_SYMBOLIC, "auto").strip().lower() or "auto"
+    if mode not in MODES:
+        raise ValueError(
+            f"{ENV_SYMBOLIC} must be one of {', '.join(MODES)}; got {mode!r}"
+        )
+    if mode == "off":
+        _BACKEND = Backend(name=OFF, mode=mode)
+        return _BACKEND
+    engine, error = _load_engine()
+    if engine is None:
+        _BACKEND = Backend(name=OFF, mode=mode, load_error=error)
+        if mode == "require":
+            raise SymbolicBackendError(
+                f"{ENV_SYMBOLIC}=require but no symbolic engine is usable: {error}"
+            )
+        return _BACKEND
+    _BACKEND = Backend(name=engine.name, mode=mode, engine=engine, load_error=error)
+    return _BACKEND
+
+
+def backend() -> Backend:
+    """The active backend, configuring from the environment on first use."""
+    global _BACKEND
+    if _BACKEND is None:
+        configure()
+    return _BACKEND
+
+
+def backend_name() -> str:
+    return backend().name
+
+
+def engine() -> Optional[object]:
+    """The active engine object, ``None`` when off or load-faulted."""
+    return backend().engine
+
+
+def enabled() -> bool:
+    """Whether symbolic decisions can run at all in this process."""
+    return backend().engine is not None
+
+
+def preferred() -> bool:
+    """Whether the environment *demands* the symbolic path (``require``)."""
+    return backend().mode == "require"

@@ -1,0 +1,351 @@
+"""Symbolic ``Safe_K(A, B)`` decisions — Prop 4.5 without enumerating Ω.
+
+Given the lowered formulas of the protected property ``A`` and a
+disclosure ``B``, possibilistic safety under each supported second-level
+knowledge family reduces to a handful of satisfiability questions over the
+``n`` presence variables (never ``2^n`` worlds):
+
+``possibilistic-ignorant`` (Σ = {Ω})
+    every interval is Ω itself, so a violation needs ``A∧B`` and ``¬A``
+    non-empty while ``B∖A`` is empty — three SAT calls.
+
+``possibilistic-unrestricted`` (the power set)
+    the minimal interval of ``(ω₁, ω₂)`` is ``{ω₁, ω₂}``; a violating pair
+    is exactly ``ω₁ ⊨ A∧B``, ``ω₂ ⊨ ¬A∧¬B`` — two SAT calls.
+
+``possibilistic-subcubes``
+    the interval is the coordinate box spanned by the pair, giving the
+    2-alternation sentence ``∀x,y ∃z: A(x)∧B(x)∧¬A(y) → InBox(z;x,y) ∧
+    B(z)∧¬A(z)`` — decided by CEGAR over the SAT engine: enumerate
+    candidate violating pairs, ask for an interval witness ``z``, and block
+    the generalised pair pattern each witness covers.
+
+``is_preserving`` (Definition 3.9) gets the same treatment in
+:func:`preserving_symbolic` — notably the subcube case is precisely "B is
+empty or a subcube", checked as UNSAT of the closure violation over ``3n``
+variables.
+
+Solver ``unknown`` (deadline, step cap, or the ``symbolic-timeout`` chaos
+site) always surfaces as ``UNKNOWN("solver-timeout")`` — provenance moves,
+verdicts never lie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.verdict import AuditVerdict
+from ..runtime.budget import Budget
+from .backend import backend_name as _backend_name
+from .backend import engine as _active_engine
+from .formula import (
+    Formula,
+    Var,
+    and_f,
+    eval_formula,
+    fingerprint,
+    iff_f,
+    implies_f,
+    not_f,
+    or_f,
+    shift_vars,
+    support,
+)
+
+#: Assumption values (``PriorAssumption.value`` strings) the symbolic
+#: backend can decide.  Kept as strings to stay import-light in workers.
+SUBCUBES = "possibilistic-subcubes"
+UNRESTRICTED = "possibilistic-unrestricted"
+IGNORANT = "possibilistic-ignorant"
+SUPPORTED = (SUBCUBES, UNRESTRICTED, IGNORANT)
+
+#: Violating-pair refinement rounds before the CEGAR loop gives up.
+CEGAR_MAX_ROUNDS = 10_000
+
+METHOD_TIMEOUT = "solver-timeout"
+_METHODS = {
+    IGNORANT: "symbolic-ignorant",
+    UNRESTRICTED: "symbolic-interval",
+    SUBCUBES: "symbolic-cegar",
+}
+
+
+@dataclass(frozen=True)
+class SymbolicPair:
+    """Lowered ``(A, B)`` formulas over ``n_vars`` presence variables."""
+
+    formula_a: Formula
+    formula_b: Formula
+    n_vars: int
+
+    def fingerprint_key(self) -> Tuple[str, str, int]:
+        return (
+            fingerprint(self.formula_a),
+            fingerprint(self.formula_b),
+            self.n_vars,
+        )
+
+
+class _SolverUnknown(Exception):
+    """Internal: a SAT call timed out; unwinds to an UNKNOWN verdict."""
+
+
+def _check(engine, formula: Formula, n_vars: int, budget: Optional[Budget]):
+    status, model = engine.check(formula, n_vars, budget)
+    if status == "unknown":
+        raise _SolverUnknown()
+    return status == "sat", model
+
+
+def _in_box(n: int, x0: int, y0: int, z0: int) -> Formula:
+    """``z`` lies in the coordinate box of ``(x, y)``.
+
+    Variable blocks start at the given 0-based offsets: coordinate ``i``
+    of block ``b`` is ``Var(b + i)``.
+    """
+    terms = []
+    for i in range(1, n + 1):
+        x, y, z = Var(x0 + i), Var(y0 + i), Var(z0 + i)
+        terms.append(implies_f(iff_f(x, y), iff_f(z, x)))
+    return and_f(*terms)
+
+
+def decide_safe(
+    assumption_value: str,
+    pair: SymbolicPair,
+    budget: Optional[Budget] = None,
+    engine: Optional[object] = None,
+) -> Optional[AuditVerdict]:
+    """Decide ``Safe_K(A, B)`` symbolically.
+
+    Returns ``None`` when no engine is available or the assumption is not a
+    supported possibilistic family (callers fall back to the mask path and
+    count the degradation); otherwise an :class:`AuditVerdict` whose
+    ``details["backend"]`` names the engine — UNKNOWN with method
+    ``"solver-timeout"`` when the solver could not finish in budget.
+    """
+    if assumption_value not in SUPPORTED:
+        return None
+    eng = engine if engine is not None else _active_engine()
+    if eng is None:
+        return None
+    method = _METHODS[assumption_value]
+    a, b, n = pair.formula_a, pair.formula_b, pair.n_vars
+    try:
+        if assumption_value == IGNORANT:
+            sat_ab, w1 = _check(eng, and_f(a, b), n, budget)
+            if not sat_ab:
+                return AuditVerdict.safe(method, backend=eng.name)
+            sat_na, w2 = _check(eng, not_f(a), n, budget)
+            if not sat_na:
+                return AuditVerdict.safe(method, backend=eng.name)
+            sat_bna, _ = _check(eng, and_f(b, not_f(a)), n, budget)
+            if sat_bna:
+                return AuditVerdict.safe(method, backend=eng.name)
+            return AuditVerdict.unsafe(
+                method, witness=(w1, w2), backend=eng.name
+            )
+        if assumption_value == UNRESTRICTED:
+            sat_ab, w1 = _check(eng, and_f(a, b), n, budget)
+            if not sat_ab:
+                return AuditVerdict.safe(method, backend=eng.name)
+            sat_nn, w2 = _check(eng, and_f(not_f(a), not_f(b)), n, budget)
+            if sat_nn:
+                return AuditVerdict.unsafe(
+                    method, witness=(w1, w2), backend=eng.name
+                )
+            return AuditVerdict.safe(method, backend=eng.name)
+        return _decide_subcubes(eng, a, b, n, budget, method)
+    except _SolverUnknown:
+        return AuditVerdict.unknown(METHOD_TIMEOUT, backend=eng.name)
+
+
+def _decide_subcubes(
+    eng, a: Formula, b: Formula, n: int, budget: Optional[Budget], method: str
+) -> AuditVerdict:
+    """CEGAR loop for the subcube family.
+
+    Outer query (over ``x = 1..n``, ``y = n+1..2n``): a candidate violating
+    pair ``x ⊨ A∧B``, ``y ⊨ ¬A``, minus blocks for pair patterns already
+    covered by an interval witness.  Inner query (over ``z = 1..n``): a
+    witness ``z ⊨ B∧¬A`` inside ``box(x*, y*)`` — box membership pins
+    ``z_i = x*_i`` wherever ``x*`` and ``y*`` agree, so it is unit clauses.
+
+    Both the pinning and the blocking range over ``support(A) ∪ support(B)``
+    only: a coordinate neither formula mentions never influences whether
+    ``z`` works (copy ``x_i`` there), so generalising over it makes each
+    block cover the ``2^(n - |support|)`` don't-care variants at once —
+    without this, pairs differing only in unmentioned coordinates escape
+    every block and the loop stalls at large ``n``.
+    """
+    witness_target = and_f(b, not_f(a))
+    # Closed-form pre-checks (also the complete answer when B∖A = ∅):
+    sat_ab, w1 = _check(eng, and_f(a, b), n, budget)
+    if not sat_ab:
+        return AuditVerdict.safe(method, backend=eng.name, cegar_rounds=0)
+    sat_na, w2 = _check(eng, not_f(a), n, budget)
+    if not sat_na:
+        return AuditVerdict.safe(method, backend=eng.name, cegar_rounds=0)
+    sat_bna, _ = _check(eng, witness_target, n, budget)
+    if not sat_bna:
+        # No interval can ever meet B∖A; any (ω₁, ω₂) pair violates.
+        return AuditVerdict.unsafe(
+            method, witness=(w1, w2), backend=eng.name, cegar_rounds=0
+        )
+    a_y = shift_vars(a, n)
+    base = and_f(a, b, not_f(a_y))
+    coords = sorted(support(a) | support(b))
+    not_target = or_f(not_f(b), a)
+    blocks = []
+    for _round in range(CEGAR_MAX_ROUNDS):
+        if budget is not None and budget.limited and budget.expired:
+            return AuditVerdict.unknown(METHOD_TIMEOUT, backend=eng.name)
+        sat_pair, model = _check(eng, and_f(base, *blocks), 2 * n, budget)
+        if not sat_pair:
+            return AuditVerdict.safe(
+                method, backend=eng.name, cegar_rounds=_round
+            )
+        x_star = model & ((1 << n) - 1)
+        y_star = model >> n
+        units = []
+        for i in coords:
+            xi = (x_star >> (i - 1)) & 1
+            yi = (y_star >> (i - 1)) & 1
+            if xi == yi:
+                units.append(Var(i) if xi else not_f(Var(i)))
+        inner = and_f(witness_target, *units)
+        sat_witness, z_model = _check(eng, inner, n, budget)
+        if not sat_witness:
+            return AuditVerdict.unsafe(
+                method,
+                witness=(x_star, y_star),
+                backend=eng.name,
+                cegar_rounds=_round,
+            )
+        # Generalise the point witness z* to a *cube* of witnesses: probe
+        # which single-coordinate flips keep B∧¬A, then grow the free set
+        # greedily, re-verifying after each addition that the whole cube
+        # stays inside B∧¬A (single flips do not compose for free — e.g.
+        # under a cardinality constraint each "off" flip is fine alone but
+        # not together).  A failed verification just skips that coordinate;
+        # the block stays sound either way, only weaker.
+        free: set = set()
+        flips = [
+            i
+            for i in coords
+            if eval_formula(witness_target, z_model ^ (1 << (i - 1)))
+        ]
+        for candidate_coord in flips:
+            trial = free | {candidate_coord}
+            fixed_units = [
+                Var(i) if (z_model >> (i - 1)) & 1 else not_f(Var(i))
+                for i in coords
+                if i not in trial
+            ]
+            cube_escapes, _ = _check(
+                eng, and_f(not_target, *fixed_units), n, budget
+            )
+            if not cube_escapes:
+                free = trial
+        # Block every pair whose box contains some witness in the cube: a
+        # fixed coordinate i rules the pair out only when x_i = y_i = ¬z*_i
+        # (free and unmentioned coordinates can always copy x), so the
+        # blocked region is ¬⋀_i C_i — far stronger than excluding
+        # (x*, y*) alone.
+        violated = []
+        for i in coords:
+            if i in free:
+                continue
+            zi = (z_model >> (i - 1)) & 1
+            x, y = Var(i), Var(n + i)
+            if zi:
+                violated.append(and_f(not_f(x), not_f(y)))
+            else:
+                violated.append(and_f(x, y))
+        blocks.append(or_f(*violated))
+    return AuditVerdict.unknown(METHOD_TIMEOUT, backend=eng.name)
+
+
+def preserving_symbolic(
+    assumption_value: str,
+    formula_b: Formula,
+    n_vars: int,
+    budget: Optional[Budget] = None,
+    engine: Optional[object] = None,
+) -> Optional[bool]:
+    """Definition 3.9 ``is_preserving`` decided symbolically.
+
+    Returns ``None`` when unavailable or undecided in budget; callers keep
+    their existing (explicit-K or full-decision) path in that case.
+    """
+    if assumption_value not in SUPPORTED:
+        return None
+    eng = engine if engine is not None else _active_engine()
+    if eng is None:
+        return None
+    b, n = formula_b, n_vars
+    try:
+        if assumption_value == UNRESTRICTED:
+            return True
+        if assumption_value == IGNORANT:
+            sat_b, _ = _check(eng, b, n, budget)
+            if not sat_b:
+                return True
+            sat_nb, _ = _check(eng, not_f(b), n, budget)
+            return not sat_nb
+        # Subcubes: preserving ⟺ B is empty or itself a subcube, i.e. the
+        # box closure violation B(x)∧B(y)∧InBox(z;x,y)∧¬B(z) is UNSAT.
+        sat_b, _ = _check(eng, b, n, budget)
+        if not sat_b:
+            return True
+        b_y = shift_vars(b, n)
+        b_z = shift_vars(b, 2 * n)
+        violation = and_f(b, b_y, _in_box(n, 0, n, 2 * n), not_f(b_z))
+        sat_violation, _ = _check(eng, violation, 3 * n, budget)
+        return not sat_violation
+    except _SolverUnknown:
+        return None
+
+
+def audit_symbolic(
+    assumption_value: str,
+    pair: SymbolicPair,
+    budget: Optional[Budget] = None,
+) -> AuditVerdict:
+    """Standalone symbolic audit entry (the big-``n`` path, no mask net).
+
+    Unlike :func:`decide_safe` this never returns ``None``: with no engine
+    (off / load-faulted) or an unsupported assumption there is nothing to
+    fall back to at ``n ≫ 20``, so the result is a typed UNKNOWN.
+    """
+    if assumption_value not in SUPPORTED:
+        return AuditVerdict.unknown(
+            "symbolic-unsupported", assumption=assumption_value
+        )
+    verdict = decide_safe(assumption_value, pair, budget=budget)
+    if verdict is None:
+        return AuditVerdict.unknown(
+            "symbolic-unavailable", backend=_backend_name()
+        )
+    return verdict
+
+
+def cross_check_masks(
+    pair: SymbolicPair,
+) -> Tuple[int, int]:
+    """Materialise ``(mask_A, mask_B)`` by evaluating the pair on all worlds.
+
+    The small-space testing oracle (and nothing else): exponential in
+    ``n_vars`` by construction, guarded to the sizes the mask backend
+    itself allows.
+    """
+    if pair.n_vars > 20:
+        raise ValueError("cross_check_masks is an n<=20 testing oracle")
+    mask_a = mask_b = 0
+    for world in range(1 << pair.n_vars):
+        if eval_formula(pair.formula_a, world):
+            mask_a |= 1 << world
+        if eval_formula(pair.formula_b, world):
+            mask_b |= 1 << world
+    return mask_a, mask_b

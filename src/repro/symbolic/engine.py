@@ -1,0 +1,125 @@
+"""Symbolic decision engines: built-in DPLL, optional Z3 accelerator.
+
+An engine answers one question — is this propositional formula satisfiable?
+— through ``check(formula, n_vars, budget)``, returning ``(status, model)``
+with ``status ∈ {"sat", "unsat", "unknown"}`` and ``model`` a world bitmask
+over variables ``1..n_vars`` when sat.
+
+Two implementations share that contract:
+
+* :class:`BuiltinEngine` — the dependency-free DPLL in :mod:`.sat`, always
+  available, so symbolic decisions work in this repo's bare container.
+* :class:`Z3Engine` — used automatically when the optional ``z3-solver``
+  extra (``pip install .[symbolic]``) is importable; maps
+  :class:`~repro.symbolic.formula.AtLeastF` to Z3's native ``AtLeast`` and
+  converts the remaining :class:`~repro.runtime.budget.Budget` deadline
+  into a solver timeout.
+
+Both probe the ``symbolic-timeout`` chaos site before solving: a fired
+fault reports ``"unknown"`` exactly as a real timeout would, so chaos runs
+exercise the degradation path without changing any verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..runtime import faults
+from ..runtime.budget import Budget
+from .formula import AndF, AtLeastF, ConstF, Formula, NotF, OrF, Var
+from .sat import DEFAULT_MAX_STEPS, solve_cnf
+from .formula import to_cnf
+
+BUILTIN = "symbolic-builtin"
+Z3 = "symbolic-z3"
+
+
+class BuiltinEngine:
+    """Pure-Python engine: Tseitin + the iterative DPLL in :mod:`.sat`."""
+
+    name = BUILTIN
+
+    def __init__(self, max_steps: int = DEFAULT_MAX_STEPS) -> None:
+        self.max_steps = max_steps
+
+    def check(
+        self,
+        formula: Formula,
+        n_vars: int,
+        budget: Optional[Budget] = None,
+    ) -> Tuple[str, Optional[int]]:
+        if faults.fire(faults.SYMBOLIC_TIMEOUT):
+            return "unknown", None
+        if budget is not None and budget.limited and budget.expired:
+            return "unknown", None
+        clauses, _total = to_cnf(formula, n_vars)
+        return solve_cnf(clauses, n_vars, budget=budget, max_steps=self.max_steps)
+
+
+class Z3Engine:
+    """Engine backed by the optional ``z3-solver`` package."""
+
+    name = Z3
+
+    def __init__(self, z3_module) -> None:
+        self._z3 = z3_module
+
+    def version(self) -> str:
+        try:
+            return self._z3.get_version_string()
+        except Exception:
+            return "unknown"
+
+    def _translate(self, formula: Formula, memo: Dict[int, object]):
+        cached = memo.get(id(formula))
+        if cached is not None:
+            return cached
+        z3 = self._z3
+        if isinstance(formula, ConstF):
+            out = z3.BoolVal(formula.value)
+        elif isinstance(formula, Var):
+            out = z3.Bool(f"x{formula.index}")
+        elif isinstance(formula, NotF):
+            out = z3.Not(self._translate(formula.inner, memo))
+        elif isinstance(formula, AndF):
+            out = z3.And(*[self._translate(a, memo) for a in formula.args])
+        elif isinstance(formula, OrF):
+            out = z3.Or(*[self._translate(a, memo) for a in formula.args])
+        elif isinstance(formula, AtLeastF):
+            out = z3.AtLeast(
+                *[self._translate(a, memo) for a in formula.args],
+                formula.threshold,
+            )
+        else:
+            raise TypeError(f"not a formula: {formula!r}")
+        memo[id(formula)] = out
+        return out
+
+    def check(
+        self,
+        formula: Formula,
+        n_vars: int,
+        budget: Optional[Budget] = None,
+    ) -> Tuple[str, Optional[int]]:
+        if faults.fire(faults.SYMBOLIC_TIMEOUT):
+            return "unknown", None
+        z3 = self._z3
+        solver = z3.Solver()
+        if budget is not None and budget.limited:
+            remaining = budget.remaining()
+            if remaining <= 0:
+                return "unknown", None
+            solver.set("timeout", max(1, int(remaining * 1000)))
+        solver.add(self._translate(formula, {}))
+        result = solver.check()
+        if result == z3.unsat:
+            return "unsat", None
+        if result != z3.sat:
+            return "unknown", None
+        z3_model = solver.model()
+        model = 0
+        for i in range(1, n_vars + 1):
+            val = z3_model.eval(z3.Bool(f"x{i}"), model_completion=True)
+            if z3.is_true(val):
+                model |= 1 << (i - 1)
+        return "sat", model

@@ -1,0 +1,179 @@
+"""A small, dependency-free CNF SAT solver (iterative DPLL).
+
+This is the built-in symbolic decision engine: two-watched-literal unit
+propagation, static occurrence-ordered decisions with majority-phase
+picking, and chronological backtracking on an explicit stack (no recursion,
+so deep search never hits the interpreter's recursion limit).
+
+It is not a CDCL powerhouse and does not need to be: the formulas the
+lowering produces for Safe_K checks at n ≤ 64 are shallow and heavily
+propagation-driven.  Correctness and *honest resource behaviour* are the
+contract — the solver answers ``"sat"``/``"unsat"`` only when certain and
+``"unknown"`` when its step budget or the caller's
+:class:`~repro.runtime.budget.Budget` deadline runs out, never guessing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.budget import Budget
+
+#: Assignments between deadline polls; the poll itself is two attribute
+#: reads, so this only bounds staleness, not cost.
+POLL_EVERY = 256
+
+#: Default cap on total assignments before giving up with ``"unknown"``.
+DEFAULT_MAX_STEPS = 4_000_000
+
+
+def solve_cnf(
+    clauses: Sequence[Sequence[int]],
+    n_vars: int,
+    budget: Optional[Budget] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Tuple[str, Optional[int]]:
+    """Decide a CNF. Returns ``(status, model)``.
+
+    ``status`` is ``"sat"`` (``model`` is a world bitmask over vars
+    ``1..n_vars``), ``"unsat"``, or ``"unknown"`` when the step cap or the
+    budget deadline was hit first.
+    """
+    # -- normalise: dedupe literals, drop tautologies, catch empty clauses
+    cls: List[List[int]] = []
+    for raw in clauses:
+        seen = set()
+        lits: List[int] = []
+        tautology = False
+        for l in raw:
+            if -l in seen:
+                tautology = True
+                break
+            if l not in seen:
+                seen.add(l)
+                lits.append(l)
+        if tautology:
+            continue
+        if not lits:
+            return "unsat", None
+        cls.append(lits)
+    if not cls:
+        return "sat", 0
+
+    total = max(n_vars, max(abs(l) for lits in cls for l in lits))
+    assign = [0] * (total + 1)  # 0 unassigned, +1 true, -1 false
+    pos_occ = [0] * (total + 1)
+    neg_occ = [0] * (total + 1)
+
+    watches: Dict[int, List[int]] = defaultdict(list)
+    initial_units: List[int] = []
+    for ci, lits in enumerate(cls):
+        for l in lits:
+            if l > 0:
+                pos_occ[l] += 1
+            else:
+                neg_occ[-l] += 1
+        if len(lits) == 1:
+            initial_units.append(lits[0])
+        else:
+            watches[lits[0]].append(ci)
+            watches[lits[1]].append(ci)
+
+    trail: List[int] = []
+    steps = [0]
+
+    def value(lit: int) -> int:
+        v = assign[lit] if lit > 0 else -assign[-lit]
+        return v
+
+    def propagate(queue: List[int]) -> bool:
+        """Assign the queued literals and close under unit propagation."""
+        while queue:
+            lit = queue.pop()
+            v = value(lit)
+            if v == -1:
+                return False
+            if v == 1:
+                continue
+            assign[abs(lit)] = 1 if lit > 0 else -1
+            trail.append(lit)
+            steps[0] += 1
+            falsified = -lit
+            watchlist = watches[falsified]
+            i = 0
+            while i < len(watchlist):
+                ci = watchlist[i]
+                lits = cls[ci]
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = value(lits[0])
+                if first == 1:
+                    i += 1
+                    continue
+                moved = False
+                for j in range(2, len(lits)):
+                    if value(lits[j]) != -1:
+                        lits[1], lits[j] = lits[j], lits[1]
+                        watches[lits[1]].append(ci)
+                        watchlist[i] = watchlist[-1]
+                        watchlist.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if first == -1:
+                    return False
+                if first == 0:
+                    queue.append(lits[0])
+                i += 1
+        return True
+
+    if not propagate(list(initial_units)):
+        return "unsat", None
+
+    # Static decision order: most-occurring variables first, majority phase.
+    order = sorted(
+        range(1, total + 1), key=lambda v: -(pos_occ[v] + neg_occ[v])
+    )
+    # (trail length before the decision, decided literal, other phase tried)
+    stack: List[Tuple[int, int, bool]] = []
+    limited = budget is not None and budget.limited
+    next_poll = steps[0] + POLL_EVERY
+
+    def backtrack() -> bool:
+        """Undo to the deepest decision with an untried phase; flip it."""
+        while stack:
+            mark, lit, flipped = stack.pop()
+            for l in trail[mark:]:
+                assign[abs(l)] = 0
+            del trail[mark:]
+            if not flipped:
+                stack.append((mark, -lit, True))
+                if propagate([-lit]):
+                    return True
+                # flipped phase conflicts too: undo it on the next pass
+        return False
+
+    while True:
+        if steps[0] >= max_steps:
+            return "unknown", None
+        if limited and steps[0] >= next_poll:
+            next_poll = steps[0] + POLL_EVERY
+            if budget.expired:
+                return "unknown", None
+        decision = 0
+        for v in order:
+            if assign[v] == 0:
+                decision = v if pos_occ[v] >= neg_occ[v] else -v
+                break
+        if decision == 0:
+            model = 0
+            for v in range(1, n_vars + 1):
+                if assign[v] == 1:
+                    model |= 1 << (v - 1)
+            return "sat", model
+        stack.append((len(trail), decision, False))
+        if not propagate([decision]):
+            if not backtrack():
+                return "unsat", None

@@ -1,0 +1,102 @@
+"""A candidate universe without the 2^n ceiling.
+
+:class:`~repro.db.compile.CandidateUniverse` refuses more than 20
+candidates because every compiled query materialises a ``PropertySet`` over
+``2^n`` worlds.  :class:`SymbolicUniverse` keeps the same record/coordinate
+conventions (1-based coordinates in insertion order, worlds as presence
+bitmasks) but compiles queries to formulas instead, so ``n = 24, 32, 64``
+are ordinary sizes.  It deliberately does **not** construct a
+:class:`~repro.core.worlds.HypercubeSpace` — there is no Ω here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..db.database import Database, DatabaseView, Record
+from ..db.query import BooleanQuery
+from ..exceptions import QueryError
+from .decide import SymbolicPair
+from .formula import Formula, Var
+from .lower import lower_answer, lower_boolean
+
+
+class SymbolicUniverse:
+    """Candidate records compiled to formulas, not property sets."""
+
+    def __init__(self, database: Database, candidates: Sequence[Record]) -> None:
+        if not candidates:
+            raise QueryError("a candidate universe needs at least one record")
+        seen = set()
+        for record in candidates:
+            if record.record_id in seen:
+                raise QueryError(f"duplicate candidate {record.label()}")
+            seen.add(record.record_id)
+        self._database = database
+        self._candidates: Tuple[Record, ...] = tuple(candidates)
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def candidates(self) -> Tuple[Record, ...]:
+        return self._candidates
+
+    @property
+    def n(self) -> int:
+        return len(self._candidates)
+
+    # -- worlds ↔ views (same conventions as CandidateUniverse) ------------------
+
+    def view_of(self, world: int) -> DatabaseView:
+        present = [
+            record
+            for i, record in enumerate(self._candidates)
+            if (world >> i) & 1
+        ]
+        return self._database.view(present)
+
+    def world_of(self, view: DatabaseView) -> int:
+        world = 0
+        for i, record in enumerate(self._candidates):
+            if view.contains(record):
+                world |= 1 << i
+        return world
+
+    def actual_world(self) -> int:
+        return self.world_of(self._database.actual_view())
+
+    def coordinate_of(self, record: Record) -> int:
+        for i, candidate in enumerate(self._candidates):
+            if candidate.record_id == record.record_id:
+                return i + 1
+        raise QueryError(f"{record.label()} is not a candidate")
+
+    # -- compilation --------------------------------------------------------------
+
+    def presence(self, record: Record) -> Formula:
+        return Var(self.coordinate_of(record))
+
+    def lower_boolean(self, query: BooleanQuery) -> Formula:
+        return lower_boolean(query, self._candidates)
+
+    def lower_answer(self, query, actual_world: Optional[int] = None) -> Formula:
+        if actual_world is None:
+            actual_world = self.actual_world()
+        return lower_answer(query, self._candidates, self.view_of(actual_world))
+
+    def pair(
+        self,
+        audit_query: BooleanQuery,
+        disclosure,
+        actual_world: Optional[int] = None,
+    ) -> SymbolicPair:
+        """The lowered ``(A, B)`` pair for one Safe_K decision: ``A`` is the
+        positive answer to the audit query, ``B`` the equal-output set of
+        the disclosed query."""
+        return SymbolicPair(
+            formula_a=self.lower_boolean(audit_query),
+            formula_b=self.lower_answer(disclosure, actual_world=actual_world),
+            n_vars=self.n,
+        )

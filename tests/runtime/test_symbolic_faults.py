@@ -1,0 +1,137 @@
+"""Chaos sites for the symbolic decision backend: load failure and timeout.
+
+Same contract as the rest of the fault matrix (``make chaos-smoke`` runs
+this module under several ``REPRO_FAULTS_SEED`` values): an injected
+``symbolic-load`` or ``symbolic-timeout`` fault may move a decision's
+*provenance* — which backend decided, which degradations were counted —
+but never its verdict status, and never silently.  Every assertion here is
+seed-independent: the injected rates are 1.0, so the schedule does not
+depend on the chaos seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import (
+    AuditPolicy,
+    BatchAuditEngine,
+    DisclosureLog,
+    PriorAssumption,
+)
+from repro.db import CandidateUniverse, ColumnType, Database, TableSchema
+from repro.db.query import AtLeast, ColumnCompare, Comparison, Exists, column_eq
+from repro.exceptions import SymbolicBackendError
+from repro.runtime import Budget, faults
+from repro.symbolic import SymbolicPair, configure, enabled
+from repro.symbolic.decide import METHOD_TIMEOUT, SUBCUBES, audit_symbolic
+from repro.symbolic.formula import var
+
+if not enabled():
+    pytest.skip(
+        "symbolic backend disabled (REPRO_SYMBOLIC=off)",
+        allow_module_level=True,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    """No fault plan (or faulted backend) may leak between tests."""
+    faults.uninstall()
+    configure()
+    yield
+    faults.uninstall()
+    configure()
+
+
+def build_scenario(n: int = 6):
+    db = Database()
+    db.create_table(TableSchema("t", (("v", ColumnType.INTEGER),)))
+    records = [db.insert("t", v=i) for i in range(n // 2)]
+    records += [db.hypothetical_record("t", v=i) for i in range(n // 2, n)]
+    universe = CandidateUniverse(db, records)
+    policy = AuditPolicy(
+        audit_query=Exists("t", column_eq("v", 0)),
+        assumption=PriorAssumption.POSSIBILISTIC_SUBCUBES,
+        name="symbolic-faults",
+    )
+    log = DisclosureLog()
+    log.record(1, "alice", AtLeast("t", ColumnCompare("v", Comparison.LE, 3), 2))
+    log.record(2, "bob", Exists("t", column_eq("v", 1)))
+    log.record(3, "carol", AtLeast("t", ColumnCompare("v", Comparison.LE, 5), 3))
+    return universe, policy, log
+
+
+def statuses(report):
+    return [finding.verdict.status for finding in report.findings]
+
+
+class TestLoadFault:
+    def test_engine_degrades_to_mask_with_identical_verdicts(self):
+        universe, policy, log = build_scenario()
+        clean = statuses(
+            BatchAuditEngine(
+                universe, policy, decision_backend="mask"
+            ).audit_log(log)
+        )
+
+        faults.install(faults.FaultInjector.parse("symbolic-load:1.0"))
+        backend = configure("auto")
+        assert backend.engine is None
+        assert backend.load_error == "fault-injected: symbolic-load"
+
+        report = BatchAuditEngine(
+            universe, policy, decision_backend="symbolic"
+        ).audit_log(log)
+        assert statuses(report) == clean  # provenance moves, verdicts don't
+        assert report.backend_counts == {"mask": len(log)}
+        assert report.runtime_stats.symbolic_degraded == len(log)
+        for finding in report.findings:
+            assert "symbolic-unavailable:mask" in finding.outcome.degradation
+
+    def test_require_mode_raises_typed_error(self):
+        faults.install(faults.FaultInjector.parse("symbolic-load:1.0"))
+        with pytest.raises(SymbolicBackendError):
+            configure("require")
+
+
+class TestTimeoutFault:
+    def test_standalone_audit_reports_solver_timeout(self):
+        faults.install(faults.FaultInjector.parse("symbolic-timeout:1.0"))
+        pair = SymbolicPair(var(1), var(2), 4)
+        verdict = audit_symbolic(SUBCUBES, pair, budget=Budget(5.0))
+        assert not verdict.is_decided
+        assert verdict.method == METHOD_TIMEOUT
+
+    def test_engine_falls_back_to_mask_with_identical_verdicts(self):
+        universe, policy, log = build_scenario()
+        clean = statuses(
+            BatchAuditEngine(
+                universe, policy, decision_backend="mask"
+            ).audit_log(log)
+        )
+
+        faults.install(faults.FaultInjector.parse("symbolic-timeout:1.0"))
+        report = BatchAuditEngine(
+            universe, policy, decision_backend="symbolic"
+        ).audit_log(log)
+        assert statuses(report) == clean
+        assert report.backend_counts == {"mask": len(log)}
+        assert report.runtime_stats.symbolic_degraded == len(log)
+        for finding in report.findings:
+            assert "symbolic-timeout:mask" in finding.outcome.degradation
+
+    def test_bounded_fault_recovers(self):
+        """After the fire cap, symbolic decisions resume (per-site cap)."""
+        universe, policy, log = build_scenario()
+        faults.install(
+            faults.FaultInjector.parse("symbolic-timeout:1.0:1")
+        )
+        report = BatchAuditEngine(
+            universe, policy, decision_backend="symbolic"
+        ).audit_log(log)
+        assert all(s.value in ("safe", "unsafe") for s in statuses(report))
+        # One decision timed out and fell back; the rest stayed symbolic.
+        assert report.backend_counts.get("mask", 0) >= 1
+        assert report.runtime_stats.symbolic_degraded >= 1
+        assert sum(report.backend_counts.values()) == len(log)

@@ -1,0 +1,208 @@
+"""Randomized mask-vs-symbolic equivalence: the backends must agree.
+
+The contract under test is Prop 4.5 / Definition 3.9 equivalence: for every
+supported possibilistic family, :func:`repro.symbolic.decide_safe` on the
+lowered ``(A, B)`` formulas returns the *same status* as the mask auditor on
+the corresponding property sets — on seeded random instances, at every small
+dimension where the mask oracle is feasible.  UNKNOWNs only ever arise from
+budget exhaustion and carry the typed ``solver-timeout`` provenance, never a
+decided-but-different verdict.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.audit import PriorAssumption, make_decider
+from repro.core.knowledge import PossibilisticKnowledge
+from repro.core.preserving import is_preserving_possibilistic
+from repro.core.worlds import HypercubeSpace
+from repro.possibilistic.families import SubcubeFamily
+from repro.runtime import Budget
+from repro.symbolic import enabled
+
+if not enabled():
+    pytest.skip(
+        "symbolic backend disabled (REPRO_SYMBOLIC=off)",
+        allow_module_level=True,
+    )
+
+from repro.symbolic import (
+    SymbolicPair,
+    and_f,
+    at_least,
+    decide_safe,
+    eval_formula,
+    not_f,
+    or_f,
+    preserving_symbolic,
+)
+from repro.symbolic.decide import (
+    IGNORANT,
+    METHOD_TIMEOUT,
+    SUBCUBES,
+    SUPPORTED,
+    UNRESTRICTED,
+)
+from repro.symbolic.formula import const, var
+
+FAMILIES = {
+    SUBCUBES: PriorAssumption.POSSIBILISTIC_SUBCUBES,
+    UNRESTRICTED: PriorAssumption.POSSIBILISTIC_UNRESTRICTED,
+    IGNORANT: PriorAssumption.POSSIBILISTIC_IGNORANT,
+}
+
+
+def random_formula(rng: random.Random, n: int, depth: int = 3):
+    """A depth-bounded random formula over variables ``1..n``."""
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.08:
+            return const(rng.random() < 0.5)
+        return var(rng.randrange(n) + 1)
+    choice = rng.randrange(4)
+    if choice == 0:
+        return not_f(random_formula(rng, n, depth - 1))
+    if choice == 3 and n >= 2:
+        width = rng.randrange(2, min(n, 4) + 1)
+        picks = [var(i + 1) for i in rng.sample(range(n), width)]
+        return at_least(picks, rng.randrange(1, width + 1))
+    args = [
+        random_formula(rng, n, depth - 1) for _ in range(rng.randrange(2, 4))
+    ]
+    return and_f(*args) if choice == 1 else or_f(*args)
+
+
+def as_property_set(space: HypercubeSpace, formula):
+    return space.where(lambda w: eval_formula(formula, w))
+
+
+class TestDecideSafeEquivalence:
+    """decide_safe vs the mask auditor on seeded random (A, B) pairs."""
+
+    @pytest.mark.parametrize("assumption_value", SUPPORTED)
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_statuses_identical(self, assumption_value, n):
+        rng = random.Random(1000 * n + len(assumption_value))
+        space = HypercubeSpace(n)
+        decider = make_decider(space, FAMILIES[assumption_value])
+        budget = Budget(30.0)
+        for trial in range(25):
+            f_a = random_formula(rng, n)
+            f_b = random_formula(rng, n)
+            mask_verdict = decider(
+                as_property_set(space, f_a), as_property_set(space, f_b)
+            )
+            sym = decide_safe(
+                assumption_value, SymbolicPair(f_a, f_b, n), budget=budget
+            )
+            assert sym is not None
+            assert sym.is_decided, (assumption_value, n, trial, sym)
+            assert sym.status is mask_verdict.status, (
+                assumption_value,
+                n,
+                trial,
+                f_a,
+                f_b,
+                sym,
+                mask_verdict,
+            )
+            assert sym.details["backend"].startswith("symbolic-")
+
+    def test_larger_dimension_spot_check(self):
+        """One bigger subcube instance per status against the mask oracle."""
+        n = 6
+        rng = random.Random(77)
+        space = HypercubeSpace(n)
+        decider = make_decider(space, FAMILIES[SUBCUBES])
+        seen = set()
+        for _ in range(40):
+            f_a = random_formula(rng, n)
+            f_b = random_formula(rng, n)
+            mask_verdict = decider(
+                as_property_set(space, f_a), as_property_set(space, f_b)
+            )
+            sym = decide_safe(SUBCUBES, SymbolicPair(f_a, f_b, n))
+            assert sym.status is mask_verdict.status
+            seen.add(mask_verdict.status)
+        assert len(seen) == 2  # the seed exercises both safe and unsafe
+
+    def test_n10_both_backends_agree(self):
+        """The top of the mask-feasible range: one seeded pair per family."""
+        n = 10
+        rng = random.Random(12)
+        space = HypercubeSpace(n)
+        for assumption_value in (SUBCUBES, UNRESTRICTED):
+            decider = make_decider(space, FAMILIES[assumption_value])
+            f_a = random_formula(rng, n)
+            f_b = random_formula(rng, n)
+            mask_verdict = decider(
+                as_property_set(space, f_a), as_property_set(space, f_b)
+            )
+            sym = decide_safe(assumption_value, SymbolicPair(f_a, f_b, n))
+            assert sym.status is mask_verdict.status, assumption_value
+
+
+class TestPreservingEquivalence:
+    """preserving_symbolic vs Definition 3.9 on explicit knowledge sets."""
+
+    def test_ignorant(self):
+        n = 4
+        rng = random.Random(5)
+        space = HypercubeSpace(n)
+        knowledge = PossibilisticKnowledge.product(space.full, [space.full])
+        for _ in range(30):
+            f_b = random_formula(rng, n)
+            reference = is_preserving_possibilistic(
+                knowledge, as_property_set(space, f_b)
+            )
+            assert preserving_symbolic(IGNORANT, f_b, n) is reference
+
+    def test_subcubes(self):
+        n = 4
+        rng = random.Random(6)
+        space = HypercubeSpace(n)
+        knowledge = PossibilisticKnowledge.product(
+            space.full, list(SubcubeFamily(space))
+        )
+        hits = set()
+        for _ in range(40):
+            f_b = random_formula(rng, n)
+            reference = is_preserving_possibilistic(
+                knowledge, as_property_set(space, f_b)
+            )
+            assert preserving_symbolic(SUBCUBES, f_b, n) is reference
+            hits.add(reference)
+        assert hits == {True, False}  # both outcomes exercised
+
+    def test_unrestricted(self):
+        n = 3
+        rng = random.Random(7)
+        space = HypercubeSpace(n)
+        knowledge = PossibilisticKnowledge.full(space)
+        for _ in range(15):
+            f_b = random_formula(rng, n)
+            reference = is_preserving_possibilistic(
+                knowledge, as_property_set(space, f_b)
+            )
+            assert reference is True  # Ω_poss preserves every B
+            assert preserving_symbolic(UNRESTRICTED, f_b, n) is True
+
+
+class TestUnknownProvenance:
+    """Budget exhaustion yields a typed UNKNOWN, never a wrong verdict."""
+
+    def test_exhausted_budget_is_solver_timeout(self):
+        n = 4
+        pair = SymbolicPair(var(1), and_f(var(2), not_f(var(1))), n)
+        verdict = decide_safe(SUBCUBES, pair, budget=Budget(0.0))
+        assert verdict is not None
+        assert not verdict.is_decided
+        assert verdict.method == METHOD_TIMEOUT
+        assert verdict.details["backend"].startswith("symbolic-")
+
+    def test_unsupported_family_returns_none(self):
+        pair = SymbolicPair(var(1), var(2), 2)
+        assert decide_safe("product", pair) is None
+        assert preserving_symbolic("product", var(1), 2) is None
