@@ -14,8 +14,10 @@ test:
 # Seeded chaos matrix: the fault-injection suite replayed under several
 # fault schedules (including the store-write, store-sql-write and
 # native-load sites), plus the gateway chaos matrix (conn-drop,
-# journal-torn-write, slow-tenant, drain-flush). Verdicts must stay
-# identical at every seed.
+# journal-torn-write, slow-tenant, drain-flush, and the scale-out sites:
+# commit-fsync-fail crashes a group-commit round with every verdict in
+# it withheld, executor-crash SIGKILLs a worker process mid-batch).
+# Verdicts must stay identical at every seed.
 chaos-smoke:
 	for seed in 0 1 2; do \
 		echo "== chaos seed $$seed =="; \
@@ -24,7 +26,9 @@ chaos-smoke:
 
 # End-to-end gateway smoke: boot `repro serve` on ephemeral ports, replay
 # a 1k-event two-tenant trace over real sockets, SIGTERM, assert a clean
-# drain with full per-tenant accounting.
+# drain with full per-tenant accounting.  A second leg reruns with
+# `--workers 2` and `kill -9`s the owning executor mid-replay: every
+# event must still decide, and the footer must show the restart + replay.
 serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 

@@ -1,15 +1,21 @@
-"""E21 — the online gateway: sustained multi-tenant decisions over TCP.
+"""E21/E23 — the online gateway: sustained multi-tenant decisions over TCP.
 
 A tier-2 run of the E21 measurement from :mod:`repro.perf.bench`: a real
-asyncio gateway (ephemeral loopback port, per-tenant fsync'd journals,
-shared sharded-SQLite verdict store) replays a seeded Zipf trace through
+asyncio gateway (ephemeral loopback port, group-commit journal, shared
+sharded-SQLite verdict store) replays a seeded Zipf trace through
 concurrent client connections, then drains SIGTERM-style.  Asserted, not
 just recorded: the drain is clean (flushed, zero drain-sheds), sheds were
 retried honestly rather than dropped, and every per-event status the live
 gateway answered equals a batched offline audit of the same events — the
-online path moves latency and provenance, never verdicts.  The full-size
-run (12k events / 120 tenants) lands in ``BENCH_audit_pipeline.json`` via
-``make bench``.
+online path moves latency and provenance, never verdicts.
+
+The E23 leg reruns the trace with two forked shard executors and a real
+``kill -9`` of one executor mid-trace: its partition sheds with retry
+hints, the process respawns and replays its journal slice, and the
+post-drain journals must replay bit-identical to the offline audit.
+
+The full-size runs (12k events / 120 tenants) land in
+``BENCH_audit_pipeline.json`` via ``make bench``.
 """
 
 from __future__ import annotations
@@ -53,3 +59,39 @@ def test_gateway_smoke():
         f"verdicts identical to offline audit",
     ]
     report_table("E21: online gateway (multi-tenant Zipf replay)", lines)
+
+
+def test_gateway_scaleout_smoke():
+    document = run_gateway_bench(
+        n_events=SMOKE_EVENTS,
+        n_tenants=SMOKE_TENANTS,
+        n_connections=SMOKE_CONNECTIONS,
+        seed=7,
+        workers=2,
+        kill_executor=True,
+    )
+
+    assert document["verdict_identical"]
+    assert document["drain"]["clean_drain"]
+    # The kill -9 recovery story: the executor really died, it was
+    # restarted, and journal replay reconstructed the full trace
+    # bit-identical to the offline audit.
+    recovery = document["recovery"]
+    assert recovery["executor_killed"]
+    assert recovery["bit_identical"]
+    assert recovery["recovered_events"] == SMOKE_EVENTS
+    assert document["batching"]["executor_restarts"] >= 1
+    assert document["batching"]["workers"] == 2
+
+    batching = document["batching"]
+    lines = [
+        f"workers=2, one executor kill -9 mid-trace",
+        f"throughput {document['throughput']['decisions_per_sec']:8.0f} "
+        f"decisions/s over {document['throughput']['seconds']*1e3:.1f} ms",
+        f"commit rounds {batching['commit_rounds']}  "
+        f"mean depth {batching['batch_mean']:.2f}  "
+        f"fsyncs saved {batching['fsyncs_saved']}",
+        f"executor restarts {batching['executor_restarts']}  "
+        f"recovered {recovery['recovered_events']} events bit-identical",
+    ]
+    report_table("E23: gateway scale-out (executor crash + replay)", lines)

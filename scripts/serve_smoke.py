@@ -13,8 +13,15 @@ over real sockets, torn down by a real signal:
    ``drained:`` report shows ``flushed`` with zero drain-sheds, and the
    per-tenant footer accounts for all 1,000 decisions.
 
+Then a second leg runs the same trace with ``--workers 2`` and sends a
+real ``kill -9`` to one executor process mid-replay: the gateway must
+shed the stranded batch with retry hints, respawn the executor, replay
+its journal slice, and still decide every event — the footer must show
+all 1,000 decisions plus at least one executor restart.
+
 Run via ``make serve-smoke``; CI runs it on every push.  Exit status 0
-means the online path held: admission, decisions, drain, accounting.
+means the online path held: admission, decisions, drain, accounting,
+executor crash recovery.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.io import example_scenario_document  # noqa: E402
 from repro.service import GatewayClient  # noqa: E402
+from repro.service.executor import executor_index  # noqa: E402
 
 N_EVENTS = 1_000
 TENANTS = ("clinic-a", "clinic-b")
@@ -54,9 +62,10 @@ QUERY_POOL = [
 ]
 
 BANNER = re.compile(r"listening on [\w.\-]+:(\d+) \(http [\w.\-]+:(\d+)\)")
+EXECUTOR_PIDS = re.compile(r"executors pids=\[([\d, ]+)\]")
 
 
-def boot(scenario_path: pathlib.Path, workdir: pathlib.Path):
+def boot(scenario_path: pathlib.Path, workdir: pathlib.Path, workers: int = 1):
     process = subprocess.Popen(
         [
             sys.executable,
@@ -74,6 +83,8 @@ def boot(scenario_path: pathlib.Path, workdir: pathlib.Path):
             str(workdir / "store"),
             "--store-backend",
             "sqlite",
+            "--workers",
+            str(workers),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -87,7 +98,16 @@ def boot(scenario_path: pathlib.Path, workdir: pathlib.Path):
     if not match:
         process.kill()
         raise SystemExit(f"no listening banner; got: {banner!r}")
-    return process, int(match.group(1)), int(match.group(2))
+    pids_match = EXECUTOR_PIDS.search(banner)
+    pids = (
+        [int(pid) for pid in pids_match.group(1).split(",")]
+        if pids_match
+        else []
+    )
+    if workers > 1 and len(pids) != workers:
+        process.kill()
+        raise SystemExit(f"want {workers} executor pids; banner: {banner!r}")
+    return process, int(match.group(1)), int(match.group(2)), pids
 
 
 async def replay_tenant(port: int, tenant: str, events) -> int:
@@ -118,7 +138,13 @@ async def probe_health(http_port: int) -> None:
         raise SystemExit(f"unhealthy gateway: {health}")
 
 
-async def replay(port: int, http_port: int) -> None:
+async def kill_executor_midway(pid: int, delay: float = 0.25) -> None:
+    """A real crash, mid-replay: ``kill -9`` one executor process."""
+    await asyncio.sleep(delay)
+    os.kill(pid, signal.SIGKILL)
+
+
+async def replay(port: int, http_port: int, kill_pid=None) -> None:
     lanes = {tenant: [] for tenant in TENANTS}
     for index in range(N_EVENTS):
         tenant = TENANTS[index % len(TENANTS)]
@@ -130,22 +156,36 @@ async def replay(port: int, http_port: int) -> None:
             )
         )
     await probe_health(http_port)
-    decided = await asyncio.gather(
-        *(replay_tenant(port, tenant, lanes[tenant]) for tenant in TENANTS)
+    tasks = [replay_tenant(port, tenant, lanes[tenant]) for tenant in TENANTS]
+    if kill_pid is not None:
+        tasks.append(kill_executor_midway(kill_pid))
+    results = await asyncio.gather(*tasks)
+    decided = sum(count for count in results if count is not None)
+    if decided != N_EVENTS:
+        raise SystemExit(f"decided {decided} of {N_EVENTS} events")
+
+
+def run_leg(workers: int, kill_one_executor: bool = False) -> None:
+    label = f"workers={workers}" + (
+        " + executor kill -9" if kill_one_executor else ""
     )
-    if sum(decided) != N_EVENTS:
-        raise SystemExit(f"decided {sum(decided)} of {N_EVENTS} events")
-
-
-def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         workdir = pathlib.Path(tmp)
         scenario_path = workdir / "scenario.json"
         scenario_path.write_text(json.dumps(example_scenario_document()))
 
-        process, port, http_port = boot(scenario_path, workdir)
+        process, port, http_port, pids = boot(
+            scenario_path, workdir, workers=workers
+        )
+        # Kill the executor that owns a tenant's slice (the partition is a
+        # stable hash, so compute it) — killing an idle one proves nothing.
+        kill_pid = (
+            pids[executor_index(TENANTS[0], workers)]
+            if kill_one_executor
+            else None
+        )
         try:
-            asyncio.run(replay(port, http_port))
+            asyncio.run(replay(port, http_port, kill_pid=kill_pid))
             process.send_signal(signal.SIGTERM)
             output = process.stdout.read()
             status = process.wait(timeout=DRAIN_TIMEOUT)
@@ -162,7 +202,21 @@ def main() -> int:
         report = json.loads(drained_line[len("drained:") :])
         if not report["flushed"] or report["drain_shed"] != 0:
             raise SystemExit(f"dirty drain: {report}")
-        if report["decided"] != N_EVENTS:
+        if kill_one_executor:
+            # The killed executor's in-memory counters died with it, so
+            # the footer may undercount `decided`; the client-side count
+            # (asserted in replay()) is the end-to-end truth.  What the
+            # footer must show is the recovery: a restart, and journal
+            # replay for the tenants the dead executor owned.
+            if "executor restarts=" not in output:
+                raise SystemExit(
+                    "killed an executor but the footer reports no restart"
+                )
+            if "recovered=" not in output:
+                raise SystemExit(
+                    "restarted executor reports no journal replay"
+                )
+        elif report["decided"] != N_EVENTS:
             raise SystemExit(
                 f"footer accounts for {report['decided']} of {N_EVENTS}"
             )
@@ -170,9 +224,14 @@ def main() -> int:
             if f"  {tenant}: " not in output:
                 raise SystemExit(f"tenant {tenant} missing from footer")
         print(
-            f"serve-smoke OK: {report['decided']} decisions over "
+            f"serve-smoke OK ({label}): {report['decided']} decisions over "
             f"{len(TENANTS)} tenants, clean drain"
         )
+
+
+def main() -> int:
+    run_leg(workers=1)
+    run_leg(workers=2, kill_one_executor=True)
     return 0
 
 

@@ -114,6 +114,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         decision_budget=args.decision_budget,
     )
 
+    footer_snapshot: dict = {}
+
     async def run() -> dict:
         gateway = AuditGateway(
             manager,
@@ -123,21 +125,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             drain_budget=args.drain_budget,
             default_deadline_ms=args.deadline_ms,
+            workers=args.workers,
         )
         await gateway.start()
         gateway.install_signal_handlers()
+        pids = gateway.pool.executor_pids()
+        executors = f", executors pids={pids}" if pids else ""
         print(
             f"gateway listening on {args.host}:{gateway.port} "
             f"(http {args.host}:{gateway.http_port}) — "
-            f"policy {scenario.policy.name!r}, journals in {args.journal}",
+            f"policy {scenario.policy.name!r}, journals in {args.journal}"
+            f"{executors}",
             flush=True,
         )
         report = await gateway.serve_until_drained()
+        # In multi-process mode the parent's manager counted nothing —
+        # the merged front-end + executor snapshot is the truthful one.
+        footer_snapshot.update(gateway.final_snapshot or manager.snapshot())
         return report
 
     report = asyncio.run(run())
     print("drained:", json.dumps({k: v for k, v in report.items() if k != "tenants"}))
-    print(render_gateway_footer(manager.snapshot()))
+    print(render_gateway_footer(footer_snapshot))
     return 0 if report["flushed"] else 1
 
 
@@ -244,6 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="default per-request deadline (requests may override)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="executor processes; with N > 1 tenants partition by stable "
+        "hash across forked workers, each owning its journal slice "
+        "(crashed workers are restarted and replayed)",
     )
     serve.add_argument(
         "--decision-budget",

@@ -60,7 +60,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from pickle import PicklingError
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -1036,6 +1036,88 @@ class BatchAuditEngine:
         if self.store is not None:
             self.store.put(key, outcome.verdict)
         return outcome
+
+    def decide_many(
+        self,
+        disclosed_sets: Sequence[PropertySet],
+        queries: Optional[Sequence[Any]] = None,
+        pinned: bool = False,
+    ) -> List["DecisionOutcome"]:
+        """Decide many ``Safe_K(A, B_i)`` pairs with one store round trip.
+
+        The gateway's micro-batching entry: the same cache → store →
+        pipeline path as :meth:`audit_log` — duplicates within the batch
+        deduplicate to one decision, cache misses resolve against the
+        persistent store in ONE :meth:`~repro.audit.store.VerdictStoreBase.
+        probe_many`, and only genuinely cold pairs reach a pipeline — but
+        returning per-item :class:`DecisionOutcome`\\ s instead of findings,
+        so streaming callers can fold them into composition state in
+        admission order.  Outcomes are position-aligned with
+        ``disclosed_sets``; items sharing a key share one outcome object,
+        exactly like :meth:`audit_log`'s per-key provenance.
+
+        Like :meth:`decide_one`, this writes through to an attached store
+        without flushing — the caller owns flush cadence.  ``queries``
+        (optional, position-aligned) lets decisions ride the symbolic
+        backend; ``pinned`` forces the deterministic exact path for the
+        whole batch (the gateway batches pinned tenants separately).
+        """
+        self.runtime_stats.native_backend = _native.backend_name()
+        self.runtime_stats.decision_backend = self._decision_backend
+        assumption = self._policy.assumption
+        symbolic_wanted = (
+            not pinned and queries is not None and self._symbolic_wanted()
+        )
+        keys: List[CacheKey] = []
+        cold: Dict[CacheKey, PropertySet] = {}
+        cold_symbolic: Dict[CacheKey, Optional[object]] = {}
+        for index, disclosed in enumerate(disclosed_sets):
+            key = VerdictCache.key(self._audited, disclosed, assumption, self._atol)
+            keys.append(key)
+            if self._cache.contains(key) or key in cold:
+                self._cache.hits += 1
+                continue
+            self._cache.misses += 1
+            cold[key] = disclosed
+            if symbolic_wanted:
+                cold_symbolic[key] = self._symbolic_for(queries[index])
+        outcomes: Dict[CacheKey, DecisionOutcome] = {}
+        if self.store is not None and cold:
+            for key, stored in self.store.probe_many(list(cold)).items():
+                self._cache.put(key, stored)
+                outcomes[key] = DecisionOutcome(
+                    verdict=stored, stages=("verdict-store",)
+                )
+                del cold[key]
+        pending: Dict[CacheKey, DecisionTask] = {
+            key: DecisionTask(
+                assumption_value=assumption.value,
+                atol=self._atol,
+                audited=self._audited,
+                disclosed=disclosed,
+                tensor=self._tensor_for(disclosed),
+                budget_seconds=self.decision_budget,
+                use_sos=self.use_sos,
+                pinned=pinned,
+                symbolic=cold_symbolic.get(key),
+            )
+            for key, disclosed in cold.items()
+        }
+        for key, outcome in zip(pending, self._decide_batch(list(pending.values()))):
+            self._cache.put(key, outcome.verdict)
+            if self.store is not None:
+                self.store.put(key, outcome.verdict)
+            outcomes[key] = outcome
+        results: List[DecisionOutcome] = []
+        for key in keys:
+            outcome = outcomes.get(key)
+            if outcome is None:
+                # Decided before this batch: provenance is the cache.
+                outcome = DecisionOutcome(
+                    verdict=self._cache.fetch(key), stages=("verdict-cache",)
+                )
+            results.append(outcome)
+        return results
 
     # -- decision dispatch ---------------------------------------------------------
 

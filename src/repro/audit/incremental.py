@@ -361,6 +361,42 @@ class IncrementalAuditor:
         self._last_report = None
         return finding
 
+    def append_decided(
+        self,
+        event: DisclosureEvent,
+        disclosed: "PropertySet",
+        outcome,
+        budget_seconds: Optional[float] = None,
+    ) -> EventFinding:
+        """Fold one event whose per-event decision was already made.
+
+        The batched counterpart of :meth:`append`: the gateway's decision
+        loop decides a whole admission batch through
+        :meth:`~repro.audit.engine.BatchAuditEngine.decide_many` (one
+        store probe for the batch), then folds each event here in
+        admission order.  Identical composition semantics — only *where*
+        the per-event outcome came from changes; the cumulative decision
+        inside the fold still runs through this auditor's engine
+        (cache-warm after the batch pass).  ``budget_seconds`` covers the
+        cumulative decision, mirroring :meth:`append`.
+        """
+        self._engine.decision_budget = (
+            budget_seconds if budget_seconds is not None else self.decision_budget
+        )
+        try:
+            finding = EventFinding(
+                event=event,
+                disclosed_set=disclosed,
+                verdict=outcome.verdict,
+                outcome=outcome,
+            )
+            self._consume(event, finding)
+        finally:
+            self._engine.decision_budget = self.decision_budget
+        self._last_audit_key = None
+        self._last_report = None
+        return finding
+
     def audit_log(
         self, log: DisclosureLog, since: Optional[object] = None
     ) -> AuditReport:

@@ -88,8 +88,16 @@ class DisclosureLog:
                 str(exc), event_index=len(self._events)
             ) from exc
         self._events.append(event)
+        # Streaming callers append in time order, so the common case is
+        # "already sorted": one comparison against the tail (which also
+        # proves the new time orders against the log — every existing
+        # time is mutually orderable by the log's invariant) instead of
+        # an O(n log n) re-sort per append.
         try:
-            self._events.sort(key=lambda e: (e.time, e.user))
+            if len(self._events) > 1:
+                tail = self._events[-2]
+                if (event.time, event.user) < (tail.time, tail.user):
+                    self._events.sort(key=lambda e: (e.time, e.user))
         except TypeError as exc:
             self._events.pop()
             raise MalformedEventError(

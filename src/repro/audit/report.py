@@ -91,6 +91,21 @@ def render_gateway_footer(snapshot: Dict[str, Any], width: int = 78) -> str:
         f"({snapshot.get('connections_dropped', 0)} dropped)  "
         f"{snapshot.get('protocol_errors', 0)} protocol errors"
     )
+    batching = snapshot.get("batching") or {}
+    if batching.get("commit_rounds"):
+        extras = []
+        if batching.get("commit_crashes"):
+            extras.append(f"commit crashes={batching['commit_crashes']}")
+        if batching.get("executor_restarts"):
+            extras.append(f"executor restarts={batching['executor_restarts']}")
+        tail = ("  " + " ".join(extras)) if extras else ""
+        lines.append(
+            f"batching: {batching['commit_rounds']} commit rounds "
+            f"(mean {batching.get('batch_mean', 0.0):.2f}, "
+            f"max {batching.get('batch_max', 0)})  "
+            f"{batching.get('fsyncs_saved', 0)} fsyncs saved  "
+            f"workers={batching.get('workers', 1)}{tail}"
+        )
     for name, tenant in sorted(snapshot.get("tenants", {}).items()):
         verdicts = (
             f"allow={tenant['allowed']} deny={tenant['denied']}"

@@ -70,6 +70,16 @@ construct — with the big-``n`` subcube decision re-timed alone as the
 acceptance headline (< 10 s).  Statuses are asserted identical wherever
 both backends ran.
 
+**E21/E23 (online gateway + scale-out).** A real asyncio gateway replays
+a seeded Zipf trace (12k events, 120 tenants, 8 connections) end to end:
+group-commit journal, cross-tenant micro-batched decisions, shared
+SQLite store.  Recorded: sustained decisions/sec (best of ``repeats``
+replay rounds — single-core noise; invariants asserted every round), p50
+and p99 latency, honest shed accounting, and the batching counters.  The
+E23 leg reruns the workload with forked shard executors and a mid-trace
+executor ``kill -9``; journal replay must reconstruct every verdict
+bit-identical to the offline audit.
+
 The artifact records events/sec for each pipeline, the verdict-cache hit
 rate, the measured duplicate fraction, and the speedups; every compared
 pair of runs is asserted verdict-identical before anything is written.
@@ -154,6 +164,8 @@ DEFAULT_GATEWAY_EVENTS = 12_000
 DEFAULT_GATEWAY_TENANTS = 120
 DEFAULT_GATEWAY_CONNECTIONS = 8
 DEFAULT_GATEWAY_QUEUE_LIMIT = 64
+DEFAULT_GATEWAY_WORKERS = 2  # E23: forked shard-executor processes
+DEFAULT_GATEWAY_REPEATS = 3  # best-of rounds (single-core noise floor)
 
 DEFAULT_SYMBOLIC_DIMS = (6, 8, 10, 16, 24, 32)
 #: Largest ``n`` the mask path is timed at, per family — beyond these a
@@ -865,11 +877,18 @@ def quadratic_well_tensor(n: int, seed: int, eps: float) -> np.ndarray:
     return tensor
 
 
-def _format_break_even(break_even: Optional[float]) -> Any:
-    """JSON-friendly break-even: None (no data / 1 worker), "inf", or tasks."""
-    if break_even is None:
+def _format_break_even(break_even: Optional[float]) -> Optional[float]:
+    """JSON-friendly break-even task count, or None.
+
+    None covers every "no number" case — no data, a single worker, or a
+    pool that never breaks even (infinite break-even).  Emitting the
+    *string* ``"inf"`` here, as an earlier revision did, silently turned
+    a numeric column into a mixed-type one and broke downstream
+    comparisons that assumed ``float | null``.
+    """
+    if break_even is None or math.isinf(break_even):
         return None
-    return "inf" if math.isinf(break_even) else round(break_even, 1)
+    return round(break_even, 1)
 
 
 def run_kernel_bench(
@@ -1254,97 +1273,118 @@ def run_native_bench(
 # ---------------------------------------------------------------------------
 
 
+def _recovered_gateway_statuses(
+    universe, policy, root, workers: int
+) -> Dict[int, str]:
+    """Replay a (possibly multi-executor) gateway's journals, bit for bit.
+
+    Builds one fresh :class:`~repro.service.shard.ShardManager` per
+    executor journal directory over the surviving verdict store, runs
+    startup recovery, and reads back each recovered tenant's per-event
+    verdicts from its durable records (own journal + group-commit slice)
+    — exactly what a restarted gateway would serve.
+    """
+    from ..audit import DisclosureLog
+    from ..audit.log import DisclosureEvent
+    from ..audit.store_sql import SqliteVerdictStore
+    from ..service import ShardManager
+
+    if workers > 1:
+        journal_dirs = [
+            root / "journals" / f"exec-{index:02d}" for index in range(workers)
+        ]
+    else:
+        journal_dirs = [root / "journals"]
+    statuses: Dict[int, str] = {}
+    for journal_dir in journal_dirs:
+        manager = ShardManager(
+            universe,
+            policy,
+            journal_dir=journal_dir,
+            store=SqliteVerdictStore(root / "store"),
+        )
+        counts = manager.recover_all()
+        wal = {}
+        if manager.commit_log.path.exists():
+            wal = manager.commit_log.replay(repair=False).by_tenant()
+        for tenant in counts:
+            shard = manager.tenants[tenant]
+            records = list(shard.journal.replay(repair=False).records)
+            records += wal.get(tenant, [])
+            if not records:
+                continue
+            log = DisclosureLog(
+                DisclosureEvent(
+                    time=r.time,
+                    user=r.user,
+                    query=parse_boolean_query(r.query_text),
+                    note=r.note,
+                )
+                for r in records
+            )
+            for finding in shard.auditor.audit_log(log).findings:
+                statuses[finding.event.time] = finding.verdict.status.value
+        manager.close()
+    return statuses
+
+
 def run_gateway_bench(
     n_events: int = DEFAULT_GATEWAY_EVENTS,
     n_tenants: int = DEFAULT_GATEWAY_TENANTS,
     n_connections: int = DEFAULT_GATEWAY_CONNECTIONS,
     queue_limit: int = DEFAULT_GATEWAY_QUEUE_LIMIT,
     seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    kill_executor: bool = False,
+    repeats: int = 1,
 ) -> Dict[str, Any]:
-    """The E21 section: an in-process gateway replaying a seeded Zipf trace.
+    """The E21/E23 section: a gateway replaying a seeded Zipf trace.
 
-    A real asyncio gateway (TCP on an ephemeral loopback port, per-tenant
-    journals, shared SQLite verdict store) serves a Zipf-skewed trace over
+    A real asyncio gateway (TCP on an ephemeral loopback port, group-commit
+    journal, shared SQLite verdict store) serves a Zipf-skewed trace over
     ``n_tenants`` tenants through ``n_connections`` concurrent client
     connections.  Recorded: sustained decisions/sec (journal fsync and
     event-loop time included — this is end-to-end, not engine-only), p50
-    and p99 decision latency, and the *honest* shed count — sheds are
-    retried and counted, never hidden.  The run ends in a SIGTERM-style
-    drain; ``clean_drain`` asserts nothing was dropped silently.  Verdict
-    cross-check: every per-event status the live gateway answered must
-    equal a batched offline audit of the same events.
+    and p99 decision latency, the *honest* shed count — sheds are retried
+    and counted, never hidden — and the group-commit batching counters
+    (rounds, mean depth, fsyncs amortised away).  The run ends in a
+    SIGTERM-style drain; ``clean_drain`` asserts nothing was dropped
+    silently.  Verdict cross-check: every per-event status the live
+    gateway answered must equal a batched offline audit of the same
+    events.
+
+    With ``workers > 1`` (the E23 configuration) tenants partition across
+    forked executor processes; ``kill_executor=True`` SIGKILLs one
+    executor halfway through the trace — its partition sheds with retry
+    hints, the process respawns and replays its journals, and after the
+    drain the journals are replayed into fresh managers and asserted
+    bit-identical to the offline audit.
     """
     import asyncio
+    import gc as _gc
+    import os as _os
     import pathlib
+    import signal as _signal
     import tempfile
 
     from ..audit.store_sql import SqliteVerdictStore
     from ..service import AuditGateway, GatewayClient, ShardManager
     from ..service.trace import hospital_pool, zipf_trace
 
+    # Collect the earlier sections' garbage before the timed replay, so
+    # the gateway's post-recovery ``gc.freeze`` pins a compact heap and
+    # the measurement is of the gateway, not of E14–E20's leftovers.
+    _gc.collect()
+
     universe, policy, pool = hospital_pool()
     trace = zipf_trace(
         n_events=n_events, n_tenants=n_tenants, seed=seed, pool=pool
     )
-    latencies: List[float] = []
-    sheds = 0
-    retries = 0
-    responses: Dict[int, str] = {}
 
-    async def client_task(gateway, events) -> None:
-        nonlocal sheds, retries
-        async with GatewayClient("127.0.0.1", gateway.port, "bench") as client:
-            for event in events:
-                while True:
-                    with Stopwatch() as clock:
-                        response = await client.decide(
-                            event.user,
-                            event.query_text,
-                            time=event.time,
-                            tenant=event.tenant,
-                        )
-                    if response.get("decision") == "shed":
-                        sheds += 1
-                        retries += 1
-                        await asyncio.sleep(response["retry_after_ms"] / 1000.0)
-                        continue
-                    latencies.append(clock.elapsed)
-                    responses[event.time] = response["status"]
-                    break
-
-    async def run(tmp: str) -> Dict[str, Any]:
-        root = pathlib.Path(tmp)
-        manager = ShardManager(
-            universe,
-            policy,
-            journal_dir=root / "journals",
-            store=SqliteVerdictStore(root / "store"),
-        )
-        gateway = AuditGateway(
-            manager, port=0, queue_limit=queue_limit, drain_budget=30.0
-        )
-        await gateway.start()
-        # Tenants are partitioned across connections (round-robin by first
-        # appearance), so per-tenant event order — the order that matters
-        # for composition state — is preserved within each connection.
-        lanes: List[List[Any]] = [[] for _ in range(n_connections)]
-        lane_of: Dict[str, int] = {}
-        for event in trace:
-            lane = lane_of.setdefault(event.tenant, len(lane_of) % n_connections)
-            lanes[lane].append(event)
-        with Stopwatch() as clock:
-            await asyncio.gather(
-                *(client_task(gateway, lane) for lane in lanes if lane)
-            )
-        report = await gateway.drain()
-        return {"seconds": clock.elapsed, "drain": report}
-
-    with tempfile.TemporaryDirectory(prefix="repro-gateway-bench-") as tmp:
-        outcome = asyncio.run(run(tmp))
-
-    # Verdict cross-check against the batched offline engine.  Per-event
-    # verdicts are tenant-independent (they key on the disclosed set), so
-    # one engine pass over the full trace is the reference.
+    # Reference offline audit, built once: per-event verdicts are
+    # tenant-independent (they key on the disclosed set), so one engine
+    # pass over the full trace is the reference every replay round — and
+    # every recovery — is checked against.
     log = DisclosureLog()
     for event in trace:
         log.record(
@@ -1355,10 +1395,130 @@ def run_gateway_bench(
         finding.event.time: finding.verdict.status.value
         for finding in reference.findings
     }
-    if responses != expected:
-        raise AssertionError("gateway verdicts diverge from the offline audit")
 
-    latencies.sort()
+    def replay_once() -> Dict[str, Any]:
+        latencies: List[float] = []
+        sheds = 0
+        retries = 0
+        responses: Dict[int, str] = {}
+
+        async def client_task(gateway, events) -> None:
+            nonlocal sheds, retries
+            async with GatewayClient(
+                "127.0.0.1", gateway.port, "bench", request_timeout=None
+            ) as client:
+                for event in events:
+                    while True:
+                        with Stopwatch() as clock:
+                            response = await client.decide(
+                                event.user,
+                                event.query_text,
+                                time=event.time,
+                                tenant=event.tenant,
+                            )
+                        if response.get("decision") == "shed":
+                            sheds += 1
+                            retries += 1
+                            await asyncio.sleep(
+                                response["retry_after_ms"] / 1000.0
+                            )
+                            continue
+                        latencies.append(clock.elapsed)
+                        responses[event.time] = response["status"]
+                        break
+
+        async def killer_task(gateway) -> bool:
+            """SIGKILL one executor once half the trace has been decided."""
+            while len(responses) < n_events // 2:
+                await asyncio.sleep(0.01)
+            pids = gateway.executor_pids()
+            if not pids:
+                return False
+            _os.kill(pids[0], _signal.SIGKILL)
+            return True
+
+        async def run(tmp: str) -> Dict[str, Any]:
+            root = pathlib.Path(tmp)
+            manager = ShardManager(
+                universe,
+                policy,
+                journal_dir=root / "journals",
+                store=SqliteVerdictStore(root / "store"),
+            )
+            gateway = AuditGateway(
+                manager,
+                port=0,
+                queue_limit=queue_limit,
+                drain_budget=30.0,
+                workers=workers,
+            )
+            await gateway.start()
+            # Tenants are partitioned across connections (round-robin by
+            # first appearance), so per-tenant event order — the order
+            # that matters for composition state — is preserved within
+            # each connection.
+            lanes: List[List[Any]] = [[] for _ in range(n_connections)]
+            lane_of: Dict[str, int] = {}
+            for event in trace:
+                lane = lane_of.setdefault(
+                    event.tenant, len(lane_of) % n_connections
+                )
+                lanes[lane].append(event)
+            tasks = [client_task(gateway, lane) for lane in lanes if lane]
+            killed = False
+            with Stopwatch() as clock:
+                if kill_executor and workers > 1:
+                    results = await asyncio.gather(killer_task(gateway), *tasks)
+                    killed = bool(results[0])
+                else:
+                    await asyncio.gather(*tasks)
+            report = await gateway.drain()
+            return {"seconds": clock.elapsed, "drain": report, "killed": killed}
+
+        with tempfile.TemporaryDirectory(prefix="repro-gateway-bench-") as tmp:
+            outcome = asyncio.run(run(tmp))
+            recovered: Optional[Dict[int, str]] = None
+            if kill_executor:
+                recovered = _recovered_gateway_statuses(
+                    universe, policy, pathlib.Path(tmp), workers
+                )
+
+        if responses != expected:
+            raise AssertionError(
+                "gateway verdicts diverge from the offline audit"
+            )
+        if recovered is not None:
+            # The post-kill recovery must hold every decided verdict, bit
+            # for bit — replayed journals are the gateway's source of
+            # truth.
+            missing = set(expected) - set(recovered)
+            diverged = {t for t in recovered if recovered[t] != expected[t]}
+            if missing or diverged:
+                raise AssertionError(
+                    f"journal recovery diverges from the offline audit "
+                    f"({len(missing)} missing, {len(diverged)} diverged)"
+                )
+        latencies.sort()
+        return {
+            "latencies": latencies,
+            "sheds": sheds,
+            "retries": retries,
+            "outcome": outcome,
+            "recovered": recovered,
+        }
+
+    # Absolute throughput on a single shared core is noisy run to run;
+    # like the other sections' ``repeats``, replay the trace ``repeats``
+    # times and record the fastest round.  The invariants — verdict
+    # identity, clean drain, bit-identical recovery — are asserted on
+    # *every* round, not just the recorded one.
+    rounds = [replay_once() for _ in range(max(1, repeats))]
+    best = min(rounds, key=lambda r: r["outcome"]["seconds"])
+    latencies = best["latencies"]
+    sheds = best["sheds"]
+    retries = best["retries"]
+    outcome = best["outcome"]
+    recovered = best["recovered"]
     elapsed = outcome["seconds"]
     drain = outcome["drain"]
 
@@ -1374,6 +1534,8 @@ def run_gateway_bench(
             "connections": n_connections,
             "queue_limit": queue_limit,
             "seed": seed,
+            "workers": workers,
+            "repeats": max(1, repeats),
         },
         "throughput": {
             "seconds": round(elapsed, 6),
@@ -1399,6 +1561,16 @@ def run_gateway_bench(
             "flushed": drain["flushed"],
             "decided": drain["decided"],
         },
+        "batching": drain.get("batching", {}),
+        "recovery": (
+            None
+            if recovered is None
+            else {
+                "executor_killed": outcome["killed"],
+                "recovered_events": len(recovered),
+                "bit_identical": True,
+            }
+        ),
         "verdict_identical": True,
     }
 
@@ -1571,6 +1743,8 @@ def run_bench(
     gateway_tenants: int = DEFAULT_GATEWAY_TENANTS,
     gateway_connections: int = DEFAULT_GATEWAY_CONNECTIONS,
     gateway_queue_limit: int = DEFAULT_GATEWAY_QUEUE_LIMIT,
+    gateway_workers: int = DEFAULT_GATEWAY_WORKERS,
+    gateway_repeats: int = DEFAULT_GATEWAY_REPEATS,
     symbolic_dims: Sequence[int] = DEFAULT_SYMBOLIC_DIMS,
 ) -> Dict[str, Any]:
     """Audit one synthetic log through all three pipelines and compare.
@@ -1581,10 +1755,12 @@ def run_bench(
     the E18 incremental re-audit measurement, the E19 verdict-store
     backend head-to-head (``store_pairs`` warm probe + concurrency soak),
     the E21 online-gateway replay (``gateway_events`` over
-    ``gateway_tenants`` tenants), and the E22 symbolic-backend crossover
+    ``gateway_tenants`` tenants), the E22 symbolic-backend crossover
     (mask vs SAT over ``symbolic_dims``, into the mask-infeasible
-    ``n > 20`` regime), embedding all these sections in the returned
-    document.
+    ``n > 20`` regime), and the E23 gateway scale-out leg (the E21
+    workload with ``gateway_workers`` forked shard executors and a
+    mid-trace executor ``kill -9``, recovery asserted bit-identical),
+    embedding all these sections in the returned document.
     """
     universe = build_registry()
     log = build_mixed_density_log(universe, n_events=n_events, seed=seed)
@@ -1718,6 +1894,24 @@ def run_bench(
         n_connections=gateway_connections,
         queue_limit=gateway_queue_limit,
         seed=seed,
+        repeats=gateway_repeats,
+    )
+    # E23 — the same workload with multi-process shard executors and a
+    # mid-trace kill -9 of one executor (recovery asserted bit-identical).
+    document["gateway_scaleout"] = run_gateway_bench(
+        n_events=gateway_events,
+        n_tenants=gateway_tenants,
+        n_connections=gateway_connections,
+        queue_limit=gateway_queue_limit,
+        seed=seed,
+        workers=gateway_workers,
+        kill_executor=True,
+        repeats=gateway_repeats,
+    )
+    document["gateway_scaleout"]["speedup_vs_e21"] = round(
+        document["gateway_scaleout"]["throughput"]["decisions_per_sec"]
+        / document["gateway"]["throughput"]["decisions_per_sec"],
+        2,
     )
     document["symbolic"] = run_symbolic_bench(dims=symbolic_dims, seed=seed)
     return document
@@ -1763,6 +1957,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     gateway_events = DEFAULT_GATEWAY_EVENTS
     gateway_tenants = DEFAULT_GATEWAY_TENANTS
     gateway_connections = DEFAULT_GATEWAY_CONNECTIONS
+    gateway_repeats = DEFAULT_GATEWAY_REPEATS
     symbolic_dims: Sequence[int] = DEFAULT_SYMBOLIC_DIMS
     if args.smoke:
         args.events = min(args.events, 60)
@@ -1783,6 +1978,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         gateway_events = 400
         gateway_tenants = 24
         gateway_connections = 4
+        gateway_repeats = 1
         symbolic_dims = (6, 8)
 
     document = run_bench(
@@ -1807,6 +2003,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         gateway_events=gateway_events,
         gateway_tenants=gateway_tenants,
         gateway_connections=gateway_connections,
+        gateway_repeats=gateway_repeats,
         symbolic_dims=symbolic_dims,
     )
     path = write_bench_json(args.output, document)
@@ -1923,6 +2120,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"p99 {gateway['latency_ms']['p99']:.1f} ms  "
         f"shed rate {gateway['admission']['shed_rate']:.1%}  "
         f"drain {'clean' if gateway['drain']['clean_drain'] else 'DIRTY'}"
+    )
+    batching = gateway["batching"]
+    print(
+        f"gateway batching: {batching.get('commit_rounds', 0)} commit rounds  "
+        f"mean depth {batching.get('batch_mean', 0.0):.1f}  "
+        f"max {batching.get('batch_max', 0)}  "
+        f"fsyncs saved {batching.get('fsyncs_saved', 0)}"
+    )
+    scaleout = document["gateway_scaleout"]
+    so_batching = scaleout["batching"]
+    so_recovery = scaleout["recovery"] or {}
+    print(
+        f"gateway scale-out ({scaleout['workload']['workers']} executors, "
+        f"kill -9 mid-trace): "
+        f"{scaleout['throughput']['decisions_per_sec']:.0f} decisions/s "
+        f"({scaleout['speedup_vs_e21']}x vs single)  "
+        f"p99 {scaleout['latency_ms']['p99']:.1f} ms  "
+        f"restarts {so_batching.get('executor_restarts', 0)}  "
+        f"recovery {'bit-identical' if so_recovery.get('bit_identical') else 'UNVERIFIED'}"
     )
     symbolic = document["symbolic"]
     print(f"symbolic backend: {symbolic['backend']['name']}")

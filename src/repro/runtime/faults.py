@@ -34,6 +34,14 @@ site               effect at the probe point
 ``drain-flush``    the shutdown drain's store flush fails — shed work and
                    unflushed verdicts are reported, the drain still
                    completes
+``commit-fsync-fail``  a group-commit round's ``fsync`` fails after the
+                   write — every verdict in the round is withheld (typed
+                   errors, clients retry) and the log truncates back to the
+                   last durable round before its next append
+``executor-crash`` the gateway hard-kills one shard-executor process
+                   (``SIGKILL``) before dispatching a batch to it — in-flight
+                   requests are shed with a retry hint and the executor is
+                   restarted and replayed from its journals
 ``symbolic-load``  the symbolic decision engine fails to load during
                    :func:`repro.symbolic.configure` — ``auto`` mode degrades
                    to the mask path (counted), ``require`` raises
@@ -67,8 +75,10 @@ from typing import Dict, Iterator, Mapping, Optional, Union
 __all__ = [
     "FaultInjector",
     "FaultRule",
+    "COMMIT_FSYNC_FAIL",
     "CONN_DROP",
     "DRAIN_FLUSH",
+    "EXECUTOR_CRASH",
     "JOURNAL_TORN_WRITE",
     "KNOWN_SITES",
     "NATIVE_LOAD",
@@ -99,6 +109,8 @@ CONN_DROP = "conn-drop"
 JOURNAL_TORN_WRITE = "journal-torn-write"
 SLOW_TENANT = "slow-tenant"
 DRAIN_FLUSH = "drain-flush"
+COMMIT_FSYNC_FAIL = "commit-fsync-fail"
+EXECUTOR_CRASH = "executor-crash"
 SYMBOLIC_LOAD = "symbolic-load"
 SYMBOLIC_TIMEOUT = "symbolic-timeout"
 
@@ -114,6 +126,8 @@ KNOWN_SITES = (
     JOURNAL_TORN_WRITE,
     SLOW_TENANT,
     DRAIN_FLUSH,
+    COMMIT_FSYNC_FAIL,
+    EXECUTOR_CRASH,
     SYMBOLIC_LOAD,
     SYMBOLIC_TIMEOUT,
 )

@@ -12,8 +12,14 @@ a gate needs:
   journals; journal-before-decide makes ``kill -9`` recoverable;
 * :mod:`~repro.service.shard` — per-tenant auditor + journal + keyed
   breaker over one shared verdict store; startup and lazy crash recovery;
+* :mod:`~repro.service.commit` — the group-commit log: one ``write`` +
+  one ``fsync`` per cross-tenant decision round, adaptive straggler
+  window, O(1) heal after a crashed round;
+* :mod:`~repro.service.executor` — the batched decision plane: one
+  engine pass (and one store probe) per admission batch, in-process or
+  partitioned by stable tenant hash across forked executor processes;
 * :mod:`~repro.service.server` — the asyncio gateway: admission control,
-  per-tenant worker isolation, SIGTERM drain, HTTP health/stats;
+  per-tenant queue isolation, SIGTERM drain, HTTP health/stats;
 * :mod:`~repro.service.client` — the reference asyncio client;
 * :mod:`~repro.service.stats` — per-tenant and gateway-wide counters;
 * :mod:`~repro.service.trace` — seeded Zipf multi-tenant traces (E21).
@@ -25,23 +31,32 @@ verdict came from — never the verdicts themselves.
 """
 
 from .client import GatewayClient
+from .commit import CommitError, CommitWindow, GroupCommitLog
+from .executor import BatchDecisionExecutor, ExecutorPool, executor_index
 from .journal import EventJournal, JournalRecord, JournalTornWriteError
 from .server import AuditGateway
 from .shard import ShardManager, TenantShard
-from .stats import GatewayStats, TenantStats
+from .stats import GatewayStats, TenantStats, merge_snapshots
 from .trace import TraceEvent, hospital_pool, zipf_trace
 
 __all__ = [
     "AuditGateway",
+    "BatchDecisionExecutor",
+    "CommitError",
+    "CommitWindow",
     "EventJournal",
+    "ExecutorPool",
     "GatewayClient",
     "GatewayStats",
+    "GroupCommitLog",
     "JournalRecord",
     "JournalTornWriteError",
     "ShardManager",
     "TenantShard",
     "TenantStats",
     "TraceEvent",
+    "executor_index",
     "hospital_pool",
+    "merge_snapshots",
     "zipf_trace",
 ]

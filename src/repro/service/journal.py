@@ -142,7 +142,9 @@ class EventJournal:
             )
         handle.write(frame)
         handle.flush()
-        os.fsync(handle.fileno())
+        # fdatasync flushes the data and the size — everything replay
+        # needs — without the inode timestamp flush fsync adds.
+        os.fdatasync(handle.fileno())
         self.appended += 1
 
     def close(self) -> None:

@@ -1,11 +1,32 @@
 """The asyncio multi-tenant online auditing gateway.
 
-One process, one event loop, no threads: decisions are CPU-bound and the
-verdict store's SQLite connections are thread-affine, so every decision
-runs inline in the loop and *isolation* comes from structure instead —
-each tenant gets a bounded queue and a dedicated worker coroutine, so a
-stalled or flooded tenant backs up (and sheds) its own queue while its
-neighbours' workers keep draining.
+The front end is unchanged from PR 8: JSON lines over TCP, per-tenant
+bounded queues, explicit sheds with deterministic retry hints, a drain
+that answers everything it cannot finish.  What changed is the *decision
+plane* behind admission.  Instead of one worker coroutine per tenant —
+each paying one journal ``fsync`` and one engine round trip per event —
+a single decision loop drains every tenant's queue into a cross-tenant
+batch and ships it to an :class:`~repro.service.executor.ExecutorPool`:
+
+* every record in the batch is journaled in **one group-commit round**
+  (one ``write``, one ``fsync``, all tenants — see
+  :mod:`~repro.service.commit`); no verdict in the round is issued
+  before that fsync returns, so the PR-8 crash-soundness argument
+  survives verbatim;
+* the batch is decided through **one engine pass** — deduplicated by
+  verdict key, one ``probe_many`` against the shared store, shared
+  in-memory caches — instead of per-event round trips;
+* with ``workers > 1`` tenants partition by stable hash across forked
+  executor processes, each owning its journal directory and its own
+  connections into the shared SQLite-WAL store.  A crashed executor's
+  batch is shed with an ``executor-restart`` retry hint and the process
+  is respawned, replaying its journals before serving again.
+
+A short adaptive straggler window (EWMA of recent round cost, capped at
+2 ms) lets arrivals coalesce when the gateway is busy; when it is idle
+the window is zero and a lone request decides immediately.  Natural
+batching does most of the work regardless: whatever arrives while round
+``k`` is deciding becomes round ``k+1``.
 
 The four robustness pillars, and where they live:
 
@@ -15,19 +36,23 @@ The four robustness pillars, and where they live:
   Each request carries a :class:`~repro.runtime.Budget` started at
   admission; a request whose deadline expires while queued is shed before
   any work is done, and the remaining budget is what the decision gets.
-* **Crash recovery** (:class:`~repro.service.shard.ShardManager`): the
-  manager replays every journal before the gateway accepts its first
-  connection, and resurrects any shard that crashes mid-stream (the
-  ``journal-torn-write`` site) on that tenant's next request.
+* **Crash recovery** (:class:`~repro.service.shard.ShardManager` /
+  :class:`~repro.service.executor.ExecutorPool`): every journal — the
+  per-tenant files *and* the group-commit log — replays before the
+  gateway accepts its first connection; a crashed executor process
+  replays its own slice before rejoining.
 * **Graceful degradation and drain** (:meth:`AuditGateway.drain`): on
   SIGTERM the gateway stops accepting, lets in-flight work finish under a
   drain budget, sheds (with explicit responses) whatever the budget
   cannot cover, flushes the store, and reports exactly what was shed.
-* **Chaos sites**: ``conn-drop`` severs a connection at admission (before
-  journaling — the client saw no verdict, so no verdict exists to be
-  wrong); ``slow-tenant`` stalls one tenant's worker; ``drain-flush``
-  fails the final flush.  The invariant, asserted by ``tests/service/``:
-  every site moves provenance and availability, never a verdict.
+* **Chaos sites**: ``conn-drop`` severs a connection at admission;
+  ``slow-tenant`` stalls one tenant's place in the batch loop (its items
+  are deferred, its neighbours keep deciding); ``journal-torn-write`` and
+  ``commit-fsync-fail`` crash a group-commit round (every verdict in it
+  withheld); ``executor-crash`` kills a worker process mid-stream;
+  ``drain-flush`` fails the final flush.  The invariant, asserted by
+  ``tests/service/``: every site moves provenance and availability,
+  never a verdict.
 
 A second listener speaks just enough HTTP/1.0 for ``GET /healthz`` and
 ``GET /stats`` so ordinary tooling (curl, a liveness probe) can watch the
@@ -38,11 +63,15 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import gc
 import json
 import signal
+from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..runtime import Budget, faults
+from .commit import CommitWindow
+from .executor import ExecutorPool
 from .protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -62,7 +91,7 @@ __all__ = ["AuditGateway"]
 _RETRY_PER_QUEUED_MS = 5.0
 _RETRY_FLOOR_MS = 10.0
 
-#: How long the ``slow-tenant`` chaos site stalls a worker per fire.
+#: How long the ``slow-tenant`` chaos site stalls a tenant per fire.
 _SLOW_TENANT_STALL = 0.05
 
 
@@ -79,6 +108,7 @@ class AuditGateway:
         drain_budget: float = 5.0,
         default_deadline_ms: Optional[float] = None,
         flush_every: int = 256,
+        workers: int = 1,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be positive")
@@ -90,25 +120,49 @@ class AuditGateway:
         self.drain_budget = float(drain_budget)
         self.default_deadline_ms = default_deadline_ms
         self.flush_every = int(flush_every)
+        self.workers = int(workers)
         self.stats = manager.gateway_stats
+        self.pool = ExecutorPool(
+            manager, workers=self.workers, flush_every=self.flush_every
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._http_server: Optional[asyncio.AbstractServer] = None
         self._queues: Dict[str, asyncio.Queue] = {}
-        self._workers: Dict[str, asyncio.Task] = {}
+        #: Tenants with queued or deferred work — ``_collect`` walks this
+        #: instead of every queue, so a 1-tenant round costs O(1) even
+        #: with hundreds of idle tenants.  A dict used as an ordered set:
+        #: iteration must follow first-admission order (deterministic
+        #: cross-tenant fairness), which a hash-randomised ``set`` breaks.
+        self._ready: Dict[str, None] = {}
+        #: Items dequeued but deferred by a ``slow-tenant`` stall, per
+        #: tenant, decided ahead of that tenant's queue once it unstalls.
+        self._deferred: Dict[str, deque] = {}
+        self._stall_until: Dict[str, float] = {}
+        self._work = asyncio.Event()
+        self._window = CommitWindow()
+        #: Open JSON-lines connections — the coalescing target: a round
+        #: holds the commit (up to the window cap) until every connected
+        #: lane's request has joined, so closed-loop clients convoy into
+        #: one fsync per volley instead of trickling into lone rounds.
+        self._conn_count = 0
+        self._loop_task: Optional[asyncio.Task] = None
+        self._in_flight = 0
         self._draining = False
         self._drained = asyncio.Event()
-        self._decided_since_flush = 0
         self.drain_report: Optional[Dict[str, Any]] = None
+        self.final_snapshot: Optional[Dict[str, Any]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Recover journals, bind both listeners, start serving."""
-        recovered = self.manager.recover_all()
-        if recovered:
-            # Startup replay is part of the availability story; surface it.
-            for tenant, events in recovered.items():
-                self.stats.tenant(tenant)  # ensure a stats row exists
+        """Recover journals, spawn executors, bind both listeners."""
+        await self.pool.start()
+        # Post-warmup freeze: everything alive now — universe, policy,
+        # compiled queries, replayed composition state — is long-lived
+        # server state.  Moving it to the permanent generation keeps
+        # every future gen-2 collection from re-scanning it on the hot
+        # path (the classic long-running-service GC pattern).
+        gc.freeze()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.host,
@@ -121,6 +175,14 @@ class AuditGateway:
                 self._handle_http, host=self.host, port=self.http_port
             )
             self.http_port = self._http_server.sockets[0].getsockname()[1]
+
+    def executor_pids(self) -> List[int]:
+        """PIDs of the forked executors (empty when in-process)."""
+        return [
+            process.process.pid
+            for process in self.pool._processes
+            if process.process is not None and process.process.pid is not None
+        ]
 
     def install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -140,8 +202,11 @@ class AuditGateway:
 
         Idempotent.  Whatever the budget cannot cover is shed *explicitly*
         (each queued request gets a ``drain-shed`` response before its
-        connection closes), the store is flushed (the ``drain-flush``
-        chaos site fires here), and the report says exactly what happened.
+        connection closes), every executor flushes its store slice (the
+        ``drain-flush`` chaos site fires here), and the report says
+        exactly what happened.  In multi-process mode the report's
+        counters are the merged front-end + executor snapshot, so they
+        read the same as a single-process drain.
         """
         if self._draining:
             await self._drained.wait()
@@ -154,15 +219,16 @@ class AuditGateway:
                 server.close()
         budget = Budget(self.drain_budget)
         shed = 0
-        # Drain phase: give workers until the budget to empty their queues.
-        pending = [q for q in self._queues.values() if not q.empty()]
-        while pending and not budget.expired:
+        # Drain phase: let the decision loop finish what is queued,
+        # deferred, or already dispatched, until the budget says stop.
+        while self._work_pending() and not budget.expired:
             await asyncio.sleep(0.01)
-            pending = [q for q in self._queues.values() if not q.empty()]
-        # Shed phase: answer whatever is still queued, then stop workers.
+        # Shed phase: answer whatever is still waiting, then stop the loop.
         for tenant, queue in self._queues.items():
+            pending = list(self._deferred.pop(tenant, ()))
             while not queue.empty():
-                request, budget_left, future = queue.get_nowait()
+                pending.append(queue.get_nowait())
+            for request, budget_left, future in pending:
                 if not future.done():
                     future.set_result(
                         shed_response(request.request_id, "drain-shed", 0.0)
@@ -170,33 +236,32 @@ class AuditGateway:
                 self.stats.tenant(tenant).record_shed("drain-shed")
                 shed += 1
         self.stats.drain_shed += shed
-        for worker in self._workers.values():
-            worker.cancel()
-        if self._workers:
-            await asyncio.gather(
-                *self._workers.values(), return_exceptions=True
-            )
-        flushed = self.manager.flush_all(draining=True)
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            await asyncio.gather(self._loop_task, return_exceptions=True)
+        flushed, snapshot = await self.pool.drain()
+        #: The merged front-end + executor snapshot — in multi-process
+        #: mode the parent's own counters are near-empty, so footer
+        #: renderers must use this, not ``manager.snapshot()``.
+        self.final_snapshot = snapshot
         self.manager.close()
         for server in (self._server, self._http_server):
             if server is not None:
                 with contextlib.suppress(Exception):
                     await server.wait_closed()
         self.drain_report = {
-            "decided": self.stats.decided,
-            "shed_total": self.stats.shed,
+            "decided": snapshot.get("decided", 0),
+            "shed_total": snapshot.get("shed", 0),
             "drain_shed": self.stats.drain_shed,
             "flushed": flushed,
             "drain_budget_expired": budget.expired,
-            "tenants": {
-                name: stats.as_dict()
-                for name, stats in sorted(self.stats.tenants.items())
-            },
+            "batching": snapshot.get("batching", {}),
+            "tenants": snapshot.get("tenants", {}),
         }
         self._drained.set()
         return self.drain_report
 
-    # -- admission and workers --------------------------------------------
+    # -- admission and the decision loop -----------------------------------
 
     def _queue_for(self, tenant: str) -> asyncio.Queue:
         queue = self._queues.get(tenant)
@@ -204,9 +269,8 @@ class AuditGateway:
             queue = self._queues[tenant] = asyncio.Queue(
                 maxsize=self.queue_limit
             )
-            self._workers[tenant] = asyncio.ensure_future(
-                self._tenant_worker(tenant, queue)
-            )
+        if self._loop_task is None:
+            self._loop_task = asyncio.ensure_future(self._decision_loop())
         return queue
 
     def _admit(self, request) -> "asyncio.Future":
@@ -235,6 +299,8 @@ class AuditGateway:
         budget = Budget(None if deadline_ms is None else deadline_ms / 1000.0)
         try:
             queue.put_nowait((request, budget, future))
+            self._ready[request.tenant] = None
+            self._work.set()
         except asyncio.QueueFull:
             retry_after = max(
                 _RETRY_FLOOR_MS, queue.qsize() * _RETRY_PER_QUEUED_MS
@@ -245,65 +311,172 @@ class AuditGateway:
             )
         return future
 
-    async def _tenant_worker(self, tenant: str, queue: asyncio.Queue) -> None:
-        """Serially decide one tenant's queue; the isolation boundary.
+    def _work_pending(self) -> bool:
+        if self._in_flight:
+            return True
+        if any(not queue.empty() for queue in self._queues.values()):
+            return True
+        return any(self._deferred.values())
 
-        The ``slow-tenant`` stall is an ``await asyncio.sleep`` *here*, so
-        even on a single-threaded gateway it backs up exactly one tenant's
-        queue — the event loop keeps running everyone else's workers.
+    def _collect(self, batch: List[Tuple[Any, Optional[float], Any]]) -> None:
+        """Drain every unstalled tenant's deferred + queued items into ``batch``.
+
+        The ``slow-tenant`` stall is handled *here*: the fault is probed
+        after dequeue, and a fire defers that item and stalls its tenant —
+        the rest of the tenant's queue stays put (still counting against
+        its bound) while every other tenant keeps flowing into the batch.
+        A timer re-wakes the loop when the stall expires; the deferred
+        item then decides ahead of its tenant's queue, preserving order.
         """
-        while True:
-            request, budget, future = await queue.get()
-            try:
-                if faults.fire(faults.SLOW_TENANT):
-                    await asyncio.sleep(_SLOW_TENANT_STALL)
-                if future.done():  # connection died while queued
-                    continue
-                if budget.expired:
-                    self.stats.tenant(tenant).record_shed("deadline-expired")
-                    future.set_result(
-                        shed_response(
-                            request.request_id, "deadline-expired", 0.0
-                        )
-                    )
-                    continue
-                remaining = budget.remaining()
-                shard = self.manager.shard(tenant)
-                response = shard.decide(
-                    request,
-                    budget_seconds=None if remaining == float("inf") else remaining,
-                )
-                self.stats.tenant(tenant).queue_depth = queue.qsize()
-                self._decided_since_flush += 1
-                if self._decided_since_flush >= self.flush_every:
-                    self._decided_since_flush = 0
-                    self.manager.flush_all()
-                if not future.done():
-                    future.set_result(response)
-            except asyncio.CancelledError:
-                # Cancelled mid-item during a drain: the tenant still gets
-                # an explicit answer, never a silently dropped request.
-                if not future.done():
-                    future.set_result(
-                        shed_response(request.request_id, "drain-shed", 0.0)
-                    )
-                    self.stats.tenant(tenant).record_shed("drain-shed")
-                    self.stats.drain_shed += 1
-                raise
-            except Exception as exc:  # a shard bug must not kill the worker
-                if not future.done():
-                    future.set_result(
-                        error_response(request.request_id, f"internal: {exc}")
-                    )
-            finally:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for tenant in list(self._ready):
+            if self._stall_until.get(tenant, 0.0) > now:
+                continue  # stays ready; the stall timer re-wakes the loop
+            queue = self._queues[tenant]
+            pending = self._deferred.get(tenant)
+            while pending:
+                self._append_item(batch, tenant, pending.popleft())
+            stalled = False
+            while True:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
                 queue.task_done()
+                if faults.fire(faults.SLOW_TENANT):
+                    stall = _SLOW_TENANT_STALL
+                    self._deferred.setdefault(tenant, deque()).append(item)
+                    self._stall_until[tenant] = loop.time() + stall
+                    loop.call_later(stall, self._work.set)
+                    stalled = True
+                    break
+                self._append_item(batch, tenant, item)
+            if not stalled and queue.empty() and not self._deferred.get(tenant):
+                self._ready.pop(tenant, None)
+
+    def _append_item(
+        self,
+        batch: List[Tuple[Any, Optional[float], Any]],
+        tenant: str,
+        item: Tuple[Any, Budget, "asyncio.Future"],
+    ) -> None:
+        request, budget, future = item
+        if future.done():  # connection died while queued
+            return
+        if budget.expired:
+            self.stats.tenant(tenant).record_shed("deadline-expired")
+            future.set_result(
+                shed_response(request.request_id, "deadline-expired", 0.0)
+            )
+            return
+        remaining = budget.remaining()
+        batch.append(
+            (request, None if remaining == float("inf") else remaining, future)
+        )
+
+    async def _decision_loop(self) -> None:
+        """The single decision plane: admission queues → batched verdicts.
+
+        Replaces PR-8's per-tenant workers.  Isolation is preserved by
+        construction: each tenant's queue is still bounded (floods shed at
+        admission), slow-tenant stalls defer only that tenant's items, and
+        a cancelled loop (drain) sheds its current batch explicitly.
+        """
+        loop = asyncio.get_running_loop()
+        batch: List[Tuple[Any, Optional[float], Any]] = []
+        while True:
+            try:
+                await self._work.wait()
+                self._work.clear()
+                batch = []
+                self._collect(batch)
+                if batch and self._window.wait_seconds() > 0.0:
+                    # Straggler window: when recent rounds were expensive,
+                    # hold the commit (never longer than the window cap)
+                    # until every connected lane has joined the round —
+                    # event-driven, so a full batch closes immediately.
+                    target = max(self._conn_count, len(batch))
+                    deadline = loop.time() + self._window.max_wait
+                    while len(batch) < target:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0.0:
+                            break
+                        try:
+                            await asyncio.wait_for(
+                                self._work.wait(), remaining
+                            )
+                        except asyncio.TimeoutError:
+                            break
+                        self._work.clear()
+                        self._collect(batch)
+                if not batch:
+                    continue
+                self._in_flight = len(batch)
+                started = loop.time()
+                responses = await self.pool.decide_batch(
+                    [(request, remaining) for request, remaining, _ in batch]
+                )
+                self._window.observe(loop.time() - started)
+                for (request, _, future), response in zip(batch, responses):
+                    if not future.done():
+                        future.set_result(response)
+                for request, _, _ in batch:
+                    queue = self._queues.get(request.tenant)
+                    if queue is not None:
+                        self.stats.tenant(request.tenant).queue_depth = (
+                            queue.qsize()
+                        )
+                batch = []
+            except asyncio.CancelledError:
+                # Cancelled mid-batch during a drain: every dispatched
+                # request still gets an explicit answer, never a silent drop.
+                for request, _, future in batch:
+                    if not future.done():
+                        future.set_result(
+                            shed_response(request.request_id, "drain-shed", 0.0)
+                        )
+                        self.stats.tenant(request.tenant).record_shed(
+                            "drain-shed"
+                        )
+                        self.stats.drain_shed += 1
+                raise
+            except Exception:  # a pool bug must not kill the loop
+                for request, _, future in batch:
+                    if not future.done():
+                        future.set_result(
+                            error_response(
+                                request.request_id, "internal: decision loop error"
+                            )
+                        )
+                batch = []
+            finally:
+                self._in_flight = 0
 
     # -- the JSON-lines protocol ------------------------------------------
+
+    def _write_decision(
+        self, writer: asyncio.StreamWriter, future: "asyncio.Future"
+    ) -> None:
+        """Future callback: write a decided response to its connection.
+
+        Runs inline on the loop right after the decision loop resolves the
+        future — the connection handler never has to wake for it.  A
+        response is one short line, so the transport's own buffering is
+        backpressure enough; a connection that died while its request was
+        queued just drops the write (the client retries on reconnect, and
+        no verdict was lost — it is durable in the journal).
+        """
+        if future.cancelled() or writer.is_closing():
+            return
+        with contextlib.suppress(Exception):
+            writer.write(encode_response(future.result()))
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats.connections += 1
+        self._conn_count += 1
         try:
             while True:
                 try:
@@ -337,7 +510,7 @@ class AuditGateway:
                             {
                                 "id": document.get("id"),
                                 "ok": True,
-                                "stats": self.manager.snapshot(),
+                                "stats": await self.pool.snapshot(),
                             }
                         )
                     )
@@ -371,10 +544,19 @@ class AuditGateway:
                     if faults.fire(faults.CONN_DROP):
                         self.stats.connections_dropped += 1
                         break
-                    response = await self._admit(request)
-                    writer.write(encode_response(response))
+                    future = self._admit(request)
+                    if future.done():  # shed at admission: answer now
+                        writer.write(encode_response(future.result()))
+                    else:
+                        # Answered straight off the decision loop when the
+                        # batch resolves — no handler wake-up per verdict.
+                        future.add_done_callback(
+                            lambda fut, w=writer: self._write_decision(w, fut)
+                        )
+                        continue
                 await writer.drain()
         finally:
+            self._conn_count -= 1
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
@@ -399,7 +581,7 @@ class AuditGateway:
                     "draining": self._draining,
                 }
             elif target == "/stats":
-                status, body = "200 OK", self.manager.snapshot()
+                status, body = "200 OK", await self.pool.snapshot()
             else:
                 status, body = "404 Not Found", {"error": "not found"}
             payload = json.dumps(body, separators=(",", ":")).encode("utf-8")

@@ -25,6 +25,7 @@ import pathlib
 import urllib.parse
 from typing import Any, Dict, Optional, Union
 
+from ..audit.engine import BatchAuditEngine
 from ..audit.incremental import IncrementalAuditor
 from ..audit.log import DisclosureEvent, DisclosureLog
 from ..audit.policy import AuditPolicy
@@ -34,6 +35,7 @@ from ..db.sql import parse_boolean_query
 from ..exceptions import QueryError
 from ..runtime import BreakerRegistry, faults
 from ..runtime.outcome import RuntimeStats
+from .commit import GROUP_COMMIT_FILENAME, GroupCommitLog
 from .journal import EventJournal, JournalRecord, JournalTornWriteError
 from .protocol import (
     DecisionRequest,
@@ -101,7 +103,7 @@ class TenantShard:
 
     # -- recovery ----------------------------------------------------------
 
-    def recover(self) -> int:
+    def recover(self, extra_records=()) -> int:
         """Replay the journal's intact prefix into a fresh auditor state.
 
         Returns the number of events recovered.  Sound by the journal's
@@ -109,10 +111,17 @@ class TenantShard:
         records reissues exactly the verdicts that were issued before the
         crash — served from the shared store when warm, recomputed
         (identically: the deciders are deterministic) when not.
+
+        ``extra_records`` carries this tenant's slice of the shared
+        group-commit log (the batched decision plane journals there); the
+        merged record set audits as one log ordered by event time, so
+        recovery is source-agnostic.  A retried event journaled twice (a
+        torn commit round salvaged a prefix) folds twice — harmless, the
+        cumulative composition is an idempotent intersection.
         """
         result = self.journal.replay(repair=True)
         events = []
-        for record in result.records:
+        for record in list(result.records) + list(extra_records):
             events.append(
                 DisclosureEvent(
                     time=record.time,
@@ -173,15 +182,41 @@ class TenantShard:
                 request.request_id, f"journal crash (will recover): {exc}"
             )
         self.stats.journal_appends += 1
+        return self.finish(request, query, pinned, budget_seconds=budget_seconds)
+
+    def finish(
+        self,
+        request: DecisionRequest,
+        query,
+        pinned: bool,
+        budget_seconds: Optional[float] = None,
+        disclosed=None,
+        outcome=None,
+    ) -> Dict[str, Any]:
+        """The decide tail after the record is durable: fold and respond.
+
+        Shared by the synchronous :meth:`decide` path (``outcome=None`` —
+        the auditor decides the event itself) and the batched executor,
+        which pre-decides a whole admission batch through
+        :meth:`~repro.audit.engine.BatchAuditEngine.decide_many` and hands
+        each event's outcome in here for the fold.  Either way the caller
+        has already journaled the record — **journal before decide** is
+        the caller's obligation, this method only ever runs after it.
+        """
         event = DisclosureEvent(
             time=request.time,
             user=request.user,
             query=query,
             note=request.note,
         )
-        finding = self.auditor.append(
-            event, budget_seconds=budget_seconds, pinned=pinned
-        )
+        if outcome is None:
+            finding = self.auditor.append(
+                event, budget_seconds=budget_seconds, pinned=pinned
+            )
+        else:
+            finding = self.auditor.append_decided(
+                event, disclosed, outcome, budget_seconds=budget_seconds
+            )
         if pinned:
             self.stats.pinned += 1
         cumulative = self.auditor.cumulative_verdict(request.user)
@@ -241,19 +276,79 @@ class ShardManager:
         self.decision_budget = decision_budget
         self.fast_path = fast_path
         self._shards: Dict[str, TenantShard] = {}
+        # The shared decision engine: verdicts key on (policy, universe,
+        # disclosed set) and are tenant-independent, so its verdict cache,
+        # compiled-query memo, symbolic-lowering memo, and tensor cache are
+        # shared by every tenant shard (ablation-sibling style) — one
+        # tenant's cold decision warms every neighbour, in memory, without
+        # a store round trip.  The batched decision plane also decides
+        # whole cross-tenant batches through this engine directly.
+        self.engine = BatchAuditEngine(
+            universe,
+            policy,
+            n_workers=1,
+            decision_budget=decision_budget,
+            store=store,
+        )
+        #: The shared group-commit log (one fsync per decision round, all
+        #: tenants).  The file only exists once the batched decision plane
+        #: has appended; the synchronous per-tenant path keeps using the
+        #: tenant's own journal.
+        self.commit_log = GroupCommitLog(
+            self.journal_dir / GROUP_COMMIT_FILENAME
+        )
+        #: This tenant's yet-unreplayed slice of the group-commit log,
+        #: loaded (and healed) exactly once per manager; ``None`` = not
+        #: loaded yet.  Loading is lazy so a manager over a fresh
+        #: directory never creates the file.
+        self._wal_pending: Optional[Dict[str, list]] = None
+        # query text → parsed query (or the QueryError it raised): the
+        # wire sends textual queries, so the batched path would otherwise
+        # re-parse every event of every batch.
+        self._parse_memo: Dict[str, Any] = {}
+
+    def parse_query(self, text: str):
+        """Parse one wire-format query, memoised by exact text.
+
+        Failures are memoised too (re-raised per call): a tenant
+        re-sending the same malformed query still sees an error — and
+        still feeds its breaker — without re-running the parser.
+        """
+        cached = self._parse_memo.get(text)
+        if cached is None:
+            try:
+                cached = parse_boolean_query(text)
+            except QueryError as exc:
+                cached = exc
+            self._parse_memo[text] = cached
+        if isinstance(cached, QueryError):
+            raise cached
+        return cached
+
+    def _wal_records(self, tenant: str) -> list:
+        """Pop the tenant's group-commit records pending replay (once)."""
+        if self._wal_pending is None:
+            if self.commit_log.path.exists():
+                self._wal_pending = self.commit_log.replay(
+                    repair=True
+                ).by_tenant()
+            else:
+                self._wal_pending = {}
+        return self._wal_pending.pop(tenant, [])
 
     def shard(self, tenant: str) -> TenantShard:
         """The tenant's shard, created (and journal-recovered) on first use."""
         shard = self._shards.get(tenant)
         if shard is None:
             shard = self._make_shard(tenant)
-            if shard.journal.path.exists():
-                shard.recover()
+            wal_records = self._wal_records(tenant)
+            if shard.journal.path.exists() or wal_records:
+                shard.recover(extra_records=wal_records)
             self._shards[tenant] = shard
         return shard
 
     def _make_shard(self, tenant: str) -> TenantShard:
-        return TenantShard(
+        shard = TenantShard(
             tenant,
             self.universe,
             self.policy,
@@ -264,23 +359,47 @@ class ShardManager:
             decision_budget=self.decision_budget,
             fast_path=self.fast_path,
         )
+        # Share the tenant-independent decision state with the manager's
+        # engine, exactly like audit_ablation shares it across siblings.
+        engine = shard.auditor.engine
+        engine._cache = self.engine._cache
+        engine._compiled = self.engine._compiled
+        engine._compile_stats = self.engine._compile_stats
+        engine._formulas = self.engine._formulas
+        engine._tensor_cache = self.engine._tensor_cache
+        return shard
 
     def recover_all(self) -> Dict[str, int]:
         """Startup recovery: replay every journal found on disk.
 
         Returns ``{tenant: events_recovered}``.  Called once before the
         gateway starts accepting, so a restart after ``kill -9`` serves
-        its first request from exactly the pre-crash verdict state.
+        its first request from exactly the pre-crash verdict state.  Both
+        journal sources replay here: each tenant's own ``*.journal`` file
+        and its slice of the shared group-commit log, merged by event
+        time.
         """
         recovered: Dict[str, int] = {}
         if not self.journal_dir.exists():
             return recovered
+        tenants = set()
         for path in sorted(self.journal_dir.iterdir()):
             tenant = tenant_of_journal(path.name)
-            if tenant is None or tenant in self._shards:
+            if tenant is not None:
+                tenants.add(tenant)
+        if self.commit_log.path.exists():
+            if self._wal_pending is None:
+                self._wal_pending = self.commit_log.replay(
+                    repair=True
+                ).by_tenant()
+            tenants.update(self._wal_pending)
+        for tenant in sorted(tenants):
+            if tenant in self._shards:
                 continue
             shard = self._make_shard(tenant)
-            recovered[tenant] = shard.recover()
+            recovered[tenant] = shard.recover(
+                extra_records=self._wal_records(tenant)
+            )
             self._shards[tenant] = shard
         return recovered
 
@@ -303,20 +422,16 @@ class ShardManager:
             self.store.stats.write_failures += 1
             self.gateway_stats.flush_failures += 1
             return False
-        # Any shard's engine flushes the shared store; mirror failures via
-        # the first shard so they land on RuntimeStats like PR-3 faults.
-        shards = list(self._shards.values())
-        if shards:
-            shards[0].auditor.engine.flush_store()
-        else:
-            self.store.flush()
+        # The shared engine flushes the shared store and mirrors failures
+        # onto RuntimeStats like PR-3 faults.
+        self.engine.flush_store()
         failed = self.store.stats.write_failures > failures_before
         if failed:
             self.gateway_stats.flush_failures += 1
         return not failed
 
     def runtime_stats(self) -> RuntimeStats:
-        merged = RuntimeStats()
+        merged = RuntimeStats().merge(self.engine.runtime_stats)
         for shard in self._shards.values():
             merged = merged.merge(shard.auditor.engine.runtime_stats)
         return merged
@@ -332,3 +447,4 @@ class ShardManager:
     def close(self) -> None:
         for shard in self._shards.values():
             shard.close()
+        self.commit_log.close()

@@ -10,13 +10,25 @@ is what the tenant experienced.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..audit.store import StoreStats
 from ..runtime.outcome import RuntimeStats
 
-__all__ = ["GatewayStats", "TenantStats"]
+__all__ = ["GatewayStats", "TenantStats", "merge_snapshots"]
+
+#: Group-commit depth histogram buckets: (upper bound inclusive, label).
+_DEPTH_BUCKETS = ((1, "1"), (3, "2-3"), (7, "4-7"), (15, "8-15"), (31, "16-31"))
+_DEPTH_OVERFLOW = "32+"
+
+
+def _depth_bucket(depth: int) -> str:
+    for bound, label in _DEPTH_BUCKETS:
+        if depth <= bound:
+            return label
+    return _DEPTH_OVERFLOW
 
 
 @dataclass
@@ -88,7 +100,45 @@ class GatewayStats:
     draining: bool = False
     drain_shed: int = 0  # in-flight work shed by the drain budget
     flush_failures: int = 0  # store flushes that failed (incl. drain-flush)
+    # Group-commit / micro-batching observability: every commit round
+    # lands here, so fsync amortisation is as visible as sheds are.
+    commit_rounds: int = 0  # successful group-commit rounds
+    batch_events: int = 0  # records journaled across those rounds
+    batch_max: int = 0  # largest single round
+    fsyncs_saved: int = 0  # (round depth - 1) summed: fsyncs amortised away
+    commit_crashes: int = 0  # rounds lost to torn writes / failed fsyncs
+    commit_depth_hist: Dict[str, int] = field(default_factory=dict)
+    executor_restarts: int = 0  # crashed executor processes respawned
+    workers: int = 1  # shard-executor processes (1 = in-process)
     tenants: Dict[str, TenantStats] = field(default_factory=dict)
+
+    def observe_commit(self, depth: int) -> None:
+        """Record one durable group-commit round of ``depth`` records."""
+        self.commit_rounds += 1
+        self.batch_events += depth
+        self.batch_max = max(self.batch_max, depth)
+        self.fsyncs_saved += max(0, depth - 1)
+        bucket = _depth_bucket(depth)
+        self.commit_depth_hist[bucket] = (
+            self.commit_depth_hist.get(bucket, 0) + 1
+        )
+
+    def batching_as_dict(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "commit_rounds": self.commit_rounds,
+            "batch_events": self.batch_events,
+            "batch_mean": (
+                round(self.batch_events / self.commit_rounds, 2)
+                if self.commit_rounds
+                else 0.0
+            ),
+            "batch_max": self.batch_max,
+            "fsyncs_saved": self.fsyncs_saved,
+            "commit_crashes": self.commit_crashes,
+            "depth_hist": dict(self.commit_depth_hist),
+            "executor_restarts": self.executor_restarts,
+        }
 
     def tenant(self, name: str) -> TenantStats:
         stats = self.tenants.get(name)
@@ -120,6 +170,7 @@ class GatewayStats:
             "draining": self.draining,
             "drain_shed": self.drain_shed,
             "flush_failures": self.flush_failures,
+            "batching": self.batching_as_dict(),
             "tenants": {
                 name: stats.as_dict()
                 for name, stats in sorted(self.tenants.items())
@@ -130,3 +181,53 @@ class GatewayStats:
         if store is not None:
             document["store"] = store.as_dict()
         return document
+
+
+# -- multi-process snapshot merging ----------------------------------------------
+
+#: Snapshot keys merged by max rather than sum (gauges, not counters).
+_MAX_KEYS = {"batch_max", "queue_depth", "workers"}
+#: String defaults that a child's more specific value should replace.
+_STRING_DEFAULTS = {"", "closed", "none"}
+
+
+def _merge_document(base: Dict[str, Any], other: Dict[str, Any]) -> None:
+    for key, value in other.items():
+        mine = base.get(key)
+        if mine is None:
+            base[key] = copy.deepcopy(value)
+        elif isinstance(value, dict) and isinstance(mine, dict):
+            _merge_document(mine, value)
+        elif isinstance(value, bool) or isinstance(mine, bool):
+            base[key] = bool(mine) or bool(value)
+        elif isinstance(value, (int, float)) and isinstance(mine, (int, float)):
+            base[key] = max(mine, value) if key in _MAX_KEYS else mine + value
+        elif isinstance(value, str) and isinstance(mine, str):
+            if mine in _STRING_DEFAULTS and value not in _STRING_DEFAULTS:
+                base[key] = value
+
+
+def merge_snapshots(
+    base: Dict[str, Any], children: Iterable[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Fold executor-process snapshots into the front-end's snapshot.
+
+    In multi-process mode the front end holds the admission-side truth
+    (connections, sheds, queue depths) while each executor process holds
+    the decision-side truth for its tenant partition (decided counts,
+    journal appends, commit rounds, runtime/store stats).  Counters sum,
+    gauges (``batch_max``, ``queue_depth``) take the max, per-tenant rows
+    merge by tenant, and derived means are recomputed from the merged
+    counters — so the merged document reads exactly like a single-process
+    snapshot.
+    """
+    merged = copy.deepcopy(base)
+    for child in children:
+        _merge_document(merged, child)
+    batching = merged.get("batching")
+    if isinstance(batching, dict):
+        rounds = batching.get("commit_rounds") or 0
+        batching["batch_mean"] = (
+            round(batching.get("batch_events", 0) / rounds, 2) if rounds else 0.0
+        )
+    return merged

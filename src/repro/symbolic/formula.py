@@ -304,7 +304,10 @@ def to_cnf(formula: Formula, n_vars: int) -> Tuple[List[List[int]], int]:
     """
     clauses: List[List[int]] = []
     counter = [n_vars]
-    memo: Dict[int, int] = {}
+    # Memo values pin the node: keys are ids, and cardinality expansions are
+    # throwaway DAGs — if a memoised node were collected, a later allocation
+    # could reuse its id and silently inherit its literal.
+    memo: Dict[int, Tuple[Formula, int]] = {}
 
     def fresh() -> int:
         counter[0] += 1
@@ -321,7 +324,7 @@ def to_cnf(formula: Formula, n_vars: int) -> Tuple[List[List[int]], int]:
             return -lit(f.inner)
         cached = memo.get(id(f))
         if cached is not None:
-            return cached
+            return cached[1]
         if isinstance(f, ConstF):
             v = fresh()
             clauses.append([v] if f.value else [-v])
@@ -340,7 +343,7 @@ def to_cnf(formula: Formula, n_vars: int) -> Tuple[List[List[int]], int]:
                 clauses.append([-v] + args)
         else:
             raise TypeError(f"not a formula: {f!r}")
-        memo[id(f)] = v
+        memo[id(f)] = (f, v)
         return v
 
     clauses.append([lit(formula)])

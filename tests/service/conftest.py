@@ -66,14 +66,21 @@ def scratch_statuses(universe, policy, events):
 def recovered_statuses(manager, tenants):
     """Per-event statuses of a recovered manager: {(tenant, time): status}.
 
-    Reads each shard's journal back (repair=False — pure observation) and
-    asks the recovered auditor for the same log's report; the memoised
-    replay answers without re-deciding.
+    Reads each tenant's durable records back (repair=False — pure
+    observation) from both journal sources — the tenant's own journal and
+    its slice of the shared group-commit log — and asks the recovered
+    auditor for the merged log's report; the memoised replay answers
+    without re-deciding.
     """
     statuses = {}
+    wal = {}
+    if manager.commit_log.path.exists():
+        wal = manager.commit_log.replay(repair=False).by_tenant()
     for tenant in tenants:
         shard = manager.shard(tenant)
-        records = shard.journal.replay(repair=False).records
+        records = list(shard.journal.replay(repair=False).records) + wal.get(
+            tenant, []
+        )
         if not records:
             continue
         log = DisclosureLog(

@@ -187,6 +187,44 @@ def test_cnf_round_trip(formula):
         assert not any(truth_table)
 
 
+def test_cnf_two_cardinality_atoms_regression():
+    """Two cardinality atoms in one encoding must not share Tseitin literals.
+
+    Each ``AtLeastF`` is Tseitin-encoded through a throwaway expansion DAG;
+    with an id-keyed memo that did not pin its nodes, the second atom's
+    freshly allocated nodes could reuse the first expansion's ids and
+    inherit its literals, yielding a CNF that admits non-models
+    (hypothesis-discovered).
+    """
+    formula = not_f(
+        or_f(
+            not_f(AtLeastF((Var(2), Var(2), Var(3)), 2)),
+            not_f(AtLeastF((Var(3), Var(2), Var(3)), 2)),
+        )
+    )
+    clauses, total_vars = to_cnf(formula, N_VARS)
+
+    def satisfies(model: int) -> bool:
+        return all(
+            any(
+                ((model >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0)
+                for l in clause
+            )
+            for clause in clauses
+        )
+
+    projected = {
+        model & ((1 << N_VARS) - 1)
+        for model in range(1 << total_vars)
+        if satisfies(model)
+    }
+    truth = {w for w in range(1 << N_VARS) if eval_formula(formula, w)}
+    assert projected == truth
+    status, model = solve_cnf(clauses, total_vars)
+    assert status == "sat"
+    assert eval_formula(formula, model & ((1 << N_VARS) - 1))
+
+
 @settings(max_examples=80, deadline=None)
 @given(formulas())
 def test_fingerprint_stable_under_rebuild(formula):
